@@ -1,0 +1,148 @@
+//! Aggregate function specifications for `GROUPBY` nodes.
+//!
+//! The maintenance framework cares about *self-maintainability*: `SUM`,
+//! `COUNT` and `COUNT(*)` can be maintained under both inserts and deletes
+//! from deltas alone (the paper restricts Fig. 27 to exactly these, plus the
+//! algebraic extension to `AVG`), while `MIN`/`MAX` may need recomputation
+//! on deletes. [`AggFunc::self_maintainable`] encodes that.
+
+use std::fmt;
+
+/// Supported aggregate functions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum AggFunc {
+    /// `SUM(col)` — NULLs ignored; NULL (not 0) over an all-NULL/empty group.
+    Sum,
+    /// `COUNT(col)` — counts non-NULL inputs.
+    Count,
+    /// `COUNT(*)` — counts rows; ignores its input column.
+    CountStar,
+    /// `AVG(col)` — maintained algebraically as SUM/COUNT.
+    Avg,
+    /// `MIN(col)` — not self-maintainable under deletes.
+    Min,
+    /// `MAX(col)` — not self-maintainable under deletes.
+    Max,
+}
+
+impl AggFunc {
+    /// True iff this aggregate is maintainable from deltas alone under both
+    /// inserts and deletes (distributive over bag union/difference, or
+    /// algebraic over such functions).
+    pub fn self_maintainable(&self) -> bool {
+        matches!(
+            self,
+            AggFunc::Sum | AggFunc::Count | AggFunc::CountStar | AggFunc::Avg
+        )
+    }
+}
+
+impl fmt::Display for AggFunc {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            AggFunc::Sum => "sum",
+            AggFunc::Count => "count",
+            AggFunc::CountStar => "count(*)",
+            AggFunc::Avg => "avg",
+            AggFunc::Min => "min",
+            AggFunc::Max => "max",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One aggregate in a `GROUPBY`: a function, its input column (ignored for
+/// `COUNT(*)`), and the output column name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AggSpec {
+    pub func: AggFunc,
+    /// Input column name; empty for `COUNT(*)`.
+    pub input: String,
+    /// Output column name.
+    pub output: String,
+}
+
+impl AggSpec {
+    /// `SUM(input) AS output`.
+    pub fn sum(input: impl Into<String>, output: impl Into<String>) -> Self {
+        AggSpec {
+            func: AggFunc::Sum,
+            input: input.into(),
+            output: output.into(),
+        }
+    }
+
+    /// `COUNT(input) AS output`.
+    pub fn count(input: impl Into<String>, output: impl Into<String>) -> Self {
+        AggSpec {
+            func: AggFunc::Count,
+            input: input.into(),
+            output: output.into(),
+        }
+    }
+
+    /// `COUNT(*) AS output`.
+    pub fn count_star(output: impl Into<String>) -> Self {
+        AggSpec {
+            func: AggFunc::CountStar,
+            input: String::new(),
+            output: output.into(),
+        }
+    }
+
+    /// `AVG(input) AS output`.
+    pub fn avg(input: impl Into<String>, output: impl Into<String>) -> Self {
+        AggSpec {
+            func: AggFunc::Avg,
+            input: input.into(),
+            output: output.into(),
+        }
+    }
+
+    /// `MIN(input) AS output`.
+    pub fn min(input: impl Into<String>, output: impl Into<String>) -> Self {
+        AggSpec {
+            func: AggFunc::Min,
+            input: input.into(),
+            output: output.into(),
+        }
+    }
+
+    /// `MAX(input) AS output`.
+    pub fn max(input: impl Into<String>, output: impl Into<String>) -> Self {
+        AggSpec {
+            func: AggFunc::Max,
+            input: input.into(),
+            output: output.into(),
+        }
+    }
+}
+
+impl fmt::Display for AggSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.func {
+            AggFunc::CountStar => write!(f, "count(*) AS {}", self.output),
+            func => write!(f, "{func}({}) AS {}", self.input, self.output),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_maintainability() {
+        assert!(AggFunc::Sum.self_maintainable());
+        assert!(AggFunc::CountStar.self_maintainable());
+        assert!(AggFunc::Avg.self_maintainable());
+        assert!(!AggFunc::Min.self_maintainable());
+        assert!(!AggFunc::Max.self_maintainable());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(AggSpec::sum("price", "total").to_string(), "sum(price) AS total");
+        assert_eq!(AggSpec::count_star("cnt").to_string(), "count(*) AS cnt");
+    }
+}

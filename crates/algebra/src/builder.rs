@@ -1,0 +1,184 @@
+//! A fluent builder over [`Plan`].
+//!
+//! The builder is a thin, chainable wrapper — the paper's example views read
+//! almost like their algebra trees:
+//!
+//! ```
+//! use gpivot_algebra::{PlanBuilder, PivotSpec, AggSpec, Expr};
+//! use gpivot_storage::Value;
+//!
+//! // Figure 32: GPIVOT(lineitem) ⋈ orders ⋈ customer
+//! let view = PlanBuilder::scan("lineitem")
+//!     .gpivot(PivotSpec::simple(
+//!         "l_linenumber",
+//!         "l_extendedprice",
+//!         vec![Value::Int(1), Value::Int(2), Value::Int(3)],
+//!     ))
+//!     .join(PlanBuilder::scan("orders"), vec![("l_orderkey", "o_orderkey")])
+//!     .build();
+//! assert_eq!(view.pivot_count(), 1);
+//! ```
+
+use crate::aggregate::AggSpec;
+use crate::expr::Expr;
+use crate::plan::{JoinKind, PivotSpec, Plan, ProjItem, UnpivotSpec};
+
+/// Chainable plan construction.
+#[derive(Debug, Clone)]
+pub struct PlanBuilder {
+    plan: Plan,
+}
+
+impl PlanBuilder {
+    /// Start from a base-table scan.
+    pub fn scan(table: impl Into<String>) -> Self {
+        PlanBuilder {
+            plan: Plan::scan(table),
+        }
+    }
+
+    /// Wrap an existing plan.
+    pub fn from_plan(plan: Plan) -> Self {
+        PlanBuilder { plan }
+    }
+
+    /// σ.
+    pub fn select(self, predicate: Expr) -> Self {
+        PlanBuilder {
+            plan: self.plan.select(predicate),
+        }
+    }
+
+    /// π from `(expr, name)` items.
+    pub fn project(self, items: Vec<ProjItem>) -> Self {
+        PlanBuilder {
+            plan: self.plan.project(items),
+        }
+    }
+
+    /// Positive projection by column names.
+    pub fn project_cols(self, cols: &[&str]) -> Self {
+        PlanBuilder {
+            plan: self.plan.project_cols(cols),
+        }
+    }
+
+    /// Inner equi-join.
+    pub fn join(self, right: PlanBuilder, on: Vec<(&str, &str)>) -> Self {
+        PlanBuilder {
+            plan: self.plan.join(right.plan, on),
+        }
+    }
+
+    /// Join with explicit kind and optional residual predicate.
+    pub fn join_kind(
+        self,
+        right: PlanBuilder,
+        kind: JoinKind,
+        on: Vec<(&str, &str)>,
+        residual: Option<Expr>,
+    ) -> Self {
+        PlanBuilder {
+            plan: Plan::Join {
+                left: Box::new(self.plan),
+                right: Box::new(right.plan),
+                kind,
+                on: on
+                    .into_iter()
+                    .map(|(l, r)| (l.to_string(), r.to_string()))
+                    .collect(),
+                residual,
+            },
+        }
+    }
+
+    /// 𝓕.
+    pub fn group_by(self, group_by: &[&str], aggs: Vec<AggSpec>) -> Self {
+        PlanBuilder {
+            plan: self.plan.group_by(group_by, aggs),
+        }
+    }
+
+    /// Bag union.
+    pub fn union(self, right: PlanBuilder) -> Self {
+        PlanBuilder {
+            plan: Plan::Union {
+                left: Box::new(self.plan),
+                right: Box::new(right.plan),
+            },
+        }
+    }
+
+    /// Bag difference.
+    pub fn diff(self, right: PlanBuilder) -> Self {
+        PlanBuilder {
+            plan: Plan::Diff {
+                left: Box::new(self.plan),
+                right: Box::new(right.plan),
+            },
+        }
+    }
+
+    /// GPIVOT.
+    pub fn gpivot(self, spec: PivotSpec) -> Self {
+        PlanBuilder {
+            plan: self.plan.gpivot(spec),
+        }
+    }
+
+    /// GUNPIVOT.
+    pub fn gunpivot(self, spec: UnpivotSpec) -> Self {
+        PlanBuilder {
+            plan: self.plan.gunpivot(spec),
+        }
+    }
+
+    /// Finish, returning the plan.
+    pub fn build(self) -> Plan {
+        self.plan
+    }
+
+    /// Peek at the plan without consuming the builder.
+    pub fn plan(&self) -> &Plan {
+        &self.plan
+    }
+}
+
+impl From<Plan> for PlanBuilder {
+    fn from(plan: Plan) -> Self {
+        PlanBuilder { plan }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpivot_storage::Value;
+
+    #[test]
+    fn builds_nested_tree() {
+        let plan = PlanBuilder::scan("a")
+            .select(Expr::col("x").gt(Expr::lit(1)))
+            .join(PlanBuilder::scan("b"), vec![("x", "y")])
+            .group_by(&["x"], vec![AggSpec::count_star("cnt")])
+            .build();
+        assert_eq!(plan.node_count(), 5);
+        assert_eq!(plan.op_name(), "GroupBy");
+    }
+
+    #[test]
+    fn union_and_diff() {
+        let p = PlanBuilder::scan("a").union(PlanBuilder::scan("a")).build();
+        assert_eq!(p.op_name(), "Union");
+        let p = PlanBuilder::scan("a").diff(PlanBuilder::scan("a")).build();
+        assert_eq!(p.op_name(), "Diff");
+    }
+
+    #[test]
+    fn gpivot_chain() {
+        let p = PlanBuilder::scan("t")
+            .gpivot(PivotSpec::simple("a", "b", vec![Value::str("x")]))
+            .build();
+        assert_eq!(p.pivot_count(), 1);
+    }
+}

@@ -1,0 +1,132 @@
+//! `EXPLAIN`-style pretty printing of plan trees.
+//!
+//! [`Plan::explain`] renders an indented operator tree; the `Display`
+//! impl delegates to it. The rewrite driver logs before/after trees
+//! with this, and the `rewrite_explorer` example walks rule applications.
+
+use crate::plan::Plan;
+use std::fmt;
+use std::fmt::Write as _;
+
+impl Plan {
+    /// Render the plan as an indented operator tree.
+    pub fn explain(&self) -> String {
+        let mut out = String::new();
+        self.explain_into(&mut out, 0);
+        out
+    }
+
+    fn explain_into(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        match self {
+            Plan::Scan { table } => {
+                let _ = writeln!(out, "{pad}Scan {table}");
+            }
+            Plan::Select { input, predicate } => {
+                let _ = writeln!(out, "{pad}Select σ[{predicate}]");
+                input.explain_into(out, depth + 1);
+            }
+            Plan::Project { input, items } => {
+                let rendered: Vec<String> = items
+                    .iter()
+                    .map(|(e, n)| match e {
+                        crate::expr::Expr::Col(c) if c == n => c.clone(),
+                        _ => format!("{e} AS {n}"),
+                    })
+                    .collect();
+                let _ = writeln!(out, "{pad}Project π[{}]", rendered.join(", "));
+                input.explain_into(out, depth + 1);
+            }
+            Plan::Join {
+                left,
+                right,
+                kind,
+                on,
+                residual,
+            } => {
+                let conds: Vec<String> =
+                    on.iter().map(|(l, r)| format!("{l}={r}")).collect();
+                let mut line = format!("{pad}Join {kind} ⋈[{}]", conds.join(" ∧ "));
+                if let Some(res) = residual {
+                    let _ = write!(line, " residual[{res}]");
+                }
+                let _ = writeln!(out, "{line}");
+                left.explain_into(out, depth + 1);
+                right.explain_into(out, depth + 1);
+            }
+            Plan::GroupBy {
+                input,
+                group_by,
+                aggs,
+            } => {
+                let agg_strs: Vec<String> = aggs.iter().map(|a| a.to_string()).collect();
+                let _ = writeln!(
+                    out,
+                    "{pad}GroupBy 𝓕[{} ; {}]",
+                    group_by.join(", "),
+                    agg_strs.join(", ")
+                );
+                input.explain_into(out, depth + 1);
+            }
+            Plan::Union { left, right } => {
+                let _ = writeln!(out, "{pad}Union ⊎");
+                left.explain_into(out, depth + 1);
+                right.explain_into(out, depth + 1);
+            }
+            Plan::Diff { left, right } => {
+                let _ = writeln!(out, "{pad}Diff ∸");
+                left.explain_into(out, depth + 1);
+                right.explain_into(out, depth + 1);
+            }
+            Plan::GPivot { input, spec } => {
+                let _ = writeln!(out, "{pad}{spec}");
+                input.explain_into(out, depth + 1);
+            }
+            Plan::GUnpivot { input, spec } => {
+                let _ = writeln!(out, "{pad}{spec}");
+                input.explain_into(out, depth + 1);
+            }
+        }
+    }
+}
+
+impl fmt::Display for Plan {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.explain())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Expr;
+    use crate::plan::PivotSpec;
+    use gpivot_storage::Value;
+
+    #[test]
+    fn explain_shows_tree() {
+        let plan = Plan::scan("lineitem")
+            .gpivot(PivotSpec::simple(
+                "linenumber",
+                "price",
+                vec![Value::Int(1), Value::Int(2)],
+            ))
+            .select(Expr::col("1**price").gt(Expr::lit(100)));
+        let s = plan.explain();
+        assert!(s.contains("Select"));
+        assert!(s.contains("GPIVOT"));
+        assert!(s.contains("Scan lineitem"));
+        // pivot is indented one level under select
+        assert!(s.lines().nth(1).unwrap().starts_with("  GPIVOT"));
+    }
+
+    #[test]
+    fn project_renders_aliases() {
+        let plan = Plan::scan("t").project(vec![
+            (Expr::col("a"), "a".into()),
+            (Expr::col("b"), "bb".into()),
+        ]);
+        let s = plan.explain();
+        assert!(s.contains("π[a, b AS bb]"));
+    }
+}

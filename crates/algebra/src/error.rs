@@ -1,0 +1,86 @@
+//! Errors raised while building, validating, or inferring schemas for plans.
+
+use gpivot_storage::StorageError;
+use std::fmt;
+
+/// Errors from the algebra layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AlgebraError {
+    /// Underlying storage/schema error.
+    Storage(StorageError),
+    /// A pivot was applied to an input without the required key
+    /// (the paper requires `(K, A1..Am)` to be a key of the input, §2.1).
+    PivotRequiresKey { detail: String },
+    /// The pivot parameters are malformed (wrong group arity, duplicate
+    /// output groups, overlapping by/on columns, ...).
+    InvalidPivotSpec(String),
+    /// The unpivot parameters are malformed.
+    InvalidUnpivotSpec(String),
+    /// Join sides share a column name; the algebra requires disjoint names
+    /// (use `Project`-renames before joining).
+    AmbiguousColumn(String),
+    /// An expression is invalid for its input schema.
+    InvalidExpr(String),
+    /// A group-by / aggregate specification is invalid.
+    InvalidGroupBy(String),
+    /// Union/Diff operands have incompatible schemas.
+    SchemaMismatch { left: String, right: String },
+    /// A rewriting rule was applied where its precondition does not hold.
+    RuleNotApplicable(String),
+}
+
+impl fmt::Display for AlgebraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgebraError::Storage(e) => write!(f, "storage error: {e}"),
+            AlgebraError::PivotRequiresKey { detail } => {
+                write!(f, "pivot requires a key on its input: {detail}")
+            }
+            AlgebraError::InvalidPivotSpec(s) => write!(f, "invalid pivot spec: {s}"),
+            AlgebraError::InvalidUnpivotSpec(s) => write!(f, "invalid unpivot spec: {s}"),
+            AlgebraError::AmbiguousColumn(c) => {
+                write!(f, "column `{c}` appears on both sides of a join")
+            }
+            AlgebraError::InvalidExpr(s) => write!(f, "invalid expression: {s}"),
+            AlgebraError::InvalidGroupBy(s) => write!(f, "invalid group-by: {s}"),
+            AlgebraError::SchemaMismatch { left, right } => {
+                write!(f, "schema mismatch between {left} and {right}")
+            }
+            AlgebraError::RuleNotApplicable(s) => write!(f, "rule not applicable: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for AlgebraError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            AlgebraError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<StorageError> for AlgebraError {
+    fn from(e: StorageError) -> Self {
+        AlgebraError::Storage(e)
+    }
+}
+
+/// Result alias for algebra operations.
+pub type Result<T> = std::result::Result<T, AlgebraError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        use std::error::Error;
+        let e = AlgebraError::Storage(StorageError::UnknownTable("t".into()));
+        assert!(e.to_string().contains("unknown table"));
+        assert!(e.source().is_some());
+        assert!(AlgebraError::AmbiguousColumn("c".into())
+            .to_string()
+            .contains("`c`"));
+    }
+}

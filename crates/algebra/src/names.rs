@@ -1,0 +1,213 @@
+//! The pivoted-column naming protocol.
+//!
+//! §4.1 of the paper: GPIVOT output columns are named
+//! `a1**a2**…**am**Bj` — the dimension values joined with `**`, followed by
+//! the measure column name. GUNPIVOT decodes such names back into data
+//! values, so the encoding must round-trip even when a data value itself
+//! contains `*`. We escape `\` as `\\` and `*` as `\*` inside segments.
+
+use gpivot_storage::Value;
+
+/// Separator between encoded segments.
+pub const SEP: &str = "**";
+
+/// Escape one segment.
+fn escape(seg: &str) -> String {
+    let mut out = String::with_capacity(seg.len());
+    for c in seg.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '*' => out.push_str("\\*"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Unescape one segment.
+fn unescape(seg: &str) -> String {
+    let mut out = String::with_capacity(seg.len());
+    let mut chars = seg.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            if let Some(n) = chars.next() {
+                out.push(n);
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Render a dimension value as a name segment.
+///
+/// String values are used verbatim; other values use their display form
+/// (`⊥` never appears — pivot output parameters are concrete values).
+pub fn value_segment(v: &Value) -> String {
+    v.to_string()
+}
+
+/// Encode a pivoted output column name from dimension values `tags` and the
+/// measure column `measure`: `a1**…**am**Bj`.
+///
+/// Tag segments are escaped (so data values containing `*` round-trip); the
+/// measure name is appended **verbatim**. That makes the encoding
+/// *compositional*: pivoting a column that is itself a pivoted output yields
+/// `outer_tags**inner_tags**Bj`, exactly the name the combined GPIVOT of the
+/// composition rule (Eq. 6) produces — so combined and sequential pivots
+/// agree on output names, as the paper's completeness argument (§4.2.3)
+/// requires.
+pub fn encode_pivot_col(tags: &[Value], measure: &str) -> String {
+    let mut parts: Vec<String> = tags
+        .iter()
+        .map(|t| escape(&value_segment(t)))
+        .collect();
+    parts.push(measure.to_string());
+    parts.join(SEP)
+}
+
+/// Split an encoded name into raw (unescaped) segments.
+///
+/// Returns `None` if the name is not a valid encoding.
+pub fn split_segments(name: &str) -> Option<Vec<String>> {
+    let chars: Vec<char> = name.chars().collect();
+    let mut segments = Vec::new();
+    let mut cur = String::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c == '\\' {
+            if i + 1 >= chars.len() {
+                return None; // dangling escape
+            }
+            cur.push('\\');
+            cur.push(chars[i + 1]);
+            i += 2;
+        } else if c == '*' && i + 1 < chars.len() && chars[i + 1] == '*' {
+            segments.push(std::mem::take(&mut cur));
+            i += 2;
+        } else {
+            cur.push(c);
+            i += 1;
+        }
+    }
+    segments.push(cur);
+    Some(segments.into_iter().map(|s| unescape(&s)).collect())
+}
+
+/// Decode a pivoted output column name given the dimension arity `m`:
+/// returns `(tag_segments, measure)` or `None` if the name has too few
+/// segments. Tags come back as *strings* — callers who know the original
+/// dimension column types may re-parse.
+///
+/// Because the measure part is appended verbatim by [`encode_pivot_col`],
+/// any segments beyond the first `m` belong to the measure name and are
+/// re-joined (re-escaped) so that composed names decode to the exact inner
+/// column name.
+pub fn decode_pivot_col(name: &str, m: usize) -> Option<(Vec<String>, String)> {
+    let segs = split_segments(name)?;
+    if segs.len() < m + 1 {
+        return None;
+    }
+    let measure = if segs.len() == m + 1 {
+        // Plain measure name (may itself contain literal `*`).
+        segs[m].clone()
+    } else {
+        // Composed name: the measure is itself an encoded pivot column;
+        // re-escape so the exact inner column name is reconstructed.
+        segs[m..]
+            .iter()
+            .map(|s| escape(s))
+            .collect::<Vec<_>>()
+            .join(SEP)
+    };
+    Some((segs[..m].to_vec(), measure))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn encode_basic() {
+        let name = encode_pivot_col(&[Value::str("Sony"), Value::str("TV")], "Price");
+        assert_eq!(name, "Sony**TV**Price");
+    }
+
+    #[test]
+    fn decode_basic() {
+        let (tags, measure) = decode_pivot_col("Sony**TV**Price", 2).unwrap();
+        assert_eq!(tags, vec!["Sony", "TV"]);
+        assert_eq!(measure, "Price");
+    }
+
+    #[test]
+    fn roundtrip_with_stars_in_values() {
+        let tags = [Value::str("A*B"), Value::str("**")];
+        let name = encode_pivot_col(&tags, "M*");
+        let (dec_tags, measure) = decode_pivot_col(&name, 2).unwrap();
+        assert_eq!(dec_tags, vec!["A*B", "**"]);
+        assert_eq!(measure, "M*");
+    }
+
+    #[test]
+    fn roundtrip_with_backslashes() {
+        let tags = [Value::str("a\\b")];
+        let name = encode_pivot_col(&tags, "m");
+        let (dec, measure) = decode_pivot_col(&name, 1).unwrap();
+        assert_eq!(dec, vec!["a\\b"]);
+        assert_eq!(measure, "m");
+    }
+
+    #[test]
+    fn numeric_tags_use_display() {
+        let name = encode_pivot_col(&[Value::Int(1995)], "Sum");
+        assert_eq!(name, "1995**Sum");
+        let (tags, _) = decode_pivot_col(&name, 1).unwrap();
+        assert_eq!(tags, vec!["1995"]);
+    }
+
+    #[test]
+    fn arity_handling() {
+        // Too few segments → None.
+        assert!(decode_pivot_col("Price", 1).is_none());
+        // Extra segments fold into the measure (compositional decode).
+        let (tags, measure) = decode_pivot_col("Sony**TV**Price", 1).unwrap();
+        assert_eq!(tags, vec!["Sony"]);
+        assert_eq!(measure, "TV**Price");
+    }
+
+    #[test]
+    fn encoding_is_compositional() {
+        // Pivoting an already-pivoted column must yield the same name the
+        // combined GPIVOT (Eq. 6) would produce.
+        let inner = encode_pivot_col(&[Value::str("Sony"), Value::str("TV")], "Price");
+        let outer = encode_pivot_col(&[Value::str("Credit")], &inner);
+        let combined = encode_pivot_col(
+            &[Value::str("Credit"), Value::str("Sony"), Value::str("TV")],
+            "Price",
+        );
+        assert_eq!(outer, combined);
+        // Decoding the composed name at the outer arity recovers the exact
+        // inner column name.
+        let (tags, measure) = decode_pivot_col(&outer, 1).unwrap();
+        assert_eq!(tags, vec!["Credit"]);
+        assert_eq!(measure, inner);
+    }
+
+    #[test]
+    fn compositional_decode_reescapes_inner_tags() {
+        let inner = encode_pivot_col(&[Value::str("x*y")], "m");
+        let outer = encode_pivot_col(&[Value::str("Credit")], &inner);
+        let (tags, measure) = decode_pivot_col(&outer, 1).unwrap();
+        assert_eq!(tags, vec!["Credit"]);
+        assert_eq!(measure, inner);
+    }
+
+    #[test]
+    fn single_star_is_data() {
+        let segs = split_segments("a*b**c").unwrap();
+        assert_eq!(segs, vec!["a*b", "c"]);
+    }
+}

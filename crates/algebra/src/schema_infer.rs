@@ -1,0 +1,646 @@
+//! Output schema **and key** derivation for every plan operator.
+//!
+//! Key tracking is the backbone of the paper's rewrite framework: §5.1 makes
+//! *key preservation* the prerequisite for pulling GPIVOT up through any
+//! operator, and §2.1 requires `(K, A1..Am)` to be a key of the pivot input.
+//! Each derivation below therefore decides not just column names/types but
+//! whether (and which) key survives.
+
+use crate::aggregate::{AggFunc, AggSpec};
+use crate::error::{AlgebraError, Result};
+use crate::expr::Expr;
+use crate::plan::{JoinKind, Plan};
+use gpivot_storage::{Catalog, DataType, Field, Schema, SchemaRef, Value};
+use std::collections::BTreeMap;
+use std::sync::Arc;
+
+/// Source of base-table schemas for schema inference.
+pub trait SchemaProvider {
+    /// The schema of a named base table.
+    fn base_schema(&self, table: &str) -> Result<SchemaRef>;
+}
+
+impl SchemaProvider for Catalog {
+    fn base_schema(&self, table: &str) -> Result<SchemaRef> {
+        Ok(self.schema(table)?)
+    }
+}
+
+impl SchemaProvider for BTreeMap<String, SchemaRef> {
+    fn base_schema(&self, table: &str) -> Result<SchemaRef> {
+        self.get(table).cloned().ok_or_else(|| {
+            AlgebraError::Storage(gpivot_storage::StorageError::UnknownTable(
+                table.to_string(),
+            ))
+        })
+    }
+}
+
+impl Plan {
+    /// Derive the output schema (fields + key) of this plan.
+    pub fn schema<P: SchemaProvider>(&self, provider: &P) -> Result<SchemaRef> {
+        match self {
+            Plan::Scan { table } => provider.base_schema(table),
+
+            Plan::Select { input, predicate } => {
+                let schema = input.schema(provider)?;
+                // Validate the predicate binds.
+                predicate.bind(&schema).map_err(|e| {
+                    AlgebraError::InvalidExpr(format!("select predicate: {e}"))
+                })?;
+                Ok(schema)
+            }
+
+            Plan::Project { input, items } => {
+                let in_schema = input.schema(provider)?;
+                derive_project(&in_schema, items)
+            }
+
+            Plan::Join {
+                left,
+                right,
+                kind,
+                on,
+                residual,
+            } => {
+                let ls = left.schema(provider)?;
+                let rs = right.schema(provider)?;
+                derive_join(&ls, &rs, *kind, on, residual.as_ref())
+            }
+
+            Plan::GroupBy {
+                input,
+                group_by,
+                aggs,
+            } => {
+                let in_schema = input.schema(provider)?;
+                derive_group_by(&in_schema, group_by, aggs)
+            }
+
+            Plan::Union { left, right } => {
+                let ls = left.schema(provider)?;
+                let rs = right.schema(provider)?;
+                check_same_shape(&ls, &rs)?;
+                // Bag union may create duplicates: the key is lost.
+                let mut s = (*ls).clone();
+                s.clear_key();
+                Ok(Arc::new(s))
+            }
+
+            Plan::Diff { left, right } => {
+                let ls = left.schema(provider)?;
+                let rs = right.schema(provider)?;
+                check_same_shape(&ls, &rs)?;
+                // A sub-bag of a keyed bag keeps the key.
+                Ok(ls)
+            }
+
+            Plan::GPivot { input, spec } => {
+                let in_schema = input.schema(provider)?;
+                derive_gpivot(&in_schema, spec)
+            }
+
+            Plan::GUnpivot { input, spec } => {
+                let in_schema = input.schema(provider)?;
+                derive_gunpivot(&in_schema, spec)
+            }
+        }
+    }
+}
+
+fn check_same_shape(l: &Schema, r: &Schema) -> Result<()> {
+    let same = l.arity() == r.arity()
+        && l.fields()
+            .iter()
+            .zip(r.fields())
+            .all(|(a, b)| a.name == b.name);
+    if same {
+        Ok(())
+    } else {
+        Err(AlgebraError::SchemaMismatch {
+            left: l.to_string(),
+            right: r.to_string(),
+        })
+    }
+}
+
+fn derive_project(input: &Schema, items: &[(Expr, String)]) -> Result<SchemaRef> {
+    let mut fields = Vec::with_capacity(items.len());
+    let mut seen = std::collections::HashSet::new();
+    for (expr, name) in items {
+        expr.bind(input)
+            .map_err(|e| AlgebraError::InvalidExpr(format!("project item `{name}`: {e}")))?;
+        if !seen.insert(name.as_str()) {
+            return Err(AlgebraError::Storage(
+                gpivot_storage::StorageError::DuplicateColumn(name.clone()),
+            ));
+        }
+        fields.push(Field::new(name.clone(), expr.data_type(input)));
+    }
+    let mut schema = Schema::new(fields)?;
+    // Key survives iff every input key column passes through as a bare Col.
+    if let Some(key) = input.key() {
+        let mut new_key = Vec::with_capacity(key.len());
+        let mut ok = true;
+        for &ki in key {
+            let key_name = &input.fields()[ki].name;
+            match items.iter().position(
+                |(e, _)| matches!(e, Expr::Col(c) if c == key_name),
+            ) {
+                Some(pos) => new_key.push(pos),
+                None => {
+                    ok = false;
+                    break;
+                }
+            }
+        }
+        if ok {
+            schema.set_key(new_key);
+        }
+    }
+    Ok(Arc::new(schema))
+}
+
+fn derive_join(
+    left: &Schema,
+    right: &Schema,
+    kind: JoinKind,
+    on: &[(String, String)],
+    residual: Option<&Expr>,
+) -> Result<SchemaRef> {
+    // Column names must be globally unique after the join.
+    for f in right.fields() {
+        if left.index_of(&f.name).is_ok() {
+            return Err(AlgebraError::AmbiguousColumn(f.name.clone()));
+        }
+    }
+    let mut left_on = Vec::with_capacity(on.len());
+    let mut right_on = Vec::with_capacity(on.len());
+    for (l, r) in on {
+        left_on.push(left.index_of(l)?);
+        right_on.push(right.index_of(r)?);
+    }
+    let mut fields = left.fields().to_vec();
+    fields.extend(right.fields().iter().cloned());
+    let mut schema = Schema::new(fields)?;
+    if let Some(res) = residual {
+        res.bind(&schema)
+            .map_err(|e| AlgebraError::InvalidExpr(format!("join residual: {e}")))?;
+    }
+
+    let covers = |on_cols: &[usize], key: Option<&[usize]>| -> bool {
+        key.is_some_and(|k| k.iter().all(|ki| on_cols.contains(ki)))
+    };
+
+    // Key derivation (§5.1.3): joining to the other side's key means each
+    // row on this side appears at most once, so this side's key survives.
+    let left_key = left.key();
+    let right_key = right.key();
+    let n_left = left.arity();
+    match kind {
+        JoinKind::Inner | JoinKind::LeftOuter => {
+            if covers(&right_on, right_key) {
+                if let Some(lk) = left_key {
+                    schema.set_key(lk.to_vec());
+                    return Ok(Arc::new(schema));
+                }
+            }
+            if kind == JoinKind::Inner && covers(&left_on, left_key) {
+                if let Some(rk) = right_key {
+                    schema.set_key(rk.iter().map(|&i| i + n_left).collect());
+                    return Ok(Arc::new(schema));
+                }
+            }
+            if let (Some(lk), Some(rk)) = (left_key, right_key) {
+                let mut key: Vec<usize> = lk.to_vec();
+                key.extend(rk.iter().map(|&i| i + n_left));
+                schema.set_key(key);
+            }
+        }
+        JoinKind::FullOuter => {
+            // Unmatched rows null out the other side's key columns, so only
+            // the union of both keys stays unique.
+            if let (Some(lk), Some(rk)) = (left_key, right_key) {
+                let mut key: Vec<usize> = lk.to_vec();
+                key.extend(rk.iter().map(|&i| i + n_left));
+                schema.set_key(key);
+            }
+        }
+    }
+    Ok(Arc::new(schema))
+}
+
+fn derive_group_by(input: &Schema, group_by: &[String], aggs: &[AggSpec]) -> Result<SchemaRef> {
+    let mut fields = Vec::with_capacity(group_by.len() + aggs.len());
+    for g in group_by {
+        let f = input.field(g)?;
+        fields.push(f.clone());
+    }
+    for a in aggs {
+        let out_type = match a.func {
+            AggFunc::Count | AggFunc::CountStar => DataType::Int,
+            AggFunc::Avg => DataType::Float,
+            AggFunc::Sum | AggFunc::Min | AggFunc::Max => {
+                let t = input.field(&a.input)?.data_type;
+                if a.func == AggFunc::Sum && !matches!(t, DataType::Int | DataType::Float | DataType::Any)
+                {
+                    return Err(AlgebraError::InvalidGroupBy(format!(
+                        "sum over non-numeric column `{}`",
+                        a.input
+                    )));
+                }
+                t
+            }
+        };
+        if a.func == AggFunc::Count || a.func == AggFunc::Min || a.func == AggFunc::Max || a.func == AggFunc::Avg {
+            input.index_of(&a.input)?;
+        }
+        fields.push(Field::new(a.output.clone(), out_type));
+    }
+    let mut schema = Schema::new(fields)?;
+    // The grouping columns are the key of the aggregate output.
+    schema.set_key((0..group_by.len()).collect());
+    Ok(Arc::new(schema))
+}
+
+fn derive_gpivot(input: &Schema, spec: &crate::plan::PivotSpec) -> Result<SchemaRef> {
+    let k_cols = spec.validate(input)?;
+
+    // Pivot applicability (§2.1): (K, A1..Am) must form a key, i.e. the
+    // input key must exist and contain no measure (`on`) column.
+    let key = input.key().ok_or_else(|| AlgebraError::PivotRequiresKey {
+        detail: format!("input schema {input} declares no key"),
+    })?;
+    for &ki in key {
+        let name = &input.fields()[ki].name;
+        if spec.on.contains(name) {
+            return Err(AlgebraError::PivotRequiresKey {
+                detail: format!(
+                    "key column `{name}` is a pivot measure; (K, A1..Am) cannot be a key"
+                ),
+            });
+        }
+    }
+
+    let mut fields = Vec::with_capacity(k_cols.len() + spec.groups.len() * spec.on.len());
+    for k in &k_cols {
+        fields.push(input.field(k)?.clone());
+    }
+    for gi in 0..spec.groups.len() {
+        for (bj, on_col) in spec.on.iter().enumerate() {
+            let t = input.field(on_col)?.data_type;
+            fields.push(Field::new(spec.col_name(gi, bj), t));
+        }
+    }
+    let mut schema = Schema::new(fields)?;
+    // Output key = K (§2.1: "the key for the pivoted output table is K").
+    schema.set_key((0..k_cols.len()).collect());
+    Ok(Arc::new(schema))
+}
+
+fn derive_gunpivot(input: &Schema, spec: &crate::plan::UnpivotSpec) -> Result<SchemaRef> {
+    let k_cols = spec.validate(input)?;
+
+    let mut fields = Vec::with_capacity(
+        k_cols.len() + spec.name_cols.len() + spec.value_cols.len(),
+    );
+    for k in &k_cols {
+        fields.push(input.field(k)?.clone());
+    }
+    // Dimension (name) columns: type inferred from the tag values.
+    for (i, nc) in spec.name_cols.iter().enumerate() {
+        let mut t: Option<DataType> = None;
+        for g in &spec.groups {
+            let vt = value_type(&g.tags[i]);
+            t = Some(match t {
+                None => vt,
+                Some(prev) if prev == vt => prev,
+                Some(_) => DataType::Any,
+            });
+        }
+        fields.push(Field::new(nc.clone(), t.unwrap_or(DataType::Any)));
+    }
+    // Measure (value) columns: unify the source column types.
+    for (j, vc) in spec.value_cols.iter().enumerate() {
+        let mut t: Option<DataType> = None;
+        for g in &spec.groups {
+            let vt = input.field(&g.cols[j])?.data_type;
+            t = Some(match t {
+                None => vt,
+                Some(prev) if prev == vt => prev,
+                Some(_) => DataType::Any,
+            });
+        }
+        fields.push(Field::new(vc.clone(), t.unwrap_or(DataType::Any)));
+    }
+    let mut schema = Schema::new(fields)?;
+    // Output key = (input key within K) + name columns, provided the input
+    // key survives into K.
+    if let Some(key) = input.key() {
+        let key_names: Vec<&str> = key
+            .iter()
+            .map(|&i| input.fields()[i].name.as_str())
+            .collect();
+        if key_names.iter().all(|kn| k_cols.iter().any(|c| c == kn)) {
+            let mut new_key: Vec<usize> = key_names
+                .iter()
+                .map(|kn| k_cols.iter().position(|c| c == kn).expect("checked"))
+                .collect();
+            let name_start = k_cols.len();
+            new_key.extend(name_start..name_start + spec.name_cols.len());
+            schema.set_key(new_key);
+        }
+    }
+    Ok(Arc::new(schema))
+}
+
+fn value_type(v: &Value) -> DataType {
+    match v {
+        Value::Null => DataType::Any,
+        Value::Bool(_) => DataType::Bool,
+        Value::Int(_) => DataType::Int,
+        Value::Float(_) => DataType::Float,
+        Value::Str(_) => DataType::Str,
+        Value::Date(_) => DataType::Date,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{PivotSpec, UnpivotGroup, UnpivotSpec};
+
+    fn provider() -> BTreeMap<String, SchemaRef> {
+        let mut m = BTreeMap::new();
+        m.insert(
+            "iteminfo".to_string(),
+            Arc::new(
+                Schema::from_pairs_keyed(
+                    &[
+                        ("AuctionID", DataType::Int),
+                        ("Attribute", DataType::Str),
+                        ("Value", DataType::Str),
+                    ],
+                    &["AuctionID", "Attribute"],
+                )
+                .unwrap(),
+            ),
+        );
+        m.insert(
+            "product".to_string(),
+            Arc::new(
+                Schema::from_pairs_keyed(
+                    &[("PID", DataType::Int), ("PName", DataType::Str)],
+                    &["PID"],
+                )
+                .unwrap(),
+            ),
+        );
+        m.insert(
+            "sales".to_string(),
+            Arc::new(
+                Schema::from_pairs_keyed(
+                    &[
+                        ("Country", DataType::Str),
+                        ("Manu", DataType::Str),
+                        ("Type", DataType::Str),
+                        ("Price", DataType::Float),
+                        ("Quantity", DataType::Int),
+                    ],
+                    &["Country", "Manu", "Type"],
+                )
+                .unwrap(),
+            ),
+        );
+        m
+    }
+
+    #[test]
+    fn scan_and_select_preserve_schema() {
+        let p = provider();
+        let plan = Plan::scan("iteminfo")
+            .select(Expr::col("Value").eq(Expr::lit("Sony")));
+        let s = plan.schema(&p).unwrap();
+        assert_eq!(s.arity(), 3);
+        assert_eq!(s.key_names().unwrap(), vec!["AuctionID", "Attribute"]);
+    }
+
+    #[test]
+    fn project_keeps_key_when_cols_pass_through() {
+        let p = provider();
+        let plan = Plan::scan("iteminfo").project_cols(&["Attribute", "AuctionID"]);
+        let s = plan.schema(&p).unwrap();
+        // Key survives; names come back in projected field order.
+        assert_eq!(s.key_names().unwrap(), vec!["Attribute", "AuctionID"]);
+    }
+
+    #[test]
+    fn project_drops_key_when_key_col_removed() {
+        let p = provider();
+        let plan = Plan::scan("iteminfo").project_cols(&["AuctionID", "Value"]);
+        let s = plan.schema(&p).unwrap();
+        assert!(!s.has_key());
+    }
+
+    #[test]
+    fn gpivot_schema_and_key() {
+        let p = provider();
+        let spec = PivotSpec::simple(
+            "Attribute",
+            "Value",
+            vec![Value::str("Manufacturer"), Value::str("Type")],
+        );
+        let plan = Plan::scan("iteminfo").gpivot(spec);
+        let s = plan.schema(&p).unwrap();
+        assert_eq!(
+            s.column_names(),
+            vec!["AuctionID", "Manufacturer**Value", "Type**Value"]
+        );
+        assert_eq!(s.key_names().unwrap(), vec!["AuctionID"]);
+    }
+
+    #[test]
+    fn gpivot_requires_key() {
+        let p = {
+            let mut m = BTreeMap::new();
+            m.insert(
+                "nokey".to_string(),
+                Arc::new(
+                    Schema::from_pairs(&[("a", DataType::Str), ("b", DataType::Int)]).unwrap(),
+                ),
+            );
+            m
+        };
+        let plan = Plan::scan("nokey").gpivot(PivotSpec::simple(
+            "a",
+            "b",
+            vec![Value::str("x")],
+        ));
+        assert!(matches!(
+            plan.schema(&p),
+            Err(AlgebraError::PivotRequiresKey { .. })
+        ));
+    }
+
+    #[test]
+    fn gpivot_rejects_measure_in_key() {
+        let mut m = BTreeMap::new();
+        m.insert(
+            "t".to_string(),
+            Arc::new(
+                Schema::from_pairs_keyed(
+                    &[("k", DataType::Int), ("a", DataType::Str), ("b", DataType::Int)],
+                    &["k", "b"],
+                )
+                .unwrap(),
+            ),
+        );
+        let plan = Plan::scan("t").gpivot(PivotSpec::simple("a", "b", vec![Value::str("x")]));
+        assert!(matches!(
+            plan.schema(&m),
+            Err(AlgebraError::PivotRequiresKey { .. })
+        ));
+    }
+
+    #[test]
+    fn join_fk_preserves_left_key() {
+        let p = provider();
+        // iteminfo.AuctionID = product.PID where PID is product's key:
+        // each iteminfo row matches at most one product row.
+        let plan = Plan::scan("iteminfo").join(Plan::scan("product"), vec![("AuctionID", "PID")]);
+        let s = plan.schema(&p).unwrap();
+        assert_eq!(s.key_names().unwrap(), vec!["AuctionID", "Attribute"]);
+    }
+
+    #[test]
+    fn join_general_unions_keys() {
+        let p = provider();
+        // join on non-key right column → union of keys.
+        let plan =
+            Plan::scan("iteminfo").join(Plan::scan("product"), vec![("Value", "PName")]);
+        let s = plan.schema(&p).unwrap();
+        assert_eq!(
+            s.key_names().unwrap(),
+            vec!["AuctionID", "Attribute", "PID"]
+        );
+    }
+
+    #[test]
+    fn join_rejects_ambiguous_columns() {
+        let p = provider();
+        let plan = Plan::scan("iteminfo").join(Plan::scan("iteminfo"), vec![]);
+        assert!(matches!(
+            plan.schema(&p),
+            Err(AlgebraError::AmbiguousColumn(_))
+        ));
+    }
+
+    #[test]
+    fn group_by_key_is_group_cols() {
+        let p = provider();
+        let plan = Plan::scan("sales").group_by(
+            &["Manu", "Type"],
+            vec![AggSpec::sum("Price", "total"), AggSpec::count_star("cnt")],
+        );
+        let s = plan.schema(&p).unwrap();
+        assert_eq!(s.column_names(), vec!["Manu", "Type", "total", "cnt"]);
+        assert_eq!(s.key_names().unwrap(), vec!["Manu", "Type"]);
+        assert_eq!(s.field("cnt").unwrap().data_type, DataType::Int);
+        assert_eq!(s.field("total").unwrap().data_type, DataType::Float);
+    }
+
+    #[test]
+    fn group_by_rejects_sum_over_string() {
+        let p = provider();
+        let plan = Plan::scan("sales").group_by(&["Manu"], vec![AggSpec::sum("Type", "x")]);
+        assert!(plan.schema(&p).is_err());
+    }
+
+    #[test]
+    fn union_loses_key_diff_keeps_it() {
+        let p = provider();
+        let u = Plan::Union {
+            left: Box::new(Plan::scan("sales")),
+            right: Box::new(Plan::scan("sales")),
+        };
+        assert!(!u.schema(&p).unwrap().has_key());
+        let d = Plan::Diff {
+            left: Box::new(Plan::scan("sales")),
+            right: Box::new(Plan::scan("sales")),
+        };
+        assert!(d.schema(&p).unwrap().has_key());
+    }
+
+    #[test]
+    fn gunpivot_schema_and_key() {
+        let p = provider();
+        // Pivot sales then unpivot it back: schema should mirror.
+        let spec = PivotSpec::cross(
+            vec!["Manu", "Type"],
+            vec!["Price", "Quantity"],
+            vec![
+                vec![Value::str("Sony")],
+                vec![Value::str("TV"), Value::str("VCR")],
+            ],
+        );
+        let unspec = UnpivotSpec::reversing(&spec);
+        let plan = Plan::scan("sales").gpivot(spec).gunpivot(unspec);
+        let s = plan.schema(&p).unwrap();
+        assert_eq!(
+            s.column_names(),
+            vec!["Country", "Manu", "Type", "Price", "Quantity"]
+        );
+        assert_eq!(s.key_names().unwrap(), vec!["Country", "Manu", "Type"]);
+    }
+
+    #[test]
+    fn gunpivot_standalone_key() {
+        let mut m = BTreeMap::new();
+        m.insert(
+            "wide".to_string(),
+            Arc::new(
+                Schema::from_pairs_keyed(
+                    &[
+                        ("id", DataType::Int),
+                        ("p1", DataType::Float),
+                        ("p2", DataType::Float),
+                    ],
+                    &["id"],
+                )
+                .unwrap(),
+            ),
+        );
+        let spec = UnpivotSpec::new(
+            vec![
+                UnpivotGroup {
+                    tags: vec![Value::str("p1")],
+                    cols: vec!["p1".into()],
+                },
+                UnpivotGroup {
+                    tags: vec![Value::str("p2")],
+                    cols: vec!["p2".into()],
+                },
+            ],
+            vec!["which"],
+            vec!["price"],
+        );
+        let s = Plan::scan("wide").gunpivot(spec).schema(&m).unwrap();
+        assert_eq!(s.column_names(), vec!["id", "which", "price"]);
+        assert_eq!(s.key_names().unwrap(), vec!["id", "which"]);
+        assert_eq!(s.field("which").unwrap().data_type, DataType::Str);
+        assert_eq!(s.field("price").unwrap().data_type, DataType::Float);
+    }
+
+    #[test]
+    fn union_schema_mismatch_rejected() {
+        let p = provider();
+        let u = Plan::Union {
+            left: Box::new(Plan::scan("sales")),
+            right: Box::new(Plan::scan("product")),
+        };
+        assert!(matches!(
+            u.schema(&p),
+            Err(AlgebraError::SchemaMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,407 @@
+//! SQL rendering of plans — the paper's §7.1 *non-intrusive* realization.
+//!
+//! The paper implements GPIVOT on a stock RDBMS as a GROUP-BY subquery:
+//!
+//! ```sql
+//! SELECT K,
+//!        max(case((A1..Am) = (a¹..), B1, ⊥)) AS "a¹**..**B1", ...
+//! FROM V
+//! WHERE (A1..Am) IN {(a¹..), ...}
+//! GROUP BY K
+//! ```
+//!
+//! [`Plan::to_sql`] renders any plan tree to that dialect (GPIVOT as the
+//! GROUP-BY/CASE subquery, GUNPIVOT as a `UNION ALL` of per-group selects),
+//! so a plan can be inspected, ported to a real DBMS, or diffed against the
+//! paper's formulation. Rendering is one-way: there is no SQL parser.
+
+use crate::aggregate::AggFunc;
+use crate::expr::{BinOp, CmpOp, Expr};
+use crate::plan::{JoinKind, Plan};
+use gpivot_storage::Value;
+use std::fmt::Write as _;
+
+/// Quote an identifier (pivoted column names contain `*`).
+fn ident(name: &str) -> String {
+    if name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+        name.to_string()
+    } else {
+        format!("\"{}\"", name.replace('"', "\"\""))
+    }
+}
+
+/// Render a literal value.
+fn literal(v: &Value) -> String {
+    match v {
+        Value::Null => "NULL".to_string(),
+        Value::Bool(b) => if *b { "TRUE" } else { "FALSE" }.to_string(),
+        Value::Int(i) => i.to_string(),
+        Value::Float(f) => format!("{f:?}"),
+        Value::Str(s) => format!("'{}'", s.replace('\'', "''")),
+        Value::Date(_) => format!("DATE '{v}'"),
+    }
+}
+
+/// Render an expression.
+pub fn expr_to_sql(e: &Expr) -> String {
+    match e {
+        Expr::Col(c) => ident(c),
+        Expr::Lit(v) => literal(v),
+        Expr::Cmp(op, a, b) => {
+            let op = match op {
+                CmpOp::Eq => "=",
+                CmpOp::Ne => "<>",
+                CmpOp::Lt => "<",
+                CmpOp::Le => "<=",
+                CmpOp::Gt => ">",
+                CmpOp::Ge => ">=",
+            };
+            format!("({} {op} {})", expr_to_sql(a), expr_to_sql(b))
+        }
+        Expr::Bin(op, a, b) => {
+            let op = match op {
+                BinOp::Add => "+",
+                BinOp::Sub => "-",
+                BinOp::Mul => "*",
+                BinOp::Div => "/",
+            };
+            format!("({} {op} {})", expr_to_sql(a), expr_to_sql(b))
+        }
+        Expr::And(a, b) => format!("({} AND {})", expr_to_sql(a), expr_to_sql(b)),
+        Expr::Or(a, b) => format!("({} OR {})", expr_to_sql(a), expr_to_sql(b)),
+        Expr::Not(a) => format!("(NOT {})", expr_to_sql(a)),
+        Expr::IsNull(a) => format!("({} IS NULL)", expr_to_sql(a)),
+        Expr::InList(a, vs) => {
+            let items: Vec<String> = vs.iter().map(literal).collect();
+            format!("({} IN ({}))", expr_to_sql(a), items.join(", "))
+        }
+        Expr::Case { branches, otherwise } => {
+            let mut s = String::from("CASE");
+            for (c, v) in branches {
+                let _ = write!(s, " WHEN {} THEN {}", expr_to_sql(c), expr_to_sql(v));
+            }
+            let _ = write!(s, " ELSE {} END", expr_to_sql(otherwise));
+            s
+        }
+    }
+}
+
+fn indent(sql: &str, by: usize) -> String {
+    let pad = " ".repeat(by);
+    sql.lines()
+        .map(|l| format!("{pad}{l}"))
+        .collect::<Vec<_>>()
+        .join("\n")
+}
+
+impl Plan {
+    /// Render the plan as SQL in the paper's §7.1 dialect.
+    ///
+    /// The provider supplies base-table schemas, which the pivot/unpivot
+    /// subqueries need to enumerate their carried (`K`) columns.
+    pub fn to_sql<P: crate::schema_infer::SchemaProvider>(&self, provider: &P) -> crate::error::Result<String> {
+        self.to_sql_inner(provider)
+    }
+
+    fn to_sql_inner<P: crate::schema_infer::SchemaProvider>(
+        &self,
+        provider: &P,
+    ) -> crate::error::Result<String> {
+        Ok(match self {
+            Plan::Scan { table } => format!("SELECT * FROM {}", ident(table)),
+
+            Plan::Select { input, predicate } => {
+                let sub = input.to_sql_inner(provider)?;
+                format!(
+                    "SELECT *\nFROM (\n{}\n) sub\nWHERE {}",
+                    indent(&sub, 2),
+                    expr_to_sql(predicate)
+                )
+            }
+
+            Plan::Project { input, items } => {
+                let sub = input.to_sql_inner(provider)?;
+                let cols: Vec<String> = items
+                    .iter()
+                    .map(|(e, n)| {
+                        let rendered = expr_to_sql(e);
+                        if matches!(e, Expr::Col(c) if c == n) {
+                            rendered
+                        } else {
+                            format!("{rendered} AS {}", ident(n))
+                        }
+                    })
+                    .collect();
+                format!(
+                    "SELECT {}\nFROM (\n{}\n) sub",
+                    cols.join(", "),
+                    indent(&sub, 2)
+                )
+            }
+
+            Plan::Join {
+                left,
+                right,
+                kind,
+                on,
+                residual,
+            } => {
+                let l = left.to_sql_inner(provider)?;
+                let r = right.to_sql_inner(provider)?;
+                let join_kw = match kind {
+                    JoinKind::Inner => "JOIN",
+                    JoinKind::LeftOuter => "LEFT OUTER JOIN",
+                    JoinKind::FullOuter => "FULL OUTER JOIN",
+                };
+                let mut conds: Vec<String> = on
+                    .iter()
+                    .map(|(a, b)| format!("l.{} = r.{}", ident(a), ident(b)))
+                    .collect();
+                if let Some(res) = residual {
+                    conds.push(expr_to_sql(res));
+                }
+                let cond = if conds.is_empty() {
+                    "TRUE".to_string()
+                } else {
+                    conds.join(" AND ")
+                };
+                format!(
+                    "SELECT *\nFROM (\n{}\n) l\n{join_kw} (\n{}\n) r\n  ON {cond}",
+                    indent(&l, 2),
+                    indent(&r, 2)
+                )
+            }
+
+            Plan::GroupBy {
+                input,
+                group_by,
+                aggs,
+            } => {
+                let sub = input.to_sql_inner(provider)?;
+                let mut cols: Vec<String> = group_by.iter().map(|g| ident(g)).collect();
+                for a in aggs {
+                    let rendered = match a.func {
+                        AggFunc::CountStar => "count(*)".to_string(),
+                        f => format!("{f}({})", ident(&a.input)),
+                    };
+                    cols.push(format!("{rendered} AS {}", ident(&a.output)));
+                }
+                let group = if group_by.is_empty() {
+                    String::new()
+                } else {
+                    format!(
+                        "\nGROUP BY {}",
+                        group_by
+                            .iter()
+                            .map(|g| ident(g))
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    )
+                };
+                format!(
+                    "SELECT {}\nFROM (\n{}\n) sub{group}",
+                    cols.join(", "),
+                    indent(&sub, 2)
+                )
+            }
+
+            Plan::Union { left, right } => {
+                format!(
+                    "{}\nUNION ALL\n{}",
+                    left.to_sql_inner(provider)?,
+                    right.to_sql_inner(provider)?
+                )
+            }
+
+            Plan::Diff { left, right } => {
+                format!(
+                    "{}\nEXCEPT ALL\n{}",
+                    left.to_sql_inner(provider)?,
+                    right.to_sql_inner(provider)?
+                )
+            }
+
+            Plan::GPivot { input, spec } => {
+                // The paper's §7.1 GROUP-BY/CASE subquery.
+                let in_schema = input.schema(provider)?;
+                let k_cols = spec.validate(&in_schema)?;
+                let sub = input.to_sql_inner(provider)?;
+                let mut cols: Vec<String> = k_cols.iter().map(|k| ident(k)).collect();
+                for (gi, g) in spec.groups.iter().enumerate() {
+                    let cond: Vec<String> = spec
+                        .by
+                        .iter()
+                        .zip(g)
+                        .map(|(a, v)| format!("{} = {}", ident(a), literal(v)))
+                        .collect();
+                    for (bj, b) in spec.on.iter().enumerate() {
+                        cols.push(format!(
+                            "max(CASE WHEN {} THEN {} ELSE NULL END) AS {}",
+                            cond.join(" AND "),
+                            ident(b),
+                            ident(&spec.col_name(gi, bj))
+                        ));
+                    }
+                }
+                let in_list: Vec<String> = spec
+                    .groups
+                    .iter()
+                    .map(|g| {
+                        let vals: Vec<String> = g.iter().map(literal).collect();
+                        format!("({})", vals.join(", "))
+                    })
+                    .collect();
+                let by_tuple: Vec<String> = spec.by.iter().map(|a| ident(a)).collect();
+                format!(
+                    "SELECT {}\nFROM (\n{}\n) sub\nWHERE ({}) IN ({})\nGROUP BY {}",
+                    cols.join(",\n       "),
+                    indent(&sub, 2),
+                    by_tuple.join(", "),
+                    in_list.join(", "),
+                    k_cols
+                        .iter()
+                        .map(|k| ident(k))
+                        .collect::<Vec<_>>()
+                        .join(", ")
+                )
+            }
+
+            Plan::GUnpivot { input, spec } => {
+                // UNION ALL of one select per group, skipping all-⊥ groups.
+                let in_schema = input.schema(provider)?;
+                let k_cols = spec.validate(&in_schema)?;
+                let sub = input.to_sql_inner(provider)?;
+                let mut branches = Vec::with_capacity(spec.groups.len());
+                for g in &spec.groups {
+                    let mut cols: Vec<String> = k_cols.iter().map(|k| ident(k)).collect();
+                    for (nc, tag) in spec.name_cols.iter().zip(&g.tags) {
+                        cols.push(format!("{} AS {}", literal(tag), ident(nc)));
+                    }
+                    for (vc, src) in spec.value_cols.iter().zip(&g.cols) {
+                        cols.push(format!("{} AS {}", ident(src), ident(vc)));
+                    }
+                    let not_null: Vec<String> = g
+                        .cols
+                        .iter()
+                        .map(|c| format!("{} IS NOT NULL", ident(c)))
+                        .collect();
+                    branches.push(format!(
+                        "SELECT {}\nFROM (\n{}\n) sub\nWHERE {}",
+                        cols.join(", "),
+                        indent(&sub, 2),
+                        not_null.join(" OR ")
+                    ));
+                }
+                branches.join("\nUNION ALL\n")
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::plan::{PivotSpec, UnpivotSpec};
+    use gpivot_storage::{DataType, Schema};
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    fn provider() -> BTreeMap<String, gpivot_storage::SchemaRef> {
+        let mut m = BTreeMap::new();
+        m.insert(
+            "iteminfo".to_string(),
+            Arc::new(
+                Schema::from_pairs_keyed(
+                    &[
+                        ("id", DataType::Int),
+                        ("attr", DataType::Str),
+                        ("val", DataType::Str),
+                    ],
+                    &["id", "attr"],
+                )
+                .unwrap(),
+            ),
+        );
+        m
+    }
+
+    fn fig1_spec() -> PivotSpec {
+        PivotSpec::simple(
+            "attr",
+            "val",
+            vec![Value::str("Manufacturer"), Value::str("Type")],
+        )
+    }
+
+    #[test]
+    fn gpivot_renders_the_papers_subquery() {
+        let p = provider();
+        let sql = Plan::scan("iteminfo")
+            .gpivot(fig1_spec())
+            .to_sql(&p)
+            .unwrap();
+        assert!(sql.contains("max(CASE WHEN attr = 'Manufacturer' THEN val ELSE NULL END)"));
+        assert!(sql.contains("WHERE (attr) IN (('Manufacturer'), ('Type'))"));
+        assert!(sql.contains("GROUP BY id"));
+        assert!(sql.contains("\"Manufacturer**val\""));
+    }
+
+    #[test]
+    fn gunpivot_renders_union_all() {
+        let p = provider();
+        let spec = fig1_spec();
+        let sql = Plan::scan("iteminfo")
+            .gpivot(spec.clone())
+            .gunpivot(UnpivotSpec::reversing(&spec))
+            .to_sql(&p)
+            .unwrap();
+        assert!(sql.contains("UNION ALL"));
+        assert!(sql.contains("'Manufacturer' AS attr"));
+        assert!(sql.contains("IS NOT NULL"));
+    }
+
+    #[test]
+    fn select_and_literals_escape() {
+        let p = provider();
+        let sql = Plan::scan("iteminfo")
+            .select(Expr::col("val").eq(Expr::lit("O'Hara")))
+            .to_sql(&p)
+            .unwrap();
+        assert!(sql.contains("'O''Hara'"));
+    }
+
+    #[test]
+    fn group_by_renders_aggregates() {
+        let p = provider();
+        let sql = Plan::scan("iteminfo")
+            .group_by(
+                &["attr"],
+                vec![
+                    crate::aggregate::AggSpec::count_star("n"),
+                    crate::aggregate::AggSpec::max("val", "m"),
+                ],
+            )
+            .to_sql(&p)
+            .unwrap();
+        assert!(sql.contains("count(*) AS n"));
+        assert!(sql.contains("max(val) AS m"));
+        assert!(sql.contains("GROUP BY attr"));
+    }
+
+    #[test]
+    fn join_renders_on_clause() {
+        let mut p = provider();
+        p.insert(
+            "other".to_string(),
+            Arc::new(
+                Schema::from_pairs_keyed(&[("oid", DataType::Int)], &["oid"]).unwrap(),
+            ),
+        );
+        let sql = Plan::scan("iteminfo")
+            .join(Plan::scan("other"), vec![("id", "oid")])
+            .to_sql(&p)
+            .unwrap();
+        assert!(sql.contains("JOIN"));
+        assert!(sql.contains("l.id = r.oid"));
+    }
+}

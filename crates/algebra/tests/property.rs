@@ -1,0 +1,152 @@
+//! Property-based tests for the algebra layer: the pivoted-column naming
+//! protocol and the three-valued predicate semantics the rewrite rules
+//! depend on.
+
+use gpivot_algebra::{decode_pivot_col, encode_pivot_col, BinOp, CmpOp, Expr};
+use gpivot_storage::{DataType, Row, Schema, Value};
+use proptest::prelude::*;
+
+fn arb_segment() -> impl Strategy<Value = String> {
+    // Segments stressing the escaping: stars, backslashes, unicode.
+    proptest::string::string_regex("[a-z*\\\\⊥]{0,6}").unwrap()
+}
+
+proptest! {
+    #[test]
+    fn pivot_name_roundtrip(
+        tags in prop::collection::vec(arb_segment(), 1..4),
+        measure in "[a-z_]{1,8}",
+    ) {
+        let tag_values: Vec<Value> = tags.iter().map(Value::str).collect();
+        let name = encode_pivot_col(&tag_values, &measure);
+        let (dec_tags, dec_measure) = decode_pivot_col(&name, tags.len())
+            .expect("well-formed name decodes");
+        prop_assert_eq!(dec_tags, tags);
+        prop_assert_eq!(dec_measure, measure);
+    }
+
+    #[test]
+    fn composed_pivot_names_are_associative(
+        outer_tag in arb_segment(),
+        inner_tag in arb_segment(),
+        measure in "[a-z]{1,5}",
+    ) {
+        // encode(o, encode(i, m)) == encode([o, i], m) — the property the
+        // composition rule (Eq. 6) relies on.
+        let inner = encode_pivot_col(&[Value::str(&inner_tag)], &measure);
+        let nested = encode_pivot_col(&[Value::str(&outer_tag)], &inner);
+        let flat = encode_pivot_col(
+            &[Value::str(&outer_tag), Value::str(&inner_tag)],
+            &measure,
+        );
+        prop_assert_eq!(nested, flat);
+    }
+}
+
+// ── three-valued predicate semantics ─────────────────────────────────────
+
+/// Random null-intolerant predicate over columns c0..c2 (comparisons glued
+/// with AND/OR — exactly the class `is_null_intolerant` accepts).
+fn arb_null_intolerant(depth: u32) -> BoxedStrategy<Expr> {
+    let leaf = (0usize..3, -5i64..5, prop_oneof![
+        Just(CmpOp::Eq), Just(CmpOp::Ne), Just(CmpOp::Lt),
+        Just(CmpOp::Le), Just(CmpOp::Gt), Just(CmpOp::Ge)
+    ])
+        .prop_map(|(c, lit, op)| {
+            Expr::Cmp(
+                op,
+                Box::new(Expr::col(format!("c{c}"))),
+                Box::new(Expr::lit(lit)),
+            )
+        })
+        .boxed();
+    if depth == 0 {
+        return leaf;
+    }
+    let sub = arb_null_intolerant(depth - 1);
+    prop_oneof![
+        leaf,
+        (sub.clone(), sub.clone()).prop_map(|(a, b)| a.and(b)),
+        (sub.clone(), sub).prop_map(|(a, b)| a.or(b)),
+    ]
+    .boxed()
+}
+
+fn schema3() -> Schema {
+    Schema::from_pairs(&[
+        ("c0", DataType::Int),
+        ("c1", DataType::Int),
+        ("c2", DataType::Int),
+    ])
+    .unwrap()
+}
+
+proptest! {
+    #[test]
+    fn null_intolerant_predicates_never_hold_on_all_null(p in arb_null_intolerant(3)) {
+        prop_assert!(p.is_null_intolerant());
+        let schema = schema3();
+        let all_null = Row::new(vec![Value::Null, Value::Null, Value::Null]);
+        let bound = p.bind(&schema).unwrap();
+        prop_assert_ne!(bound.eval_predicate(&all_null), Some(true));
+    }
+
+    /// Monotonicity under nulling (the property Fig. 29's delete rule needs):
+    /// if a row fails a null-intolerant predicate, nulling more of its
+    /// columns keeps it failing.
+    #[test]
+    fn nulling_columns_cannot_make_failing_rows_pass(
+        p in arb_null_intolerant(3),
+        vals in prop::collection::vec(prop_oneof![Just(None), (-5i64..5).prop_map(Some)], 3),
+        mask in prop::collection::vec(any::<bool>(), 3),
+    ) {
+        let schema = schema3();
+        let bound = p.bind(&schema).unwrap();
+        let to_value = |v: &Option<i64>| v.map(Value::Int).unwrap_or(Value::Null);
+        let row = Row::new(vals.iter().map(to_value).collect());
+        if bound.eval_predicate(&row) != Some(true) {
+            let nulled = Row::new(
+                vals.iter()
+                    .zip(&mask)
+                    .map(|(v, &m)| if m { Value::Null } else { to_value(v) })
+                    .collect(),
+            );
+            prop_assert_ne!(bound.eval_predicate(&nulled), Some(true));
+        }
+    }
+
+    #[test]
+    fn kleene_and_or_agree_with_reference(
+        a in prop_oneof![Just(None), Just(Some(true)), Just(Some(false))],
+        b in prop_oneof![Just(None), Just(Some(true)), Just(Some(false))],
+    ) {
+        let schema = Schema::from_pairs(&[("x", DataType::Bool), ("y", DataType::Bool)]).unwrap();
+        let to_value = |v: Option<bool>| v.map(Value::Bool).unwrap_or(Value::Null);
+        let row = Row::new(vec![to_value(a), to_value(b)]);
+        let and = Expr::col("x").and(Expr::col("y")).bind(&schema).unwrap();
+        let or = Expr::col("x").or(Expr::col("y")).bind(&schema).unwrap();
+        // Kleene reference.
+        let and_ref = match (a, b) {
+            (Some(false), _) | (_, Some(false)) => Some(false),
+            (Some(true), Some(true)) => Some(true),
+            _ => None,
+        };
+        let or_ref = match (a, b) {
+            (Some(true), _) | (_, Some(true)) => Some(true),
+            (Some(false), Some(false)) => Some(false),
+            _ => None,
+        };
+        prop_assert_eq!(and.eval_predicate(&row), and_ref);
+        prop_assert_eq!(or.eval_predicate(&row), or_ref);
+    }
+
+    #[test]
+    fn arithmetic_absorbs_null(op in prop_oneof![
+        Just(BinOp::Add), Just(BinOp::Sub), Just(BinOp::Mul), Just(BinOp::Div)
+    ], v in -10i64..10) {
+        let schema = Schema::from_pairs(&[("x", DataType::Int)]).unwrap();
+        let e = Expr::Bin(op, Box::new(Expr::col("x")), Box::new(Expr::lit(v)));
+        let bound = e.bind(&schema).unwrap();
+        prop_assert!(bound.eval(&Row::new(vec![Value::Null])).is_null());
+    }
+}

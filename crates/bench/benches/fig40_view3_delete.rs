@@ -1,0 +1,8 @@
+//! Criterion bench regenerating Figure 40 of the paper.
+//! See `gpivot_bench::figure_specs` for the figure's view, workload and
+//! strategy set; run `cargo run -p gpivot-bench --bin figures -- 40`
+//! for the paper-style printed series.
+
+fn main() {
+    gpivot_bench::criterion_common::run_figure_bench(40);
+}

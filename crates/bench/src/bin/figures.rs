@@ -1,0 +1,129 @@
+//! Regenerate the paper's evaluation figures (§7) as printed series.
+//!
+//! ```text
+//! figures [FIG ...] [--scale SF] [--repeats N] [--verify] [--csv]
+//!
+//!   FIG        figure number(s): 33 34 35 37 38 40 41 (default: all)
+//!   --scale    generator scale factor (default 1.0 ≈ 15k orders)
+//!   --repeats  timed runs per cell, median reported (default 3)
+//!   --verify   additionally check every strategy against recomputation
+//!   --csv      emit CSV rows instead of the paper-style tables
+//! ```
+
+use gpivot_bench::{
+    bench_catalog, figure_specs, render_csv, render_table, run_figure, PreparedView,
+    DEFAULT_SCALE, FRACTIONS,
+};
+use gpivot_core::Strategy;
+
+fn main() {
+    let mut figures: Vec<u32> = Vec::new();
+    let mut scale = DEFAULT_SCALE;
+    let mut repeats = 3usize;
+    let mut verify = false;
+    let mut csv = false;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--scale" => {
+                scale = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--scale needs a number"));
+            }
+            "--repeats" => {
+                repeats = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--repeats needs an integer"));
+            }
+            "--verify" => verify = true,
+            "--csv" => csv = true,
+            "--help" | "-h" => {
+                println!(
+                    "usage: figures [FIG ...] [--scale SF] [--repeats N] [--verify] [--csv]"
+                );
+                return;
+            }
+            other => match other.parse::<u32>() {
+                Ok(f) => figures.push(f),
+                Err(_) => die(&format!("unknown argument `{other}`")),
+            },
+        }
+    }
+
+    let specs = figure_specs();
+    let selected: Vec<_> = specs
+        .iter()
+        .filter(|s| figures.is_empty() || figures.contains(&s.figure))
+        .collect();
+    if selected.is_empty() {
+        die("no matching figures; valid: 33 34 35 37 38 40 41");
+    }
+
+    eprintln!("generating TPC-H-shaped data at scale {scale} ...");
+    let catalog = bench_catalog(scale);
+    eprintln!(
+        "  lineitem: {} rows, orders: {} rows, customer: {} rows",
+        catalog.table("lineitem").map(|t| t.len()).unwrap_or(0),
+        catalog.table("orders").map(|t| t.len()).unwrap_or(0),
+        catalog.table("customer").map(|t| t.len()).unwrap_or(0),
+    );
+
+    for spec in selected {
+        eprintln!("running figure {} ({} strategies × {} fractions, {} repeats) ...",
+            spec.figure, spec.strategies.len(), FRACTIONS.len(), repeats);
+        let measurements = run_figure(spec, &catalog, &FRACTIONS, repeats)
+            .unwrap_or_else(|e| die(&format!("figure {}: {e}", spec.figure)));
+        if csv {
+            print!("{}", render_csv(spec, &measurements));
+        } else {
+            println!("{}", render_table(spec, &measurements));
+        }
+
+        if verify {
+            verify_figure(spec, &catalog);
+        }
+    }
+}
+
+fn verify_figure(spec: &gpivot_bench::FigureSpec, catalog: &gpivot_storage::Catalog) {
+    for &strategy in spec.strategies {
+        let deltas = spec.workload.deltas(catalog, 0.01, 99);
+        let prepared = PreparedView::new(catalog.clone(), (spec.view)(), strategy)
+            .unwrap_or_else(|e| die(&format!("prepare {strategy}: {e}")));
+        let refreshed = prepared
+            .run(&deltas)
+            .unwrap_or_else(|e| die(&format!("refresh {strategy}: {e}")));
+        // Compare against recomputation on the post-state.
+        let recompute = PreparedView::new(catalog.clone(), (spec.view)(), strategy)
+            .expect("prepare recompute");
+        let _ = recompute;
+        let mut post = catalog.clone();
+        for t in deltas.tables() {
+            post.apply_delta(t, deltas.delta(t).unwrap()).unwrap();
+        }
+        let fresh = gpivot_exec::Executor::execute(
+            &refreshed_plan(&refreshed),
+            &post,
+        )
+        .unwrap();
+        assert!(
+            refreshed.table().bag_eq(&fresh),
+            "figure {} strategy {strategy} diverged",
+            spec.figure
+        );
+        eprintln!("  verified: {strategy}");
+    }
+    let _ = Strategy::ALL;
+}
+
+fn refreshed_plan(view: &gpivot_core::maintain::view::MaterializedView) -> gpivot_algebra::Plan {
+    view.normalized().plan.clone()
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1)
+}

@@ -1,0 +1,56 @@
+//! Criterion glue shared by the per-figure bench targets.
+//!
+//! Each paper figure becomes one Criterion benchmark group; within it,
+//! every (strategy, delta-fraction) cell is one benchmark. Compilation and
+//! initial materialization happen once per strategy outside the measured
+//! loop; each sample refreshes a fresh clone of the materialized view, so
+//! samples are independent.
+
+use crate::{FigureSpec, PreparedView, Workload};
+use criterion::{BenchmarkId, Criterion};
+use gpivot_storage::Catalog;
+
+/// Delta fractions benchmarked per figure (a subset of the full sweep to
+/// keep Criterion runtimes reasonable).
+pub const BENCH_FRACTIONS: [f64; 3] = [0.005, 0.01, 0.05];
+
+/// Scale factor for Criterion runs.
+pub const BENCH_SCALE: f64 = 0.5;
+
+/// Register one figure's benchmarks.
+pub fn bench_figure(c: &mut Criterion, spec: &FigureSpec, catalog: &Catalog) {
+    let mut group = c.benchmark_group(format!("fig{}", spec.figure));
+    group.sample_size(10);
+    for &strategy in spec.strategies {
+        let prepared = PreparedView::new(catalog.clone(), (spec.view)(), strategy)
+            .expect("strategy applicable to this figure's view");
+        for &fraction in &BENCH_FRACTIONS {
+            let deltas = spec.workload.deltas(catalog, fraction, 0xBE * spec.figure as u64);
+            group.bench_with_input(
+                BenchmarkId::new(strategy.id(), format!("{:.1}%", fraction * 100.0)),
+                &deltas,
+                |b, deltas| {
+                    b.iter(|| prepared.timed_run(deltas).expect("maintenance succeeds"));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+/// Entry point used by each per-figure bench target.
+pub fn run_figure_bench(figure: u32) {
+    let mut criterion = Criterion::default().configure_from_args();
+    let catalog = crate::bench_catalog(BENCH_SCALE);
+    let specs = crate::figure_specs();
+    let spec = specs
+        .iter()
+        .find(|s| s.figure == figure)
+        .expect("known figure");
+    bench_figure(&mut criterion, spec, &catalog);
+    criterion.final_summary();
+}
+
+// (Workload is re-exported from the crate root for the ablation bench.)
+#[allow(unused_imports)]
+use Workload as _;

@@ -1,0 +1,351 @@
+//! Multicolumn pivot (Eq. 5): merge two pivots of the same input that pivot
+//! *different measure sets* by the *same dimensions*.
+//!
+//! The paper writes the un-combined form as a natural join on `K`:
+//!
+//! ```text
+//! GPIVOT[G][A on B1..Bj](π_{K,A,B1..Bj} V) ⋈_K GPIVOT[G][A on Bj+1..Bn](π_{K,A,Bj+1..Bn} V)
+//!   =  GPIVOT[G][A on B1..Bn](V)
+//! ```
+//!
+//! Our algebra requires join sides to have disjoint column names, so the
+//! canonical un-combined plan (built by [`multicolumn_join_plan`], and what
+//! a frontend would generate for "pivot two measure groups then join")
+//! renames the right side's `K` columns and drops them again on top.
+//! [`try_multicolumn`] recognizes exactly that canonical shape and rewrites
+//! it to the single combined GPIVOT (plus a column-permutation `Project`,
+//! since the joined form lists all of pivot 1's cells before pivot 2's
+//! while the combined pivot interleaves measures group-major).
+
+use crate::error::{CoreError, Result};
+use gpivot_algebra::plan::{JoinKind, PivotSpec, Plan};
+use gpivot_algebra::Expr;
+
+const RULE: &str = "combine-multicolumn (Eq. 5)";
+
+/// Prefix used to rename the right side's `K` columns in the canonical
+/// un-combined form.
+const RIGHT_PREFIX: &str = "__mc_r_";
+
+/// Combine two pivot specs under the multicolumn rule: same dimensions and
+/// output groups, disjoint measure lists.
+pub fn combine_multicolumn_specs(s1: &PivotSpec, s2: &PivotSpec) -> Result<PivotSpec> {
+    if s1.by != s2.by {
+        return Err(CoreError::RuleNotApplicable {
+            rule: RULE,
+            reason: format!("dimension lists differ: {:?} vs {:?}", s1.by, s2.by),
+        });
+    }
+    if s1.groups != s2.groups {
+        return Err(CoreError::RuleNotApplicable {
+            rule: RULE,
+            reason: "output groups differ".to_string(),
+        });
+    }
+    if s1.on.iter().any(|c| s2.on.contains(c)) {
+        return Err(CoreError::RuleNotApplicable {
+            rule: RULE,
+            reason: "measure lists overlap".to_string(),
+        });
+    }
+    let mut on = s1.on.clone();
+    on.extend(s2.on.iter().cloned());
+    Ok(PivotSpec {
+        by: s1.by.clone(),
+        on,
+        groups: s1.groups.clone(),
+    })
+}
+
+/// Build the canonical *un-combined* plan of Eq. 5's left side: pivot `on1`
+/// and `on2` separately over `input`, join on `K`, and drop the duplicated
+/// key columns. `k_cols` are the carried-through columns.
+pub fn multicolumn_join_plan(
+    input: Plan,
+    k_cols: &[&str],
+    by: &[&str],
+    groups: Vec<Vec<gpivot_storage::Value>>,
+    on1: &[&str],
+    on2: &[&str],
+) -> Plan {
+    let s1 = PivotSpec::new(by.to_vec(), on1.to_vec(), groups.clone());
+    let s2 = PivotSpec::new(by.to_vec(), on2.to_vec(), groups);
+
+    let mut proj1: Vec<&str> = k_cols.to_vec();
+    proj1.extend_from_slice(by);
+    proj1.extend_from_slice(on1);
+    let mut proj2: Vec<&str> = k_cols.to_vec();
+    proj2.extend_from_slice(by);
+    proj2.extend_from_slice(on2);
+
+    let left = input.clone().project_cols(&proj1).gpivot(s1.clone());
+    let right_pivot = input.project_cols(&proj2).gpivot(s2.clone());
+
+    // Rename right K columns to avoid ambiguity.
+    let mut rename_items: Vec<(Expr, String)> = k_cols
+        .iter()
+        .map(|k| (Expr::col(*k), format!("{RIGHT_PREFIX}{k}")))
+        .collect();
+    for name in s2.output_col_names() {
+        rename_items.push((Expr::col(&name), name.clone()));
+    }
+    let right = right_pivot.project(rename_items);
+
+    let on_pairs: Vec<(String, String)> = k_cols
+        .iter()
+        .map(|k| ((*k).to_string(), format!("{RIGHT_PREFIX}{k}")))
+        .collect();
+    let joined = Plan::Join {
+        left: Box::new(left),
+        right: Box::new(right),
+        kind: JoinKind::Inner,
+        on: on_pairs,
+        residual: None,
+    };
+
+    // Final projection: K, pivot-1 cells, pivot-2 cells.
+    let mut keep: Vec<&str> = k_cols.to_vec();
+    let cells1 = s1.output_col_names();
+    let cells2 = s2.output_col_names();
+    let keep_owned: Vec<String> = keep
+        .drain(..)
+        .map(str::to_string)
+        .chain(cells1)
+        .chain(cells2)
+        .collect();
+    joined.project(
+        keep_owned
+            .iter()
+            .map(|c| (Expr::col(c), c.clone()))
+            .collect(),
+    )
+}
+
+/// Recognize the canonical un-combined multicolumn shape and rewrite it to
+/// a single combined GPIVOT (wrapped in the order-restoring `Project`).
+///
+/// Matches both the full canonical form (`Project` over the K-join of the
+/// two pivots) and the bare join itself — the latter so a bottom-up driver
+/// can combine before any other join rule fires. In the bare-join case the
+/// renamed right-side key columns are reconstructed by duplication (they
+/// equal the left keys by the join condition).
+pub fn try_multicolumn(plan: &Plan) -> Result<Plan> {
+    let not_applicable = |reason: String| CoreError::RuleNotApplicable { rule: RULE, reason };
+
+    // Accept Project(join-pattern) or the bare join-pattern.
+    let (join, top_items): (&Plan, Option<&Vec<(Expr, String)>>) = match plan {
+        Plan::Project { input, items } => (input.as_ref(), Some(items)),
+        join @ Plan::Join { .. } => (join, None),
+        other => {
+            return Err(not_applicable(format!(
+                "top operator is {}, not the canonical Project or Join",
+                other.op_name()
+            )))
+        }
+    };
+    let Plan::Join {
+        left,
+        right,
+        kind: JoinKind::Inner,
+        on,
+        residual: None,
+    } = join
+    else {
+        return Err(not_applicable("no inner equi-join in the pattern".into()));
+    };
+    let Plan::GPivot { input: left_in, spec: s1 } = left.as_ref() else {
+        return Err(not_applicable("left join side is not a GPivot".into()));
+    };
+    let Plan::Project { input: right_mid, items: rename_items } = right.as_ref() else {
+        return Err(not_applicable("right join side is not a rename Project".into()));
+    };
+    let Plan::GPivot { input: right_in, spec: s2 } = right_mid.as_ref() else {
+        return Err(not_applicable("right join side is not a renamed GPivot".into()));
+    };
+
+    // The two pivot inputs must be projections of the same base plan.
+    let base = match (left_in.as_ref(), right_in.as_ref()) {
+        (
+            Plan::Project { input: b1, items: i1 },
+            Plan::Project { input: b2, items: i2 },
+        ) if b1 == b2 => {
+            // Both must be pure column projections.
+            let pure = |items: &[(Expr, String)]| {
+                items
+                    .iter()
+                    .all(|(e, n)| matches!(e, Expr::Col(c) if c == n))
+            };
+            if !pure(i1) || !pure(i2) {
+                return Err(not_applicable("pivot inputs are not pure projections".into()));
+            }
+            b1.as_ref().clone()
+        }
+        (a, b) if a == b => left_in.as_ref().clone(),
+        _ => {
+            return Err(not_applicable(
+                "the two pivots do not read the same input".into(),
+            ))
+        }
+    };
+
+    // Join must be on the K columns against their renamed twins.
+    for (l, r) in on {
+        if r != &format!("{RIGHT_PREFIX}{l}") {
+            return Err(not_applicable(format!(
+                "join pair ({l}, {r}) is not a K-to-renamed-K pair"
+            )));
+        }
+    }
+    // The rename project must be exactly renamed-K + pivot-2 cells.
+    let cells2 = s2.output_col_names();
+    for (e, n) in rename_items {
+        let ok = match e {
+            Expr::Col(c) if n.starts_with(RIGHT_PREFIX) => on
+                .iter()
+                .any(|(l, r)| r == n && l == c),
+            Expr::Col(c) => c == n && cells2.contains(n),
+            _ => false,
+        };
+        if !ok {
+            return Err(not_applicable(format!(
+                "unexpected rename item `{n}` on the right side"
+            )));
+        }
+    }
+
+    let combined = combine_multicolumn_specs(s1, s2)?;
+
+    // Project the base down to K ∪ by ∪ on, matching Eq. 5's right side; K
+    // columns are the join's left columns.
+    let k_cols: Vec<String> = on.iter().map(|(l, _)| l.clone()).collect();
+    let mut proj: Vec<String> = k_cols.clone();
+    proj.extend(combined.by.iter().cloned());
+    proj.extend(combined.on.iter().cloned());
+    let pivot = base
+        .project(proj.iter().map(|c| (Expr::col(c), c.clone())).collect())
+        .gpivot(combined);
+
+    match top_items {
+        // Restore the original output order with the existing top projection
+        // (its names all exist in the combined pivot's output).
+        Some(items) => Ok(pivot.project(items.clone())),
+        // Bare-join match: reproduce the join's output schema, duplicating
+        // the left keys under their renamed right-side names (equal by the
+        // join condition).
+        None => {
+            let mut items: Vec<(Expr, String)> = k_cols
+                .iter()
+                .map(|k| (Expr::col(k), k.clone()))
+                .collect();
+            for c in s1.output_col_names() {
+                items.push((Expr::col(&c), c.clone()));
+            }
+            for (l, r) in on {
+                items.push((Expr::col(l), r.clone()));
+            }
+            for c in s2.output_col_names() {
+                items.push((Expr::col(&c), c.clone()));
+            }
+            Ok(pivot.project(items))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpivot_exec::Executor;
+    use gpivot_storage::{row, Catalog, DataType, Schema, Table, Value};
+    use std::sync::Arc;
+
+    /// The Figure 2 lower half: payment rows pivoted by payment type over
+    /// two measures (here Price and Fee).
+    fn catalog() -> Catalog {
+        let schema = Arc::new(
+            Schema::from_pairs_keyed(
+                &[
+                    ("ID", DataType::Int),
+                    ("Payment", DataType::Str),
+                    ("Price", DataType::Int),
+                    ("Fee", DataType::Int),
+                ],
+                &["ID", "Payment"],
+            )
+            .unwrap(),
+        );
+        let t = Table::from_rows(
+            schema,
+            vec![
+                row![1, "Credit", 180, 2],
+                row![1, "ByAir", 20, 5],
+                row![2, "Credit", 300, 3],
+                row![3, "ByAir", 50, 1],
+            ],
+        )
+        .unwrap();
+        let mut c = Catalog::new();
+        c.register("payment", t).unwrap();
+        c
+    }
+
+    fn groups() -> Vec<Vec<Value>> {
+        vec![vec![Value::str("Credit")], vec![Value::str("ByAir")]]
+    }
+
+    #[test]
+    fn spec_combination_concatenates_measures() {
+        let s1 = PivotSpec::new(vec!["Payment"], vec!["Price"], groups());
+        let s2 = PivotSpec::new(vec!["Payment"], vec!["Fee"], groups());
+        let c = combine_multicolumn_specs(&s1, &s2).unwrap();
+        assert_eq!(c.on, vec!["Price", "Fee"]);
+        assert_eq!(
+            c.output_col_names(),
+            vec![
+                "Credit**Price",
+                "Credit**Fee",
+                "ByAir**Price",
+                "ByAir**Fee"
+            ]
+        );
+    }
+
+    #[test]
+    fn spec_combination_rejects_mismatched_dims() {
+        let s1 = PivotSpec::new(vec!["Payment"], vec!["Price"], groups());
+        let s2 = PivotSpec::new(vec!["Other"], vec!["Fee"], groups());
+        assert!(combine_multicolumn_specs(&s1, &s2).is_err());
+    }
+
+    #[test]
+    fn spec_combination_rejects_overlapping_measures() {
+        let s1 = PivotSpec::new(vec!["Payment"], vec!["Price"], groups());
+        assert!(combine_multicolumn_specs(&s1, &s1).is_err());
+    }
+
+    #[test]
+    fn joined_form_equals_combined_form() {
+        let c = catalog();
+        let joined = multicolumn_join_plan(
+            Plan::scan("payment"),
+            &["ID"],
+            &["Payment"],
+            groups(),
+            &["Price"],
+            &["Fee"],
+        );
+        assert_eq!(joined.pivot_count(), 2);
+        let combined = try_multicolumn(&joined).unwrap();
+        assert_eq!(combined.pivot_count(), 1);
+        let a = Executor::execute(&joined, &c).unwrap();
+        let b = Executor::execute(&combined, &c).unwrap();
+        assert_eq!(a.schema().column_names(), b.schema().column_names());
+        assert!(a.bag_eq(&b));
+    }
+
+    #[test]
+    fn rule_rejects_plain_plans() {
+        assert!(try_multicolumn(&Plan::scan("payment")).is_err());
+        let p = Plan::scan("payment").project_cols(&["ID"]);
+        assert!(try_multicolumn(&p).is_err());
+    }
+}

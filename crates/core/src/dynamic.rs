@@ -1,0 +1,326 @@
+//! Dynamic (data-driven) pivot specs — the paper's *high-order pivot*
+//! future-work item (§9, discussing SchemaSQL's FOLD/UNFOLD \[14\]).
+//!
+//! A first-order GPIVOT fixes its output parameters in the query. The
+//! high-order variant derives them from the data: "one column per distinct
+//! dimension value currently present". This module provides:
+//!
+//! * [`discover_groups`] / [`discover_pivot_spec`] — compute the output
+//!   parameters from the current table state (SchemaSQL's dynamic column
+//!   set, ordered deterministically);
+//! * [`DynamicPivotView`] — a materialized dynamic pivot that maintains
+//!   itself incrementally with the Fig. 23 update rules *as long as the
+//!   delta stays within the discovered dimension values*, and detects when
+//!   a delta introduces (or retires) dimension values, at which point the
+//!   view **re-compiles**: the spec is re-discovered and the view
+//!   re-materialized (a schema change, which no incremental rule can
+//!   express — the paper's \[13\] hits the same wall).
+
+use crate::error::{CoreError, Result};
+use crate::maintain::apply::{apply_pivot_update, ApplyStats};
+use crate::maintain::delta_prop::{propagate, PropagationCtx};
+use crate::maintain::SourceDeltas;
+use gpivot_algebra::{PivotSpec, Plan};
+use gpivot_exec::{Executor, TableProvider};
+use gpivot_storage::{Catalog, Row, Table, Value};
+use std::collections::BTreeSet;
+
+/// Distinct dimension-value tuples of `by` columns present in a table,
+/// in sorted (deterministic) order.
+pub fn discover_groups(table: &Table, by: &[&str]) -> Result<Vec<Vec<Value>>> {
+    let idx: Vec<usize> = by
+        .iter()
+        .map(|c| table.schema().index_of(c))
+        .collect::<gpivot_storage::Result<_>>()?;
+    let mut set: BTreeSet<Row> = BTreeSet::new();
+    for row in table.iter() {
+        let tags = row.project(&idx);
+        if tags.iter().any(Value::is_null) {
+            continue; // NULL dimension values cannot become column names
+        }
+        set.insert(tags);
+    }
+    Ok(set.into_iter().map(|r| r.to_vec()).collect())
+}
+
+/// Build a pivot spec whose output parameters are discovered from the
+/// current contents of `table`.
+pub fn discover_pivot_spec(
+    table: &Table,
+    by: &[&str],
+    on: &[&str],
+) -> Result<PivotSpec> {
+    let groups = discover_groups(table, by)?;
+    if groups.is_empty() {
+        return Err(CoreError::NotMaintainable(
+            "dynamic pivot over an empty dimension domain".to_string(),
+        ));
+    }
+    Ok(PivotSpec::new(by.to_vec(), on.to_vec(), groups))
+}
+
+/// Outcome of one dynamic-pivot refresh.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DynamicRefresh {
+    /// The delta stayed within the known dimension values; the view was
+    /// maintained incrementally (Fig. 23).
+    Incremental(ApplyStats),
+    /// The delta introduced or retired dimension values; the spec was
+    /// re-discovered and the view re-materialized with a new schema.
+    Recompiled { new_groups: usize },
+}
+
+/// A materialized dynamic pivot over a single base table.
+#[derive(Debug, Clone)]
+pub struct DynamicPivotView {
+    table_name: String,
+    by: Vec<String>,
+    on: Vec<String>,
+    spec: PivotSpec,
+    mv: Table,
+}
+
+impl DynamicPivotView {
+    /// Discover the spec from the current state and materialize.
+    pub fn create(
+        catalog: &Catalog,
+        table_name: impl Into<String>,
+        by: &[&str],
+        on: &[&str],
+    ) -> Result<Self> {
+        let table_name = table_name.into();
+        let base = catalog.table(&table_name)?;
+        let spec = discover_pivot_spec(base, by, on)?;
+        let mv = Self::materialize(catalog, &table_name, &spec)?;
+        Ok(DynamicPivotView {
+            table_name,
+            by: by.iter().map(|s| s.to_string()).collect(),
+            on: on.iter().map(|s| s.to_string()).collect(),
+            spec,
+            mv,
+        })
+    }
+
+    fn plan(table_name: &str, spec: &PivotSpec) -> Plan {
+        Plan::scan(table_name).gpivot(spec.clone())
+    }
+
+    fn materialize(catalog: &Catalog, table_name: &str, spec: &PivotSpec) -> Result<Table> {
+        let bag = Executor::execute(&Self::plan(table_name, spec), catalog)?;
+        Ok(Table::from_rows(bag.schema().clone(), bag.rows().to_vec())?)
+    }
+
+    /// The current pivot spec (output parameters included).
+    pub fn spec(&self) -> &PivotSpec {
+        &self.spec
+    }
+
+    /// The materialized contents.
+    pub fn table(&self) -> &Table {
+        &self.mv
+    }
+
+    /// Does this delta stay within the discovered dimension values, and
+    /// does it leave every discovered value alive?
+    fn delta_within_domain(&self, catalog: &Catalog, deltas: &SourceDeltas) -> Result<bool> {
+        let Some(delta) = deltas.delta(&self.table_name) else {
+            return Ok(true);
+        };
+        let base = catalog.table(&self.table_name)?;
+        let by_idx: Vec<usize> = self
+            .by
+            .iter()
+            .map(|c| base.schema().index_of(c))
+            .collect::<gpivot_storage::Result<_>>()?;
+        // New dimension values from inserts?
+        for (row, &w) in delta.iter() {
+            if w > 0 {
+                let tags = row.project(&by_idx);
+                if tags.iter().any(Value::is_null) {
+                    continue;
+                }
+                if self.spec.group_index(tags.values()).is_none() {
+                    return Ok(false);
+                }
+            }
+        }
+        // Retired dimension values from deletes? Check survivor counts per
+        // group touched by deletes.
+        let touched: BTreeSet<Row> = delta
+            .iter()
+            .filter(|(_, &w)| w < 0)
+            .map(|(r, _)| r.project(&by_idx))
+            .collect();
+        if touched.is_empty() {
+            return Ok(true);
+        }
+        for tags in touched {
+            let mut survivors: i64 = base
+                .iter()
+                .filter(|r| r.project(&by_idx) == tags)
+                .count() as i64;
+            for (row, &w) in delta.iter() {
+                if row.project(&by_idx) == tags {
+                    survivors += w;
+                }
+            }
+            if survivors <= 0 {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Refresh against pending deltas: incremental while the dimension
+    /// domain is stable, recompile otherwise. Call before committing the
+    /// deltas to the catalog; pass the catalog in its pre-update state.
+    pub fn refresh(
+        &mut self,
+        catalog: &Catalog,
+        deltas: &SourceDeltas,
+    ) -> Result<DynamicRefresh> {
+        if self.delta_within_domain(catalog, deltas)? {
+            let ctx = PropagationCtx::new(catalog, deltas);
+            let core = Plan::scan(&self.table_name);
+            let dcore = propagate(&core, &ctx)?;
+            let core_schema = catalog.table(&self.table_name)?.schema().clone();
+            let stats = apply_pivot_update(&mut self.mv, &self.spec, &core_schema, &dcore)?;
+            Ok(DynamicRefresh::Incremental(stats))
+        } else {
+            // Schema change: re-discover against the post-state.
+            let mut post = catalog.clone();
+            if let Some(d) = deltas.delta(&self.table_name) {
+                post.apply_delta(&self.table_name, d)?;
+            }
+            let base = post.table(&self.table_name)?;
+            let by_refs: Vec<&str> = self.by.iter().map(String::as_str).collect();
+            let on_refs: Vec<&str> = self.on.iter().map(String::as_str).collect();
+            self.spec = discover_pivot_spec(base, &by_refs, &on_refs)?;
+            self.mv = Self::materialize(&post, &self.table_name, &self.spec)?;
+            Ok(DynamicRefresh::Recompiled {
+                new_groups: self.spec.groups.len(),
+            })
+        }
+    }
+
+    /// Verify against recomputation (testing aid). The catalog must hold
+    /// the state the view was last refreshed against.
+    pub fn verify(&self, catalog: &Catalog) -> Result<bool> {
+        let fresh = Executor::execute(&Self::plan(&self.table_name, &self.spec), catalog)?;
+        Ok(self.mv.bag_eq(&fresh))
+    }
+}
+
+// Silence: TableProvider is used via Executor::execute's bound.
+#[allow(unused_imports)]
+use TableProvider as _;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpivot_storage::{row, DataType, Schema};
+    use std::sync::Arc;
+
+    fn catalog() -> Catalog {
+        let schema = Arc::new(
+            Schema::from_pairs_keyed(
+                &[
+                    ("id", DataType::Int),
+                    ("attr", DataType::Str),
+                    ("val", DataType::Int),
+                ],
+                &["id", "attr"],
+            )
+            .unwrap(),
+        );
+        let t = Table::from_rows(
+            schema,
+            vec![
+                row![1, "a", 10],
+                row![1, "b", 20],
+                row![2, "a", 30],
+            ],
+        )
+        .unwrap();
+        let mut c = Catalog::new();
+        c.register("facts", t).unwrap();
+        c
+    }
+
+    #[test]
+    fn discovery_finds_sorted_distinct_groups() {
+        let c = catalog();
+        let spec = discover_pivot_spec(c.table("facts").unwrap(), &["attr"], &["val"]).unwrap();
+        assert_eq!(
+            spec.groups,
+            vec![vec![Value::str("a")], vec![Value::str("b")]]
+        );
+        assert_eq!(spec.output_col_names(), vec!["a**val", "b**val"]);
+    }
+
+    #[test]
+    fn in_domain_delta_maintains_incrementally() {
+        let c = catalog();
+        let mut v = DynamicPivotView::create(&c, "facts", &["attr"], &["val"]).unwrap();
+        let mut deltas = SourceDeltas::new();
+        deltas.insert_rows("facts", vec![row![2, "b", 99]]);
+        let r = v.refresh(&c, &deltas).unwrap();
+        assert!(matches!(r, DynamicRefresh::Incremental(_)));
+        let mut post = c.clone();
+        post.apply_delta("facts", deltas.delta("facts").unwrap()).unwrap();
+        assert!(v.verify(&post).unwrap());
+    }
+
+    #[test]
+    fn new_dimension_value_triggers_recompile() {
+        let c = catalog();
+        let mut v = DynamicPivotView::create(&c, "facts", &["attr"], &["val"]).unwrap();
+        assert_eq!(v.spec().groups.len(), 2);
+        let mut deltas = SourceDeltas::new();
+        deltas.insert_rows("facts", vec![row![3, "z", 7]]);
+        let r = v.refresh(&c, &deltas).unwrap();
+        assert_eq!(r, DynamicRefresh::Recompiled { new_groups: 3 });
+        assert!(v.table().schema().index_of("z**val").is_ok());
+        let mut post = c.clone();
+        post.apply_delta("facts", deltas.delta("facts").unwrap()).unwrap();
+        assert!(v.verify(&post).unwrap());
+    }
+
+    #[test]
+    fn retiring_a_dimension_value_triggers_recompile() {
+        let c = catalog();
+        let mut v = DynamicPivotView::create(&c, "facts", &["attr"], &["val"]).unwrap();
+        let mut deltas = SourceDeltas::new();
+        deltas.delete_rows("facts", vec![row![1, "b", 20]]); // only 'b' row
+        let r = v.refresh(&c, &deltas).unwrap();
+        assert_eq!(r, DynamicRefresh::Recompiled { new_groups: 1 });
+        assert!(v.table().schema().index_of("b**val").is_err());
+    }
+
+    #[test]
+    fn delete_that_keeps_domain_is_incremental() {
+        let c = catalog();
+        let mut v = DynamicPivotView::create(&c, "facts", &["attr"], &["val"]).unwrap();
+        let mut deltas = SourceDeltas::new();
+        deltas.delete_rows("facts", vec![row![1, "a", 10]]); // 'a' survives via id 2
+        let r = v.refresh(&c, &deltas).unwrap();
+        assert!(matches!(r, DynamicRefresh::Incremental(_)));
+        let mut post = c.clone();
+        post.apply_delta("facts", deltas.delta("facts").unwrap()).unwrap();
+        assert!(v.verify(&post).unwrap());
+    }
+
+    #[test]
+    fn empty_domain_is_rejected() {
+        let schema = Arc::new(
+            Schema::from_pairs_keyed(
+                &[("id", DataType::Int), ("attr", DataType::Str), ("val", DataType::Int)],
+                &["id", "attr"],
+            )
+            .unwrap(),
+        );
+        let mut c = Catalog::new();
+        c.register("empty", Table::new(schema)).unwrap();
+        assert!(DynamicPivotView::create(&c, "empty", &["attr"], &["val"]).is_err());
+    }
+}

@@ -1,0 +1,94 @@
+//! Errors for the rewrite + maintenance layers.
+
+use gpivot_algebra::AlgebraError;
+use gpivot_exec::ExecError;
+use gpivot_storage::StorageError;
+use std::fmt;
+
+/// Errors raised by the core (rewrite / maintenance) layer.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CoreError {
+    /// Underlying algebra error.
+    Algebra(AlgebraError),
+    /// Underlying execution error.
+    Exec(ExecError),
+    /// Underlying storage error.
+    Storage(StorageError),
+    /// A rewrite rule's precondition does not hold for the given plan.
+    RuleNotApplicable { rule: &'static str, reason: String },
+    /// The requested maintenance strategy cannot maintain this view shape.
+    StrategyNotApplicable { strategy: String, reason: String },
+    /// A named view was not found in the view manager.
+    UnknownView(String),
+    /// A view with this name is already registered.
+    DuplicateView(String),
+    /// The view query is not incrementally maintainable at all and fallback
+    /// was disallowed.
+    NotMaintainable(String),
+}
+
+impl fmt::Display for CoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoreError::Algebra(e) => write!(f, "algebra error: {e}"),
+            CoreError::Exec(e) => write!(f, "execution error: {e}"),
+            CoreError::Storage(e) => write!(f, "storage error: {e}"),
+            CoreError::RuleNotApplicable { rule, reason } => {
+                write!(f, "rule `{rule}` not applicable: {reason}")
+            }
+            CoreError::StrategyNotApplicable { strategy, reason } => {
+                write!(f, "strategy `{strategy}` not applicable: {reason}")
+            }
+            CoreError::UnknownView(v) => write!(f, "unknown view `{v}`"),
+            CoreError::DuplicateView(v) => write!(f, "view `{v}` already exists"),
+            CoreError::NotMaintainable(s) => write!(f, "view not maintainable: {s}"),
+        }
+    }
+}
+
+impl std::error::Error for CoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoreError::Algebra(e) => Some(e),
+            CoreError::Exec(e) => Some(e),
+            CoreError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AlgebraError> for CoreError {
+    fn from(e: AlgebraError) -> Self {
+        CoreError::Algebra(e)
+    }
+}
+
+impl From<ExecError> for CoreError {
+    fn from(e: ExecError) -> Self {
+        CoreError::Exec(e)
+    }
+}
+
+impl From<StorageError> for CoreError {
+    fn from(e: StorageError) -> Self {
+        CoreError::Storage(e)
+    }
+}
+
+/// Result alias for core operations.
+pub type Result<T> = std::result::Result<T, CoreError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = CoreError::RuleNotApplicable {
+            rule: "pullup-join",
+            reason: "join key not preserved".into(),
+        };
+        assert!(e.to_string().contains("pullup-join"));
+        assert!(CoreError::UnknownView("v".into()).to_string().contains("`v`"));
+    }
+}

@@ -1,0 +1,249 @@
+//! The **apply phase** for a top-level GPIVOT: the update propagation rules
+//! of Fig. 23, realized as a MERGE against the materialized view.
+//!
+//! Given the final delta over the pivot *input* (the relational core), each
+//! affected key's view row is updated in place: deleted source rows `⊥`-out
+//! their cells, inserted source rows overwrite theirs; a row whose cells
+//! all become `⊥` is deleted from the view, and a fresh key with any
+//! non-`⊥` cell is inserted. This is exactly the paper's left-outer-join
+//! MERGE (§7.1) without ever touching unaffected rows.
+
+use crate::error::{CoreError, Result};
+use gpivot_algebra::PivotSpec;
+use gpivot_exec::pivot::PivotLayout;
+use gpivot_storage::{Delta, Row, Schema, Table, Value};
+use std::collections::HashMap;
+
+/// Row-level effect counters from an apply phase.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ApplyStats {
+    pub inserted: usize,
+    pub updated: usize,
+    pub deleted: usize,
+}
+
+impl ApplyStats {
+    /// Total rows touched.
+    pub fn total(&self) -> usize {
+        self.inserted + self.updated + self.deleted
+    }
+}
+
+/// One key's pending cell changes: `(group index, signed weight, measures)`.
+type CellChanges = Vec<(usize, i64, Vec<Value>)>;
+
+/// Collect the per-key cell changes carried by a pivot-input delta.
+///
+/// Rows whose dimension tuple is not an output parameter, or whose measures
+/// are all `⊥`, are irrelevant to the pivot output and skipped.
+pub fn collect_cell_changes(
+    delta_core: &Delta,
+    layout: &PivotLayout,
+) -> HashMap<Row, CellChanges> {
+    let mut by_key: HashMap<Row, CellChanges> = HashMap::new();
+    for (row, &w) in delta_core.iter() {
+        let tags = row.project(&layout.by_idx);
+        let Some(&gi) = layout.group_lookup.get(&tags) else {
+            continue;
+        };
+        if layout.on_idx.iter().all(|&oi| row[oi].is_null()) {
+            continue;
+        }
+        let measures: Vec<Value> = layout.on_idx.iter().map(|&oi| row[oi].clone()).collect();
+        by_key
+            .entry(row.project(&layout.k_idx))
+            .or_default()
+            .push((gi, w, measures));
+    }
+    by_key
+}
+
+/// Apply Fig. 23's update rules: MERGE `delta_core` (a delta over the pivot
+/// input with schema `core_schema`) into the pivoted materialized view.
+pub fn apply_pivot_update(
+    mv: &mut Table,
+    spec: &PivotSpec,
+    core_schema: &Schema,
+    delta_core: &Delta,
+) -> Result<ApplyStats> {
+    let layout = PivotLayout::resolve(spec, core_schema)?;
+    let n_k = layout.k_idx.len();
+    let n_on = layout.on_idx.len();
+    let width = n_k + spec.groups.len() * n_on;
+    if mv.schema().arity() != width {
+        return Err(CoreError::StrategyNotApplicable {
+            strategy: "pivot-update (Fig. 23)".into(),
+            reason: format!(
+                "materialized view arity {} does not match pivot layout width {width}",
+                mv.schema().arity()
+            ),
+        });
+    }
+
+    let changes = collect_cell_changes(delta_core, &layout);
+    let mut stats = ApplyStats::default();
+
+    for (key, mut cell_changes) in changes {
+        // Deletes before inserts: a batch may replace a cell's source row.
+        cell_changes.sort_by_key(|(_, w, _)| *w);
+
+        let existing = mv.get_by_key(&key).cloned();
+        let mut cells: Vec<Value> = match &existing {
+            Some(row) => row.to_vec(),
+            None => {
+                let mut v = Vec::with_capacity(width);
+                v.extend(key.iter().cloned());
+                v.extend(std::iter::repeat(Value::Null).take(width - n_k));
+                v
+            }
+        };
+        for (gi, w, measures) in &cell_changes {
+            let base = n_k + gi * n_on;
+            if *w < 0 {
+                for j in 0..n_on {
+                    cells[base + j] = Value::Null;
+                }
+            } else {
+                for (j, m) in measures.iter().enumerate() {
+                    cells[base + j] = m.clone();
+                }
+            }
+        }
+
+        let all_null = cells[n_k..].iter().all(Value::is_null);
+        match (existing.is_some(), all_null) {
+            (true, true) => {
+                mv.delete_by_key(&key);
+                stats.deleted += 1;
+            }
+            (true, false) => {
+                mv.update_by_key(&key, Row::new(cells));
+                stats.updated += 1;
+            }
+            (false, true) => {} // no-op: deletes for an absent key
+            (false, false) => {
+                mv.insert(Row::new(cells))?;
+                stats.inserted += 1;
+            }
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpivot_storage::{row, DataType};
+    use std::sync::Arc;
+
+    /// Core schema: (id, attr, val) with key (id, attr).
+    fn core_schema() -> Schema {
+        Schema::from_pairs_keyed(
+            &[
+                ("id", DataType::Int),
+                ("attr", DataType::Str),
+                ("val", DataType::Int),
+            ],
+            &["id", "attr"],
+        )
+        .unwrap()
+    }
+
+    fn spec() -> PivotSpec {
+        PivotSpec::simple("attr", "val", vec![Value::str("a"), Value::str("b")])
+    }
+
+    fn mv() -> Table {
+        let mut s = Schema::from_pairs(&[
+            ("id", DataType::Int),
+            ("a**val", DataType::Int),
+            ("b**val", DataType::Int),
+        ])
+        .unwrap();
+        s.set_key(vec![0]);
+        Table::from_rows(
+            Arc::new(s),
+            vec![
+                Row::new(vec![Value::Int(1), Value::Int(10), Value::Int(20)]),
+                Row::new(vec![Value::Int(2), Value::Int(30), Value::Null]),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn insert_new_key() {
+        let mut t = mv();
+        let d = Delta::from_inserts(vec![row![3, "a", 99]]);
+        let stats = apply_pivot_update(&mut t, &spec(), &core_schema(), &d).unwrap();
+        assert_eq!(stats, ApplyStats { inserted: 1, updated: 0, deleted: 0 });
+        assert_eq!(
+            t.get_by_key(&row![3]),
+            Some(&Row::new(vec![Value::Int(3), Value::Int(99), Value::Null]))
+        );
+    }
+
+    #[test]
+    fn update_existing_cell_in_place() {
+        let mut t = mv();
+        // Replace (2, a, 30) with (2, a, 77): delete + insert in one batch.
+        let mut d = Delta::new();
+        d.add(row![2, "a", 30], -1);
+        d.add(row![2, "a", 77], 1);
+        let stats = apply_pivot_update(&mut t, &spec(), &core_schema(), &d).unwrap();
+        assert_eq!(stats, ApplyStats { inserted: 0, updated: 1, deleted: 0 });
+        assert_eq!(t.get_by_key(&row![2]).unwrap()[1], Value::Int(77));
+    }
+
+    #[test]
+    fn delete_cell_keeps_row_with_other_cells() {
+        let mut t = mv();
+        let d = Delta::from_deletes(vec![row![1, "a", 10]]);
+        let stats = apply_pivot_update(&mut t, &spec(), &core_schema(), &d).unwrap();
+        assert_eq!(stats.updated, 1);
+        let r = t.get_by_key(&row![1]).unwrap();
+        assert!(r[1].is_null());
+        assert_eq!(r[2], Value::Int(20));
+    }
+
+    #[test]
+    fn delete_last_cell_removes_row() {
+        let mut t = mv();
+        let d = Delta::from_deletes(vec![row![2, "a", 30]]);
+        let stats = apply_pivot_update(&mut t, &spec(), &core_schema(), &d).unwrap();
+        assert_eq!(stats.deleted, 1);
+        assert!(t.get_by_key(&row![2]).is_none());
+    }
+
+    #[test]
+    fn fill_empty_cell_of_existing_row() {
+        let mut t = mv();
+        let d = Delta::from_inserts(vec![row![2, "b", 55]]);
+        apply_pivot_update(&mut t, &spec(), &core_schema(), &d).unwrap();
+        let r = t.get_by_key(&row![2]).unwrap();
+        assert_eq!(r[2], Value::Int(55));
+        assert_eq!(r[1], Value::Int(30));
+    }
+
+    #[test]
+    fn unlisted_groups_and_null_measures_ignored() {
+        let mut t = mv();
+        let mut d = Delta::new();
+        d.add(row![1, "zzz", 1], 1); // unlisted dimension value
+        d.add(
+            Row::new(vec![Value::Int(1), Value::str("a"), Value::Null]),
+            1,
+        ); // all-⊥ measures
+        let stats = apply_pivot_update(&mut t, &spec(), &core_schema(), &d).unwrap();
+        assert_eq!(stats.total(), 0);
+    }
+
+    #[test]
+    fn deletes_for_absent_key_are_noops() {
+        let mut t = mv();
+        let d = Delta::from_deletes(vec![row![9, "a", 1]]);
+        let stats = apply_pivot_update(&mut t, &spec(), &core_schema(), &d).unwrap();
+        assert_eq!(stats.total(), 0);
+        assert_eq!(t.len(), 2);
+    }
+}

@@ -1,0 +1,478 @@
+//! Combined update propagation rules for **SELECT over GPIVOT** (Fig. 29).
+//!
+//! For a view `σc(GPivot(core))` with σc null-intolerant over pivoted
+//! columns, pulling the pivot above the selection would cost multiple
+//! self-joins (Eq. 7). The combined rules instead keep the pair on top:
+//!
+//! * **Keys present in the view**: apply the Fig. 23 cell changes in place,
+//!   then re-test σc — delete the row if it no longer satisfies (or became
+//!   all-⊥), else update. Keys absent from the view that only receive
+//!   deletes stay absent (null-intolerance: nulling more cells cannot make
+//!   a failing row pass).
+//! * **Insert candidates**: a key not in the view may newly satisfy σc only
+//!   if some *inserted* row touches a σc-referenced cell (the σc′ prefilter
+//!   of Fig. 29). Those keys' pivot rows are recomputed from the post-state
+//!   core *restricted to exactly those keys* — the restriction is pushed
+//!   down to the deepest subplan carrying the key columns, mirroring the
+//!   paper's `GPIVOT(π_K(σc′(ΔV)) ⋈ (V ⊎ ΔV))` plan.
+
+use crate::error::{CoreError, Result};
+use crate::maintain::apply::{collect_cell_changes, ApplyStats};
+use crate::maintain::delta_prop::PropagationCtx;
+use gpivot_algebra::plan::{JoinKind, Plan};
+use gpivot_algebra::{decode_pivot_col, Expr, PivotSpec};
+use gpivot_exec::pivot::PivotLayout;
+use gpivot_exec::{Executor, Overlay};
+use gpivot_storage::{Delta, Row, Table, Value};
+use std::collections::HashSet;
+use std::sync::Arc;
+
+/// Apply the Fig. 29 combined rules.
+///
+/// * `mv` — the materialized `σc(GPivot(core))` (keyed by the pivot's K);
+/// * `spec` / `predicate` — the top pair's parameters;
+/// * `core` — the pivot input plan;
+/// * `ctx` — pre-state catalog + source deltas (for the restricted
+///   post-state recompute);
+/// * `delta_core` — the already-propagated delta over `core`.
+pub fn apply_select_pivot_update(
+    mv: &mut Table,
+    spec: &PivotSpec,
+    predicate: &Expr,
+    core: &Plan,
+    ctx: &PropagationCtx<'_>,
+    delta_core: &Delta,
+) -> Result<ApplyStats> {
+    if !predicate.is_null_intolerant() {
+        return Err(CoreError::StrategyNotApplicable {
+            strategy: "select-pivot-update (Fig. 29)".into(),
+            reason: format!("predicate `{predicate}` is not null-intolerant"),
+        });
+    }
+    let core_schema = core.schema(ctx.catalog)?;
+    let layout = PivotLayout::resolve(spec, &core_schema)?;
+    let n_k = layout.k_idx.len();
+    let n_on = layout.on_idx.len();
+    let _width = n_k + spec.groups.len() * n_on;
+    let bound_pred = predicate.bind(mv.schema())?;
+
+    let changes = collect_cell_changes(delta_core, &layout);
+    let mut stats = ApplyStats::default();
+
+    // σc′ prefilter: which pivot groups does the predicate reference?
+    let referenced_groups = predicate_groups(predicate, spec);
+
+    let mut recompute_keys: Vec<Row> = Vec::new();
+    for (key, mut cell_changes) in changes {
+        match mv.get_by_key(&key).cloned() {
+            Some(existing) => {
+                // In-view key: in-place MERGE then σc re-test.
+                cell_changes.sort_by_key(|(_, w, _)| *w);
+                let mut cells = existing.to_vec();
+                for (gi, w, measures) in &cell_changes {
+                    let base = n_k + gi * n_on;
+                    if *w < 0 {
+                        for j in 0..n_on {
+                            cells[base + j] = Value::Null;
+                        }
+                    } else {
+                        for (j, m) in measures.iter().enumerate() {
+                            cells[base + j] = m.clone();
+                        }
+                    }
+                }
+                let new_row = Row::new(cells);
+                let all_null = new_row.values()[n_k..].iter().all(Value::is_null);
+                if all_null || !bound_pred.holds(&new_row) {
+                    mv.delete_by_key(&key);
+                    stats.deleted += 1;
+                } else {
+                    mv.update_by_key(&key, new_row);
+                    stats.updated += 1;
+                }
+            }
+            None => {
+                // Absent key: only inserts into σc-referenced cells can make
+                // it newly satisfy the predicate.
+                let relevant = cell_changes
+                    .iter()
+                    .any(|(gi, w, _)| *w > 0 && referenced_groups.contains(gi));
+                if relevant {
+                    recompute_keys.push(key);
+                }
+            }
+        }
+    }
+
+    if !recompute_keys.is_empty() {
+        // Recompute the candidate keys' full pivot rows from the post-state
+        // core, restricted to those keys. Restricting by the *full* pivot K
+        // (which, after pullup, spans every joined column) would force the
+        // semijoin above all joins — a recomputation in disguise. Instead
+        // restrict by the core's minimal key columns within K (they
+        // functionally determine the rest, mirroring the paper's
+        // `π_orderkey(σc′(ΔL)) ⋈ (L ⊎ ΔL)` plan) and post-filter the pivoted
+        // rows back to the exact candidate set.
+        let k_names: Vec<String> = layout
+            .k_idx
+            .iter()
+            .map(|&i| core_schema.fields()[i].name.clone())
+            .collect();
+        // The core-key columns that survive into K: restricting by them is
+        // a (possibly proper) superset restriction — always sound with the
+        // post-filter below, and it pushes to the delta'd fact table.
+        let (restrict_names, restrict_pos): (Vec<String>, Vec<usize>) = {
+            let key_in_k: Vec<(String, usize)> = core_schema
+                .key()
+                .map(|key| {
+                    key.iter()
+                        .filter_map(|&i| {
+                            let name = core_schema.fields()[i].name.as_str();
+                            k_names
+                                .iter()
+                                .position(|k| k == name)
+                                .map(|pos| (name.to_string(), pos))
+                        })
+                        .collect()
+                })
+                .unwrap_or_default();
+            if key_in_k.is_empty() {
+                (k_names.clone(), (0..k_names.len()).collect())
+            } else {
+                key_in_k.into_iter().unzip()
+            }
+        };
+        let candidate_set: HashSet<Row> = recompute_keys.iter().cloned().collect();
+        let mut restrict_keys: Vec<Row> = recompute_keys
+            .iter()
+            .map(|k| k.project(&restrict_pos))
+            .collect();
+        restrict_keys.sort();
+        restrict_keys.dedup();
+
+        let restricted = eval_post_restricted(core, &restrict_names, restrict_keys, ctx)?;
+        let out_schema = Plan::GPivot {
+            input: Box::new(core.clone()),
+            spec: spec.clone(),
+        }
+        .schema(ctx.catalog)?;
+        let pivoted = gpivot_exec::pivot::gpivot(&restricted, spec, out_schema)?;
+        let k_out: Vec<usize> = (0..k_names.len()).collect();
+        for row in pivoted.iter() {
+            // Post-filter: only the exact candidate keys may be inserted
+            // (the minimal-key restriction can bring along other rows).
+            if !candidate_set.contains(&row.project(&k_out)) {
+                continue;
+            }
+            if bound_pred.holds(row) {
+                mv.insert(row.clone())?;
+                stats.inserted += 1;
+            }
+        }
+    }
+    Ok(stats)
+}
+
+/// The set of pivot group indices whose cells the predicate references.
+fn predicate_groups(predicate: &Expr, spec: &PivotSpec) -> HashSet<usize> {
+    let mut out = HashSet::new();
+    for col in predicate.columns() {
+        if let Some((tags, measure)) = decode_pivot_col(&col, spec.dims()) {
+            // Re-encode each group to compare against the column name.
+            for (gi, g) in spec.groups.iter().enumerate() {
+                let tag_strings: Vec<String> =
+                    g.iter().map(|v| v.to_string()).collect();
+                if tag_strings == tags && spec.on.contains(&measure) {
+                    out.insert(gi);
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Evaluate `core` against the post-update state, restricted to the given
+/// key tuples. The restriction is realized as a hash semijoin against a
+/// temporary key table, pushed down to the deepest subplan that carries all
+/// key columns (typically the scan of the delta'd fact table).
+pub fn eval_post_restricted(
+    core: &Plan,
+    k_names: &[String],
+    keys: Vec<Row>,
+    ctx: &PropagationCtx<'_>,
+) -> Result<Table> {
+    const KEYS_TABLE: &str = "__fig29_keys";
+    // Key table schema: renamed key columns (avoids name clashes).
+    let core_schema = core.schema(ctx.catalog)?;
+    let mut fields = Vec::with_capacity(k_names.len());
+    for k in k_names {
+        let f = core_schema.field(k)?;
+        fields.push(gpivot_storage::Field::new(
+            format!("__key_{k}"),
+            f.data_type,
+        ));
+    }
+    let key_schema = Arc::new(gpivot_storage::Schema::new(fields)?);
+    let key_table = Table::bag(key_schema, keys);
+
+    // Push the semijoin to the deepest subplan containing all key columns.
+    let restricted_plan = push_key_semijoin(core, k_names, ctx)?;
+
+    // Post-state overlay + the key table.
+    let mut overlay = Overlay::new(ctx.catalog);
+    for table in core.base_tables() {
+        if let Some(delta) = ctx.deltas.delta(&table) {
+            if !delta.is_empty() {
+                let pre = ctx.catalog.table(&table)?;
+                overlay.put(
+                    table.clone(),
+                    crate::maintain::delta_prop::post_state_table(pre, delta),
+                );
+            }
+        }
+    }
+    overlay.put(KEYS_TABLE, key_table);
+    Ok(Executor::execute(&restricted_plan, &overlay)?)
+}
+
+/// Rewrite `plan` so the deepest subplan carrying all of `k_names` is
+/// semijoined with the `__fig29_keys` table.
+fn push_key_semijoin(
+    plan: &Plan,
+    k_names: &[String],
+    ctx: &PropagationCtx<'_>,
+) -> Result<Plan> {
+    const KEYS_TABLE: &str = "__fig29_keys";
+
+    // Can the restriction descend into a child?
+    let descend_into: Option<usize> = match plan {
+        Plan::Select { .. } | Plan::GroupBy { .. } | Plan::GPivot { .. }
+        | Plan::GUnpivot { .. } => {
+            let child = plan.children()[0];
+            let cs = child.schema(ctx.catalog)?;
+            if k_names.iter().all(|k| cs.index_of(k).is_ok()) {
+                Some(0)
+            } else {
+                None
+            }
+        }
+        Plan::Project { input, items } => {
+            // Descend only if every key column is a pure pass-through.
+            let ok = k_names.iter().all(|k| {
+                items
+                    .iter()
+                    .any(|(e, n)| n == k && matches!(e, Expr::Col(c) if c == n))
+            });
+            if ok {
+                let cs = input.schema(ctx.catalog)?;
+                if k_names.iter().all(|k| cs.index_of(k).is_ok()) {
+                    Some(0)
+                } else {
+                    None
+                }
+            } else {
+                None
+            }
+        }
+        Plan::Join { left, right, .. } => {
+            let ls = left.schema(ctx.catalog)?;
+            if k_names.iter().all(|k| ls.index_of(k).is_ok()) {
+                Some(0)
+            } else {
+                let rs = right.schema(ctx.catalog)?;
+                if k_names.iter().all(|k| rs.index_of(k).is_ok()) {
+                    Some(1)
+                } else {
+                    None
+                }
+            }
+        }
+        _ => None,
+    };
+
+    if let Some(idx) = descend_into {
+        // Rebuild with the chosen child restricted.
+        let mut rebuilt = plan.clone();
+        let restricted_child =
+            push_key_semijoin(plan.children()[idx], k_names, ctx)?;
+        match &mut rebuilt {
+            Plan::Select { input, .. }
+            | Plan::Project { input, .. }
+            | Plan::GroupBy { input, .. }
+            | Plan::GPivot { input, .. }
+            | Plan::GUnpivot { input, .. } => *input = Box::new(restricted_child),
+            Plan::Join { left, right, .. } => {
+                if idx == 0 {
+                    *left = Box::new(restricted_child);
+                } else {
+                    *right = Box::new(restricted_child);
+                }
+            }
+            _ => unreachable!(),
+        }
+        return Ok(rebuilt);
+    }
+
+    // Wrap here: plan ⋉ keys.
+    let schema = plan.schema(ctx.catalog)?;
+    let on: Vec<(String, String)> = k_names
+        .iter()
+        .map(|k| (k.clone(), format!("__key_{k}")))
+        .collect();
+    let joined = Plan::Join {
+        left: Box::new(plan.clone()),
+        right: Box::new(Plan::scan(KEYS_TABLE)),
+        kind: JoinKind::Inner,
+        on,
+        residual: None,
+    };
+    Ok(joined.project(
+        schema
+            .column_names()
+            .iter()
+            .map(|c| (Expr::col(*c), c.to_string()))
+            .collect(),
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::maintain::SourceDeltas;
+    use gpivot_storage::{row, Catalog, DataType, Schema};
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let items = Arc::new(
+            Schema::from_pairs_keyed(
+                &[
+                    ("id", DataType::Int),
+                    ("attr", DataType::Str),
+                    ("val", DataType::Int),
+                ],
+                &["id", "attr"],
+            )
+            .unwrap(),
+        );
+        c.register(
+            "items",
+            Table::from_rows(
+                items,
+                vec![
+                    row![1, "a", 100],
+                    row![1, "b", 20],
+                    row![2, "a", 5],
+                    row![3, "b", 40],
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        c
+    }
+
+    fn spec() -> PivotSpec {
+        PivotSpec::simple("attr", "val", vec![Value::str("a"), Value::str("b")])
+    }
+
+    /// σc: a**val > 50.
+    fn pred() -> Expr {
+        Expr::col("a**val").gt(Expr::lit(50))
+    }
+
+    /// Materialize σc(GPivot(items)) from scratch.
+    fn materialize(c: &Catalog) -> Table {
+        let plan = Plan::scan("items").gpivot(spec()).select(pred());
+        let bag = Executor::execute(&plan, c).unwrap();
+        let mut t = Table::new(bag.schema().clone());
+        for r in bag.iter() {
+            t.insert(r.clone()).unwrap();
+        }
+        t
+    }
+
+    fn run(deltas: SourceDeltas) {
+        // Oracle: incremental result == recompute on post state.
+        let c = catalog();
+        let mut mv = materialize(&c);
+        let ctx = PropagationCtx::new(&c, &deltas);
+        let core = Plan::scan("items");
+        let delta_core =
+            crate::maintain::delta_prop::propagate(&core, &ctx).unwrap();
+        apply_select_pivot_update(&mut mv, &spec(), &pred(), &core, &ctx, &delta_core)
+            .unwrap();
+
+        let mut post_catalog = c.clone();
+        for t in deltas.tables() {
+            let d = deltas.delta(t).unwrap().clone();
+            post_catalog.apply_delta(t, &d).unwrap();
+        }
+        let expected = materialize(&post_catalog);
+        assert!(
+            mv.bag_eq(&expected),
+            "incremental:\n{mv}\nexpected:\n{expected}"
+        );
+    }
+
+    #[test]
+    fn delete_makes_row_fail_condition() {
+        let mut d = SourceDeltas::new();
+        d.delete_rows("items", vec![row![1, "a", 100]]);
+        run(d);
+    }
+
+    #[test]
+    fn insert_makes_row_newly_satisfy() {
+        let mut d = SourceDeltas::new();
+        // id=3 had no 'a' cell; this insert makes a**val = 99 > 50.
+        d.insert_rows("items", vec![row![3, "a", 99]]);
+        run(d);
+    }
+
+    #[test]
+    fn irrelevant_insert_does_not_create_row() {
+        let mut d = SourceDeltas::new();
+        // id=2 fails σc (a**val = 5); inserting a 'b' cell cannot fix that.
+        d.insert_rows("items", vec![row![2, "b", 1]]);
+        run(d);
+    }
+
+    #[test]
+    fn update_in_place_keeps_satisfying_row() {
+        let mut d = SourceDeltas::new();
+        d.delete_rows("items", vec![row![1, "b", 20]]);
+        d.insert_rows("items", vec![row![1, "b", 21]]);
+        run(d);
+    }
+
+    #[test]
+    fn brand_new_key_satisfying_condition() {
+        let mut d = SourceDeltas::new();
+        d.insert_rows("items", vec![row![9, "a", 500]]);
+        run(d);
+    }
+
+    #[test]
+    fn brand_new_key_failing_condition() {
+        let mut d = SourceDeltas::new();
+        d.insert_rows("items", vec![row![9, "a", 1]]);
+        run(d);
+    }
+
+    #[test]
+    fn mixed_batch() {
+        let mut d = SourceDeltas::new();
+        // Replace id=2's failing 'a' cell (5 → 400: newly satisfies σc),
+        // drop id=1's satisfying cell, give id=3 a satisfying cell, and add
+        // an irrelevant new key.
+        d.delete_rows(
+            "items",
+            vec![row![1, "a", 100], row![3, "b", 40], row![2, "a", 5]],
+        );
+        d.insert_rows(
+            "items",
+            vec![row![2, "a", 400], row![3, "a", 60], row![5, "b", 2]],
+        );
+        run(d);
+    }
+}

@@ -1,0 +1,813 @@
+//! Materialized views and the [`ViewManager`] — the integration point of
+//! the whole paper: compile (normalize + choose strategy + materialize),
+//! refresh (propagate + apply), commit, verify.
+
+use crate::error::{CoreError, Result};
+use crate::maintain::apply::apply_pivot_update;
+use crate::maintain::delta_prop::{propagate, post_state_table, PropagationCtx};
+use crate::maintain::group_pivot::{apply_group_pivot_update, GroupPivotInfo};
+use crate::maintain::select_pivot::apply_select_pivot_update;
+use crate::maintain::strategy::{MaintenanceOutcome, MaintenancePlan, Strategy};
+use crate::maintain::SourceDeltas;
+use crate::rewrite::{
+    normalize_view, normalize_view_with_select_pushdown, NormalizedView, TopShape,
+};
+use gpivot_algebra::plan::{JoinKind, Plan};
+use gpivot_algebra::{AggFunc, AggSpec, Expr, PivotSpec};
+use gpivot_exec::{Executor, Overlay};
+use gpivot_storage::{Catalog, Table};
+use std::collections::BTreeMap;
+
+/// A materialized view: definition, compiled maintenance form, and data.
+#[derive(Debug, Clone)]
+pub struct MaterializedView {
+    name: String,
+    definition: Plan,
+    strategy: Strategy,
+    normalized: NormalizedView,
+    group_info: Option<GroupPivotInfo>,
+    table: Table,
+}
+
+/// Does the tree contain a non-inner join (not delta-propagatable)?
+fn has_outer_join(plan: &Plan) -> bool {
+    if let Plan::Join { kind, .. } = plan {
+        if *kind != JoinKind::Inner {
+            return true;
+        }
+    }
+    plan.children().iter().any(|c| has_outer_join(c))
+}
+
+/// Execute and key-index a plan's result.
+fn materialize(plan: &Plan, catalog: &Catalog) -> Result<Table> {
+    let bag = Executor::execute(plan, catalog)?;
+    if bag.schema().has_key() {
+        Ok(Table::from_rows(bag.schema().clone(), bag.rows().to_vec())?)
+    } else {
+        Ok(bag)
+    }
+}
+
+/// Add the hidden measures Fig. 27 needs: a `count(*)` per subgroup and a
+/// `count(col)` companion per `sum(col)` (cf. Fig. 28, where the paper adds
+/// COUNT(*) to make the view self-maintainable). Returns the augmented plan.
+fn augment_group_pivot(plan: &Plan) -> Result<Plan> {
+    let Plan::GPivot { input, spec } = plan else {
+        return Err(CoreError::StrategyNotApplicable {
+            strategy: Strategy::GroupPivotUpdate.id().into(),
+            reason: "top operator is not a GPivot".into(),
+        });
+    };
+    let Plan::GroupBy {
+        input: core,
+        group_by,
+        aggs,
+    } = input.as_ref()
+    else {
+        return Err(CoreError::StrategyNotApplicable {
+            strategy: Strategy::GroupPivotUpdate.id().into(),
+            reason: "no GroupBy directly under the top GPivot".into(),
+        });
+    };
+
+    let mut new_aggs = aggs.clone();
+    let mut new_on = spec.on.clone();
+    let pivoted_aggs: Vec<&AggSpec> = aggs
+        .iter()
+        .filter(|a| spec.on.contains(&a.output))
+        .collect();
+    for a in &pivoted_aggs {
+        if matches!(a.func, AggFunc::Min | AggFunc::Max | AggFunc::Avg) {
+            return Err(CoreError::StrategyNotApplicable {
+                strategy: Strategy::GroupPivotUpdate.id().into(),
+                reason: format!(
+                    "aggregate {} is not maintainable by the Fig. 27 rules",
+                    a.func
+                ),
+            });
+        }
+    }
+    // count(*): required for subgroup liveness.
+    if !pivoted_aggs.iter().any(|a| a.func == AggFunc::CountStar) {
+        new_aggs.push(AggSpec::count_star("__cs"));
+        new_on.push("__cs".to_string());
+    }
+    // count(col) companion per sum(col).
+    for a in &pivoted_aggs {
+        if a.func == AggFunc::Sum {
+            let has_partner = new_aggs.iter().any(|b| {
+                b.func == AggFunc::Count && b.input == a.input && new_on.contains(&b.output)
+            });
+            if !has_partner {
+                let name = format!("__c_{}", a.input);
+                if !new_aggs.iter().any(|b| b.output == name) {
+                    new_aggs.push(AggSpec::count(&a.input, &name));
+                }
+                if !new_on.contains(&name) {
+                    new_on.push(name);
+                }
+            }
+        }
+    }
+    Ok(Plan::GPivot {
+        input: Box::new(Plan::GroupBy {
+            input: core.clone(),
+            group_by: group_by.clone(),
+            aggs: new_aggs,
+        }),
+        spec: PivotSpec {
+            by: spec.by.clone(),
+            on: new_on,
+            groups: spec.groups.clone(),
+        },
+    })
+}
+
+impl MaterializedView {
+    /// Compile and materialize a view with an explicit strategy.
+    pub fn create(
+        name: impl Into<String>,
+        definition: Plan,
+        strategy: Strategy,
+        catalog: &Catalog,
+    ) -> Result<Self> {
+        let name = name.into();
+        let (normalized, group_info) = match strategy {
+            Strategy::Recompute | Strategy::InsertDelete => {
+                // Maintain the original tree directly.
+                let schema = definition.schema(catalog)?;
+                let output = schema
+                    .column_names()
+                    .iter()
+                    .map(|c| (c.to_string(), c.to_string()))
+                    .collect();
+                (
+                    NormalizedView {
+                        plan: definition.clone(),
+                        output,
+                        identity_output: true,
+                        log: vec![],
+                        shape: if definition.pivot_count() > 0 {
+                            TopShape::StuckPivot
+                        } else {
+                            TopShape::Relational
+                        },
+                    },
+                    None,
+                )
+            }
+            Strategy::PivotUpdate => {
+                let nv = normalize_view(&definition, catalog)?;
+                match nv.shape {
+                    TopShape::PivotTop { .. } => (nv, None),
+                    ref s => {
+                        return Err(CoreError::StrategyNotApplicable {
+                            strategy: strategy.id().into(),
+                            reason: format!("normalized shape is {s:?}, not PivotTop"),
+                        })
+                    }
+                }
+            }
+            Strategy::SelectPushdownUpdate => {
+                let nv = normalize_view_with_select_pushdown(&definition, catalog)?;
+                match nv.shape {
+                    TopShape::PivotTop { .. } => (nv, None),
+                    ref s => {
+                        return Err(CoreError::StrategyNotApplicable {
+                            strategy: strategy.id().into(),
+                            reason: format!("shape after select pushdown is {s:?}"),
+                        })
+                    }
+                }
+            }
+            Strategy::SelectPivotUpdate => {
+                let nv = normalize_view(&definition, catalog)?;
+                match &nv.shape {
+                    TopShape::SelectOverPivot { predicate, .. } => {
+                        if !predicate.is_null_intolerant() {
+                            return Err(CoreError::StrategyNotApplicable {
+                                strategy: strategy.id().into(),
+                                reason: format!(
+                                    "predicate `{predicate}` is not null-intolerant"
+                                ),
+                            });
+                        }
+                        (nv, None)
+                    }
+                    s => {
+                        return Err(CoreError::StrategyNotApplicable {
+                            strategy: strategy.id().into(),
+                            reason: format!("normalized shape is {s:?}, not SelectOverPivot"),
+                        })
+                    }
+                }
+            }
+            Strategy::GroupPivotUpdate => {
+                let mut nv = normalize_view(&definition, catalog)?;
+                if !matches!(nv.shape, TopShape::PivotOverGroupBy { .. }) {
+                    return Err(CoreError::StrategyNotApplicable {
+                        strategy: strategy.id().into(),
+                        reason: format!("normalized shape is {:?}", nv.shape),
+                    });
+                }
+                let augmented = augment_group_pivot(&nv.plan)?;
+                let (spec, group_by, aggs) = match &augmented {
+                    Plan::GPivot { input, spec } => match input.as_ref() {
+                        Plan::GroupBy { group_by, aggs, .. } => {
+                            (spec.clone(), group_by.clone(), aggs.clone())
+                        }
+                        _ => unreachable!("augment preserves shape"),
+                    },
+                    _ => unreachable!("augment preserves shape"),
+                };
+                let info = GroupPivotInfo::derive(&group_by, &aggs, &spec)?;
+                nv.plan = augmented;
+                nv.shape = TopShape::PivotOverGroupBy {
+                    spec,
+                    group_by,
+                    aggs,
+                };
+                (nv, Some(info))
+            }
+            Strategy::GroupByInsDel => {
+                let nv = normalize_view(&definition, catalog)?;
+                if !matches!(nv.shape, TopShape::PivotOverGroupBy { .. }) {
+                    return Err(CoreError::StrategyNotApplicable {
+                        strategy: strategy.id().into(),
+                        reason: format!("normalized shape is {:?}", nv.shape),
+                    });
+                }
+                (nv, None)
+            }
+        };
+        let table = materialize(&normalized.plan, catalog)?;
+        Ok(MaterializedView {
+            name,
+            definition,
+            strategy,
+            normalized,
+            group_info,
+            table,
+        })
+    }
+
+    /// View name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The chosen maintenance strategy.
+    pub fn strategy(&self) -> Strategy {
+        self.strategy
+    }
+
+    /// The original view definition.
+    pub fn definition(&self) -> &Plan {
+        &self.definition
+    }
+
+    /// The normalized form used for maintenance.
+    pub fn normalized(&self) -> &NormalizedView {
+        &self.normalized
+    }
+
+    /// The materialized table (normalized schema; may contain hidden
+    /// maintenance columns — use [`MaterializedView::query`] for the
+    /// user-facing shape).
+    pub fn table(&self) -> &Table {
+        &self.table
+    }
+
+    /// Number of materialized rows.
+    pub fn len(&self) -> usize {
+        self.table.len()
+    }
+
+    /// True iff no rows are materialized.
+    pub fn is_empty(&self) -> bool {
+        self.table.is_empty()
+    }
+
+    /// The user-facing view contents: the materialized table projected
+    /// through the output rename map.
+    pub fn query(&self) -> Result<Table> {
+        if self.normalized.identity_output
+            && self.normalized.output.len() == self.table.schema().arity()
+        {
+            return Ok(self.table.clone());
+        }
+        let schema = self.table.schema();
+        let idx: Vec<usize> = self
+            .normalized
+            .output
+            .iter()
+            .map(|(from, _)| schema.index_of(from))
+            .collect::<gpivot_storage::Result<_>>()?;
+        let fields: Vec<gpivot_storage::Field> = self
+            .normalized
+            .output
+            .iter()
+            .zip(&idx)
+            .map(|((_, to), &i)| {
+                gpivot_storage::Field::new(to.clone(), schema.field_at(i).data_type)
+            })
+            .collect();
+        let out_schema = std::sync::Arc::new(gpivot_storage::Schema::new(fields)?);
+        let rows = self
+            .table
+            .iter()
+            .map(|r| r.project(&idx))
+            .collect();
+        Ok(Table::bag(out_schema, rows))
+    }
+
+    /// The compiled maintenance plan (explainability).
+    pub fn maintenance_plan(&self) -> MaintenancePlan {
+        MaintenancePlan {
+            strategy: self.strategy,
+            rewrite_log: self.normalized.log.clone(),
+            normalized_explain: self.normalized.plan.explain(),
+        }
+    }
+
+    /// Refresh the view against pending source deltas (the catalog still
+    /// holds the pre-update state).
+    pub fn maintain(
+        &mut self,
+        catalog: &Catalog,
+        deltas: &SourceDeltas,
+    ) -> Result<MaintenanceOutcome> {
+        let ctx = PropagationCtx::new(catalog, deltas);
+        let mut outcome = MaintenanceOutcome::default();
+        match self.strategy {
+            Strategy::Recompute => {
+                let mut overlay = Overlay::new(catalog);
+                for t in self.normalized.plan.base_tables() {
+                    if let Some(d) = deltas.delta(&t) {
+                        if !d.is_empty() {
+                            let pre = catalog.table(&t)?;
+                            overlay.put(t.clone(), post_state_table(pre, d));
+                        }
+                    }
+                }
+                let bag = Executor::execute(&self.normalized.plan, &overlay)?;
+                self.table = if bag.schema().has_key() {
+                    Table::from_rows(bag.schema().clone(), bag.rows().to_vec())?
+                } else {
+                    bag
+                };
+                outcome.stats.inserted = self.table.len();
+            }
+            Strategy::InsertDelete => {
+                let d = propagate(&self.normalized.plan, &ctx)?;
+                outcome.delta_rows = d.distinct_len();
+                for (_, &w) in d.iter() {
+                    if w > 0 {
+                        outcome.stats.inserted += w as usize;
+                    } else {
+                        outcome.stats.deleted += (-w) as usize;
+                    }
+                }
+                self.table.apply_delta(&d)?;
+            }
+            Strategy::PivotUpdate | Strategy::SelectPushdownUpdate => {
+                let Plan::GPivot { input: core, spec } = &self.normalized.plan else {
+                    return Err(CoreError::StrategyNotApplicable {
+                        strategy: self.strategy.id().into(),
+                        reason: "normalized plan lost its top pivot".into(),
+                    });
+                };
+                let dcore = propagate(core, &ctx)?;
+                outcome.delta_rows = dcore.distinct_len();
+                let core_schema = core.schema(catalog)?;
+                outcome.stats =
+                    apply_pivot_update(&mut self.table, spec, &core_schema, &dcore)?;
+            }
+            Strategy::SelectPivotUpdate => {
+                let Plan::Select { input, predicate } = &self.normalized.plan else {
+                    return Err(CoreError::StrategyNotApplicable {
+                        strategy: self.strategy.id().into(),
+                        reason: "normalized plan lost its top select".into(),
+                    });
+                };
+                let Plan::GPivot { input: core, spec } = input.as_ref() else {
+                    return Err(CoreError::StrategyNotApplicable {
+                        strategy: self.strategy.id().into(),
+                        reason: "normalized plan lost its pivot".into(),
+                    });
+                };
+                let dcore = propagate(core, &ctx)?;
+                outcome.delta_rows = dcore.distinct_len();
+                outcome.stats = apply_select_pivot_update(
+                    &mut self.table,
+                    spec,
+                    predicate,
+                    core,
+                    &ctx,
+                    &dcore,
+                )?;
+            }
+            Strategy::GroupPivotUpdate => {
+                let Plan::GPivot { input, spec } = &self.normalized.plan else {
+                    return Err(CoreError::StrategyNotApplicable {
+                        strategy: self.strategy.id().into(),
+                        reason: "normalized plan lost its top pivot".into(),
+                    });
+                };
+                let Plan::GroupBy { input: core, .. } = input.as_ref() else {
+                    return Err(CoreError::StrategyNotApplicable {
+                        strategy: self.strategy.id().into(),
+                        reason: "normalized plan lost its group-by".into(),
+                    });
+                };
+                let dcore = propagate(core, &ctx)?;
+                outcome.delta_rows = dcore.distinct_len();
+                let core_schema = core.schema(catalog)?;
+                let info = self.group_info.as_ref().expect("set at creation");
+                outcome.stats = apply_group_pivot_update(
+                    &mut self.table,
+                    spec,
+                    info,
+                    &core_schema,
+                    &dcore,
+                )?;
+            }
+            Strategy::GroupByInsDel => {
+                let Plan::GPivot { input: gb, spec } = &self.normalized.plan else {
+                    return Err(CoreError::StrategyNotApplicable {
+                        strategy: self.strategy.id().into(),
+                        reason: "normalized plan lost its top pivot".into(),
+                    });
+                };
+                // Insert/delete propagation through the GROUPBY (affected
+                // group recomputation), then Fig. 23 MERGE at the pivot.
+                let dgb = propagate(gb, &ctx)?;
+                outcome.delta_rows = dgb.distinct_len();
+                let gb_schema = gb.schema(catalog)?;
+                outcome.stats =
+                    apply_pivot_update(&mut self.table, spec, &gb_schema, &dgb)?;
+            }
+        }
+        Ok(outcome)
+    }
+}
+
+/// Owns a catalog plus a set of materialized views, and runs the paper's
+/// compile + refresh cycle over them.
+#[derive(Debug, Clone, Default)]
+pub struct ViewManager {
+    catalog: Catalog,
+    views: BTreeMap<String, MaterializedView>,
+}
+
+impl ViewManager {
+    /// Wrap a catalog.
+    pub fn new(catalog: Catalog) -> Self {
+        ViewManager {
+            catalog,
+            views: BTreeMap::new(),
+        }
+    }
+
+    /// The base-table catalog.
+    pub fn catalog(&self) -> &Catalog {
+        &self.catalog
+    }
+
+    /// Mutable access to the catalog (loading data, etc.).
+    pub fn catalog_mut(&mut self) -> &mut Catalog {
+        &mut self.catalog
+    }
+
+    /// Pick the best strategy for a view definition (the paper's planner:
+    /// normalize, then match the top shape).
+    pub fn choose_strategy(&self, definition: &Plan) -> Strategy {
+        if has_outer_join(definition) {
+            return Strategy::Recompute;
+        }
+        let Ok(nv) = normalize_view(definition, &self.catalog) else {
+            return Strategy::Recompute;
+        };
+        match nv.shape {
+            TopShape::PivotTop { .. } => Strategy::PivotUpdate,
+            TopShape::SelectOverPivot { ref predicate, .. } => {
+                if predicate.is_null_intolerant() {
+                    Strategy::SelectPivotUpdate
+                } else {
+                    Strategy::InsertDelete
+                }
+            }
+            TopShape::PivotOverGroupBy { .. } => {
+                // Prefer the Fig. 27 combined rules; fall back when the
+                // aggregates are not self-maintainable.
+                if augment_group_pivot(&nv.plan).is_ok() {
+                    Strategy::GroupPivotUpdate
+                } else {
+                    Strategy::GroupByInsDel
+                }
+            }
+            TopShape::Relational | TopShape::StuckPivot => Strategy::InsertDelete,
+        }
+    }
+
+    /// Create a view, auto-selecting the maintenance strategy.
+    pub fn create_view(&mut self, name: impl Into<String>, definition: Plan) -> Result<Strategy> {
+        let strategy = self.choose_strategy(&definition);
+        self.create_view_with(name, definition, strategy)?;
+        Ok(strategy)
+    }
+
+    /// Create a view choosing the strategy with the cost model
+    /// ([`crate::cost`]) at an expected per-refresh delta size — the
+    /// paper's "cost-based optimizer" hook (§3). Falls back to the
+    /// shape-based choice when no strategy costs out.
+    pub fn create_view_costed(
+        &mut self,
+        name: impl Into<String>,
+        definition: Plan,
+        expected_delta_rows: f64,
+    ) -> Result<Strategy> {
+        let stats = crate::cost::CatalogStats::from_catalog(&self.catalog);
+        let strategy = crate::cost::cheapest_strategy(
+            &definition,
+            &stats,
+            &self.catalog,
+            expected_delta_rows,
+        )
+        .map(|(s, _)| s)
+        .unwrap_or_else(|| self.choose_strategy(&definition));
+        // Cost-picked strategies can still fail shape validation at create
+        // time (e.g. a non-null-intolerant predicate); fall back then.
+        match self.create_view_with(name, definition, strategy) {
+            Ok(()) => Ok(strategy),
+            Err(CoreError::DuplicateView(v)) => Err(CoreError::DuplicateView(v)),
+            Err(_) => Err(CoreError::StrategyNotApplicable {
+                strategy: strategy.id().into(),
+                reason: "cost-selected strategy failed to compile; \
+                         use create_view for the shape-based choice"
+                    .into(),
+            }),
+        }
+    }
+
+    /// Create a view with an explicit strategy.
+    pub fn create_view_with(
+        &mut self,
+        name: impl Into<String>,
+        definition: Plan,
+        strategy: Strategy,
+    ) -> Result<()> {
+        let name = name.into();
+        if self.views.contains_key(&name) {
+            return Err(CoreError::DuplicateView(name));
+        }
+        let view = MaterializedView::create(name.clone(), definition, strategy, &self.catalog)?;
+        self.views.insert(name, view);
+        Ok(())
+    }
+
+    /// Drop a view.
+    pub fn drop_view(&mut self, name: &str) -> Result<MaterializedView> {
+        self.views
+            .remove(name)
+            .ok_or_else(|| CoreError::UnknownView(name.to_string()))
+    }
+
+    /// Borrow a view.
+    pub fn view(&self, name: &str) -> Result<&MaterializedView> {
+        self.views
+            .get(name)
+            .ok_or_else(|| CoreError::UnknownView(name.to_string()))
+    }
+
+    /// The user-facing contents of a view.
+    pub fn query_view(&self, name: &str) -> Result<Table> {
+        self.view(name)?.query()
+    }
+
+    /// Names of all views.
+    pub fn view_names(&self) -> Vec<&str> {
+        self.views.keys().map(String::as_str).collect()
+    }
+
+    /// Refresh a single view against pending deltas (no commit).
+    pub fn maintain_view(
+        &mut self,
+        name: &str,
+        deltas: &SourceDeltas,
+    ) -> Result<MaintenanceOutcome> {
+        let catalog = &self.catalog;
+        // Split borrow: temporarily remove the view.
+        let mut view = self
+            .views
+            .remove(name)
+            .ok_or_else(|| CoreError::UnknownView(name.to_string()))?;
+        let result = view.maintain(catalog, deltas);
+        self.views.insert(name.to_string(), view);
+        result
+    }
+
+    /// Commit pending deltas to the base tables.
+    pub fn commit(&mut self, deltas: &SourceDeltas) -> Result<()> {
+        for t in deltas.tables() {
+            let d = deltas.delta(t).expect("listed table has a delta");
+            self.catalog.apply_delta(t, d)?;
+        }
+        Ok(())
+    }
+
+    /// Full refresh cycle: maintain every view, then commit the deltas.
+    pub fn refresh(&mut self, deltas: &SourceDeltas) -> Result<BTreeMap<String, MaintenanceOutcome>> {
+        let names: Vec<String> = self.views.keys().cloned().collect();
+        let mut outcomes = BTreeMap::new();
+        for n in names {
+            let o = self.maintain_view(&n, deltas)?;
+            outcomes.insert(n, o);
+        }
+        self.commit(deltas)?;
+        Ok(outcomes)
+    }
+
+    /// Verify a view's materialization against recomputation (testing aid).
+    pub fn verify_view(&self, name: &str) -> Result<bool> {
+        let view = self.view(name)?;
+        let fresh = Executor::execute(&view.normalized.plan, &self.catalog)?;
+        Ok(view.table.bag_eq(&fresh))
+    }
+
+    /// The compiled maintenance plan of a view.
+    pub fn maintenance_plan(&self, name: &str) -> Result<MaintenancePlan> {
+        Ok(self.view(name)?.maintenance_plan())
+    }
+}
+
+// `Expr` is used by doc examples and the select-pivot strategy match.
+#[allow(unused_imports)]
+use Expr as _ExprForDocs;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpivot_storage::{row, DataType, Schema, Value};
+    use std::sync::Arc;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let items = Arc::new(
+            Schema::from_pairs_keyed(
+                &[
+                    ("id", DataType::Int),
+                    ("attr", DataType::Str),
+                    ("val", DataType::Int),
+                ],
+                &["id", "attr"],
+            )
+            .unwrap(),
+        );
+        c.register(
+            "items",
+            Table::from_rows(
+                items,
+                vec![
+                    row![1, "a", 10],
+                    row![1, "b", 20],
+                    row![2, "a", 30],
+                    row![3, "b", 40],
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        c
+    }
+
+    fn pivot_plan() -> Plan {
+        Plan::scan("items").gpivot(PivotSpec::simple(
+            "attr",
+            "val",
+            vec![Value::str("a"), Value::str("b")],
+        ))
+    }
+
+    #[test]
+    fn auto_strategy_for_pivot_top() {
+        let vm = ViewManager::new(catalog());
+        assert_eq!(vm.choose_strategy(&pivot_plan()), Strategy::PivotUpdate);
+    }
+
+    #[test]
+    fn auto_strategy_for_select_over_pivot() {
+        let vm = ViewManager::new(catalog());
+        let plan = pivot_plan().select(Expr::col("a**val").gt(Expr::lit(5)));
+        assert_eq!(vm.choose_strategy(&plan), Strategy::SelectPivotUpdate);
+    }
+
+    #[test]
+    fn auto_strategy_for_group_pivot() {
+        let vm = ViewManager::new(catalog());
+        let plan = Plan::scan("items")
+            .group_by(&["attr"], vec![AggSpec::sum("val", "s")])
+            .gpivot(PivotSpec::new(
+                vec!["attr"],
+                vec!["s"],
+                vec![vec![Value::str("a")], vec![Value::str("b")]],
+            ));
+        assert_eq!(vm.choose_strategy(&plan), Strategy::GroupPivotUpdate);
+    }
+
+    #[test]
+    fn create_maintain_verify_cycle() {
+        let mut vm = ViewManager::new(catalog());
+        vm.create_view("v", pivot_plan()).unwrap();
+        assert!(vm.verify_view("v").unwrap());
+
+        let mut deltas = SourceDeltas::new();
+        deltas.insert_rows("items", vec![row![2, "b", 99], row![4, "a", 7]]);
+        deltas.delete_rows("items", vec![row![1, "a", 10]]);
+        vm.refresh(&deltas).unwrap();
+        assert!(vm.verify_view("v").unwrap(), "view out of sync after refresh");
+    }
+
+    #[test]
+    fn every_applicable_strategy_agrees() {
+        // Maintain the same view with every applicable strategy and check
+        // they all converge to the recomputed state.
+        let plan = pivot_plan();
+        let mut deltas = SourceDeltas::new();
+        deltas.delete_rows("items", vec![row![1, "b", 20], row![3, "b", 40]]);
+        deltas.insert_rows("items", vec![row![3, "a", 1], row![5, "b", 5]]);
+
+        for strategy in [
+            Strategy::Recompute,
+            Strategy::InsertDelete,
+            Strategy::PivotUpdate,
+        ] {
+            let mut vm = ViewManager::new(catalog());
+            vm.create_view_with("v", plan.clone(), strategy).unwrap();
+            vm.refresh(&deltas).unwrap();
+            assert!(
+                vm.verify_view("v").unwrap(),
+                "strategy {strategy} diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn group_pivot_view_hides_helper_columns() {
+        let mut vm = ViewManager::new(catalog());
+        let plan = Plan::scan("items")
+            .group_by(&["attr"], vec![AggSpec::sum("val", "s")])
+            .gpivot(PivotSpec::new(
+                vec!["attr"],
+                vec!["s"],
+                vec![vec![Value::str("a")], vec![Value::str("b")]],
+            ));
+        vm.create_view("v", plan).unwrap();
+        let user = vm.query_view("v").unwrap();
+        // Hidden __cs / __c_val cells must not leak into the user view.
+        assert!(user
+            .schema()
+            .column_names()
+            .iter()
+            .all(|c| !c.contains("__cs") && !c.contains("__c_")));
+        // But the materialized table does carry them.
+        assert!(vm
+            .view("v")
+            .unwrap()
+            .table()
+            .schema()
+            .column_names()
+            .iter()
+            .any(|c| c.contains("__cs")));
+    }
+
+    #[test]
+    fn costed_creation_picks_update_rules_for_small_deltas() {
+        let mut vm = ViewManager::new(catalog());
+        let s = vm.create_view_costed("v", pivot_plan(), 2.0).unwrap();
+        assert_eq!(s, Strategy::PivotUpdate);
+        // Huge expected deltas flip the choice to recomputation.
+        let mut vm = ViewManager::new(catalog());
+        let s = vm
+            .create_view_costed("v", pivot_plan(), 1_000_000.0)
+            .unwrap();
+        assert_eq!(s, Strategy::Recompute);
+    }
+
+    #[test]
+    fn duplicate_view_rejected() {
+        let mut vm = ViewManager::new(catalog());
+        vm.create_view("v", pivot_plan()).unwrap();
+        assert!(matches!(
+            vm.create_view("v", pivot_plan()),
+            Err(CoreError::DuplicateView(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_view_errors() {
+        let vm = ViewManager::new(catalog());
+        assert!(matches!(vm.view("missing"), Err(CoreError::UnknownView(_))));
+    }
+}

@@ -1,0 +1,446 @@
+//! The normalization driver (Fig. 4 of the paper): pull every GPIVOT to the
+//! top of the view tree and combine adjacent pivots, so that the efficient
+//! update propagation rules apply.
+//!
+//! The driver runs a fixpoint of the pullup, combination and transposition
+//! rules bottom-up. Top-level pure-column `Project`s are absorbed into an
+//! output rename map (the MV is materialized from the normalized plan; the
+//! user-facing view is that MV re-projected through the map). Views whose
+//! pivots cannot be hoisted keep them in place — the maintenance planner
+//! then falls back to the insert/delete propagation rules, which is the
+//! paper's completeness story (§3).
+
+use crate::combine::{try_compose, try_multicolumn};
+use crate::error::Result;
+use crate::rewrite::pullup::{
+    cancel_pivot_unpivot, pullup_through_group_by, pullup_through_join,
+    pullup_through_project, pullup_through_select, push_select_below_pivot_selfjoin,
+    swap_unpivot_below_pivot,
+};
+use crate::rewrite::transpose::{
+    groupby_through_project, hoist_project_through_join, hoist_select_through_join,
+    pivot_through_rename, select_through_project,
+};
+use gpivot_algebra::plan::Plan;
+use gpivot_algebra::{AggSpec, Expr, PivotSpec, SchemaProvider};
+
+/// What sits at the top of a normalized view tree — this decides which
+/// update propagation rules the maintenance planner can use.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TopShape {
+    /// `GPivot(relational core)` — Fig. 23 update rules apply.
+    PivotTop { spec: PivotSpec },
+    /// `Select(σc, GPivot(core))` with σc null-intolerant over pivoted
+    /// columns — Fig. 29 combined update rules apply.
+    SelectOverPivot { spec: PivotSpec, predicate: Expr },
+    /// `GPivot(GroupBy(core))` — Fig. 27 combined update rules apply.
+    PivotOverGroupBy {
+        spec: PivotSpec,
+        group_by: Vec<String>,
+        aggs: Vec<AggSpec>,
+    },
+    /// No pivot anywhere — plain relational IVM.
+    Relational,
+    /// Pivots remain buried in the tree — only the insert/delete
+    /// propagation rules (Fig. 22) can maintain this view.
+    StuckPivot,
+}
+
+/// A view after normalization.
+#[derive(Debug, Clone)]
+pub struct NormalizedView {
+    /// The normalized plan (top rename projections stripped).
+    pub plan: Plan,
+    /// `(normalized column, view column)` pairs in view output order;
+    /// `Project(plan, output)` reproduces the original view exactly.
+    pub output: Vec<(String, String)>,
+    /// True iff `output` is the in-order identity over the normalized
+    /// plan's schema (no projection needed to recover the original view).
+    pub identity_output: bool,
+    /// Rules applied, in order, for explainability.
+    pub log: Vec<String>,
+    /// Classification of the normalized top.
+    pub shape: TopShape,
+}
+
+impl NormalizedView {
+    /// The plan computing the *original* view from the normalized plan.
+    pub fn view_plan(&self) -> Plan {
+        if self.identity_output {
+            self.plan.clone()
+        } else {
+            self.plan.clone().project(
+                self.output
+                    .iter()
+                    .map(|(from, to)| (Expr::col(from), to.clone()))
+                    .collect(),
+            )
+        }
+    }
+}
+
+/// All rules the driver tries at a node, in priority order.
+fn apply_first_rule<P: SchemaProvider>(
+    plan: &Plan,
+    provider: &P,
+) -> Option<(Plan, &'static str)> {
+    type Rule<P> = (&'static str, fn(&Plan, &P) -> Result<Plan>);
+    let rules: &[Rule<P>] = &[
+        ("cancel-gpivot-gunpivot (Eq. 9)", cancel_pivot_unpivot),
+        ("swap-gunpivot-gpivot (Eq. 10)", swap_unpivot_below_pivot),
+        ("pivot-through-rename", pivot_through_rename),
+        ("combine-composition (Eq. 6)", |p, _| try_compose(p)),
+        ("combine-multicolumn (Eq. 5)", |p, _| try_multicolumn(p)),
+        ("pullup-select (§5.1.1)", pullup_through_select),
+        ("pullup-join (§5.1.3)", pullup_through_join),
+        ("groupby-through-project", groupby_through_project),
+        ("pullup-groupby (Eq. 8)", pullup_through_group_by),
+        ("pullup-project (§5.1.2)", pullup_through_project),
+        ("select-through-project", select_through_project),
+        ("hoist-select-join", hoist_select_through_join),
+        ("hoist-project-join", hoist_project_through_join),
+    ];
+    for (name, rule) in rules {
+        if let Ok(new_plan) = rule(plan, provider) {
+            if &new_plan != plan {
+                return Some((new_plan, name));
+            }
+        }
+    }
+    None
+}
+
+/// Rebuild a node with each child normalized.
+fn with_normalized_children<P: SchemaProvider>(
+    plan: &Plan,
+    provider: &P,
+    log: &mut Vec<String>,
+) -> Result<Plan> {
+    Ok(match plan {
+        Plan::Scan { .. } => plan.clone(),
+        Plan::Select { input, predicate } => Plan::Select {
+            input: Box::new(normalize_rec(input, provider, log)?),
+            predicate: predicate.clone(),
+        },
+        Plan::Project { input, items } => Plan::Project {
+            input: Box::new(normalize_rec(input, provider, log)?),
+            items: items.clone(),
+        },
+        Plan::Join {
+            left,
+            right,
+            kind,
+            on,
+            residual,
+        } => Plan::Join {
+            left: Box::new(normalize_rec(left, provider, log)?),
+            right: Box::new(normalize_rec(right, provider, log)?),
+            kind: *kind,
+            on: on.clone(),
+            residual: residual.clone(),
+        },
+        Plan::GroupBy {
+            input,
+            group_by,
+            aggs,
+        } => Plan::GroupBy {
+            input: Box::new(normalize_rec(input, provider, log)?),
+            group_by: group_by.clone(),
+            aggs: aggs.clone(),
+        },
+        Plan::Union { left, right } => Plan::Union {
+            left: Box::new(normalize_rec(left, provider, log)?),
+            right: Box::new(normalize_rec(right, provider, log)?),
+        },
+        Plan::Diff { left, right } => Plan::Diff {
+            left: Box::new(normalize_rec(left, provider, log)?),
+            right: Box::new(normalize_rec(right, provider, log)?),
+        },
+        Plan::GPivot { input, spec } => Plan::GPivot {
+            input: Box::new(normalize_rec(input, provider, log)?),
+            spec: spec.clone(),
+        },
+        Plan::GUnpivot { input, spec } => Plan::GUnpivot {
+            input: Box::new(normalize_rec(input, provider, log)?),
+            spec: spec.clone(),
+        },
+    })
+}
+
+const MAX_PASSES: usize = 64;
+
+fn normalize_rec<P: SchemaProvider>(
+    plan: &Plan,
+    provider: &P,
+    log: &mut Vec<String>,
+) -> Result<Plan> {
+    let mut current = with_normalized_children(plan, provider, log)?;
+    for _ in 0..MAX_PASSES {
+        match apply_first_rule(&current, provider) {
+            Some((new_plan, name)) => {
+                log.push(name.to_string());
+                current = with_normalized_children(&new_plan, provider, log)?;
+            }
+            None => break,
+        }
+    }
+    Ok(current)
+}
+
+/// Classify a normalized tree's top and strip absorbable rename projections.
+fn classify<P: SchemaProvider>(
+    mut plan: Plan,
+    provider: &P,
+) -> Result<(Plan, Vec<(String, String)>, bool, TopShape)> {
+    // Absorb top-level pure-column projections into the output map.
+    let schema = plan.schema(provider)?;
+    let mut output: Vec<(String, String)> = schema
+        .column_names()
+        .iter()
+        .map(|c| (c.to_string(), c.to_string()))
+        .collect();
+    loop {
+        let Plan::Project { input, items } = &plan else { break };
+        let all_pure = items
+            .iter()
+            .all(|(e, _)| matches!(e, Expr::Col(_)));
+        if !all_pure {
+            break;
+        }
+        // Compose: output currently maps plan-columns → view-columns; the
+        // project maps input-columns → plan-columns.
+        let mut new_output = Vec::with_capacity(output.len());
+        for (from, to) in &output {
+            let (src, _) = items
+                .iter()
+                .find_map(|(e, n)| match e {
+                    Expr::Col(c) if n == from => Some((c.clone(), n)),
+                    _ => None,
+                })
+                .expect("output map refers to project outputs");
+            new_output.push((src, to.clone()));
+        }
+        output = new_output;
+        plan = input.as_ref().clone();
+    }
+
+    let shape = match &plan {
+        Plan::GPivot { input, spec } => match input.as_ref() {
+            Plan::GroupBy { group_by, aggs, .. } => TopShape::PivotOverGroupBy {
+                spec: spec.clone(),
+                group_by: group_by.clone(),
+                aggs: aggs.clone(),
+            },
+            _ if input.pivot_count() == 0 => TopShape::PivotTop { spec: spec.clone() },
+            _ => TopShape::StuckPivot,
+        },
+        Plan::Select { input, predicate } => match input.as_ref() {
+            Plan::GPivot { input: core, spec } if core.pivot_count() == 0 => {
+                TopShape::SelectOverPivot {
+                    spec: spec.clone(),
+                    predicate: predicate.clone(),
+                }
+            }
+            _ if plan.pivot_count() == 0 => TopShape::Relational,
+            _ => TopShape::StuckPivot,
+        },
+        other if other.pivot_count() == 0 => TopShape::Relational,
+        _ => TopShape::StuckPivot,
+    };
+    // Is the composed map the in-order identity over the stripped plan?
+    let stripped_schema = plan.schema(provider)?;
+    let identity_output = output.len() == stripped_schema.arity()
+        && output
+            .iter()
+            .zip(stripped_schema.column_names())
+            .all(|((from, to), col)| from == to && from == col);
+    Ok((plan, output, identity_output, shape))
+}
+
+/// Normalize a view tree: pull pivots to the top, combine them, absorb top
+/// renames, and classify the result.
+pub fn normalize_view<P: SchemaProvider>(plan: &Plan, provider: &P) -> Result<NormalizedView> {
+    let mut log = Vec::new();
+    let normalized = normalize_rec(plan, provider, &mut log)?;
+    let (stripped, output, identity_output, shape) = classify(normalized, provider)?;
+    Ok(NormalizedView {
+        plan: stripped,
+        output,
+        identity_output,
+        log,
+        shape,
+    })
+}
+
+/// Variant used by the "SELECT pushdown" comparison strategy of §7.2.2:
+/// after normalization, a remaining `Select(GPivot(core))` pair is rewritten
+/// with the Eq. 7 self-join pushdown so the pivot alone tops the tree.
+pub fn normalize_view_with_select_pushdown<P: SchemaProvider>(
+    plan: &Plan,
+    provider: &P,
+) -> Result<NormalizedView> {
+    let mut nv = normalize_view(plan, provider)?;
+    if matches!(nv.shape, TopShape::SelectOverPivot { .. }) {
+        let pushed = push_select_below_pivot_selfjoin(&nv.plan, provider)?;
+        nv.log.push("select-selfjoin-pushdown (Eq. 7)".to_string());
+        let (stripped, output, _, shape) = classify(pushed, provider)?;
+        // Compose output maps: the new map feeds the old one. Keep the old
+        // map's *order* (it is the view order).
+        let composed: Vec<(String, String)> = nv
+            .output
+            .iter()
+            .map(|(mid, to)| {
+                let from = output
+                    .iter()
+                    .find(|(_, m)| m == mid)
+                    .map(|(f, _)| f.clone())
+                    .unwrap_or_else(|| mid.clone());
+                (from, to.clone())
+            })
+            .collect();
+        nv.plan = stripped;
+        let stripped_schema = nv.plan.schema(provider)?;
+        nv.identity_output = composed.len() == stripped_schema.arity()
+            && composed
+                .iter()
+                .zip(stripped_schema.column_names())
+                .all(|((from, to), col)| from == to && from == col);
+        nv.output = composed;
+        nv.shape = shape;
+    }
+    Ok(nv)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::combine::multicolumn_join_plan;
+    use gpivot_algebra::{AggSpec, PivotSpec};
+    use gpivot_storage::{DataType, Schema, SchemaRef, Value};
+    use std::collections::BTreeMap;
+    use std::sync::Arc;
+
+    fn provider() -> BTreeMap<String, SchemaRef> {
+        let mut m = BTreeMap::new();
+        m.insert(
+            "facts".to_string(),
+            Arc::new(
+                Schema::from_pairs_keyed(
+                    &[
+                        ("id", DataType::Int),
+                        ("attr", DataType::Str),
+                        ("val", DataType::Int),
+                        ("fee", DataType::Int),
+                    ],
+                    &["id", "attr"],
+                )
+                .unwrap(),
+            ),
+        );
+        m.insert(
+            "dims".to_string(),
+            Arc::new(
+                Schema::from_pairs_keyed(
+                    &[("d_id", DataType::Int), ("grp", DataType::Str)],
+                    &["d_id"],
+                )
+                .unwrap(),
+            ),
+        );
+        m
+    }
+
+    fn spec() -> PivotSpec {
+        PivotSpec::simple("attr", "val", vec![Value::str("a"), Value::str("b")])
+    }
+
+    #[test]
+    fn bare_scan_is_relational() {
+        let nv = normalize_view(&Plan::scan("facts"), &provider()).unwrap();
+        assert_eq!(nv.shape, TopShape::Relational);
+        assert!(nv.log.is_empty());
+        assert!(nv.identity_output);
+    }
+
+    #[test]
+    fn pivot_join_normalizes_to_pivot_top() {
+        let plan = Plan::scan("facts")
+            .project_cols(&["id", "attr", "val"])
+            .gpivot(spec())
+            .join(Plan::scan("dims"), vec![("id", "d_id")]);
+        let nv = normalize_view(&plan, &provider()).unwrap();
+        assert!(matches!(nv.shape, TopShape::PivotTop { .. }));
+        // The output map restores the original (pivot-cols-before-dims)
+        // column order.
+        assert!(!nv.identity_output);
+        let view_cols: Vec<&str> = nv.output.iter().map(|(_, t)| t.as_str()).collect();
+        assert_eq!(
+            view_cols,
+            vec!["id", "a**val", "b**val", "d_id", "grp"]
+        );
+    }
+
+    #[test]
+    fn select_pair_survives_to_the_top() {
+        let plan = Plan::scan("facts")
+            .project_cols(&["id", "attr", "val"])
+            .gpivot(spec())
+            .select(Expr::col("a**val").gt(Expr::lit(5)))
+            .join(Plan::scan("dims"), vec![("id", "d_id")]);
+        let nv = normalize_view(&plan, &provider()).unwrap();
+        assert!(matches!(nv.shape, TopShape::SelectOverPivot { .. }));
+    }
+
+    #[test]
+    fn multicolumn_canonical_form_combines_through_driver() {
+        let plan = multicolumn_join_plan(
+            Plan::scan("facts"),
+            &["id"],
+            &["attr"],
+            vec![vec![Value::str("a")], vec![Value::str("b")]],
+            &["val"],
+            &["fee"],
+        );
+        assert_eq!(plan.pivot_count(), 2);
+        let nv = normalize_view(&plan, &provider()).unwrap();
+        assert_eq!(nv.plan.pivot_count(), 1, "Eq. 5 must fire:\n{}", nv.plan);
+        assert!(nv.log.iter().any(|r| r.contains("Eq. 5")));
+    }
+
+    #[test]
+    fn group_on_pivoted_columns_stays_stuck() {
+        let plan = Plan::scan("facts")
+            .project_cols(&["id", "attr", "val"])
+            .gpivot(spec())
+            .group_by(&["a**val"], vec![AggSpec::count_star("n")]);
+        let nv = normalize_view(&plan, &provider()).unwrap();
+        assert!(matches!(
+            nv.shape,
+            TopShape::Relational | TopShape::StuckPivot
+        ));
+    }
+
+    #[test]
+    fn select_pushdown_variant_reaches_pivot_top() {
+        let plan = Plan::scan("facts")
+            .project_cols(&["id", "attr", "val"])
+            .gpivot(spec())
+            .select(Expr::col("a**val").gt(Expr::lit(5)));
+        let nv = normalize_view_with_select_pushdown(&plan, &provider()).unwrap();
+        assert!(matches!(nv.shape, TopShape::PivotTop { .. }));
+        assert!(nv.log.iter().any(|r| r.contains("Eq. 7")));
+    }
+
+    #[test]
+    fn normalization_is_idempotent() {
+        let plan = Plan::scan("facts")
+            .project_cols(&["id", "attr", "val"])
+            .gpivot(spec())
+            .join(Plan::scan("dims"), vec![("id", "d_id")]);
+        let p = provider();
+        let once = normalize_view(&plan, &p).unwrap();
+        let twice = normalize_view(&once.plan, &p).unwrap();
+        assert_eq!(once.plan, twice.plan);
+        assert!(twice.log.is_empty(), "no rules should fire again: {:?}", twice.log);
+    }
+}

@@ -1,0 +1,20 @@
+//! The rewriting framework (§5 of the paper).
+//!
+//! * [`pullup`] — GPIVOT pullup rules (Eq. 7–10 and the §5.1 cases).
+//! * [`pushdown`] — GPIVOT pushdown rules (Eq. 11–12 and the §5.2 cases).
+//! * [`unpivot_rules`] — GUNPIVOT pullup/pushdown rules (Eq. 13–18).
+//! * [`transpose`] — enabler commutations used by the driver.
+//! * [`driver`] — the Fig. 4 normalization: pivots to the top, combined.
+//! * [`optimizer`] — a small rule-based query optimizer demonstrating the
+//!   dual (query-optimization) use of the same rules.
+
+pub mod driver;
+pub mod optimizer;
+pub mod pullup;
+pub mod pushdown;
+pub mod transpose;
+pub mod unpivot_rules;
+
+pub use driver::{
+    normalize_view, normalize_view_with_select_pushdown, NormalizedView, TopShape,
+};

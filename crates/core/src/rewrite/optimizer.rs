@@ -1,0 +1,140 @@
+//! A small rule-based query optimizer built from the same rewriting rules —
+//! the paper's "dual purpose" claim (§1): the combination and movement
+//! rules serve query optimization as well as view maintenance.
+//!
+//! The optimizer greedily applies rules that reduce a simple cost proxy:
+//! fewer GPIVOT operators first (each pivot is a full hash pass), then
+//! fewer plan nodes, with early selections preferred (selection pushdown
+//! through pivots via Eq. 11's trivial case).
+
+use crate::combine::{try_compose, try_multicolumn};
+use crate::error::Result;
+use crate::rewrite::pullup::cancel_pivot_unpivot;
+use crate::rewrite::pushdown::{
+    cancel_unpivot_pivot, pushdown_through_join, pushdown_through_select,
+};
+use gpivot_algebra::plan::Plan;
+use gpivot_algebra::SchemaProvider;
+
+/// Cost proxy: `(pivot count, select depth penalty, node count)` — compared
+/// lexicographically, lower is better.
+fn cost(plan: &Plan) -> (usize, usize, usize) {
+    fn select_depth(plan: &Plan, depth: usize) -> usize {
+        let own = if matches!(plan, Plan::Select { .. }) {
+            depth
+        } else {
+            0
+        };
+        own + plan
+            .children()
+            .iter()
+            .map(|c| select_depth(c, depth + 1))
+            .sum::<usize>()
+    }
+    // Selections closer to the leaves have *higher* depth, which we want:
+    // penalize shallow selections by inverting against a bound.
+    let depth_penalty = {
+        let total = select_depth(plan, 0);
+        let bound = plan.node_count() * plan.node_count();
+        bound.saturating_sub(total)
+    };
+    (plan.pivot_count(), depth_penalty, plan.node_count())
+}
+
+/// One optimization step: try every rule at every node, return the best
+/// strictly-improving rewrite.
+fn step<P: SchemaProvider>(plan: &Plan, provider: &P) -> Option<(Plan, &'static str)> {
+    type Rule<P> = (&'static str, fn(&Plan, &P) -> Result<Plan>);
+    let rules: &[Rule<P>] = &[
+        ("cancel-gpivot-gunpivot (Eq. 9)", cancel_pivot_unpivot),
+        ("cancel-gunpivot-gpivot (Eq. 12)", cancel_unpivot_pivot),
+        ("combine-composition (Eq. 6)", |p, _| try_compose(p)),
+        ("combine-multicolumn (Eq. 5)", |p, _| try_multicolumn(p)),
+        ("pushdown-select (Eq. 11)", pushdown_through_select),
+        ("pushdown-join (§5.2.3)", pushdown_through_join),
+    ];
+
+    let mut best: Option<(Plan, &'static str)> = None;
+    let mut best_cost = cost(plan);
+
+    // Enumerate rewrites at every node via recursive reconstruction.
+    fn rewrites_at<P: SchemaProvider>(
+        plan: &Plan,
+        provider: &P,
+        rules: &[(&'static str, fn(&Plan, &P) -> Result<Plan>)],
+        out: &mut Vec<(Plan, &'static str)>,
+    ) {
+        for (name, rule) in rules {
+            if let Ok(p) = rule(plan, provider) {
+                if &p != plan {
+                    out.push((p, name));
+                }
+            }
+        }
+        // Child rewrites, spliced back into this node.
+        let children = plan.children();
+        for (i, child) in children.iter().enumerate() {
+            let mut child_rewrites = Vec::new();
+            rewrites_at(child, provider, rules, &mut child_rewrites);
+            for (new_child, name) in child_rewrites {
+                out.push((replace_child(plan, i, new_child), name));
+            }
+        }
+    }
+
+    let mut candidates = Vec::new();
+    rewrites_at(plan, provider, rules, &mut candidates);
+    for (candidate, name) in candidates {
+        // Candidate must still type-check.
+        if candidate.schema(provider).is_err() {
+            continue;
+        }
+        let c = cost(&candidate);
+        if c < best_cost {
+            best_cost = c;
+            best = Some((candidate, name));
+        }
+    }
+    best
+}
+
+/// Replace the `i`-th child of a node.
+fn replace_child(plan: &Plan, i: usize, new_child: Plan) -> Plan {
+    let mut cloned = plan.clone();
+    match &mut cloned {
+        Plan::Scan { .. } => unreachable!("scans have no children"),
+        Plan::Select { input, .. }
+        | Plan::Project { input, .. }
+        | Plan::GroupBy { input, .. }
+        | Plan::GPivot { input, .. }
+        | Plan::GUnpivot { input, .. } => *input = Box::new(new_child),
+        Plan::Join { left, right, .. }
+        | Plan::Union { left, right }
+        | Plan::Diff { left, right } => {
+            if i == 0 {
+                *left = Box::new(new_child);
+            } else {
+                *right = Box::new(new_child);
+            }
+        }
+    }
+    cloned
+}
+
+/// Optimize a query plan: greedy descent on the cost proxy, returning the
+/// improved plan and the rule applications (for explainability).
+pub fn optimize<P: SchemaProvider>(plan: &Plan, provider: &P) -> (Plan, Vec<&'static str>) {
+    let mut current = plan.clone();
+    let mut log = Vec::new();
+    const MAX_STEPS: usize = 32;
+    for _ in 0..MAX_STEPS {
+        match step(&current, provider) {
+            Some((next, name)) => {
+                log.push(name);
+                current = next;
+            }
+            None => break,
+        }
+    }
+    (current, log)
+}

@@ -1,0 +1,425 @@
+//! The plan dispatcher: recursively evaluates a [`Plan`] bottom-up.
+//!
+//! [`Executor::execute`] returns just the result table;
+//! [`Executor::execute_traced`] additionally returns an [`ExecTrace`] — a
+//! per-operator row-count profile rendered like `EXPLAIN ANALYZE`, which
+//! the examples use to show where maintenance plans spend their rows.
+
+use crate::error::Result;
+use crate::group::hash_group_by;
+use crate::join::hash_join;
+use crate::pivot::{gpivot, gunpivot};
+use crate::provider::{ProviderSchemas, TableProvider};
+use gpivot_algebra::Plan;
+use gpivot_storage::{Row, Table};
+use std::collections::HashMap;
+
+/// One operator's entry in an execution trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceEntry {
+    /// Nesting depth in the plan tree.
+    pub depth: usize,
+    /// Operator label (`op_name`).
+    pub op: &'static str,
+    /// Rows produced by this operator.
+    pub rows_out: usize,
+}
+
+/// An `EXPLAIN ANALYZE`-style profile: operators in plan order with their
+/// output cardinalities.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ExecTrace {
+    pub entries: Vec<TraceEntry>,
+}
+
+impl ExecTrace {
+    /// Total rows produced across all operators (a proxy for work done).
+    pub fn total_rows(&self) -> usize {
+        self.entries.iter().map(|e| e.rows_out).sum()
+    }
+
+    /// Render indented, one operator per line.
+    pub fn render(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for e in &self.entries {
+            let _ = writeln!(
+                out,
+                "{}{} → {} rows",
+                "  ".repeat(e.depth),
+                e.op,
+                e.rows_out
+            );
+        }
+        out
+    }
+}
+
+impl std::fmt::Display for ExecTrace {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Batch plan executor. Stateless — all inputs come from the provider.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Executor;
+
+impl Executor {
+    /// Evaluate `plan` against `provider`, returning the result as a bag
+    /// table whose schema (including key metadata) comes from schema
+    /// inference.
+    pub fn execute<P: TableProvider>(plan: &Plan, provider: &P) -> Result<Table> {
+        let mut trace = None;
+        Self::execute_impl(plan, provider, 0, &mut trace)
+    }
+
+    /// Like [`Executor::execute`], also returning the per-operator trace.
+    pub fn execute_traced<P: TableProvider>(
+        plan: &Plan,
+        provider: &P,
+    ) -> Result<(Table, ExecTrace)> {
+        let mut trace = Some(ExecTrace::default());
+        let table = Self::execute_impl(plan, provider, 0, &mut trace)?;
+        let mut trace = trace.expect("set above");
+        // Entries were pushed post-order (children first); reversing puts
+        // each parent before its children (for binary operators the right
+        // subtree then lists before the left one).
+        trace.entries.reverse();
+        Ok((table, trace))
+    }
+
+    fn execute_impl<P: TableProvider>(
+        plan: &Plan,
+        provider: &P,
+        depth: usize,
+        trace: &mut Option<ExecTrace>,
+    ) -> Result<Table> {
+        let schemas = ProviderSchemas(provider);
+        let result: Result<Table> = match plan {
+            Plan::Scan { table } => {
+                let t = provider.get_table(table)?;
+                Ok(Table::bag(t.schema().clone(), t.rows().to_vec()))
+            }
+
+            Plan::Select { input, predicate } => {
+                let child = Self::execute_impl(input, provider, depth + 1, trace)?;
+                let bound = predicate.bind(child.schema())?;
+                let rows = child
+                    .rows()
+                    .iter()
+                    .filter(|r| bound.holds(r))
+                    .cloned()
+                    .collect();
+                Ok(Table::bag(child.schema().clone(), rows))
+            }
+
+            Plan::Project { input, items } => {
+                let child = Self::execute_impl(input, provider, depth + 1, trace)?;
+                let out_schema = plan.schema(&schemas)?;
+                let bound: Vec<_> = items
+                    .iter()
+                    .map(|(e, _)| e.bind(child.schema()))
+                    .collect::<gpivot_algebra::Result<_>>()?;
+                let rows = child
+                    .rows()
+                    .iter()
+                    .map(|r| Row::new(bound.iter().map(|b| b.eval(r)).collect()))
+                    .collect();
+                Ok(Table::bag(out_schema, rows))
+            }
+
+            Plan::Join {
+                left,
+                right,
+                kind,
+                on,
+                residual,
+            } => {
+                let l = Self::execute_impl(left, provider, depth + 1, trace)?;
+                let r = Self::execute_impl(right, provider, depth + 1, trace)?;
+                let out_schema = plan.schema(&schemas)?;
+                let left_on: Vec<usize> = on
+                    .iter()
+                    .map(|(lc, _)| l.schema().index_of(lc))
+                    .collect::<gpivot_storage::Result<_>>()?;
+                let right_on: Vec<usize> = on
+                    .iter()
+                    .map(|(_, rc)| r.schema().index_of(rc))
+                    .collect::<gpivot_storage::Result<_>>()?;
+                let bound_res = residual
+                    .as_ref()
+                    .map(|e| e.bind(&out_schema))
+                    .transpose()?;
+                hash_join(
+                    &l,
+                    &r,
+                    *kind,
+                    &left_on,
+                    &right_on,
+                    bound_res.as_ref(),
+                    out_schema,
+                )
+            }
+
+            Plan::GroupBy {
+                input,
+                group_by,
+                aggs,
+            } => {
+                let child = Self::execute_impl(input, provider, depth + 1, trace)?;
+                let out_schema = plan.schema(&schemas)?;
+                let group_idx: Vec<usize> = group_by
+                    .iter()
+                    .map(|g| child.schema().index_of(g))
+                    .collect::<gpivot_storage::Result<_>>()?;
+                let agg_inputs: Vec<usize> = aggs
+                    .iter()
+                    .map(|a| {
+                        if a.func == gpivot_algebra::AggFunc::CountStar {
+                            Ok(usize::MAX)
+                        } else {
+                            child.schema().index_of(&a.input)
+                        }
+                    })
+                    .collect::<gpivot_storage::Result<_>>()?;
+                hash_group_by(&child, &group_idx, aggs, &agg_inputs, out_schema)
+            }
+
+            Plan::Union { left, right } => {
+                let l = Self::execute_impl(left, provider, depth + 1, trace)?;
+                let r = Self::execute_impl(right, provider, depth + 1, trace)?;
+                let out_schema = plan.schema(&schemas)?;
+                let mut rows = l.rows().to_vec();
+                rows.extend(r.rows().iter().cloned());
+                Ok(Table::bag(out_schema, rows))
+            }
+
+            Plan::Diff { left, right } => {
+                let l = Self::execute_impl(left, provider, depth + 1, trace)?;
+                let r = Self::execute_impl(right, provider, depth + 1, trace)?;
+                let out_schema = plan.schema(&schemas)?;
+                // Bag difference: subtract up to multiplicity.
+                let mut counts: HashMap<&Row, usize> = HashMap::new();
+                for row in r.iter() {
+                    *counts.entry(row).or_insert(0) += 1;
+                }
+                let mut rows = Vec::with_capacity(l.len().saturating_sub(r.len()));
+                for row in l.iter() {
+                    match counts.get_mut(row) {
+                        Some(c) if *c > 0 => *c -= 1,
+                        _ => rows.push(row.clone()),
+                    }
+                }
+                Ok(Table::bag(out_schema, rows))
+            }
+
+            Plan::GPivot { input, spec } => {
+                let child = Self::execute_impl(input, provider, depth + 1, trace)?;
+                let out_schema = plan.schema(&schemas)?;
+                gpivot(&child, spec, out_schema)
+            }
+
+            Plan::GUnpivot { input, spec } => {
+                let child = Self::execute_impl(input, provider, depth + 1, trace)?;
+                let out_schema = plan.schema(&schemas)?;
+                gunpivot(&child, spec, out_schema)
+            }
+        };
+        let result = result?;
+        if let Some(t) = trace.as_mut() {
+            t.entries.push(TraceEntry {
+                depth,
+                op: plan.op_name(),
+                rows_out: result.len(),
+            });
+        }
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpivot_algebra::{AggSpec, Expr, PivotSpec, PlanBuilder};
+    use gpivot_storage::{row, Catalog, DataType, Schema, Value};
+    use std::sync::Arc;
+
+    /// Figure 2's Payment/Product scenario, cut down.
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let payment = Arc::new(
+            Schema::from_pairs_keyed(
+                &[
+                    ("ID", DataType::Int),
+                    ("Payment", DataType::Str),
+                    ("Price", DataType::Int),
+                ],
+                &["ID", "Payment"],
+            )
+            .unwrap(),
+        );
+        c.register(
+            "payment",
+            Table::from_rows(
+                payment,
+                vec![
+                    row![1, "Credit", 180],
+                    row![1, "ByAir", 20],
+                    row![2, "Credit", 300],
+                    row![3, "ByAir", 50],
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        let product = Arc::new(
+            Schema::from_pairs_keyed(
+                &[
+                    ("PID", DataType::Int),
+                    ("Manu", DataType::Str),
+                    ("Type", DataType::Str),
+                ],
+                &["PID"],
+            )
+            .unwrap(),
+        );
+        c.register(
+            "product",
+            Table::from_rows(
+                product,
+                vec![
+                    row![1, "Sony", "TV"],
+                    row![2, "Sony", "VCR"],
+                    row![3, "Panasonic", "TV"],
+                ],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        c
+    }
+
+    #[test]
+    fn scan_select_project() {
+        let c = catalog();
+        let plan = PlanBuilder::scan("payment")
+            .select(Expr::col("Price").gt(Expr::lit(100)))
+            .project_cols(&["ID", "Price"])
+            .build();
+        let out = Executor::execute(&plan, &c).unwrap();
+        assert_eq!(out.sorted_rows(), vec![row![1, 180], row![2, 300]]);
+    }
+
+    #[test]
+    fn pivot_then_join_pipeline() {
+        let c = catalog();
+        let spec = PivotSpec::simple(
+            "Payment",
+            "Price",
+            vec![Value::str("Credit"), Value::str("ByAir")],
+        );
+        let plan = PlanBuilder::scan("payment")
+            .gpivot(spec)
+            .join(PlanBuilder::scan("product"), vec![("ID", "PID")])
+            .build();
+        let out = Executor::execute(&plan, &c).unwrap();
+        assert_eq!(out.len(), 3);
+        let r1 = out.iter().find(|r| r[0] == Value::Int(1)).unwrap();
+        // ID, Credit**Price, ByAir**Price, PID, Manu, Type
+        assert_eq!(r1[1], Value::Int(180));
+        assert_eq!(r1[2], Value::Int(20));
+        assert_eq!(r1[4], Value::str("Sony"));
+        let r2 = out.iter().find(|r| r[0] == Value::Int(2)).unwrap();
+        assert!(r2[2].is_null());
+    }
+
+    #[test]
+    fn group_by_over_join() {
+        let c = catalog();
+        let plan = PlanBuilder::scan("payment")
+            .join(PlanBuilder::scan("product"), vec![("ID", "PID")])
+            .group_by(&["Manu"], vec![AggSpec::sum("Price", "total")])
+            .build();
+        let out = Executor::execute(&plan, &c).unwrap();
+        assert_eq!(
+            out.sorted_rows(),
+            vec![row!["Panasonic", 50], row!["Sony", 500]]
+        );
+    }
+
+    #[test]
+    fn union_and_diff_bag_semantics() {
+        let c = catalog();
+        let u = PlanBuilder::scan("payment")
+            .union(PlanBuilder::scan("payment"))
+            .build();
+        assert_eq!(Executor::execute(&u, &c).unwrap().len(), 8);
+        let d = PlanBuilder::from_plan(u.clone())
+            .diff(PlanBuilder::scan("payment"))
+            .build();
+        let out = Executor::execute(&d, &c).unwrap();
+        assert_eq!(out.len(), 4);
+    }
+
+    #[test]
+    fn execute_traced_profiles_operators() {
+        let c = catalog();
+        let plan = PlanBuilder::scan("payment")
+            .select(Expr::col("Price").gt(Expr::lit(100)))
+            .gpivot(PivotSpec::simple(
+                "Payment",
+                "Price",
+                vec![Value::str("Credit"), Value::str("ByAir")],
+            ))
+            .build();
+        let (table, trace) = Executor::execute_traced(&plan, &c).unwrap();
+        // Plan order: GPivot (depth 0), Select (1), Scan (2).
+        let ops: Vec<&str> = trace.entries.iter().map(|e| e.op).collect();
+        assert_eq!(ops, vec!["GPivot", "Select", "Scan"]);
+        assert_eq!(trace.entries[2].rows_out, 4); // scan
+        assert_eq!(trace.entries[1].rows_out, 2); // price > 100
+        assert_eq!(trace.entries[0].rows_out, table.len());
+        assert!(trace.render().contains("Scan → 4 rows"));
+        assert_eq!(trace.total_rows(), 4 + 2 + table.len());
+        // Untraced execution agrees.
+        let plain = Executor::execute(&plan, &c).unwrap();
+        assert!(plain.bag_eq(&table));
+    }
+
+    #[test]
+    fn full_view_of_figure_2_shape() {
+        // GPIVOT(payment) ⋈ product, then GROUPBY(Manu,Type), then pivot
+        // the sums by Type — the paper's Figure 2 view.
+        let c = catalog();
+        let lower = PlanBuilder::scan("payment")
+            .gpivot(PivotSpec::simple(
+                "Payment",
+                "Price",
+                vec![Value::str("Credit"), Value::str("ByAir")],
+            ))
+            .join(PlanBuilder::scan("product"), vec![("ID", "PID")])
+            .group_by(
+                &["Manu", "Type"],
+                vec![
+                    AggSpec::sum("Credit**Price", "CreditSum"),
+                    AggSpec::sum("ByAir**Price", "ByAirSum"),
+                ],
+            );
+        let top = lower
+            .gpivot(PivotSpec::new(
+                vec!["Type"],
+                vec!["CreditSum", "ByAirSum"],
+                vec![vec![Value::str("TV")], vec![Value::str("VCR")]],
+            ))
+            .build();
+        let out = Executor::execute(&top, &c).unwrap();
+        // Manu, TV**CreditSum, TV**ByAirSum, VCR**CreditSum, VCR**ByAirSum
+        assert_eq!(out.schema().arity(), 5);
+        let sony = out.iter().find(|r| r[0] == Value::str("Sony")).unwrap();
+        assert_eq!(sony[1], Value::Int(180));
+        assert_eq!(sony[2], Value::Int(20));
+        assert_eq!(sony[3], Value::Int(300));
+        assert!(sony[4].is_null());
+    }
+}

@@ -1,0 +1,55 @@
+//! Executor errors.
+
+use gpivot_algebra::AlgebraError;
+use gpivot_storage::StorageError;
+use std::fmt;
+
+/// Errors raised during plan execution.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExecError {
+    /// Schema/validation error from the algebra layer.
+    Algebra(AlgebraError),
+    /// Storage error (unknown table, key violation, ...).
+    Storage(StorageError),
+    /// Two source rows mapped to the same pivot cell — the input violated
+    /// the `(K, A1..Am)` key requirement of GPIVOT (§2.1 of the paper).
+    DuplicatePivotCell { key: String, group: String },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Algebra(e) => write!(f, "algebra error: {e}"),
+            ExecError::Storage(e) => write!(f, "storage error: {e}"),
+            ExecError::DuplicatePivotCell { key, group } => write!(
+                f,
+                "duplicate pivot cell for key {key}, group {group}: input violates the (K, A1..Am) key requirement"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Algebra(e) => Some(e),
+            ExecError::Storage(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<AlgebraError> for ExecError {
+    fn from(e: AlgebraError) -> Self {
+        ExecError::Algebra(e)
+    }
+}
+
+impl From<StorageError> for ExecError {
+    fn from(e: StorageError) -> Self {
+        ExecError::Storage(e)
+    }
+}
+
+/// Result alias for execution.
+pub type Result<T> = std::result::Result<T, ExecError>;

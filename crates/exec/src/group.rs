@@ -1,0 +1,236 @@
+//! Hash aggregation with SQL NULL semantics.
+//!
+//! Aggregates follow the conventions the paper's maintenance rules depend
+//! on: `SUM`/`MIN`/`MAX`/`AVG` ignore NULL inputs and yield NULL over an
+//! empty (or all-NULL) group — in particular the Eq. 8 proof requires
+//! "when all inputs are ⊥, output ⊥ (for COUNT this means ⊥ instead of 0)"
+//! only at the *pivot* level; plain `COUNT` here is the usual 0-default SQL
+//! count of non-NULLs and `COUNT(*)` counts rows.
+
+use crate::error::Result;
+use gpivot_algebra::{AggFunc, AggSpec};
+use gpivot_storage::{Row, Schema, Table, Value};
+use std::collections::HashMap;
+
+/// Running state for one aggregate.
+#[derive(Debug, Clone)]
+enum AggState {
+    Sum { acc: Value },
+    Count { n: i64 },
+    CountStar { n: i64 },
+    Avg { sum: f64, n: i64 },
+    Min { cur: Value },
+    Max { cur: Value },
+}
+
+impl AggState {
+    fn new(func: AggFunc) -> AggState {
+        match func {
+            AggFunc::Sum => AggState::Sum { acc: Value::Null },
+            AggFunc::Count => AggState::Count { n: 0 },
+            AggFunc::CountStar => AggState::CountStar { n: 0 },
+            AggFunc::Avg => AggState::Avg { sum: 0.0, n: 0 },
+            AggFunc::Min => AggState::Min { cur: Value::Null },
+            AggFunc::Max => AggState::Max { cur: Value::Null },
+        }
+    }
+
+    fn update(&mut self, input: &Value) {
+        match self {
+            AggState::Sum { acc } => {
+                if !input.is_null() {
+                    *acc = if acc.is_null() {
+                        input.clone()
+                    } else {
+                        acc.numeric_add(input)
+                    };
+                }
+            }
+            AggState::Count { n } => {
+                if !input.is_null() {
+                    *n += 1;
+                }
+            }
+            AggState::CountStar { n } => *n += 1,
+            AggState::Avg { sum, n } => {
+                if let Some(f) = input.as_f64() {
+                    *sum += f;
+                    *n += 1;
+                }
+            }
+            AggState::Min { cur } => {
+                if !input.is_null()
+                    && (cur.is_null() || input.total_cmp(cur) == std::cmp::Ordering::Less)
+                {
+                    *cur = input.clone();
+                }
+            }
+            AggState::Max { cur } => {
+                if !input.is_null()
+                    && (cur.is_null() || input.total_cmp(cur) == std::cmp::Ordering::Greater)
+                {
+                    *cur = input.clone();
+                }
+            }
+        }
+    }
+
+    fn finish(self) -> Value {
+        match self {
+            AggState::Sum { acc } => acc,
+            AggState::Count { n } => Value::Int(n),
+            AggState::CountStar { n } => Value::Int(n),
+            AggState::Avg { sum, n } => {
+                if n == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum / n as f64)
+                }
+            }
+            AggState::Min { cur } => cur,
+            AggState::Max { cur } => cur,
+        }
+    }
+}
+
+/// Execute a hash aggregation.
+///
+/// `group_idx` are the grouping column indices in the input, `agg_inputs`
+/// the input column index per aggregate (`usize::MAX` for `COUNT(*)`).
+pub fn hash_group_by(
+    input: &Table,
+    group_idx: &[usize],
+    aggs: &[AggSpec],
+    agg_inputs: &[usize],
+    out_schema: std::sync::Arc<Schema>,
+) -> Result<Table> {
+    let mut groups: HashMap<Row, Vec<AggState>> = HashMap::new();
+    for row in input.iter() {
+        let key = row.project(group_idx);
+        let states = groups
+            .entry(key)
+            .or_insert_with(|| aggs.iter().map(|a| AggState::new(a.func)).collect());
+        for (state, &in_idx) in states.iter_mut().zip(agg_inputs) {
+            let v = if in_idx == usize::MAX {
+                // COUNT(*): the value is irrelevant.
+                Value::Int(1)
+            } else {
+                row[in_idx].clone()
+            };
+            state.update(&v);
+        }
+    }
+    let mut rows = Vec::with_capacity(groups.len());
+    for (key, states) in groups {
+        let mut out = key.to_vec();
+        out.extend(states.into_iter().map(AggState::finish));
+        rows.push(Row::new(out));
+    }
+    Ok(Table::bag(out_schema, rows))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpivot_storage::{row, DataType};
+    use std::sync::Arc;
+
+    fn input() -> Table {
+        let schema = Arc::new(
+            Schema::from_pairs(&[("g", DataType::Str), ("v", DataType::Int)]).unwrap(),
+        );
+        Table::bag(
+            schema,
+            vec![
+                row!["a", 1],
+                row!["a", 2],
+                Row::new(vec![Value::str("a"), Value::Null]),
+                row!["b", 5],
+            ],
+        )
+    }
+
+    fn out_schema(aggs: &[(&str, DataType)]) -> Arc<Schema> {
+        let mut pairs = vec![("g", DataType::Str)];
+        pairs.extend_from_slice(aggs);
+        Arc::new(Schema::from_pairs(&pairs).unwrap())
+    }
+
+    #[test]
+    fn sum_ignores_nulls() {
+        let t = hash_group_by(
+            &input(),
+            &[0],
+            &[AggSpec::sum("v", "s")],
+            &[1],
+            out_schema(&[("s", DataType::Int)]),
+        )
+        .unwrap();
+        let rows = t.sorted_rows();
+        assert_eq!(rows, vec![row!["a", 3], row!["b", 5]]);
+    }
+
+    #[test]
+    fn count_vs_count_star() {
+        let t = hash_group_by(
+            &input(),
+            &[0],
+            &[AggSpec::count("v", "c"), AggSpec::count_star("cs")],
+            &[1, usize::MAX],
+            out_schema(&[("c", DataType::Int), ("cs", DataType::Int)]),
+        )
+        .unwrap();
+        let rows = t.sorted_rows();
+        // group a: 2 non-null of 3 rows
+        assert_eq!(rows, vec![row!["a", 2, 3], row!["b", 1, 1]]);
+    }
+
+    #[test]
+    fn avg_and_empty_group_is_null() {
+        let schema = Arc::new(
+            Schema::from_pairs(&[("g", DataType::Str), ("v", DataType::Int)]).unwrap(),
+        );
+        let all_null = Table::bag(
+            schema,
+            vec![Row::new(vec![Value::str("a"), Value::Null])],
+        );
+        let t = hash_group_by(
+            &all_null,
+            &[0],
+            &[AggSpec::avg("v", "a"), AggSpec::sum("v", "s")],
+            &[1, 1],
+            out_schema(&[("a", DataType::Float), ("s", DataType::Int)]),
+        )
+        .unwrap();
+        let r = &t.rows()[0];
+        assert!(r[1].is_null());
+        assert!(r[2].is_null());
+    }
+
+    #[test]
+    fn min_max() {
+        let t = hash_group_by(
+            &input(),
+            &[0],
+            &[AggSpec::min("v", "lo"), AggSpec::max("v", "hi")],
+            &[1, 1],
+            out_schema(&[("lo", DataType::Int), ("hi", DataType::Int)]),
+        )
+        .unwrap();
+        let rows = t.sorted_rows();
+        assert_eq!(rows, vec![row!["a", 1, 2], row!["b", 5, 5]]);
+    }
+
+    #[test]
+    fn global_aggregate_single_group() {
+        let t = hash_group_by(
+            &input(),
+            &[],
+            &[AggSpec::count_star("n")],
+            &[usize::MAX],
+            Arc::new(Schema::from_pairs(&[("n", DataType::Int)]).unwrap()),
+        )
+        .unwrap();
+        assert_eq!(t.rows(), &[row![4]]);
+    }
+}

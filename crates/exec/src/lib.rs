@@ -1,0 +1,31 @@
+//! # gpivot-exec
+//!
+//! A batch (operator-at-a-time) executor for GPIVOT algebra plans.
+//!
+//! The executor evaluates a [`gpivot_algebra::Plan`] against any
+//! [`TableProvider`] — usually a [`gpivot_storage::Catalog`], or an
+//! [`Overlay`] that the maintenance engine uses to make delta tables and
+//! hypothetical post-update states visible under temporary names without
+//! copying the base catalog.
+//!
+//! Operator implementations:
+//!
+//! * selection / projection — bound-expression evaluation ([`engine`]);
+//! * joins — hash equi-join with inner / left-outer / full-outer variants
+//!   and residual predicates ([`join`]);
+//! * grouping — hash aggregation with SQL NULL semantics ([`group`]);
+//! * GPIVOT / GUNPIVOT — hash-based pivoting ([`pivot`]); the executor
+//!   *enforces* the paper's applicability condition that `(K, A1..Am)` is a
+//!   key by rejecting duplicate pivot cells at runtime;
+//! * bag union / difference ([`engine`]).
+
+pub mod engine;
+pub mod error;
+pub mod group;
+pub mod join;
+pub mod pivot;
+pub mod provider;
+
+pub use engine::{ExecTrace, Executor, TraceEntry};
+pub use error::{ExecError, Result};
+pub use provider::{Overlay, TableProvider};

@@ -1,0 +1,127 @@
+//! Table providers: where scans get their rows.
+//!
+//! [`Overlay`] is how the maintenance engine evaluates propagation
+//! sub-plans: delta bags and hypothetical post-update table states are
+//! registered under temporary names *over* the real catalog, so plans like
+//! `GPIVOT(Δlineitem ⋈ orders)` execute without copying base tables.
+
+use crate::error::Result;
+use gpivot_algebra::{AlgebraError, SchemaProvider};
+use gpivot_storage::{Catalog, SchemaRef, StorageError, Table};
+use std::collections::HashMap;
+
+/// Source of tables for plan execution.
+pub trait TableProvider {
+    /// The table registered under `name`.
+    fn get_table(&self, name: &str) -> Result<&Table>;
+
+    /// The schema of the table registered under `name`.
+    fn get_schema(&self, name: &str) -> Result<SchemaRef> {
+        Ok(self.get_table(name)?.schema().clone())
+    }
+}
+
+impl TableProvider for Catalog {
+    fn get_table(&self, name: &str) -> Result<&Table> {
+        Ok(self.table(name)?)
+    }
+}
+
+/// A set of temporary tables layered over a base catalog. Lookups hit the
+/// overlay first, then fall through to the base; an overlay entry therefore
+/// *shadows* a base table of the same name (used to present post-update
+/// states).
+pub struct Overlay<'a> {
+    base: &'a Catalog,
+    extra: HashMap<String, Table>,
+}
+
+impl<'a> Overlay<'a> {
+    /// Start an empty overlay over `base`.
+    pub fn new(base: &'a Catalog) -> Self {
+        Overlay {
+            base,
+            extra: HashMap::new(),
+        }
+    }
+
+    /// Register (or shadow) a table under `name`.
+    pub fn put(&mut self, name: impl Into<String>, table: Table) {
+        self.extra.insert(name.into(), table);
+    }
+
+    /// Builder-style [`Overlay::put`].
+    pub fn with(mut self, name: impl Into<String>, table: Table) -> Self {
+        self.put(name, table);
+        self
+    }
+
+    /// The underlying catalog.
+    pub fn base(&self) -> &Catalog {
+        self.base
+    }
+}
+
+impl TableProvider for Overlay<'_> {
+    fn get_table(&self, name: &str) -> Result<&Table> {
+        if let Some(t) = self.extra.get(name) {
+            return Ok(t);
+        }
+        Ok(self.base.table(name)?)
+    }
+}
+
+/// Adapter so any [`TableProvider`] also serves algebra schema inference.
+pub struct ProviderSchemas<'a, P: TableProvider>(pub &'a P);
+
+impl<P: TableProvider> SchemaProvider for ProviderSchemas<'_, P> {
+    fn base_schema(&self, table: &str) -> gpivot_algebra::Result<SchemaRef> {
+        self.0.get_schema(table).map_err(|_| {
+            AlgebraError::Storage(StorageError::UnknownTable(table.to_string()))
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpivot_storage::{row, DataType, Schema};
+    use std::sync::Arc;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let schema = Arc::new(
+            Schema::from_pairs_keyed(&[("id", DataType::Int)], &["id"]).unwrap(),
+        );
+        c.register("t", Table::from_rows(schema, vec![row![1]]).unwrap())
+            .unwrap();
+        c
+    }
+
+    #[test]
+    fn overlay_shadows_base() {
+        let c = catalog();
+        let schema = Arc::new(Schema::from_pairs(&[("id", DataType::Int)]).unwrap());
+        let shadow = Table::bag(schema, vec![row![7], row![8]]);
+        let ov = Overlay::new(&c).with("t", shadow);
+        assert_eq!(ov.get_table("t").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn overlay_falls_through() {
+        let c = catalog();
+        let ov = Overlay::new(&c);
+        assert_eq!(ov.get_table("t").unwrap().len(), 1);
+        assert!(ov.get_table("missing").is_err());
+    }
+
+    #[test]
+    fn provider_schemas_adapts() {
+        let c = catalog();
+        let ov = Overlay::new(&c);
+        let schemas = ProviderSchemas(&ov);
+        use gpivot_algebra::SchemaProvider as _;
+        assert_eq!(schemas.base_schema("t").unwrap().arity(), 1);
+        assert!(schemas.base_schema("missing").is_err());
+    }
+}

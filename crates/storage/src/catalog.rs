@@ -1,0 +1,138 @@
+//! The catalog: a named collection of base tables.
+//!
+//! The executor resolves `Scan` nodes against a catalog; the maintenance
+//! engine reads *pre-update* base-table states from it while propagating
+//! deltas, then commits the deltas at the end of a maintenance cycle.
+
+use crate::delta::Delta;
+use crate::error::{Result, StorageError};
+use crate::schema::SchemaRef;
+use crate::table::Table;
+use std::collections::BTreeMap;
+
+/// A named collection of tables.
+#[derive(Debug, Clone, Default)]
+pub struct Catalog {
+    tables: BTreeMap<String, Table>,
+}
+
+impl Catalog {
+    /// An empty catalog.
+    pub fn new() -> Self {
+        Catalog::default()
+    }
+
+    /// Register a table under a name.
+    pub fn register(&mut self, name: impl Into<String>, table: Table) -> Result<()> {
+        let name = name.into();
+        if self.tables.contains_key(&name) {
+            return Err(StorageError::DuplicateTable(name));
+        }
+        self.tables.insert(name, table);
+        Ok(())
+    }
+
+    /// Replace a table (or insert it if absent).
+    pub fn replace(&mut self, name: impl Into<String>, table: Table) {
+        self.tables.insert(name.into(), table);
+    }
+
+    /// Remove a table, returning it.
+    pub fn deregister(&mut self, name: &str) -> Result<Table> {
+        self.tables
+            .remove(name)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+    }
+
+    /// Borrow a table.
+    pub fn table(&self, name: &str) -> Result<&Table> {
+        self.tables
+            .get(name)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+    }
+
+    /// Mutably borrow a table.
+    pub fn table_mut(&mut self, name: &str) -> Result<&mut Table> {
+        self.tables
+            .get_mut(name)
+            .ok_or_else(|| StorageError::UnknownTable(name.to_string()))
+    }
+
+    /// Schema of a table.
+    pub fn schema(&self, name: &str) -> Result<SchemaRef> {
+        Ok(self.table(name)?.schema().clone())
+    }
+
+    /// Apply a signed delta to a base table (commit step of maintenance).
+    pub fn apply_delta(&mut self, name: &str, delta: &Delta) -> Result<()> {
+        self.table_mut(name)?.apply_delta(delta)
+    }
+
+    /// Names of all registered tables, sorted.
+    pub fn table_names(&self) -> Vec<&str> {
+        self.tables.keys().map(|s| s.as_str()).collect()
+    }
+
+    /// True iff a table with this name exists.
+    pub fn contains(&self, name: &str) -> bool {
+        self.tables.contains_key(name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use crate::schema::{DataType, Schema};
+    use std::sync::Arc;
+
+    fn table() -> Table {
+        let schema = Arc::new(
+            Schema::from_pairs_keyed(&[("id", DataType::Int)], &["id"]).unwrap(),
+        );
+        Table::from_rows(schema, vec![row![1], row![2]]).unwrap()
+    }
+
+    #[test]
+    fn register_and_lookup() {
+        let mut c = Catalog::new();
+        c.register("t", table()).unwrap();
+        assert_eq!(c.table("t").unwrap().len(), 2);
+        assert!(c.contains("t"));
+        assert_eq!(c.table_names(), vec!["t"]);
+    }
+
+    #[test]
+    fn duplicate_registration_fails() {
+        let mut c = Catalog::new();
+        c.register("t", table()).unwrap();
+        assert!(matches!(
+            c.register("t", table()),
+            Err(StorageError::DuplicateTable(_))
+        ));
+    }
+
+    #[test]
+    fn unknown_table_fails() {
+        let c = Catalog::new();
+        assert!(matches!(c.table("x"), Err(StorageError::UnknownTable(_))));
+    }
+
+    #[test]
+    fn apply_delta_commits() {
+        let mut c = Catalog::new();
+        c.register("t", table()).unwrap();
+        let d = Delta::from_deletes(vec![row![1]]);
+        c.apply_delta("t", &d).unwrap();
+        assert_eq!(c.table("t").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn deregister_returns_table() {
+        let mut c = Catalog::new();
+        c.register("t", table()).unwrap();
+        let t = c.deregister("t").unwrap();
+        assert_eq!(t.len(), 2);
+        assert!(!c.contains("t"));
+    }
+}

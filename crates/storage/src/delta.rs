@@ -1,0 +1,304 @@
+//! Deltas: signed multisets of rows.
+//!
+//! The paper presents change propagation in terms of an insert bag `ΔV` and
+//! a delete bag `∇V`. For *mixed* batches under bag semantics the algebra is
+//! cleanest over **signed multisets** (`Row → i64` multiplicity, negative =
+//! delete): union becomes addition, difference becomes subtraction, and the
+//! Griffin/Libkin join delta terms come out exactly. [`Delta`] is that
+//! object; [`DeltaSplit`] is the paper-facing `(ΔV, ∇V)` view of it.
+
+use crate::row::Row;
+use crate::value::Value;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A signed multiset of rows: each row maps to a non-zero multiplicity.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Delta {
+    counts: HashMap<Row, i64>,
+}
+
+impl Delta {
+    /// The empty delta.
+    pub fn new() -> Self {
+        Delta::default()
+    }
+
+    /// Delta representing a batch of inserted rows (each multiplicity +1).
+    pub fn from_inserts<I: IntoIterator<Item = Row>>(rows: I) -> Self {
+        let mut d = Delta::new();
+        for r in rows {
+            d.add(r, 1);
+        }
+        d
+    }
+
+    /// Delta representing a batch of deleted rows (each multiplicity -1).
+    pub fn from_deletes<I: IntoIterator<Item = Row>>(rows: I) -> Self {
+        let mut d = Delta::new();
+        for r in rows {
+            d.add(r, -1);
+        }
+        d
+    }
+
+    /// Build from an explicit insert/delete split.
+    pub fn from_split(split: &DeltaSplit) -> Self {
+        let mut d = Delta::from_inserts(split.inserts.iter().cloned());
+        for r in &split.deletes {
+            d.add(r.clone(), -1);
+        }
+        d
+    }
+
+    /// Add a row with a (possibly negative) multiplicity. Zero-count entries
+    /// are removed eagerly so emptiness checks stay exact.
+    pub fn add(&mut self, row: Row, weight: i64) {
+        if weight == 0 {
+            return;
+        }
+        match self.counts.entry(row) {
+            std::collections::hash_map::Entry::Occupied(mut o) => {
+                let c = o.get_mut();
+                *c += weight;
+                if *c == 0 {
+                    o.remove();
+                }
+            }
+            std::collections::hash_map::Entry::Vacant(v) => {
+                v.insert(weight);
+            }
+        }
+    }
+
+    /// Merge another delta into this one (bag union of signed multisets).
+    pub fn merge(&mut self, other: &Delta) {
+        for (r, &w) in other.iter() {
+            self.add(r.clone(), w);
+        }
+    }
+
+    /// The additive inverse: every multiplicity negated.
+    pub fn negated(&self) -> Delta {
+        Delta {
+            counts: self.counts.iter().map(|(r, &w)| (r.clone(), -w)).collect(),
+        }
+    }
+
+    /// Number of distinct rows carried.
+    pub fn distinct_len(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Total absolute multiplicity (number of row *changes*).
+    pub fn total_multiplicity(&self) -> u64 {
+        self.counts.values().map(|w| w.unsigned_abs()).sum()
+    }
+
+    /// True iff the delta carries no change.
+    pub fn is_empty(&self) -> bool {
+        self.counts.is_empty()
+    }
+
+    /// Iterate over `(row, signed multiplicity)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&Row, &i64)> {
+        self.counts.iter()
+    }
+
+    /// Multiplicity of a specific row (0 if absent).
+    pub fn multiplicity(&self, row: &Row) -> i64 {
+        self.counts.get(row).copied().unwrap_or(0)
+    }
+
+    /// Split into the paper-facing insert/delete bags.
+    pub fn split(&self) -> DeltaSplit {
+        let mut inserts = Vec::new();
+        let mut deletes = Vec::new();
+        for (r, &w) in &self.counts {
+            if w > 0 {
+                for _ in 0..w {
+                    inserts.push(r.clone());
+                }
+            } else {
+                for _ in 0..(-w) {
+                    deletes.push(r.clone());
+                }
+            }
+        }
+        DeltaSplit { inserts, deletes }
+    }
+
+    /// Map every row through `f`, keeping multiplicities (projection).
+    pub fn map_rows<F: Fn(&Row) -> Row>(&self, f: F) -> Delta {
+        let mut d = Delta::new();
+        for (r, &w) in &self.counts {
+            d.add(f(r), w);
+        }
+        d
+    }
+
+    /// Keep only rows where `pred` holds, keeping multiplicities (selection).
+    pub fn filter_rows<F: Fn(&Row) -> bool>(&self, pred: F) -> Delta {
+        let mut d = Delta::new();
+        for (r, &w) in &self.counts {
+            if pred(r) {
+                d.add(r.clone(), w);
+            }
+        }
+        d
+    }
+
+    /// Collect the distinct values of `row[idx]` across all carried rows
+    /// (used e.g. to collect affected keys / group values).
+    pub fn distinct_values_at(&self, indices: &[usize]) -> Vec<Row> {
+        let mut set = std::collections::HashSet::new();
+        for r in self.counts.keys() {
+            set.insert(r.project(indices));
+        }
+        set.into_iter().collect()
+    }
+}
+
+impl fmt::Display for Delta {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Delta({} distinct rows):", self.counts.len())?;
+        let mut entries: Vec<_> = self.counts.iter().collect();
+        entries.sort_by(|a, b| a.0.cmp(b.0));
+        for (r, w) in entries {
+            writeln!(f, "  {w:+} × {r:?}")?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<(Row, i64)> for Delta {
+    fn from_iter<T: IntoIterator<Item = (Row, i64)>>(iter: T) -> Self {
+        let mut d = Delta::new();
+        for (r, w) in iter {
+            d.add(r, w);
+        }
+        d
+    }
+}
+
+/// The paper-facing `(ΔV, ∇V)` split of a delta.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct DeltaSplit {
+    /// Inserted rows (`ΔV`).
+    pub inserts: Vec<Row>,
+    /// Deleted rows (`∇V`).
+    pub deletes: Vec<Row>,
+}
+
+impl DeltaSplit {
+    /// An insert-only split.
+    pub fn inserts_only(rows: Vec<Row>) -> Self {
+        DeltaSplit {
+            inserts: rows,
+            deletes: Vec::new(),
+        }
+    }
+
+    /// A delete-only split.
+    pub fn deletes_only(rows: Vec<Row>) -> Self {
+        DeltaSplit {
+            inserts: Vec::new(),
+            deletes: rows,
+        }
+    }
+
+    /// True iff no change is carried.
+    pub fn is_empty(&self) -> bool {
+        self.inserts.is_empty() && self.deletes.is_empty()
+    }
+}
+
+/// Helper used across the maintenance engine: a row of all-NULLs.
+pub fn null_row(arity: usize) -> Row {
+    Row::new(vec![Value::Null; arity])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+
+    #[test]
+    fn add_cancels_to_empty() {
+        let mut d = Delta::new();
+        d.add(row![1, "a"], 1);
+        d.add(row![1, "a"], -1);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let a = Delta::from_inserts(vec![row![1], row![1], row![2]]);
+        let mut b = Delta::from_deletes(vec![row![1]]);
+        b.merge(&a);
+        assert_eq!(b.multiplicity(&row![1]), 1);
+        assert_eq!(b.multiplicity(&row![2]), 1);
+    }
+
+    #[test]
+    fn split_roundtrip() {
+        let mut d = Delta::new();
+        d.add(row![1], 2);
+        d.add(row![2], -1);
+        let s = d.split();
+        assert_eq!(s.inserts.len(), 2);
+        assert_eq!(s.deletes, vec![row![2]]);
+        assert_eq!(Delta::from_split(&s), d);
+    }
+
+    #[test]
+    fn negated_inverts() {
+        let d = Delta::from_inserts(vec![row![1]]);
+        let mut n = d.negated();
+        n.merge(&d);
+        assert!(n.is_empty());
+    }
+
+    #[test]
+    fn map_rows_merges_collisions() {
+        let d = Delta::from_inserts(vec![row![1, "a"], row![1, "b"]]);
+        let projected = d.map_rows(|r| r.project(&[0]));
+        assert_eq!(projected.multiplicity(&row![1]), 2);
+        assert_eq!(projected.distinct_len(), 1);
+    }
+
+    #[test]
+    fn filter_rows_keeps_weights() {
+        let mut d = Delta::new();
+        d.add(row![1], -3);
+        d.add(row![2], 1);
+        let f = d.filter_rows(|r| r[0] == Value::Int(1));
+        assert_eq!(f.multiplicity(&row![1]), -3);
+        assert_eq!(f.distinct_len(), 1);
+    }
+
+    #[test]
+    fn distinct_values_at_projects() {
+        let d = Delta::from_inserts(vec![row![1, "a"], row![1, "b"], row![2, "c"]]);
+        let mut keys = d.distinct_values_at(&[0]);
+        keys.sort();
+        assert_eq!(keys, vec![row![1], row![2]]);
+    }
+
+    #[test]
+    fn total_multiplicity_counts_changes() {
+        let mut d = Delta::new();
+        d.add(row![1], 2);
+        d.add(row![2], -3);
+        assert_eq!(d.total_multiplicity(), 5);
+        assert_eq!(d.distinct_len(), 2);
+    }
+
+    #[test]
+    fn from_iterator_cancels() {
+        let d: Delta = vec![(row![1], 1), (row![1], -1), (row![2], 1)]
+            .into_iter()
+            .collect();
+        assert_eq!(d.distinct_len(), 1);
+    }
+}

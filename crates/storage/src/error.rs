@@ -1,0 +1,61 @@
+//! Error type shared by the storage layer.
+
+use std::fmt;
+
+/// Errors raised by the storage substrate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StorageError {
+    /// A referenced column does not exist in a schema.
+    UnknownColumn { name: String, schema: String },
+    /// A referenced table does not exist in the catalog.
+    UnknownTable(String),
+    /// A table with the same name is already registered.
+    DuplicateTable(String),
+    /// A row violates the table's declared key.
+    KeyViolation { table: String, key: String },
+    /// A row's arity does not match the table schema.
+    ArityMismatch { expected: usize, actual: usize },
+    /// Duplicate column name while constructing a schema.
+    DuplicateColumn(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::UnknownColumn { name, schema } => {
+                write!(f, "unknown column `{name}` in schema [{schema}]")
+            }
+            StorageError::UnknownTable(t) => write!(f, "unknown table `{t}`"),
+            StorageError::DuplicateTable(t) => write!(f, "table `{t}` already exists"),
+            StorageError::KeyViolation { table, key } => {
+                write!(f, "key violation in table `{table}` for key value {key}")
+            }
+            StorageError::ArityMismatch { expected, actual } => {
+                write!(f, "row arity {actual} does not match schema arity {expected}")
+            }
+            StorageError::DuplicateColumn(c) => write!(f, "duplicate column name `{c}`"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {}
+
+/// Result alias for storage operations.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages() {
+        let e = StorageError::UnknownColumn {
+            name: "x".into(),
+            schema: "a, b".into(),
+        };
+        assert!(e.to_string().contains("unknown column `x`"));
+        assert!(StorageError::UnknownTable("t".into())
+            .to_string()
+            .contains("`t`"));
+    }
+}

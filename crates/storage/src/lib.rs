@@ -1,0 +1,41 @@
+//! # gpivot-storage
+//!
+//! The relational storage substrate underneath the GPIVOT engine
+//! (a from-scratch reproduction of Chen & Rundensteiner, *GPIVOT: Efficient
+//! Incremental Maintenance of Complex ROLAP Views*, ICDE 2005).
+//!
+//! This crate provides the pieces every layer above builds on:
+//!
+//! * [`Value`] — a dynamically typed SQL-ish scalar with a first-class
+//!   `NULL` (the paper's `⊥`), with **total** equality/ordering/hashing so
+//!   rows can key hash maps (floats are bit-normalized).
+//! * [`Row`] — an immutable, cheaply clonable tuple of values.
+//! * [`Schema`] / [`Field`] — named, typed columns plus optional **key**
+//!   metadata. Key tracking is load-bearing: the paper's pullup rules are
+//!   gated on key preservation (§5.1 of the paper).
+//! * [`Table`] — a bag of rows with an optional enforced key and a hash
+//!   index over it, plus the `MERGE`-style keyed-update primitives ([`Table::upsert`], [`Table::update_by_key`], [`Table::delete_by_key`])
+//!   the apply phase of view maintenance uses.
+//! * [`Delta`] — a *signed multiset* of rows (`Row → i64` multiplicity),
+//!   the exact algebraic object needed for bag-semantics change propagation,
+//!   convertible to/from the paper-facing `(ΔV, ∇V)` insert/delete split.
+//! * [`Catalog`] — a named collection of base tables.
+//!
+//! Nothing in this crate knows about plans, pivots, or maintenance — it is a
+//! deliberately small, fully tested foundation.
+
+pub mod catalog;
+pub mod delta;
+pub mod error;
+pub mod row;
+pub mod schema;
+pub mod table;
+pub mod value;
+
+pub use catalog::Catalog;
+pub use delta::{Delta, DeltaSplit};
+pub use error::{Result, StorageError};
+pub use row::Row;
+pub use schema::{DataType, Field, Schema, SchemaRef};
+pub use table::Table;
+pub use value::Value;

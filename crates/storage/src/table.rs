@@ -1,0 +1,414 @@
+//! Tables: row bags with an optional enforced key and a hash index over it.
+//!
+//! Two kinds of tables appear in the system:
+//!
+//! * **Base tables** (e.g. TPC-H `lineitem`) — declared with a key; the key
+//!   index makes delta-vs-base joins and point deletions cheap.
+//! * **Materialized views** — also keyed (the paper assumes a key in the
+//!   view, §6.1); the apply phase of maintenance uses the keyed update
+//!   primitives here ([`Table::upsert`], [`Table::update_by_key`],
+//!   [`Table::delete_by_key`]) to realize the SQL `MERGE` the paper relies
+//!   on in its experiments (§7.1).
+//!
+//! Un-keyed tables degrade gracefully to plain bags.
+
+use crate::delta::Delta;
+use crate::error::{Result, StorageError};
+use crate::row::Row;
+use crate::schema::SchemaRef;
+use std::collections::HashMap;
+use std::fmt;
+
+/// A bag of rows conforming to a schema, optionally indexed by the schema key.
+#[derive(Debug, Clone)]
+pub struct Table {
+    schema: SchemaRef,
+    rows: Vec<Row>,
+    /// key-projection → position in `rows`; present iff the schema has a key.
+    key_index: Option<HashMap<Row, usize>>,
+}
+
+impl Table {
+    /// Create an empty table. A key index is built iff the schema has a key.
+    pub fn new(schema: SchemaRef) -> Self {
+        let key_index = schema.key().map(|_| HashMap::new());
+        Table {
+            schema,
+            rows: Vec::new(),
+            key_index,
+        }
+    }
+
+    /// Create a table and bulk-load rows.
+    pub fn from_rows(schema: SchemaRef, rows: Vec<Row>) -> Result<Self> {
+        let mut t = Table::new(schema);
+        for r in rows {
+            t.insert(r)?;
+        }
+        Ok(t)
+    }
+
+    /// Create an un-keyed, un-checked bag (intermediate results).
+    pub fn bag(schema: SchemaRef, rows: Vec<Row>) -> Self {
+        Table {
+            schema,
+            rows,
+            key_index: None,
+        }
+    }
+
+    /// The table schema.
+    pub fn schema(&self) -> &SchemaRef {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True iff the table holds no rows.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// The rows, in storage order.
+    pub fn rows(&self) -> &[Row] {
+        &self.rows
+    }
+
+    /// Iterate over rows.
+    pub fn iter(&self) -> std::slice::Iter<'_, Row> {
+        self.rows.iter()
+    }
+
+    fn key_projection(&self, row: &Row) -> Option<Row> {
+        self.schema.key().map(|k| row.project(k))
+    }
+
+    /// Insert a row, enforcing arity and (if declared) key uniqueness.
+    pub fn insert(&mut self, row: Row) -> Result<()> {
+        if row.arity() != self.schema.arity() {
+            return Err(StorageError::ArityMismatch {
+                expected: self.schema.arity(),
+                actual: row.arity(),
+            });
+        }
+        if let Some(key) = self.key_projection(&row) {
+            let idx = self
+                .key_index
+                .as_mut()
+                .expect("key index exists when schema has key");
+            if idx.contains_key(&key) {
+                return Err(StorageError::KeyViolation {
+                    table: "<table>".to_string(),
+                    key: format!("{key:?}"),
+                });
+            }
+            idx.insert(key, self.rows.len());
+        }
+        self.rows.push(row);
+        Ok(())
+    }
+
+    /// Insert many rows.
+    pub fn insert_many<I: IntoIterator<Item = Row>>(&mut self, rows: I) -> Result<()> {
+        for r in rows {
+            self.insert(r)?;
+        }
+        Ok(())
+    }
+
+    /// Look up the full row for a key value (key-projected row).
+    pub fn get_by_key(&self, key: &Row) -> Option<&Row> {
+        let idx = self.key_index.as_ref()?;
+        idx.get(key).map(|&pos| &self.rows[pos])
+    }
+
+    /// True iff a row with this key exists.
+    pub fn contains_key(&self, key: &Row) -> bool {
+        self.get_by_key(key).is_some()
+    }
+
+    /// Remove the row with this key; returns it if present.
+    pub fn delete_by_key(&mut self, key: &Row) -> Option<Row> {
+        let idx = self.key_index.as_mut()?;
+        let pos = idx.remove(key)?;
+        let removed = self.rows.swap_remove(pos);
+        // Fix the moved row's index entry (if any row was moved into `pos`).
+        if pos < self.rows.len() {
+            let moved_key = self
+                .schema
+                .key()
+                .map(|k| self.rows[pos].project(k))
+                .expect("keyed table");
+            self.key_index
+                .as_mut()
+                .expect("keyed table")
+                .insert(moved_key, pos);
+        }
+        Some(removed)
+    }
+
+    /// Replace the row stored under `key` with `new_row` (whose key
+    /// projection must equal `key`). Returns the old row, or `None` if the
+    /// key was absent (nothing is inserted in that case).
+    pub fn update_by_key(&mut self, key: &Row, new_row: Row) -> Option<Row> {
+        debug_assert_eq!(
+            self.key_projection(&new_row).as_ref(),
+            Some(key),
+            "update_by_key: new row's key must match"
+        );
+        let idx = self.key_index.as_ref()?;
+        let pos = *idx.get(key)?;
+        Some(std::mem::replace(&mut self.rows[pos], new_row))
+    }
+
+    /// Insert-or-replace by key. Returns the displaced row, if any.
+    pub fn upsert(&mut self, row: Row) -> Result<Option<Row>> {
+        match self.key_projection(&row) {
+            Some(key) => {
+                if self.contains_key(&key) {
+                    Ok(self.update_by_key(&key, row))
+                } else {
+                    self.insert(row)?;
+                    Ok(None)
+                }
+            }
+            None => {
+                self.insert(row)?;
+                Ok(None)
+            }
+        }
+    }
+
+    /// Delete the first row equal to `row` (bag deletion for un-keyed
+    /// tables). Returns true if a row was removed.
+    pub fn delete_row(&mut self, row: &Row) -> bool {
+        if let Some(key) = self.key_projection(row) {
+            // Keyed fast path: only delete when the stored row matches fully.
+            if self.get_by_key(&key) == Some(row) {
+                self.delete_by_key(&key);
+                return true;
+            }
+            return false;
+        }
+        if let Some(pos) = self.rows.iter().position(|r| r == row) {
+            self.rows.swap_remove(pos);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Apply a signed delta to this table: positive multiplicities insert,
+    /// negative multiplicities delete (bag semantics). For keyed tables the
+    /// paper's convention holds: a batch never inserts a duplicate key.
+    pub fn apply_delta(&mut self, delta: &Delta) -> Result<()> {
+        // Deletes first so that delete+insert of the same key in one batch
+        // (the insert/delete propagation rules do exactly this) succeeds.
+        for (row, &w) in delta.iter() {
+            if w < 0 {
+                for _ in 0..(-w) {
+                    self.delete_row(row);
+                }
+            }
+        }
+        for (row, &w) in delta.iter() {
+            if w > 0 {
+                for _ in 0..w {
+                    self.insert(row.clone())?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Rows sorted (for order-insensitive comparison in tests).
+    pub fn sorted_rows(&self) -> Vec<Row> {
+        let mut v = self.rows.clone();
+        v.sort();
+        v
+    }
+
+    /// Bag equality with another table (ignores row order and index state).
+    pub fn bag_eq(&self, other: &Table) -> bool {
+        self.schema.fields() == other.schema.fields() && self.sorted_rows() == other.sorted_rows()
+    }
+
+    /// Render the table as an aligned text grid (examples / debugging).
+    pub fn to_pretty_string(&self) -> String {
+        let names = self.schema.column_names();
+        let mut widths: Vec<usize> = names.iter().map(|n| n.chars().count()).collect();
+        let rendered: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| r.iter().map(|v| v.to_string()).collect())
+            .collect();
+        for row in &rendered {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        }
+        let mut out = String::new();
+        let sep = |out: &mut String| {
+            out.push('+');
+            for w in &widths {
+                out.push_str(&"-".repeat(w + 2));
+                out.push('+');
+            }
+            out.push('\n');
+        };
+        sep(&mut out);
+        out.push('|');
+        for (n, w) in names.iter().zip(&widths) {
+            out.push_str(&format!(" {n:<w$} |"));
+        }
+        out.push('\n');
+        sep(&mut out);
+        let mut sorted = rendered;
+        sorted.sort();
+        for row in sorted {
+            out.push('|');
+            for (cell, w) in row.iter().zip(&widths) {
+                out.push_str(&format!(" {cell:<w$} |"));
+            }
+            out.push('\n');
+        }
+        sep(&mut out);
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_pretty_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::row;
+    use crate::schema::{DataType, Schema};
+    use std::sync::Arc;
+
+    fn keyed_schema() -> SchemaRef {
+        Arc::new(
+            Schema::from_pairs_keyed(
+                &[("id", DataType::Int), ("name", DataType::Str)],
+                &["id"],
+            )
+            .unwrap(),
+        )
+    }
+
+    #[test]
+    fn insert_and_lookup_by_key() {
+        let mut t = Table::new(keyed_schema());
+        t.insert(row![1, "a"]).unwrap();
+        t.insert(row![2, "b"]).unwrap();
+        assert_eq!(t.get_by_key(&row![1]), Some(&row![1, "a"]));
+        assert_eq!(t.get_by_key(&row![3]), None);
+    }
+
+    #[test]
+    fn duplicate_key_rejected() {
+        let mut t = Table::new(keyed_schema());
+        t.insert(row![1, "a"]).unwrap();
+        assert!(matches!(
+            t.insert(row![1, "b"]),
+            Err(StorageError::KeyViolation { .. })
+        ));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let mut t = Table::new(keyed_schema());
+        assert!(matches!(
+            t.insert(row![1]),
+            Err(StorageError::ArityMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn delete_by_key_fixes_index_of_moved_row() {
+        let mut t = Table::new(keyed_schema());
+        for i in 0..5 {
+            t.insert(row![i, "x"]).unwrap();
+        }
+        assert_eq!(t.delete_by_key(&row![0]), Some(row![0, "x"]));
+        // Row 4 was swap-moved into slot 0; lookup must still find it.
+        assert_eq!(t.get_by_key(&row![4]), Some(&row![4, "x"]));
+        assert_eq!(t.len(), 4);
+    }
+
+    #[test]
+    fn update_by_key_replaces_in_place() {
+        let mut t = Table::new(keyed_schema());
+        t.insert(row![1, "a"]).unwrap();
+        let old = t.update_by_key(&row![1], row![1, "z"]);
+        assert_eq!(old, Some(row![1, "a"]));
+        assert_eq!(t.get_by_key(&row![1]), Some(&row![1, "z"]));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn upsert_inserts_then_replaces() {
+        let mut t = Table::new(keyed_schema());
+        assert_eq!(t.upsert(row![1, "a"]).unwrap(), None);
+        assert_eq!(t.upsert(row![1, "b"]).unwrap(), Some(row![1, "a"]));
+        assert_eq!(t.len(), 1);
+    }
+
+    #[test]
+    fn apply_delta_deletes_then_inserts() {
+        let mut t = Table::new(keyed_schema());
+        t.insert(row![1, "a"]).unwrap();
+        let mut d = Delta::new();
+        d.add(row![1, "a"], -1);
+        d.add(row![1, "b"], 1); // same key re-inserted: must not violate
+        t.apply_delta(&d).unwrap();
+        assert_eq!(t.get_by_key(&row![1]), Some(&row![1, "b"]));
+    }
+
+    #[test]
+    fn bag_table_allows_duplicates() {
+        let schema = Arc::new(
+            Schema::from_pairs(&[("x", DataType::Int)]).unwrap(),
+        );
+        let mut t = Table::new(schema);
+        t.insert(row![1]).unwrap();
+        t.insert(row![1]).unwrap();
+        assert_eq!(t.len(), 2);
+        assert!(t.delete_row(&row![1]));
+        assert_eq!(t.len(), 1);
+        assert!(!t.delete_row(&row![9]));
+    }
+
+    #[test]
+    fn bag_eq_ignores_order() {
+        let schema = Arc::new(Schema::from_pairs(&[("x", DataType::Int)]).unwrap());
+        let a = Table::bag(schema.clone(), vec![row![1], row![2]]);
+        let b = Table::bag(schema, vec![row![2], row![1]]);
+        assert!(a.bag_eq(&b));
+    }
+
+    #[test]
+    fn pretty_print_contains_headers() {
+        let mut t = Table::new(keyed_schema());
+        t.insert(row![1, "alpha"]).unwrap();
+        let s = t.to_pretty_string();
+        assert!(s.contains("id"));
+        assert!(s.contains("alpha"));
+    }
+
+    #[test]
+    fn delete_row_on_keyed_requires_full_match() {
+        let mut t = Table::new(keyed_schema());
+        t.insert(row![1, "a"]).unwrap();
+        assert!(!t.delete_row(&row![1, "zzz"]));
+        assert!(t.delete_row(&row![1, "a"]));
+        assert!(t.is_empty());
+    }
+}

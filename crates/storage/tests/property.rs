@@ -1,0 +1,212 @@
+//! Property-based tests for the storage substrate: the signed-multiset
+//! delta algebra, value ordering/hashing laws, and keyed-table invariants.
+
+use gpivot_storage::{Catalog, DataType, Delta, Row, Schema, Table, Value};
+use proptest::prelude::*;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+fn arb_value() -> impl Strategy<Value = Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        (-50i64..50).prop_map(Value::Int),
+        (-50i64..50).prop_map(|i| Value::Float(i as f64 / 2.0)),
+        "[a-c]{0,3}".prop_map(Value::str),
+        (-100i32..100).prop_map(Value::Date),
+    ]
+}
+
+fn arb_row() -> impl Strategy<Value = Row> {
+    prop::collection::vec(arb_value(), 1..4).prop_map(Row::new)
+}
+
+fn arb_delta() -> impl Strategy<Value = Delta> {
+    prop::collection::vec((arb_row(), -3i64..=3), 0..12)
+        .prop_map(|entries| entries.into_iter().collect())
+}
+
+proptest! {
+    #[test]
+    fn value_total_order_is_antisymmetric_and_consistent(a in arb_value(), b in arb_value()) {
+        use std::cmp::Ordering;
+        let ab = a.total_cmp(&b);
+        let ba = b.total_cmp(&a);
+        prop_assert_eq!(ab, ba.reverse());
+        prop_assert_eq!(ab == Ordering::Equal, a == b);
+    }
+
+    #[test]
+    fn value_order_is_transitive(a in arb_value(), b in arb_value(), c in arb_value()) {
+        let mut v = [a, b, c];
+        v.sort();
+        prop_assert!(v[0] <= v[1] && v[1] <= v[2] && v[0] <= v[2]);
+    }
+
+    #[test]
+    fn equal_values_hash_equal(a in arb_value(), b in arb_value()) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        if a == b {
+            let mut ha = DefaultHasher::new();
+            let mut hb = DefaultHasher::new();
+            a.hash(&mut ha);
+            b.hash(&mut hb);
+            prop_assert_eq!(ha.finish(), hb.finish());
+        }
+    }
+
+    #[test]
+    fn sql_eq_none_iff_null_operand(a in arb_value(), b in arb_value()) {
+        prop_assert_eq!(a.sql_eq(&b).is_none(), a.is_null() || b.is_null());
+    }
+
+    #[test]
+    fn delta_merge_is_commutative(a in arb_delta(), b in arb_delta()) {
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+    }
+
+    #[test]
+    fn delta_merge_is_associative(a in arb_delta(), b in arb_delta(), c in arb_delta()) {
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        prop_assert_eq!(left, right);
+    }
+
+    #[test]
+    fn delta_negation_is_inverse(a in arb_delta()) {
+        let mut x = a.clone();
+        x.merge(&a.negated());
+        prop_assert!(x.is_empty());
+    }
+
+    #[test]
+    fn delta_split_roundtrips(a in arb_delta()) {
+        prop_assert_eq!(Delta::from_split(&a.split()), a);
+    }
+
+    #[test]
+    fn delta_total_multiplicity_additive_under_disjoint_sign(a in arb_delta()) {
+        let s = a.split();
+        prop_assert_eq!(
+            a.total_multiplicity() as usize,
+            s.inserts.len() + s.deletes.len()
+        );
+    }
+
+    #[test]
+    fn map_rows_preserves_total_weight_sum(a in arb_delta()) {
+        // Projection may merge rows but the signed weight sum is invariant.
+        let total: i64 = a.iter().map(|(_, &w)| w).sum();
+        let mapped = a.map_rows(|r| r.project(&[0]));
+        let mapped_total: i64 = mapped.iter().map(|(_, &w)| w).sum();
+        prop_assert_eq!(total, mapped_total);
+    }
+}
+
+// Model-based test: a keyed table behaves like a HashMap from key to row.
+proptest! {
+    #[test]
+    fn keyed_table_matches_hashmap_model(
+        ops in prop::collection::vec((0u8..4, 0i64..12, "[a-z]{1,2}"), 0..60)
+    ) {
+        let schema = Arc::new(
+            Schema::from_pairs_keyed(
+                &[("id", DataType::Int), ("payload", DataType::Str)],
+                &["id"],
+            )
+            .unwrap(),
+        );
+        let mut table = Table::new(schema);
+        let mut model: HashMap<i64, String> = HashMap::new();
+
+        for (op, id, payload) in ops {
+            let key = Row::new(vec![Value::Int(id)]);
+            let row = Row::new(vec![Value::Int(id), Value::str(&payload)]);
+            match op {
+                0 => {
+                    // insert: fails iff key present
+                    let expect_err = model.contains_key(&id);
+                    let result = table.insert(row);
+                    prop_assert_eq!(result.is_err(), expect_err);
+                    if !expect_err {
+                        model.insert(id, payload);
+                    }
+                }
+                1 => {
+                    // upsert
+                    table.upsert(row).unwrap();
+                    model.insert(id, payload);
+                }
+                2 => {
+                    // delete by key
+                    let removed = table.delete_by_key(&key);
+                    prop_assert_eq!(removed.is_some(), model.remove(&id).is_some());
+                }
+                _ => {
+                    // lookup
+                    let got = table.get_by_key(&key).map(|r| r[1].clone());
+                    let want = model.get(&id).map(|s| Value::str(s));
+                    prop_assert_eq!(got, want);
+                }
+            }
+        }
+        prop_assert_eq!(table.len(), model.len());
+        for (id, payload) in &model {
+            let key = Row::new(vec![Value::Int(*id)]);
+            let row = table.get_by_key(&key).unwrap();
+            prop_assert_eq!(row[1].clone(), Value::str(payload));
+        }
+    }
+
+    #[test]
+    fn apply_delta_then_inverse_restores_table(
+        base_ids in prop::collection::btree_set(0i64..15, 0..10),
+        delete_picks in prop::collection::vec(any::<prop::sample::Index>(), 0..5),
+        insert_ids in prop::collection::btree_set(20i64..35, 0..5),
+    ) {
+        let schema = Arc::new(
+            Schema::from_pairs_keyed(&[("id", DataType::Int)], &["id"]).unwrap(),
+        );
+        let rows: Vec<Row> = base_ids.iter().map(|&i| Row::new(vec![Value::Int(i)])).collect();
+        let mut table = Table::from_rows(schema, rows.clone()).unwrap();
+        let original = table.clone();
+
+        let mut delta = Delta::new();
+        if !rows.is_empty() {
+            for pick in &delete_picks {
+                delta.add(rows[pick.index(rows.len())].clone(), -1);
+            }
+        }
+        for &i in &insert_ids {
+            delta.add(Row::new(vec![Value::Int(i)]), 1);
+        }
+        // Deduplicate repeated deletes of the same row (a row exists once).
+        let delta: Delta = delta
+            .iter()
+            .map(|(r, &w)| (r.clone(), w.clamp(-1, 1)))
+            .collect();
+
+        table.apply_delta(&delta).unwrap();
+        table.apply_delta(&delta.negated()).unwrap();
+        prop_assert!(table.bag_eq(&original));
+    }
+}
+
+#[test]
+fn catalog_round_trip() {
+    let schema = Arc::new(Schema::from_pairs(&[("x", DataType::Int)]).unwrap());
+    let mut c = Catalog::new();
+    c.register("t", Table::bag(schema, vec![])).unwrap();
+    assert!(c.contains("t"));
+    assert_eq!(c.deregister("t").unwrap().len(), 0);
+}

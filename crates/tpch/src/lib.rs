@@ -1,0 +1,28 @@
+//! # gpivot-tpch
+//!
+//! TPC-H-shaped synthetic data and workloads for the GPIVOT evaluation.
+//!
+//! The paper runs its experiments (§7) on TPC-H at scale factor 1.0 on an
+//! Oracle 10g instance. We reproduce the *shape* of that evaluation with a
+//! deterministic in-process generator: the same three tables the paper's
+//! views touch (`customer`, `orders`, `lineitem`, plus a small `part` table
+//! for examples), the same key/foreign-key structure, and the same
+//! cardinality ratios (1 : 10 : ~40 per scale unit), at a configurable
+//! scale factor.
+//!
+//! * [`gen`] — the data generator ([`TpchConfig`], [`generate`]).
+//! * [`views`] — the paper's three view families (Figures 32, 36, 39) as
+//!   plan builders.
+//! * [`workload`] — the delta-workload generators of §7.2: fractional
+//!   deletes, update-only inserts, and insert-only inserts.
+
+pub mod gen;
+pub mod views;
+pub mod workload;
+
+pub use gen::{generate, TpchConfig};
+pub use views::{view1, view2, view3, LINE_NUMBERS, VIEW_YEARS};
+pub use workload::{
+    customer_churn, delete_fraction, insert_new_rows, insert_updates_only, mixed_batch,
+    order_churn,
+};

@@ -1,0 +1,112 @@
+//! Tour of the rewriting rules: combination (Eq. 5–6), pullups (Eq. 7–10),
+//! pushdowns (Eq. 11–12) and the query optimizer built from them — the
+//! paper's "dual purpose" claim made visible.
+//!
+//! ```text
+//! cargo run --example rewrite_explorer
+//! ```
+
+use gpivot::core::combine::{can_combine, compose_specs, split_composition};
+use gpivot::core::rewrite::optimizer::optimize;
+use gpivot::core::rewrite::pullup::push_select_below_pivot_selfjoin;
+use gpivot::prelude::*;
+use std::sync::Arc;
+
+fn catalog() -> Result<Catalog, Box<dyn std::error::Error>> {
+    let sales_schema = Schema::from_pairs_keyed(
+        &[
+            ("Country", DataType::Str),
+            ("Manu", DataType::Str),
+            ("Type", DataType::Str),
+            ("Price", DataType::Int),
+        ],
+        &["Country", "Manu", "Type"],
+    )?;
+    let sales = Table::from_rows(
+        Arc::new(sales_schema),
+        vec![
+            row!["USA", "Sony", "TV", 100],
+            row!["USA", "Sony", "VCR", 150],
+            row!["USA", "Panasonic", "TV", 120],
+            row!["Japan", "Sony", "TV", 90],
+            row!["Japan", "Panasonic", "VCR", 80],
+        ],
+    )?;
+    let mut c = Catalog::new();
+    c.register("sales", sales)?;
+    Ok(c)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let c = catalog()?;
+
+    // ── Composition (Eq. 6, Figure 6) ───────────────────────────────────
+    println!("═══ pivot composition (Eq. 6) ═══");
+    let inner = PivotSpec::simple("Type", "Price", vec![Value::str("TV"), Value::str("VCR")]);
+    let outer = PivotSpec::new(
+        vec!["Manu"],
+        inner.output_col_names(),
+        vec![vec![Value::str("Sony")], vec![Value::str("Panasonic")]],
+    );
+    println!("combinability: {}", can_combine(&inner, &outer));
+    let combined = compose_specs(&inner, &outer)?;
+    println!("combined spec: {combined}");
+    let stacked = Plan::scan("sales").gpivot(inner).gpivot(outer);
+    let merged = Plan::scan("sales").gpivot(combined.clone());
+    let a = Executor::execute(&stacked, &c)?;
+    let b = Executor::execute(&merged, &c)?;
+    assert!(a.bag_eq(&b));
+    println!("stacked pivots ≡ combined pivot on real data ✓");
+    println!("{b}");
+
+    // ── Split (§4.3) ─────────────────────────────────────────────────────
+    println!("═══ split (§4.3): the reverse rewrite ═══");
+    let parts = split_composition(&combined, 1)?;
+    println!("split back into: inner {} / outer {}", parts.first, parts.second);
+
+    // ── Fig. 7's non-combinable cases ────────────────────────────────────
+    println!("\n═══ §4.2.3 completeness: a non-combinable pair ═══");
+    let bad_outer = PivotSpec::new(
+        vec!["Country"],
+        vec!["TV**Price"], // consumes only some pivoted columns
+        vec![vec![Value::str("USA")]],
+    );
+    let inner2 = PivotSpec::simple("Type", "Price", vec![Value::str("TV"), Value::str("VCR")]);
+    println!("verdict: {}", can_combine(&inner2, &bad_outer));
+
+    // ── Eq. 7: selection over pivoted cells → self-joins ────────────────
+    println!("\n═══ Eq. 7: pushing σ(cell) below the pivot ═══");
+    let filtered = Plan::scan("sales")
+        .gpivot(PivotSpec::new(
+            vec!["Manu", "Type"],
+            vec!["Price"],
+            vec![
+                vec![Value::str("Sony"), Value::str("TV")],
+                vec![Value::str("Sony"), Value::str("VCR")],
+            ],
+        ))
+        .select(Expr::col("Sony**TV**Price").gt(Expr::lit(95)));
+    println!("before:\n{filtered}");
+    let pushed = push_select_below_pivot_selfjoin(&filtered, &c)?;
+    println!("after (pivot on top, σ as key-qualifying self-joins):\n{pushed}");
+    let x = Executor::execute(&filtered, &c)?;
+    let y = Executor::execute(&pushed, &c)?;
+    assert!(x.bag_eq(&y));
+    println!("equivalent on real data ✓");
+
+    // ── The optimizer: cancellation (Eq. 9) found automatically ────────
+    println!("\n═══ optimizer: GUNPIVOT(GPIVOT(V)) cancels (Eq. 9) ═══");
+    let spec = PivotSpec::simple("Type", "Price", vec![Value::str("TV"), Value::str("VCR")]);
+    let roundtrip = Plan::scan("sales")
+        .gpivot(spec.clone())
+        .gunpivot(UnpivotSpec::reversing(&spec));
+    println!("before ({} nodes, {} pivots):\n{roundtrip}", roundtrip.node_count(), roundtrip.pivot_count());
+    let (optimized, log) = optimize(&roundtrip, &c);
+    println!("rules: {log:?}");
+    println!("after ({} nodes, {} pivots):\n{optimized}", optimized.node_count(), optimized.pivot_count());
+    let x = Executor::execute(&roundtrip, &c)?;
+    let y = Executor::execute(&optimized, &c)?;
+    assert!(x.bag_eq(&y));
+    println!("equivalent on real data ✓");
+    Ok(())
+}

@@ -1,0 +1,261 @@
+//! The paper's completeness story (§3): "for those intermediate pivot
+//! operators that cannot be pulled up, we have to apply the insert/delete
+//! propagation rules … This also makes our solution complete in the sense
+//! that it is capable of maintaining any ROLAP views."
+//!
+//! These tests build views whose pivots provably *cannot* be hoisted
+//! (Figure 10's grouping-on-pivoted-columns case, key-losing projections,
+//! GUNPIVOT-fed aggregations) and check that the fallback strategies still
+//! maintain them exactly.
+
+use gpivot::prelude::*;
+use std::sync::Arc;
+
+fn catalog() -> Catalog {
+    let schema = Schema::from_pairs_keyed(
+        &[
+            ("id", DataType::Int),
+            ("attr", DataType::Str),
+            ("val", DataType::Int),
+        ],
+        &["id", "attr"],
+    )
+    .unwrap();
+    let t = Table::from_rows(
+        Arc::new(schema),
+        vec![
+            row![1, "a", 10],
+            row![1, "b", 20],
+            row![2, "a", 10],
+            row![2, "b", 99],
+            row![3, "b", 20],
+            row![4, "a", 10],
+        ],
+    )
+    .unwrap();
+    let mut c = Catalog::new();
+    c.register("facts", t).unwrap();
+    c
+}
+
+fn spec() -> PivotSpec {
+    PivotSpec::simple("attr", "val", vec![Value::str("a"), Value::str("b")])
+}
+
+fn deltas() -> SourceDeltas {
+    let mut d = SourceDeltas::new();
+    d.delete_rows("facts", vec![row![1, "a", 10], row![3, "b", 20]]);
+    d.insert_rows("facts", vec![row![3, "a", 10], row![5, "b", 7]]);
+    d
+}
+
+/// Figure 10's non-pullable shape: GROUP BY over pivoted output columns.
+#[test]
+fn grouping_on_pivoted_columns_falls_back_and_still_maintains() {
+    let view = Plan::scan("facts")
+        .gpivot(spec())
+        .group_by(&["a**val"], vec![AggSpec::count_star("n")]);
+
+    let c = catalog();
+    // Normalization must leave the pivot stuck...
+    let nv = normalize_view(&view, &c).unwrap();
+    assert!(
+        matches!(nv.shape, TopShape::Relational | TopShape::StuckPivot),
+        "grouping on pivoted values must not hoist the pivot; got {:?}",
+        nv.shape
+    );
+    // ...the planner must fall back...
+    let vm = ViewManager::new(c.clone());
+    let strategy = vm.choose_strategy(&view);
+    assert_eq!(strategy, Strategy::InsertDelete);
+
+    // ...and the fallback must still be exact.
+    let mut vm = ViewManager::new(c);
+    vm.create_view("v", view).unwrap();
+    vm.refresh(&deltas()).unwrap();
+    assert!(vm.verify_view("v").unwrap());
+}
+
+/// A projection that drops a pivoted output column. §5.1.2 cannot push it
+/// below the pivot — but the paper also advises "not to remove the pivoted
+/// output columns in the materialized view definition". The view manager
+/// follows that advice automatically: the top projection is absorbed into
+/// the output map, the *full* pivot is materialized (so the Fig. 23 update
+/// rules still apply), and the dropped cell is merely hidden from the
+/// user-facing view.
+#[test]
+fn cell_dropping_projection_materializes_full_pivot() {
+    let view = Plan::scan("facts")
+        .gpivot(spec())
+        .project_cols(&["id", "a**val"]);
+    let mut vm = ViewManager::new(catalog());
+    let strategy = vm.create_view("v", view).unwrap();
+    assert_eq!(strategy, Strategy::PivotUpdate);
+    // The materialized table keeps every cell...
+    assert!(vm
+        .view("v")
+        .unwrap()
+        .table()
+        .schema()
+        .index_of("b**val")
+        .is_ok());
+    // ...while the user view hides the dropped one.
+    assert_eq!(
+        vm.query_view("v").unwrap().schema().column_names(),
+        vec!["id", "a**val"]
+    );
+    vm.refresh(&deltas()).unwrap();
+    assert!(vm.verify_view("v").unwrap());
+}
+
+/// A keyless view (duplicate-producing projection): still maintainable as a
+/// bag with the insert/delete rules — the paper's "count algorithm" remark
+/// in §6.1.
+#[test]
+fn keyless_view_is_maintained_as_a_bag() {
+    let view = Plan::scan("facts")
+        .gpivot(spec())
+        .project_cols(&["a**val", "b**val"]); // drops the key column `id`
+    let c = catalog();
+    let nv_schema = view.schema(&c).unwrap();
+    assert!(!nv_schema.has_key(), "precondition: the view has no key");
+
+    let mut vm = ViewManager::new(c);
+    vm.create_view("v", view).unwrap();
+    vm.refresh(&deltas()).unwrap();
+    assert!(vm.verify_view("v").unwrap());
+}
+
+/// GUNPIVOT feeding an aggregation on *name* columns (§5.3.4's non-pullable
+/// case — "we cannot aggregate over column names").
+#[test]
+fn unpivot_with_name_aggregation_still_maintains() {
+    let s = spec();
+    let view = Plan::scan("facts")
+        .gpivot(s.clone())
+        .gunpivot(UnpivotSpec::reversing(&s))
+        .group_by(&["id"], vec![AggSpec::max("attr", "last_attr")]);
+    let mut vm = ViewManager::new(catalog());
+    vm.create_view("v", view).unwrap();
+    vm.refresh(&deltas()).unwrap();
+    assert!(vm.verify_view("v").unwrap());
+}
+
+/// Simultaneous deltas on several base tables of the same view.
+#[test]
+fn multi_table_delta_batches() {
+    let mut c = catalog();
+    let dims = Schema::from_pairs_keyed(
+        &[("d_id", DataType::Int), ("grp", DataType::Str)],
+        &["d_id"],
+    )
+    .unwrap();
+    c.register(
+        "dims",
+        Table::from_rows(
+            Arc::new(dims),
+            vec![row![1, "x"], row![2, "y"], row![3, "x"], row![4, "y"], row![5, "x"]],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+
+    let view = Plan::scan("facts")
+        .gpivot(spec())
+        .join(Plan::scan("dims"), vec![("id", "d_id")]);
+    for strategy in [Strategy::Recompute, Strategy::InsertDelete, Strategy::PivotUpdate] {
+        let mut vm = ViewManager::new(c.clone());
+        vm.create_view_with("v", view.clone(), strategy).unwrap();
+        // One batch touching both tables at once.
+        let mut d = deltas();
+        d.delete_rows("dims", vec![row![2, "y"]]);
+        d.insert_rows("dims", vec![row![2, "z"], row![6, "x"]]);
+        vm.refresh(&d).unwrap();
+        assert!(
+            vm.verify_view("v").unwrap(),
+            "strategy {strategy} diverged on a multi-table batch"
+        );
+    }
+}
+
+/// Views over a GUNPIVOT top (no pivot at all at the top) maintain via the
+/// linear Fig. 22 unpivot propagation inside InsertDelete.
+#[test]
+fn unpivot_topped_view_maintains_linearly() {
+    let s = spec();
+    let view = Plan::scan("facts")
+        .gpivot(s.clone())
+        .gunpivot(UnpivotSpec::reversing(&s));
+    let mut vm = ViewManager::new(catalog());
+    vm.create_view("v", view).unwrap();
+    let outcome = vm.refresh(&deltas()).unwrap().remove("v").unwrap();
+    assert!(outcome.stats.total() > 0);
+    assert!(vm.verify_view("v").unwrap());
+}
+
+/// A UNION of two pivoted branches: no pullup rule crosses a bag union, so
+/// the pivots stay stuck — and the insert/delete fallback still maintains
+/// the view exactly.
+#[test]
+fn union_of_pivots_maintains_via_fallback() {
+    let view = Plan::Union {
+        left: Box::new(Plan::scan("facts").gpivot(spec())),
+        right: Box::new(
+            Plan::scan("facts")
+                .select(Expr::col("val").gt(Expr::lit(15)))
+                .gpivot(spec()),
+        ),
+    };
+    let mut vm = ViewManager::new(catalog());
+    let strategy = vm.create_view("v", view).unwrap();
+    assert_eq!(strategy, Strategy::InsertDelete);
+    vm.refresh(&deltas()).unwrap();
+    assert!(vm.verify_view("v").unwrap());
+}
+
+/// AVG is not self-maintainable under the Fig. 27 rules (the paper
+/// restricts them to SUM/COUNT); the planner must fall back to the
+/// affected-group recomputation method, which handles any aggregate.
+#[test]
+fn avg_crosstab_falls_back_to_groupby_insdel() {
+    let view = Plan::scan("facts")
+        .group_by(
+            &["attr"],
+            vec![AggSpec::avg("val", "avg_val")],
+        )
+        .gpivot(PivotSpec::new(
+            vec!["attr"],
+            vec!["avg_val"],
+            vec![vec![Value::str("a")], vec![Value::str("b")]],
+        ));
+    let mut vm = ViewManager::new(catalog());
+    let strategy = vm.create_view("v", view).unwrap();
+    assert_eq!(strategy, Strategy::GroupByInsDel);
+    vm.refresh(&deltas()).unwrap();
+    assert!(vm.verify_view("v").unwrap());
+}
+
+/// MIN/MAX crosstabs likewise: group recomputation handles order statistics
+/// that no incremental rule can maintain under deletes.
+#[test]
+fn min_max_crosstab_falls_back_and_survives_deletes() {
+    let view = Plan::scan("facts")
+        .group_by(
+            &["attr"],
+            vec![AggSpec::min("val", "lo"), AggSpec::max("val", "hi")],
+        )
+        .gpivot(PivotSpec::new(
+            vec!["attr"],
+            vec!["lo", "hi"],
+            vec![vec![Value::str("a")], vec![Value::str("b")]],
+        ));
+    let mut vm = ViewManager::new(catalog());
+    let strategy = vm.create_view("v", view).unwrap();
+    assert_eq!(strategy, Strategy::GroupByInsDel);
+    // Delete the current max of group (attr=b): only recomputation can
+    // discover the new max, which is exactly what GroupByInsDel does.
+    let mut d = SourceDeltas::new();
+    d.delete_rows("facts", vec![row![2, "b", 99]]);
+    vm.refresh(&d).unwrap();
+    assert!(vm.verify_view("v").unwrap());
+}

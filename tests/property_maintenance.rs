@@ -1,0 +1,279 @@
+//! Property-based end-to-end tests: for *random* base data and *random*
+//! (key-respecting) delta batches, every applicable maintenance strategy
+//! must converge to exactly what recomputation over the post-update state
+//! produces — across all four view shapes the paper distinguishes.
+
+use gpivot::prelude::*;
+// `gpivot::prelude::Strategy` (the maintenance strategy) clashes with
+// proptest's `Strategy` trait; import the latter anonymously.
+use proptest::prelude::{
+    any, prop, prop_assert, prop_assert_eq, prop_oneof, proptest, Just, ProptestConfig,
+};
+use proptest::strategy::Strategy as _;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+const ATTRS: [&str; 4] = ["a", "b", "c", "d"];
+
+/// A random vertical fact table `facts(id, attr, val)` with key (id, attr),
+/// where `val` may be NULL, plus a dimension table `dims(id, grp)`.
+#[derive(Debug, Clone)]
+struct Scenario {
+    facts: Vec<(i64, usize, Option<i64>)>,
+    dims: Vec<(i64, i64)>,
+    deletes: Vec<usize>,          // indices into facts
+    inserts: Vec<(i64, usize, Option<i64>)>,
+}
+
+fn arb_scenario() -> impl proptest::strategy::Strategy<Value = Scenario> {
+    let facts = prop::collection::btree_set((0i64..12, 0usize..ATTRS.len()), 0..30)
+        .prop_flat_map(|keys| {
+            let keys: Vec<_> = keys.into_iter().collect();
+            let n = keys.len();
+            (
+                Just(keys),
+                prop::collection::vec(
+                    prop_oneof![Just(None), (1i64..100).prop_map(Some)],
+                    n,
+                ),
+            )
+        })
+        .prop_map(|(keys, vals)| {
+            keys.into_iter()
+                .zip(vals)
+                .map(|((id, attr), val)| (id, attr, val))
+                .collect::<Vec<_>>()
+        });
+    (facts, prop::collection::vec(0i64..4, 12))
+        .prop_flat_map(|(facts, grps)| {
+
+            let dims: Vec<(i64, i64)> = (0i64..12).zip(grps).collect();
+            (
+                Just(facts),
+                Just(dims),
+                prop::collection::vec(any::<prop::sample::Index>(), 0..6),
+                prop::collection::btree_set((0i64..14, 0usize..ATTRS.len()), 0..8),
+                prop::collection::vec(
+                    prop_oneof![Just(None), (1i64..100).prop_map(Some)],
+                    8,
+                ),
+            )
+        })
+        .prop_map(|(facts, dims, delete_picks, insert_keys, insert_vals)| {
+            // Deletes: distinct indices into facts.
+            let mut deletes: BTreeSet<usize> = BTreeSet::new();
+            if !facts.is_empty() {
+                for p in delete_picks {
+                    deletes.insert(p.index(facts.len()));
+                }
+            }
+            // Inserts: keys absent from (facts − deletes).
+            let surviving: BTreeSet<(i64, usize)> = facts
+                .iter()
+                .enumerate()
+                .filter(|(i, _)| !deletes.contains(i))
+                .map(|(_, &(id, attr, _))| (id, attr))
+                .collect();
+            let inserts: Vec<(i64, usize, Option<i64>)> = insert_keys
+                .into_iter()
+                .zip(insert_vals)
+                .filter(|((id, attr), _)| !surviving.contains(&(*id, *attr)))
+                .map(|((id, attr), val)| (id, attr, val))
+                .collect();
+            Scenario {
+                facts,
+                dims,
+                deletes: deletes.into_iter().collect(),
+                inserts,
+            }
+        })
+}
+
+fn fact_row(&(id, attr, val): &(i64, usize, Option<i64>)) -> Row {
+    Row::new(vec![
+        Value::Int(id),
+        Value::str(ATTRS[attr]),
+        val.map(Value::Int).unwrap_or(Value::Null),
+    ])
+}
+
+fn build_catalog(s: &Scenario) -> Catalog {
+    let fact_schema = Schema::from_pairs_keyed(
+        &[
+            ("id", DataType::Int),
+            ("attr", DataType::Str),
+            ("val", DataType::Int),
+        ],
+        &["id", "attr"],
+    )
+    .unwrap();
+    let facts = Table::from_rows(
+        Arc::new(fact_schema),
+        s.facts.iter().map(fact_row).collect(),
+    )
+    .unwrap();
+    let dim_schema = Schema::from_pairs_keyed(
+        &[("d_id", DataType::Int), ("grp", DataType::Int)],
+        &["d_id"],
+    )
+    .unwrap();
+    let dims = Table::from_rows(
+        Arc::new(dim_schema),
+        s.dims
+            .iter()
+            .map(|&(id, grp)| Row::new(vec![Value::Int(id), Value::Int(grp)]))
+            .collect(),
+    )
+    .unwrap();
+    let mut c = Catalog::new();
+    c.register("facts", facts).unwrap();
+    c.register("dims", dims).unwrap();
+    c
+}
+
+fn build_deltas(s: &Scenario) -> SourceDeltas {
+    let mut d = SourceDeltas::new();
+    d.delete_rows(
+        "facts",
+        s.deletes.iter().map(|&i| fact_row(&s.facts[i])).collect(),
+    );
+    d.insert_rows("facts", s.inserts.iter().map(fact_row).collect());
+    d
+}
+
+fn pivot_spec() -> PivotSpec {
+    PivotSpec::simple(
+        "attr",
+        "val",
+        ATTRS.iter().take(3).map(|a| Value::str(*a)).collect(),
+    )
+}
+
+/// The four view shapes of the paper, §6.
+fn view_shapes() -> Vec<(&'static str, Plan, Vec<Strategy>)> {
+    let pure_pivot = Plan::scan("facts").gpivot(pivot_spec());
+    let pivot_join = Plan::scan("facts")
+        .gpivot(pivot_spec())
+        .join(Plan::scan("dims"), vec![("id", "d_id")]);
+    let select_pivot = Plan::scan("facts")
+        .gpivot(pivot_spec())
+        .select(Expr::col("a**val").gt(Expr::lit(25)));
+    let group_pivot = Plan::scan("facts")
+        .join(Plan::scan("dims"), vec![("id", "d_id")])
+        .group_by(
+            &["grp", "attr"],
+            vec![AggSpec::sum("val", "s"), AggSpec::count_star("n")],
+        )
+        .gpivot(PivotSpec::new(
+            vec!["attr"],
+            vec!["s", "n"],
+            ATTRS.iter().take(3).map(|a| vec![Value::str(*a)]).collect(),
+        ));
+    use Strategy::*;
+    vec![
+        ("pure-pivot", pure_pivot, vec![Recompute, InsertDelete, PivotUpdate]),
+        ("pivot-join", pivot_join, vec![Recompute, InsertDelete, PivotUpdate]),
+        (
+            "select-pivot",
+            select_pivot,
+            vec![Recompute, InsertDelete, SelectPushdownUpdate, SelectPivotUpdate],
+        ),
+        (
+            "group-pivot",
+            group_pivot,
+            vec![Recompute, GroupByInsDel, GroupPivotUpdate],
+        ),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 48,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn every_strategy_converges_on_random_data(s in arb_scenario()) {
+        let deltas = build_deltas(&s);
+        for (name, plan, strategies) in view_shapes() {
+            for strategy in strategies {
+                let mut vm = ViewManager::new(build_catalog(&s));
+                vm.create_view_with("v", plan.clone(), strategy)
+                    .unwrap_or_else(|e| panic!("{name}/{strategy}: create failed: {e}"));
+                vm.refresh(&deltas)
+                    .unwrap_or_else(|e| panic!("{name}/{strategy}: refresh failed: {e}"));
+                prop_assert!(
+                    vm.verify_view("v").unwrap(),
+                    "{}/{} diverged from recomputation\nscenario: {:?}",
+                    name, strategy, s
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn pivot_unpivot_roundtrip_on_random_data(s in arb_scenario()) {
+        // GUNPIVOT(GPIVOT(V)) keeps exactly the listed-attribute, non-⊥ rows.
+        let c = build_catalog(&s);
+        let spec = pivot_spec();
+        let roundtrip = Plan::scan("facts")
+            .gpivot(spec.clone())
+            .gunpivot(UnpivotSpec::reversing(&spec));
+        let got = Executor::execute(&roundtrip, &c).unwrap();
+        let expected = Executor::execute(
+            &Plan::scan("facts").select(
+                Expr::col("attr")
+                    .in_list(spec.groups.iter().map(|g| g[0].clone()).collect())
+                    .and(Expr::col("val").is_null().not()),
+            ),
+            &c,
+        )
+        .unwrap();
+        prop_assert_eq!(got.sorted_rows(), expected.sorted_rows());
+    }
+
+    #[test]
+    fn normalization_preserves_view_semantics(s in arb_scenario()) {
+        let c = build_catalog(&s);
+        for (name, plan, _) in view_shapes() {
+            let nv = normalize_view(&plan, &c).unwrap();
+            let original = Executor::execute(&plan, &c).unwrap();
+            let rewritten = Executor::execute(&nv.view_plan(), &c).unwrap();
+            prop_assert_eq!(
+                original.schema().column_names(),
+                rewritten.schema().column_names(),
+                "{}: columns changed", name
+            );
+            prop_assert_eq!(
+                original.sorted_rows(),
+                rewritten.sorted_rows(),
+                "{}: contents changed", name
+            );
+        }
+    }
+
+    #[test]
+    fn consecutive_refreshes_stay_consistent(
+        s in arb_scenario(),
+        s2_inserts in prop::collection::btree_set((20i64..26, 0usize..ATTRS.len()), 0..6),
+    ) {
+        // Two maintenance rounds in sequence on the auto-selected strategy.
+        let mut vm = ViewManager::new(build_catalog(&s));
+        let (_, plan, _) = &view_shapes()[3]; // group-pivot crosstab
+        vm.create_view("v", plan.clone()).unwrap();
+
+        vm.refresh(&build_deltas(&s)).unwrap();
+        prop_assert!(vm.verify_view("v").unwrap());
+
+        let mut second = SourceDeltas::new();
+        second.insert_rows(
+            "facts",
+            s2_inserts
+                .into_iter()
+                .map(|(id, attr)| fact_row(&(id, attr, Some(id))))
+                .collect(),
+        );
+        vm.refresh(&second).unwrap();
+        prop_assert!(vm.verify_view("v").unwrap());
+    }
+}
