@@ -1,0 +1,701 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Implements the subset this workspace's property tests use: the
+//! [`proptest!`] / [`prop_oneof!`] / `prop_assert*!` macros, the
+//! [`strategy::Strategy`] trait with `prop_map` / `prop_flat_map` /
+//! `boxed`, [`strategy::Just`], [`arbitrary::any`], integer-range and
+//! tuple strategies, [`collection::vec`] / [`collection::btree_set`],
+//! [`sample::Index`], and a tiny [`string::string_regex`] (single
+//! character class + `{m,n}` quantifier).
+//!
+//! **No shrinking**: a failing property panics with the case number; the
+//! per-case seeds are fixed, so failures reproduce deterministically but
+//! are not minimized.
+
+pub mod test_runner {
+    /// Per-test configuration (`ProptestConfig` in the prelude).
+    #[derive(Debug, Clone)]
+    pub struct Config {
+        /// Number of random cases each property runs.
+        pub cases: u32,
+        /// Accepted for API compatibility with the real crate; this stub
+        /// does no shrinking, so the value is never consulted.
+        pub max_shrink_iters: u32,
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Config {
+                cases: 64,
+                max_shrink_iters: 1024,
+            }
+        }
+    }
+
+    /// The deterministic SplitMix64 source behind every strategy.
+    #[derive(Debug, Clone)]
+    pub struct TestRng {
+        state: u64,
+    }
+
+    impl TestRng {
+        /// A fixed stream per case index, so failures reproduce.
+        pub fn deterministic(case: u64) -> TestRng {
+            TestRng {
+                state: 0xA076_1D64_78BD_642F ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            }
+        }
+
+        pub fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform `usize` in `lo..=hi`.
+        pub fn usize_inclusive(&mut self, lo: usize, hi: usize) -> usize {
+            debug_assert!(lo <= hi);
+            lo + (self.next_u64() as usize) % (hi - lo + 1)
+        }
+    }
+}
+
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+    use std::sync::Arc;
+
+    /// A generator of random values (no shrink tree in this stand-in).
+    pub trait Strategy {
+        type Value;
+
+        fn gen_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        fn prop_map<O, F: Fn(Self::Value) -> O>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { source: self, f }
+        }
+
+        fn prop_flat_map<S2: Strategy, F: Fn(Self::Value) -> S2>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { source: self, f }
+        }
+
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Arc::new(self))
+        }
+    }
+
+    /// A type-erased, cheaply clonable strategy.
+    pub struct BoxedStrategy<T>(Arc<dyn Strategy<Value = T>>);
+
+    impl<T> Clone for BoxedStrategy<T> {
+        fn clone(&self) -> Self {
+            BoxedStrategy(Arc::clone(&self.0))
+        }
+    }
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            self.0.gen_value(rng)
+        }
+    }
+
+    /// Always yields a clone of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn gen_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    pub struct Map<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn gen_value(&self, rng: &mut TestRng) -> O {
+            (self.f)(self.source.gen_value(rng))
+        }
+    }
+
+    pub struct FlatMap<S, F> {
+        source: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn gen_value(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.source.gen_value(rng)).gen_value(rng)
+        }
+    }
+
+    /// Uniform choice between boxed alternatives (the `prop_oneof!` macro).
+    pub struct Union<T> {
+        arms: Vec<BoxedStrategy<T>>,
+    }
+
+    impl<T> Union<T> {
+        pub fn new(arms: Vec<BoxedStrategy<T>>) -> Self {
+            assert!(!arms.is_empty(), "prop_oneof! needs at least one arm");
+            Union { arms }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn gen_value(&self, rng: &mut TestRng) -> T {
+            let i = rng.usize_inclusive(0, self.arms.len() - 1);
+            self.arms[i].gen_value(rng)
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for Range<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    assert!(self.start < self.end, "empty range strategy");
+                    let span = (self.end as i128 - self.start as i128) as u128;
+                    let v = (rng.next_u64() as u128) % span;
+                    (self.start as i128 + v as i128) as $t
+                }
+            }
+            impl Strategy for RangeInclusive<$t> {
+                type Value = $t;
+                fn gen_value(&self, rng: &mut TestRng) -> $t {
+                    let (lo, hi) = (*self.start(), *self.end());
+                    assert!(lo <= hi, "empty range strategy");
+                    let span = (hi as i128 - lo as i128) as u128 + 1;
+                    let v = (rng.next_u64() as u128) % span;
+                    (lo as i128 + v as i128) as $t
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// A `&str` literal is a regex strategy (see [`crate::string`]).
+    impl Strategy for &'static str {
+        type Value = String;
+        fn gen_value(&self, rng: &mut TestRng) -> String {
+            crate::string::string_regex(self)
+                .unwrap_or_else(|e| panic!("invalid regex strategy {self:?}: {e}"))
+                .gen_value(rng)
+        }
+    }
+
+    macro_rules! impl_tuple_strategy {
+        ($($s:ident),+) => {
+            impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+                type Value = ($($s::Value,)+);
+                #[allow(non_snake_case)]
+                fn gen_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($s,)+) = self;
+                    ($($s.gen_value(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod arbitrary {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical random generator (`any::<T>()`).
+    pub trait Arbitrary: Sized {
+        fn arbitrary(rng: &mut TestRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// The strategy form of [`Arbitrary`].
+    #[derive(Debug, Clone, Copy)]
+    pub struct Any<A>(PhantomData<A>);
+
+    impl<A: Arbitrary> Strategy for Any<A> {
+        type Value = A;
+        fn gen_value(&self, rng: &mut TestRng) -> A {
+            A::arbitrary(rng)
+        }
+    }
+
+    pub fn any<A: Arbitrary>() -> Any<A> {
+        Any(PhantomData)
+    }
+}
+
+pub mod sample {
+    use crate::arbitrary::Arbitrary;
+    use crate::test_runner::TestRng;
+
+    /// A length-agnostic index: resolve against a concrete `len` later.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+    pub struct Index(u64);
+
+    impl Index {
+        /// The index this represents within a collection of `len` items.
+        pub fn index(&self, len: usize) -> usize {
+            assert!(len > 0, "Index::index on an empty collection");
+            (self.0 % len as u64) as usize
+        }
+    }
+
+    impl Arbitrary for Index {
+        fn arbitrary(rng: &mut TestRng) -> Self {
+            Index(rng.next_u64())
+        }
+    }
+}
+
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::collections::BTreeSet;
+    use std::ops::{Range, RangeInclusive};
+
+    /// Inclusive size bounds for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi: usize,
+    }
+
+    impl SizeRange {
+        fn pick(&self, rng: &mut TestRng) -> usize {
+            rng.usize_inclusive(self.lo, self.hi)
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi: n }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                lo: r.start,
+                hi: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            SizeRange {
+                lo: *r.start(),
+                hi: *r.end(),
+            }
+        }
+    }
+
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let n = self.size.pick(rng);
+            (0..n).map(|_| self.element.gen_value(rng)).collect()
+        }
+    }
+
+    pub struct BTreeSetStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    pub fn btree_set<S: Strategy>(element: S, size: impl Into<SizeRange>) -> BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        BTreeSetStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for BTreeSetStrategy<S>
+    where
+        S::Value: Ord,
+    {
+        type Value = BTreeSet<S::Value>;
+        fn gen_value(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+            let target = self.size.pick(rng);
+            let mut out = BTreeSet::new();
+            // Small domains may not be able to fill `target` distinct
+            // values; bail out after a bounded number of attempts.
+            let mut attempts = 8 * target + 16;
+            while out.len() < target && attempts > 0 {
+                out.insert(self.element.gen_value(rng));
+                attempts -= 1;
+            }
+            out
+        }
+    }
+}
+
+pub mod string {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::fmt;
+
+    /// Error from [`string_regex`] on unsupported patterns.
+    #[derive(Debug, Clone)]
+    pub struct Error(String);
+
+    impl fmt::Display for Error {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str(&self.0)
+        }
+    }
+
+    impl std::error::Error for Error {}
+
+    /// One `[class]{m,n}` / literal atom of the supported pattern language.
+    #[derive(Debug, Clone)]
+    struct Atom {
+        chars: Vec<char>,
+        min: usize,
+        max: usize,
+    }
+
+    /// Generates strings matching a small regex subset: a sequence of
+    /// literal characters and character classes (`[a-z_*\\⊥]`), each with
+    /// an optional `{m}` / `{m,n}` / `*` / `+` / `?` quantifier.
+    #[derive(Debug, Clone)]
+    pub struct RegexGeneratorStrategy {
+        atoms: Vec<Atom>,
+    }
+
+    impl Strategy for RegexGeneratorStrategy {
+        type Value = String;
+        fn gen_value(&self, rng: &mut TestRng) -> String {
+            let mut out = String::new();
+            for atom in &self.atoms {
+                let n = rng.usize_inclusive(atom.min, atom.max);
+                for _ in 0..n {
+                    let i = rng.usize_inclusive(0, atom.chars.len() - 1);
+                    out.push(atom.chars[i]);
+                }
+            }
+            out
+        }
+    }
+
+    /// Build a generator for the given pattern (the supported subset).
+    pub fn string_regex(pattern: &str) -> Result<RegexGeneratorStrategy, Error> {
+        let mut chars = pattern.chars().peekable();
+        let mut atoms = Vec::new();
+        while let Some(c) = chars.next() {
+            let set = match c {
+                '[' => parse_class(&mut chars, pattern)?,
+                '\\' => vec![chars
+                    .next()
+                    .ok_or_else(|| Error(format!("dangling escape in {pattern:?}")))?],
+                '{' | '}' | ']' | '*' | '+' | '?' | '(' | ')' | '|' | '.' | '^' | '$' => {
+                    return Err(Error(format!(
+                        "unsupported regex construct {c:?} in {pattern:?}"
+                    )))
+                }
+                lit => vec![lit],
+            };
+            let (min, max) = parse_quantifier(&mut chars, pattern)?;
+            atoms.push(Atom {
+                chars: set,
+                min,
+                max,
+            });
+        }
+        Ok(RegexGeneratorStrategy { atoms })
+    }
+
+    fn parse_class(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+        pattern: &str,
+    ) -> Result<Vec<char>, Error> {
+        let mut set = Vec::new();
+        loop {
+            let c = chars
+                .next()
+                .ok_or_else(|| Error(format!("unterminated class in {pattern:?}")))?;
+            match c {
+                ']' => break,
+                '\\' => set.push(
+                    chars
+                        .next()
+                        .ok_or_else(|| Error(format!("dangling escape in {pattern:?}")))?,
+                ),
+                lo => {
+                    // Range `lo-hi` (a literal `-` before `]` stays literal).
+                    if chars.peek() == Some(&'-') {
+                        let mut ahead = chars.clone();
+                        ahead.next(); // consume '-'
+                        match ahead.peek() {
+                            Some(&']') | None => set.push(lo),
+                            Some(&hi) => {
+                                chars.next();
+                                chars.next();
+                                if hi < lo {
+                                    return Err(Error(format!(
+                                        "inverted range {lo}-{hi} in {pattern:?}"
+                                    )));
+                                }
+                                set.extend(lo..=hi);
+                            }
+                        }
+                    } else {
+                        set.push(lo);
+                    }
+                }
+            }
+        }
+        if set.is_empty() {
+            return Err(Error(format!("empty class in {pattern:?}")));
+        }
+        Ok(set)
+    }
+
+    fn parse_quantifier(
+        chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+        pattern: &str,
+    ) -> Result<(usize, usize), Error> {
+        match chars.peek() {
+            Some('{') => {
+                chars.next();
+                let mut body = String::new();
+                for c in chars.by_ref() {
+                    if c == '}' {
+                        let (min, max) = match body.split_once(',') {
+                            Some((m, n)) => (
+                                m.trim().parse().map_err(|_| bad(pattern))?,
+                                n.trim().parse().map_err(|_| bad(pattern))?,
+                            ),
+                            None => {
+                                let n = body.trim().parse().map_err(|_| bad(pattern))?;
+                                (n, n)
+                            }
+                        };
+                        if min > max {
+                            return Err(bad(pattern));
+                        }
+                        return Ok((min, max));
+                    }
+                    body.push(c);
+                }
+                Err(Error(format!("unterminated quantifier in {pattern:?}")))
+            }
+            Some('*') => {
+                chars.next();
+                Ok((0, 8))
+            }
+            Some('+') => {
+                chars.next();
+                Ok((1, 8))
+            }
+            Some('?') => {
+                chars.next();
+                Ok((0, 1))
+            }
+            _ => Ok((1, 1)),
+        }
+    }
+
+    fn bad(pattern: &str) -> Error {
+        Error(format!("malformed quantifier in {pattern:?}"))
+    }
+}
+
+pub mod prelude {
+    pub use crate::arbitrary::{any, Any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+
+    /// The `prop::` module-path alias the real prelude exposes.
+    pub mod prop {
+        pub use crate::{collection, sample, strategy, string};
+    }
+}
+
+/// Define property tests: each `#[test] fn name(arg in strategy, ...)`
+/// becomes a plain test running `cases` random deterministic cases.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { ($cfg) $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { ($crate::test_runner::Config::default()) $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (($cfg:expr) $($(#[$meta:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __config: $crate::test_runner::Config = $cfg;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::test_runner::TestRng::deterministic(__case as u64);
+                    $(let $arg = $crate::strategy::Strategy::gen_value(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Uniform choice between strategies yielding the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($strat)),+
+        ])
+    };
+}
+
+/// In this stand-in the `prop_assert*` family simply panics (no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn ranges_tuples_and_maps_compose() {
+        let strat = (0i64..10, prop_oneof![Just(None), (1i64..5).prop_map(Some)]);
+        let mut rng = TestRng::deterministic(1);
+        for _ in 0..200 {
+            let (a, b) = strat.gen_value(&mut rng);
+            assert!((0..10).contains(&a));
+            if let Some(v) = b {
+                assert!((1..5).contains(&v));
+            }
+        }
+    }
+
+    #[test]
+    fn string_regex_supports_classes_ranges_and_escapes() {
+        let strat = crate::string::string_regex("[a-c*\\\\⊥]{0,6}").unwrap();
+        let mut rng = TestRng::deterministic(2);
+        let mut seen_star = false;
+        for _ in 0..500 {
+            let s = strat.gen_value(&mut rng);
+            assert!(s.chars().count() <= 6);
+            assert!(
+                s.chars().all(|c| "abc*\\⊥".contains(c)),
+                "bad char in {s:?}"
+            );
+            seen_star |= s.contains('*');
+        }
+        assert!(seen_star, "all class members should be reachable");
+    }
+
+    #[test]
+    fn collections_respect_size_bounds() {
+        let v = crate::collection::vec(0u8..=255, 3..7);
+        let s = crate::collection::btree_set(0i64..4, 0..10);
+        let mut rng = TestRng::deterministic(3);
+        for _ in 0..100 {
+            let xs = v.gen_value(&mut rng);
+            assert!((3..7).contains(&xs.len()));
+            // Domain of 4 values: the set can never exceed 4 elements.
+            assert!(s.gen_value(&mut rng).len() <= 4);
+        }
+    }
+
+    #[test]
+    fn sample_index_resolves_in_bounds() {
+        let strat = crate::collection::vec(any::<crate::sample::Index>(), 0..5);
+        let mut rng = TestRng::deterministic(4);
+        for _ in 0..100 {
+            for ix in strat.gen_value(&mut rng) {
+                assert!(ix.index(7) < 7);
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+        #[test]
+        fn the_macro_itself_works(x in 0i64..100, s in "[a-z]{1,3}") {
+            prop_assert!(x >= 0);
+            prop_assert!((1..=3).contains(&s.chars().count()));
+            prop_assert_eq!(x, x);
+            prop_assert_ne!(s.len(), 0);
+        }
+    }
+}

@@ -142,7 +142,10 @@ mod tests {
 
     #[test]
     fn display() {
-        assert_eq!(AggSpec::sum("price", "total").to_string(), "sum(price) AS total");
+        assert_eq!(
+            AggSpec::sum("price", "total").to_string(),
+            "sum(price) AS total"
+        );
         assert_eq!(AggSpec::count_star("cnt").to_string(), "count(*) AS cnt");
     }
 }

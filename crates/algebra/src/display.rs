@@ -44,8 +44,7 @@ impl Plan {
                 on,
                 residual,
             } => {
-                let conds: Vec<String> =
-                    on.iter().map(|(l, r)| format!("{l}={r}")).collect();
+                let conds: Vec<String> = on.iter().map(|(l, r)| format!("{l}={r}")).collect();
                 let mut line = format!("{pad}Join {kind} ⋈[{}]", conds.join(" ∧ "));
                 if let Some(res) = residual {
                     let _ = write!(line, " residual[{res}]");

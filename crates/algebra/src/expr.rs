@@ -184,6 +184,7 @@ impl Expr {
     }
 
     /// `self + other`.
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, other: Expr) -> Expr {
         Expr::Bin(BinOp::Add, Box::new(self), Box::new(other))
     }
@@ -228,7 +229,10 @@ impl Expr {
             }
             Expr::Not(a) | Expr::IsNull(a) => a.collect_columns(out),
             Expr::InList(a, _) => a.collect_columns(out),
-            Expr::Case { branches, otherwise } => {
+            Expr::Case {
+                branches,
+                otherwise,
+            } => {
                 for (c, v) in branches {
                     c.collect_columns(out);
                     v.collect_columns(out);
@@ -279,18 +283,19 @@ impl Expr {
                 Box::new(a.rename_columns(f)),
                 Box::new(b.rename_columns(f)),
             ),
-            Expr::And(a, b) => Expr::And(
-                Box::new(a.rename_columns(f)),
-                Box::new(b.rename_columns(f)),
-            ),
-            Expr::Or(a, b) => Expr::Or(
-                Box::new(a.rename_columns(f)),
-                Box::new(b.rename_columns(f)),
-            ),
+            Expr::And(a, b) => {
+                Expr::And(Box::new(a.rename_columns(f)), Box::new(b.rename_columns(f)))
+            }
+            Expr::Or(a, b) => {
+                Expr::Or(Box::new(a.rename_columns(f)), Box::new(b.rename_columns(f)))
+            }
             Expr::Not(a) => Expr::Not(Box::new(a.rename_columns(f))),
             Expr::IsNull(a) => Expr::IsNull(Box::new(a.rename_columns(f))),
             Expr::InList(a, vs) => Expr::InList(Box::new(a.rename_columns(f)), vs.clone()),
-            Expr::Case { branches, otherwise } => Expr::Case {
+            Expr::Case {
+                branches,
+                otherwise,
+            } => Expr::Case {
                 branches: branches
                     .iter()
                     .map(|(c, v)| (c.rename_columns(f), v.rename_columns(f)))
@@ -315,18 +320,23 @@ impl Expr {
                 Value::Str(_) => DataType::Str,
                 Value::Date(_) => DataType::Date,
             },
-            Expr::Cmp(..) | Expr::And(..) | Expr::Or(..) | Expr::Not(_) | Expr::IsNull(_)
+            Expr::Cmp(..)
+            | Expr::And(..)
+            | Expr::Or(..)
+            | Expr::Not(_)
+            | Expr::IsNull(_)
             | Expr::InList(..) => DataType::Bool,
-            Expr::Bin(_, a, b) => {
-                match (a.data_type(schema), b.data_type(schema)) {
-                    (DataType::Int, DataType::Int) => DataType::Int,
-                    (DataType::Int | DataType::Float, DataType::Int | DataType::Float) => {
-                        DataType::Float
-                    }
-                    _ => DataType::Any,
+            Expr::Bin(_, a, b) => match (a.data_type(schema), b.data_type(schema)) {
+                (DataType::Int, DataType::Int) => DataType::Int,
+                (DataType::Int | DataType::Float, DataType::Int | DataType::Float) => {
+                    DataType::Float
                 }
-            }
-            Expr::Case { branches, otherwise } => branches
+                _ => DataType::Any,
+            },
+            Expr::Case {
+                branches,
+                otherwise,
+            } => branches
                 .first()
                 .map(|(_, v)| v.data_type(schema))
                 .unwrap_or_else(|| otherwise.data_type(schema)),
@@ -344,16 +354,15 @@ impl Expr {
             Expr::Bin(op, a, b) => {
                 BoundExpr::Bin(*op, Box::new(a.bind(schema)?), Box::new(b.bind(schema)?))
             }
-            Expr::And(a, b) => {
-                BoundExpr::And(Box::new(a.bind(schema)?), Box::new(b.bind(schema)?))
-            }
-            Expr::Or(a, b) => {
-                BoundExpr::Or(Box::new(a.bind(schema)?), Box::new(b.bind(schema)?))
-            }
+            Expr::And(a, b) => BoundExpr::And(Box::new(a.bind(schema)?), Box::new(b.bind(schema)?)),
+            Expr::Or(a, b) => BoundExpr::Or(Box::new(a.bind(schema)?), Box::new(b.bind(schema)?)),
             Expr::Not(a) => BoundExpr::Not(Box::new(a.bind(schema)?)),
             Expr::IsNull(a) => BoundExpr::IsNull(Box::new(a.bind(schema)?)),
             Expr::InList(a, vs) => BoundExpr::InList(Box::new(a.bind(schema)?), vs.clone()),
-            Expr::Case { branches, otherwise } => BoundExpr::Case {
+            Expr::Case {
+                branches,
+                otherwise,
+            } => BoundExpr::Case {
                 branches: branches
                     .iter()
                     .map(|(c, v)| Ok((c.bind(schema)?, v.bind(schema)?)))
@@ -398,7 +407,10 @@ impl fmt::Display for Expr {
                 }
                 write!(f, "))")
             }
-            Expr::Case { branches, otherwise } => {
+            Expr::Case {
+                branches,
+                otherwise,
+            } => {
                 write!(f, "CASE")?;
                 for (c, v) in branches {
                     write!(f, " WHEN {c} THEN {v}")?;
@@ -434,12 +446,10 @@ impl BoundExpr {
         match self {
             BoundExpr::Col(i) => row[*i].clone(),
             BoundExpr::Lit(v) => v.clone(),
-            BoundExpr::Cmp(op, a, b) => {
-                match a.eval(row).compare(&b.eval(row)) {
-                    Some(ord) => Value::Bool(op.holds(ord)),
-                    None => Value::Null,
-                }
-            }
+            BoundExpr::Cmp(op, a, b) => match a.eval(row).compare(&b.eval(row)) {
+                Some(ord) => Value::Bool(op.holds(ord)),
+                None => Value::Null,
+            },
             BoundExpr::Bin(op, a, b) => {
                 let (x, y) = (a.eval(row), b.eval(row));
                 if x.is_null() || y.is_null() {
@@ -456,26 +466,22 @@ impl BoundExpr {
                         },
                     },
                     BinOp::Div => match (x.as_f64(), y.as_f64()) {
-                        (Some(_), Some(q)) if q == 0.0 => Value::Null,
+                        (Some(_), Some(0.0)) => Value::Null,
                         (Some(p), Some(q)) => Value::Float(p / q),
                         _ => Value::Null,
                     },
                 }
             }
-            BoundExpr::And(a, b) => {
-                match (to_tvl(a.eval(row)), to_tvl(b.eval(row))) {
-                    (Some(false), _) | (_, Some(false)) => Value::Bool(false),
-                    (Some(true), Some(true)) => Value::Bool(true),
-                    _ => Value::Null,
-                }
-            }
-            BoundExpr::Or(a, b) => {
-                match (to_tvl(a.eval(row)), to_tvl(b.eval(row))) {
-                    (Some(true), _) | (_, Some(true)) => Value::Bool(true),
-                    (Some(false), Some(false)) => Value::Bool(false),
-                    _ => Value::Null,
-                }
-            }
+            BoundExpr::And(a, b) => match (to_tvl(a.eval(row)), to_tvl(b.eval(row))) {
+                (Some(false), _) | (_, Some(false)) => Value::Bool(false),
+                (Some(true), Some(true)) => Value::Bool(true),
+                _ => Value::Null,
+            },
+            BoundExpr::Or(a, b) => match (to_tvl(a.eval(row)), to_tvl(b.eval(row))) {
+                (Some(true), _) | (_, Some(true)) => Value::Bool(true),
+                (Some(false), Some(false)) => Value::Bool(false),
+                _ => Value::Null,
+            },
             BoundExpr::Not(a) => match to_tvl(a.eval(row)) {
                 Some(b) => Value::Bool(!b),
                 None => Value::Null,
@@ -489,7 +495,10 @@ impl BoundExpr {
                     Value::Bool(vs.contains(&v))
                 }
             }
-            BoundExpr::Case { branches, otherwise } => {
+            BoundExpr::Case {
+                branches,
+                otherwise,
+            } => {
                 for (c, out) in branches {
                     if to_tvl(c.eval(row)) == Some(true) {
                         return out.eval(row);
@@ -583,11 +592,7 @@ mod tests {
         assert_eq!(e.eval(&s, &row![2, 3, "x"]).unwrap(), Value::Int(5));
         let null_row = Row::new(vec![Value::Null, Value::Int(3), Value::str("x")]);
         assert!(e.eval(&s, &null_row).unwrap().is_null());
-        let div = Expr::Bin(
-            BinOp::Div,
-            Box::new(Expr::col("a")),
-            Box::new(Expr::lit(0)),
-        );
+        let div = Expr::Bin(BinOp::Div, Box::new(Expr::col("a")), Box::new(Expr::lit(0)));
         assert!(div.eval(&s, &row![2, 3, "x"]).unwrap().is_null());
     }
 
@@ -595,10 +600,7 @@ mod tests {
     fn case_expression() {
         let s = schema();
         let e = Expr::Case {
-            branches: vec![(
-                Expr::col("a").gt(Expr::lit(0)),
-                Expr::lit("pos"),
-            )],
+            branches: vec![(Expr::col("a").gt(Expr::lit(0)), Expr::lit("pos"))],
             otherwise: Box::new(Expr::lit("neg")),
         };
         assert_eq!(e.eval(&s, &row![1, 0, "x"]).unwrap(), Value::str("pos"));
@@ -643,7 +645,9 @@ mod tests {
 
     #[test]
     fn display_round() {
-        let e = Expr::col("a").gt(Expr::lit(5)).and(Expr::col("s").eq(Expr::lit("x")));
+        let e = Expr::col("a")
+            .gt(Expr::lit(5))
+            .and(Expr::col("s").eq(Expr::lit("x")));
         assert_eq!(e.to_string(), "((a > 5) AND (s = 'x'))");
     }
 
@@ -660,7 +664,10 @@ mod tests {
     fn data_type_inference() {
         let s = schema();
         assert_eq!(Expr::col("a").data_type(&s), DataType::Int);
-        assert_eq!(Expr::col("a").gt(Expr::lit(1)).data_type(&s), DataType::Bool);
+        assert_eq!(
+            Expr::col("a").gt(Expr::lit(1)).data_type(&s),
+            DataType::Bool
+        );
         assert_eq!(
             Expr::col("a").add(Expr::col("b")).data_type(&s),
             DataType::Int

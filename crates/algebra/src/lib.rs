@@ -39,5 +39,5 @@ pub use builder::PlanBuilder;
 pub use error::{AlgebraError, Result};
 pub use expr::{BinOp, BoundExpr, CmpOp, Expr};
 pub use names::{decode_pivot_col, encode_pivot_col};
-pub use plan::{JoinKind, Plan, PivotSpec, UnpivotGroup, UnpivotSpec};
+pub use plan::{JoinKind, PivotSpec, Plan, UnpivotGroup, UnpivotSpec};
 pub use schema_infer::SchemaProvider;

@@ -59,10 +59,7 @@ pub fn value_segment(v: &Value) -> String {
 /// agree on output names, as the paper's completeness argument (§4.2.3)
 /// requires.
 pub fn encode_pivot_col(tags: &[Value], measure: &str) -> String {
-    let mut parts: Vec<String> = tags
-        .iter()
-        .map(|t| escape(&value_segment(t)))
-        .collect();
+    let mut parts: Vec<String> = tags.iter().map(|t| escape(&value_segment(t))).collect();
     parts.push(measure.to_string());
     parts.join(SEP)
 }

@@ -65,11 +65,7 @@ impl PivotSpec {
     }
 
     /// The simple PIVOT of Eq. 1: one dimension column, one measure column.
-    pub fn simple(
-        by: impl Into<String>,
-        on: impl Into<String>,
-        values: Vec<Value>,
-    ) -> Self {
+    pub fn simple(by: impl Into<String>, on: impl Into<String>, values: Vec<Value>) -> Self {
         PivotSpec {
             by: vec![by.into()],
             on: vec![on.into()],
@@ -275,7 +271,9 @@ impl UnpivotSpec {
             .enumerate()
             .map(|(gi, g)| UnpivotGroup {
                 tags: g.clone(),
-                cols: (0..pivot.on.len()).map(|bj| pivot.col_name(gi, bj)).collect(),
+                cols: (0..pivot.on.len())
+                    .map(|bj| pivot.col_name(gi, bj))
+                    .collect(),
             })
             .collect();
         UnpivotSpec {
@@ -356,7 +354,10 @@ pub enum Plan {
     Select { input: Box<Plan>, predicate: Expr },
     /// π — compute named output expressions (generalizes both positive and
     /// negative projection; no duplicate elimination, bag semantics).
-    Project { input: Box<Plan>, items: Vec<ProjItem> },
+    Project {
+        input: Box<Plan>,
+        items: Vec<ProjItem>,
+    },
     /// ⨝ — equi-join on column-name pairs with an optional residual
     /// predicate over the concatenated schema.
     Join {
@@ -385,7 +386,9 @@ pub enum Plan {
 impl Plan {
     /// Scan constructor.
     pub fn scan(table: impl Into<String>) -> Plan {
-        Plan::Scan { table: table.into() }
+        Plan::Scan {
+            table: table.into(),
+        }
     }
 
     /// σ constructor.
@@ -485,13 +488,21 @@ impl Plan {
 
     /// Count of operator nodes (used to compare rewritten plans).
     pub fn node_count(&self) -> usize {
-        1 + self.children().iter().map(|c| c.node_count()).sum::<usize>()
+        1 + self
+            .children()
+            .iter()
+            .map(|c| c.node_count())
+            .sum::<usize>()
     }
 
     /// Number of GPIVOT nodes in the tree.
     pub fn pivot_count(&self) -> usize {
         let own = usize::from(matches!(self, Plan::GPivot { .. }));
-        own + self.children().iter().map(|c| c.pivot_count()).sum::<usize>()
+        own + self
+            .children()
+            .iter()
+            .map(|c| c.pivot_count())
+            .sum::<usize>()
     }
 
     /// Operator name, for display.
@@ -554,10 +565,7 @@ mod tests {
         );
         assert_eq!(spec.groups.len(), 4);
         assert_eq!(spec.groups[0], vec![Value::str("Sony"), Value::str("TV")]);
-        assert_eq!(
-            spec.col_name(3, 0),
-            "Panasonic**VCR**Price"
-        );
+        assert_eq!(spec.col_name(3, 0), "Panasonic**VCR**Price");
     }
 
     #[test]
@@ -587,11 +595,7 @@ mod tests {
 
     #[test]
     fn pivot_spec_rejects_duplicate_groups() {
-        let spec = PivotSpec::simple(
-            "Attribute",
-            "Value",
-            vec![Value::str("a"), Value::str("a")],
-        );
+        let spec = PivotSpec::simple("Attribute", "Value", vec![Value::str("a"), Value::str("a")]);
         assert!(spec.validate(&iteminfo_schema()).is_err());
     }
 
@@ -616,10 +620,7 @@ mod tests {
         assert_eq!(un.groups.len(), 2);
         assert_eq!(un.name_cols, vec!["Manu", "Type"]);
         assert_eq!(un.value_cols, vec!["Price", "Qty"]);
-        assert_eq!(
-            un.groups[0].cols,
-            vec!["Sony**TV**Price", "Sony**TV**Qty"]
-        );
+        assert_eq!(un.groups[0].cols, vec!["Sony**TV**Price", "Sony**TV**Qty"]);
     }
 
     #[test]
@@ -663,8 +664,7 @@ mod tests {
 
     #[test]
     fn pivot_count_counts_gpivots() {
-        let p = Plan::scan("t")
-            .gpivot(PivotSpec::simple("a", "b", vec![Value::str("x")]));
+        let p = Plan::scan("t").gpivot(PivotSpec::simple("a", "b", vec![Value::str("x")]));
         assert_eq!(p.pivot_count(), 1);
         assert_eq!(Plan::scan("t").pivot_count(), 0);
     }

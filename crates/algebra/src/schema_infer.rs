@@ -45,9 +45,9 @@ impl Plan {
             Plan::Select { input, predicate } => {
                 let schema = input.schema(provider)?;
                 // Validate the predicate binds.
-                predicate.bind(&schema).map_err(|e| {
-                    AlgebraError::InvalidExpr(format!("select predicate: {e}"))
-                })?;
+                predicate
+                    .bind(&schema)
+                    .map_err(|e| AlgebraError::InvalidExpr(format!("select predicate: {e}")))?;
                 Ok(schema)
             }
 
@@ -144,9 +144,10 @@ fn derive_project(input: &Schema, items: &[(Expr, String)]) -> Result<SchemaRef>
         let mut ok = true;
         for &ki in key {
             let key_name = &input.fields()[ki].name;
-            match items.iter().position(
-                |(e, _)| matches!(e, Expr::Col(c) if c == key_name),
-            ) {
+            match items
+                .iter()
+                .position(|(e, _)| matches!(e, Expr::Col(c) if c == key_name))
+            {
                 Some(pos) => new_key.push(pos),
                 None => {
                     ok = false;
@@ -242,7 +243,8 @@ fn derive_group_by(input: &Schema, group_by: &[String], aggs: &[AggSpec]) -> Res
             AggFunc::Avg => DataType::Float,
             AggFunc::Sum | AggFunc::Min | AggFunc::Max => {
                 let t = input.field(&a.input)?.data_type;
-                if a.func == AggFunc::Sum && !matches!(t, DataType::Int | DataType::Float | DataType::Any)
+                if a.func == AggFunc::Sum
+                    && !matches!(t, DataType::Int | DataType::Float | DataType::Any)
                 {
                     return Err(AlgebraError::InvalidGroupBy(format!(
                         "sum over non-numeric column `{}`",
@@ -252,7 +254,11 @@ fn derive_group_by(input: &Schema, group_by: &[String], aggs: &[AggSpec]) -> Res
                 t
             }
         };
-        if a.func == AggFunc::Count || a.func == AggFunc::Min || a.func == AggFunc::Max || a.func == AggFunc::Avg {
+        if a.func == AggFunc::Count
+            || a.func == AggFunc::Min
+            || a.func == AggFunc::Max
+            || a.func == AggFunc::Avg
+        {
             input.index_of(&a.input)?;
         }
         fields.push(Field::new(a.output.clone(), out_type));
@@ -301,9 +307,8 @@ fn derive_gpivot(input: &Schema, spec: &crate::plan::PivotSpec) -> Result<Schema
 fn derive_gunpivot(input: &Schema, spec: &crate::plan::UnpivotSpec) -> Result<SchemaRef> {
     let k_cols = spec.validate(input)?;
 
-    let mut fields = Vec::with_capacity(
-        k_cols.len() + spec.name_cols.len() + spec.value_cols.len(),
-    );
+    let mut fields =
+        Vec::with_capacity(k_cols.len() + spec.name_cols.len() + spec.value_cols.len());
     for k in &k_cols {
         fields.push(input.field(k)?.clone());
     }
@@ -418,8 +423,7 @@ mod tests {
     #[test]
     fn scan_and_select_preserve_schema() {
         let p = provider();
-        let plan = Plan::scan("iteminfo")
-            .select(Expr::col("Value").eq(Expr::lit("Sony")));
+        let plan = Plan::scan("iteminfo").select(Expr::col("Value").eq(Expr::lit("Sony")));
         let s = plan.schema(&p).unwrap();
         assert_eq!(s.arity(), 3);
         assert_eq!(s.key_names().unwrap(), vec!["AuctionID", "Attribute"]);
@@ -471,11 +475,7 @@ mod tests {
             );
             m
         };
-        let plan = Plan::scan("nokey").gpivot(PivotSpec::simple(
-            "a",
-            "b",
-            vec![Value::str("x")],
-        ));
+        let plan = Plan::scan("nokey").gpivot(PivotSpec::simple("a", "b", vec![Value::str("x")]));
         assert!(matches!(
             plan.schema(&p),
             Err(AlgebraError::PivotRequiresKey { .. })
@@ -489,7 +489,11 @@ mod tests {
             "t".to_string(),
             Arc::new(
                 Schema::from_pairs_keyed(
-                    &[("k", DataType::Int), ("a", DataType::Str), ("b", DataType::Int)],
+                    &[
+                        ("k", DataType::Int),
+                        ("a", DataType::Str),
+                        ("b", DataType::Int),
+                    ],
                     &["k", "b"],
                 )
                 .unwrap(),
@@ -516,8 +520,7 @@ mod tests {
     fn join_general_unions_keys() {
         let p = provider();
         // join on non-key right column → union of keys.
-        let plan =
-            Plan::scan("iteminfo").join(Plan::scan("product"), vec![("Value", "PName")]);
+        let plan = Plan::scan("iteminfo").join(Plan::scan("product"), vec![("Value", "PName")]);
         let s = plan.schema(&p).unwrap();
         assert_eq!(
             s.key_names().unwrap(),

@@ -75,7 +75,10 @@ pub fn expr_to_sql(e: &Expr) -> String {
             let items: Vec<String> = vs.iter().map(literal).collect();
             format!("({} IN ({}))", expr_to_sql(a), items.join(", "))
         }
-        Expr::Case { branches, otherwise } => {
+        Expr::Case {
+            branches,
+            otherwise,
+        } => {
             let mut s = String::from("CASE");
             for (c, v) in branches {
                 let _ = write!(s, " WHEN {} THEN {}", expr_to_sql(c), expr_to_sql(v));
@@ -99,7 +102,10 @@ impl Plan {
     ///
     /// The provider supplies base-table schemas, which the pivot/unpivot
     /// subqueries need to enumerate their carried (`K`) columns.
-    pub fn to_sql<P: crate::schema_infer::SchemaProvider>(&self, provider: &P) -> crate::error::Result<String> {
+    pub fn to_sql<P: crate::schema_infer::SchemaProvider>(
+        &self,
+        provider: &P,
+    ) -> crate::error::Result<String> {
         self.to_sql_inner(provider)
     }
 
@@ -393,9 +399,7 @@ mod tests {
         let mut p = provider();
         p.insert(
             "other".to_string(),
-            Arc::new(
-                Schema::from_pairs_keyed(&[("oid", DataType::Int)], &["oid"]).unwrap(),
-            ),
+            Arc::new(Schema::from_pairs_keyed(&[("oid", DataType::Int)], &["oid"]).unwrap()),
         );
         let sql = Plan::scan("iteminfo")
             .join(Plan::scan("other"), vec![("id", "oid")])

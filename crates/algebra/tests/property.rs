@@ -48,10 +48,18 @@ proptest! {
 /// Random null-intolerant predicate over columns c0..c2 (comparisons glued
 /// with AND/OR — exactly the class `is_null_intolerant` accepts).
 fn arb_null_intolerant(depth: u32) -> BoxedStrategy<Expr> {
-    let leaf = (0usize..3, -5i64..5, prop_oneof![
-        Just(CmpOp::Eq), Just(CmpOp::Ne), Just(CmpOp::Lt),
-        Just(CmpOp::Le), Just(CmpOp::Gt), Just(CmpOp::Ge)
-    ])
+    let leaf = (
+        0usize..3,
+        -5i64..5,
+        prop_oneof![
+            Just(CmpOp::Eq),
+            Just(CmpOp::Ne),
+            Just(CmpOp::Lt),
+            Just(CmpOp::Le),
+            Just(CmpOp::Gt),
+            Just(CmpOp::Ge)
+        ],
+    )
         .prop_map(|(c, lit, op)| {
             Expr::Cmp(
                 op,

@@ -32,8 +32,7 @@ fn ablation_apply_mode(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_apply_mode");
     group.sample_size(10);
     for strategy in [Strategy::InsertDelete, Strategy::PivotUpdate] {
-        let prepared =
-            PreparedView::new(catalog.clone(), pure_pivot_view(), strategy).unwrap();
+        let prepared = PreparedView::new(catalog.clone(), pure_pivot_view(), strategy).unwrap();
         // Update-heavy workload: the shape §2.3 says separates the modes.
         let deltas = Workload::InsertUpdates.deltas(&catalog, 0.01, 7);
         group.bench_function(BenchmarkId::new(strategy.id(), "update-1%"), |b| {
@@ -72,9 +71,8 @@ fn ablation_pivot_combine(c: &mut Criterion) {
             .build()
     };
     let stacked = base().gpivot(inner.clone()).gpivot(outer.clone());
-    let combined = base().gpivot(
-        gpivot_core::combine::compose_specs(&inner, &outer).expect("composable"),
-    );
+    let combined =
+        base().gpivot(gpivot_core::combine::compose_specs(&inner, &outer).expect("composable"));
 
     let mut group = c.benchmark_group("ablation_pivot_combine");
     group.sample_size(10);
@@ -92,10 +90,7 @@ fn ablation_select_strategy(c: &mut Criterion) {
     let plan = views::view2(views::VIEW2_THRESHOLD);
     let mut group = c.benchmark_group("ablation_select_strategy");
     group.sample_size(10);
-    for strategy in [
-        Strategy::SelectPushdownUpdate,
-        Strategy::SelectPivotUpdate,
-    ] {
+    for strategy in [Strategy::SelectPushdownUpdate, Strategy::SelectPivotUpdate] {
         let prepared = PreparedView::new(catalog.clone(), plan.clone(), strategy).unwrap();
         let deltas = Workload::Delete.deltas(&catalog, 0.01, 7);
         group.bench_function(BenchmarkId::new(strategy.id(), "delete-1%"), |b| {
@@ -111,12 +106,14 @@ fn ablation_scale(c: &mut Criterion) {
     for scale in [0.25, 0.5, 1.0] {
         let catalog = bench_catalog(scale);
         let prepared =
-            PreparedView::new(catalog.clone(), views::view1(), Strategy::PivotUpdate)
-                .unwrap();
+            PreparedView::new(catalog.clone(), views::view1(), Strategy::PivotUpdate).unwrap();
         let deltas = Workload::Delete.deltas(&catalog, 0.01, 7);
-        group.bench_function(BenchmarkId::new("pivot-update", format!("sf{scale}")), |b| {
-            b.iter(|| prepared.timed_run(&deltas).unwrap());
-        });
+        group.bench_function(
+            BenchmarkId::new("pivot-update", format!("sf{scale}")),
+            |b| {
+                b.iter(|| prepared.timed_run(&deltas).unwrap());
+            },
+        );
     }
     group.finish();
 }

@@ -1,0 +1,106 @@
+//! Serve-layer throughput bench: ingest + epoch refresh over the paper's
+//! three TPC-H view families (registered twice each, so the worker pool has
+//! six propagate jobs per epoch), comparing worker-pool sizes 1 vs N.
+//!
+//! Reported per worker count: total refresh wall-clock, view-refreshes/sec,
+//! coalesced delta rows/sec, and propagated rows/sec.
+
+use gpivot_serve::{ServeConfig, ViewService};
+use gpivot_storage::Catalog;
+use gpivot_tpch::views::{view1, view2, view3, VIEW2_THRESHOLD};
+use gpivot_tpch::workload;
+use std::time::Duration;
+
+const SCALE: f64 = 0.2;
+const EPOCHS: u64 = 6;
+
+struct RunStats {
+    views_refreshed: u64,
+    delta_rows: u64,
+    rows_propagated: u64,
+    refresh_time: Duration,
+}
+
+fn run(workers: usize, catalog: &Catalog) -> RunStats {
+    let svc = ViewService::new(
+        catalog.clone(),
+        ServeConfig {
+            workers,
+            ..ServeConfig::default()
+        },
+    );
+    for (name, plan) in [
+        ("view1_a", view1()),
+        ("view1_b", view1()),
+        ("view2_a", view2(VIEW2_THRESHOLD)),
+        ("view2_b", view2(VIEW2_THRESHOLD)),
+        ("view3_a", view3()),
+        ("view3_b", view3()),
+    ] {
+        svc.register_view(name, plan).expect("view registers");
+    }
+
+    // A mirror catalog lets each epoch's workload be generated against the
+    // current base state (workload generators sample live keys).
+    let mut mirror = catalog.clone();
+    for e in 0..EPOCHS {
+        let seed = 0x5EE0 + e;
+        let batch = match e % 3 {
+            0 => workload::mixed_batch(&mirror, 0.02, seed),
+            1 => workload::insert_new_rows(&mirror, 0.02, seed),
+            _ => workload::delete_fraction(&mirror, "lineitem", 0.01, seed),
+        };
+        for table in batch.tables() {
+            let delta = batch.delta(table).expect("table in batch");
+            svc.ingest(table, delta.clone()).expect("ingest succeeds");
+            mirror.apply_delta(table, delta).expect("mirror applies");
+        }
+        svc.refresh_epoch().expect("epoch succeeds");
+    }
+
+    let m = svc.metrics();
+    assert_eq!(m.epochs, EPOCHS);
+    assert_eq!(m.epochs_failed, 0);
+    RunStats {
+        views_refreshed: m.per_view.values().map(|v| v.refreshes).sum(),
+        delta_rows: m.delta_rows,
+        rows_propagated: m.rows_propagated,
+        refresh_time: m.refresh_time,
+    }
+}
+
+fn per_sec(count: u64, elapsed: Duration) -> f64 {
+    count as f64 / elapsed.as_secs_f64().max(1e-9)
+}
+
+fn main() {
+    let catalog = gpivot_bench::bench_catalog(SCALE);
+    // Always compare against a real pool even on single-core CI boxes.
+    let n = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .clamp(4, 8);
+    println!(
+        "serve_throughput: {EPOCHS} epochs x 6 views, tpch scale {SCALE}, \
+         worker-pool sizes 1 vs {n}"
+    );
+    println!(
+        "{:>8} {:>12} {:>12} {:>14} {:>16}",
+        "workers", "refresh_ms", "views/sec", "delta rows/s", "propagated/s"
+    );
+    let mut sizes = vec![1usize];
+    if n > 1 {
+        sizes.push(n);
+    }
+    for workers in sizes {
+        let s = run(workers, &catalog);
+        println!(
+            "{:>8} {:>12.1} {:>12.1} {:>14.0} {:>16.0}",
+            workers,
+            s.refresh_time.as_secs_f64() * 1e3,
+            per_sec(s.views_refreshed, s.refresh_time),
+            per_sec(s.delta_rows, s.refresh_time),
+            per_sec(s.rows_propagated, s.refresh_time),
+        );
+    }
+}

@@ -11,8 +11,8 @@
 //! ```
 
 use gpivot_bench::{
-    bench_catalog, figure_specs, render_csv, render_table, run_figure, PreparedView,
-    DEFAULT_SCALE, FRACTIONS,
+    bench_catalog, figure_specs, render_csv, render_table, run_figure, PreparedView, DEFAULT_SCALE,
+    FRACTIONS,
 };
 use gpivot_core::Strategy;
 
@@ -41,9 +41,7 @@ fn main() {
             "--verify" => verify = true,
             "--csv" => csv = true,
             "--help" | "-h" => {
-                println!(
-                    "usage: figures [FIG ...] [--scale SF] [--repeats N] [--verify] [--csv]"
-                );
+                println!("usage: figures [FIG ...] [--scale SF] [--repeats N] [--verify] [--csv]");
                 return;
             }
             other => match other.parse::<u32>() {
@@ -72,8 +70,13 @@ fn main() {
     );
 
     for spec in selected {
-        eprintln!("running figure {} ({} strategies × {} fractions, {} repeats) ...",
-            spec.figure, spec.strategies.len(), FRACTIONS.len(), repeats);
+        eprintln!(
+            "running figure {} ({} strategies × {} fractions, {} repeats) ...",
+            spec.figure,
+            spec.strategies.len(),
+            FRACTIONS.len(),
+            repeats
+        );
         let measurements = run_figure(spec, &catalog, &FRACTIONS, repeats)
             .unwrap_or_else(|e| die(&format!("figure {}: {e}", spec.figure)));
         if csv {
@@ -97,18 +100,14 @@ fn verify_figure(spec: &gpivot_bench::FigureSpec, catalog: &gpivot_storage::Cata
             .run(&deltas)
             .unwrap_or_else(|e| die(&format!("refresh {strategy}: {e}")));
         // Compare against recomputation on the post-state.
-        let recompute = PreparedView::new(catalog.clone(), (spec.view)(), strategy)
-            .expect("prepare recompute");
+        let recompute =
+            PreparedView::new(catalog.clone(), (spec.view)(), strategy).expect("prepare recompute");
         let _ = recompute;
         let mut post = catalog.clone();
         for t in deltas.tables() {
             post.apply_delta(t, deltas.delta(t).unwrap()).unwrap();
         }
-        let fresh = gpivot_exec::Executor::execute(
-            &refreshed_plan(&refreshed),
-            &post,
-        )
-        .unwrap();
+        let fresh = gpivot_exec::Executor::execute(&refreshed_plan(&refreshed), &post).unwrap();
         assert!(
             refreshed.table().bag_eq(&fresh),
             "figure {} strategy {strategy} diverged",

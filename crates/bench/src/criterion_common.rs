@@ -25,7 +25,9 @@ pub fn bench_figure(c: &mut Criterion, spec: &FigureSpec, catalog: &Catalog) {
         let prepared = PreparedView::new(catalog.clone(), (spec.view)(), strategy)
             .expect("strategy applicable to this figure's view");
         for &fraction in &BENCH_FRACTIONS {
-            let deltas = spec.workload.deltas(catalog, fraction, 0xBE * spec.figure as u64);
+            let deltas = spec
+                .workload
+                .deltas(catalog, fraction, 0xBE * spec.figure as u64);
             group.bench_with_input(
                 BenchmarkId::new(strategy.id(), format!("{:.1}%", fraction * 100.0)),
                 &deltas,

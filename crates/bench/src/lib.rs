@@ -222,7 +222,9 @@ pub fn run_figure(
     for strategy in spec.strategies {
         let prepared = PreparedView::new(catalog.clone(), (spec.view)(), *strategy)?;
         for &fraction in fractions {
-            let deltas = spec.workload.deltas(catalog, fraction, 0xF16 + spec.figure as u64);
+            let deltas = spec
+                .workload
+                .deltas(catalog, fraction, 0xF16 + spec.figure as u64);
             let mut times: Vec<Duration> = (0..repeats.max(1))
                 .map(|_| prepared.timed_run(&deltas))
                 .collect::<gpivot_core::Result<_>>()?;
@@ -264,7 +266,11 @@ pub fn render_table(spec: &FigureSpec, measurements: &[Measurement]) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
     let _ = writeln!(out, "Figure {}: {}", spec.figure, spec.title);
-    let _ = writeln!(out, "workload: {}, x-axis: fraction of lineitem changed", spec.workload.label());
+    let _ = writeln!(
+        out,
+        "workload: {}, x-axis: fraction of lineitem changed",
+        spec.workload.label()
+    );
     let _ = write!(out, "{:>10}", "fraction");
     for s in spec.strategies {
         let _ = write!(out, " {:>24}", s.id());
@@ -294,8 +300,7 @@ mod tests {
     #[test]
     fn prepared_view_timed_run_is_repeatable() {
         let catalog = bench_catalog(0.02);
-        let p = PreparedView::new(catalog.clone(), views::view1(), Strategy::PivotUpdate)
-            .unwrap();
+        let p = PreparedView::new(catalog.clone(), views::view1(), Strategy::PivotUpdate).unwrap();
         let deltas = Workload::Delete.deltas(&catalog, 0.01, 1);
         let before = p.view_len();
         let _ = p.timed_run(&deltas).unwrap();

@@ -22,7 +22,9 @@ use std::fmt;
 
 pub use composition::{compose_specs, try_compose};
 pub use multicolumn::{combine_multicolumn_specs, multicolumn_join_plan, try_multicolumn};
-pub use split::{merge_partial_pivots, parallel_gpivot, split_composition, split_multicolumn, PartitionedPivot};
+pub use split::{
+    merge_partial_pivots, parallel_gpivot, split_composition, split_multicolumn, PartitionedPivot,
+};
 
 /// Verdict of the §4.2.3 combinability analysis for two adjacent GPIVOTs
 /// (`outer` applied to the output of `inner`).
@@ -132,11 +134,7 @@ mod tests {
     use gpivot_storage::Value;
 
     fn inner() -> PivotSpec {
-        PivotSpec::simple(
-            "Type",
-            "Price",
-            vec![Value::str("TV"), Value::str("VCR")],
-        )
+        PivotSpec::simple("Type", "Price", vec![Value::str("TV"), Value::str("VCR")])
     }
 
     #[test]

@@ -153,21 +153,43 @@ pub fn try_multicolumn(plan: &Plan) -> Result<Plan> {
     else {
         return Err(not_applicable("no inner equi-join in the pattern".into()));
     };
-    let Plan::GPivot { input: left_in, spec: s1 } = left.as_ref() else {
+    let Plan::GPivot {
+        input: left_in,
+        spec: s1,
+    } = left.as_ref()
+    else {
         return Err(not_applicable("left join side is not a GPivot".into()));
     };
-    let Plan::Project { input: right_mid, items: rename_items } = right.as_ref() else {
-        return Err(not_applicable("right join side is not a rename Project".into()));
+    let Plan::Project {
+        input: right_mid,
+        items: rename_items,
+    } = right.as_ref()
+    else {
+        return Err(not_applicable(
+            "right join side is not a rename Project".into(),
+        ));
     };
-    let Plan::GPivot { input: right_in, spec: s2 } = right_mid.as_ref() else {
-        return Err(not_applicable("right join side is not a renamed GPivot".into()));
+    let Plan::GPivot {
+        input: right_in,
+        spec: s2,
+    } = right_mid.as_ref()
+    else {
+        return Err(not_applicable(
+            "right join side is not a renamed GPivot".into(),
+        ));
     };
 
     // The two pivot inputs must be projections of the same base plan.
     let base = match (left_in.as_ref(), right_in.as_ref()) {
         (
-            Plan::Project { input: b1, items: i1 },
-            Plan::Project { input: b2, items: i2 },
+            Plan::Project {
+                input: b1,
+                items: i1,
+            },
+            Plan::Project {
+                input: b2,
+                items: i2,
+            },
         ) if b1 == b2 => {
             // Both must be pure column projections.
             let pure = |items: &[(Expr, String)]| {
@@ -176,7 +198,9 @@ pub fn try_multicolumn(plan: &Plan) -> Result<Plan> {
                     .all(|(e, n)| matches!(e, Expr::Col(c) if c == n))
             };
             if !pure(i1) || !pure(i2) {
-                return Err(not_applicable("pivot inputs are not pure projections".into()));
+                return Err(not_applicable(
+                    "pivot inputs are not pure projections".into(),
+                ));
             }
             b1.as_ref().clone()
         }
@@ -200,9 +224,7 @@ pub fn try_multicolumn(plan: &Plan) -> Result<Plan> {
     let cells2 = s2.output_col_names();
     for (e, n) in rename_items {
         let ok = match e {
-            Expr::Col(c) if n.starts_with(RIGHT_PREFIX) => on
-                .iter()
-                .any(|(l, r)| r == n && l == c),
+            Expr::Col(c) if n.starts_with(RIGHT_PREFIX) => on.iter().any(|(l, r)| r == n && l == c),
             Expr::Col(c) => c == n && cells2.contains(n),
             _ => false,
         };
@@ -233,10 +255,8 @@ pub fn try_multicolumn(plan: &Plan) -> Result<Plan> {
         // the left keys under their renamed right-side names (equal by the
         // join condition).
         None => {
-            let mut items: Vec<(Expr, String)> = k_cols
-                .iter()
-                .map(|k| (Expr::col(k), k.clone()))
-                .collect();
+            let mut items: Vec<(Expr, String)> =
+                k_cols.iter().map(|k| (Expr::col(k), k.clone())).collect();
             for c in s1.output_col_names() {
                 items.push((Expr::col(&c), c.clone()));
             }
@@ -300,12 +320,7 @@ mod tests {
         assert_eq!(c.on, vec!["Price", "Fee"]);
         assert_eq!(
             c.output_col_names(),
-            vec![
-                "Credit**Price",
-                "Credit**Fee",
-                "ByAir**Price",
-                "ByAir**Fee"
-            ]
+            vec!["Credit**Price", "Credit**Fee", "ByAir**Price", "ByAir**Fee"]
         );
     }
 

@@ -125,13 +125,14 @@ pub fn merge_partial_pivots(parts: &[Table]) -> Result<Table> {
         });
     };
     let schema = first.schema().clone();
-    let key_idx: Vec<usize> = schema
-        .key()
-        .map(|k| k.to_vec())
-        .ok_or_else(|| CoreError::RuleNotApplicable {
-            rule: RULE,
-            reason: "partial pivot results carry no key".to_string(),
-        })?;
+    let key_idx: Vec<usize> =
+        schema
+            .key()
+            .map(|k| k.to_vec())
+            .ok_or_else(|| CoreError::RuleNotApplicable {
+                rule: RULE,
+                reason: "partial pivot results carry no key".to_string(),
+            })?;
     let arity = schema.arity();
     let mut acc: HashMap<Row, Vec<Value>> = HashMap::new();
     for part in parts {
@@ -165,7 +166,10 @@ pub fn merge_partial_pivots(parts: &[Table]) -> Result<Table> {
             }
         }
     }
-    Ok(Table::bag(schema, acc.into_values().map(Row::new).collect()))
+    Ok(Table::bag(
+        schema,
+        acc.into_values().map(Row::new).collect(),
+    ))
 }
 
 /// Execute a GPIVOT with the §4.3 local/global parallel split: partition
@@ -187,7 +191,8 @@ pub fn parallel_gpivot(
         return Ok(gpivot_exec::pivot::gpivot(input, spec, out_schema)?);
     }
     // Round-robin partitions (cheap Arc-clones of rows).
-    let mut partitions: Vec<Vec<Row>> = vec![Vec::with_capacity(input.len() / threads + 1); threads];
+    let mut partitions: Vec<Vec<Row>> =
+        vec![Vec::with_capacity(input.len() / threads + 1); threads];
     for (i, row) in input.iter().enumerate() {
         partitions[i % threads].push(row.clone());
     }
@@ -361,6 +366,63 @@ mod tests {
                 parallel.bag_eq(&sequential),
                 "parallel ({threads} threads) differs from sequential"
             );
+        }
+    }
+
+    #[test]
+    fn parallel_gpivot_is_deterministic_across_thread_counts() {
+        // §4.3's local/global split merges per-thread partial pivots from a
+        // hash map, so physical row ORDER is unspecified — but the row SET
+        // must be byte-identical for every thread count and across repeated
+        // runs. Compare canonicalized (sorted) rows for 1, 2 and 8 threads.
+        let schema = Arc::new(
+            Schema::from_pairs_keyed(
+                &[
+                    ("ID", DataType::Int),
+                    ("Attr", DataType::Str),
+                    ("Val", DataType::Int),
+                ],
+                &["ID", "Attr"],
+            )
+            .unwrap(),
+        );
+        let mut rows = Vec::new();
+        for id in 0..300 {
+            for (ai, attr) in ["a", "b", "c"].iter().enumerate() {
+                if (id + ai as i64) % 4 != 0 {
+                    rows.push(row![id, *attr, id * 7 + ai as i64]);
+                }
+            }
+        }
+        let input = Table::bag(schema, rows);
+        let spec = PivotSpec::simple(
+            "Attr",
+            "Val",
+            vec![Value::str("a"), Value::str("b"), Value::str("c")],
+        );
+        let mut out_s = Schema::from_pairs(&[
+            ("ID", DataType::Int),
+            ("a**Val", DataType::Int),
+            ("b**Val", DataType::Int),
+            ("c**Val", DataType::Int),
+        ])
+        .unwrap();
+        out_s.set_key(vec![0]);
+        let out_s = Arc::new(out_s);
+
+        let reference = parallel_gpivot(&input, &spec, out_s.clone(), 1)
+            .unwrap()
+            .sorted_rows();
+        for threads in [1usize, 2, 8] {
+            for run in 0..2 {
+                let got = parallel_gpivot(&input, &spec, out_s.clone(), threads)
+                    .unwrap()
+                    .sorted_rows();
+                assert_eq!(
+                    got, reference,
+                    "thread count {threads} (run {run}) changed the result"
+                );
+            }
         }
     }
 

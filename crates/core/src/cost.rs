@@ -67,12 +67,8 @@ pub fn estimate_rows(plan: &Plan, stats: &CatalogStats) -> f64 {
             let r = estimate_rows(right, stats);
             l.max(r)
         }
-        Plan::GroupBy { input, .. } => {
-            (estimate_rows(input, stats) * GROUP_SHRINK).max(1.0)
-        }
-        Plan::Union { left, right } => {
-            estimate_rows(left, stats) + estimate_rows(right, stats)
-        }
+        Plan::GroupBy { input, .. } => (estimate_rows(input, stats) * GROUP_SHRINK).max(1.0),
+        Plan::Union { left, right } => estimate_rows(left, stats) + estimate_rows(right, stats),
         Plan::Diff { left, .. } => estimate_rows(left, stats),
         Plan::GPivot { input, spec } => {
             (estimate_rows(input, stats) / spec.groups.len().max(1) as f64).max(1.0)
@@ -88,9 +84,7 @@ pub fn estimate_eval_cost(plan: &Plan, stats: &CatalogStats) -> f64 {
     let own = match plan {
         Plan::Scan { table } => stats.table_rows(table),
         // Each operator touches its input(s) once; joins build + probe.
-        Plan::Join { left, right, .. } => {
-            estimate_rows(left, stats) + estimate_rows(right, stats)
-        }
+        Plan::Join { left, right, .. } => estimate_rows(left, stats) + estimate_rows(right, stats),
         other => other
             .children()
             .iter()
@@ -172,14 +166,18 @@ pub fn estimate_refresh_cost<P: SchemaProvider>(
         }
         PivotUpdate => match &nv.shape {
             TopShape::PivotTop { .. } => {
-                let Plan::GPivot { input: core, .. } = &nv.plan else { return None };
+                let Plan::GPivot { input: core, .. } = &nv.plan else {
+                    return None;
+                };
                 Some(propagate_cost(core, stats, delta_rows) + delta_rows)
             }
             _ => None,
         },
         SelectPivotUpdate => match &nv.shape {
             TopShape::SelectOverPivot { .. } => {
-                let Plan::Select { input, .. } = &nv.plan else { return None };
+                let Plan::Select { input, .. } = &nv.plan else {
+                    return None;
+                };
                 let Plan::GPivot { input: core, .. } = input.as_ref() else {
                     return None;
                 };
@@ -210,7 +208,9 @@ pub fn estimate_refresh_cost<P: SchemaProvider>(
         },
         GroupByInsDel => match &nv.shape {
             TopShape::PivotOverGroupBy { .. } => {
-                let Plan::GPivot { input: gb, .. } = &nv.plan else { return None };
+                let Plan::GPivot { input: gb, .. } = &nv.plan else {
+                    return None;
+                };
                 let Plan::GroupBy { input: core, .. } = gb.as_ref() else {
                     return None;
                 };
@@ -226,7 +226,9 @@ pub fn estimate_refresh_cost<P: SchemaProvider>(
         },
         GroupPivotUpdate => match &nv.shape {
             TopShape::PivotOverGroupBy { .. } => {
-                let Plan::GPivot { input: gb, .. } = &nv.plan else { return None };
+                let Plan::GPivot { input: gb, .. } = &nv.plan else {
+                    return None;
+                };
                 let Plan::GroupBy { input: core, .. } = gb.as_ref() else {
                     return None;
                 };
@@ -321,8 +323,7 @@ mod tests {
 
     #[test]
     fn small_deltas_prefer_update_rules() {
-        let (best, _) =
-            cheapest_strategy(&pivot_view(), &stats(), &provider(), 100.0).unwrap();
+        let (best, _) = cheapest_strategy(&pivot_view(), &stats(), &provider(), 100.0).unwrap();
         assert_eq!(best, Strategy::PivotUpdate);
     }
 
@@ -332,8 +333,7 @@ mod tests {
         let s = stats();
         for delta in [10.0, 1_000.0, 50_000.0] {
             let upd =
-                estimate_refresh_cost(&pivot_view(), Strategy::PivotUpdate, &s, &p, delta)
-                    .unwrap();
+                estimate_refresh_cost(&pivot_view(), Strategy::PivotUpdate, &s, &p, delta).unwrap();
             let insdel =
                 estimate_refresh_cost(&pivot_view(), Strategy::InsertDelete, &s, &p, delta)
                     .unwrap();
@@ -346,10 +346,8 @@ mod tests {
         let p = provider();
         let s = stats();
         let big = 1_000_000.0; // delta far larger than the base table
-        let upd = estimate_refresh_cost(&pivot_view(), Strategy::PivotUpdate, &s, &p, big)
-            .unwrap();
-        let rec = estimate_refresh_cost(&pivot_view(), Strategy::Recompute, &s, &p, big)
-            .unwrap();
+        let upd = estimate_refresh_cost(&pivot_view(), Strategy::PivotUpdate, &s, &p, big).unwrap();
+        let rec = estimate_refresh_cost(&pivot_view(), Strategy::Recompute, &s, &p, big).unwrap();
         assert!(rec < upd, "recompute must win eventually: {rec} !< {upd}");
     }
 
@@ -357,22 +355,14 @@ mod tests {
     fn inapplicable_strategies_cost_none() {
         let p = provider();
         let s = stats();
-        assert!(estimate_refresh_cost(
-            &pivot_view(),
-            Strategy::GroupPivotUpdate,
-            &s,
-            &p,
-            10.0
-        )
-        .is_none());
-        assert!(estimate_refresh_cost(
-            &pivot_view(),
-            Strategy::SelectPivotUpdate,
-            &s,
-            &p,
-            10.0
-        )
-        .is_none());
+        assert!(
+            estimate_refresh_cost(&pivot_view(), Strategy::GroupPivotUpdate, &s, &p, 10.0)
+                .is_none()
+        );
+        assert!(
+            estimate_refresh_cost(&pivot_view(), Strategy::SelectPivotUpdate, &s, &p, 10.0)
+                .is_none()
+        );
     }
 
     #[test]
@@ -389,8 +379,7 @@ mod tests {
         let combined =
             estimate_refresh_cost(&view, Strategy::SelectPivotUpdate, &s, &p, 100.0).unwrap();
         let pushdown =
-            estimate_refresh_cost(&view, Strategy::SelectPushdownUpdate, &s, &p, 100.0)
-                .unwrap();
+            estimate_refresh_cost(&view, Strategy::SelectPushdownUpdate, &s, &p, 100.0).unwrap();
         assert!(combined < pushdown);
     }
 
@@ -402,10 +391,8 @@ mod tests {
         let s = stats();
         let view = pivot_view();
         let gap = |delta: f64| {
-            let upd =
-                estimate_refresh_cost(&view, Strategy::PivotUpdate, &s, &p, delta).unwrap();
-            let rec =
-                estimate_refresh_cost(&view, Strategy::Recompute, &s, &p, delta).unwrap();
+            let upd = estimate_refresh_cost(&view, Strategy::PivotUpdate, &s, &p, delta).unwrap();
+            let rec = estimate_refresh_cost(&view, Strategy::Recompute, &s, &p, delta).unwrap();
             rec / upd
         };
         assert!(gap(100.0) > gap(10_000.0));

@@ -45,11 +45,7 @@ pub fn discover_groups(table: &Table, by: &[&str]) -> Result<Vec<Vec<Value>>> {
 
 /// Build a pivot spec whose output parameters are discovered from the
 /// current contents of `table`.
-pub fn discover_pivot_spec(
-    table: &Table,
-    by: &[&str],
-    on: &[&str],
-) -> Result<PivotSpec> {
+pub fn discover_pivot_spec(table: &Table, by: &[&str], on: &[&str]) -> Result<PivotSpec> {
     let groups = discover_groups(table, by)?;
     if groups.is_empty() {
         return Err(CoreError::NotMaintainable(
@@ -155,10 +151,8 @@ impl DynamicPivotView {
             return Ok(true);
         }
         for tags in touched {
-            let mut survivors: i64 = base
-                .iter()
-                .filter(|r| r.project(&by_idx) == tags)
-                .count() as i64;
+            let mut survivors: i64 =
+                base.iter().filter(|r| r.project(&by_idx) == tags).count() as i64;
             for (row, &w) in delta.iter() {
                 if row.project(&by_idx) == tags {
                     survivors += w;
@@ -174,11 +168,7 @@ impl DynamicPivotView {
     /// Refresh against pending deltas: incremental while the dimension
     /// domain is stable, recompile otherwise. Call before committing the
     /// deltas to the catalog; pass the catalog in its pre-update state.
-    pub fn refresh(
-        &mut self,
-        catalog: &Catalog,
-        deltas: &SourceDeltas,
-    ) -> Result<DynamicRefresh> {
+    pub fn refresh(&mut self, catalog: &Catalog, deltas: &SourceDeltas) -> Result<DynamicRefresh> {
         if self.delta_within_domain(catalog, deltas)? {
             let ctx = PropagationCtx::new(catalog, deltas);
             let core = Plan::scan(&self.table_name);
@@ -235,11 +225,7 @@ mod tests {
         );
         let t = Table::from_rows(
             schema,
-            vec![
-                row![1, "a", 10],
-                row![1, "b", 20],
-                row![2, "a", 30],
-            ],
+            vec![row![1, "a", 10], row![1, "b", 20], row![2, "a", 30]],
         )
         .unwrap();
         let mut c = Catalog::new();
@@ -267,7 +253,8 @@ mod tests {
         let r = v.refresh(&c, &deltas).unwrap();
         assert!(matches!(r, DynamicRefresh::Incremental(_)));
         let mut post = c.clone();
-        post.apply_delta("facts", deltas.delta("facts").unwrap()).unwrap();
+        post.apply_delta("facts", deltas.delta("facts").unwrap())
+            .unwrap();
         assert!(v.verify(&post).unwrap());
     }
 
@@ -282,7 +269,8 @@ mod tests {
         assert_eq!(r, DynamicRefresh::Recompiled { new_groups: 3 });
         assert!(v.table().schema().index_of("z**val").is_ok());
         let mut post = c.clone();
-        post.apply_delta("facts", deltas.delta("facts").unwrap()).unwrap();
+        post.apply_delta("facts", deltas.delta("facts").unwrap())
+            .unwrap();
         assert!(v.verify(&post).unwrap());
     }
 
@@ -306,7 +294,8 @@ mod tests {
         let r = v.refresh(&c, &deltas).unwrap();
         assert!(matches!(r, DynamicRefresh::Incremental(_)));
         let mut post = c.clone();
-        post.apply_delta("facts", deltas.delta("facts").unwrap()).unwrap();
+        post.apply_delta("facts", deltas.delta("facts").unwrap())
+            .unwrap();
         assert!(v.verify(&post).unwrap());
     }
 
@@ -314,7 +303,11 @@ mod tests {
     fn empty_domain_is_rejected() {
         let schema = Arc::new(
             Schema::from_pairs_keyed(
-                &[("id", DataType::Int), ("attr", DataType::Str), ("val", DataType::Int)],
+                &[
+                    ("id", DataType::Int),
+                    ("attr", DataType::Str),
+                    ("val", DataType::Int),
+                ],
                 &["id", "attr"],
             )
             .unwrap(),

@@ -89,6 +89,8 @@ mod tests {
             reason: "join key not preserved".into(),
         };
         assert!(e.to_string().contains("pullup-join"));
-        assert!(CoreError::UnknownView("v".into()).to_string().contains("`v`"));
+        assert!(CoreError::UnknownView("v".into())
+            .to_string()
+            .contains("`v`"));
     }
 }

@@ -17,7 +17,7 @@
 //!    (Fig. 23), the combined GPIVOT-over-GROUPBY rules (Fig. 27), the
 //!    combined SELECT-over-GPIVOT rules (Fig. 29), strategy selection, and
 //!    a [`maintain::ViewManager`] tying it all together.
-
+//!
 //! An extension beyond the paper's evaluated scope lives in [`dynamic`]:
 //! data-driven (high-order) pivot specs with recompile-on-schema-change
 //! maintenance — the §9 future-work item.
@@ -32,6 +32,6 @@ pub mod rewrite;
 pub use combine::{can_combine, combine_adjacent, CombineVerdict};
 pub use error::{CoreError, Result};
 pub use maintain::{
-    MaintenanceOutcome, MaintenancePlan, SourceDeltas, Strategy, ViewManager,
+    MaintenanceOutcome, MaintenancePlan, MaterializedView, SourceDeltas, Strategy, ViewManager,
 };
 pub use rewrite::{normalize_view, NormalizedView, TopShape};

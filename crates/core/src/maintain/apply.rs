@@ -36,10 +36,7 @@ type CellChanges = Vec<(usize, i64, Vec<Value>)>;
 ///
 /// Rows whose dimension tuple is not an output parameter, or whose measures
 /// are all `⊥`, are irrelevant to the pivot output and skipped.
-pub fn collect_cell_changes(
-    delta_core: &Delta,
-    layout: &PivotLayout,
-) -> HashMap<Row, CellChanges> {
+pub fn collect_cell_changes(delta_core: &Delta, layout: &PivotLayout) -> HashMap<Row, CellChanges> {
     let mut by_key: HashMap<Row, CellChanges> = HashMap::new();
     for (row, &w) in delta_core.iter() {
         let tags = row.project(&layout.by_idx);
@@ -93,7 +90,7 @@ pub fn apply_pivot_update(
             None => {
                 let mut v = Vec::with_capacity(width);
                 v.extend(key.iter().cloned());
-                v.extend(std::iter::repeat(Value::Null).take(width - n_k));
+                v.extend(std::iter::repeat_n(Value::Null, width - n_k));
                 v
             }
         };
@@ -176,7 +173,14 @@ mod tests {
         let mut t = mv();
         let d = Delta::from_inserts(vec![row![3, "a", 99]]);
         let stats = apply_pivot_update(&mut t, &spec(), &core_schema(), &d).unwrap();
-        assert_eq!(stats, ApplyStats { inserted: 1, updated: 0, deleted: 0 });
+        assert_eq!(
+            stats,
+            ApplyStats {
+                inserted: 1,
+                updated: 0,
+                deleted: 0
+            }
+        );
         assert_eq!(
             t.get_by_key(&row![3]),
             Some(&Row::new(vec![Value::Int(3), Value::Int(99), Value::Null]))
@@ -191,7 +195,14 @@ mod tests {
         d.add(row![2, "a", 30], -1);
         d.add(row![2, "a", 77], 1);
         let stats = apply_pivot_update(&mut t, &spec(), &core_schema(), &d).unwrap();
-        assert_eq!(stats, ApplyStats { inserted: 0, updated: 1, deleted: 0 });
+        assert_eq!(
+            stats,
+            ApplyStats {
+                inserted: 0,
+                updated: 1,
+                deleted: 0
+            }
+        );
         assert_eq!(t.get_by_key(&row![2]).unwrap()[1], Value::Int(77));
     }
 

@@ -28,17 +28,34 @@ use gpivot_algebra::AggFunc;
 use gpivot_exec::pivot::{PivotLayout, UnpivotLayout};
 use gpivot_exec::{Executor, Overlay};
 use gpivot_storage::{Catalog, Delta, Row, Table, Value};
+use std::cell::Cell;
 use std::collections::{HashMap, HashSet};
 
 /// Propagation context: pre-state catalog plus pending source deltas.
 pub struct PropagationCtx<'a> {
     pub catalog: &'a Catalog,
     pub deltas: &'a SourceDeltas,
+    /// Rows flowing through plan operators across every pre/post subplan
+    /// evaluation in this propagation (observability; see
+    /// [`PropagationCtx::rows_evaluated`]).
+    rows_evaluated: Cell<usize>,
 }
 
 impl<'a> PropagationCtx<'a> {
     pub fn new(catalog: &'a Catalog, deltas: &'a SourceDeltas) -> Self {
-        PropagationCtx { catalog, deltas }
+        PropagationCtx {
+            catalog,
+            deltas,
+            rows_evaluated: Cell::new(0),
+        }
+    }
+
+    /// Total operator-output rows evaluated so far (the sum of
+    /// `ExecTrace::total_rows` over every [`PropagationCtx::eval_pre`] /
+    /// [`PropagationCtx::eval_post`] call) — the propagate phase's work
+    /// proxy surfaced in `MaintenanceOutcome::rows_propagated`.
+    pub fn rows_evaluated(&self) -> usize {
+        self.rows_evaluated.get()
     }
 
     /// Does any base table under `plan` have a pending delta?
@@ -50,7 +67,10 @@ impl<'a> PropagationCtx<'a> {
 
     /// Evaluate a subplan against the pre-update state.
     pub fn eval_pre(&self, plan: &Plan) -> Result<Table> {
-        Ok(Executor::execute(plan, self.catalog)?)
+        let (table, trace) = Executor::execute_traced(plan, self.catalog)?;
+        self.rows_evaluated
+            .set(self.rows_evaluated.get() + trace.total_rows());
+        Ok(table)
     }
 
     /// Evaluate a subplan against the post-update state (pre ⊕ deltas).
@@ -64,7 +84,10 @@ impl<'a> PropagationCtx<'a> {
                 }
             }
         }
-        Ok(Executor::execute(plan, &overlay)?)
+        let (table, trace) = Executor::execute_traced(plan, &overlay)?;
+        self.rows_evaluated
+            .set(self.rows_evaluated.get() + trace.total_rows());
+        Ok(table)
     }
 }
 
@@ -98,11 +121,7 @@ pub fn propagate(plan: &Plan, ctx: &PropagationCtx<'_>) -> Result<Delta> {
         return Ok(Delta::new());
     }
     match plan {
-        Plan::Scan { table } => Ok(ctx
-            .deltas
-            .delta(table)
-            .cloned()
-            .unwrap_or_default()),
+        Plan::Scan { table } => Ok(ctx.deltas.delta(table).cloned().unwrap_or_default()),
 
         Plan::Select { input, predicate } => {
             let din = propagate(input, ctx)?;
@@ -153,26 +172,33 @@ pub fn propagate(plan: &Plan, ctx: &PropagationCtx<'_>) -> Result<Delta> {
                 .map(|(_, r)| rs.index_of(r))
                 .collect::<gpivot_storage::Result<_>>()?;
             let out_schema = plan.schema(ctx.catalog)?;
-            let bound_res = residual
-                .as_ref()
-                .map(|e| e.bind(&out_schema))
-                .transpose()?;
+            let bound_res = residual.as_ref().map(|e| e.bind(&out_schema)).transpose()?;
 
             let mut out = Delta::new();
             // ΔA ⋈ B_pre
             if !dl.is_empty() {
                 let b_pre = ctx.eval_pre(right)?;
                 delta_join_into(
-                    &dl, &left_on, &b_pre, &right_on, /*delta_left=*/ true,
-                    bound_res.as_ref(), &mut out,
+                    &dl,
+                    &left_on,
+                    &b_pre,
+                    &right_on,
+                    /*delta_left=*/ true,
+                    bound_res.as_ref(),
+                    &mut out,
                 );
             }
             // A_post ⋈ ΔB
             if !dr.is_empty() {
                 let a_post = ctx.eval_post(left)?;
                 delta_join_into(
-                    &dr, &right_on, &a_post, &left_on, /*delta_left=*/ false,
-                    bound_res.as_ref(), &mut out,
+                    &dr,
+                    &right_on,
+                    &a_post,
+                    &left_on,
+                    /*delta_left=*/ false,
+                    bound_res.as_ref(),
+                    &mut out,
                 );
             }
             Ok(out)
@@ -193,10 +219,7 @@ pub fn propagate(plan: &Plan, ctx: &PropagationCtx<'_>) -> Result<Delta> {
                 .iter()
                 .map(|g| in_schema.index_of(g))
                 .collect::<gpivot_storage::Result<_>>()?;
-            let affected: HashSet<Row> = din
-                .distinct_values_at(&group_idx)
-                .into_iter()
-                .collect();
+            let affected: HashSet<Row> = din.distinct_values_at(&group_idx).into_iter().collect();
 
             let pre_in = ctx.eval_pre(input)?;
             let post_in = apply_delta_to_bag(&pre_in, &din);
@@ -268,9 +291,7 @@ pub fn propagate(plan: &Plan, ctx: &PropagationCtx<'_>) -> Result<Delta> {
             // Only delta rows whose dimension tuple is an output parameter
             // (and with a non-⊥ measure) affect the output.
             let relevant = din.filter_rows(|r| {
-                layout
-                    .group_lookup
-                    .contains_key(&r.project(&layout.by_idx))
+                layout.group_lookup.contains_key(&r.project(&layout.by_idx))
                     && !layout.on_idx.iter().all(|&oi| r[oi].is_null())
             });
             if relevant.is_empty() {
@@ -315,8 +336,7 @@ pub fn propagate(plan: &Plan, ctx: &PropagationCtx<'_>) -> Result<Delta> {
                     if cols.iter().all(|&c| row[c].is_null()) {
                         continue;
                     }
-                    let mut v =
-                        Vec::with_capacity(layout.k_idx.len() + g.tags.len() + cols.len());
+                    let mut v = Vec::with_capacity(layout.k_idx.len() + g.tags.len() + cols.len());
                     v.extend(layout.k_idx.iter().map(|&i| row[i].clone()));
                     v.extend(g.tags.iter().cloned());
                     v.extend(cols.iter().map(|&c| row[c].clone()));
@@ -360,7 +380,9 @@ fn delta_join_into(
         if key.iter().any(Value::is_null) {
             continue;
         }
-        let Some(matches) = build.get(&key) else { continue };
+        let Some(matches) = build.get(&key) else {
+            continue;
+        };
         for (drow, w) in matches {
             let joined = if delta_left {
                 drow.concat(trow)
@@ -409,16 +431,16 @@ mod tests {
         )
         .unwrap();
         let names = Arc::new(
-            Schema::from_pairs_keyed(
-                &[("nid", DataType::Int), ("name", DataType::Str)],
-                &["nid"],
-            )
-            .unwrap(),
+            Schema::from_pairs_keyed(&[("nid", DataType::Int), ("name", DataType::Str)], &["nid"])
+                .unwrap(),
         );
         c.register(
             "names",
-            Table::from_rows(names, vec![row![1, "one"], row![2, "two"], row![3, "three"]])
-                .unwrap(),
+            Table::from_rows(
+                names,
+                vec![row![1, "one"], row![2, "two"], row![3, "three"]],
+            )
+            .unwrap(),
         )
         .unwrap();
         c
@@ -453,7 +475,9 @@ mod tests {
 
     #[test]
     fn project_propagation() {
-        let plan = PlanBuilder::scan("items").project_cols(&["id", "val"]).build();
+        let plan = PlanBuilder::scan("items")
+            .project_cols(&["id", "val"])
+            .build();
         assert_delta_correct(&plan, &catalog(), &mixed_deltas());
     }
 

@@ -60,10 +60,9 @@ impl GroupPivotInfo {
         // Align aggregates with spec.on.
         let mut aligned = Vec::with_capacity(spec.on.len());
         for on in &spec.on {
-            let agg = aggs
-                .iter()
-                .find(|a| &a.output == on)
-                .ok_or_else(|| not_applicable(format!("pivot measure `{on}` is not an aggregate output")))?;
+            let agg = aggs.iter().find(|a| &a.output == on).ok_or_else(|| {
+                not_applicable(format!("pivot measure `{on}` is not an aggregate output"))
+            })?;
             aligned.push(agg.clone());
         }
         let mut roles = Vec::with_capacity(aligned.len());
@@ -264,7 +263,7 @@ pub fn apply_group_pivot_update(
             None => {
                 let mut v = Vec::with_capacity(width);
                 v.extend(key.iter().cloned());
-                v.extend(std::iter::repeat(Value::Null).take(width - n_k));
+                v.extend(std::iter::repeat_n(Value::Null, width - n_k));
                 v
             }
         };
@@ -447,8 +446,7 @@ mod tests {
     fn insert_adds_to_existing_cell() {
         let mut t = mv();
         let d = Delta::from_inserts(vec![row!["alice", 1995, 25]]);
-        let stats =
-            apply_group_pivot_update(&mut t, &spec(), &info(), &core_schema(), &d).unwrap();
+        let stats = apply_group_pivot_update(&mut t, &spec(), &info(), &core_schema(), &d).unwrap();
         assert_eq!(stats.updated, 1);
         let r = t.get_by_key(&row!["alice"]).unwrap();
         assert_eq!(r[1], Value::Int(125));
@@ -460,8 +458,7 @@ mod tests {
     fn insert_births_subgroup_and_row() {
         let mut t = mv();
         let d = Delta::from_inserts(vec![row!["carol", 1996, 5], row!["bob", 1996, 7]]);
-        let stats =
-            apply_group_pivot_update(&mut t, &spec(), &info(), &core_schema(), &d).unwrap();
+        let stats = apply_group_pivot_update(&mut t, &spec(), &info(), &core_schema(), &d).unwrap();
         assert_eq!(stats.inserted, 1); // carol
         assert_eq!(stats.updated, 1); // bob's 1996 subgroup born
         let bob = t.get_by_key(&row!["bob"]).unwrap();
@@ -474,8 +471,7 @@ mod tests {
         let mut t = mv();
         // Remove bob's only 1995 row: subgroup dies -> row all-⊥ -> deleted.
         let d = Delta::from_deletes(vec![row!["bob", 1995, 30]]);
-        let stats =
-            apply_group_pivot_update(&mut t, &spec(), &info(), &core_schema(), &d).unwrap();
+        let stats = apply_group_pivot_update(&mut t, &spec(), &info(), &core_schema(), &d).unwrap();
         assert_eq!(stats.deleted, 1);
         assert!(t.get_by_key(&row!["bob"]).is_none());
     }

@@ -21,7 +21,7 @@ pub mod strategy;
 pub mod view;
 
 pub use apply::ApplyStats;
-pub use delta_prop::{propagate, post_state_table, PropagationCtx};
+pub use delta_prop::{post_state_table, propagate, PropagationCtx};
 pub use strategy::{MaintenanceOutcome, MaintenancePlan, Strategy};
 pub use view::{MaterializedView, ViewManager};
 
@@ -72,6 +72,11 @@ impl SourceDeltas {
     /// Merge a signed delta for a table.
     pub fn add_delta(&mut self, table: impl Into<String>, delta: Delta) {
         self.map.entry(table.into()).or_default().merge(&delta);
+    }
+
+    /// Move a signed delta into the batch without cloning its rows.
+    pub fn absorb_delta(&mut self, table: impl Into<String>, delta: Delta) {
+        self.map.entry(table.into()).or_default().absorb(delta);
     }
 
     /// The pending delta for a table, if any.

@@ -180,8 +180,7 @@ fn predicate_groups(predicate: &Expr, spec: &PivotSpec) -> HashSet<usize> {
         if let Some((tags, measure)) = decode_pivot_col(&col, spec.dims()) {
             // Re-encode each group to compare against the column name.
             for (gi, g) in spec.groups.iter().enumerate() {
-                let tag_strings: Vec<String> =
-                    g.iter().map(|v| v.to_string()).collect();
+                let tag_strings: Vec<String> = g.iter().map(|v| v.to_string()).collect();
                 if tag_strings == tags && spec.on.contains(&measure) {
                     out.insert(gi);
                 }
@@ -237,16 +236,14 @@ pub fn eval_post_restricted(
 
 /// Rewrite `plan` so the deepest subplan carrying all of `k_names` is
 /// semijoined with the `__fig29_keys` table.
-fn push_key_semijoin(
-    plan: &Plan,
-    k_names: &[String],
-    ctx: &PropagationCtx<'_>,
-) -> Result<Plan> {
+fn push_key_semijoin(plan: &Plan, k_names: &[String], ctx: &PropagationCtx<'_>) -> Result<Plan> {
     const KEYS_TABLE: &str = "__fig29_keys";
 
     // Can the restriction descend into a child?
     let descend_into: Option<usize> = match plan {
-        Plan::Select { .. } | Plan::GroupBy { .. } | Plan::GPivot { .. }
+        Plan::Select { .. }
+        | Plan::GroupBy { .. }
+        | Plan::GPivot { .. }
         | Plan::GUnpivot { .. } => {
             let child = plan.children()[0];
             let cs = child.schema(ctx.catalog)?;
@@ -293,19 +290,18 @@ fn push_key_semijoin(
     if let Some(idx) = descend_into {
         // Rebuild with the chosen child restricted.
         let mut rebuilt = plan.clone();
-        let restricted_child =
-            push_key_semijoin(plan.children()[idx], k_names, ctx)?;
+        let restricted_child = push_key_semijoin(plan.children()[idx], k_names, ctx)?;
         match &mut rebuilt {
             Plan::Select { input, .. }
             | Plan::Project { input, .. }
             | Plan::GroupBy { input, .. }
             | Plan::GPivot { input, .. }
-            | Plan::GUnpivot { input, .. } => *input = Box::new(restricted_child),
+            | Plan::GUnpivot { input, .. } => **input = restricted_child,
             Plan::Join { left, right, .. } => {
                 if idx == 0 {
-                    *left = Box::new(restricted_child);
+                    **left = restricted_child;
                 } else {
-                    *right = Box::new(restricted_child);
+                    **right = restricted_child;
                 }
             }
             _ => unreachable!(),
@@ -397,10 +393,8 @@ mod tests {
         let mut mv = materialize(&c);
         let ctx = PropagationCtx::new(&c, &deltas);
         let core = Plan::scan("items");
-        let delta_core =
-            crate::maintain::delta_prop::propagate(&core, &ctx).unwrap();
-        apply_select_pivot_update(&mut mv, &spec(), &pred(), &core, &ctx, &delta_core)
-            .unwrap();
+        let delta_core = crate::maintain::delta_prop::propagate(&core, &ctx).unwrap();
+        apply_select_pivot_update(&mut mv, &spec(), &pred(), &core, &ctx, &delta_core).unwrap();
 
         let mut post_catalog = c.clone();
         for t in deltas.tables() {

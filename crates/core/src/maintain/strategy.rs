@@ -103,6 +103,10 @@ pub struct MaintenanceOutcome {
     pub stats: ApplyStats,
     /// Number of distinct delta rows that reached the apply phase.
     pub delta_rows: usize,
+    /// Operator-output rows evaluated during the propagate phase (the sum
+    /// of `ExecTrace::total_rows` over every pre/post subplan evaluation) —
+    /// the work proxy the service layer's metrics report.
+    pub rows_propagated: usize,
 }
 
 #[cfg(test)]
@@ -111,8 +115,7 @@ mod tests {
 
     #[test]
     fn ids_are_unique() {
-        let ids: std::collections::HashSet<_> =
-            Strategy::ALL.iter().map(|s| s.id()).collect();
+        let ids: std::collections::HashSet<_> = Strategy::ALL.iter().map(|s| s.id()).collect();
         assert_eq!(ids.len(), Strategy::ALL.len());
     }
 

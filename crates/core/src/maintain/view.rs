@@ -4,7 +4,7 @@
 
 use crate::error::{CoreError, Result};
 use crate::maintain::apply::apply_pivot_update;
-use crate::maintain::delta_prop::{propagate, post_state_table, PropagationCtx};
+use crate::maintain::delta_prop::{post_state_table, propagate, PropagationCtx};
 use crate::maintain::group_pivot::{apply_group_pivot_update, GroupPivotInfo};
 use crate::maintain::select_pivot::apply_select_pivot_update;
 use crate::maintain::strategy::{MaintenanceOutcome, MaintenancePlan, Strategy};
@@ -16,7 +16,7 @@ use gpivot_algebra::plan::{JoinKind, Plan};
 use gpivot_algebra::{AggFunc, AggSpec, Expr, PivotSpec};
 use gpivot_exec::{Executor, Overlay};
 use gpivot_storage::{Catalog, Table};
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// A materialized view: definition, compiled maintenance form, and data.
 #[derive(Debug, Clone)]
@@ -188,9 +188,7 @@ impl MaterializedView {
                         if !predicate.is_null_intolerant() {
                             return Err(CoreError::StrategyNotApplicable {
                                 strategy: strategy.id().into(),
-                                reason: format!(
-                                    "predicate `{predicate}` is not null-intolerant"
-                                ),
+                                reason: format!("predicate `{predicate}` is not null-intolerant"),
                             });
                         }
                         (nv, None)
@@ -314,11 +312,7 @@ impl MaterializedView {
             })
             .collect();
         let out_schema = std::sync::Arc::new(gpivot_storage::Schema::new(fields)?);
-        let rows = self
-            .table
-            .iter()
-            .map(|r| r.project(&idx))
-            .collect();
+        let rows = self.table.iter().map(|r| r.project(&idx)).collect();
         Ok(Table::bag(out_schema, rows))
     }
 
@@ -351,7 +345,8 @@ impl MaterializedView {
                         }
                     }
                 }
-                let bag = Executor::execute(&self.normalized.plan, &overlay)?;
+                let (bag, trace) = Executor::execute_traced(&self.normalized.plan, &overlay)?;
+                outcome.rows_propagated = trace.total_rows();
                 self.table = if bag.schema().has_key() {
                     Table::from_rows(bag.schema().clone(), bag.rows().to_vec())?
                 } else {
@@ -381,8 +376,7 @@ impl MaterializedView {
                 let dcore = propagate(core, &ctx)?;
                 outcome.delta_rows = dcore.distinct_len();
                 let core_schema = core.schema(catalog)?;
-                outcome.stats =
-                    apply_pivot_update(&mut self.table, spec, &core_schema, &dcore)?;
+                outcome.stats = apply_pivot_update(&mut self.table, spec, &core_schema, &dcore)?;
             }
             Strategy::SelectPivotUpdate => {
                 let Plan::Select { input, predicate } = &self.normalized.plan else {
@@ -425,13 +419,8 @@ impl MaterializedView {
                 outcome.delta_rows = dcore.distinct_len();
                 let core_schema = core.schema(catalog)?;
                 let info = self.group_info.as_ref().expect("set at creation");
-                outcome.stats = apply_group_pivot_update(
-                    &mut self.table,
-                    spec,
-                    info,
-                    &core_schema,
-                    &dcore,
-                )?;
+                outcome.stats =
+                    apply_group_pivot_update(&mut self.table, spec, info, &core_schema, &dcore)?;
             }
             Strategy::GroupByInsDel => {
                 let Plan::GPivot { input: gb, spec } = &self.normalized.plan else {
@@ -445,11 +434,19 @@ impl MaterializedView {
                 let dgb = propagate(gb, &ctx)?;
                 outcome.delta_rows = dgb.distinct_len();
                 let gb_schema = gb.schema(catalog)?;
-                outcome.stats =
-                    apply_pivot_update(&mut self.table, spec, &gb_schema, &dgb)?;
+                outcome.stats = apply_pivot_update(&mut self.table, spec, &gb_schema, &dgb)?;
             }
         }
+        outcome.rows_propagated += ctx.rows_evaluated();
         Ok(outcome)
+    }
+
+    /// The base tables this view reads — the service layer's dependency
+    /// edges for dirty-table scheduling.
+    pub fn dependencies(&self) -> BTreeSet<String> {
+        let mut deps = self.normalized.plan.base_tables();
+        deps.extend(self.definition.base_tables());
+        deps
     }
 }
 
@@ -529,14 +526,10 @@ impl ViewManager {
         expected_delta_rows: f64,
     ) -> Result<Strategy> {
         let stats = crate::cost::CatalogStats::from_catalog(&self.catalog);
-        let strategy = crate::cost::cheapest_strategy(
-            &definition,
-            &stats,
-            &self.catalog,
-            expected_delta_rows,
-        )
-        .map(|(s, _)| s)
-        .unwrap_or_else(|| self.choose_strategy(&definition));
+        let strategy =
+            crate::cost::cheapest_strategy(&definition, &stats, &self.catalog, expected_delta_rows)
+                .map(|(s, _)| s)
+                .unwrap_or_else(|| self.choose_strategy(&definition));
         // Cost-picked strategies can still fail shape validation at create
         // time (e.g. a non-null-intolerant predicate); fall back then.
         match self.create_view_with(name, definition, strategy) {
@@ -591,6 +584,19 @@ impl ViewManager {
         self.views.keys().map(String::as_str).collect()
     }
 
+    /// Iterate all views in name order.
+    pub fn views(&self) -> impl Iterator<Item = &MaterializedView> {
+        self.views.values()
+    }
+
+    /// Install (or overwrite) an already-materialized view under its own
+    /// name. The service layer refreshes cloned views off-thread and
+    /// installs the results in one critical section; this is the install
+    /// half of that protocol.
+    pub fn install_view(&mut self, view: MaterializedView) {
+        self.views.insert(view.name().to_string(), view);
+    }
+
     /// Refresh a single view against pending deltas (no commit).
     pub fn maintain_view(
         &mut self,
@@ -618,7 +624,10 @@ impl ViewManager {
     }
 
     /// Full refresh cycle: maintain every view, then commit the deltas.
-    pub fn refresh(&mut self, deltas: &SourceDeltas) -> Result<BTreeMap<String, MaintenanceOutcome>> {
+    pub fn refresh(
+        &mut self,
+        deltas: &SourceDeltas,
+    ) -> Result<BTreeMap<String, MaintenanceOutcome>> {
         let names: Vec<String> = self.views.keys().cloned().collect();
         let mut outcomes = BTreeMap::new();
         for n in names {
@@ -726,7 +735,10 @@ mod tests {
         deltas.insert_rows("items", vec![row![2, "b", 99], row![4, "a", 7]]);
         deltas.delete_rows("items", vec![row![1, "a", 10]]);
         vm.refresh(&deltas).unwrap();
-        assert!(vm.verify_view("v").unwrap(), "view out of sync after refresh");
+        assert!(
+            vm.verify_view("v").unwrap(),
+            "view out of sync after refresh"
+        );
     }
 
     #[test]
@@ -746,10 +758,7 @@ mod tests {
             let mut vm = ViewManager::new(catalog());
             vm.create_view_with("v", plan.clone(), strategy).unwrap();
             vm.refresh(&deltas).unwrap();
-            assert!(
-                vm.verify_view("v").unwrap(),
-                "strategy {strategy} diverged"
-            );
+            assert!(vm.verify_view("v").unwrap(), "strategy {strategy} diverged");
         }
     }
 

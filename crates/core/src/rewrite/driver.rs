@@ -13,9 +13,8 @@
 use crate::combine::{try_compose, try_multicolumn};
 use crate::error::Result;
 use crate::rewrite::pullup::{
-    cancel_pivot_unpivot, pullup_through_group_by, pullup_through_join,
-    pullup_through_project, pullup_through_select, push_select_below_pivot_selfjoin,
-    swap_unpivot_below_pivot,
+    cancel_pivot_unpivot, pullup_through_group_by, pullup_through_join, pullup_through_project,
+    pullup_through_select, push_select_below_pivot_selfjoin, swap_unpivot_below_pivot,
 };
 use crate::rewrite::transpose::{
     groupby_through_project, hoist_project_through_join, hoist_select_through_join,
@@ -80,10 +79,7 @@ impl NormalizedView {
 }
 
 /// All rules the driver tries at a node, in priority order.
-fn apply_first_rule<P: SchemaProvider>(
-    plan: &Plan,
-    provider: &P,
-) -> Option<(Plan, &'static str)> {
+fn apply_first_rule<P: SchemaProvider>(plan: &Plan, provider: &P) -> Option<(Plan, &'static str)> {
     type Rule<P> = (&'static str, fn(&Plan, &P) -> Result<Plan>);
     let rules: &[Rule<P>] = &[
         ("cancel-gpivot-gunpivot (Eq. 9)", cancel_pivot_unpivot),
@@ -187,11 +183,12 @@ fn normalize_rec<P: SchemaProvider>(
     Ok(current)
 }
 
+/// A classified top: stripped plan, output rename map, whether that map is
+/// the in-order identity, and the recognized top shape.
+type ClassifiedTop = (Plan, Vec<(String, String)>, bool, TopShape);
+
 /// Classify a normalized tree's top and strip absorbable rename projections.
-fn classify<P: SchemaProvider>(
-    mut plan: Plan,
-    provider: &P,
-) -> Result<(Plan, Vec<(String, String)>, bool, TopShape)> {
+fn classify<P: SchemaProvider>(mut plan: Plan, provider: &P) -> Result<ClassifiedTop> {
     // Absorb top-level pure-column projections into the output map.
     let schema = plan.schema(provider)?;
     let mut output: Vec<(String, String)> = schema
@@ -199,11 +196,8 @@ fn classify<P: SchemaProvider>(
         .iter()
         .map(|c| (c.to_string(), c.to_string()))
         .collect();
-    loop {
-        let Plan::Project { input, items } = &plan else { break };
-        let all_pure = items
-            .iter()
-            .all(|(e, _)| matches!(e, Expr::Col(_)));
+    while let Plan::Project { input, items } = &plan {
+        let all_pure = items.iter().all(|(e, _)| matches!(e, Expr::Col(_)));
         if !all_pure {
             break;
         }
@@ -374,10 +368,7 @@ mod tests {
         // column order.
         assert!(!nv.identity_output);
         let view_cols: Vec<&str> = nv.output.iter().map(|(_, t)| t.as_str()).collect();
-        assert_eq!(
-            view_cols,
-            vec!["id", "a**val", "b**val", "d_id", "grp"]
-        );
+        assert_eq!(view_cols, vec!["id", "a**val", "b**val", "d_id", "grp"]);
     }
 
     #[test]
@@ -441,6 +432,10 @@ mod tests {
         let once = normalize_view(&plan, &p).unwrap();
         let twice = normalize_view(&once.plan, &p).unwrap();
         assert_eq!(once.plan, twice.plan);
-        assert!(twice.log.is_empty(), "no rules should fire again: {:?}", twice.log);
+        assert!(
+            twice.log.is_empty(),
+            "no rules should fire again: {:?}",
+            twice.log
+        );
     }
 }

@@ -15,6 +15,4 @@ pub mod pushdown;
 pub mod transpose;
 pub mod unpivot_rules;
 
-pub use driver::{
-    normalize_view, normalize_view_with_select_pushdown, NormalizedView, TopShape,
-};
+pub use driver::{normalize_view, normalize_view_with_select_pushdown, NormalizedView, TopShape};

@@ -61,7 +61,7 @@ fn step<P: SchemaProvider>(plan: &Plan, provider: &P) -> Option<(Plan, &'static 
     fn rewrites_at<P: SchemaProvider>(
         plan: &Plan,
         provider: &P,
-        rules: &[(&'static str, fn(&Plan, &P) -> Result<Plan>)],
+        rules: &[Rule<P>],
         out: &mut Vec<(Plan, &'static str)>,
     ) {
         for (name, rule) in rules {
@@ -107,14 +107,14 @@ fn replace_child(plan: &Plan, i: usize, new_child: Plan) -> Plan {
         | Plan::Project { input, .. }
         | Plan::GroupBy { input, .. }
         | Plan::GPivot { input, .. }
-        | Plan::GUnpivot { input, .. } => *input = Box::new(new_child),
+        | Plan::GUnpivot { input, .. } => **input = new_child,
         Plan::Join { left, right, .. }
         | Plan::Union { left, right }
         | Plan::Diff { left, right } => {
             if i == 0 {
-                *left = Box::new(new_child);
+                **left = new_child;
             } else {
-                *right = Box::new(new_child);
+                **right = new_child;
             }
         }
     }

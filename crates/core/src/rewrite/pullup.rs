@@ -68,7 +68,11 @@ pub fn pullup_through_select<P: SchemaProvider>(plan: &Plan, provider: &P) -> Re
             ),
         ));
     }
-    let rewritten = x.as_ref().clone().select(predicate.clone()).gpivot(spec.clone());
+    let rewritten = x
+        .as_ref()
+        .clone()
+        .select(predicate.clone())
+        .gpivot(spec.clone());
     check(rewritten, provider, RULE)
 }
 
@@ -102,14 +106,18 @@ pub fn push_select_below_pivot_selfjoin<P: SchemaProvider>(
     for atom in &atoms {
         match classify_atom(atom, spec, &k_cols)? {
             AtomKind::OnK => k_selects.push(atom.clone()),
-            AtomKind::CellLiteral { group, measure, op, lit } => {
+            AtomKind::CellLiteral {
+                group,
+                measure,
+                op,
+                lit,
+            } => {
                 // π_K(σ_{(A..)=g ∧ B op lit}(V))
-                let sel = group_predicate(spec, &spec.groups[group])
-                    .and(Expr::Cmp(
-                        op,
-                        Box::new(Expr::col(&spec.on[measure])),
-                        Box::new(Expr::Lit(lit)),
-                    ));
+                let sel = group_predicate(spec, &spec.groups[group]).and(Expr::Cmp(
+                    op,
+                    Box::new(Expr::col(&spec.on[measure])),
+                    Box::new(Expr::Lit(lit)),
+                ));
                 let keys = x
                     .as_ref()
                     .clone()
@@ -162,8 +170,8 @@ pub fn push_select_below_pivot_selfjoin<P: SchemaProvider>(
                     on: on_pairs,
                     residual: Some(residual),
                 };
-                let keys = joined
-                    .project_cols(&k_cols.iter().map(String::as_str).collect::<Vec<_>>());
+                let keys =
+                    joined.project_cols(&k_cols.iter().map(String::as_str).collect::<Vec<_>>());
                 keys_plan = Some(match keys_plan {
                     None => keys,
                     Some(prev) => semijoin_keys(prev, keys, &k_cols),
@@ -365,7 +373,10 @@ pub fn pullup_through_join<P: SchemaProvider>(plan: &Plan, provider: &P) -> Resu
         return Err(na(RULE, format!("top is {}, not Join", plan.op_name())));
     };
     if *kind != JoinKind::Inner {
-        return Err(na(RULE, format!("join kind {kind} not supported for pullup")));
+        return Err(na(
+            RULE,
+            format!("join kind {kind} not supported for pullup"),
+        ));
     }
     if residual.is_some() {
         return Err(na(RULE, "join has a residual predicate"));
@@ -517,11 +528,9 @@ pub fn pullup_through_group_by<P: SchemaProvider>(plan: &Plan, provider: &P) -> 
 
     // Match the aggregate list against groups × measures.
     // func_per_measure[j] = the aggregate function used for measure j.
-    let mut func_per_measure: Vec<Option<gpivot_algebra::AggFunc>> =
-        vec![None; spec.on.len()];
+    let mut func_per_measure: Vec<Option<gpivot_algebra::AggFunc>> = vec![None; spec.on.len()];
     // out_name[(gi, bj)] = original aggregate output name.
-    let mut out_name: Vec<Vec<Option<String>>> =
-        vec![vec![None; spec.on.len()]; spec.groups.len()];
+    let mut out_name: Vec<Vec<Option<String>>> = vec![vec![None; spec.on.len()]; spec.groups.len()];
     for a in aggs {
         use gpivot_algebra::AggFunc;
         match a.func {
@@ -586,13 +595,7 @@ pub fn pullup_through_group_by<P: SchemaProvider>(plan: &Plan, provider: &P) -> 
         .on
         .iter()
         .enumerate()
-        .map(|(j, b)| {
-            format!(
-                "{}__{}",
-                func_per_measure[j].expect("covered"),
-                b
-            )
-        })
+        .map(|(j, b)| format!("{}__{}", func_per_measure[j].expect("covered"), b))
         .collect();
     let inner_aggs: Vec<gpivot_algebra::AggSpec> = spec
         .on
@@ -615,10 +618,8 @@ pub fn pullup_through_group_by<P: SchemaProvider>(plan: &Plan, provider: &P) -> 
 
     // Rename to the original aggregate output names, in the original
     // GroupBy output order (group cols first, then aggs in listed order).
-    let mut rename_items: Vec<(Expr, String)> = group_by
-        .iter()
-        .map(|g| (Expr::col(g), g.clone()))
-        .collect();
+    let mut rename_items: Vec<(Expr, String)> =
+        group_by.iter().map(|g| (Expr::col(g), g.clone())).collect();
     for a in aggs {
         let (gi, bj) = resolve_cell(&a.input, spec).expect("checked");
         let new_cell = gpivot_algebra::encode_pivot_col(&spec.groups[gi], &fresh_names[bj]);
@@ -633,7 +634,11 @@ pub fn pullup_through_group_by<P: SchemaProvider>(plan: &Plan, provider: &P) -> 
 /// every measure is ⊥".
 pub fn cancel_pivot_unpivot<P: SchemaProvider>(plan: &Plan, provider: &P) -> Result<Plan> {
     const RULE: &str = "cancel-gpivot-gunpivot (Eq. 9)";
-    let Plan::GUnpivot { input, spec: unspec } = plan else {
+    let Plan::GUnpivot {
+        input,
+        spec: unspec,
+    } = plan
+    else {
         return Err(na(RULE, format!("top is {}, not GUnpivot", plan.op_name())));
     };
     let Plan::GPivot { input: v, spec } = input.as_ref() else {
@@ -683,7 +688,11 @@ pub fn cancel_pivot_unpivot<P: SchemaProvider>(plan: &Plan, provider: &P) -> Res
 /// `GPivot(GUnpivot[G](V))`.
 pub fn swap_unpivot_below_pivot<P: SchemaProvider>(plan: &Plan, provider: &P) -> Result<Plan> {
     const RULE: &str = "swap-gunpivot-gpivot (Eq. 10)";
-    let Plan::GUnpivot { input, spec: unspec } = plan else {
+    let Plan::GUnpivot {
+        input,
+        spec: unspec,
+    } = plan
+    else {
         return Err(na(RULE, format!("top is {}, not GUnpivot", plan.op_name())));
     };
     let Plan::GPivot { input: v, spec } = input.as_ref() else {
@@ -786,9 +795,7 @@ mod tests {
             let mut m = provider();
             m.insert(
                 "d".to_string(),
-                Arc::new(
-                    Schema::from_pairs_keyed(&[("dk", DataType::Int)], &["dk"]).unwrap(),
-                ),
+                Arc::new(Schema::from_pairs_keyed(&[("dk", DataType::Int)], &["dk"]).unwrap()),
             );
             m
         };
@@ -806,10 +813,9 @@ mod tests {
     fn groupby_pullup_reports_uncovered_cells() {
         let p = provider();
         // Aggregate only one of the two cells: coverage check must fire.
-        let plan = Plan::scan("t").gpivot(spec()).group_by(
-            &["k"],
-            vec![gpivot_algebra::AggSpec::sum("x**b", "s")],
-        );
+        let plan = Plan::scan("t")
+            .gpivot(spec())
+            .group_by(&["k"], vec![gpivot_algebra::AggSpec::sum("x**b", "s")]);
         let err = pullup_through_group_by(&plan, &p).unwrap_err();
         assert!(err.to_string().contains("does not cover"), "{err}");
     }

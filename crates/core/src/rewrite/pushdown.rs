@@ -32,7 +32,11 @@ enum PushAtom {
     ByEq { by_idx: usize, value: Value },
     /// `B_v op y`: measure column compared to a literal (becomes a CASE
     /// over each group's cells).
-    OnCmp { on_idx: usize, op: CmpOp, lit: Value },
+    OnCmp {
+        on_idx: usize,
+        op: CmpOp,
+        lit: Value,
+    },
 }
 
 fn conjuncts(e: &Expr) -> Vec<Expr> {
@@ -59,7 +63,11 @@ pub fn pushdown_through_select<P: SchemaProvider>(plan: &Plan, provider: &P) -> 
     let Plan::GPivot { input, spec } = plan else {
         return Err(na(RULE, format!("top is {}, not GPivot", plan.op_name())));
     };
-    let Plan::Select { input: v, predicate } = input.as_ref() else {
+    let Plan::Select {
+        input: v,
+        predicate,
+    } = input.as_ref()
+    else {
         return Err(na(RULE, "no Select directly under the GPivot"));
     };
     let v_schema = v.schema(provider)?;
@@ -116,10 +124,7 @@ pub fn pushdown_through_select<P: SchemaProvider>(plan: &Plan, provider: &P) -> 
     // or pass through.
     let pivoted = v.as_ref().clone().gpivot(spec.clone());
 
-    let mut items: Vec<(Expr, String)> = k_cols
-        .iter()
-        .map(|k| (Expr::col(k), k.clone()))
-        .collect();
+    let mut items: Vec<(Expr, String)> = k_cols.iter().map(|k| (Expr::col(k), k.clone())).collect();
     let mut k_selects = Vec::new();
     let mut cell_names = Vec::new();
     for gi in 0..spec.groups.len() {
@@ -154,10 +159,7 @@ pub fn pushdown_through_select<P: SchemaProvider>(plan: &Plan, provider: &P) -> 
                 Expr::col(&name)
             } else {
                 Expr::Case {
-                    branches: vec![(
-                        Expr::conjunction(conds.clone()),
-                        Expr::col(&name),
-                    )],
+                    branches: vec![(Expr::conjunction(conds.clone()), Expr::col(&name))],
                     otherwise: Box::new(Expr::Lit(Value::Null)),
                 }
             };
@@ -265,14 +267,15 @@ pub fn pushdown_through_group_by<P: SchemaProvider>(plan: &Plan, provider: &P) -
         if !matches!(a.func, AggFunc::Sum | AggFunc::Min | AggFunc::Max) {
             return Err(na(
                 RULE,
-                format!("aggregate {} is not ⊥-respecting (see Eq. 8 caveat)", a.func),
+                format!(
+                    "aggregate {} is not ⊥-respecting (see Eq. 8 caveat)",
+                    a.func
+                ),
             ));
         }
     }
     let agg_outputs: Vec<&String> = aggs.iter().map(|a| &a.output).collect();
-    if spec.on.len() != aggs.len()
-        || !spec.on.iter().all(|o| agg_outputs.contains(&o))
-    {
+    if spec.on.len() != aggs.len() || !spec.on.iter().all(|o| agg_outputs.contains(&o)) {
         return Err(na(
             RULE,
             "pivot measures are not exactly the aggregate outputs",
@@ -316,11 +319,7 @@ pub fn pushdown_through_group_by<P: SchemaProvider>(plan: &Plan, provider: &P) -
     let mut outer_aggs = Vec::new();
     for gi in 0..spec.groups.len() {
         for (bj, o) in spec.on.iter().enumerate() {
-            let func = aggs
-                .iter()
-                .find(|a| &a.output == o)
-                .expect("checked")
-                .func;
+            let func = aggs.iter().find(|a| &a.output == o).expect("checked").func;
             outer_aggs.push(gpivot_algebra::AggSpec {
                 func,
                 input: inner_spec.col_name(gi, bj),
@@ -343,12 +342,19 @@ pub fn cancel_unpivot_pivot<P: SchemaProvider>(plan: &Plan, provider: &P) -> Res
     let Plan::GPivot { input, spec } = plan else {
         return Err(na(RULE, format!("top is {}, not GPivot", plan.op_name())));
     };
-    let Plan::GUnpivot { input: h, spec: unspec } = input.as_ref() else {
+    let Plan::GUnpivot {
+        input: h,
+        spec: unspec,
+    } = input.as_ref()
+    else {
         return Err(na(RULE, "no GUnpivot directly under the GPivot"));
     };
     // The pivot must re-encode exactly the unpivot's structure.
     if unspec.name_cols != spec.by || unspec.value_cols != spec.on {
-        return Err(na(RULE, "pivot parameters do not mirror the unpivot outputs"));
+        return Err(na(
+            RULE,
+            "pivot parameters do not mirror the unpivot outputs",
+        ));
     }
     if unspec.groups.len() != spec.groups.len() {
         return Err(na(RULE, "group counts differ"));
@@ -372,9 +378,8 @@ pub fn cancel_unpivot_pivot<P: SchemaProvider>(plan: &Plan, provider: &P) -> Res
         }
     }
     // σs: not all cells ⊥.
-    let not_all_null = Expr::disjunction(
-        cells.iter().map(|c| Expr::col(c).is_null().not()).collect(),
-    );
+    let not_all_null =
+        Expr::disjunction(cells.iter().map(|c| Expr::col(c).is_null().not()).collect());
     // Restore the pivot output column order (K then cells); H may order
     // them differently.
     let h_schema = h.schema(provider)?;
@@ -449,10 +454,7 @@ mod tests {
         let p = provider();
         // COUNT breaks the ⊥-for-empty requirement (Eq. 8 caveat).
         let plan = Plan::scan("t")
-            .group_by(
-                &["k", "a"],
-                vec![gpivot_algebra::AggSpec::count("b", "c")],
-            )
+            .group_by(&["k", "a"], vec![gpivot_algebra::AggSpec::count("b", "c")])
             .gpivot(PivotSpec::new(
                 vec!["a"],
                 vec!["c"],
@@ -467,9 +469,7 @@ mod tests {
             let mut m = provider();
             m.insert(
                 "d".to_string(),
-                Arc::new(
-                    Schema::from_pairs_keyed(&[("dk", DataType::Int)], &["dk"]).unwrap(),
-                ),
+                Arc::new(Schema::from_pairs_keyed(&[("dk", DataType::Int)], &["dk"]).unwrap()),
             );
             m
         };

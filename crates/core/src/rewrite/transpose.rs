@@ -170,18 +170,16 @@ pub fn select_through_project<P: SchemaProvider>(plan: &Plan, provider: &P) -> R
     let Some(map) = pure_items(items) else {
         return Err(na(RULE, "projection is not pure columns"));
     };
-    let renamed = predicate.rename_columns(&|c| {
-        map.get(c).cloned().unwrap_or_else(|| c.to_string())
-    });
+    let renamed =
+        predicate.rename_columns(&|c| map.get(c).cloned().unwrap_or_else(|| c.to_string()));
     // Every predicate column must be resolvable through the projection.
     if !predicate.columns().iter().all(|c| map.contains_key(c)) {
-        return Err(na(RULE, "predicate references a column the projection drops"));
+        return Err(na(
+            RULE,
+            "predicate references a column the projection drops",
+        ));
     }
-    let rewritten = z
-        .as_ref()
-        .clone()
-        .select(renamed)
-        .project(items.clone());
+    let rewritten = z.as_ref().clone().select(renamed).project(items.clone());
     check(rewritten, provider, RULE)
 }
 
@@ -226,8 +224,10 @@ pub fn groupby_through_project<P: SchemaProvider>(plan: &Plan, provider: &P) -> 
         if &src != g {
             return Err(na(
                 RULE,
-                format!("grouping column `{g}` is renamed from `{src}`; absorbing would \
-                         change the output schema"),
+                format!(
+                    "grouping column `{g}` is renamed from `{src}`; absorbing would \
+                         change the output schema"
+                ),
             ));
         }
     }

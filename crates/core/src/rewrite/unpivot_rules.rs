@@ -56,8 +56,15 @@ pub fn push_select_below_unpivot<P: SchemaProvider>(plan: &Plan, provider: &P) -
 
     enum Atom {
         OnK(Expr),
-        NameEq { name_idx: usize, value: Value },
-        ValueCmp { value_idx: usize, op: CmpOp, lit: Value },
+        NameEq {
+            name_idx: usize,
+            value: Value,
+        },
+        ValueCmp {
+            value_idx: usize,
+            op: CmpOp,
+            lit: Value,
+        },
     }
 
     let mut atoms = Vec::new();
@@ -130,10 +137,8 @@ pub fn push_select_below_unpivot<P: SchemaProvider>(plan: &Plan, provider: &P) -
 
     let mut base = h.as_ref().clone();
     if !value_atoms.is_empty() {
-        let mut items: Vec<(Expr, String)> = k_cols
-            .iter()
-            .map(|k| (Expr::col(k), k.clone()))
-            .collect();
+        let mut items: Vec<(Expr, String)> =
+            k_cols.iter().map(|k| (Expr::col(k), k.clone())).collect();
         for g in &kept_groups {
             let cond = Expr::conjunction(
                 value_atoms
@@ -305,10 +310,7 @@ pub fn pull_unpivot_above_join<P: SchemaProvider>(plan: &Plan, provider: &P) -> 
 /// aggregation. `GroupBy(K', f(value_col))(GUnpivot(H))` where `K' ⊆ K ∪
 /// name columns and `f ∈ {SUM, COUNT}` ⇒ aggregate each unpivot column
 /// inside `H` first, unpivot the partial aggregates, then re-aggregate.
-pub fn pull_unpivot_above_group_by<P: SchemaProvider>(
-    plan: &Plan,
-    provider: &P,
-) -> Result<Plan> {
+pub fn pull_unpivot_above_group_by<P: SchemaProvider>(plan: &Plan, provider: &P) -> Result<Plan> {
     const RULE: &str = "pull-gunpivot-groupby (Eq. 15)";
     let Plan::GroupBy {
         input,
@@ -399,10 +401,7 @@ pub fn pull_unpivot_above_group_by<P: SchemaProvider>(
                 needs_case = true;
                 case_items.push((
                     Expr::Case {
-                        branches: vec![(
-                            Expr::col(col).gt(Expr::lit(0)),
-                            Expr::col(col),
-                        )],
+                        branches: vec![(Expr::col(col).gt(Expr::lit(0)), Expr::col(col))],
                         otherwise: Box::new(Expr::Lit(Value::Null)),
                     },
                     col.clone(),
@@ -412,7 +411,11 @@ pub fn pull_unpivot_above_group_by<P: SchemaProvider>(
             }
         }
     }
-    let inner = if needs_case { inner.project(case_items) } else { inner };
+    let inner = if needs_case {
+        inner.project(case_items)
+    } else {
+        inner
+    };
 
     // Unpivot the partial aggregates, then re-aggregate.
     let value_names: Vec<String> = aggs.iter().map(|a| format!("__v_{}", a.output)).collect();
@@ -447,7 +450,11 @@ pub fn push_unpivot_below_select<P: SchemaProvider>(plan: &Plan, provider: &P) -
     let Plan::GUnpivot { input, spec } = plan else {
         return Err(na(RULE, format!("top is {}, not GUnpivot", plan.op_name())));
     };
-    let Plan::Select { input: h, predicate } = input.as_ref() else {
+    let Plan::Select {
+        input: h,
+        predicate,
+    } = input.as_ref()
+    else {
         return Err(na(RULE, "no Select directly under the GUnpivot"));
     };
     let h_schema = h.schema(provider)?;
@@ -455,7 +462,7 @@ pub fn push_unpivot_below_select<P: SchemaProvider>(plan: &Plan, provider: &P) -
     // The predicate must touch at least one to-be-unpivoted column (else
     // the trivial §5.4.1 commute applies — also handled here).
     let consumed: Vec<&String> = spec.groups.iter().flat_map(|g| g.cols.iter()).collect();
-    let touches_cells = predicate.columns().iter().any(|c| consumed.iter().any(|x| *x == c));
+    let touches_cells = predicate.columns().iter().any(|c| consumed.contains(&c));
     if !touches_cells {
         // §5.4.1 first case: plain commute.
         let rewritten = h
@@ -509,10 +516,7 @@ pub fn push_unpivot_below_select<P: SchemaProvider>(plan: &Plan, provider: &P) -
 /// Eq. 18: push a GUNPIVOT below a GROUPBY when it unpivots the aggregate
 /// outputs: `GUnpivot(f-outputs)(GroupBy(K; f(B_i)))` ⇒
 /// `GroupBy(K ∪ names; f(value))(GUnpivot([B_i])(T))`.
-pub fn push_unpivot_below_group_by<P: SchemaProvider>(
-    plan: &Plan,
-    provider: &P,
-) -> Result<Plan> {
+pub fn push_unpivot_below_group_by<P: SchemaProvider>(plan: &Plan, provider: &P) -> Result<Plan> {
     const RULE: &str = "push-gunpivot-groupby (Eq. 18)";
     let Plan::GUnpivot { input, spec } = plan else {
         return Err(na(RULE, format!("top is {}, not GUnpivot", plan.op_name())));
@@ -537,7 +541,10 @@ pub fn push_unpivot_below_group_by<P: SchemaProvider>(
             ));
         }
         if !aggs.iter().any(|a| &a.output == *c) {
-            return Err(na(RULE, format!("unpivot consumes non-aggregate column `{c}`")));
+            return Err(na(
+                RULE,
+                format!("unpivot consumes non-aggregate column `{c}`"),
+            ));
         }
     }
     // One value column (the paper's Figure 21 shape); each group reads one
@@ -545,7 +552,10 @@ pub fn push_unpivot_below_group_by<P: SchemaProvider>(
     // inputs. `f` must disregard ⊥ (SUM/COUNT/MIN/MAX all qualify; COUNT of
     // an empty group would produce 0 either way since groups here exist).
     if spec.value_cols.len() != 1 {
-        return Err(na(RULE, "only single-measure unpivots supported (Figure 21 shape)"));
+        return Err(na(
+            RULE,
+            "only single-measure unpivots supported (Figure 21 shape)",
+        ));
     }
     let mut func: Option<AggFunc> = None;
     let mut inner_groups = Vec::new();
@@ -669,20 +679,18 @@ mod tests {
     fn groupby_pullup_rejects_value_column_grouping() {
         let p = provider();
         // §5.3.4: cannot group by the value column.
-        let plan = Plan::scan("wide").gunpivot(unspec()).group_by(
-            &["v"],
-            vec![gpivot_algebra::AggSpec::count_star("n")],
-        );
+        let plan = Plan::scan("wide")
+            .gunpivot(unspec())
+            .group_by(&["v"], vec![gpivot_algebra::AggSpec::count_star("n")]);
         assert!(pull_unpivot_above_group_by(&plan, &p).is_err());
     }
 
     #[test]
     fn groupby_pullup_rejects_min_max() {
         let p = provider();
-        let plan = Plan::scan("wide").gunpivot(unspec()).group_by(
-            &["which"],
-            vec![gpivot_algebra::AggSpec::max("v", "m")],
-        );
+        let plan = Plan::scan("wide")
+            .gunpivot(unspec())
+            .group_by(&["which"], vec![gpivot_algebra::AggSpec::max("v", "m")]);
         assert!(pull_unpivot_above_group_by(&plan, &p).is_err());
     }
 }

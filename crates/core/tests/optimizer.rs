@@ -64,15 +64,18 @@ fn cancels_unpivot_pivot_roundtrip() {
         .gunpivot(UnpivotSpec::reversing(&spec))
         .gpivot(spec.clone());
     let (optimized, _log) = optimize(&plan, &c);
-    assert_eq!(optimized.pivot_count(), 1, "only the producing pivot remains");
+    assert_eq!(
+        optimized.pivot_count(),
+        1,
+        "only the producing pivot remains"
+    );
     assert_preserves(&plan, &optimized, &c);
 }
 
 #[test]
 fn combines_stacked_pivots() {
     let c = catalog();
-    let inner =
-        PivotSpec::simple("Type", "Price", vec![Value::str("TV"), Value::str("VCR")]);
+    let inner = PivotSpec::simple("Type", "Price", vec![Value::str("TV"), Value::str("VCR")]);
     let outer = PivotSpec::new(
         vec!["Manu"],
         inner.output_col_names(),

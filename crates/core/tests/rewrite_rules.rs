@@ -7,13 +7,11 @@ use gpivot_algebra::{
     AggSpec, Expr, JoinKind, PivotSpec, Plan, PlanBuilder, UnpivotGroup, UnpivotSpec,
 };
 use gpivot_core::rewrite::pullup::{
-    cancel_pivot_unpivot, pullup_through_group_by, pullup_through_join,
-    pullup_through_project, pullup_through_select, push_select_below_pivot_selfjoin,
-    swap_unpivot_below_pivot,
+    cancel_pivot_unpivot, pullup_through_group_by, pullup_through_join, pullup_through_project,
+    pullup_through_select, push_select_below_pivot_selfjoin, swap_unpivot_below_pivot,
 };
 use gpivot_core::rewrite::pushdown::{
-    cancel_unpivot_pivot, pushdown_through_group_by, pushdown_through_join,
-    pushdown_through_select,
+    cancel_unpivot_pivot, pushdown_through_group_by, pushdown_through_join, pushdown_through_select,
 };
 use gpivot_core::rewrite::transpose::{
     groupby_through_project, hoist_select_through_join, pivot_through_rename,
@@ -138,7 +136,10 @@ fn eq7_selfjoin_pushdown_single_cell() {
         .gpivot(sony_pana_tv_vcr())
         .select(Expr::col("Sony**TV**Price").gt(Expr::lit(200)));
     let rewritten = push_select_below_pivot_selfjoin(&plan, &c).unwrap();
-    assert!(matches!(rewritten, Plan::GPivot { .. }), "pivot must top the result");
+    assert!(
+        matches!(rewritten, Plan::GPivot { .. }),
+        "pivot must top the result"
+    );
     assert_equivalent(&plan, &rewritten, &c, "Eq. 7 single cell");
 }
 
@@ -148,9 +149,7 @@ fn eq7_selfjoin_pushdown_two_cells() {
     let c = catalog();
     let plan = Plan::scan("sales")
         .gpivot(sony_pana_tv_vcr())
-        .select(
-            Expr::col("Sony**TV**Price").lt(Expr::col("Panasonic**TV**Price")),
-        );
+        .select(Expr::col("Sony**TV**Price").lt(Expr::col("Panasonic**TV**Price")));
     let rewritten = push_select_below_pivot_selfjoin(&plan, &c).unwrap();
     assert_equivalent(&plan, &rewritten, &c, "Eq. 7 cell pair");
 }
@@ -215,9 +214,12 @@ fn pullup_project_refuses_dropping_k_columns() {
     // non-equivalence: (USA, Sony) has two rows with different quantities,
     // which the pushed-down form would merge.
     let c = catalog();
-    let plan = Plan::scan("sales")
-        .gpivot(type_pivot())
-        .project_cols(&["Country", "Manu", "TV**Price", "VCR**Price"]);
+    let plan = Plan::scan("sales").gpivot(type_pivot()).project_cols(&[
+        "Country",
+        "Manu",
+        "TV**Price",
+        "VCR**Price",
+    ]);
     assert!(pullup_through_project(&plan, &c).is_err());
 
     // And indeed the naive pushdown is NOT equivalent:
@@ -233,9 +235,12 @@ fn pullup_project_refuses_dropping_k_columns() {
 fn pullup_project_refuses_dropping_cells() {
     let c = catalog();
     // §5.1.2: π¬VCR(GPIVOT[TV,VCR]) ≠ GPIVOT[TV].
-    let plan = Plan::scan("sales")
-        .gpivot(type_pivot())
-        .project_cols(&["Country", "Manu", "Quantity", "TV**Price"]);
+    let plan = Plan::scan("sales").gpivot(type_pivot()).project_cols(&[
+        "Country",
+        "Manu",
+        "Quantity",
+        "TV**Price",
+    ]);
     assert!(pullup_through_project(&plan, &c).is_err());
 }
 
@@ -256,8 +261,12 @@ fn eq8_pullup_groupby() {
     let rewritten = pullup_through_group_by(&plan, &c).unwrap();
     assert_equivalent(&plan, &rewritten, &c, "Eq. 8");
     // Inner tree: GroupBy below a pivot below the rename projection.
-    let Plan::Project { input, .. } = &rewritten else { panic!("rename projection") };
-    let Plan::GPivot { input: gb, .. } = input.as_ref() else { panic!("pivot") };
+    let Plan::Project { input, .. } = &rewritten else {
+        panic!("rename projection")
+    };
+    let Plan::GPivot { input: gb, .. } = input.as_ref() else {
+        panic!("pivot")
+    };
     assert!(matches!(gb.as_ref(), Plan::GroupBy { .. }));
 }
 
@@ -319,8 +328,12 @@ fn eq10_swap_disjoint_parameters() {
     let rewritten = swap_unpivot_below_pivot(&plan, &c).unwrap();
     assert_equivalent(&plan, &rewritten, &c, "Eq. 10");
     // The unpivot now runs below the pivot.
-    let Plan::Project { input, .. } = &rewritten else { panic!("order projection") };
-    let Plan::GPivot { input: un, .. } = input.as_ref() else { panic!("pivot on top") };
+    let Plan::Project { input, .. } = &rewritten else {
+        panic!("order projection")
+    };
+    let Plan::GPivot { input: un, .. } = input.as_ref() else {
+        panic!("pivot on top")
+    };
     assert!(matches!(un.as_ref(), Plan::GUnpivot { .. }));
 }
 
@@ -336,7 +349,9 @@ fn eq11_pushdown_select_dimension_atom() {
     let rewritten = pushdown_through_select(&plan, &c).unwrap();
     assert_equivalent(&plan, &rewritten, &c, "Eq. 11 dimension");
     // The pivot moved below the selection machinery.
-    let Plan::Select { input, .. } = &rewritten else { panic!("not-all-⊥ select") };
+    let Plan::Select { input, .. } = &rewritten else {
+        panic!("not-all-⊥ select")
+    };
     assert!(matches!(input.as_ref(), Plan::Project { .. }));
 }
 
@@ -386,8 +401,12 @@ fn pushdown_join_on_carried_columns() {
         .gpivot(sony_pana_tv_vcr());
     let rewritten = pushdown_through_join(&plan, &c).unwrap();
     // The pivot moved below the join (under the order-restoring Project).
-    let Plan::Project { input, .. } = &rewritten else { panic!("projection on top") };
-    let Plan::Join { left, .. } = input.as_ref() else { panic!("join below") };
+    let Plan::Project { input, .. } = &rewritten else {
+        panic!("projection on top")
+    };
+    let Plan::Join { left, .. } = input.as_ref() else {
+        panic!("join below")
+    };
     assert!(matches!(left.as_ref(), Plan::GPivot { .. }));
     assert_equivalent(&plan, &rewritten, &c, "§5.2.3");
 }
@@ -397,17 +416,16 @@ fn pushdown_groupby_reverses_eq8() {
     // §5.2.4: pivot over a GROUPBY whose dimensions are grouping columns.
     let c = catalog();
     let plan = Plan::scan("sales")
-        .group_by(
-            &["Manu", "Type"],
-            vec![AggSpec::sum("Price", "total")],
-        )
+        .group_by(&["Manu", "Type"], vec![AggSpec::sum("Price", "total")])
         .gpivot(PivotSpec::new(
             vec!["Type"],
             vec!["total"],
             vec![vec![Value::str("TV")], vec![Value::str("VCR")]],
         ));
     let rewritten = pushdown_through_group_by(&plan, &c).unwrap();
-    let Plan::GroupBy { input, .. } = &rewritten else { panic!("groupby on top") };
+    let Plan::GroupBy { input, .. } = &rewritten else {
+        panic!("groupby on top")
+    };
     assert!(matches!(input.as_ref(), Plan::GPivot { .. }));
     assert_equivalent(&plan, &rewritten, &c, "§5.2.4");
 }
@@ -452,7 +470,9 @@ fn eq13_select_name_column_atom() {
     let rewritten = push_select_below_unpivot(&plan, &c).unwrap();
     assert_equivalent(&plan, &rewritten, &c, "Eq. 13 name atom");
     // Groups were filtered statically: TV groups only.
-    let Plan::GUnpivot { spec, .. } = &rewritten else { panic!("unpivot on top") };
+    let Plan::GUnpivot { spec, .. } = &rewritten else {
+        panic!("unpivot on top")
+    };
     assert_eq!(spec.groups.len(), 2);
 }
 
@@ -495,10 +515,9 @@ fn unpivot_above_join_on_k_columns() {
 fn eq15_unpivot_above_groupby() {
     // Figure 18's horizontal aggregation: sum all prices per country.
     let c = catalog();
-    let plan = wide_plan().gunpivot(wide_unpivot()).group_by(
-        &["Country"],
-        vec![AggSpec::sum("Price", "total")],
-    );
+    let plan = wide_plan()
+        .gunpivot(wide_unpivot())
+        .group_by(&["Country"], vec![AggSpec::sum("Price", "total")]);
     let rewritten = pull_unpivot_above_group_by(&plan, &c).unwrap();
     assert_equivalent(&plan, &rewritten, &c, "Eq. 15 sum");
 }
@@ -534,7 +553,9 @@ fn eq16_trivial_commute_for_k_atoms() {
         .gunpivot(wide_unpivot())
         .build();
     let rewritten = push_unpivot_below_select(&plan, &c).unwrap();
-    let Plan::Select { .. } = &rewritten else { panic!("select hoisted above") };
+    let Plan::Select { .. } = &rewritten else {
+        panic!("select hoisted above")
+    };
     assert_equivalent(&plan, &rewritten, &c, "§5.4.1 commute");
 }
 
@@ -565,7 +586,9 @@ fn eq18_unpivot_below_groupby() {
             vec!["val"],
         ));
     let rewritten = push_unpivot_below_group_by(&plan, &c).unwrap();
-    let Plan::GroupBy { input, .. } = &rewritten else { panic!("groupby on top") };
+    let Plan::GroupBy { input, .. } = &rewritten else {
+        panic!("groupby on top")
+    };
     assert!(matches!(input.as_ref(), Plan::GUnpivot { .. }));
     assert_equivalent(&plan, &rewritten, &c, "Eq. 18");
 }
@@ -609,8 +632,12 @@ fn transpose_pivot_through_rename() {
     ));
     let rewritten = pivot_through_rename(&plan, &c).unwrap();
     // The pivot now reads the original columns below the projection.
-    let Plan::Project { input, .. } = &rewritten else { panic!("rename project on top") };
-    let Plan::GPivot { input: below, .. } = input.as_ref() else { panic!("pivot") };
+    let Plan::Project { input, .. } = &rewritten else {
+        panic!("rename project on top")
+    };
+    let Plan::GPivot { input: below, .. } = input.as_ref() else {
+        panic!("pivot")
+    };
     assert!(matches!(below.as_ref(), Plan::Scan { .. }));
     assert_equivalent(&plan, &rewritten, &c, "pivot-through-rename");
 }
@@ -623,7 +650,9 @@ fn transpose_groupby_through_project() {
         .project_cols(&["Manu", "TV**Price", "VCR**Price"])
         .group_by(&["Manu"], vec![AggSpec::sum("TV**Price", "s")]);
     let rewritten = groupby_through_project(&plan, &c).unwrap();
-    let Plan::GroupBy { input, .. } = &rewritten else { panic!("groupby on top") };
+    let Plan::GroupBy { input, .. } = &rewritten else {
+        panic!("groupby on top")
+    };
     assert!(matches!(input.as_ref(), Plan::GPivot { .. }));
     assert_equivalent(&plan, &rewritten, &c, "groupby-through-project");
 }

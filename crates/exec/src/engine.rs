@@ -147,10 +147,7 @@ impl Executor {
                     .iter()
                     .map(|(_, rc)| r.schema().index_of(rc))
                     .collect::<gpivot_storage::Result<_>>()?;
-                let bound_res = residual
-                    .as_ref()
-                    .map(|e| e.bind(&out_schema))
-                    .transpose()?;
+                let bound_res = residual.as_ref().map(|e| e.bind(&out_schema)).transpose()?;
                 hash_join(
                     &l,
                     &r,

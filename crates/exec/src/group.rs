@@ -136,9 +136,8 @@ mod tests {
     use std::sync::Arc;
 
     fn input() -> Table {
-        let schema = Arc::new(
-            Schema::from_pairs(&[("g", DataType::Str), ("v", DataType::Int)]).unwrap(),
-        );
+        let schema =
+            Arc::new(Schema::from_pairs(&[("g", DataType::Str), ("v", DataType::Int)]).unwrap());
         Table::bag(
             schema,
             vec![
@@ -187,13 +186,9 @@ mod tests {
 
     #[test]
     fn avg_and_empty_group_is_null() {
-        let schema = Arc::new(
-            Schema::from_pairs(&[("g", DataType::Str), ("v", DataType::Int)]).unwrap(),
-        );
-        let all_null = Table::bag(
-            schema,
-            vec![Row::new(vec![Value::str("a"), Value::Null])],
-        );
+        let schema =
+            Arc::new(Schema::from_pairs(&[("g", DataType::Str), ("v", DataType::Int)]).unwrap());
+        let all_null = Table::bag(schema, vec![Row::new(vec![Value::str("a"), Value::Null])]);
         let t = hash_group_by(
             &all_null,
             &[0],

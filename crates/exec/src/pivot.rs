@@ -63,11 +63,7 @@ impl PivotLayout {
 }
 
 /// Execute a GPIVOT.
-pub fn gpivot(
-    input: &Table,
-    spec: &PivotSpec,
-    out_schema: Arc<Schema>,
-) -> Result<Table> {
+pub fn gpivot(input: &Table, spec: &PivotSpec, out_schema: Arc<Schema>) -> Result<Table> {
     let layout = PivotLayout::resolve(spec, input.schema())?;
     let n_k = layout.k_idx.len();
     let n_on = layout.on_idx.len();
@@ -92,7 +88,7 @@ pub fn gpivot(
         let wide = acc.entry(k.clone()).or_insert_with(|| {
             let mut v = Vec::with_capacity(width);
             v.extend(k.iter().cloned());
-            v.extend(std::iter::repeat(Value::Null).take(width - n_k));
+            v.extend(std::iter::repeat_n(Value::Null, width - n_k));
             v
         });
         let base = n_k + gi * n_on;
@@ -148,11 +144,7 @@ impl UnpivotLayout {
 }
 
 /// Execute a GUNPIVOT.
-pub fn gunpivot(
-    input: &Table,
-    spec: &UnpivotSpec,
-    out_schema: Arc<Schema>,
-) -> Result<Table> {
+pub fn gunpivot(input: &Table, spec: &UnpivotSpec, out_schema: Arc<Schema>) -> Result<Table> {
     let layout = UnpivotLayout::resolve(spec, input.schema())?;
     let mut out = Vec::new();
     for row in input.iter() {
@@ -161,9 +153,7 @@ pub fn gunpivot(
             if cols.iter().all(|&c| row[c].is_null()) {
                 continue;
             }
-            let mut v = Vec::with_capacity(
-                layout.k_idx.len() + g.tags.len() + cols.len(),
-            );
+            let mut v = Vec::with_capacity(layout.k_idx.len() + g.tags.len() + cols.len());
             v.extend(layout.k_idx.iter().map(|&i| row[i].clone()));
             v.extend(g.tags.iter().cloned());
             v.extend(cols.iter().map(|&c| row[c].clone()));
@@ -332,10 +322,7 @@ mod tests {
         out_s.set_key(vec![0]);
         let out = gpivot(&t, &spec, Arc::new(out_s)).unwrap();
         assert_eq!(out.len(), 2);
-        let usa = out
-            .iter()
-            .find(|r| r[0] == Value::str("USA"))
-            .unwrap();
+        let usa = out.iter().find(|r| r[0] == Value::str("USA")).unwrap();
         assert_eq!(usa[1], Value::Int(100));
         assert_eq!(usa[2], Value::Int(10));
         assert_eq!(usa[3], Value::Int(200));

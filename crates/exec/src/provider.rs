@@ -76,9 +76,9 @@ pub struct ProviderSchemas<'a, P: TableProvider>(pub &'a P);
 
 impl<P: TableProvider> SchemaProvider for ProviderSchemas<'_, P> {
     fn base_schema(&self, table: &str) -> gpivot_algebra::Result<SchemaRef> {
-        self.0.get_schema(table).map_err(|_| {
-            AlgebraError::Storage(StorageError::UnknownTable(table.to_string()))
-        })
+        self.0
+            .get_schema(table)
+            .map_err(|_| AlgebraError::Storage(StorageError::UnknownTable(table.to_string())))
     }
 }
 
@@ -90,9 +90,7 @@ mod tests {
 
     fn catalog() -> Catalog {
         let mut c = Catalog::new();
-        let schema = Arc::new(
-            Schema::from_pairs_keyed(&[("id", DataType::Int)], &["id"]).unwrap(),
-        );
+        let schema = Arc::new(Schema::from_pairs_keyed(&[("id", DataType::Int)], &["id"]).unwrap());
         c.register("t", Table::from_rows(schema, vec![row![1]]).unwrap())
             .unwrap();
         c

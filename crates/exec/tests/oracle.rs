@@ -7,17 +7,14 @@ use gpivot_algebra::plan::{PivotSpec, UnpivotSpec};
 use gpivot_algebra::{AggSpec, JoinKind, Plan};
 use gpivot_exec::Executor;
 use gpivot_storage::{Catalog, DataType, Row, Schema, Table, Value};
-use proptest::prelude::{prop, prop_assert_eq, proptest, Just};
 use proptest::prelude::prop_oneof;
+use proptest::prelude::{prop, prop_assert_eq, proptest, Just};
 use proptest::strategy::Strategy as _;
 use std::collections::HashMap;
 use std::sync::Arc;
 
 fn arb_val() -> impl proptest::strategy::Strategy<Value = Value> {
-    prop_oneof![
-        Just(Value::Null),
-        (-5i64..15).prop_map(Value::Int),
-    ]
+    prop_oneof![Just(Value::Null), (-5i64..15).prop_map(Value::Int),]
 }
 
 /// Random left/right tables over small domains (to force key collisions).
@@ -36,12 +33,8 @@ fn arb_tables() -> impl proptest::strategy::Strategy<Value = (Vec<Row>, Vec<Row>
 }
 
 fn join_catalog(left: Vec<Row>, right: Vec<Row>) -> Catalog {
-    let ls = Arc::new(
-        Schema::from_pairs(&[("lk", DataType::Int), ("lv", DataType::Int)]).unwrap(),
-    );
-    let rs = Arc::new(
-        Schema::from_pairs(&[("rk", DataType::Int), ("rv", DataType::Int)]).unwrap(),
-    );
+    let ls = Arc::new(Schema::from_pairs(&[("lk", DataType::Int), ("lv", DataType::Int)]).unwrap());
+    let rs = Arc::new(Schema::from_pairs(&[("rk", DataType::Int), ("rv", DataType::Int)]).unwrap());
     let mut c = Catalog::new();
     c.register("l", Table::bag(ls, left)).unwrap();
     c.register("r", Table::bag(rs, right)).unwrap();

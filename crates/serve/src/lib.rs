@@ -1,0 +1,39 @@
+//! # gpivot-serve
+//!
+//! A long-lived, thread-safe **view-maintenance service** layered over the
+//! engine's [`gpivot_core::ViewManager`]. Where `ViewManager` is the paper's
+//! single-threaded compile/refresh cycle, this crate is the operational
+//! wrapper a warehouse would actually run:
+//!
+//! * **View registry** ([`ViewService::register_view`] /
+//!   [`ViewService::drop_view`]) — named views compiled through the existing
+//!   normalize + strategy pipeline, owned behind an `RwLock` so queries and
+//!   refreshes can proceed concurrently.
+//! * **Delta ingestion queue** ([`ViewService::ingest`]) — producers submit
+//!   signed-multiset [`gpivot_storage::Delta`] batches per base table. The
+//!   queue coalesces them additively (an insert and a delete of the same row
+//!   cancel before any propagation work happens) and applies backpressure
+//!   once the pending row count crosses a configurable watermark.
+//! * **Epoch-based refresh** ([`ViewService::refresh_epoch`]) — each epoch
+//!   drains the coalesced batch, propagates it to every *affected* view
+//!   (dependency = the view's base tables; clean views are skipped) in
+//!   parallel on a bounded pool of `std` threads, then commits the new view
+//!   tables **and** the base-table deltas in one write-lock critical
+//!   section. Readers holding a [`Snapshot`] always see a consistent
+//!   pre-epoch or post-epoch state, never a mix — the service-level analogue
+//!   of the paper's §6 two-phase propagate/apply contract.
+//! * **Observability** ([`ViewService::metrics`]) — per-view and per-epoch
+//!   counters (rows ingested, coalescing ratio, rows propagated, refresh
+//!   latency) as a [`MetricsSnapshot`] plus a human-readable report.
+//!
+//! Lock order (outermost first): refresh gate → view state (`RwLock`) →
+//! ingest queue (`Mutex` + condvar) → metrics (`Mutex`, leaf). No code path
+//! acquires them in any other order, and the queue lock is never held while
+//! waiting on the state lock.
+
+mod metrics;
+mod queue;
+mod service;
+
+pub use metrics::{EpochSummary, MetricsSnapshot, ViewMetrics};
+pub use service::{ServeConfig, Snapshot, ViewService};

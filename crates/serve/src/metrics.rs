@@ -1,0 +1,174 @@
+//! Service observability: per-view and per-epoch counters, exported as a
+//! cloneable [`MetricsSnapshot`] plus a human-readable report.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+use std::time::Duration;
+
+/// Cumulative counters for one registered view.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ViewMetrics {
+    /// Epochs in which this view was refreshed (it had a dirty dependency).
+    pub refreshes: u64,
+    /// Distinct delta rows that reached the view's apply phase.
+    pub delta_rows: u64,
+    /// Operator-output rows evaluated while propagating to this view
+    /// (`ExecTrace::total_rows` summed over pre/post subplan evaluations).
+    pub rows_propagated: u64,
+    /// Row effects on the materialized table (inserted + updated + deleted).
+    pub rows_applied: u64,
+    /// Total wall-clock time spent refreshing this view.
+    pub refresh_time: Duration,
+}
+
+/// A point-in-time copy of the service's counters.
+///
+/// All `rows_*` counters reconcile by construction: `rows_ingested` counts
+/// producer-submitted row changes, `rows_drained_raw` the subset already
+/// drained into epochs, and `rows_drained_coalesced` what survived +1/−1
+/// cancellation — so `rows_ingested − rows_drained_raw` is exactly what is
+/// still pending in the queue.
+#[derive(Debug, Clone, Default)]
+pub struct MetricsSnapshot {
+    /// Completed epochs (successful refreshes that advanced the snapshot).
+    pub epochs: u64,
+    /// Epochs that failed and were rolled back (batch re-queued).
+    pub epochs_failed: u64,
+    /// Producer batches accepted by `ingest`.
+    pub batches_ingested: u64,
+    /// Row changes accepted by `ingest` (pre-coalescing).
+    pub rows_ingested: u64,
+    /// `ingest` calls that had to block on the backpressure watermark.
+    pub ingest_waits: u64,
+    /// Row changes drained into epochs, before coalescing.
+    pub rows_drained_raw: u64,
+    /// Row changes drained into epochs, after +1/−1 cancellation.
+    pub rows_drained_coalesced: u64,
+    /// Sum of per-view delta rows across all refreshes.
+    pub delta_rows: u64,
+    /// Sum of per-view propagated rows across all refreshes.
+    pub rows_propagated: u64,
+    /// Sum of per-view applied rows across all refreshes.
+    pub rows_applied: u64,
+    /// Total wall-clock time spent inside `refresh_epoch` doing work.
+    pub refresh_time: Duration,
+    /// Wall-clock time of the most recent non-empty epoch.
+    pub last_epoch_time: Duration,
+    /// Coalesced row changes currently waiting in the queue.
+    pub pending_rows: u64,
+    /// Estimated bytes held by the pending queue.
+    pub pending_bytes: usize,
+    /// Per-view cumulative counters, keyed by view name.
+    pub per_view: BTreeMap<String, ViewMetrics>,
+}
+
+impl MetricsSnapshot {
+    /// Fraction of drained row changes that survived coalescing
+    /// (1.0 = nothing cancelled, 0.0 = everything cancelled).
+    /// Returns `None` before anything has been drained.
+    pub fn coalescing_ratio(&self) -> Option<f64> {
+        if self.rows_drained_raw == 0 {
+            return None;
+        }
+        Some(self.rows_drained_coalesced as f64 / self.rows_drained_raw as f64)
+    }
+
+    /// Mean wall-clock latency of a completed epoch.
+    pub fn mean_epoch_time(&self) -> Option<Duration> {
+        if self.epochs == 0 {
+            return None;
+        }
+        Some(self.refresh_time / self.epochs as u32)
+    }
+
+    /// Human-readable multi-line report (the `serve_dashboard` example).
+    pub fn report(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "gpivot-serve metrics");
+        let _ = writeln!(
+            out,
+            "  epochs: {} completed, {} failed; last {:?}, mean {:?}",
+            self.epochs,
+            self.epochs_failed,
+            self.last_epoch_time,
+            self.mean_epoch_time().unwrap_or_default(),
+        );
+        let _ = writeln!(
+            out,
+            "  ingest: {} batches / {} row changes ({} backpressure waits)",
+            self.batches_ingested, self.rows_ingested, self.ingest_waits,
+        );
+        let ratio = self
+            .coalescing_ratio()
+            .map(|r| format!("{:.1}%", r * 100.0))
+            .unwrap_or_else(|| "n/a".into());
+        let _ = writeln!(
+            out,
+            "  coalescing: {} raw -> {} effective rows drained ({} surviving)",
+            self.rows_drained_raw, self.rows_drained_coalesced, ratio,
+        );
+        let _ = writeln!(
+            out,
+            "  pending: {} rows (~{} bytes)",
+            self.pending_rows, self.pending_bytes,
+        );
+        let _ = writeln!(
+            out,
+            "  propagate/apply: {} delta rows, {} rows propagated, {} rows applied",
+            self.delta_rows, self.rows_propagated, self.rows_applied,
+        );
+        for (name, v) in &self.per_view {
+            let _ = writeln!(
+                out,
+                "  view {name}: {} refreshes, {} delta rows, {} propagated, \
+                 {} applied, {:?} total",
+                v.refreshes, v.delta_rows, v.rows_propagated, v.rows_applied, v.refresh_time,
+            );
+        }
+        out
+    }
+}
+
+/// What one call to `refresh_epoch` did.
+#[derive(Debug, Clone, Default)]
+pub struct EpochSummary {
+    /// The epoch number now visible to readers.
+    pub epoch: u64,
+    /// Views actually refreshed (dirty dependency); clean views are skipped.
+    pub views_refreshed: usize,
+    /// Coalesced row changes in the drained batch.
+    pub batch_rows: u64,
+    /// Producer batches folded into the drained batch.
+    pub batches_drained: u64,
+    /// Distinct delta rows reaching apply phases, summed over views.
+    pub delta_rows: u64,
+    /// Propagation work proxy, summed over views.
+    pub rows_propagated: u64,
+    /// Row effects on materialized tables, summed over views.
+    pub rows_applied: u64,
+    /// Wall-clock duration of the epoch.
+    pub duration: Duration,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn coalescing_ratio_handles_empty_and_nonempty() {
+        let mut m = MetricsSnapshot::default();
+        assert_eq!(m.coalescing_ratio(), None);
+        m.rows_drained_raw = 10;
+        m.rows_drained_coalesced = 4;
+        assert_eq!(m.coalescing_ratio(), Some(0.4));
+    }
+
+    #[test]
+    fn report_mentions_views() {
+        let mut m = MetricsSnapshot::default();
+        m.per_view.insert("v1".into(), ViewMetrics::default());
+        let r = m.report();
+        assert!(r.contains("view v1"));
+        assert!(r.contains("epochs"));
+    }
+}

@@ -1,0 +1,134 @@
+//! The coalescing ingestion queue: per-table signed-multiset accumulators
+//! with incremental row accounting, drained once per epoch.
+
+use gpivot_core::SourceDeltas;
+use gpivot_storage::Delta;
+use std::collections::HashMap;
+
+/// What one epoch drained out of the queue.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct DrainStats {
+    /// Row changes as submitted by producers (before cancellation).
+    pub raw_rows: u64,
+    /// Row changes actually handed to the refresh (after cancellation).
+    pub coalesced_rows: u64,
+    /// Producer batches folded into this epoch.
+    pub batches: u64,
+}
+
+/// Pending source deltas, coalesced per table.
+///
+/// Coalescing is the signed-multiset merge: multiplicities add, and a +1/−1
+/// pair for the same row cancels to nothing. `pending_rows` is maintained
+/// incrementally (per-row `|m+w| − |m|` adjustments during the merge), so
+/// the backpressure check in `ViewService::ingest` is O(1).
+#[derive(Debug, Default)]
+pub(crate) struct IngestQueue {
+    pending: HashMap<String, Delta>,
+    pending_rows: u64,
+    raw_rows: u64,
+    batches: u64,
+}
+
+impl IngestQueue {
+    pub fn new() -> Self {
+        IngestQueue::default()
+    }
+
+    /// Fold a producer batch into the per-table accumulator.
+    pub fn ingest(&mut self, table: &str, delta: Delta) {
+        self.raw_rows += delta.total_multiplicity();
+        self.batches += 1;
+        let entry = self.pending.entry(table.to_string()).or_default();
+        let mut change: i64 = 0;
+        for (row, w) in delta.into_counts() {
+            let m = entry.multiplicity(&row);
+            change += (m + w).abs() - m.abs();
+            entry.add(row, w);
+        }
+        self.pending_rows = (self.pending_rows as i64 + change) as u64;
+    }
+
+    /// Coalesced row changes currently pending (the watermark quantity).
+    pub fn pending_rows(&self) -> u64 {
+        self.pending_rows
+    }
+
+    /// True iff nothing is pending (fully-cancelled tables count as empty).
+    pub fn is_empty(&self) -> bool {
+        self.pending_rows == 0
+    }
+
+    /// Estimated bytes held by pending deltas (observability only).
+    pub fn estimate_bytes(&self) -> usize {
+        self.pending.values().map(Delta::estimate_bytes).sum()
+    }
+
+    /// Move everything out as one refresh batch, resetting the counters.
+    pub fn drain(&mut self) -> (SourceDeltas, DrainStats) {
+        let stats = DrainStats {
+            raw_rows: self.raw_rows,
+            coalesced_rows: self.pending_rows,
+            batches: self.batches,
+        };
+        let mut batch = SourceDeltas::new();
+        for (table, delta) in self.pending.drain() {
+            if !delta.is_empty() {
+                batch.absorb_delta(table, delta);
+            }
+        }
+        self.pending_rows = 0;
+        self.raw_rows = 0;
+        self.batches = 0;
+        (batch, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpivot_storage::row;
+
+    #[test]
+    fn coalescing_cancels_and_accounts() {
+        let mut q = IngestQueue::new();
+        q.ingest("t", Delta::from_inserts(vec![row![1], row![2]]));
+        assert_eq!(q.pending_rows(), 2);
+        q.ingest("t", Delta::from_deletes(vec![row![1]]));
+        // +1 and −1 of row 1 cancel: only row 2 remains pending.
+        assert_eq!(q.pending_rows(), 1);
+        assert!(!q.is_empty());
+
+        let (batch, stats) = q.drain();
+        assert_eq!(stats.raw_rows, 3);
+        assert_eq!(stats.coalesced_rows, 1);
+        assert_eq!(stats.batches, 2);
+        assert_eq!(batch.delta("t").unwrap().multiplicity(&row![2]), 1);
+        assert_eq!(batch.delta("t").unwrap().multiplicity(&row![1]), 0);
+        assert!(q.is_empty());
+        assert_eq!(q.pending_rows(), 0);
+    }
+
+    #[test]
+    fn fully_cancelled_batch_drains_empty() {
+        let mut q = IngestQueue::new();
+        q.ingest("t", Delta::from_inserts(vec![row![7]]));
+        q.ingest("t", Delta::from_deletes(vec![row![7]]));
+        assert!(q.is_empty());
+        let (batch, stats) = q.drain();
+        assert!(batch.is_empty());
+        assert_eq!(stats.raw_rows, 2);
+        assert_eq!(stats.coalesced_rows, 0);
+    }
+
+    #[test]
+    fn tables_accumulate_independently() {
+        let mut q = IngestQueue::new();
+        q.ingest("a", Delta::from_inserts(vec![row![1]]));
+        q.ingest("b", Delta::from_deletes(vec![row![1]]));
+        assert_eq!(q.pending_rows(), 2);
+        let (batch, _) = q.drain();
+        assert_eq!(batch.delta("a").unwrap().multiplicity(&row![1]), 1);
+        assert_eq!(batch.delta("b").unwrap().multiplicity(&row![1]), -1);
+    }
+}

@@ -1,0 +1,574 @@
+//! The view-maintenance service: registry, ingestion, epoch scheduler.
+
+use crate::metrics::{EpochSummary, MetricsSnapshot, ViewMetrics};
+use crate::queue::IngestQueue;
+use gpivot_algebra::plan::Plan;
+use gpivot_core::{MaintenanceOutcome, MaterializedView, Result, Strategy, ViewManager};
+use gpivot_storage::{Catalog, Delta, Table};
+use std::collections::BTreeSet;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock, RwLockReadGuard};
+use std::time::{Duration, Instant};
+
+const POISON: &str = "gpivot-serve lock poisoned: a holder panicked";
+
+/// Tuning knobs for [`ViewService`].
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads per refresh epoch. Independent affected views are
+    /// distributed round-robin over this many `std` scoped threads (the
+    /// same idiom as `gpivot_core::combine::parallel_gpivot`). `1` means
+    /// fully sequential refreshes.
+    pub workers: usize,
+    /// Backpressure watermark: once the *coalesced* pending row count
+    /// reaches this, `ingest` blocks until an epoch drains the queue. A
+    /// single batch larger than the watermark is still accepted when the
+    /// queue is empty, so producers can never wedge themselves.
+    pub max_pending_rows: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get().min(8))
+                .unwrap_or(1),
+            max_pending_rows: 1 << 20,
+        }
+    }
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    /// Serializes refresh epochs and registry changes with each other.
+    /// Readers (queries, snapshots) never take it.
+    gate: Mutex<()>,
+    /// The catalog + views. Write-held only for the short install/commit
+    /// critical section of an epoch and for registry changes.
+    state: RwLock<ViewManager>,
+    queue: Mutex<IngestQueue>,
+    /// Signalled whenever the queue drains; `ingest` waits on it.
+    space: Condvar,
+    metrics: Mutex<MetricsSnapshot>,
+    /// Epoch counter, bumped inside the state write-lock critical section
+    /// so a read guard always observes a consistent (epoch, state) pair.
+    epoch: AtomicU64,
+}
+
+/// A long-lived, thread-safe view-maintenance service. Cheap to clone —
+/// clones share the same underlying state (handle semantics).
+#[derive(Clone)]
+pub struct ViewService {
+    shared: Arc<Shared>,
+}
+
+impl ViewService {
+    /// Wrap a base-table catalog with an empty view registry.
+    pub fn new(catalog: Catalog, cfg: ServeConfig) -> Self {
+        ViewService {
+            shared: Arc::new(Shared {
+                cfg,
+                gate: Mutex::new(()),
+                state: RwLock::new(ViewManager::new(catalog)),
+                queue: Mutex::new(IngestQueue::new()),
+                space: Condvar::new(),
+                metrics: Mutex::new(MetricsSnapshot::default()),
+                epoch: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Register a named view, compiling it through the normalize + strategy
+    /// pipeline (auto-selected strategy, returned on success).
+    pub fn register_view(&self, name: impl Into<String>, definition: Plan) -> Result<Strategy> {
+        let _gate = self.shared.gate.lock().expect(POISON);
+        let mut state = self.shared.state.write().expect(POISON);
+        let name = name.into();
+        let strategy = state.create_view(name.clone(), definition)?;
+        self.shared
+            .metrics
+            .lock()
+            .expect(POISON)
+            .per_view
+            .entry(name)
+            .or_default();
+        Ok(strategy)
+    }
+
+    /// Register a named view with an explicit maintenance strategy.
+    pub fn register_view_with(
+        &self,
+        name: impl Into<String>,
+        definition: Plan,
+        strategy: Strategy,
+    ) -> Result<()> {
+        let _gate = self.shared.gate.lock().expect(POISON);
+        let mut state = self.shared.state.write().expect(POISON);
+        let name = name.into();
+        state.create_view_with(name.clone(), definition, strategy)?;
+        self.shared
+            .metrics
+            .lock()
+            .expect(POISON)
+            .per_view
+            .entry(name)
+            .or_default();
+        Ok(())
+    }
+
+    /// Drop a view. Its cumulative metrics are retained in the snapshot.
+    pub fn drop_view(&self, name: &str) -> Result<()> {
+        let _gate = self.shared.gate.lock().expect(POISON);
+        let mut state = self.shared.state.write().expect(POISON);
+        state.drop_view(name)?;
+        Ok(())
+    }
+
+    /// Names of all registered views.
+    pub fn view_names(&self) -> Vec<String> {
+        let state = self.shared.state.read().expect(POISON);
+        state.view_names().into_iter().map(String::from).collect()
+    }
+
+    /// Submit a signed delta batch for one base table. Blocks while the
+    /// coalesced pending row count is at the backpressure watermark (unless
+    /// the queue is empty, so one oversized batch still gets through).
+    pub fn ingest(&self, table: &str, delta: Delta) -> Result<()> {
+        if delta.is_empty() {
+            return Ok(());
+        }
+        // Validate the table against the catalog, then release the state
+        // lock *before* touching the queue (lock-order: state → queue, and
+        // never queue-while-waiting-on-state).
+        {
+            let state = self.shared.state.read().expect(POISON);
+            state.catalog().table(table)?;
+        }
+        let rows = delta.total_multiplicity();
+        let mut waited = false;
+        {
+            let mut q = self.shared.queue.lock().expect(POISON);
+            while q.pending_rows() >= self.shared.cfg.max_pending_rows && !q.is_empty() {
+                waited = true;
+                q = self.shared.space.wait(q).expect(POISON);
+            }
+            q.ingest(table, delta);
+        }
+        let mut m = self.shared.metrics.lock().expect(POISON);
+        m.batches_ingested += 1;
+        m.rows_ingested += rows;
+        if waited {
+            m.ingest_waits += 1;
+        }
+        Ok(())
+    }
+
+    /// Coalesced row changes currently waiting in the queue.
+    pub fn pending_rows(&self) -> u64 {
+        self.shared.queue.lock().expect(POISON).pending_rows()
+    }
+
+    /// The epoch number currently visible to readers.
+    pub fn epoch(&self) -> u64 {
+        self.shared.epoch.load(Ordering::SeqCst)
+    }
+
+    /// Run one refresh epoch: drain the queue, propagate + apply the batch
+    /// to every affected view in parallel, then atomically commit the new
+    /// view tables and base-table state. An empty queue is a cheap no-op
+    /// (the epoch number does not advance).
+    ///
+    /// On a propagation error the epoch is rolled back: no view or base
+    /// table changes, and the drained batch is re-queued so no data is
+    /// lost. A commit error (base-table key violation) aborts mid-commit
+    /// and is returned; view tables are only installed after a successful
+    /// commit.
+    pub fn refresh_epoch(&self) -> Result<EpochSummary> {
+        let _gate = self.shared.gate.lock().expect(POISON);
+        let start = Instant::now();
+
+        let (batch, drained) = {
+            let mut q = self.shared.queue.lock().expect(POISON);
+            let out = q.drain();
+            self.shared.space.notify_all();
+            out
+        };
+        {
+            let mut m = self.shared.metrics.lock().expect(POISON);
+            m.rows_drained_raw += drained.raw_rows;
+            m.rows_drained_coalesced += drained.coalesced_rows;
+        }
+        if batch.is_empty() {
+            return Ok(EpochSummary {
+                epoch: self.epoch(),
+                ..EpochSummary::default()
+            });
+        }
+
+        let dirty: BTreeSet<&str> = batch.tables().collect();
+
+        // Propagate phase: refresh clones of the affected views against the
+        // pre-epoch catalog, in parallel, under the read lock (concurrent
+        // queries keep running).
+        let refreshed: Vec<(MaterializedView, MaintenanceOutcome)> = {
+            let state = self.shared.state.read().expect(POISON);
+            let affected: Vec<MaterializedView> = state
+                .views()
+                .filter(|v| v.dependencies().iter().any(|d| dirty.contains(d.as_str())))
+                .cloned()
+                .collect();
+            if affected.is_empty() {
+                drop(state);
+                // Deltas touching no view still need committing to the
+                // base tables to keep future registrations consistent.
+                let mut w = self.shared.state.write().expect(POISON);
+                w.commit(&batch)?;
+                let epoch = self.shared.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+                self.finish_epoch_metrics(start.elapsed());
+                return Ok(EpochSummary {
+                    epoch,
+                    batch_rows: drained.coalesced_rows,
+                    batches_drained: drained.batches,
+                    duration: start.elapsed(),
+                    ..EpochSummary::default()
+                });
+            }
+            let catalog = state.catalog();
+            let workers = self.shared.cfg.workers.clamp(1, affected.len());
+            let results = run_on_pool(affected, workers, |mut view| {
+                let t0 = Instant::now();
+                let outcome = view.maintain(catalog, &batch)?;
+                Ok((view, outcome, t0.elapsed()))
+            });
+            let mut ok = Vec::with_capacity(results.len());
+            let mut first_err = None;
+            for r in results {
+                match r {
+                    Ok((view, outcome, took)) => {
+                        let mut m = self.shared.metrics.lock().expect(POISON);
+                        let vm: &mut ViewMetrics =
+                            m.per_view.entry(view.name().to_string()).or_default();
+                        vm.refreshes += 1;
+                        vm.delta_rows += outcome.delta_rows as u64;
+                        vm.rows_propagated += outcome.rows_propagated as u64;
+                        vm.rows_applied += (outcome.stats.inserted
+                            + outcome.stats.updated
+                            + outcome.stats.deleted)
+                            as u64;
+                        vm.refresh_time += took;
+                        ok.push((view, outcome));
+                    }
+                    Err(e) => first_err = Some(e),
+                }
+            }
+            if let Some(e) = first_err {
+                drop(state);
+                // Roll back: put the whole batch back so nothing is lost.
+                let mut q = self.shared.queue.lock().expect(POISON);
+                for t in batch.tables() {
+                    if let Some(d) = batch.delta(t) {
+                        q.ingest(t, d.clone());
+                    }
+                }
+                drop(q);
+                self.shared.metrics.lock().expect(POISON).epochs_failed += 1;
+                return Err(e);
+            }
+            ok
+        };
+
+        // Apply phase: one short write-lock critical section installs the
+        // base-table deltas and every refreshed view table, then bumps the
+        // epoch — readers see all of it or none of it.
+        let (summary, epoch_time) = {
+            let mut state = self.shared.state.write().expect(POISON);
+            state.commit(&batch)?;
+            let mut summary = EpochSummary {
+                batch_rows: drained.coalesced_rows,
+                batches_drained: drained.batches,
+                views_refreshed: refreshed.len(),
+                ..EpochSummary::default()
+            };
+            for (view, outcome) in refreshed {
+                summary.delta_rows += outcome.delta_rows as u64;
+                summary.rows_propagated += outcome.rows_propagated as u64;
+                summary.rows_applied +=
+                    (outcome.stats.inserted + outcome.stats.updated + outcome.stats.deleted) as u64;
+                state.install_view(view);
+            }
+            summary.epoch = self.shared.epoch.fetch_add(1, Ordering::SeqCst) + 1;
+            let epoch_time = start.elapsed();
+            summary.duration = epoch_time;
+            (summary, epoch_time)
+        };
+
+        {
+            let mut m = self.shared.metrics.lock().expect(POISON);
+            m.delta_rows += summary.delta_rows;
+            m.rows_propagated += summary.rows_propagated;
+            m.rows_applied += summary.rows_applied;
+        }
+        self.finish_epoch_metrics(epoch_time);
+        Ok(summary)
+    }
+
+    fn finish_epoch_metrics(&self, took: Duration) {
+        let mut m = self.shared.metrics.lock().expect(POISON);
+        m.epochs += 1;
+        m.refresh_time += took;
+        m.last_epoch_time = took;
+    }
+
+    /// The user-facing contents of a view (single consistent read).
+    pub fn query_view(&self, name: &str) -> Result<Table> {
+        let state = self.shared.state.read().expect(POISON);
+        state.query_view(name)
+    }
+
+    /// A consistent multi-view read: while the [`Snapshot`] is held, no
+    /// epoch can commit, so every query through it sees the same epoch.
+    pub fn snapshot(&self) -> Snapshot<'_> {
+        let guard = self.shared.state.read().expect(POISON);
+        let epoch = self.shared.epoch.load(Ordering::SeqCst);
+        Snapshot { guard, epoch }
+    }
+
+    /// Verify every registered view against full recomputation from the
+    /// current base tables (the oracle check; testing/ops aid).
+    pub fn verify_all(&self) -> Result<bool> {
+        let state = self.shared.state.read().expect(POISON);
+        for name in state.view_names() {
+            if !state.verify_view(name)? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// A point-in-time copy of all service counters.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut m = self.shared.metrics.lock().expect(POISON).clone();
+        let q = self.shared.queue.lock().expect(POISON);
+        m.pending_rows = q.pending_rows();
+        m.pending_bytes = q.estimate_bytes();
+        m
+    }
+}
+
+/// A read guard over the whole service state pinned to one epoch.
+pub struct Snapshot<'a> {
+    guard: RwLockReadGuard<'a, ViewManager>,
+    epoch: u64,
+}
+
+impl Snapshot<'_> {
+    /// The epoch this snapshot observes.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The user-facing contents of a view at this epoch.
+    pub fn query_view(&self, name: &str) -> Result<Table> {
+        self.guard.query_view(name)
+    }
+
+    /// The underlying manager (views + catalog) at this epoch.
+    pub fn manager(&self) -> &ViewManager {
+        &self.guard
+    }
+}
+
+/// Run `f` over `items` on `workers` scoped threads (round-robin
+/// distribution), preserving input order in the result vector.
+fn run_on_pool<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(T) -> R + Sync,
+{
+    let n = items.len();
+    if workers <= 1 || n <= 1 {
+        return items.into_iter().map(f).collect();
+    }
+    let mut buckets: Vec<Vec<(usize, T)>> = (0..workers).map(|_| Vec::new()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        buckets[i % workers].push((i, item));
+    }
+    let mut slots: Vec<Option<R>> = (0..n).map(|_| None).collect();
+    let f = &f;
+    std::thread::scope(|s| {
+        let handles: Vec<_> = buckets
+            .into_iter()
+            .map(|bucket| {
+                s.spawn(move || {
+                    bucket
+                        .into_iter()
+                        .map(|(i, item)| (i, f(item)))
+                        .collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, r) in h.join().expect("refresh worker panicked") {
+                slots[i] = Some(r);
+            }
+        }
+    });
+    slots
+        .into_iter()
+        .map(|o| o.expect("every index filled"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpivot_algebra::{Expr, PivotSpec, PlanBuilder};
+    use gpivot_storage::{row, DataType, Schema, Value};
+    use std::sync::Arc as StdArc;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let schema = StdArc::new(
+            Schema::from_pairs_keyed(
+                &[
+                    ("id", DataType::Int),
+                    ("attr", DataType::Str),
+                    ("val", DataType::Int),
+                ],
+                &["id", "attr"],
+            )
+            .unwrap(),
+        );
+        c.register(
+            "facts",
+            Table::from_rows(
+                schema,
+                vec![row![1, "a", 10], row![1, "b", 20], row![2, "a", 30]],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        c
+    }
+
+    fn pivot_plan() -> Plan {
+        PlanBuilder::scan("facts")
+            .gpivot(PivotSpec::simple(
+                "attr",
+                "val",
+                vec![Value::str("a"), Value::str("b")],
+            ))
+            .build()
+    }
+
+    #[test]
+    fn register_refresh_query_drop_cycle() {
+        let svc = ViewService::new(catalog(), ServeConfig::default());
+        svc.register_view("pv", pivot_plan()).unwrap();
+        assert_eq!(svc.view_names(), vec!["pv".to_string()]);
+
+        svc.ingest("facts", Delta::from_inserts(vec![row![3, "b", 7]]))
+            .unwrap();
+        let summary = svc.refresh_epoch().unwrap();
+        assert_eq!(summary.epoch, 1);
+        assert_eq!(summary.views_refreshed, 1);
+        assert!(svc.verify_all().unwrap());
+        assert_eq!(svc.query_view("pv").unwrap().len(), 3);
+
+        svc.drop_view("pv").unwrap();
+        assert!(svc.view_names().is_empty());
+        assert!(svc.query_view("pv").is_err());
+    }
+
+    #[test]
+    fn empty_epoch_is_a_noop() {
+        let svc = ViewService::new(catalog(), ServeConfig::default());
+        svc.register_view("pv", pivot_plan()).unwrap();
+        let s = svc.refresh_epoch().unwrap();
+        assert_eq!(s.epoch, 0);
+        assert_eq!(s.views_refreshed, 0);
+        assert_eq!(svc.epoch(), 0);
+    }
+
+    #[test]
+    fn unaffected_views_are_skipped() {
+        let mut c = catalog();
+        let other = StdArc::new(Schema::from_pairs_keyed(&[("k", DataType::Int)], &["k"]).unwrap());
+        c.register("other", Table::from_rows(other, vec![row![1]]).unwrap())
+            .unwrap();
+        let svc = ViewService::new(c, ServeConfig::default());
+        svc.register_view("pv", pivot_plan()).unwrap();
+        svc.register_view(
+            "ov",
+            PlanBuilder::scan("other")
+                .select(Expr::col("k").gt(Expr::lit(0)))
+                .build(),
+        )
+        .unwrap();
+
+        svc.ingest("facts", Delta::from_inserts(vec![row![9, "a", 1]]))
+            .unwrap();
+        let s = svc.refresh_epoch().unwrap();
+        // Only the pivot view depends on `facts`.
+        assert_eq!(s.views_refreshed, 1);
+        let m = svc.metrics();
+        assert_eq!(m.per_view["pv"].refreshes, 1);
+        assert_eq!(m.per_view["ov"].refreshes, 0);
+        assert!(svc.verify_all().unwrap());
+    }
+
+    #[test]
+    fn ingest_unknown_table_errors() {
+        let svc = ViewService::new(catalog(), ServeConfig::default());
+        assert!(svc
+            .ingest("nope", Delta::from_inserts(vec![row![1]]))
+            .is_err());
+    }
+
+    #[test]
+    fn oversized_batch_passes_when_queue_empty() {
+        let svc = ViewService::new(
+            catalog(),
+            ServeConfig {
+                workers: 1,
+                max_pending_rows: 1,
+            },
+        );
+        // 3 rows > watermark of 1, but the queue is empty: must not block.
+        svc.ingest(
+            "facts",
+            Delta::from_inserts(vec![row![7, "a", 1], row![8, "a", 1], row![9, "b", 2]]),
+        )
+        .unwrap();
+        assert_eq!(svc.pending_rows(), 3);
+    }
+
+    #[test]
+    fn queue_coalescing_reaches_metrics() {
+        let svc = ViewService::new(catalog(), ServeConfig::default());
+        svc.register_view("pv", pivot_plan()).unwrap();
+        svc.ingest("facts", Delta::from_inserts(vec![row![5, "a", 1]]))
+            .unwrap();
+        svc.ingest("facts", Delta::from_deletes(vec![row![5, "a", 1]]))
+            .unwrap();
+        svc.refresh_epoch().unwrap();
+        let m = svc.metrics();
+        assert_eq!(m.rows_ingested, 2);
+        assert_eq!(m.rows_drained_raw, 2);
+        assert_eq!(m.rows_drained_coalesced, 0);
+        assert_eq!(m.coalescing_ratio(), Some(0.0));
+        // Fully cancelled: no epoch work happened.
+        assert_eq!(svc.epoch(), 0);
+    }
+
+    #[test]
+    fn run_on_pool_preserves_order() {
+        let out = run_on_pool((0..17).collect::<Vec<i32>>(), 4, |x| x * 2);
+        assert_eq!(out, (0..17).map(|x| x * 2).collect::<Vec<_>>());
+        let out1 = run_on_pool(vec![5], 8, |x: i32| x + 1);
+        assert_eq!(out1, vec![6]);
+        let empty = run_on_pool(Vec::<i32>::new(), 3, |x| x);
+        assert!(empty.is_empty());
+    }
+}

@@ -1,0 +1,174 @@
+//! End-to-end service test: the paper's three TPC-H evaluation views
+//! registered in one service, fed interleaved insert/delete batches over
+//! several epochs, and oracle-checked against full recomputation on an
+//! independently-maintained mirror catalog.
+
+use gpivot_core::SourceDeltas;
+use gpivot_exec::Executor;
+use gpivot_serve::{ServeConfig, ViewService};
+use gpivot_storage::Catalog;
+use gpivot_tpch::gen::{generate, TpchConfig};
+use gpivot_tpch::views::{view1, view2, view3};
+use gpivot_tpch::workload;
+
+fn small_catalog() -> Catalog {
+    generate(&TpchConfig {
+        empty_order_fraction: 0.25,
+        ..TpchConfig::scale(0.02)
+    })
+}
+
+/// Feed every per-table delta of a workload batch to the service as its own
+/// producer batch, and mirror it onto the oracle catalog.
+fn ingest_and_mirror(svc: &ViewService, mirror: &mut Catalog, batch: &SourceDeltas) {
+    for table in batch.tables() {
+        let delta = batch.delta(table).unwrap();
+        svc.ingest(table, delta.clone()).unwrap();
+        mirror.apply_delta(table, delta).unwrap();
+    }
+}
+
+/// Every registered view must equal its definition recomputed from scratch
+/// on the mirror catalog (the `oracle.rs` approach, service-level).
+fn assert_oracle(svc: &ViewService, mirror: &Catalog) {
+    let snap = svc.snapshot();
+    for (name, plan) in [
+        ("view1", view1()),
+        ("view2", view2(30_000.0)),
+        ("view3", view3()),
+    ] {
+        let got = snap.query_view(name).unwrap();
+        let expected = Executor::execute(&plan, mirror).unwrap();
+        assert!(
+            got.bag_eq(&expected),
+            "view {name} diverged from recomputation at epoch {}:\n got {} rows, want {}",
+            snap.epoch(),
+            got.len(),
+            expected.len(),
+        );
+    }
+    drop(snap);
+    // And the service's own self-check agrees.
+    assert!(svc.verify_all().unwrap());
+}
+
+#[test]
+fn three_views_interleaved_batches_over_epochs() {
+    let catalog = small_catalog();
+    let mut mirror = catalog.clone();
+    let svc = ViewService::new(
+        catalog,
+        ServeConfig {
+            workers: 4,
+            ..ServeConfig::default()
+        },
+    );
+
+    svc.register_view("view1", view1()).unwrap();
+    svc.register_view("view2", view2(30_000.0)).unwrap();
+    svc.register_view("view3", view3()).unwrap();
+    assert_eq!(svc.view_names().len(), 3);
+    assert_oracle(&svc, &mirror); // initial materialization
+
+    // Epoch 1: mixed insert/update/delete lineitem batch plus order churn —
+    // interleaved inserts and deletes across two base tables.
+    let mut sent_rows = 0;
+    let b1 = workload::mixed_batch(&mirror, 0.02, 11);
+    let b2 = workload::order_churn(&mirror, 0.01, 12);
+    for b in [&b1, &b2] {
+        sent_rows += b.total_changes();
+        ingest_and_mirror(&svc, &mut mirror, b);
+    }
+    let s1 = svc.refresh_epoch().unwrap();
+    assert_eq!(s1.epoch, 1);
+    assert_eq!(svc.epoch(), 1);
+    assert!(
+        s1.views_refreshed >= 2,
+        "lineitem+orders touch at least v1/v2/v3"
+    );
+    assert_oracle(&svc, &mirror);
+
+    // Epoch 2: pure deletes plus customer churn (delete+insert pairs).
+    let b3 = workload::delete_fraction(&mirror, "lineitem", 0.01, 13);
+    let b4 = workload::customer_churn(&mirror, 0.02, 14);
+    for b in [&b3, &b4] {
+        sent_rows += b.total_changes();
+        ingest_and_mirror(&svc, &mut mirror, b);
+    }
+    let s2 = svc.refresh_epoch().unwrap();
+    assert_eq!(s2.epoch, 2);
+    assert_oracle(&svc, &mirror);
+
+    // Epoch 3: inserts of brand-new orders/lineitems.
+    let b5 = workload::insert_new_rows(&mirror, 0.02, 15);
+    sent_rows += b5.total_changes();
+    ingest_and_mirror(&svc, &mut mirror, &b5);
+    let s3 = svc.refresh_epoch().unwrap();
+    assert_eq!(s3.epoch, 3);
+    assert_oracle(&svc, &mirror);
+
+    // Metrics reconcile with what was actually sent.
+    let m = svc.metrics();
+    assert_eq!(m.rows_ingested, sent_rows);
+    assert_eq!(m.rows_drained_raw, sent_rows);
+    assert_eq!(m.pending_rows, 0);
+    assert_eq!(m.epochs, 3);
+    assert_eq!(m.epochs_failed, 0);
+    assert!(m.coalescing_ratio().unwrap() <= 1.0);
+    assert!(m.per_view["view1"].refreshes >= 1);
+    assert!(m.per_view["view3"].rows_applied > 0);
+    assert!(m.report().contains("view view2"));
+}
+
+#[test]
+fn worker_pool_sizes_agree() {
+    // The same batch refreshed with 1 worker and with 8 workers must yield
+    // identical view contents (parallelism is invisible).
+    let catalog = small_catalog();
+    let batch = workload::mixed_batch(&catalog, 0.02, 21);
+
+    let mut tables = Vec::new();
+    for workers in [1usize, 8] {
+        let svc = ViewService::new(
+            catalog.clone(),
+            ServeConfig {
+                workers,
+                ..ServeConfig::default()
+            },
+        );
+        svc.register_view("view1", view1()).unwrap();
+        svc.register_view("view2", view2(30_000.0)).unwrap();
+        svc.register_view("view3", view3()).unwrap();
+        for t in batch.tables() {
+            svc.ingest(t, batch.delta(t).unwrap().clone()).unwrap();
+        }
+        svc.refresh_epoch().unwrap();
+        tables.push(["view1", "view2", "view3"].map(|v| svc.query_view(v).unwrap()));
+    }
+    for (a, b) in tables[0].iter().zip(&tables[1]) {
+        assert!(a.bag_eq(b), "worker-pool size changed view contents");
+    }
+}
+
+#[test]
+fn dropping_a_view_leaves_the_rest_consistent() {
+    let catalog = small_catalog();
+    let mut mirror = catalog.clone();
+    let svc = ViewService::new(catalog, ServeConfig::default());
+    svc.register_view("view1", view1()).unwrap();
+    svc.register_view("view3", view3()).unwrap();
+
+    svc.drop_view("view1").unwrap();
+    let b = workload::mixed_batch(&mirror, 0.01, 31);
+    for t in b.tables() {
+        let d = b.delta(t).unwrap();
+        svc.ingest(t, d.clone()).unwrap();
+        mirror.apply_delta(t, d).unwrap();
+    }
+    svc.refresh_epoch().unwrap();
+
+    assert!(svc.query_view("view1").is_err());
+    let got = svc.query_view("view3").unwrap();
+    let expected = Executor::execute(&view3(), &mirror).unwrap();
+    assert!(got.bag_eq(&expected));
+}

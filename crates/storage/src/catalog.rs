@@ -87,9 +87,7 @@ mod tests {
     use std::sync::Arc;
 
     fn table() -> Table {
-        let schema = Arc::new(
-            Schema::from_pairs_keyed(&[("id", DataType::Int)], &["id"]).unwrap(),
-        );
+        let schema = Arc::new(Schema::from_pairs_keyed(&[("id", DataType::Int)], &["id"]).unwrap());
         Table::from_rows(schema, vec![row![1], row![2]]).unwrap()
     }
 

@@ -78,6 +78,20 @@ impl Delta {
         }
     }
 
+    /// Merge by consuming `other` — same result as [`Delta::merge`] but
+    /// moves the rows instead of cloning them. When `self` is empty the
+    /// whole map is taken over wholesale, so coalescing a stream of
+    /// batches into an accumulator is allocation-free on the first batch.
+    pub fn absorb(&mut self, other: Delta) {
+        if self.counts.is_empty() {
+            self.counts = other.counts;
+            return;
+        }
+        for (r, w) in other.counts {
+            self.add(r, w);
+        }
+    }
+
     /// The additive inverse: every multiplicity negated.
     pub fn negated(&self) -> Delta {
         Delta {
@@ -100,9 +114,27 @@ impl Delta {
         self.counts.is_empty()
     }
 
+    /// Rough in-memory footprint estimate in bytes (hash-map entry plus
+    /// per-row value payload) — the service layer's ingestion watermark
+    /// accounting. An estimate, not an exact measurement.
+    pub fn estimate_bytes(&self) -> usize {
+        let entry = std::mem::size_of::<(Row, i64)>() + std::mem::size_of::<u64>();
+        let values: usize = self
+            .counts
+            .keys()
+            .map(|r| r.arity() * std::mem::size_of::<Value>())
+            .sum();
+        self.counts.len() * entry + values
+    }
+
     /// Iterate over `(row, signed multiplicity)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (&Row, &i64)> {
         self.counts.iter()
+    }
+
+    /// Consume into owned `(row, signed multiplicity)` pairs.
+    pub fn into_counts(self) -> impl Iterator<Item = (Row, i64)> {
+        self.counts.into_iter()
     }
 
     /// Multiplicity of a specific row (0 if absent).

@@ -31,7 +31,10 @@ impl fmt::Display for StorageError {
                 write!(f, "key violation in table `{table}` for key value {key}")
             }
             StorageError::ArityMismatch { expected, actual } => {
-                write!(f, "row arity {actual} does not match schema arity {expected}")
+                write!(
+                    f,
+                    "row arity {actual} does not match schema arity {expected}"
+                )
             }
             StorageError::DuplicateColumn(c) => write!(f, "duplicate column name `{c}`"),
         }

@@ -62,7 +62,7 @@ impl Row {
     /// Append `n` NULL columns (used by outer joins).
     pub fn pad_nulls(&self, n: usize) -> Row {
         let mut v = self.to_vec();
-        v.extend(std::iter::repeat(Value::Null).take(n));
+        v.extend(std::iter::repeat_n(Value::Null, n));
         Row::new(v)
     }
 
@@ -125,7 +125,10 @@ mod tests {
     #[test]
     fn project_and_concat() {
         let r = Row::new(vec![Value::Int(1), Value::str("x"), Value::Int(3)]);
-        assert_eq!(r.project(&[2, 0]), Row::new(vec![Value::Int(3), Value::Int(1)]));
+        assert_eq!(
+            r.project(&[2, 0]),
+            Row::new(vec![Value::Int(3), Value::Int(1)])
+        );
         let s = Row::new(vec![Value::Bool(true)]);
         assert_eq!(r.concat(&s).arity(), 4);
         assert_eq!(r.concat(&s)[3], Value::Bool(true));

@@ -167,15 +167,8 @@ impl Table {
     /// Insert-or-replace by key. Returns the displaced row, if any.
     pub fn upsert(&mut self, row: Row) -> Result<Option<Row>> {
         match self.key_projection(&row) {
-            Some(key) => {
-                if self.contains_key(&key) {
-                    Ok(self.update_by_key(&key, row))
-                } else {
-                    self.insert(row)?;
-                    Ok(None)
-                }
-            }
-            None => {
+            Some(key) if self.contains_key(&key) => Ok(self.update_by_key(&key, row)),
+            _ => {
                 self.insert(row)?;
                 Ok(None)
             }
@@ -295,11 +288,8 @@ mod tests {
 
     fn keyed_schema() -> SchemaRef {
         Arc::new(
-            Schema::from_pairs_keyed(
-                &[("id", DataType::Int), ("name", DataType::Str)],
-                &["id"],
-            )
-            .unwrap(),
+            Schema::from_pairs_keyed(&[("id", DataType::Int), ("name", DataType::Str)], &["id"])
+                .unwrap(),
         )
     }
 
@@ -374,9 +364,7 @@ mod tests {
 
     #[test]
     fn bag_table_allows_duplicates() {
-        let schema = Arc::new(
-            Schema::from_pairs(&[("x", DataType::Int)]).unwrap(),
-        );
+        let schema = Arc::new(Schema::from_pairs(&[("x", DataType::Int)]).unwrap());
         let mut t = Table::new(schema);
         t.insert(row![1]).unwrap();
         t.insert(row![1]).unwrap();

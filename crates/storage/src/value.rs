@@ -174,7 +174,7 @@ impl Eq for Value {}
 
 impl PartialOrd for Value {
     fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
-        Some(self.total_cmp(other))
+        Some(self.cmp(other))
     }
 }
 
@@ -291,7 +291,11 @@ pub fn date_from_days(days: i32) -> (i32, u32, u32) {
 
 /// Convert `(year, month, day)` into days since 1970-01-01.
 pub fn days_from_date(year: i32, month: u32, day: u32) -> i32 {
-    let y = if month <= 2 { year as i64 - 1 } else { year as i64 };
+    let y = if month <= 2 {
+        year as i64 - 1
+    } else {
+        year as i64
+    };
     let era = if y >= 0 { y } else { y - 399 } / 400;
     let yoe = (y - era * 400) as u64; // [0, 399]
     let mp = if month > 2 { month - 3 } else { month + 9 } as u64;
@@ -350,10 +354,7 @@ mod tests {
     #[test]
     fn numeric_add_null_absorbs() {
         assert!(Value::Null.numeric_add(&Value::Int(3)).is_null());
-        assert_eq!(
-            Value::Int(2).numeric_add(&Value::Int(3)),
-            Value::Int(5)
-        );
+        assert_eq!(Value::Int(2).numeric_add(&Value::Int(3)), Value::Int(5));
         assert_eq!(
             Value::Float(1.5).numeric_add(&Value::Int(1)),
             Value::Float(2.5)
@@ -393,7 +394,7 @@ mod tests {
 
     #[test]
     fn cross_type_ordering_is_stable() {
-        let mut vals = vec![
+        let mut vals = [
             Value::str("a"),
             Value::Int(1),
             Value::Null,
@@ -411,10 +412,7 @@ mod tests {
     #[test]
     fn compare_returns_none_on_null() {
         assert_eq!(Value::Null.compare(&Value::Int(1)), None);
-        assert_eq!(
-            Value::Int(1).compare(&Value::Int(2)),
-            Some(Ordering::Less)
-        );
+        assert_eq!(Value::Int(1).compare(&Value::Int(2)), Some(Ordering::Less));
     }
 
     #[test]

@@ -155,7 +155,7 @@ proptest! {
                 _ => {
                     // lookup
                     let got = table.get_by_key(&key).map(|r| r[1].clone());
-                    let want = model.get(&id).map(|s| Value::str(s));
+                    let want = model.get(&id).map(Value::str);
                     prop_assert_eq!(got, want);
                 }
             }
@@ -209,4 +209,59 @@ fn catalog_round_trip() {
     c.register("t", Table::bag(schema, vec![])).unwrap();
     assert!(c.contains("t"));
     assert_eq!(c.deregister("t").unwrap().len(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Delta coalescing laws — the algebra the serve-layer ingestion queue relies
+// on when folding producer batches together (see gpivot-serve).
+// ---------------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn delta_absorb_equals_merge(a in arb_delta(), b in arb_delta()) {
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let mut absorbed = a.clone();
+        absorbed.absorb(b);
+        prop_assert_eq!(absorbed, merged);
+    }
+
+    #[test]
+    fn insert_delete_pairs_cancel_to_empty(rows in prop::collection::vec(arb_row(), 0..12)) {
+        let mut d = Delta::from_inserts(rows.clone());
+        d.merge(&Delta::from_deletes(rows));
+        prop_assert!(d.is_empty());
+        prop_assert_eq!(d.total_multiplicity(), 0);
+    }
+
+    #[test]
+    fn absorbing_the_negation_cancels(d in arb_delta()) {
+        let mut sum = d.clone();
+        sum.absorb(d.negated());
+        prop_assert!(sum.is_empty());
+    }
+
+    #[test]
+    fn delta_split_counts_are_exact(d in arb_delta()) {
+        let split = d.split();
+        prop_assert_eq!(Delta::from_split(&split), d.clone());
+        // Insert/delete counts match the positive/negative multiplicities.
+        let pos: i64 = d.iter().map(|(_, &w)| w.max(0)).sum();
+        let neg: i64 = d.iter().map(|(_, &w)| (-w).max(0)).sum();
+        prop_assert_eq!(split.inserts.len() as i64, pos);
+        prop_assert_eq!(split.deletes.len() as i64, neg);
+    }
+
+    #[test]
+    fn empty_is_the_merge_identity(d in arb_delta()) {
+        let mut left = Delta::new();
+        left.merge(&d);
+        prop_assert_eq!(&left, &d);
+        let mut right = d.clone();
+        right.merge(&Delta::new());
+        prop_assert_eq!(&right, &d);
+        let mut absorbed = Delta::new();
+        absorbed.absorb(d.clone());
+        prop_assert_eq!(&absorbed, &d);
+    }
 }

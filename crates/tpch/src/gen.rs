@@ -126,7 +126,13 @@ pub fn part_schema() -> Arc<Schema> {
     )
 }
 
-const SEGMENTS: [&str; 5] = ["BUILDING", "AUTOMOBILE", "MACHINERY", "HOUSEHOLD", "FURNITURE"];
+const SEGMENTS: [&str; 5] = [
+    "BUILDING",
+    "AUTOMOBILE",
+    "MACHINERY",
+    "HOUSEHOLD",
+    "FURNITURE",
+];
 const BRANDS: [&str; 5] = ["Brand#11", "Brand#22", "Brand#33", "Brand#44", "Brand#55"];
 /// Order years span 1992–1998 like TPC-H.
 pub const YEARS: [i32; 7] = [1992, 1993, 1994, 1995, 1996, 1997, 1998];
@@ -166,7 +172,9 @@ pub fn generate(config: &TpchConfig) -> Catalog {
             ]))
             .expect("unique custkey");
     }
-    catalog.register("customer", customers).expect("fresh catalog");
+    catalog
+        .register("customer", customers)
+        .expect("fresh catalog");
 
     // orders + lineitem
     let n_orders = config.orders();
@@ -205,7 +213,9 @@ pub fn generate(config: &TpchConfig) -> Catalog {
         }
     }
     catalog.register("orders", orders).expect("fresh catalog");
-    catalog.register("lineitem", lineitems).expect("fresh catalog");
+    catalog
+        .register("lineitem", lineitems)
+        .expect("fresh catalog");
     catalog
 }
 
@@ -219,7 +229,10 @@ mod tests {
         let a = generate(&cfg);
         let b = generate(&cfg);
         for t in ["customer", "orders", "lineitem", "part"] {
-            assert!(a.table(t).unwrap().bag_eq(b.table(t).unwrap()), "{t} differs");
+            assert!(
+                a.table(t).unwrap().bag_eq(b.table(t).unwrap()),
+                "{t} differs"
+            );
         }
     }
 
@@ -233,7 +246,10 @@ mod tests {
         assert_eq!(n_cust, 150);
         assert_eq!(n_orders, 1_500);
         // ~4 lines/order with ~10% empty orders.
-        assert!(n_lines > n_orders * 2 && n_lines < n_orders * 7, "lines = {n_lines}");
+        assert!(
+            n_lines > n_orders * 2 && n_lines < n_orders * 7,
+            "lines = {n_lines}"
+        );
     }
 
     #[test]
@@ -241,10 +257,8 @@ mod tests {
         let cfg = TpchConfig::scale(0.05);
         let c = generate(&cfg);
         let lineitem = c.table("lineitem").unwrap();
-        let with_lines: std::collections::HashSet<i64> = lineitem
-            .iter()
-            .map(|r| r[0].as_i64().unwrap())
-            .collect();
+        let with_lines: std::collections::HashSet<i64> =
+            lineitem.iter().map(|r| r[0].as_i64().unwrap()).collect();
         let n_orders = c.table("orders").unwrap().len();
         assert!(with_lines.len() < n_orders, "expected some empty orders");
     }
@@ -262,8 +276,14 @@ mod tests {
 
     #[test]
     fn different_seeds_differ() {
-        let a = generate(&TpchConfig { seed: 1, ..TpchConfig::scale(0.01) });
-        let b = generate(&TpchConfig { seed: 2, ..TpchConfig::scale(0.01) });
+        let a = generate(&TpchConfig {
+            seed: 1,
+            ..TpchConfig::scale(0.01)
+        });
+        let b = generate(&TpchConfig {
+            seed: 2,
+            ..TpchConfig::scale(0.01)
+        });
         assert!(!a
             .table("lineitem")
             .unwrap()

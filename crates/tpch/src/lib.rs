@@ -23,6 +23,5 @@ pub mod workload;
 pub use gen::{generate, TpchConfig};
 pub use views::{view1, view2, view3, LINE_NUMBERS, VIEW_YEARS};
 pub use workload::{
-    customer_churn, delete_fraction, insert_new_rows, insert_updates_only, mixed_batch,
-    order_churn,
+    customer_churn, delete_fraction, insert_new_rows, insert_updates_only, mixed_batch, order_churn,
 };

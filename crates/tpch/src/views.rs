@@ -128,7 +128,7 @@ mod tests {
         let v1 = Executor::execute(&view1(), &c).unwrap();
         let v2 = Executor::execute(&view2(VIEW2_THRESHOLD), &c).unwrap();
         assert!(v2.len() < v1.len());
-        assert!(v2.len() > 0, "threshold should keep some rows");
+        assert!(!v2.is_empty(), "threshold should keep some rows");
         let price1 = v2.schema().index_of(&price_col(1)).unwrap();
         for r in v2.iter() {
             assert!(r[price1].as_f64().unwrap() > VIEW2_THRESHOLD);
@@ -140,7 +140,7 @@ mod tests {
         let c = catalog();
         let out = Executor::execute(&view3(), &c).unwrap();
         assert_eq!(out.schema().arity(), 12);
-        assert!(out.len() > 0);
+        assert!(!out.is_empty());
         assert_eq!(
             out.schema().key_names().unwrap(),
             vec!["c_custkey", "c_nationkey"]

@@ -19,12 +19,7 @@ use rand::{Rng, SeedableRng};
 use std::collections::{HashMap, HashSet};
 
 /// Delete `fraction` of the rows of `table` (sampled uniformly).
-pub fn delete_fraction(
-    catalog: &Catalog,
-    table: &str,
-    fraction: f64,
-    seed: u64,
-) -> SourceDeltas {
+pub fn delete_fraction(catalog: &Catalog, table: &str, fraction: f64, seed: u64) -> SourceDeltas {
     let mut rng = StdRng::seed_from_u64(seed);
     let t = catalog.table(table).expect("table exists");
     let n = ((t.len() as f64) * fraction).round() as usize;
@@ -180,7 +175,7 @@ pub fn customer_churn(catalog: &Catalog, fraction: f64, seed: u64) -> SourceDelt
         let old = customers.rows()[i].clone();
         let mut new = old.to_vec();
         let old_nation = new[2].as_i64().expect("nationkey");
-        new[2] = Value::Int((old_nation + 1 + rng.gen_range(0..23)) % 25);
+        new[2] = Value::Int((old_nation + 1 + rng.gen_range(0..23i64)) % 25);
         d.delete_rows("customer", vec![old]);
         d.insert_rows("customer", vec![Row::new(new)]);
     }
@@ -191,7 +186,7 @@ pub fn customer_churn(catalog: &Catalog, fraction: f64, seed: u64) -> SourceDelt
 mod tests {
     use super::*;
     use crate::gen::{generate, TpchConfig};
-    use crate::views::{view1, price_col};
+    use crate::views::{price_col, view1};
     use gpivot_exec::Executor;
 
     fn catalog() -> Catalog {
@@ -257,7 +252,8 @@ mod tests {
         let c = catalog();
         let d = order_churn(&c, 0.05, 9);
         let mut post = c.clone();
-        post.apply_delta("orders", d.delta("orders").unwrap()).unwrap();
+        post.apply_delta("orders", d.delta("orders").unwrap())
+            .unwrap();
         assert_eq!(
             post.table("orders").unwrap().len(),
             c.table("orders").unwrap().len()

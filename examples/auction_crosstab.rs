@@ -100,7 +100,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         println!("  - {rule}");
     }
     println!("\nnormalized tree:\n{}", normalized.plan);
-    println!("top shape: {:?}\n", std::mem::discriminant(&normalized.shape));
+    println!(
+        "top shape: {:?}\n",
+        std::mem::discriminant(&normalized.shape)
+    );
 
     // Compile and materialize.
     let mut vm = ViewManager::new(catalog);
@@ -115,7 +118,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     deltas.delete_rows("payment", vec![row![3, "ByAir", 50]]);
     deltas.insert_rows(
         "payment",
-        vec![row![3, "ByAir", 75], row![2, "ByAir", 12], row![5, "Credit", 40]],
+        vec![
+            row![3, "ByAir", 75],
+            row![2, "ByAir", 12],
+            row![5, "Credit", 40],
+        ],
     );
     deltas.insert_rows("product", vec![]);
     // Auction 5 needs a product row too.

@@ -69,7 +69,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut dynamic = DynamicPivotView::create(&catalog, "payments", &["method"], &["amount"])?;
     println!(
         "discovered methods: {:?}",
-        dynamic.spec().groups.iter().map(|g| g[0].to_string()).collect::<Vec<_>>()
+        dynamic
+            .spec()
+            .groups
+            .iter()
+            .map(|g| g[0].to_string())
+            .collect::<Vec<_>>()
     );
 
     // In-domain change: incremental refresh.
@@ -77,7 +82,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     deltas.insert_rows("payments", vec![row![500, "card", 42]]);
     match dynamic.refresh(&catalog, &deltas)? {
         DynamicRefresh::Incremental(stats) => {
-            println!("in-domain insert  → incremental ({} rows touched)", stats.total())
+            println!(
+                "in-domain insert  → incremental ({} rows touched)",
+                stats.total()
+            )
         }
         other => println!("unexpected: {other:?}"),
     }

@@ -62,7 +62,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // ── Split (§4.3) ─────────────────────────────────────────────────────
     println!("═══ split (§4.3): the reverse rewrite ═══");
     let parts = split_composition(&combined, 1)?;
-    println!("split back into: inner {} / outer {}", parts.first, parts.second);
+    println!(
+        "split back into: inner {} / outer {}",
+        parts.first, parts.second
+    );
 
     // ── Fig. 7's non-combinable cases ────────────────────────────────────
     println!("\n═══ §4.2.3 completeness: a non-combinable pair ═══");
@@ -100,10 +103,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let roundtrip = Plan::scan("sales")
         .gpivot(spec.clone())
         .gunpivot(UnpivotSpec::reversing(&spec));
-    println!("before ({} nodes, {} pivots):\n{roundtrip}", roundtrip.node_count(), roundtrip.pivot_count());
+    println!(
+        "before ({} nodes, {} pivots):\n{roundtrip}",
+        roundtrip.node_count(),
+        roundtrip.pivot_count()
+    );
     let (optimized, log) = optimize(&roundtrip, &c);
     println!("rules: {log:?}");
-    println!("after ({} nodes, {} pivots):\n{optimized}", optimized.node_count(), optimized.pivot_count());
+    println!(
+        "after ({} nodes, {} pivots):\n{optimized}",
+        optimized.node_count(),
+        optimized.pivot_count()
+    );
     let x = Executor::execute(&roundtrip, &c)?;
     let y = Executor::execute(&optimized, &c)?;
     assert!(x.bag_eq(&y));

@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         empty_order_fraction: 0.25,
         ..TpchConfig::default()
     };
-    println!("generating TPC-H-shaped data (scale {}) ...", config.scale_factor);
+    println!(
+        "generating TPC-H-shaped data (scale {}) ...",
+        config.scale_factor
+    );
     let catalog = generate(&config);
     println!(
         "  lineitem {} rows / orders {} / customers {}",
@@ -53,9 +56,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     for batch in 0u64..6 {
         let pre = vm.catalog().clone();
         let (label, deltas) = match batch % 3 {
-            0 => ("deletes (0.5%)", delete_fraction(&pre, "lineitem", 0.005, 50 + batch)),
-            1 => ("update inserts (0.5%)", insert_updates_only(&pre, 0.005, 50 + batch)),
-            _ => ("new-order inserts", insert_new_rows(&pre, 0.005, 50 + batch)),
+            0 => (
+                "deletes (0.5%)",
+                delete_fraction(&pre, "lineitem", 0.005, 50 + batch),
+            ),
+            1 => (
+                "update inserts (0.5%)",
+                insert_updates_only(&pre, 0.005, 50 + batch),
+            ),
+            _ => (
+                "new-order inserts",
+                insert_new_rows(&pre, 0.005, 50 + batch),
+            ),
         };
         let n = deltas.total_changes();
 

@@ -17,7 +17,10 @@
 //!   rewriting rules (Eq. 7–18), propagation rules (Fig. 22–23, 27, 29),
 //!   and the [`core::ViewManager`] running the compile/refresh cycle;
 //! * [`tpch`] — the TPC-H-shaped data generator, the paper's three view
-//!   families, and the §7 delta workloads.
+//!   families, and the §7 delta workloads;
+//! * [`serve`] — the service layer: a long-lived, thread-safe
+//!   view-maintenance service (coalescing delta ingestion queue with
+//!   backpressure, epoch-based parallel refresh scheduler, metrics).
 //!
 //! ## Quickstart
 //!
@@ -56,20 +59,24 @@
 pub use gpivot_algebra as algebra;
 pub use gpivot_core as core;
 pub use gpivot_exec as exec;
+pub use gpivot_serve as serve;
 pub use gpivot_storage as storage;
 pub use gpivot_tpch as tpch;
 
 /// One-stop imports for examples and downstream users.
 pub mod prelude {
     pub use gpivot_algebra::{
-        AggFunc, AggSpec, BinOp, CmpOp, Expr, JoinKind, PivotSpec, Plan, PlanBuilder,
-        UnpivotGroup, UnpivotSpec,
+        AggFunc, AggSpec, BinOp, CmpOp, Expr, JoinKind, PivotSpec, Plan, PlanBuilder, UnpivotGroup,
+        UnpivotSpec,
     };
     pub use gpivot_core::{
         normalize_view, MaintenanceOutcome, MaintenancePlan, NormalizedView, SourceDeltas,
         Strategy, TopShape, ViewManager,
     };
     pub use gpivot_exec::{Executor, Overlay, TableProvider};
+    pub use gpivot_serve::{
+        EpochSummary, MetricsSnapshot, ServeConfig, Snapshot, ViewMetrics, ViewService,
+    };
     pub use gpivot_storage::{
         row, Catalog, DataType, Delta, DeltaSplit, Field, Row, Schema, Table, Value,
     };

@@ -154,7 +154,13 @@ fn multi_table_delta_batches() {
         "dims",
         Table::from_rows(
             Arc::new(dims),
-            vec![row![1, "x"], row![2, "y"], row![3, "x"], row![4, "y"], row![5, "x"]],
+            vec![
+                row![1, "x"],
+                row![2, "y"],
+                row![3, "x"],
+                row![4, "y"],
+                row![5, "x"],
+            ],
         )
         .unwrap(),
     )
@@ -163,7 +169,11 @@ fn multi_table_delta_batches() {
     let view = Plan::scan("facts")
         .gpivot(spec())
         .join(Plan::scan("dims"), vec![("id", "d_id")]);
-    for strategy in [Strategy::Recompute, Strategy::InsertDelete, Strategy::PivotUpdate] {
+    for strategy in [
+        Strategy::Recompute,
+        Strategy::InsertDelete,
+        Strategy::PivotUpdate,
+    ] {
         let mut vm = ViewManager::new(c.clone());
         vm.create_view_with("v", view.clone(), strategy).unwrap();
         // One batch touching both tables at once.
@@ -219,10 +229,7 @@ fn union_of_pivots_maintains_via_fallback() {
 #[test]
 fn avg_crosstab_falls_back_to_groupby_insdel() {
     let view = Plan::scan("facts")
-        .group_by(
-            &["attr"],
-            vec![AggSpec::avg("val", "avg_val")],
-        )
+        .group_by(&["attr"], vec![AggSpec::avg("val", "avg_val")])
         .gpivot(PivotSpec::new(
             vec!["attr"],
             vec!["avg_val"],

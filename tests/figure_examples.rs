@@ -178,12 +178,19 @@ fn figure_5_generalized_pivot() {
         ]
     );
     let usa = out.iter().find(|r| r[0] == Value::str("USA")).unwrap();
-    assert_eq!(usa.values()[1..].to_vec(), vec![
-        Value::Int(100), Value::Int(10),           // Sony TV
-        Value::Null, Value::Null,                  // Sony VCR
-        Value::Null, Value::Null,                  // Panasonic TV
-        Value::Int(130), Value::Int(5),            // Panasonic VCR
-    ]);
+    assert_eq!(
+        usa.values()[1..].to_vec(),
+        vec![
+            Value::Int(100),
+            Value::Int(10), // Sony TV
+            Value::Null,
+            Value::Null, // Sony VCR
+            Value::Null,
+            Value::Null, // Panasonic TV
+            Value::Int(130),
+            Value::Int(5), // Panasonic VCR
+        ]
+    );
 
     // And GUNPIVOT decodes it back (Figure 5's right half).
     let back = Executor::execute(
@@ -194,8 +201,7 @@ fn figure_5_generalized_pivot() {
     )
     .unwrap();
     let direct = Executor::execute(
-        &Plan::scan("sales")
-            .project_cols(&["Country", "Manu", "Type", "Price", "Quantity"]),
+        &Plan::scan("sales").project_cols(&["Country", "Manu", "Type", "Price", "Quantity"]),
         &c,
     )
     .unwrap();
@@ -215,10 +221,7 @@ fn fig24_catalog() -> Catalog {
     .unwrap();
     let items = Table::from_rows(
         Arc::new(items_schema),
-        vec![
-            row![1, "Manufacturer", "Sony"],
-            row![2, "Type", "VCR"],
-        ],
+        vec![row![1, "Manufacturer", "Sony"], row![2, "Type", "VCR"]],
     )
     .unwrap();
     let payment_schema = Schema::from_pairs_keyed(
@@ -407,9 +410,6 @@ fn figures_30_31_postponed_selection_filtering() {
     let outcome = vm.refresh(&d3).unwrap().remove("v").unwrap();
     assert_eq!(outcome.stats.inserted, 1);
     let v = vm.query_view("v").unwrap();
-    assert_eq!(
-        v.sorted_rows(),
-        vec![row![2, "Panasonic", "TV"]]
-    );
+    assert_eq!(v.sorted_rows(), vec![row![2, "Panasonic", "TV"]]);
     assert!(vm.verify_view("v").unwrap());
 }

@@ -81,7 +81,10 @@ fn normalized_views_are_equivalent_to_originals() {
 fn planner_picks_the_papers_strategies() {
     let vm = ViewManager::new(catalog());
     assert_eq!(vm.choose_strategy(&view1()), Strategy::PivotUpdate);
-    assert_eq!(vm.choose_strategy(&view2(30_000.0)), Strategy::SelectPivotUpdate);
+    assert_eq!(
+        vm.choose_strategy(&view2(30_000.0)),
+        Strategy::SelectPivotUpdate
+    );
     assert_eq!(vm.choose_strategy(&view3()), Strategy::GroupPivotUpdate);
 }
 

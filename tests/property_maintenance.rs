@@ -21,7 +21,7 @@ const ATTRS: [&str; 4] = ["a", "b", "c", "d"];
 struct Scenario {
     facts: Vec<(i64, usize, Option<i64>)>,
     dims: Vec<(i64, i64)>,
-    deletes: Vec<usize>,          // indices into facts
+    deletes: Vec<usize>, // indices into facts
     inserts: Vec<(i64, usize, Option<i64>)>,
 }
 
@@ -32,10 +32,7 @@ fn arb_scenario() -> impl proptest::strategy::Strategy<Value = Scenario> {
             let n = keys.len();
             (
                 Just(keys),
-                prop::collection::vec(
-                    prop_oneof![Just(None), (1i64..100).prop_map(Some)],
-                    n,
-                ),
+                prop::collection::vec(prop_oneof![Just(None), (1i64..100).prop_map(Some)], n),
             )
         })
         .prop_map(|(keys, vals)| {
@@ -46,17 +43,13 @@ fn arb_scenario() -> impl proptest::strategy::Strategy<Value = Scenario> {
         });
     (facts, prop::collection::vec(0i64..4, 12))
         .prop_flat_map(|(facts, grps)| {
-
             let dims: Vec<(i64, i64)> = (0i64..12).zip(grps).collect();
             (
                 Just(facts),
                 Just(dims),
                 prop::collection::vec(any::<prop::sample::Index>(), 0..6),
                 prop::collection::btree_set((0i64..14, 0usize..ATTRS.len()), 0..8),
-                prop::collection::vec(
-                    prop_oneof![Just(None), (1i64..100).prop_map(Some)],
-                    8,
-                ),
+                prop::collection::vec(prop_oneof![Just(None), (1i64..100).prop_map(Some)], 8),
             )
         })
         .prop_map(|(facts, dims, delete_picks, insert_keys, insert_vals)| {
@@ -171,12 +164,25 @@ fn view_shapes() -> Vec<(&'static str, Plan, Vec<Strategy>)> {
         ));
     use Strategy::*;
     vec![
-        ("pure-pivot", pure_pivot, vec![Recompute, InsertDelete, PivotUpdate]),
-        ("pivot-join", pivot_join, vec![Recompute, InsertDelete, PivotUpdate]),
+        (
+            "pure-pivot",
+            pure_pivot,
+            vec![Recompute, InsertDelete, PivotUpdate],
+        ),
+        (
+            "pivot-join",
+            pivot_join,
+            vec![Recompute, InsertDelete, PivotUpdate],
+        ),
         (
             "select-pivot",
             select_pivot,
-            vec![Recompute, InsertDelete, SelectPushdownUpdate, SelectPivotUpdate],
+            vec![
+                Recompute,
+                InsertDelete,
+                SelectPushdownUpdate,
+                SelectPivotUpdate,
+            ],
         ),
         (
             "group-pivot",

@@ -36,7 +36,12 @@ fn catalog() -> Catalog {
     let dims = Table::from_rows(
         Arc::new(dims_schema),
         (0..18i64)
-            .map(|i| Row::new(vec![Value::Int(i), Value::str(["x", "y", "z"][(i % 3) as usize])]))
+            .map(|i| {
+                Row::new(vec![
+                    Value::Int(i),
+                    Value::str(["x", "y", "z"][(i % 3) as usize]),
+                ])
+            })
             .collect(),
     )
     .unwrap();
@@ -124,10 +129,7 @@ fn build_plan(choices: &[u8], c: &Catalog) -> Plan {
                 } else {
                     Some(plan.clone().group_by(
                         &[g.as_str()],
-                        vec![
-                            AggSpec::sum(&a, "agg_sum"),
-                            AggSpec::count_star("agg_cnt"),
-                        ],
+                        vec![AggSpec::sum(&a, "agg_sum"), AggSpec::count_star("agg_cnt")],
                     ))
                 }
             }
@@ -172,7 +174,11 @@ fn deltas() -> SourceDeltas {
     d.delete_rows("facts", vec![row![1, "b", 8, 1], row![4, "b", 29, 4]]);
     d.insert_rows(
         "facts",
-        vec![row![0, "a", 13, 3], row![20, "b", 5, 2], row![21, "c", 44, 3]],
+        vec![
+            row![0, "a", 13, 3],
+            row![20, "b", 5, 2],
+            row![21, "c", 44, 3],
+        ],
     );
     d.delete_rows("dims", vec![row![5, "z"]]);
     d.insert_rows("dims", vec![row![5, "w"], row![20, "x"], row![21, "y"]]);
@@ -233,7 +239,9 @@ fn generator_produces_interesting_plans() {
     let mut with_groupby = 0;
     let mut max_nodes = 0;
     for seed in 0u8..=254 {
-        let choices: Vec<u8> = (0u8..8).map(|i| seed.wrapping_mul(31).wrapping_add(i.wrapping_mul(57))).collect();
+        let choices: Vec<u8> = (0u8..8)
+            .map(|i| seed.wrapping_mul(31).wrapping_add(i.wrapping_mul(57)))
+            .collect();
         let plan = build_plan(&choices, &c);
         max_nodes = max_nodes.max(plan.node_count());
         if plan.pivot_count() > 0 {
