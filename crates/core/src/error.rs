@@ -25,6 +25,56 @@ pub enum CoreError {
     /// The view query is not incrementally maintainable at all and fallback
     /// was disallowed.
     NotMaintainable(String),
+    /// A refresh worker panicked while maintaining a view. The panic was
+    /// caught at the task boundary (the view's state was discarded), so
+    /// this is an ordinary, retryable error to the caller.
+    ViewPanic { view: String, message: String },
+    /// An ingestion was rejected (or timed out) because the pending-queue
+    /// watermark was reached. Transient by definition: draining an epoch
+    /// frees space.
+    Backpressure { pending_rows: u64, watermark: u64 },
+}
+
+/// Coarse retry classification of an error — the taxonomy the service
+/// layer's retry/quarantine decisions are built on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ErrorClass {
+    /// Retrying the same operation can plausibly succeed (injected faults,
+    /// caught worker panics, backpressure).
+    Transient,
+    /// Retrying is pointless: the error is a fact about the data, the
+    /// schema, or the request (key violations, unknown tables, shape
+    /// mismatches, ...).
+    Permanent,
+}
+
+impl CoreError {
+    /// Classify this error for retry decisions. Fault-injected storage
+    /// errors (wherever they surface in the stack) and caught panics are
+    /// [`ErrorClass::Transient`]; every real engine error is
+    /// [`ErrorClass::Permanent`].
+    pub fn classify(&self) -> ErrorClass {
+        let transient = match self {
+            CoreError::Storage(e) => e.is_transient(),
+            CoreError::Exec(ExecError::Storage(e)) => e.is_transient(),
+            // Storage errors can also surface wrapped in algebra errors
+            // (schema inference inside plan execution).
+            CoreError::Algebra(AlgebraError::Storage(e)) => e.is_transient(),
+            CoreError::Exec(ExecError::Algebra(AlgebraError::Storage(e))) => e.is_transient(),
+            CoreError::ViewPanic { .. } | CoreError::Backpressure { .. } => true,
+            _ => false,
+        };
+        if transient {
+            ErrorClass::Transient
+        } else {
+            ErrorClass::Permanent
+        }
+    }
+
+    /// Convenience: `classify() == ErrorClass::Transient`.
+    pub fn is_transient(&self) -> bool {
+        self.classify() == ErrorClass::Transient
+    }
 }
 
 impl fmt::Display for CoreError {
@@ -42,6 +92,19 @@ impl fmt::Display for CoreError {
             CoreError::UnknownView(v) => write!(f, "unknown view `{v}`"),
             CoreError::DuplicateView(v) => write!(f, "view `{v}` already exists"),
             CoreError::NotMaintainable(s) => write!(f, "view not maintainable: {s}"),
+            CoreError::ViewPanic { view, message } => {
+                write!(
+                    f,
+                    "refresh worker panicked maintaining view `{view}`: {message}"
+                )
+            }
+            CoreError::Backpressure {
+                pending_rows,
+                watermark,
+            } => write!(
+                f,
+                "ingestion rejected: {pending_rows} pending rows at watermark {watermark}"
+            ),
         }
     }
 }
@@ -81,6 +144,44 @@ pub type Result<T> = std::result::Result<T, CoreError>;
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn taxonomy_classifies_for_retry() {
+        use gpivot_storage::StorageError;
+        let injected = CoreError::Storage(StorageError::FaultInjected {
+            site: "scan".into(),
+            op: "t".into(),
+        });
+        assert_eq!(injected.classify(), ErrorClass::Transient);
+        let nested = CoreError::Exec(ExecError::Storage(StorageError::FaultInjected {
+            site: "scan".into(),
+            op: "t".into(),
+        }));
+        assert!(nested.is_transient());
+        assert!(CoreError::ViewPanic {
+            view: "v".into(),
+            message: "boom".into(),
+        }
+        .is_transient());
+        assert!(CoreError::Backpressure {
+            pending_rows: 10,
+            watermark: 8,
+        }
+        .is_transient());
+        // Real engine errors are permanent.
+        assert_eq!(
+            CoreError::UnknownView("v".into()).classify(),
+            ErrorClass::Permanent
+        );
+        assert_eq!(
+            CoreError::Storage(StorageError::KeyViolation {
+                table: "t".into(),
+                key: "k".into(),
+            })
+            .classify(),
+            ErrorClass::Permanent
+        );
+    }
 
     #[test]
     fn display_variants() {

@@ -30,7 +30,7 @@ pub mod maintain;
 pub mod rewrite;
 
 pub use combine::{can_combine, combine_adjacent, CombineVerdict};
-pub use error::{CoreError, Result};
+pub use error::{CoreError, ErrorClass, Result};
 pub use maintain::{
     MaintenanceOutcome, MaintenancePlan, MaterializedView, SourceDeltas, Strategy, ViewManager,
 };

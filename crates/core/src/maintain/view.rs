@@ -332,6 +332,17 @@ impl MaterializedView {
         catalog: &Catalog,
         deltas: &SourceDeltas,
     ) -> Result<MaintenanceOutcome> {
+        use gpivot_storage::FaultSite;
+        // Chaos-testing hooks: the Propagate site fires before any delta
+        // work, the Apply site after propagation but before the view table
+        // is touched. Context = the view name, so schedules can target one
+        // view. Both are free no-ops with the default (disabled) injector.
+        catalog
+            .fault_injector()
+            .check(FaultSite::Propagate, &self.name)?;
+        let check_apply = |catalog: &Catalog| -> gpivot_storage::Result<()> {
+            catalog.fault_injector().check(FaultSite::Apply, &self.name)
+        };
         let ctx = PropagationCtx::new(catalog, deltas);
         let mut outcome = MaintenanceOutcome::default();
         match self.strategy {
@@ -347,6 +358,7 @@ impl MaterializedView {
                 }
                 let (bag, trace) = Executor::execute_traced(&self.normalized.plan, &overlay)?;
                 outcome.rows_propagated = trace.total_rows();
+                check_apply(catalog)?;
                 self.table = if bag.schema().has_key() {
                     Table::from_rows(bag.schema().clone(), bag.rows().to_vec())?
                 } else {
@@ -356,6 +368,7 @@ impl MaterializedView {
             }
             Strategy::InsertDelete => {
                 let d = propagate(&self.normalized.plan, &ctx)?;
+                check_apply(catalog)?;
                 outcome.delta_rows = d.distinct_len();
                 for (_, &w) in d.iter() {
                     if w > 0 {
@@ -374,6 +387,7 @@ impl MaterializedView {
                     });
                 };
                 let dcore = propagate(core, &ctx)?;
+                check_apply(catalog)?;
                 outcome.delta_rows = dcore.distinct_len();
                 let core_schema = core.schema(catalog)?;
                 outcome.stats = apply_pivot_update(&mut self.table, spec, &core_schema, &dcore)?;
@@ -392,6 +406,7 @@ impl MaterializedView {
                     });
                 };
                 let dcore = propagate(core, &ctx)?;
+                check_apply(catalog)?;
                 outcome.delta_rows = dcore.distinct_len();
                 outcome.stats = apply_select_pivot_update(
                     &mut self.table,
@@ -416,9 +431,16 @@ impl MaterializedView {
                     });
                 };
                 let dcore = propagate(core, &ctx)?;
+                check_apply(catalog)?;
                 outcome.delta_rows = dcore.distinct_len();
                 let core_schema = core.schema(catalog)?;
-                let info = self.group_info.as_ref().expect("set at creation");
+                let info =
+                    self.group_info
+                        .as_ref()
+                        .ok_or_else(|| CoreError::StrategyNotApplicable {
+                            strategy: self.strategy.id().into(),
+                            reason: "group-pivot info missing (not set at creation)".into(),
+                        })?;
                 outcome.stats =
                     apply_group_pivot_update(&mut self.table, spec, info, &core_schema, &dcore)?;
             }
@@ -432,6 +454,7 @@ impl MaterializedView {
                 // Insert/delete propagation through the GROUPBY (affected
                 // group recomputation), then Fig. 23 MERGE at the pivot.
                 let dgb = propagate(gb, &ctx)?;
+                check_apply(catalog)?;
                 outcome.delta_rows = dgb.distinct_len();
                 let gb_schema = gb.schema(catalog)?;
                 outcome.stats = apply_pivot_update(&mut self.table, spec, &gb_schema, &dgb)?;
@@ -615,12 +638,40 @@ impl ViewManager {
     }
 
     /// Commit pending deltas to the base tables.
+    ///
+    /// Note this applies table-by-table: a failure partway (key violation,
+    /// injected commit fault) leaves earlier tables committed. Callers that
+    /// need all-or-nothing semantics should use the two-phase
+    /// [`ViewManager::stage_commit`] / [`ViewManager::apply_staged`] pair
+    /// instead.
     pub fn commit(&mut self, deltas: &SourceDeltas) -> Result<()> {
         for t in deltas.tables() {
             let d = deltas.delta(t).expect("listed table has a delta");
             self.catalog.apply_delta(t, d)?;
         }
         Ok(())
+    }
+
+    /// The fallible half of an atomic commit: compute every post-delta base
+    /// table without mutating anything. All key violations and injected
+    /// commit faults surface here, while the catalog is still untouched.
+    pub fn stage_commit(&self, deltas: &SourceDeltas) -> Result<Vec<(String, Table)>> {
+        let mut staged = Vec::new();
+        for t in deltas.tables() {
+            let d = deltas.delta(t).expect("listed table has a delta");
+            staged.push((t.to_string(), self.catalog.stage_delta(t, d)?));
+        }
+        Ok(staged)
+    }
+
+    /// The infallible half of an atomic commit: swap in base tables staged
+    /// by [`ViewManager::stage_commit`]. Nothing here can fail, so a caller
+    /// holding a write lock commits all tables or (by never reaching this
+    /// call) none.
+    pub fn apply_staged(&mut self, staged: Vec<(String, Table)>) {
+        for (name, table) in staged {
+            self.catalog.replace(name, table);
+        }
     }
 
     /// Full refresh cycle: maintain every view, then commit the deltas.

@@ -81,7 +81,7 @@ impl Executor {
     ) -> Result<(Table, ExecTrace)> {
         let mut trace = Some(ExecTrace::default());
         let table = Self::execute_impl(plan, provider, 0, &mut trace)?;
-        let mut trace = trace.expect("set above");
+        let mut trace = trace.unwrap_or_default();
         // Entries were pushed post-order (children first); reversing puts
         // each parent before its children (for binary operators the right
         // subtree then lists before the left one).

@@ -33,20 +33,23 @@ impl PivotLayout {
     /// Resolve the layout against the input schema.
     pub fn resolve(spec: &PivotSpec, input: &Schema) -> Result<PivotLayout> {
         let k_names = spec.validate(input)?;
+        // `validate` guarantees these columns exist, but surface a lookup
+        // miss as an error anyway — a panic here would take down a whole
+        // refresh worker, an error just fails one view's refresh.
         let k_idx = k_names
             .iter()
-            .map(|c| input.index_of(c).expect("validated"))
-            .collect();
+            .map(|c| input.index_of(c))
+            .collect::<gpivot_storage::Result<Vec<usize>>>()?;
         let by_idx = spec
             .by
             .iter()
-            .map(|c| input.index_of(c).expect("validated"))
-            .collect();
+            .map(|c| input.index_of(c))
+            .collect::<gpivot_storage::Result<Vec<usize>>>()?;
         let on_idx = spec
             .on
             .iter()
-            .map(|c| input.index_of(c).expect("validated"))
-            .collect();
+            .map(|c| input.index_of(c))
+            .collect::<gpivot_storage::Result<Vec<usize>>>()?;
         let group_lookup = spec
             .groups
             .iter()
@@ -127,18 +130,18 @@ impl UnpivotLayout {
         let k_names = spec.validate(input)?;
         let k_idx = k_names
             .iter()
-            .map(|c| input.index_of(c).expect("validated"))
-            .collect();
+            .map(|c| input.index_of(c))
+            .collect::<gpivot_storage::Result<Vec<usize>>>()?;
         let group_cols = spec
             .groups
             .iter()
             .map(|g| {
                 g.cols
                     .iter()
-                    .map(|c| input.index_of(c).expect("validated"))
-                    .collect()
+                    .map(|c| input.index_of(c))
+                    .collect::<gpivot_storage::Result<Vec<usize>>>()
             })
-            .collect();
+            .collect::<gpivot_storage::Result<Vec<Vec<usize>>>>()?;
         Ok(UnpivotLayout { k_idx, group_cols })
     }
 }

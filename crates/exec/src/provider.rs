@@ -7,6 +7,7 @@
 
 use crate::error::Result;
 use gpivot_algebra::{AlgebraError, SchemaProvider};
+use gpivot_storage::fault::FaultSite;
 use gpivot_storage::{Catalog, SchemaRef, StorageError, Table};
 use std::collections::HashMap;
 
@@ -23,7 +24,17 @@ pub trait TableProvider {
 
 impl TableProvider for Catalog {
     fn get_table(&self, name: &str) -> Result<&Table> {
+        // The Scan fault site fires here (and only here): plan execution
+        // resolves tables through the provider, while plain catalog lookups
+        // (validation, schema inference) stay fault-free.
+        self.fault_injector().check(FaultSite::Scan, name)?;
         Ok(self.table(name)?)
+    }
+
+    fn get_schema(&self, name: &str) -> Result<SchemaRef> {
+        // Schema inference is not a scan: bypass the fault site so an
+        // injected fault can't masquerade as a schema/validation error.
+        Ok(self.table(name)?.schema().clone())
     }
 }
 
@@ -64,10 +75,22 @@ impl<'a> Overlay<'a> {
 
 impl TableProvider for Overlay<'_> {
     fn get_table(&self, name: &str) -> Result<&Table> {
+        // Overlay entries (delta bags, hypothetical post-states) are subject
+        // to the same Scan fault site as base tables, so propagation
+        // sub-plans can fail mid-evaluation under chaos schedules.
+        self.base.fault_injector().check(FaultSite::Scan, name)?;
         if let Some(t) = self.extra.get(name) {
             return Ok(t);
         }
         Ok(self.base.table(name)?)
+    }
+
+    fn get_schema(&self, name: &str) -> Result<SchemaRef> {
+        // Fault-free for the same reason as the `Catalog` impl.
+        if let Some(t) = self.extra.get(name) {
+            return Ok(t.schema().clone());
+        }
+        Ok(self.base.table(name)?.schema().clone())
     }
 }
 
@@ -76,9 +99,12 @@ pub struct ProviderSchemas<'a, P: TableProvider>(pub &'a P);
 
 impl<P: TableProvider> SchemaProvider for ProviderSchemas<'_, P> {
     fn base_schema(&self, table: &str) -> gpivot_algebra::Result<SchemaRef> {
-        self.0
-            .get_schema(table)
-            .map_err(|_| AlgebraError::Storage(StorageError::UnknownTable(table.to_string())))
+        self.0.get_schema(table).map_err(|e| match e {
+            // Preserve the storage error (error classification depends on
+            // it — an injected fault must not turn into `UnknownTable`).
+            crate::error::ExecError::Storage(se) => AlgebraError::Storage(se),
+            _ => AlgebraError::Storage(StorageError::UnknownTable(table.to_string())),
+        })
     }
 }
 
@@ -111,6 +137,25 @@ mod tests {
         let ov = Overlay::new(&c);
         assert_eq!(ov.get_table("t").unwrap().len(), 1);
         assert!(ov.get_table("missing").is_err());
+    }
+
+    #[test]
+    fn injected_scan_fault_fails_execution_not_lookup() {
+        use gpivot_storage::{FaultInjector, FaultSite};
+        let mut c = catalog();
+        c.set_fault_injector(
+            FaultInjector::seeded(11)
+                .with_site(FaultSite::Scan, 1.0, 0.0)
+                .with_budget(2),
+        );
+        // Provider scans hit the fault site...
+        assert!(c.get_table("t").is_err());
+        let ov = Overlay::new(&c);
+        assert!(ov.get_table("t").is_err());
+        // ...but plain catalog lookups never do.
+        assert!(c.table("t").is_ok());
+        // Budget exhausted: scans recover.
+        assert!(c.get_table("t").is_ok());
     }
 
     #[test]

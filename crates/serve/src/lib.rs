@@ -25,15 +25,29 @@
 //! * **Observability** ([`ViewService::metrics`]) — per-view and per-epoch
 //!   counters (rows ingested, coalescing ratio, rows propagated, refresh
 //!   latency) as a [`MetricsSnapshot`] plus a human-readable report.
+//! * **Fault tolerance** — worker panics are caught at the view-task
+//!   boundary (never poisoning a lock; locks are acquired only through the
+//!   poison-recovering helpers in `sync`), transient failures retry with
+//!   bounded exponential backoff, repeatedly failing views are quarantined
+//!   ([`ViewHealth`]) so they stop blocking epochs, and every epoch commits
+//!   all-or-nothing: a mid-epoch failure rolls back to the pre-epoch state
+//!   and restores the drained batch to the queue. See DESIGN.md §"Fault
+//!   tolerance".
 //!
 //! Lock order (outermost first): refresh gate → view state (`RwLock`) →
 //! ingest queue (`Mutex` + condvar) → metrics (`Mutex`, leaf). No code path
 //! acquires them in any other order, and the queue lock is never held while
 //! waiting on the state lock.
 
+// A service that promises panic isolation must not panic on its own error
+// paths: `unwrap`/`expect` are denied outside unit tests, and lock
+// acquisition goes through `sync`'s poison-recovering helpers.
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 mod metrics;
 mod queue;
 mod service;
+mod sync;
 
-pub use metrics::{EpochSummary, MetricsSnapshot, ViewMetrics};
+pub use metrics::{EpochSummary, MetricsSnapshot, ViewHealth, ViewMetrics};
 pub use service::{ServeConfig, Snapshot, ViewService};

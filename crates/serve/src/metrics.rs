@@ -5,6 +5,45 @@ use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::Duration;
 
+/// The fault-tolerance state of one registered view — the retry/quarantine
+/// state machine (see DESIGN.md §"Fault tolerance"):
+///
+/// ```text
+/// Healthy --fail--> Degraded(1) --fail--> ... --fail--> Quarantined
+///    ^                  |  (success in a committed epoch)      |
+///    +------------------+               retry_view / register  |
+///    +----------------------------------------------------------+
+/// ```
+///
+/// A *fail* is one epoch in which the view exhausted its retry budget.
+/// Quarantined views are excluded from refresh scheduling (they stop
+/// blocking epochs) and their tables go stale until re-admission.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub enum ViewHealth {
+    /// Refreshing normally.
+    #[default]
+    Healthy,
+    /// Failed its last `consecutive_failures` epochs (retries exhausted)
+    /// but is still scheduled.
+    Degraded { consecutive_failures: u32 },
+    /// Excluded from refresh scheduling after too many consecutive
+    /// failures. Re-admit with `ViewService::retry_view` (recomputes the
+    /// view from current base state) or by dropping and re-registering.
+    Quarantined {
+        /// The epoch counter value when quarantine was entered.
+        since_epoch: u64,
+        /// Rendering of the error that tipped the view over.
+        reason: String,
+    },
+}
+
+impl ViewHealth {
+    /// True iff the view is currently quarantined.
+    pub fn is_quarantined(&self) -> bool {
+        matches!(self, ViewHealth::Quarantined { .. })
+    }
+}
+
 /// Cumulative counters for one registered view.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct ViewMetrics {
@@ -19,6 +58,13 @@ pub struct ViewMetrics {
     pub rows_applied: u64,
     /// Total wall-clock time spent refreshing this view.
     pub refresh_time: Duration,
+    /// Epochs in which this view exhausted its retry budget and failed.
+    pub failures: u64,
+    /// Individual refresh attempts beyond the first, across all epochs
+    /// (both attempts that eventually succeeded and ones that did not).
+    pub retries: u64,
+    /// Current position in the retry/quarantine state machine.
+    pub health: ViewHealth,
 }
 
 /// A point-in-time copy of the service's counters.
@@ -40,6 +86,11 @@ pub struct MetricsSnapshot {
     pub rows_ingested: u64,
     /// `ingest` calls that had to block on the backpressure watermark.
     pub ingest_waits: u64,
+    /// `try_ingest` / `ingest_timeout` calls rejected with
+    /// [`gpivot_core::CoreError::Backpressure`].
+    pub ingest_rejects: u64,
+    /// Worker panics caught and isolated at the view-task boundary.
+    pub panics_isolated: u64,
     /// Row changes drained into epochs, before coalescing.
     pub rows_drained_raw: u64,
     /// Row changes drained into epochs, after +1/−1 cancellation.
@@ -71,6 +122,15 @@ impl MetricsSnapshot {
             return None;
         }
         Some(self.rows_drained_coalesced as f64 / self.rows_drained_raw as f64)
+    }
+
+    /// Names of views currently quarantined.
+    pub fn quarantined_views(&self) -> Vec<&str> {
+        self.per_view
+            .iter()
+            .filter(|(_, v)| v.health.is_quarantined())
+            .map(|(n, _)| n.as_str())
+            .collect()
     }
 
     /// Mean wall-clock latency of a completed epoch.
@@ -117,12 +177,34 @@ impl MetricsSnapshot {
             "  propagate/apply: {} delta rows, {} rows propagated, {} rows applied",
             self.delta_rows, self.rows_propagated, self.rows_applied,
         );
-        for (name, v) in &self.per_view {
+        if self.ingest_rejects > 0 || self.panics_isolated > 0 {
             let _ = writeln!(
                 out,
-                "  view {name}: {} refreshes, {} delta rows, {} propagated, \
-                 {} applied, {:?} total",
-                v.refreshes, v.delta_rows, v.rows_propagated, v.rows_applied, v.refresh_time,
+                "  faults: {} ingest rejects, {} panics isolated",
+                self.ingest_rejects, self.panics_isolated,
+            );
+        }
+        for (name, v) in &self.per_view {
+            let health = match &v.health {
+                ViewHealth::Healthy => String::new(),
+                ViewHealth::Degraded {
+                    consecutive_failures,
+                } => format!(" [degraded: {consecutive_failures} consecutive failures]"),
+                ViewHealth::Quarantined { since_epoch, .. } => {
+                    format!(" [QUARANTINED since epoch {since_epoch}]")
+                }
+            };
+            let _ = writeln!(
+                out,
+                "  view {name}: {} refreshes ({} failures, {} retries), {} delta rows, \
+                 {} propagated, {} applied, {:?} total{health}",
+                v.refreshes,
+                v.failures,
+                v.retries,
+                v.delta_rows,
+                v.rows_propagated,
+                v.rows_applied,
+                v.refresh_time,
             );
         }
         out
@@ -146,6 +228,10 @@ pub struct EpochSummary {
     pub rows_propagated: u64,
     /// Row effects on materialized tables, summed over views.
     pub rows_applied: u64,
+    /// Quarantined views that would have been refreshed but were skipped.
+    pub quarantined_skipped: usize,
+    /// Refresh attempts beyond the first, summed over views in this epoch.
+    pub retries: u64,
     /// Wall-clock duration of the epoch.
     pub duration: Duration,
 }

@@ -39,6 +39,29 @@ impl IngestQueue {
     pub fn ingest(&mut self, table: &str, delta: Delta) {
         self.raw_rows += delta.total_multiplicity();
         self.batches += 1;
+        self.merge(table, delta);
+    }
+
+    /// Put a drained batch back, as if the drain never happened (epoch
+    /// rollback). The per-row merge is identical to [`IngestQueue::ingest`],
+    /// but the raw-row/batch counters are restored from the drain's own
+    /// [`DrainStats`] rather than re-counted — producer submissions must be
+    /// counted exactly once no matter how many times an epoch rolls back,
+    /// or the `rows_ingested − rows_drained_raw = pending` reconciliation
+    /// in [`crate::MetricsSnapshot`] drifts.
+    pub fn restore(&mut self, batch: &gpivot_core::SourceDeltas, stats: DrainStats) {
+        let tables: Vec<String> = batch.tables().map(String::from).collect();
+        for t in tables {
+            if let Some(d) = batch.delta(&t) {
+                self.merge(&t, d.clone());
+            }
+        }
+        self.raw_rows += stats.raw_rows;
+        self.batches += stats.batches;
+    }
+
+    /// Signed-multiset merge with incremental `pending_rows` accounting.
+    fn merge(&mut self, table: &str, delta: Delta) {
         let entry = self.pending.entry(table.to_string()).or_default();
         let mut change: i64 = 0;
         for (row, w) in delta.into_counts() {
@@ -119,6 +142,25 @@ mod tests {
         assert!(batch.is_empty());
         assert_eq!(stats.raw_rows, 2);
         assert_eq!(stats.coalesced_rows, 0);
+    }
+
+    #[test]
+    fn restore_round_trips_drain() {
+        let mut q = IngestQueue::new();
+        q.ingest("t", Delta::from_inserts(vec![row![1], row![2]]));
+        q.ingest("t", Delta::from_deletes(vec![row![1]]));
+        let (batch, stats) = q.drain();
+        assert!(q.is_empty());
+
+        q.restore(&batch, stats);
+        assert_eq!(q.pending_rows(), 1);
+        // A second drain reports the same raw/coalesced/batch totals as the
+        // first: rollback does not double-count producer submissions.
+        let (batch2, stats2) = q.drain();
+        assert_eq!(stats2.raw_rows, stats.raw_rows);
+        assert_eq!(stats2.coalesced_rows, stats.coalesced_rows);
+        assert_eq!(stats2.batches, stats.batches);
+        assert_eq!(batch2.delta("t").unwrap().multiplicity(&row![2]), 1);
     }
 
     #[test]

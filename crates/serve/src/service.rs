@@ -1,16 +1,17 @@
-//! The view-maintenance service: registry, ingestion, epoch scheduler.
+//! The view-maintenance service: registry, ingestion, epoch scheduler,
+//! and the fault-tolerance machinery (retry, quarantine, atomic epochs).
 
-use crate::metrics::{EpochSummary, MetricsSnapshot, ViewMetrics};
+use crate::metrics::{EpochSummary, MetricsSnapshot, ViewHealth, ViewMetrics};
 use crate::queue::IngestQueue;
+use crate::sync;
 use gpivot_algebra::plan::Plan;
-use gpivot_core::{MaintenanceOutcome, MaterializedView, Result, Strategy, ViewManager};
+use gpivot_core::{CoreError, MaintenanceOutcome, MaterializedView, Result, Strategy, ViewManager};
 use gpivot_storage::{Catalog, Delta, Table};
 use std::collections::BTreeSet;
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock, RwLockReadGuard};
 use std::time::{Duration, Instant};
-
-const POISON: &str = "gpivot-serve lock poisoned: a holder panicked";
 
 /// Tuning knobs for [`ViewService`].
 #[derive(Debug, Clone)]
@@ -20,11 +21,38 @@ pub struct ServeConfig {
     /// same idiom as `gpivot_core::combine::parallel_gpivot`). `1` means
     /// fully sequential refreshes.
     pub workers: usize,
-    /// Backpressure watermark: once the *coalesced* pending row count
-    /// reaches this, `ingest` blocks until an epoch drains the queue. A
-    /// single batch larger than the watermark is still accepted when the
-    /// queue is empty, so producers can never wedge themselves.
+    /// Backpressure watermark on the *coalesced* pending row count.
+    ///
+    /// Once pending rows reach this, [`ViewService::ingest`] blocks until
+    /// an epoch drains the queue, [`ViewService::try_ingest`] rejects
+    /// immediately, and [`ViewService::ingest_timeout`] blocks up to its
+    /// timeout — both rejections return
+    /// [`gpivot_core::CoreError::Backpressure`] without enqueueing
+    /// anything.
+    ///
+    /// **Liveness contract:** a blocked `ingest` makes progress only if
+    /// *another* thread eventually calls [`ViewService::refresh_epoch`]. A
+    /// single-threaded producer that ingests past the watermark before
+    /// refreshing will deadlock against itself; such callers must use
+    /// `try_ingest`/`ingest_timeout` and run an epoch when they see
+    /// `Backpressure`. As a safety valve, a single batch larger than the
+    /// watermark is still accepted when the queue is empty, so no producer
+    /// can wedge on one oversized batch.
     pub max_pending_rows: u64,
+    /// Refresh attempts beyond the first, per view per epoch, for errors
+    /// classified [`gpivot_core::ErrorClass::Transient`] (injected faults,
+    /// caught worker panics). Permanent errors never retry.
+    pub max_retries: u32,
+    /// Initial sleep between retry attempts; doubles per attempt.
+    pub retry_backoff: Duration,
+    /// Upper bound on the exponential retry backoff.
+    pub retry_backoff_cap: Duration,
+    /// Consecutive failed epochs (retry budget exhausted each time) after
+    /// which a view is quarantined: excluded from refresh scheduling so it
+    /// stops blocking epochs, reported as
+    /// [`ViewHealth::Quarantined`] in metrics, and re-admitted only by
+    /// [`ViewService::retry_view`] or re-registration.
+    pub quarantine_after: u32,
 }
 
 impl Default for ServeConfig {
@@ -34,8 +62,19 @@ impl Default for ServeConfig {
                 .map(|n| n.get().min(8))
                 .unwrap_or(1),
             max_pending_rows: 1 << 20,
+            max_retries: 2,
+            retry_backoff: Duration::from_millis(2),
+            retry_backoff_cap: Duration::from_millis(100),
+            quarantine_after: 3,
         }
     }
+}
+
+/// How long an ingest call is willing to wait for queue space.
+enum Wait {
+    Block,
+    Never,
+    Timeout(Duration),
 }
 
 struct Shared {
@@ -62,8 +101,21 @@ pub struct ViewService {
     shared: Arc<Shared>,
 }
 
+/// One view's refresh attempt sequence within an epoch.
+struct ViewRefresh {
+    result: Result<(MaterializedView, MaintenanceOutcome)>,
+    retries: u32,
+    panics: u32,
+    took: Duration,
+}
+
 impl ViewService {
     /// Wrap a base-table catalog with an empty view registry.
+    ///
+    /// To run the service under fault injection, configure the catalog
+    /// first: `catalog.set_fault_injector(injector.clone())` — the injector
+    /// is a shared handle, so the test keeps arming/disarming control over
+    /// the copy the service owns.
     pub fn new(catalog: Catalog, cfg: ServeConfig) -> Self {
         ViewService {
             shared: Arc::new(Shared {
@@ -79,19 +131,17 @@ impl ViewService {
     }
 
     /// Register a named view, compiling it through the normalize + strategy
-    /// pipeline (auto-selected strategy, returned on success).
+    /// pipeline (auto-selected strategy, returned on success). Re-using a
+    /// dropped view's name resets its health to [`ViewHealth::Healthy`]
+    /// while keeping its cumulative counters.
     pub fn register_view(&self, name: impl Into<String>, definition: Plan) -> Result<Strategy> {
-        let _gate = self.shared.gate.lock().expect(POISON);
-        let mut state = self.shared.state.write().expect(POISON);
+        let _gate = sync::lock(&self.shared.gate);
+        let mut state = sync::write(&self.shared.state);
         let name = name.into();
         let strategy = state.create_view(name.clone(), definition)?;
-        self.shared
-            .metrics
-            .lock()
-            .expect(POISON)
-            .per_view
-            .entry(name)
-            .or_default();
+        drop(state);
+        let mut m = sync::lock(&self.shared.metrics);
+        m.per_view.entry(name).or_default().health = ViewHealth::Healthy;
         Ok(strategy)
     }
 
@@ -102,38 +152,56 @@ impl ViewService {
         definition: Plan,
         strategy: Strategy,
     ) -> Result<()> {
-        let _gate = self.shared.gate.lock().expect(POISON);
-        let mut state = self.shared.state.write().expect(POISON);
+        let _gate = sync::lock(&self.shared.gate);
+        let mut state = sync::write(&self.shared.state);
         let name = name.into();
         state.create_view_with(name.clone(), definition, strategy)?;
-        self.shared
-            .metrics
-            .lock()
-            .expect(POISON)
-            .per_view
-            .entry(name)
-            .or_default();
+        drop(state);
+        let mut m = sync::lock(&self.shared.metrics);
+        m.per_view.entry(name).or_default().health = ViewHealth::Healthy;
         Ok(())
     }
 
     /// Drop a view. Its cumulative metrics are retained in the snapshot.
     pub fn drop_view(&self, name: &str) -> Result<()> {
-        let _gate = self.shared.gate.lock().expect(POISON);
-        let mut state = self.shared.state.write().expect(POISON);
+        let _gate = sync::lock(&self.shared.gate);
+        let mut state = sync::write(&self.shared.state);
         state.drop_view(name)?;
         Ok(())
     }
 
     /// Names of all registered views.
     pub fn view_names(&self) -> Vec<String> {
-        let state = self.shared.state.read().expect(POISON);
+        let state = sync::read(&self.shared.state);
         state.view_names().into_iter().map(String::from).collect()
     }
 
     /// Submit a signed delta batch for one base table. Blocks while the
     /// coalesced pending row count is at the backpressure watermark (unless
-    /// the queue is empty, so one oversized batch still gets through).
+    /// the queue is empty, so one oversized batch still gets through). See
+    /// [`ServeConfig::max_pending_rows`] for the liveness contract.
     pub fn ingest(&self, table: &str, delta: Delta) -> Result<()> {
+        self.ingest_inner(table, delta, Wait::Block)
+    }
+
+    /// Non-blocking [`ViewService::ingest`]: if the queue is at the
+    /// backpressure watermark, returns
+    /// [`gpivot_core::CoreError::Backpressure`] immediately instead of
+    /// waiting, and enqueues nothing. The safe choice for single-threaded
+    /// producers, which cannot both wait for space and run the epoch that
+    /// would create it.
+    pub fn try_ingest(&self, table: &str, delta: Delta) -> Result<()> {
+        self.ingest_inner(table, delta, Wait::Never)
+    }
+
+    /// [`ViewService::ingest`] with a bounded wait: blocks up to `timeout`
+    /// for queue space, then returns
+    /// [`gpivot_core::CoreError::Backpressure`] without enqueueing.
+    pub fn ingest_timeout(&self, table: &str, delta: Delta, timeout: Duration) -> Result<()> {
+        self.ingest_inner(table, delta, Wait::Timeout(timeout))
+    }
+
+    fn ingest_inner(&self, table: &str, delta: Delta, wait: Wait) -> Result<()> {
         if delta.is_empty() {
             return Ok(());
         }
@@ -141,20 +209,55 @@ impl ViewService {
         // lock *before* touching the queue (lock-order: state → queue, and
         // never queue-while-waiting-on-state).
         {
-            let state = self.shared.state.read().expect(POISON);
+            let state = sync::read(&self.shared.state);
             state.catalog().table(table)?;
         }
         let rows = delta.total_multiplicity();
+        let deadline = match wait {
+            Wait::Timeout(d) => Some(Instant::now() + d),
+            _ => None,
+        };
         let mut waited = false;
+        let mut rejected_at = None;
         {
-            let mut q = self.shared.queue.lock().expect(POISON);
+            let mut q = sync::lock(&self.shared.queue);
             while q.pending_rows() >= self.shared.cfg.max_pending_rows && !q.is_empty() {
-                waited = true;
-                q = self.shared.space.wait(q).expect(POISON);
+                match (&wait, deadline) {
+                    (Wait::Never, _) => {
+                        rejected_at = Some(q.pending_rows());
+                        break;
+                    }
+                    (_, Some(dl)) => {
+                        let now = Instant::now();
+                        if now >= dl {
+                            rejected_at = Some(q.pending_rows());
+                            break;
+                        }
+                        let (g, _) = sync::wait_timeout(&self.shared.space, q, dl - now);
+                        q = g;
+                        waited = true;
+                    }
+                    (_, None) => {
+                        q = sync::wait(&self.shared.space, q);
+                        waited = true;
+                    }
+                }
             }
-            q.ingest(table, delta);
+            if rejected_at.is_none() {
+                q.ingest(table, delta);
+            }
         }
-        let mut m = self.shared.metrics.lock().expect(POISON);
+        let mut m = sync::lock(&self.shared.metrics);
+        if let Some(pending_rows) = rejected_at {
+            m.ingest_rejects += 1;
+            if waited {
+                m.ingest_waits += 1;
+            }
+            return Err(CoreError::Backpressure {
+                pending_rows,
+                watermark: self.shared.cfg.max_pending_rows,
+            });
+        }
         m.batches_ingested += 1;
         m.rows_ingested += rows;
         if waited {
@@ -165,7 +268,7 @@ impl ViewService {
 
     /// Coalesced row changes currently waiting in the queue.
     pub fn pending_rows(&self) -> u64 {
-        self.shared.queue.lock().expect(POISON).pending_rows()
+        sync::lock(&self.shared.queue).pending_rows()
     }
 
     /// The epoch number currently visible to readers.
@@ -178,23 +281,34 @@ impl ViewService {
     /// view tables and base-table state. An empty queue is a cheap no-op
     /// (the epoch number does not advance).
     ///
-    /// On a propagation error the epoch is rolled back: no view or base
-    /// table changes, and the drained batch is re-queued so no data is
-    /// lost. A commit error (base-table key violation) aborts mid-commit
-    /// and is returned; view tables are only installed after a successful
-    /// commit.
+    /// Fault tolerance (see DESIGN.md §"Fault tolerance"):
+    ///
+    /// * Each view refresh runs inside `catch_unwind` — a panicking worker
+    ///   is converted into [`gpivot_core::CoreError::ViewPanic`] and can
+    ///   never poison a service lock.
+    /// * Transient failures (injected faults, caught panics) retry with
+    ///   bounded exponential backoff ([`ServeConfig::max_retries`]).
+    /// * A view that exhausts its retries fails the epoch and degrades;
+    ///   after [`ServeConfig::quarantine_after`] consecutive failed epochs
+    ///   it is quarantined and excluded from scheduling, so later epochs
+    ///   commit without it.
+    /// * Commits are all-or-nothing: base deltas are *staged* (fallibly,
+    ///   off to the side) and only swapped in — together with every
+    ///   refreshed view table — in an infallible write-lock critical
+    ///   section. On any failure the epoch commits nothing and the drained
+    ///   batch is restored to the queue, so no data is lost.
     pub fn refresh_epoch(&self) -> Result<EpochSummary> {
-        let _gate = self.shared.gate.lock().expect(POISON);
+        let _gate = sync::lock(&self.shared.gate);
         let start = Instant::now();
 
         let (batch, drained) = {
-            let mut q = self.shared.queue.lock().expect(POISON);
+            let mut q = sync::lock(&self.shared.queue);
             let out = q.drain();
             self.shared.space.notify_all();
             out
         };
         {
-            let mut m = self.shared.metrics.lock().expect(POISON);
+            let mut m = sync::lock(&self.shared.metrics);
             m.rows_drained_raw += drained.raw_rows;
             m.rows_drained_coalesced += drained.coalesced_rows;
         }
@@ -207,93 +321,130 @@ impl ViewService {
 
         let dirty: BTreeSet<&str> = batch.tables().collect();
 
-        // Propagate phase: refresh clones of the affected views against the
-        // pre-epoch catalog, in parallel, under the read lock (concurrent
-        // queries keep running).
-        let refreshed: Vec<(MaterializedView, MaintenanceOutcome)> = {
-            let state = self.shared.state.read().expect(POISON);
-            let affected: Vec<MaterializedView> = state
-                .views()
-                .filter(|v| v.dependencies().iter().any(|d| dirty.contains(d.as_str())))
-                .cloned()
-                .collect();
-            if affected.is_empty() {
-                drop(state);
-                // Deltas touching no view still need committing to the
-                // base tables to keep future registrations consistent.
-                let mut w = self.shared.state.write().expect(POISON);
-                w.commit(&batch)?;
-                let epoch = self.shared.epoch.fetch_add(1, Ordering::SeqCst) + 1;
-                self.finish_epoch_metrics(start.elapsed());
-                return Ok(EpochSummary {
-                    epoch,
-                    batch_rows: drained.coalesced_rows,
-                    batches_drained: drained.batches,
-                    duration: start.elapsed(),
-                    ..EpochSummary::default()
-                });
-            }
-            let catalog = state.catalog();
-            let workers = self.shared.cfg.workers.clamp(1, affected.len());
-            let results = run_on_pool(affected, workers, |mut view| {
-                let t0 = Instant::now();
-                let outcome = view.maintain(catalog, &batch)?;
-                Ok((view, outcome, t0.elapsed()))
-            });
-            let mut ok = Vec::with_capacity(results.len());
-            let mut first_err = None;
-            for r in results {
-                match r {
-                    Ok((view, outcome, took)) => {
-                        let mut m = self.shared.metrics.lock().expect(POISON);
-                        let vm: &mut ViewMetrics =
-                            m.per_view.entry(view.name().to_string()).or_default();
-                        vm.refreshes += 1;
-                        vm.delta_rows += outcome.delta_rows as u64;
-                        vm.rows_propagated += outcome.rows_propagated as u64;
-                        vm.rows_applied += (outcome.stats.inserted
-                            + outcome.stats.updated
-                            + outcome.stats.deleted)
-                            as u64;
-                        vm.refresh_time += took;
-                        ok.push((view, outcome));
-                    }
-                    Err(e) => first_err = Some(e),
-                }
-            }
-            if let Some(e) = first_err {
-                drop(state);
-                // Roll back: put the whole batch back so nothing is lost.
-                let mut q = self.shared.queue.lock().expect(POISON);
-                for t in batch.tables() {
-                    if let Some(d) = batch.delta(t) {
-                        q.ingest(t, d.clone());
-                    }
-                }
-                drop(q);
-                self.shared.metrics.lock().expect(POISON).epochs_failed += 1;
-                return Err(e);
-            }
-            ok
+        // Propagate phase: refresh clones of the affected, non-quarantined
+        // views against the pre-epoch catalog, in parallel, under the read
+        // lock (concurrent queries keep running).
+        let state = sync::read(&self.shared.state);
+        let quarantined: BTreeSet<String> = {
+            let m = sync::lock(&self.shared.metrics);
+            m.per_view
+                .iter()
+                .filter(|(_, v)| v.health.is_quarantined())
+                .map(|(n, _)| n.clone())
+                .collect()
         };
+        let mut quarantined_skipped = 0usize;
+        let affected: Vec<MaterializedView> = state
+            .views()
+            .filter(|v| v.dependencies().iter().any(|d| dirty.contains(d.as_str())))
+            .filter(|v| {
+                if quarantined.contains(v.name()) {
+                    quarantined_skipped += 1;
+                    false
+                } else {
+                    true
+                }
+            })
+            .cloned()
+            .collect();
+        let names: Vec<String> = affected.iter().map(|v| v.name().to_string()).collect();
+        let catalog = state.catalog();
+        let workers = self.shared.cfg.workers.max(1).min(affected.len().max(1));
+        let results = run_on_pool(affected, workers, |view| {
+            maintain_with_retry(&self.shared.cfg, &view, catalog, &batch)
+        });
 
-        // Apply phase: one short write-lock critical section installs the
-        // base-table deltas and every refreshed view table, then bumps the
-        // epoch — readers see all of it or none of it.
+        let mut ok: Vec<(MaterializedView, MaintenanceOutcome, Duration, u32)> = Vec::new();
+        let mut failures: Vec<(String, CoreError)> = Vec::new();
+        let mut per_view_retries: Vec<(String, u64)> = Vec::new();
+        let mut total_retries = 0u64;
+        let mut total_panics = 0u64;
+        for (i, slot) in results.into_iter().enumerate() {
+            match slot {
+                Some(vr) => {
+                    total_retries += u64::from(vr.retries);
+                    total_panics += u64::from(vr.panics);
+                    per_view_retries.push((names[i].clone(), u64::from(vr.retries)));
+                    match vr.result {
+                        Ok((view, outcome)) => ok.push((view, outcome, vr.took, vr.retries)),
+                        Err(e) => failures.push((names[i].clone(), e)),
+                    }
+                }
+                // The whole worker bucket vanished: a panic escaped the
+                // per-view catch_unwind boundary (should be impossible for
+                // unwinding panics, but never trust a worker).
+                None => failures.push((
+                    names[i].clone(),
+                    CoreError::ViewPanic {
+                        view: names[i].clone(),
+                        message: "refresh worker vanished".into(),
+                    },
+                )),
+            }
+        }
+
+        if !failures.is_empty() {
+            drop(state);
+            let first_err = failures[0].1.clone();
+            return self.roll_back_epoch(
+                &batch,
+                drained,
+                first_err,
+                failures,
+                per_view_retries,
+                total_panics,
+            );
+        }
+
+        // Stage the base-table commit while still only holding the read
+        // lock: every fallible step (key violations, injected commit
+        // faults) happens here, against copies. Transient staging faults
+        // retry like any other.
+        let (staged_res, stage_retries) =
+            retry_transient(&self.shared.cfg, || state.stage_commit(&batch));
+        total_retries += u64::from(stage_retries);
+        let staged = match staged_res {
+            Ok(s) => s,
+            Err(e) => {
+                drop(state);
+                // A commit-site fault is a base-table problem, not any one
+                // view's: fail the epoch without degrading view health.
+                return self.roll_back_epoch(
+                    &batch,
+                    drained,
+                    e,
+                    vec![],
+                    per_view_retries,
+                    total_panics,
+                );
+            }
+        };
+        drop(state);
+
+        // Commit phase: one short write-lock critical section swaps in the
+        // staged base tables and every refreshed view table, then bumps the
+        // epoch. Nothing in here can fail — readers see all of it or none
+        // of it. (The gate is still held, so no registry change can slip in
+        // between the read and write locks.)
+        let mut committed: Vec<(String, MaintenanceOutcome, Duration, u32)> =
+            Vec::with_capacity(ok.len());
         let (summary, epoch_time) = {
-            let mut state = self.shared.state.write().expect(POISON);
-            state.commit(&batch)?;
+            let mut state = sync::write(&self.shared.state);
+            state.apply_staged(staged);
             let mut summary = EpochSummary {
                 batch_rows: drained.coalesced_rows,
                 batches_drained: drained.batches,
-                views_refreshed: refreshed.len(),
+                views_refreshed: ok.len(),
+                quarantined_skipped,
+                retries: total_retries,
                 ..EpochSummary::default()
             };
-            for (view, outcome) in refreshed {
+            for (view, outcome, took, retries) in ok {
                 summary.delta_rows += outcome.delta_rows as u64;
                 summary.rows_propagated += outcome.rows_propagated as u64;
                 summary.rows_applied +=
                     (outcome.stats.inserted + outcome.stats.updated + outcome.stats.deleted) as u64;
+                committed.push((view.name().to_string(), outcome, took, retries));
                 state.install_view(view);
             }
             summary.epoch = self.shared.epoch.fetch_add(1, Ordering::SeqCst) + 1;
@@ -303,17 +454,98 @@ impl ViewService {
         };
 
         {
-            let mut m = self.shared.metrics.lock().expect(POISON);
+            let mut m = sync::lock(&self.shared.metrics);
             m.delta_rows += summary.delta_rows;
             m.rows_propagated += summary.rows_propagated;
             m.rows_applied += summary.rows_applied;
+            m.panics_isolated += total_panics;
+            // Per-view refresh work is charged only on committed epochs —
+            // rolled-back work never reaches these counters. A successful
+            // committed refresh also resets the view's health.
+            for (name, outcome, took, retries) in committed {
+                let vm: &mut ViewMetrics = m.per_view.entry(name).or_default();
+                vm.refreshes += 1;
+                vm.delta_rows += outcome.delta_rows as u64;
+                vm.rows_propagated += outcome.rows_propagated as u64;
+                vm.rows_applied +=
+                    (outcome.stats.inserted + outcome.stats.updated + outcome.stats.deleted) as u64;
+                vm.refresh_time += took;
+                vm.retries += u64::from(retries);
+                vm.health = ViewHealth::Healthy;
+            }
         }
         self.finish_epoch_metrics(epoch_time);
         Ok(summary)
     }
 
+    /// Roll a failed epoch back: record per-view failures and health
+    /// transitions, restore the drained batch to the queue (without
+    /// re-counting producer submissions), and return `err`.
+    fn roll_back_epoch(
+        &self,
+        batch: &gpivot_core::SourceDeltas,
+        drained: crate::queue::DrainStats,
+        err: CoreError,
+        failures: Vec<(String, CoreError)>,
+        per_view_retries: Vec<(String, u64)>,
+        total_panics: u64,
+    ) -> Result<EpochSummary> {
+        let epoch_now = self.epoch();
+        {
+            let mut m = sync::lock(&self.shared.metrics);
+            m.epochs_failed += 1;
+            m.panics_isolated += total_panics;
+            // Undo the drained-row accounting: after rollback the rows are
+            // pending again, and they will be re-counted at the next drain.
+            m.rows_drained_raw -= drained.raw_rows;
+            m.rows_drained_coalesced -= drained.coalesced_rows;
+            for (name, retries) in per_view_retries {
+                m.per_view.entry(name).or_default().retries += retries;
+            }
+            for (name, err) in &failures {
+                let vm: &mut ViewMetrics = m.per_view.entry(name.clone()).or_default();
+                vm.failures += 1;
+                vm.health = match vm.health {
+                    ViewHealth::Healthy => {
+                        if self.shared.cfg.quarantine_after <= 1 {
+                            ViewHealth::Quarantined {
+                                since_epoch: epoch_now,
+                                reason: err.to_string(),
+                            }
+                        } else {
+                            ViewHealth::Degraded {
+                                consecutive_failures: 1,
+                            }
+                        }
+                    }
+                    ViewHealth::Degraded {
+                        consecutive_failures,
+                    } => {
+                        let n = consecutive_failures + 1;
+                        if n >= self.shared.cfg.quarantine_after {
+                            ViewHealth::Quarantined {
+                                since_epoch: epoch_now,
+                                reason: err.to_string(),
+                            }
+                        } else {
+                            ViewHealth::Degraded {
+                                consecutive_failures: n,
+                            }
+                        }
+                    }
+                    ViewHealth::Quarantined { .. } => vm.health.clone(),
+                };
+            }
+        }
+        {
+            let mut q = sync::lock(&self.shared.queue);
+            q.restore(batch, drained);
+        }
+        Err(err)
+    }
+
     fn finish_epoch_metrics(&self, took: Duration) {
-        let mut m = self.shared.metrics.lock().expect(POISON);
+        let mut m = sync::lock(&self.shared.metrics);
         m.epochs += 1;
         m.refresh_time += took;
         m.last_epoch_time = took;
@@ -321,23 +553,77 @@ impl ViewService {
 
     /// The user-facing contents of a view (single consistent read).
     pub fn query_view(&self, name: &str) -> Result<Table> {
-        let state = self.shared.state.read().expect(POISON);
+        let state = sync::read(&self.shared.state);
         state.query_view(name)
+    }
+
+    /// Where a view currently sits in the retry/quarantine state machine.
+    pub fn view_health(&self, name: &str) -> Result<ViewHealth> {
+        {
+            let state = sync::read(&self.shared.state);
+            if !state.view_names().contains(&name) {
+                return Err(CoreError::UnknownView(name.to_string()));
+            }
+        }
+        let m = sync::lock(&self.shared.metrics);
+        Ok(m.per_view
+            .get(name)
+            .map(|v| v.health.clone())
+            .unwrap_or_default())
+    }
+
+    /// Re-admit a quarantined (or degraded) view: recompute it from the
+    /// current base tables — its materialization went stale while epochs
+    /// committed without it — install the fresh table, and reset its health
+    /// to [`ViewHealth::Healthy`] so the next epoch schedules it again.
+    ///
+    /// Recomputation executes the view plan, so with an armed fault
+    /// injector this can itself fail transiently; the view then stays
+    /// quarantined and the call can simply be retried.
+    pub fn retry_view(&self, name: &str) -> Result<()> {
+        let _gate = sync::lock(&self.shared.gate);
+        let mut state = sync::write(&self.shared.state);
+        let (definition, strategy) = {
+            let view = state
+                .views()
+                .find(|v| v.name() == name)
+                .ok_or_else(|| CoreError::UnknownView(name.to_string()))?;
+            (view.definition().clone(), view.strategy())
+        };
+        let fresh = MaterializedView::create(name, definition, strategy, state.catalog())?;
+        state.install_view(fresh);
+        drop(state);
+        let mut m = sync::lock(&self.shared.metrics);
+        m.per_view.entry(name.to_string()).or_default().health = ViewHealth::Healthy;
+        Ok(())
     }
 
     /// A consistent multi-view read: while the [`Snapshot`] is held, no
     /// epoch can commit, so every query through it sees the same epoch.
     pub fn snapshot(&self) -> Snapshot<'_> {
-        let guard = self.shared.state.read().expect(POISON);
+        let guard = sync::read(&self.shared.state);
         let epoch = self.shared.epoch.load(Ordering::SeqCst);
         Snapshot { guard, epoch }
     }
 
     /// Verify every registered view against full recomputation from the
-    /// current base tables (the oracle check; testing/ops aid).
+    /// current base tables (the oracle check; testing/ops aid). Quarantined
+    /// views are skipped — their tables are knowingly stale until
+    /// [`ViewService::retry_view`] re-admits them.
     pub fn verify_all(&self) -> Result<bool> {
-        let state = self.shared.state.read().expect(POISON);
+        let state = sync::read(&self.shared.state);
+        let quarantined: BTreeSet<String> = {
+            let m = sync::lock(&self.shared.metrics);
+            m.per_view
+                .iter()
+                .filter(|(_, v)| v.health.is_quarantined())
+                .map(|(n, _)| n.clone())
+                .collect()
+        };
         for name in state.view_names() {
+            if quarantined.contains(name) {
+                continue;
+            }
             if !state.verify_view(name)? {
                 return Ok(false);
             }
@@ -347,8 +633,8 @@ impl ViewService {
 
     /// A point-in-time copy of all service counters.
     pub fn metrics(&self) -> MetricsSnapshot {
-        let mut m = self.shared.metrics.lock().expect(POISON).clone();
-        let q = self.shared.queue.lock().expect(POISON);
+        let mut m = sync::lock(&self.shared.metrics).clone();
+        let q = sync::lock(&self.shared.queue);
         m.pending_rows = q.pending_rows();
         m.pending_bytes = q.estimate_bytes();
         m
@@ -378,9 +664,85 @@ impl Snapshot<'_> {
     }
 }
 
+/// Run `op`, retrying transient errors up to `cfg.max_retries` times with
+/// bounded exponential backoff. Returns the final result and how many
+/// retries were spent.
+fn retry_transient<R>(cfg: &ServeConfig, mut op: impl FnMut() -> Result<R>) -> (Result<R>, u32) {
+    let mut retries = 0u32;
+    let mut backoff = cfg.retry_backoff;
+    loop {
+        match op() {
+            Ok(r) => return (Ok(r), retries),
+            Err(e) if e.is_transient() && retries < cfg.max_retries => {
+                retries += 1;
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                }
+                backoff = (backoff * 2).min(cfg.retry_backoff_cap);
+            }
+            Err(e) => return (Err(e), retries),
+        }
+    }
+}
+
+/// Refresh one view with panic isolation and transient-error retry.
+///
+/// `maintain` mutates the view's table in place and a failed attempt may
+/// leave it partially applied, so every attempt starts from a fresh clone
+/// of the pristine registered view — the caller's copy is never touched.
+/// A panicking attempt is caught at this boundary (`catch_unwind`) and
+/// converted into a transient [`CoreError::ViewPanic`]; since the panic
+/// never crosses a lock acquisition, no service lock can be poisoned by it.
+fn maintain_with_retry(
+    cfg: &ServeConfig,
+    pristine: &MaterializedView,
+    catalog: &Catalog,
+    batch: &gpivot_core::SourceDeltas,
+) -> ViewRefresh {
+    let t0 = Instant::now();
+    let mut panics = 0u32;
+    let (result, retries) = retry_transient(cfg, || {
+        // AssertUnwindSafe: on panic the only state touched is the local
+        // clone, which is discarded; `catalog` and `batch` are read-only.
+        match std::panic::catch_unwind(AssertUnwindSafe(|| {
+            let mut view = pristine.clone();
+            view.maintain(catalog, batch).map(|outcome| (view, outcome))
+        })) {
+            Ok(r) => r,
+            Err(payload) => {
+                panics += 1;
+                Err(CoreError::ViewPanic {
+                    view: pristine.name().to_string(),
+                    message: panic_message(&*payload),
+                })
+            }
+        }
+    });
+    ViewRefresh {
+        result,
+        retries,
+        panics,
+        took: t0.elapsed(),
+    }
+}
+
+/// Best-effort rendering of a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&'static str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "opaque panic payload".into()
+    }
+}
+
 /// Run `f` over `items` on `workers` scoped threads (round-robin
-/// distribution), preserving input order in the result vector.
-fn run_on_pool<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<R>
+/// distribution), preserving input order in the result vector. A slot is
+/// `None` iff its worker thread died without delivering a result — `f` is
+/// expected to catch panics itself, so `None` marks a panic that escaped
+/// even that boundary; callers must treat it as a failure, never unwrap it.
+fn run_on_pool<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<Option<R>>
 where
     T: Send,
     R: Send,
@@ -388,7 +750,7 @@ where
 {
     let n = items.len();
     if workers <= 1 || n <= 1 {
-        return items.into_iter().map(f).collect();
+        return items.into_iter().map(|item| Some(f(item))).collect();
     }
     let mut buckets: Vec<Vec<(usize, T)>> = (0..workers).map(|_| Vec::new()).collect();
     for (i, item) in items.into_iter().enumerate() {
@@ -409,15 +771,15 @@ where
             })
             .collect();
         for h in handles {
-            for (i, r) in h.join().expect("refresh worker panicked") {
-                slots[i] = Some(r);
+            // A bucket whose thread panicked leaves its slots as None.
+            if let Ok(results) = h.join() {
+                for (i, r) in results {
+                    slots[i] = Some(r);
+                }
             }
         }
     });
     slots
-        .into_iter()
-        .map(|o| o.expect("every index filled"))
-        .collect()
 }
 
 #[cfg(test)]
@@ -462,6 +824,17 @@ mod tests {
             .build()
     }
 
+    fn small_config() -> ServeConfig {
+        ServeConfig {
+            workers: 1,
+            max_pending_rows: 1,
+            max_retries: 0,
+            retry_backoff: Duration::ZERO,
+            retry_backoff_cap: Duration::ZERO,
+            quarantine_after: 3,
+        }
+    }
+
     #[test]
     fn register_refresh_query_drop_cycle() {
         let svc = ViewService::new(catalog(), ServeConfig::default());
@@ -473,12 +846,15 @@ mod tests {
         let summary = svc.refresh_epoch().unwrap();
         assert_eq!(summary.epoch, 1);
         assert_eq!(summary.views_refreshed, 1);
+        assert_eq!(summary.quarantined_skipped, 0);
         assert!(svc.verify_all().unwrap());
         assert_eq!(svc.query_view("pv").unwrap().len(), 3);
+        assert_eq!(svc.view_health("pv").unwrap(), ViewHealth::Healthy);
 
         svc.drop_view("pv").unwrap();
         assert!(svc.view_names().is_empty());
         assert!(svc.query_view("pv").is_err());
+        assert!(svc.view_health("pv").is_err());
     }
 
     #[test]
@@ -528,13 +904,7 @@ mod tests {
 
     #[test]
     fn oversized_batch_passes_when_queue_empty() {
-        let svc = ViewService::new(
-            catalog(),
-            ServeConfig {
-                workers: 1,
-                max_pending_rows: 1,
-            },
-        );
+        let svc = ViewService::new(catalog(), small_config());
         // 3 rows > watermark of 1, but the queue is empty: must not block.
         svc.ingest(
             "facts",
@@ -542,6 +912,55 @@ mod tests {
         )
         .unwrap();
         assert_eq!(svc.pending_rows(), 3);
+    }
+
+    #[test]
+    fn try_ingest_rejects_at_watermark() {
+        let svc = ViewService::new(catalog(), small_config());
+        svc.try_ingest("facts", Delta::from_inserts(vec![row![7, "a", 1]]))
+            .unwrap();
+        // Queue is now at the watermark (1 pending >= 1): rejected, and
+        // nothing enqueued.
+        let err = svc
+            .try_ingest("facts", Delta::from_inserts(vec![row![8, "a", 1]]))
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            CoreError::Backpressure {
+                pending_rows: 1,
+                watermark: 1
+            }
+        ));
+        assert!(err.is_transient());
+        assert_eq!(svc.pending_rows(), 1);
+        assert_eq!(svc.metrics().ingest_rejects, 1);
+        assert_eq!(svc.metrics().rows_ingested, 1);
+    }
+
+    #[test]
+    fn ingest_timeout_rejects_after_deadline() {
+        let svc = ViewService::new(catalog(), small_config());
+        svc.ingest("facts", Delta::from_inserts(vec![row![7, "a", 1]]))
+            .unwrap();
+        let err = svc
+            .ingest_timeout(
+                "facts",
+                Delta::from_inserts(vec![row![8, "a", 1]]),
+                Duration::from_millis(5),
+            )
+            .unwrap_err();
+        assert!(matches!(err, CoreError::Backpressure { .. }));
+        assert_eq!(svc.metrics().ingest_rejects, 1);
+
+        // After draining, the same call goes through.
+        svc.register_view("pv", pivot_plan()).unwrap();
+        svc.refresh_epoch().unwrap();
+        svc.ingest_timeout(
+            "facts",
+            Delta::from_inserts(vec![row![8, "a", 1]]),
+            Duration::from_millis(5),
+        )
+        .unwrap();
     }
 
     #[test]
@@ -565,10 +984,45 @@ mod tests {
     #[test]
     fn run_on_pool_preserves_order() {
         let out = run_on_pool((0..17).collect::<Vec<i32>>(), 4, |x| x * 2);
-        assert_eq!(out, (0..17).map(|x| x * 2).collect::<Vec<_>>());
+        assert_eq!(out, (0..17).map(|x| Some(x * 2)).collect::<Vec<_>>());
         let out1 = run_on_pool(vec![5], 8, |x: i32| x + 1);
-        assert_eq!(out1, vec![6]);
+        assert_eq!(out1, vec![Some(6)]);
         let empty = run_on_pool(Vec::<i32>::new(), 3, |x| x);
         assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn retry_transient_respects_classification() {
+        let cfg = ServeConfig {
+            max_retries: 3,
+            retry_backoff: Duration::ZERO,
+            retry_backoff_cap: Duration::ZERO,
+            ..ServeConfig::default()
+        };
+        // Transient error that succeeds on the third attempt.
+        let mut attempts = 0;
+        let (res, retries) = retry_transient(&cfg, || {
+            attempts += 1;
+            if attempts < 3 {
+                Err(CoreError::Backpressure {
+                    pending_rows: 1,
+                    watermark: 1,
+                })
+            } else {
+                Ok(attempts)
+            }
+        });
+        assert_eq!(res.unwrap(), 3);
+        assert_eq!(retries, 2);
+
+        // Permanent errors never retry.
+        let mut attempts = 0;
+        let (res, retries) = retry_transient(&cfg, || -> Result<()> {
+            attempts += 1;
+            Err(CoreError::UnknownView("v".into()))
+        });
+        assert!(res.is_err());
+        assert_eq!(retries, 0);
+        assert_eq!(attempts, 1);
     }
 }

@@ -1,0 +1,82 @@
+//! Poison-recovering lock acquisition.
+//!
+//! `std` mutexes poison when a holder panics, and every later `lock()`
+//! returns `Err` forever — one panicking worker would wedge the whole
+//! service. Every shared structure in this crate is a plain counter map, a
+//! queue of owned deltas, or a registry of owned views; all of them are
+//! valid at every instruction boundary (no multi-step invariants repaired
+//! after the fact), so recovering a poisoned guard with
+//! [`PoisonError::into_inner`] is always sound here. These helpers are the
+//! only way locks are acquired in this crate — `expect`/`unwrap` on lock
+//! results is denied crate-wide (see `lib.rs`).
+
+use std::sync::{
+    Condvar, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
+    WaitTimeoutResult,
+};
+use std::time::Duration;
+
+/// Lock a mutex, recovering the guard if a previous holder panicked.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Read-lock an `RwLock`, recovering from poison.
+pub(crate) fn read<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    l.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Write-lock an `RwLock`, recovering from poison.
+pub(crate) fn write<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    l.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Wait on a condvar, recovering the re-acquired guard from poison.
+pub(crate) fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
+    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Wait on a condvar with a timeout, recovering from poison.
+pub(crate) fn wait_timeout<'a, T>(
+    cv: &Condvar,
+    guard: MutexGuard<'a, T>,
+    dur: Duration,
+) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
+    cv.wait_timeout(guard, dur)
+        .unwrap_or_else(PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex, RwLock};
+
+    #[test]
+    fn lock_recovers_after_holder_panics() {
+        let m = Arc::new(Mutex::new(41));
+        let m2 = Arc::clone(&m);
+        let _ = std::thread::spawn(move || {
+            let _g = m2.lock().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert!(m.is_poisoned());
+        *lock(&m) += 1;
+        assert_eq!(*lock(&m), 42);
+    }
+
+    #[test]
+    fn rwlock_recovers_after_writer_panics() {
+        let l = Arc::new(RwLock::new(vec![1, 2, 3]));
+        let l2 = Arc::clone(&l);
+        let _ = std::thread::spawn(move || {
+            let _g = l2.write().unwrap();
+            panic!("poison it");
+        })
+        .join();
+        assert!(l.is_poisoned());
+        assert_eq!(read(&l).len(), 3);
+        write(&l).push(4);
+        assert_eq!(read(&l).len(), 4);
+    }
+}

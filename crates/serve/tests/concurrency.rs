@@ -57,6 +57,7 @@ fn producers_refreshers_and_readers_dont_tear() {
             workers: 4,
             // Tight watermark so backpressure actually engages.
             max_pending_rows: 16,
+            ..ServeConfig::default()
         },
     );
     // Two views with identical definitions: any torn snapshot shows up as

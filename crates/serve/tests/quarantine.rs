@@ -1,0 +1,167 @@
+//! Quarantine lifecycle: a view whose propagation always fails degrades,
+//! gets quarantined, stops blocking epochs (others keep committing), and is
+//! re-admitted by `retry_view` with its table recomputed to match the
+//! oracle.
+
+use gpivot_core::CoreError;
+use gpivot_exec::Executor;
+use gpivot_serve::{ServeConfig, ViewHealth, ViewService};
+use gpivot_storage::{
+    row, Catalog, DataType, Delta, FaultInjector, FaultSite, Schema, Table, Value,
+};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn catalog() -> Catalog {
+    let mut c = Catalog::new();
+    let schema = Arc::new(
+        Schema::from_pairs_keyed(
+            &[
+                ("id", DataType::Int),
+                ("attr", DataType::Str),
+                ("val", DataType::Int),
+            ],
+            &["id", "attr"],
+        )
+        .unwrap(),
+    );
+    c.register(
+        "facts",
+        Table::from_rows(
+            schema,
+            vec![row![1, "a", 10], row![1, "b", 20], row![2, "a", 30]],
+        )
+        .unwrap(),
+    )
+    .unwrap();
+    c
+}
+
+fn pivot_plan() -> gpivot_algebra::Plan {
+    gpivot_algebra::PlanBuilder::scan("facts")
+        .gpivot(gpivot_algebra::PivotSpec::simple(
+            "attr",
+            "val",
+            vec![Value::str("a"), Value::str("b")],
+        ))
+        .build()
+}
+
+#[test]
+fn quarantine_lifecycle_and_readmission() {
+    // Every propagate of `flaky` fails with an injected (transient) error;
+    // `steady` and the base tables are never touched by the injector.
+    let injector =
+        FaultInjector::seeded(3).with_targeted_site(FaultSite::Propagate, 1.0, 0.0, "flaky");
+    injector.disarm();
+    let mut cat = catalog();
+    let mut mirror = cat.clone();
+    mirror.set_fault_injector(FaultInjector::disabled());
+    cat.set_fault_injector(injector.clone());
+
+    let svc = ViewService::new(
+        cat,
+        ServeConfig {
+            workers: 2,
+            max_retries: 0, // one attempt per epoch: each failed epoch = one strike
+            retry_backoff: Duration::ZERO,
+            quarantine_after: 2,
+            ..ServeConfig::default()
+        },
+    );
+    svc.register_view("flaky", pivot_plan()).unwrap();
+    svc.register_view("steady", pivot_plan()).unwrap();
+    injector.arm();
+
+    let ingest_row = |id: i64, mirror: &mut Catalog| {
+        let d = Delta::from_inserts(vec![row![id, "a", id]]);
+        svc.ingest("facts", d.clone()).unwrap();
+        mirror.apply_delta("facts", &d).unwrap();
+    };
+
+    // Strike one: the epoch fails (flaky's error rolls everything back),
+    // nothing commits, the batch is restored.
+    ingest_row(10, &mut mirror);
+    let err = svc.refresh_epoch().unwrap_err();
+    assert!(matches!(
+        err,
+        CoreError::Storage(gpivot_storage::StorageError::FaultInjected { .. })
+    ));
+    assert_eq!(svc.epoch(), 0);
+    assert_eq!(svc.pending_rows(), 1, "rolled-back delta must be re-queued");
+    assert_eq!(
+        svc.view_health("flaky").unwrap(),
+        ViewHealth::Degraded {
+            consecutive_failures: 1
+        }
+    );
+    assert_eq!(svc.view_health("steady").unwrap(), ViewHealth::Healthy);
+    // Steady's work was rolled back too: refresh effort is only charged on
+    // committed epochs.
+    assert_eq!(svc.metrics().per_view["steady"].refreshes, 0);
+
+    // Strike two: quarantined.
+    let err = svc.refresh_epoch().unwrap_err();
+    assert!(err.is_transient());
+    assert!(svc.view_health("flaky").unwrap().is_quarantined());
+    let m = svc.metrics();
+    assert_eq!(m.epochs_failed, 2);
+    assert_eq!(m.per_view["flaky"].failures, 2);
+    assert_eq!(m.quarantined_views(), vec!["flaky"]);
+
+    // With flaky out of the way, epochs commit again — the quarantined
+    // view no longer blocks anyone.
+    let s = svc.refresh_epoch().unwrap();
+    assert_eq!(s.epoch, 1);
+    assert_eq!(s.views_refreshed, 1);
+    assert_eq!(s.quarantined_skipped, 1);
+    assert_eq!(svc.pending_rows(), 0);
+
+    ingest_row(11, &mut mirror);
+    let s = svc.refresh_epoch().unwrap();
+    assert_eq!(s.epoch, 2);
+    assert_eq!(s.quarantined_skipped, 1);
+
+    // Steady matches the oracle; flaky is stale (still the initial
+    // materialization) and `verify_all` knowingly skips it.
+    let oracle = Executor::execute(&pivot_plan(), &mirror).unwrap();
+    assert!(svc.query_view("steady").unwrap().bag_eq(&oracle));
+    assert!(!svc.query_view("flaky").unwrap().bag_eq(&oracle));
+    assert!(svc.verify_all().unwrap());
+
+    // Re-admission: recomputes flaky from the current base tables (its
+    // plan execution hits only Scan sites, which aren't configured) and
+    // resets its health, so the next epoch schedules it again.
+    svc.retry_view("flaky").unwrap();
+    assert_eq!(svc.view_health("flaky").unwrap(), ViewHealth::Healthy);
+    assert!(svc.query_view("flaky").unwrap().bag_eq(&oracle));
+    assert!(svc.verify_all().unwrap());
+
+    // The injector still targets flaky, so the next refresh strikes again —
+    // back to Degraded(1), proving re-admission fully reset the counter.
+    ingest_row(12, &mut mirror);
+    assert!(svc.refresh_epoch().is_err());
+    assert_eq!(
+        svc.view_health("flaky").unwrap(),
+        ViewHealth::Degraded {
+            consecutive_failures: 1
+        }
+    );
+
+    // Cease fire: the epoch commits with both views, everything converges.
+    injector.disarm();
+    let s = svc.refresh_epoch().unwrap();
+    assert_eq!(s.views_refreshed, 2);
+    assert_eq!(s.quarantined_skipped, 0);
+    assert_eq!(svc.view_health("flaky").unwrap(), ViewHealth::Healthy);
+    let oracle = Executor::execute(&pivot_plan(), &mirror).unwrap();
+    assert!(svc.query_view("flaky").unwrap().bag_eq(&oracle));
+    assert!(svc.query_view("steady").unwrap().bag_eq(&oracle));
+    assert!(svc.verify_all().unwrap());
+
+    // Health renders in the human-readable report while degraded/quarantined
+    // states were live; final report shows healthy views again.
+    let report = svc.metrics().report();
+    assert!(report.contains("view flaky"));
+    assert!(!report.contains("QUARANTINED"));
+}

@@ -6,14 +6,22 @@
 
 use crate::delta::Delta;
 use crate::error::{Result, StorageError};
+use crate::fault::{FaultInjector, FaultSite};
 use crate::schema::SchemaRef;
 use crate::table::Table;
 use std::collections::BTreeMap;
 
 /// A named collection of tables.
+///
+/// The catalog also carries the [`FaultInjector`] handle for the whole
+/// engine instance: the exec providers and the maintenance layer consult
+/// `catalog.fault_injector()` at their injection sites, so attaching one
+/// injector to the catalog arms every layer at once. The default injector
+/// is disabled and free.
 #[derive(Debug, Clone, Default)]
 pub struct Catalog {
     tables: BTreeMap<String, Table>,
+    fault: FaultInjector,
 }
 
 impl Catalog {
@@ -65,7 +73,34 @@ impl Catalog {
 
     /// Apply a signed delta to a base table (commit step of maintenance).
     pub fn apply_delta(&mut self, name: &str, delta: &Delta) -> Result<()> {
+        self.fault.check(FaultSite::Commit, name)?;
         self.table_mut(name)?.apply_delta(delta)
+    }
+
+    /// Compute the post-delta state of a base table **without mutating the
+    /// catalog**: clone the table, apply the delta to the clone, return it.
+    ///
+    /// This is the staging half of an atomic commit protocol — a caller can
+    /// stage every table of a batch first (each staging step is fallible:
+    /// key violations, injected faults) and only then swap the staged
+    /// tables in with the infallible [`Catalog::replace`], so a mid-batch
+    /// failure leaves the catalog untouched.
+    pub fn stage_delta(&self, name: &str, delta: &Delta) -> Result<Table> {
+        self.fault.check(FaultSite::Commit, name)?;
+        let mut staged = self.table(name)?.clone();
+        staged.apply_delta(delta)?;
+        Ok(staged)
+    }
+
+    /// Attach a fault-injection schedule (chaos testing). Clones of the
+    /// catalog made *after* this call share the injector.
+    pub fn set_fault_injector(&mut self, injector: FaultInjector) {
+        self.fault = injector;
+    }
+
+    /// The fault-injection handle (disabled by default).
+    pub fn fault_injector(&self) -> &FaultInjector {
+        &self.fault
     }
 
     /// Names of all registered tables, sorted.
@@ -123,6 +158,46 @@ mod tests {
         let d = Delta::from_deletes(vec![row![1]]);
         c.apply_delta("t", &d).unwrap();
         assert_eq!(c.table("t").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn stage_delta_leaves_catalog_untouched() {
+        let mut c = Catalog::new();
+        c.register("t", table()).unwrap();
+        let staged = c
+            .stage_delta("t", &Delta::from_inserts(vec![row![3]]))
+            .unwrap();
+        assert_eq!(staged.len(), 3);
+        assert_eq!(c.table("t").unwrap().len(), 2, "staging must not mutate");
+        c.replace("t", staged);
+        assert_eq!(c.table("t").unwrap().len(), 3);
+    }
+
+    #[test]
+    fn stage_delta_surfaces_key_violations_without_mutation() {
+        let mut c = Catalog::new();
+        c.register("t", table()).unwrap();
+        // Inserting an existing key twice violates the declared key.
+        let bad = Delta::from_inserts(vec![row![1]]);
+        assert!(c.stage_delta("t", &bad).is_err());
+        assert_eq!(c.table("t").unwrap().len(), 2);
+    }
+
+    #[test]
+    fn injected_commit_fault_surfaces_as_error() {
+        use crate::fault::{FaultInjector, FaultSite};
+        let mut c = Catalog::new();
+        c.register("t", table()).unwrap();
+        c.set_fault_injector(
+            FaultInjector::seeded(3)
+                .with_site(FaultSite::Commit, 1.0, 0.0)
+                .with_budget(1),
+        );
+        let d = Delta::from_inserts(vec![row![9]]);
+        let err = c.stage_delta("t", &d).unwrap_err();
+        assert!(err.is_transient());
+        // Budget spent: the retry goes through.
+        assert!(c.stage_delta("t", &d).is_ok());
     }
 
     #[test]

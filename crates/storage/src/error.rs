@@ -17,6 +17,20 @@ pub enum StorageError {
     ArityMismatch { expected: usize, actual: usize },
     /// Duplicate column name while constructing a schema.
     DuplicateColumn(String),
+    /// A fault deliberately injected by [`crate::fault::FaultInjector`]
+    /// (chaos testing). Always classified as *transient* by the layers
+    /// above: it models a recoverable I/O or scheduling hiccup.
+    FaultInjected { site: String, op: String },
+}
+
+impl StorageError {
+    /// True iff retrying the failed operation can plausibly succeed.
+    /// Injected faults are transient by definition; every real storage
+    /// error (unknown table, key violation, ...) is a permanent fact about
+    /// the data or the request.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, StorageError::FaultInjected { .. })
+    }
 }
 
 impl fmt::Display for StorageError {
@@ -37,6 +51,9 @@ impl fmt::Display for StorageError {
                 )
             }
             StorageError::DuplicateColumn(c) => write!(f, "duplicate column name `{c}`"),
+            StorageError::FaultInjected { site, op } => {
+                write!(f, "injected fault at {site} site during `{op}`")
+            }
         }
     }
 }

@@ -1,0 +1,354 @@
+//! Deterministic, seeded fault injection for chaos-testing the engine.
+//!
+//! A [`FaultInjector`] is a cheap-to-clone handle (clones share state) that
+//! the layers above consult at well-known **sites**: the exec providers
+//! check [`FaultSite::Scan`] before handing out a table, the maintenance
+//! engine checks [`FaultSite::Propagate`] / [`FaultSite::Apply`] around a
+//! view refresh, and the catalog checks [`FaultSite::Commit`] before
+//! applying a base-table delta. Each check rolls a seeded xorshift RNG; on a
+//! hit the injector either returns [`StorageError::FaultInjected`] (the
+//! common case) or panics (to exercise panic isolation in worker pools).
+//!
+//! The default injector ([`FaultInjector::disabled`], also `Default`) never
+//! fires and costs one relaxed atomic load per check, so production paths
+//! pay nothing for the hooks.
+//!
+//! Determinism: given a fixed seed and a single-threaded caller, the fault
+//! schedule is exactly reproducible. Under a multi-threaded refresh pool the
+//! *order* of RNG draws depends on thread interleaving, but the fault
+//! *budget* and per-site configuration still bound and shape the schedule,
+//! which is what the chaos tests rely on.
+
+use crate::error::StorageError;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, PoisonError};
+
+/// Where in the engine a fault can be injected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultSite {
+    /// A plan `Scan` resolving its table through an exec provider.
+    Scan,
+    /// The propagate phase of one view's refresh (context = view name).
+    Propagate,
+    /// The apply phase of one view's refresh (context = view name).
+    Apply,
+    /// Base-table delta application / staging (context = table name).
+    Commit,
+}
+
+impl FaultSite {
+    /// Stable lowercase name (used in error messages and configs).
+    pub fn name(self) -> &'static str {
+        match self {
+            FaultSite::Scan => "scan",
+            FaultSite::Propagate => "propagate",
+            FaultSite::Apply => "apply",
+            FaultSite::Commit => "commit",
+        }
+    }
+}
+
+impl std::fmt::Display for FaultSite {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Per-site injection configuration.
+#[derive(Debug, Clone)]
+struct SiteConfig {
+    /// Probability in `[0, 1]` that a check at this site fires.
+    probability: f64,
+    /// Of the faults that fire here, the fraction raised as panics instead
+    /// of errors (`0.0` = always an error, `1.0` = always a panic).
+    panic_fraction: f64,
+    /// If set, only checks whose context string equals this fire.
+    target: Option<String>,
+}
+
+#[derive(Debug)]
+struct InjectorState {
+    /// xorshift64* state; never zero.
+    rng: u64,
+    sites: HashMap<FaultSite, SiteConfig>,
+    /// Remaining faults allowed (`None` = unlimited).
+    budget: Option<u64>,
+    checks: u64,
+    faults: u64,
+    panics: u64,
+}
+
+#[derive(Debug)]
+struct Shared {
+    /// Fast-path gate: when false, `check` returns immediately.
+    armed: AtomicBool,
+    state: Mutex<InjectorState>,
+}
+
+/// A shared, seeded fault-injection schedule. See the module docs.
+#[derive(Debug, Clone)]
+pub struct FaultInjector {
+    shared: Arc<Shared>,
+}
+
+impl Default for FaultInjector {
+    fn default() -> Self {
+        FaultInjector::disabled()
+    }
+}
+
+/// What one check decided to do (resolved under the state lock, executed
+/// after releasing it so an injected panic can never poison the injector).
+enum Decision {
+    Pass,
+    Error,
+    Panic,
+}
+
+impl FaultInjector {
+    /// An injector that never fires (the production default).
+    pub fn disabled() -> Self {
+        let inj = FaultInjector::seeded(0);
+        inj.shared.armed.store(false, Ordering::Release);
+        inj
+    }
+
+    /// A fresh armed injector with no sites configured yet.
+    pub fn seeded(seed: u64) -> Self {
+        FaultInjector {
+            shared: Arc::new(Shared {
+                armed: AtomicBool::new(true),
+                state: Mutex::new(InjectorState {
+                    // xorshift needs a nonzero state; fold the seed in.
+                    rng: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
+                    sites: HashMap::new(),
+                    budget: None,
+                    checks: 0,
+                    faults: 0,
+                    panics: 0,
+                }),
+            }),
+        }
+    }
+
+    /// Configure a site to fail with `probability`; `panic_fraction` of the
+    /// fired faults panic instead of returning an error.
+    pub fn with_site(self, site: FaultSite, probability: f64, panic_fraction: f64) -> Self {
+        self.lock().sites.insert(
+            site,
+            SiteConfig {
+                probability: probability.clamp(0.0, 1.0),
+                panic_fraction: panic_fraction.clamp(0.0, 1.0),
+                target: None,
+            },
+        );
+        self
+    }
+
+    /// Like [`FaultInjector::with_site`], but only fires when the check's
+    /// context string equals `target` (e.g. one view or table name).
+    pub fn with_targeted_site(
+        self,
+        site: FaultSite,
+        probability: f64,
+        panic_fraction: f64,
+        target: impl Into<String>,
+    ) -> Self {
+        self.lock().sites.insert(
+            site,
+            SiteConfig {
+                probability: probability.clamp(0.0, 1.0),
+                panic_fraction: panic_fraction.clamp(0.0, 1.0),
+                target: Some(target.into()),
+            },
+        );
+        self
+    }
+
+    /// Cap the total number of faults this injector will ever fire; after
+    /// the budget is spent every check passes (lets chaos runs drain clean).
+    pub fn with_budget(self, faults: u64) -> Self {
+        self.lock().budget = Some(faults);
+        self
+    }
+
+    /// Stop firing (checks become near-free). Reversible via [`FaultInjector::arm`].
+    pub fn disarm(&self) {
+        self.shared.armed.store(false, Ordering::Release);
+    }
+
+    /// Resume firing after a [`FaultInjector::disarm`].
+    pub fn arm(&self) {
+        self.shared.armed.store(true, Ordering::Release);
+    }
+
+    /// True iff the injector can currently fire.
+    pub fn is_armed(&self) -> bool {
+        self.shared.armed.load(Ordering::Acquire)
+    }
+
+    /// Total checks consulted while armed.
+    pub fn checks(&self) -> u64 {
+        self.lock().checks
+    }
+
+    /// Total faults fired (errors + panics).
+    pub fn faults_injected(&self) -> u64 {
+        self.lock().faults
+    }
+
+    /// Faults fired as panics.
+    pub fn panics_injected(&self) -> u64 {
+        self.lock().panics
+    }
+
+    /// Consult the schedule at `site`. `context` names the object being
+    /// operated on (table or view name) and is matched against targeted
+    /// sites and embedded in the injected error.
+    pub fn check(&self, site: FaultSite, context: &str) -> Result<(), StorageError> {
+        if !self.shared.armed.load(Ordering::Acquire) {
+            return Ok(());
+        }
+        let decision = {
+            let mut st = self.lock();
+            st.checks += 1;
+            let Some(cfg) = st.sites.get(&site).cloned() else {
+                return Ok(());
+            };
+            if let Some(t) = &cfg.target {
+                if t != context {
+                    return Ok(());
+                }
+            }
+            if st.budget == Some(0) {
+                return Ok(());
+            }
+            if next_unit(&mut st.rng) >= cfg.probability {
+                Decision::Pass
+            } else {
+                st.faults += 1;
+                if let Some(b) = st.budget.as_mut() {
+                    *b -= 1;
+                }
+                if next_unit(&mut st.rng) < cfg.panic_fraction {
+                    st.panics += 1;
+                    Decision::Panic
+                } else {
+                    Decision::Error
+                }
+            }
+            // state lock dropped here, before the panic below
+        };
+        match decision {
+            Decision::Pass => Ok(()),
+            Decision::Error => Err(StorageError::FaultInjected {
+                site: site.name().to_string(),
+                op: context.to_string(),
+            }),
+            Decision::Panic => panic!("injected fault: panic at {site} site during `{context}`"),
+        }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, InjectorState> {
+        // Poison-recovering by construction: an injected panic is raised
+        // only after the guard is dropped, but a caller panicking elsewhere
+        // must never wedge the injector.
+        self.shared
+            .state
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+/// xorshift64* step mapped to `[0, 1)`.
+fn next_unit(state: &mut u64) -> f64 {
+    let mut x = *state;
+    x ^= x >> 12;
+    x ^= x << 25;
+    x ^= x >> 27;
+    *state = x;
+    let bits = x.wrapping_mul(0x2545_F491_4F6C_DD1D) >> 11;
+    bits as f64 / (1u64 << 53) as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_never_fires() {
+        let inj = FaultInjector::disabled();
+        for _ in 0..1000 {
+            assert!(inj.check(FaultSite::Scan, "t").is_ok());
+        }
+        assert_eq!(inj.faults_injected(), 0);
+        assert_eq!(inj.checks(), 0); // disarmed checks are not even counted
+    }
+
+    #[test]
+    fn seeded_schedule_is_deterministic() {
+        let run = |seed| {
+            let inj = FaultInjector::seeded(seed).with_site(FaultSite::Scan, 0.3, 0.0);
+            (0..200)
+                .map(|i| inj.check(FaultSite::Scan, &format!("t{i}")).is_err())
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43), "different seeds, different schedules");
+        assert!(run(42).iter().any(|&f| f), "probability 0.3 must fire");
+        assert!(
+            !run(42).iter().all(|&f| f),
+            "probability 0.3 must also pass"
+        );
+    }
+
+    #[test]
+    fn budget_caps_faults_then_drains_clean() {
+        let inj = FaultInjector::seeded(7)
+            .with_site(FaultSite::Commit, 1.0, 0.0)
+            .with_budget(3);
+        let errs = (0..10)
+            .filter(|_| inj.check(FaultSite::Commit, "t").is_err())
+            .count();
+        assert_eq!(errs, 3);
+        assert_eq!(inj.faults_injected(), 3);
+        assert!(inj.check(FaultSite::Commit, "t").is_ok());
+    }
+
+    #[test]
+    fn targeted_site_only_hits_its_context() {
+        let inj =
+            FaultInjector::seeded(1).with_targeted_site(FaultSite::Propagate, 1.0, 0.0, "flaky");
+        assert!(inj.check(FaultSite::Propagate, "stable").is_ok());
+        let err = inj.check(FaultSite::Propagate, "flaky").unwrap_err();
+        assert!(matches!(err, StorageError::FaultInjected { .. }));
+        assert!(err.to_string().contains("flaky"));
+    }
+
+    #[test]
+    fn panic_fraction_panics_and_counts() {
+        let inj = FaultInjector::seeded(5).with_site(FaultSite::Propagate, 1.0, 1.0);
+        let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _ = inj.check(FaultSite::Propagate, "v");
+        }));
+        assert!(caught.is_err());
+        assert_eq!(inj.panics_injected(), 1);
+        // The injector survives its own panic (no poisoned internal lock).
+        inj.disarm();
+        assert!(inj.check(FaultSite::Propagate, "v").is_ok());
+    }
+
+    #[test]
+    fn clones_share_state() {
+        let a = FaultInjector::seeded(9)
+            .with_site(FaultSite::Scan, 1.0, 0.0)
+            .with_budget(1);
+        let b = a.clone();
+        assert!(b.check(FaultSite::Scan, "t").is_err());
+        assert!(a.check(FaultSite::Scan, "t").is_ok(), "budget is shared");
+        assert_eq!(a.faults_injected(), 1);
+        a.disarm();
+        assert!(!b.is_armed());
+    }
+}

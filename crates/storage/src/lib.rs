@@ -19,7 +19,11 @@
 //! * [`Delta`] — a *signed multiset* of rows (`Row → i64` multiplicity),
 //!   the exact algebraic object needed for bag-semantics change propagation,
 //!   convertible to/from the paper-facing `(ΔV, ∇V)` insert/delete split.
-//! * [`Catalog`] — a named collection of base tables.
+//! * [`Catalog`] — a named collection of base tables, carrying the engine's
+//!   [`FaultInjector`] handle.
+//! * [`FaultInjector`] — a deterministic, seeded fault-injection schedule
+//!   consulted by the exec and maintenance layers (chaos testing; disabled
+//!   and free by default).
 //!
 //! Nothing in this crate knows about plans, pivots, or maintenance — it is a
 //! deliberately small, fully tested foundation.
@@ -27,6 +31,7 @@
 pub mod catalog;
 pub mod delta;
 pub mod error;
+pub mod fault;
 pub mod row;
 pub mod schema;
 pub mod table;
@@ -35,6 +40,7 @@ pub mod value;
 pub use catalog::Catalog;
 pub use delta::{Delta, DeltaSplit};
 pub use error::{Result, StorageError};
+pub use fault::{FaultInjector, FaultSite};
 pub use row::Row;
 pub use schema::{DataType, Field, Schema, SchemaRef};
 pub use table::Table;

@@ -75,9 +75,10 @@ pub mod prelude {
     };
     pub use gpivot_exec::{Executor, Overlay, TableProvider};
     pub use gpivot_serve::{
-        EpochSummary, MetricsSnapshot, ServeConfig, Snapshot, ViewMetrics, ViewService,
+        EpochSummary, MetricsSnapshot, ServeConfig, Snapshot, ViewHealth, ViewMetrics, ViewService,
     };
     pub use gpivot_storage::{
-        row, Catalog, DataType, Delta, DeltaSplit, Field, Row, Schema, Table, Value,
+        row, Catalog, DataType, Delta, DeltaSplit, FaultInjector, FaultSite, Field, Row, Schema,
+        Table, Value,
     };
 }
