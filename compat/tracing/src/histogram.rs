@@ -1,0 +1,251 @@
+//! A fixed-layout log-scale duration histogram.
+//!
+//! Buckets are powers of two in nanoseconds: bucket `i` covers
+//! `[2^i, 2^(i+1))` ns (bucket 0 additionally absorbs 0 and 1 ns), the last
+//! bucket absorbs everything above `2^39` ns (~9 minutes). The layout is
+//! identical for every histogram, so merging is element-wise addition and
+//! snapshots are plain clones. Quantiles are bucket-resolution estimates:
+//! `quantile(q)` returns the upper bound of the bucket holding the rank-`q`
+//! sample, clamped to the true observed maximum — an estimate that is never
+//! below the true quantile's bucket and never above the observed max.
+
+use std::time::Duration;
+
+/// Number of power-of-two buckets. `2^(NBUCKETS-1)` ns ≈ 9.2 minutes.
+pub const NBUCKETS: usize = 40;
+
+/// A mergeable log₂-bucket timing histogram with exact count/total/min/max.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    count: u64,
+    total_ns: u128,
+    min_ns: u64,
+    max_ns: u64,
+    buckets: [u64; NBUCKETS],
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram {
+            count: 0,
+            total_ns: 0,
+            min_ns: u64::MAX,
+            max_ns: 0,
+            buckets: [0; NBUCKETS],
+        }
+    }
+}
+
+/// The bucket a sample of `ns` nanoseconds falls into.
+fn bucket_index(ns: u64) -> usize {
+    if ns <= 1 {
+        0
+    } else {
+        ((63 - ns.leading_zeros()) as usize).min(NBUCKETS - 1)
+    }
+}
+
+impl Histogram {
+    /// An empty histogram.
+    pub fn new() -> Self {
+        Histogram::default()
+    }
+
+    /// Record one sample.
+    pub fn record(&mut self, d: Duration) {
+        self.record_ns(u64::try_from(d.as_nanos()).unwrap_or(u64::MAX));
+    }
+
+    /// Record one sample given directly in nanoseconds.
+    pub fn record_ns(&mut self, ns: u64) {
+        self.count += 1;
+        self.total_ns += u128::from(ns);
+        self.min_ns = self.min_ns.min(ns);
+        self.max_ns = self.max_ns.max(ns);
+        self.buckets[bucket_index(ns)] += 1;
+    }
+
+    /// Fold another histogram into this one (same fixed layout).
+    pub fn merge(&mut self, other: &Histogram) {
+        self.count += other.count;
+        self.total_ns += other.total_ns;
+        self.min_ns = self.min_ns.min(other.min_ns);
+        self.max_ns = self.max_ns.max(other.max_ns);
+        for (b, o) in self.buckets.iter_mut().zip(&other.buckets) {
+            *b += o;
+        }
+    }
+
+    /// Number of recorded samples.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// True iff nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Sum of all samples.
+    pub fn total(&self) -> Duration {
+        duration_from_ns_u128(self.total_ns)
+    }
+
+    /// Smallest sample (zero if empty).
+    pub fn min(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            Duration::from_nanos(self.min_ns)
+        }
+    }
+
+    /// Largest sample (exact, not bucket-rounded).
+    pub fn max(&self) -> Duration {
+        Duration::from_nanos(self.max_ns)
+    }
+
+    /// Arithmetic mean (zero if empty).
+    pub fn mean(&self) -> Duration {
+        if self.count == 0 {
+            Duration::ZERO
+        } else {
+            duration_from_ns_u128(self.total_ns / u128::from(self.count))
+        }
+    }
+
+    /// Bucket-resolution quantile estimate: the upper bound of the bucket
+    /// containing the sample of rank `ceil(q·count)`, clamped to the
+    /// observed maximum. Zero if empty; `q` is clamped to `[0, 1]`.
+    pub fn quantile(&self, q: f64) -> Duration {
+        if self.count == 0 {
+            return Duration::ZERO;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = ((q * self.count as f64).ceil() as u64).clamp(1, self.count);
+        let mut seen = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= rank {
+                let upper = if i + 1 >= 64 {
+                    u64::MAX
+                } else {
+                    1u64 << (i + 1)
+                };
+                return Duration::from_nanos(upper.min(self.max_ns));
+            }
+        }
+        Duration::from_nanos(self.max_ns)
+    }
+
+    /// Median estimate.
+    pub fn p50(&self) -> Duration {
+        self.quantile(0.50)
+    }
+
+    /// 95th-percentile estimate.
+    pub fn p95(&self) -> Duration {
+        self.quantile(0.95)
+    }
+
+    /// Cumulative buckets as `(upper_bound, cumulative_count)` pairs,
+    /// trimmed after the last non-empty bucket — the shape a
+    /// Prometheus-style `_bucket{le=...}` exposition wants. Empty histograms
+    /// yield no pairs.
+    pub fn cumulative_buckets(&self) -> Vec<(Duration, u64)> {
+        let last = match self.buckets.iter().rposition(|&b| b > 0) {
+            Some(i) => i,
+            None => return Vec::new(),
+        };
+        let mut out = Vec::with_capacity(last + 1);
+        let mut cum = 0u64;
+        for (i, &b) in self.buckets.iter().enumerate().take(last + 1) {
+            cum += b;
+            out.push((Duration::from_nanos(1u64 << (i + 1)), cum));
+        }
+        out
+    }
+}
+
+/// Saturating `u128`-nanosecond → `Duration` conversion.
+fn duration_from_ns_u128(ns: u128) -> Duration {
+    u64::try_from(ns)
+        .map(Duration::from_nanos)
+        .unwrap_or(Duration::MAX)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bucket_indexing_is_log2() {
+        assert_eq!(bucket_index(0), 0);
+        assert_eq!(bucket_index(1), 0);
+        assert_eq!(bucket_index(2), 1);
+        assert_eq!(bucket_index(3), 1);
+        assert_eq!(bucket_index(4), 2);
+        assert_eq!(bucket_index(1 << 39), NBUCKETS - 1);
+        assert_eq!(bucket_index(u64::MAX), NBUCKETS - 1);
+    }
+
+    #[test]
+    fn exact_stats_and_quantile_bounds() {
+        let mut h = Histogram::new();
+        for ns in [100u64, 200, 300, 400, 100_000] {
+            h.record_ns(ns);
+        }
+        assert_eq!(h.count(), 5);
+        assert_eq!(h.total(), Duration::from_nanos(101_000));
+        assert_eq!(h.min(), Duration::from_nanos(100));
+        assert_eq!(h.max(), Duration::from_nanos(100_000));
+        assert_eq!(h.mean(), Duration::from_nanos(20_200));
+        // p50 lands in the [256, 512) bucket → upper bound 512 ns.
+        assert_eq!(h.p50(), Duration::from_nanos(512));
+        // p95 is the outlier's bucket, clamped to the exact max.
+        assert_eq!(h.p95(), Duration::from_nanos(100_000));
+        // Quantile is never below the sample's bucket lower bound and never
+        // above the max.
+        assert!(h.quantile(1.0) <= h.max());
+        assert!(h.quantile(0.0) >= Duration::from_nanos(128));
+    }
+
+    #[test]
+    fn empty_histogram_is_all_zero() {
+        let h = Histogram::new();
+        assert!(h.is_empty());
+        assert_eq!(h.p50(), Duration::ZERO);
+        assert_eq!(h.max(), Duration::ZERO);
+        assert_eq!(h.min(), Duration::ZERO);
+        assert_eq!(h.mean(), Duration::ZERO);
+        assert!(h.cumulative_buckets().is_empty());
+    }
+
+    #[test]
+    fn merge_is_elementwise() {
+        let mut a = Histogram::new();
+        a.record_ns(10);
+        a.record_ns(1_000);
+        let mut b = Histogram::new();
+        b.record_ns(5);
+        b.record_ns(100_000);
+        a.merge(&b);
+        assert_eq!(a.count(), 4);
+        assert_eq!(a.min(), Duration::from_nanos(5));
+        assert_eq!(a.max(), Duration::from_nanos(100_000));
+        assert_eq!(a.total(), Duration::from_nanos(101_015));
+    }
+
+    #[test]
+    fn cumulative_buckets_monotone_and_complete() {
+        let mut h = Histogram::new();
+        for ns in [3u64, 3, 70, 5_000] {
+            h.record_ns(ns);
+        }
+        let buckets = h.cumulative_buckets();
+        assert!(buckets
+            .windows(2)
+            .all(|w| w[0].1 <= w[1].1 && w[0].0 < w[1].0));
+        assert_eq!(buckets.last().unwrap().1, h.count());
+    }
+}

@@ -1,0 +1,391 @@
+//! # tracing (offline stand-in)
+//!
+//! A dependency-free subset of span/event tracing for this workspace: RAII
+//! [`Span`]s with wall-clock timing, named [`event`]s, and pluggable
+//! [`Collector`]s. Unlike the real `tracing` crate there are no levels,
+//! no structured fields, and no `Subscriber` registry — a collector is
+//! either installed **globally** ([`set_global_collector`], for binaries)
+//! or **scoped to the current thread** ([`with_collector`] /
+//! [`push_collector`], for libraries and tests that must stay isolated
+//! from each other, e.g. parallel `cargo test` threads).
+//!
+//! Resolution order: innermost scoped collector first, then the global
+//! one. With no collector installed, spans cost one thread-local read and
+//! never call `Instant::now` — the instrumented hot paths stay free.
+//!
+//! The built-in [`TimingSubscriber`] is a thread-safe collector that folds
+//! every closed span into a per-name [`Histogram`] (p50/p95/max over
+//! wall-clock time) and counts events by name — the backing store for the
+//! serve layer's phase/operator timing metrics.
+
+mod histogram;
+
+pub use histogram::{Histogram, NBUCKETS};
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::marker::PhantomData;
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
+use std::time::{Duration, Instant};
+
+/// Receives closed spans and events. Implementations must be thread-safe:
+/// one collector instance may receive spans from many threads at once.
+pub trait Collector: Send + Sync + 'static {
+    /// A span finished: `name` is its static label, `depth` how many
+    /// enclosing spans were open *on the same thread* when it started
+    /// (0 = top level), `elapsed` its wall-clock duration.
+    fn span_closed(&self, name: &'static str, depth: usize, elapsed: Duration);
+
+    /// A point event fired inside the current span context.
+    fn event(&self, name: &'static str, message: &str) {
+        let _ = (name, message);
+    }
+}
+
+thread_local! {
+    /// Innermost-last stack of scoped collectors for this thread.
+    static SCOPED: RefCell<Vec<Arc<dyn Collector>>> = const { RefCell::new(Vec::new()) };
+    /// Open-span nesting depth on this thread (only maintained while a
+    /// collector is installed).
+    static DEPTH: Cell<usize> = const { Cell::new(0) };
+}
+
+static GLOBAL: OnceLock<Arc<dyn Collector>> = OnceLock::new();
+
+/// Install a process-wide fallback collector. Returns `false` if one was
+/// already installed (the first installation wins, like `tracing`'s global
+/// default dispatcher).
+pub fn set_global_collector(c: Arc<dyn Collector>) -> bool {
+    GLOBAL.set(c).is_ok()
+}
+
+/// The collector spans on this thread should report to, if any.
+fn current() -> Option<Arc<dyn Collector>> {
+    let scoped = SCOPED.with(|s| s.borrow().last().cloned());
+    scoped.or_else(|| GLOBAL.get().cloned())
+}
+
+/// Make `c` the current thread's collector until the returned guard drops.
+/// Guards nest (innermost wins) and must drop in reverse creation order,
+/// which scope-based usage guarantees.
+pub fn push_collector(c: Arc<dyn Collector>) -> CollectorGuard {
+    SCOPED.with(|s| s.borrow_mut().push(c));
+    CollectorGuard {
+        _not_send: PhantomData,
+    }
+}
+
+/// Run `f` with `c` as the current thread's collector.
+pub fn with_collector<R>(c: Arc<dyn Collector>, f: impl FnOnce() -> R) -> R {
+    let _guard = push_collector(c);
+    f()
+}
+
+/// Scope guard returned by [`push_collector`].
+#[must_use = "dropping the guard immediately uninstalls the collector"]
+pub struct CollectorGuard {
+    // Thread-local bookkeeping: the guard must drop on the thread that
+    // created it.
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for CollectorGuard {
+    fn drop(&mut self) {
+        SCOPED.with(|s| {
+            s.borrow_mut().pop();
+        });
+    }
+}
+
+/// Start a span. The span only begins timing when [`Span::enter`] is
+/// called; a never-entered span reports nothing.
+pub fn span(name: &'static str) -> Span {
+    Span {
+        name,
+        collector: current(),
+    }
+}
+
+/// A named unit of timed work. Cheap to create when no collector is
+/// installed (no clock read, nothing reported on drop).
+pub struct Span {
+    name: &'static str,
+    collector: Option<Arc<dyn Collector>>,
+}
+
+impl Span {
+    /// Enter the span, returning the RAII guard that reports the span's
+    /// wall-clock duration to the collector when dropped.
+    pub fn enter(self) -> Entered {
+        let timing = self.collector.map(|c| {
+            let depth = DEPTH.with(|d| {
+                let depth = d.get();
+                d.set(depth + 1);
+                depth
+            });
+            (c, depth, Instant::now())
+        });
+        Entered {
+            name: self.name,
+            timing,
+            _not_send: PhantomData,
+        }
+    }
+}
+
+/// An entered span; closes (and reports) on drop.
+#[must_use = "dropping the guard immediately closes the span"]
+pub struct Entered {
+    name: &'static str,
+    timing: Option<(Arc<dyn Collector>, usize, Instant)>,
+    // Depth bookkeeping is thread-local: the guard must not cross threads.
+    _not_send: PhantomData<*const ()>,
+}
+
+impl Drop for Entered {
+    fn drop(&mut self) {
+        if let Some((collector, depth, start)) = self.timing.take() {
+            DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+            collector.span_closed(self.name, depth, start.elapsed());
+        }
+    }
+}
+
+/// Fire a point event at the current collector (no-op without one).
+pub fn event(name: &'static str, message: &str) {
+    if let Some(c) = current() {
+        c.event(name, message);
+    }
+}
+
+/// A thread-safe [`Collector`] that aggregates span durations into one
+/// [`Histogram`] per span name and counts events per event name.
+#[derive(Debug, Default)]
+pub struct TimingSubscriber {
+    spans: Mutex<BTreeMap<&'static str, Histogram>>,
+    events: Mutex<BTreeMap<&'static str, u64>>,
+}
+
+impl TimingSubscriber {
+    /// An empty subscriber.
+    pub fn new() -> Self {
+        TimingSubscriber::default()
+    }
+
+    /// An empty subscriber, ready to be installed as a collector.
+    pub fn shared() -> Arc<Self> {
+        Arc::new(TimingSubscriber::new())
+    }
+
+    /// Record a duration directly, without going through a span — for
+    /// callers that already measured an interval and want it in the same
+    /// histogram store (e.g. an epoch's end-to-end wall clock).
+    pub fn record(&self, name: &'static str, elapsed: Duration) {
+        self.spans
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entry(name)
+            .or_default()
+            .record(elapsed);
+    }
+
+    /// Snapshot of one span name's histogram, if any span closed under it.
+    pub fn histogram(&self, name: &str) -> Option<Histogram> {
+        self.spans
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(name)
+            .cloned()
+    }
+
+    /// Snapshot of every histogram, keyed by span name.
+    pub fn histograms(&self) -> BTreeMap<String, Histogram> {
+        self.spans
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.clone()))
+            .collect()
+    }
+
+    /// How many events fired under `name`.
+    pub fn event_count(&self, name: &str) -> u64 {
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(name)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Snapshot of every event counter, keyed by event name.
+    pub fn event_counts(&self) -> BTreeMap<String, u64> {
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .iter()
+            .map(|(k, v)| (k.to_string(), *v))
+            .collect()
+    }
+
+    /// Drop all collected data.
+    pub fn reset(&self) {
+        self.spans
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
+        self.events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .clear();
+    }
+}
+
+impl Collector for TimingSubscriber {
+    fn span_closed(&self, name: &'static str, _depth: usize, elapsed: Duration) {
+        self.record(name, elapsed);
+    }
+
+    fn event(&self, name: &'static str, _message: &str) {
+        *self
+            .events
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .entry(name)
+            .or_default() += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Collector recording (name, depth) close order for nesting tests.
+    #[derive(Default)]
+    struct Recorder {
+        closed: Mutex<Vec<(&'static str, usize, Duration)>>,
+    }
+
+    impl Collector for Recorder {
+        fn span_closed(&self, name: &'static str, depth: usize, elapsed: Duration) {
+            self.closed.lock().unwrap().push((name, depth, elapsed));
+        }
+    }
+
+    #[test]
+    fn spans_without_collector_are_free_noops() {
+        let _e = span("nobody.listens").enter();
+        event("nobody.listens.event", "dropped");
+        // Depth bookkeeping untouched.
+        DEPTH.with(|d| assert_eq!(d.get(), 0));
+    }
+
+    #[test]
+    fn span_nesting_reports_depths_and_innermost_closes_first() {
+        let rec = Arc::new(Recorder::default());
+        with_collector(rec.clone(), || {
+            let _outer = span("outer").enter();
+            {
+                let _mid = span("mid").enter();
+                let _inner = span("inner").enter();
+            }
+            let _sibling = span("sibling").enter();
+        });
+        let closed = rec.closed.lock().unwrap();
+        let order: Vec<(&str, usize)> = closed.iter().map(|(n, d, _)| (*n, *d)).collect();
+        assert_eq!(
+            order,
+            vec![("inner", 2), ("mid", 1), ("sibling", 1), ("outer", 0)]
+        );
+        // After the scope, depth is back to zero.
+        DEPTH.with(|d| assert_eq!(d.get(), 0));
+    }
+
+    #[test]
+    fn timing_is_monotone_outer_covers_inner() {
+        let rec = Arc::new(Recorder::default());
+        with_collector(rec.clone(), || {
+            let _outer = span("outer").enter();
+            let _inner = span("inner").enter();
+            std::thread::sleep(Duration::from_millis(2));
+        });
+        let closed = rec.closed.lock().unwrap();
+        let inner = closed.iter().find(|(n, _, _)| *n == "inner").unwrap().2;
+        let outer = closed.iter().find(|(n, _, _)| *n == "outer").unwrap().2;
+        assert!(inner >= Duration::from_millis(2));
+        assert!(outer >= inner, "outer {outer:?} must cover inner {inner:?}");
+    }
+
+    #[test]
+    fn scoped_collectors_isolate_concurrent_threads() {
+        // Two "epochs" on two worker threads, each with its own subscriber:
+        // neither sees the other's spans — the property parallel tests and
+        // parallel ViewService instances rely on.
+        let subs: Vec<Arc<TimingSubscriber>> = (0..2).map(|_| TimingSubscriber::shared()).collect();
+        std::thread::scope(|s| {
+            for (i, sub) in subs.iter().enumerate() {
+                let sub = Arc::clone(sub);
+                s.spawn(move || {
+                    with_collector(sub, || {
+                        for _ in 0..=i {
+                            let _e = span("epoch").enter();
+                        }
+                    });
+                });
+            }
+        });
+        assert_eq!(subs[0].histogram("epoch").unwrap().count(), 1);
+        assert_eq!(subs[1].histogram("epoch").unwrap().count(), 2);
+    }
+
+    #[test]
+    fn one_subscriber_sums_across_worker_threads() {
+        let sub = TimingSubscriber::shared();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                let sub = Arc::clone(&sub);
+                s.spawn(move || {
+                    with_collector(sub, || {
+                        for _ in 0..25 {
+                            let _e = span("view.attempt").enter();
+                        }
+                        event("view.retry", "worker retried");
+                    });
+                });
+            }
+        });
+        let h = sub.histogram("view.attempt").unwrap();
+        assert_eq!(h.count(), 100);
+        assert!(h.max() >= h.p50());
+        assert_eq!(sub.event_count("view.retry"), 4);
+    }
+
+    #[test]
+    fn inner_scoped_collector_shadows_outer() {
+        let outer = TimingSubscriber::shared();
+        let inner = TimingSubscriber::shared();
+        with_collector(outer.clone(), || {
+            let _a = span("a").enter();
+            with_collector(inner.clone(), || {
+                let _b = span("b").enter();
+            });
+            let _c = span("c").enter();
+        });
+        assert!(outer.histogram("a").is_some());
+        assert!(outer.histogram("c").is_some());
+        assert!(outer.histogram("b").is_none());
+        assert_eq!(inner.histogram("b").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn direct_record_shares_the_span_store() {
+        let sub = TimingSubscriber::new();
+        sub.record("epoch", Duration::from_millis(7));
+        sub.record("epoch", Duration::from_millis(9));
+        let h = sub.histogram("epoch").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.total(), Duration::from_millis(16));
+        sub.reset();
+        assert!(sub.histogram("epoch").is_none());
+    }
+}

@@ -38,12 +38,21 @@ impl SchemaProvider for BTreeMap<String, SchemaRef> {
 
 impl Plan {
     /// Derive the output schema (fields + key) of this plan.
+    ///
+    /// The whole derivation runs under one `compile.schema_infer` tracing
+    /// span (the recursion over subtrees is internal, so a plan tree is
+    /// one span, not one per operator).
     pub fn schema<P: SchemaProvider>(&self, provider: &P) -> Result<SchemaRef> {
+        let _s = tracing::span("compile.schema_infer").enter();
+        self.schema_rec(provider)
+    }
+
+    fn schema_rec<P: SchemaProvider>(&self, provider: &P) -> Result<SchemaRef> {
         match self {
             Plan::Scan { table } => provider.base_schema(table),
 
             Plan::Select { input, predicate } => {
-                let schema = input.schema(provider)?;
+                let schema = input.schema_rec(provider)?;
                 // Validate the predicate binds.
                 predicate
                     .bind(&schema)
@@ -52,7 +61,7 @@ impl Plan {
             }
 
             Plan::Project { input, items } => {
-                let in_schema = input.schema(provider)?;
+                let in_schema = input.schema_rec(provider)?;
                 derive_project(&in_schema, items)
             }
 
@@ -63,8 +72,8 @@ impl Plan {
                 on,
                 residual,
             } => {
-                let ls = left.schema(provider)?;
-                let rs = right.schema(provider)?;
+                let ls = left.schema_rec(provider)?;
+                let rs = right.schema_rec(provider)?;
                 derive_join(&ls, &rs, *kind, on, residual.as_ref())
             }
 
@@ -73,13 +82,13 @@ impl Plan {
                 group_by,
                 aggs,
             } => {
-                let in_schema = input.schema(provider)?;
+                let in_schema = input.schema_rec(provider)?;
                 derive_group_by(&in_schema, group_by, aggs)
             }
 
             Plan::Union { left, right } => {
-                let ls = left.schema(provider)?;
-                let rs = right.schema(provider)?;
+                let ls = left.schema_rec(provider)?;
+                let rs = right.schema_rec(provider)?;
                 check_same_shape(&ls, &rs)?;
                 // Bag union may create duplicates: the key is lost.
                 let mut s = (*ls).clone();
@@ -88,20 +97,20 @@ impl Plan {
             }
 
             Plan::Diff { left, right } => {
-                let ls = left.schema(provider)?;
-                let rs = right.schema(provider)?;
+                let ls = left.schema_rec(provider)?;
+                let rs = right.schema_rec(provider)?;
                 check_same_shape(&ls, &rs)?;
                 // A sub-bag of a keyed bag keeps the key.
                 Ok(ls)
             }
 
             Plan::GPivot { input, spec } => {
-                let in_schema = input.schema(provider)?;
+                let in_schema = input.schema_rec(provider)?;
                 derive_gpivot(&in_schema, spec)
             }
 
             Plan::GUnpivot { input, spec } => {
-                let in_schema = input.schema(provider)?;
+                let in_schema = input.schema_rec(provider)?;
                 derive_gunpivot(&in_schema, spec)
             }
         }

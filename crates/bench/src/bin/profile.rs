@@ -1,0 +1,242 @@
+//! Per-phase maintenance profile over the paper's three evaluation views.
+//!
+//! For each view family × workload (insert-new-rows and delete), runs the
+//! view's best incremental strategy and full recomputation through the
+//! complete refresh cycle (propagate + apply + stage + commit) with a
+//! [`tracing::TimingSubscriber`] installed, and emits one JSON document
+//! with per-phase p50/p95/max wall-clock timings and the
+//! incremental-vs-recompute speedup.
+//!
+//! ```text
+//! profile [--smoke] [--out PATH] [--scale SF] [--repeats N]
+//!
+//!   --smoke    tiny data + few repeats (CI gate: seconds, not minutes)
+//!   --out      output path (default BENCH_pr3.json)
+//!   --scale    override the generator scale factor
+//!   --repeats  override timed runs per cell (median reported)
+//! ```
+
+use gpivot_bench::{bench_catalog, Workload};
+use gpivot_core::{SourceDeltas, Strategy, ViewManager};
+use gpivot_storage::Catalog;
+use gpivot_tpch::views;
+use std::fmt::Write as _;
+use std::time::{Duration, Instant};
+use tracing::TimingSubscriber;
+
+/// One view family: the paper's evaluation views with their best
+/// incremental strategy (the one each figure shows winning).
+struct Family {
+    name: &'static str,
+    plan: fn() -> gpivot_algebra::Plan,
+    incremental: Strategy,
+}
+
+const FAMILIES: [Family; 3] = [
+    Family {
+        name: "view1",
+        plan: views::view1,
+        incremental: Strategy::PivotUpdate,
+    },
+    Family {
+        name: "view2",
+        plan: view2_plan,
+        incremental: Strategy::SelectPivotUpdate,
+    },
+    Family {
+        name: "view3",
+        plan: views::view3,
+        incremental: Strategy::GroupPivotUpdate,
+    },
+];
+
+fn view2_plan() -> gpivot_algebra::Plan {
+    views::view2(views::VIEW2_THRESHOLD)
+}
+
+/// The phase spans the maintenance layer emits, in refresh-cycle order.
+const PHASES: [&str; 4] = [
+    "maintain.propagate",
+    "maintain.apply",
+    "maintain.stage",
+    "maintain.commit",
+];
+
+fn main() {
+    let mut smoke = false;
+    let mut out_path = String::from("BENCH_pr3.json");
+    let mut scale: Option<f64> = None;
+    let mut repeats: Option<usize> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--smoke" => smoke = true,
+            "--out" => out_path = args.next().unwrap_or_else(|| die("--out needs a path")),
+            "--scale" => {
+                scale = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--scale needs a number")),
+                );
+            }
+            "--repeats" => {
+                repeats = Some(
+                    args.next()
+                        .and_then(|v| v.parse().ok())
+                        .unwrap_or_else(|| die("--repeats needs an integer")),
+                );
+            }
+            "--help" | "-h" => {
+                println!("usage: profile [--smoke] [--out PATH] [--scale SF] [--repeats N]");
+                return;
+            }
+            other => die(&format!("unknown argument `{other}`")),
+        }
+    }
+    let scale = scale.unwrap_or(if smoke { 0.02 } else { 0.2 });
+    let repeats = repeats.unwrap_or(if smoke { 2 } else { 5 });
+    let fraction = 0.01;
+
+    eprintln!("generating TPC-H-shaped data at scale {scale} ...");
+    let catalog = bench_catalog(scale);
+    eprintln!(
+        "  lineitem: {} rows; {} repeats per cell, delta fraction {fraction}",
+        catalog.table("lineitem").map(|t| t.len()).unwrap_or(0),
+        repeats,
+    );
+
+    let mut results = String::new();
+    let mut first = true;
+    for family in &FAMILIES {
+        for (workload, wl_name) in [
+            (Workload::InsertNew, "insert"),
+            (Workload::Delete, "delete"),
+        ] {
+            let deltas = workload.deltas(&catalog, fraction, 0xBEEF);
+            eprintln!(
+                "profiling {} / {wl_name} ({} delta rows) ...",
+                family.name,
+                deltas.total_changes()
+            );
+            let inc = run_cell(&catalog, family, family.incremental, &deltas, repeats);
+            let rec = run_cell(&catalog, family, Strategy::Recompute, &deltas, repeats);
+            let speedup = if inc.median.as_secs_f64() > 0.0 {
+                rec.median.as_secs_f64() / inc.median.as_secs_f64()
+            } else {
+                f64::MAX
+            };
+            eprintln!(
+                "  incremental {:.3}ms vs recompute {:.3}ms -> {speedup:.2}x",
+                ms(inc.median),
+                ms(rec.median)
+            );
+
+            if !first {
+                results.push_str(",\n");
+            }
+            first = false;
+            let _ = write!(
+                results,
+                "    {{\n      \"view\": \"{}\",\n      \"workload\": \"{wl_name}\",\n      \
+                 \"strategy\": \"{}\",\n      \"delta_rows\": {},\n      \
+                 \"incremental_ms\": {:.4},\n      \"recompute_ms\": {:.4},\n      \
+                 \"speedup\": {:.4},\n      \"phases\": {{\n{}\n      }}\n    }}",
+                family.name,
+                family.incremental.id(),
+                deltas.total_changes(),
+                ms(inc.median),
+                ms(rec.median),
+                speedup,
+                phases_json(&inc.timings),
+            );
+        }
+    }
+
+    let doc = format!(
+        "{{\n  \"bench\": \"pr3_profile\",\n  \"mode\": \"{}\",\n  \"scale\": {scale},\n  \
+         \"fraction\": {fraction},\n  \"repeats\": {repeats},\n  \"results\": [\n{results}\n  ]\n}}\n",
+        if smoke { "smoke" } else { "full" },
+    );
+    std::fs::write(&out_path, &doc).unwrap_or_else(|e| die(&format!("write {out_path}: {e}")));
+    eprintln!("wrote {out_path}");
+}
+
+/// Median refresh-cycle time plus the phase timings of one strategy cell.
+struct Cell {
+    median: Duration,
+    timings: std::sync::Arc<TimingSubscriber>,
+}
+
+/// Run `repeats` full refresh cycles (maintain + stage + commit) of one
+/// view/strategy against pristine clones, collecting phase spans.
+fn run_cell(
+    catalog: &Catalog,
+    family: &Family,
+    strategy: Strategy,
+    deltas: &SourceDeltas,
+    repeats: usize,
+) -> Cell {
+    let mut mgr = ViewManager::new(catalog.clone());
+    mgr.create_view_with("v", (family.plan)(), strategy)
+        .unwrap_or_else(|e| die(&format!("compile {}/{strategy}: {e}", family.name)));
+    let timings = TimingSubscriber::shared();
+    let mut times: Vec<Duration> = Vec::with_capacity(repeats);
+    for _ in 0..repeats.max(1) {
+        // Each repeat starts from the pristine pre-state (manager clone),
+        // so runs are independent and the phase samples comparable.
+        let mut m = mgr.clone();
+        let took = tracing::with_collector(timings.clone(), || {
+            let t0 = Instant::now();
+            m.maintain_view("v", deltas)
+                .unwrap_or_else(|e| die(&format!("maintain {}/{strategy}: {e}", family.name)));
+            let staged = m
+                .stage_commit(deltas)
+                .unwrap_or_else(|e| die(&format!("stage {}/{strategy}: {e}", family.name)));
+            m.apply_staged(staged);
+            t0.elapsed()
+        });
+        times.push(took);
+    }
+    times.sort();
+    Cell {
+        median: times[times.len() / 2],
+        timings,
+    }
+}
+
+/// The `"phases"` JSON object body: one entry per maintenance phase with
+/// count and p50/p95/max/total in milliseconds.
+fn phases_json(sub: &TimingSubscriber) -> String {
+    let mut out = String::new();
+    let mut first = true;
+    for phase in PHASES {
+        let Some(h) = sub.histogram(phase) else {
+            continue;
+        };
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "        \"{phase}\": {{\"count\": {}, \"p50_ms\": {:.4}, \"p95_ms\": {:.4}, \
+             \"max_ms\": {:.4}, \"total_ms\": {:.4}}}",
+            h.count(),
+            ms(h.p50()),
+            ms(h.p95()),
+            ms(h.max()),
+            ms(h.total()),
+        );
+    }
+    out
+}
+
+fn ms(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e3
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1)
+}

@@ -133,7 +133,34 @@ impl MaterializedView {
         catalog: &Catalog,
     ) -> Result<Self> {
         let name = name.into();
-        let (normalized, group_info) = match strategy {
+        let _compile = tracing::span("compile.view").enter();
+        let (normalized, group_info) = {
+            let _s = tracing::span("compile.normalize").enter();
+            Self::compile(&definition, strategy, catalog)?
+        };
+        let table = {
+            let _s = tracing::span("compile.materialize").enter();
+            materialize(&normalized.plan, catalog)?
+        };
+        Ok(MaterializedView {
+            name,
+            definition,
+            strategy,
+            normalized,
+            group_info,
+            table,
+        })
+    }
+
+    /// The normalize + shape-check half of [`MaterializedView::create`]:
+    /// produce the maintenance form for `strategy`, or explain why the
+    /// strategy does not apply.
+    fn compile(
+        definition: &Plan,
+        strategy: Strategy,
+        catalog: &Catalog,
+    ) -> Result<(NormalizedView, Option<GroupPivotInfo>)> {
+        let out = match strategy {
             Strategy::Recompute | Strategy::InsertDelete => {
                 // Maintain the original tree directly.
                 let schema = definition.schema(catalog)?;
@@ -158,7 +185,7 @@ impl MaterializedView {
                 )
             }
             Strategy::PivotUpdate => {
-                let nv = normalize_view(&definition, catalog)?;
+                let nv = normalize_view(definition, catalog)?;
                 match nv.shape {
                     TopShape::PivotTop { .. } => (nv, None),
                     ref s => {
@@ -170,7 +197,7 @@ impl MaterializedView {
                 }
             }
             Strategy::SelectPushdownUpdate => {
-                let nv = normalize_view_with_select_pushdown(&definition, catalog)?;
+                let nv = normalize_view_with_select_pushdown(definition, catalog)?;
                 match nv.shape {
                     TopShape::PivotTop { .. } => (nv, None),
                     ref s => {
@@ -182,7 +209,7 @@ impl MaterializedView {
                 }
             }
             Strategy::SelectPivotUpdate => {
-                let nv = normalize_view(&definition, catalog)?;
+                let nv = normalize_view(definition, catalog)?;
                 match &nv.shape {
                     TopShape::SelectOverPivot { predicate, .. } => {
                         if !predicate.is_null_intolerant() {
@@ -202,7 +229,7 @@ impl MaterializedView {
                 }
             }
             Strategy::GroupPivotUpdate => {
-                let mut nv = normalize_view(&definition, catalog)?;
+                let mut nv = normalize_view(definition, catalog)?;
                 if !matches!(nv.shape, TopShape::PivotOverGroupBy { .. }) {
                     return Err(CoreError::StrategyNotApplicable {
                         strategy: strategy.id().into(),
@@ -229,7 +256,7 @@ impl MaterializedView {
                 (nv, Some(info))
             }
             Strategy::GroupByInsDel => {
-                let nv = normalize_view(&definition, catalog)?;
+                let nv = normalize_view(definition, catalog)?;
                 if !matches!(nv.shape, TopShape::PivotOverGroupBy { .. }) {
                     return Err(CoreError::StrategyNotApplicable {
                         strategy: strategy.id().into(),
@@ -239,15 +266,7 @@ impl MaterializedView {
                 (nv, None)
             }
         };
-        let table = materialize(&normalized.plan, catalog)?;
-        Ok(MaterializedView {
-            name,
-            definition,
-            strategy,
-            normalized,
-            group_info,
-            table,
-        })
+        Ok(out)
     }
 
     /// View name.
@@ -356,9 +375,13 @@ impl MaterializedView {
                         }
                     }
                 }
-                let (bag, trace) = Executor::execute_traced(&self.normalized.plan, &overlay)?;
+                let (bag, trace) = {
+                    let _s = tracing::span("maintain.propagate").enter();
+                    Executor::execute_traced(&self.normalized.plan, &overlay)?
+                };
                 outcome.rows_propagated = trace.total_rows();
                 check_apply(catalog)?;
+                let _a = tracing::span("maintain.apply").enter();
                 self.table = if bag.schema().has_key() {
                     Table::from_rows(bag.schema().clone(), bag.rows().to_vec())?
                 } else {
@@ -367,8 +390,12 @@ impl MaterializedView {
                 outcome.stats.inserted = self.table.len();
             }
             Strategy::InsertDelete => {
-                let d = propagate(&self.normalized.plan, &ctx)?;
+                let d = {
+                    let _s = tracing::span("maintain.propagate").enter();
+                    propagate(&self.normalized.plan, &ctx)?
+                };
                 check_apply(catalog)?;
+                let _a = tracing::span("maintain.apply").enter();
                 outcome.delta_rows = d.distinct_len();
                 for (_, &w) in d.iter() {
                     if w > 0 {
@@ -386,8 +413,12 @@ impl MaterializedView {
                         reason: "normalized plan lost its top pivot".into(),
                     });
                 };
-                let dcore = propagate(core, &ctx)?;
+                let dcore = {
+                    let _s = tracing::span("maintain.propagate").enter();
+                    propagate(core, &ctx)?
+                };
                 check_apply(catalog)?;
+                let _a = tracing::span("maintain.apply").enter();
                 outcome.delta_rows = dcore.distinct_len();
                 let core_schema = core.schema(catalog)?;
                 outcome.stats = apply_pivot_update(&mut self.table, spec, &core_schema, &dcore)?;
@@ -405,8 +436,12 @@ impl MaterializedView {
                         reason: "normalized plan lost its pivot".into(),
                     });
                 };
-                let dcore = propagate(core, &ctx)?;
+                let dcore = {
+                    let _s = tracing::span("maintain.propagate").enter();
+                    propagate(core, &ctx)?
+                };
                 check_apply(catalog)?;
+                let _a = tracing::span("maintain.apply").enter();
                 outcome.delta_rows = dcore.distinct_len();
                 outcome.stats = apply_select_pivot_update(
                     &mut self.table,
@@ -430,8 +465,12 @@ impl MaterializedView {
                         reason: "normalized plan lost its group-by".into(),
                     });
                 };
-                let dcore = propagate(core, &ctx)?;
+                let dcore = {
+                    let _s = tracing::span("maintain.propagate").enter();
+                    propagate(core, &ctx)?
+                };
                 check_apply(catalog)?;
+                let _a = tracing::span("maintain.apply").enter();
                 outcome.delta_rows = dcore.distinct_len();
                 let core_schema = core.schema(catalog)?;
                 let info =
@@ -453,8 +492,12 @@ impl MaterializedView {
                 };
                 // Insert/delete propagation through the GROUPBY (affected
                 // group recomputation), then Fig. 23 MERGE at the pivot.
-                let dgb = propagate(gb, &ctx)?;
+                let dgb = {
+                    let _s = tracing::span("maintain.propagate").enter();
+                    propagate(gb, &ctx)?
+                };
                 check_apply(catalog)?;
+                let _a = tracing::span("maintain.apply").enter();
                 outcome.delta_rows = dgb.distinct_len();
                 let gb_schema = gb.schema(catalog)?;
                 outcome.stats = apply_pivot_update(&mut self.table, spec, &gb_schema, &dgb)?;
@@ -645,6 +688,7 @@ impl ViewManager {
     /// [`ViewManager::stage_commit`] / [`ViewManager::apply_staged`] pair
     /// instead.
     pub fn commit(&mut self, deltas: &SourceDeltas) -> Result<()> {
+        let _s = tracing::span("maintain.commit").enter();
         for t in deltas.tables() {
             let d = deltas.delta(t).expect("listed table has a delta");
             self.catalog.apply_delta(t, d)?;
@@ -656,6 +700,7 @@ impl ViewManager {
     /// table without mutating anything. All key violations and injected
     /// commit faults surface here, while the catalog is still untouched.
     pub fn stage_commit(&self, deltas: &SourceDeltas) -> Result<Vec<(String, Table)>> {
+        let _s = tracing::span("maintain.stage").enter();
         let mut staged = Vec::new();
         for t in deltas.tables() {
             let d = deltas.delta(t).expect("listed table has a delta");
@@ -669,6 +714,7 @@ impl ViewManager {
     /// holding a write lock commits all tables or (by never reaching this
     /// call) none.
     pub fn apply_staged(&mut self, staged: Vec<(String, Table)>) {
+        let _s = tracing::span("maintain.commit").enter();
         for (name, table) in staged {
             self.catalog.replace(name, table);
         }

@@ -96,14 +96,20 @@ impl Executor {
         trace: &mut Option<ExecTrace>,
     ) -> Result<Table> {
         let schemas = ProviderSchemas(provider);
+        // Each operator's kernel work runs under an `op.*` span entered
+        // only after its children have been evaluated, so the recorded
+        // durations are per-operator self-times, not inclusive subtree
+        // times (see DESIGN.md §"Observability").
         let result: Result<Table> = match plan {
             Plan::Scan { table } => {
+                let _s = tracing::span("op.Scan").enter();
                 let t = provider.get_table(table)?;
                 Ok(Table::bag(t.schema().clone(), t.rows().to_vec()))
             }
 
             Plan::Select { input, predicate } => {
                 let child = Self::execute_impl(input, provider, depth + 1, trace)?;
+                let _s = tracing::span("op.Select").enter();
                 let bound = predicate.bind(child.schema())?;
                 let rows = child
                     .rows()
@@ -116,6 +122,7 @@ impl Executor {
 
             Plan::Project { input, items } => {
                 let child = Self::execute_impl(input, provider, depth + 1, trace)?;
+                let _s = tracing::span("op.Project").enter();
                 let out_schema = plan.schema(&schemas)?;
                 let bound: Vec<_> = items
                     .iter()
@@ -138,6 +145,7 @@ impl Executor {
             } => {
                 let l = Self::execute_impl(left, provider, depth + 1, trace)?;
                 let r = Self::execute_impl(right, provider, depth + 1, trace)?;
+                let _s = tracing::span("op.Join").enter();
                 let out_schema = plan.schema(&schemas)?;
                 let left_on: Vec<usize> = on
                     .iter()
@@ -165,6 +173,7 @@ impl Executor {
                 aggs,
             } => {
                 let child = Self::execute_impl(input, provider, depth + 1, trace)?;
+                let _s = tracing::span("op.GroupBy").enter();
                 let out_schema = plan.schema(&schemas)?;
                 let group_idx: Vec<usize> = group_by
                     .iter()
@@ -186,6 +195,7 @@ impl Executor {
             Plan::Union { left, right } => {
                 let l = Self::execute_impl(left, provider, depth + 1, trace)?;
                 let r = Self::execute_impl(right, provider, depth + 1, trace)?;
+                let _s = tracing::span("op.Union").enter();
                 let out_schema = plan.schema(&schemas)?;
                 let mut rows = l.rows().to_vec();
                 rows.extend(r.rows().iter().cloned());
@@ -195,6 +205,7 @@ impl Executor {
             Plan::Diff { left, right } => {
                 let l = Self::execute_impl(left, provider, depth + 1, trace)?;
                 let r = Self::execute_impl(right, provider, depth + 1, trace)?;
+                let _s = tracing::span("op.Diff").enter();
                 let out_schema = plan.schema(&schemas)?;
                 // Bag difference: subtract up to multiplicity.
                 let mut counts: HashMap<&Row, usize> = HashMap::new();
@@ -213,12 +224,14 @@ impl Executor {
 
             Plan::GPivot { input, spec } => {
                 let child = Self::execute_impl(input, provider, depth + 1, trace)?;
+                let _s = tracing::span("op.GPivot").enter();
                 let out_schema = plan.schema(&schemas)?;
                 gpivot(&child, spec, out_schema)
             }
 
             Plan::GUnpivot { input, spec } => {
                 let child = Self::execute_impl(input, provider, depth + 1, trace)?;
+                let _s = tracing::span("op.GUnpivot").enter();
                 let out_schema = plan.schema(&schemas)?;
                 gunpivot(&child, spec, out_schema)
             }

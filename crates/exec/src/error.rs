@@ -14,6 +14,16 @@ pub enum ExecError {
     /// Two source rows mapped to the same pivot cell — the input violated
     /// the `(K, A1..Am)` key requirement of GPIVOT (§2.1 of the paper).
     DuplicatePivotCell { key: String, group: String },
+    /// A numeric aggregate received a non-null value it cannot interpret
+    /// numerically (e.g. `AVG` over a string column). NULLs are skipped by
+    /// every aggregate; anything else must be numeric — silently dropping
+    /// it would make AVG disagree with SUM/COUNT over the same column.
+    AggregateTypeMismatch {
+        /// The aggregate function (`AVG`, ...).
+        func: &'static str,
+        /// Rendering of the offending input value.
+        value: String,
+    },
 }
 
 impl fmt::Display for ExecError {
@@ -24,6 +34,10 @@ impl fmt::Display for ExecError {
             ExecError::DuplicatePivotCell { key, group } => write!(
                 f,
                 "duplicate pivot cell for key {key}, group {group}: input violates the (K, A1..Am) key requirement"
+            ),
+            ExecError::AggregateTypeMismatch { func, value } => write!(
+                f,
+                "{func} over a non-numeric non-null value {value}: only NULLs are skipped by aggregates"
             ),
         }
     }

@@ -7,7 +7,7 @@
 //! only at the *pivot* level; plain `COUNT` here is the usual 0-default SQL
 //! count of non-NULLs and `COUNT(*)` counts rows.
 
-use crate::error::Result;
+use crate::error::{ExecError, Result};
 use gpivot_algebra::{AggFunc, AggSpec};
 use gpivot_storage::{Row, Schema, Table, Value};
 use std::collections::HashMap;
@@ -15,12 +15,29 @@ use std::collections::HashMap;
 /// Running state for one aggregate.
 #[derive(Debug, Clone)]
 enum AggState {
-    Sum { acc: Value },
-    Count { n: i64 },
-    CountStar { n: i64 },
-    Avg { sum: f64, n: i64 },
-    Min { cur: Value },
-    Max { cur: Value },
+    Sum {
+        acc: Value,
+    },
+    Count {
+        n: i64,
+    },
+    CountStar {
+        n: i64,
+    },
+    /// AVG accumulates the running sum as a [`Value`] so integer inputs
+    /// stay exact `i64` sums until the final division — a running `f64`
+    /// sum silently loses exactness past 2⁵³ and diverges from
+    /// `SUM(col) / COUNT(col)` on the same column.
+    Avg {
+        sum: Value,
+        n: i64,
+    },
+    Min {
+        cur: Value,
+    },
+    Max {
+        cur: Value,
+    },
 }
 
 impl AggState {
@@ -29,13 +46,16 @@ impl AggState {
             AggFunc::Sum => AggState::Sum { acc: Value::Null },
             AggFunc::Count => AggState::Count { n: 0 },
             AggFunc::CountStar => AggState::CountStar { n: 0 },
-            AggFunc::Avg => AggState::Avg { sum: 0.0, n: 0 },
+            AggFunc::Avg => AggState::Avg {
+                sum: Value::Null,
+                n: 0,
+            },
             AggFunc::Min => AggState::Min { cur: Value::Null },
             AggFunc::Max => AggState::Max { cur: Value::Null },
         }
     }
 
-    fn update(&mut self, input: &Value) {
+    fn update(&mut self, input: &Value) -> Result<()> {
         match self {
             AggState::Sum { acc } => {
                 if !input.is_null() {
@@ -53,10 +73,24 @@ impl AggState {
             }
             AggState::CountStar { n } => *n += 1,
             AggState::Avg { sum, n } => {
-                if let Some(f) = input.as_f64() {
-                    *sum += f;
-                    *n += 1;
+                // Skip exactly NULLs (the module-header rule shared with
+                // SUM/COUNT); any other non-numeric value is a typed error,
+                // never a silent drop.
+                if input.is_null() {
+                    return Ok(());
                 }
+                if input.as_f64().is_none() {
+                    return Err(ExecError::AggregateTypeMismatch {
+                        func: "AVG",
+                        value: format!("{input:?}"),
+                    });
+                }
+                *sum = if sum.is_null() {
+                    input.clone()
+                } else {
+                    sum.numeric_add(input)
+                };
+                *n += 1;
             }
             AggState::Min { cur } => {
                 if !input.is_null()
@@ -73,6 +107,7 @@ impl AggState {
                 }
             }
         }
+        Ok(())
     }
 
     fn finish(self) -> Value {
@@ -80,13 +115,10 @@ impl AggState {
             AggState::Sum { acc } => acc,
             AggState::Count { n } => Value::Int(n),
             AggState::CountStar { n } => Value::Int(n),
-            AggState::Avg { sum, n } => {
-                if n == 0 {
-                    Value::Null
-                } else {
-                    Value::Float(sum / n as f64)
-                }
-            }
+            AggState::Avg { sum, n } => match (sum.as_f64(), n) {
+                (None, _) | (_, 0) => Value::Null,
+                (Some(s), n) => Value::Float(s / n as f64),
+            },
             AggState::Min { cur } => cur,
             AggState::Max { cur } => cur,
         }
@@ -117,7 +149,7 @@ pub fn hash_group_by(
             } else {
                 row[in_idx].clone()
             };
-            state.update(&v);
+            state.update(&v)?;
         }
     }
     let mut rows = Vec::with_capacity(groups.len());
@@ -200,6 +232,74 @@ mod tests {
         let r = &t.rows()[0];
         assert!(r[1].is_null());
         assert!(r[2].is_null());
+    }
+
+    /// Oracle: AVG must equal SUM / COUNT over the same column, with
+    /// exactly the same NULL-skipping rule — including `i64` sums past
+    /// 2⁵³ where a running `f64` accumulator loses increments.
+    #[test]
+    fn avg_agrees_with_sum_over_count_oracle() {
+        const BIG: i64 = 1 << 53;
+        let schema =
+            Arc::new(Schema::from_pairs(&[("g", DataType::Str), ("v", DataType::Int)]).unwrap());
+        let t = Table::bag(
+            schema,
+            vec![
+                row!["a", BIG],
+                row!["a", 1],
+                row!["a", 1],
+                Row::new(vec![Value::str("a"), Value::Null]),
+            ],
+        );
+        let out = hash_group_by(
+            &t,
+            &[0],
+            &[
+                AggSpec::avg("v", "a"),
+                AggSpec::sum("v", "s"),
+                AggSpec::count("v", "c"),
+            ],
+            &[1, 1, 1],
+            out_schema(&[
+                ("a", DataType::Float),
+                ("s", DataType::Int),
+                ("c", DataType::Int),
+            ]),
+        )
+        .unwrap();
+        let r = &out.rows()[0];
+        // SUM stays an exact i64; COUNT skips only the NULL.
+        assert_eq!(r[2], Value::Int(BIG + 2));
+        assert_eq!(r[3], Value::Int(3));
+        let avg = r[1].as_f64().unwrap();
+        let oracle = (BIG + 2) as f64 / 3.0;
+        assert_eq!(
+            avg, oracle,
+            "AVG diverged from SUM/COUNT: f64 accumulation lost exactness"
+        );
+        // The buggy f64 running sum would have produced 2^53 / 3 instead.
+        assert_ne!(avg, BIG as f64 / 3.0);
+    }
+
+    /// AVG over a non-numeric non-null value is a typed error, not a
+    /// silent drop (SUM/COUNT's "skip only NULL" rule applies to AVG too).
+    #[test]
+    fn avg_rejects_non_numeric_instead_of_dropping() {
+        let schema =
+            Arc::new(Schema::from_pairs(&[("g", DataType::Str), ("v", DataType::Str)]).unwrap());
+        let t = Table::bag(schema, vec![row!["a", "not-a-number"]]);
+        let err = hash_group_by(
+            &t,
+            &[0],
+            &[AggSpec::avg("v", "a")],
+            &[1],
+            out_schema(&[("a", DataType::Float)]),
+        )
+        .unwrap_err();
+        assert!(matches!(
+            err,
+            crate::error::ExecError::AggregateTypeMismatch { func: "AVG", .. }
+        ));
     }
 
     #[test]

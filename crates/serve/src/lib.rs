@@ -24,7 +24,13 @@
 //!   of the paper's §6 two-phase propagate/apply contract.
 //! * **Observability** ([`ViewService::metrics`]) — per-view and per-epoch
 //!   counters (rows ingested, coalescing ratio, rows propagated, refresh
-//!   latency) as a [`MetricsSnapshot`] plus a human-readable report.
+//!   latency) as a [`MetricsSnapshot`], plus wall-clock timing histograms
+//!   for every maintenance phase (`epoch`, `epoch.propagate`,
+//!   `maintain.apply`, …) and exec operator (`op.Join`, `op.GPivot`, …)
+//!   collected through the vendored `tracing` span layer. Exported as a
+//!   human-readable report ([`MetricsSnapshot::report`]) and Prometheus
+//!   text exposition ([`MetricsSnapshot::prometheus`]). See DESIGN.md
+//!   §"Observability".
 //! * **Fault tolerance** — worker panics are caught at the view-task
 //!   boundary (never poisoning a lock; locks are acquired only through the
 //!   poison-recovering helpers in `sync`), transient failures retry with

@@ -4,6 +4,7 @@
 use std::collections::BTreeMap;
 use std::fmt::Write as _;
 use std::time::Duration;
+use tracing::Histogram;
 
 /// The fault-tolerance state of one registered view — the retry/quarantine
 /// state machine (see DESIGN.md §"Fault tolerance"):
@@ -111,6 +112,19 @@ pub struct MetricsSnapshot {
     pub pending_bytes: usize,
     /// Per-view cumulative counters, keyed by view name.
     pub per_view: BTreeMap<String, ViewMetrics>,
+    /// Wall-clock histograms for compile/maintenance/epoch phases, keyed by
+    /// span name (`epoch`, `epoch.propagate`, `maintain.apply`, …). The
+    /// `epoch` entry reconciles exactly with the counters above:
+    /// `count == epochs` and `total == refresh_time`, because both are fed
+    /// the same measured duration.
+    pub phase_timings: BTreeMap<String, Histogram>,
+    /// Wall-clock histograms for executor operator *self*-times (`op.*`
+    /// spans, entered after child evaluation so subtrees are not
+    /// double-counted).
+    pub operator_timings: BTreeMap<String, Histogram>,
+    /// Point-event counters from the tracing layer (`view.retry`,
+    /// `view.quarantine`, …).
+    pub trace_events: BTreeMap<String, u64>,
 }
 
 impl MetricsSnapshot {
@@ -207,6 +221,197 @@ impl MetricsSnapshot {
                 v.refresh_time,
             );
         }
+        if !self.phase_timings.is_empty() {
+            let _ = writeln!(out, "  phase timings:");
+            for (name, h) in &self.phase_timings {
+                let _ = writeln!(
+                    out,
+                    "    {name}: n={} p50={:?} p95={:?} max={:?} total={:?}",
+                    h.count(),
+                    h.p50(),
+                    h.p95(),
+                    h.max(),
+                    h.total(),
+                );
+            }
+        }
+        if !self.operator_timings.is_empty() {
+            let _ = writeln!(out, "  operator self-times:");
+            for (name, h) in &self.operator_timings {
+                let _ = writeln!(
+                    out,
+                    "    {name}: n={} p50={:?} p95={:?} max={:?} total={:?}",
+                    h.count(),
+                    h.p50(),
+                    h.p95(),
+                    h.max(),
+                    h.total(),
+                );
+            }
+        }
+        if !self.trace_events.is_empty() {
+            let _ = writeln!(out, "  trace events:");
+            for (name, n) in &self.trace_events {
+                let _ = writeln!(out, "    {name}: {n}");
+            }
+        }
+        out
+    }
+
+    /// Prometheus text-format exposition: every counter as a `gpivot_*`
+    /// metric, span histograms as one `histogram` family with cumulative
+    /// log₂ `le` buckets, and trace events as a labelled counter family.
+    /// Ready to serve from a `/metrics` endpoint (or print, as the
+    /// `serve_dashboard` example does).
+    pub fn prometheus(&self) -> String {
+        fn counter(out: &mut String, name: &str, help: &str, v: u64) {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} counter");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        fn gauge(out: &mut String, name: &str, help: &str, v: u64) {
+            let _ = writeln!(out, "# HELP {name} {help}");
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {v}");
+        }
+        let mut out = String::new();
+        counter(
+            &mut out,
+            "gpivot_epochs_total",
+            "Completed refresh epochs",
+            self.epochs,
+        );
+        counter(
+            &mut out,
+            "gpivot_epochs_failed_total",
+            "Epochs rolled back after a failure",
+            self.epochs_failed,
+        );
+        counter(
+            &mut out,
+            "gpivot_batches_ingested_total",
+            "Producer batches accepted",
+            self.batches_ingested,
+        );
+        counter(
+            &mut out,
+            "gpivot_rows_ingested_total",
+            "Row changes accepted (pre-coalescing)",
+            self.rows_ingested,
+        );
+        counter(
+            &mut out,
+            "gpivot_ingest_waits_total",
+            "Ingest calls that blocked on backpressure",
+            self.ingest_waits,
+        );
+        counter(
+            &mut out,
+            "gpivot_ingest_rejects_total",
+            "Ingest calls rejected with Backpressure",
+            self.ingest_rejects,
+        );
+        counter(
+            &mut out,
+            "gpivot_panics_isolated_total",
+            "Worker panics caught at the view-task boundary",
+            self.panics_isolated,
+        );
+        counter(
+            &mut out,
+            "gpivot_rows_drained_raw_total",
+            "Row changes drained into epochs before coalescing",
+            self.rows_drained_raw,
+        );
+        counter(
+            &mut out,
+            "gpivot_rows_drained_coalesced_total",
+            "Row changes drained into epochs after cancellation",
+            self.rows_drained_coalesced,
+        );
+        counter(
+            &mut out,
+            "gpivot_delta_rows_total",
+            "Distinct delta rows reaching apply phases",
+            self.delta_rows,
+        );
+        counter(
+            &mut out,
+            "gpivot_rows_propagated_total",
+            "Operator-output rows evaluated during propagation",
+            self.rows_propagated,
+        );
+        counter(
+            &mut out,
+            "gpivot_rows_applied_total",
+            "Row effects applied to materialized tables",
+            self.rows_applied,
+        );
+        gauge(
+            &mut out,
+            "gpivot_pending_rows",
+            "Coalesced row changes waiting in the queue",
+            self.pending_rows,
+        );
+        gauge(
+            &mut out,
+            "gpivot_pending_bytes",
+            "Estimated bytes held by the pending queue",
+            self.pending_bytes as u64,
+        );
+        let _ = writeln!(
+            out,
+            "# HELP gpivot_refresh_seconds_total Wall-clock time spent in refresh epochs"
+        );
+        let _ = writeln!(out, "# TYPE gpivot_refresh_seconds_total counter");
+        let _ = writeln!(
+            out,
+            "gpivot_refresh_seconds_total {}",
+            self.refresh_time.as_secs_f64()
+        );
+        if !self.trace_events.is_empty() {
+            let _ = writeln!(
+                out,
+                "# HELP gpivot_trace_events_total Point events fired by the tracing layer"
+            );
+            let _ = writeln!(out, "# TYPE gpivot_trace_events_total counter");
+            for (name, n) in &self.trace_events {
+                let _ = writeln!(out, "gpivot_trace_events_total{{event=\"{name}\"}} {n}");
+            }
+        }
+        let spans = self
+            .phase_timings
+            .iter()
+            .chain(self.operator_timings.iter());
+        let _ = writeln!(
+            out,
+            "# HELP gpivot_span_duration_seconds Wall-clock span durations (phases and operators)"
+        );
+        let _ = writeln!(out, "# TYPE gpivot_span_duration_seconds histogram");
+        for (name, h) in spans {
+            for (le, cum) in h.cumulative_buckets() {
+                let _ = writeln!(
+                    out,
+                    "gpivot_span_duration_seconds_bucket{{span=\"{name}\",le=\"{}\"}} {cum}",
+                    le.as_secs_f64(),
+                );
+            }
+            let _ = writeln!(
+                out,
+                "gpivot_span_duration_seconds_bucket{{span=\"{name}\",le=\"+Inf\"}} {}",
+                h.count(),
+            );
+            let _ = writeln!(
+                out,
+                "gpivot_span_duration_seconds_sum{{span=\"{name}\"}} {}",
+                h.total().as_secs_f64(),
+            );
+            let _ = writeln!(
+                out,
+                "gpivot_span_duration_seconds_count{{span=\"{name}\"}} {}",
+                h.count(),
+            );
+        }
         out
     }
 }
@@ -256,5 +461,52 @@ mod tests {
         let r = m.report();
         assert!(r.contains("view v1"));
         assert!(r.contains("epochs"));
+    }
+
+    #[test]
+    fn prometheus_exposition_is_well_formed() {
+        let mut m = MetricsSnapshot {
+            epochs: 3,
+            rows_ingested: 17,
+            ..Default::default()
+        };
+        let mut h = Histogram::new();
+        h.record(Duration::from_micros(100));
+        h.record(Duration::from_micros(300));
+        m.phase_timings.insert("epoch".into(), h.clone());
+        m.operator_timings.insert("op.Join".into(), h);
+        m.trace_events.insert("view.retry".into(), 2);
+
+        let text = m.prometheus();
+        assert!(text.contains("# TYPE gpivot_epochs_total counter"));
+        assert!(text.contains("gpivot_epochs_total 3"));
+        assert!(text.contains("gpivot_rows_ingested_total 17"));
+        assert!(text.contains("gpivot_trace_events_total{event=\"view.retry\"} 2"));
+        // Histogram family: cumulative buckets end in +Inf == count, and
+        // both span labels appear.
+        assert!(text.contains("gpivot_span_duration_seconds_bucket{span=\"epoch\",le=\"+Inf\"} 2"));
+        assert!(
+            text.contains("gpivot_span_duration_seconds_bucket{span=\"op.Join\",le=\"+Inf\"} 2")
+        );
+        assert!(text.contains("gpivot_span_duration_seconds_count{span=\"epoch\"} 2"));
+        // Every non-comment line is "name{labels} value" with a parseable
+        // float value.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (_, value) = line.rsplit_once(' ').expect("metric line has a value");
+            value.parse::<f64>().expect("metric value parses as f64");
+        }
+    }
+
+    #[test]
+    fn report_includes_phase_timings_when_present() {
+        let mut m = MetricsSnapshot::default();
+        let mut h = Histogram::new();
+        h.record(Duration::from_millis(2));
+        m.phase_timings.insert("maintain.propagate".into(), h);
+        m.trace_events.insert("view.quarantine".into(), 1);
+        let r = m.report();
+        assert!(r.contains("phase timings"));
+        assert!(r.contains("maintain.propagate"));
+        assert!(r.contains("view.quarantine: 1"));
     }
 }

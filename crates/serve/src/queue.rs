@@ -69,7 +69,18 @@ impl IngestQueue {
             change += (m + w).abs() - m.abs();
             entry.add(row, w);
         }
-        self.pending_rows = (self.pending_rows as i64 + change) as u64;
+        // `change` may be negative (cancellation), but never below
+        // `-pending_rows`: each per-row adjustment is bounded by that row's
+        // current |m|. A bare `as u64` cast would wrap a violation of this
+        // invariant into ~2^64 pending rows and jam backpressure forever,
+        // so check in debug builds and saturate in release.
+        let next = self.pending_rows as i64 + change;
+        debug_assert!(
+            next >= 0,
+            "pending_rows underflow: {} + {change} < 0",
+            self.pending_rows
+        );
+        self.pending_rows = u64::try_from(next).unwrap_or(0);
     }
 
     /// Coalesced row changes currently pending (the watermark quantity).
@@ -161,6 +172,39 @@ mod tests {
         assert_eq!(stats2.coalesced_rows, stats.coalesced_rows);
         assert_eq!(stats2.batches, stats.batches);
         assert_eq!(batch2.delta("t").unwrap().multiplicity(&row![2]), 1);
+    }
+
+    /// Regression: a rollback-restore followed by cancelling ingests used
+    /// to drive the `as u64` cast in `merge` through a negative
+    /// intermediate, wrapping `pending_rows` to ~2^64 and jamming
+    /// backpressure. The sequence below exercises every negative-`change`
+    /// path: cancellation against restored rows, then full cancellation
+    /// down to exactly zero.
+    #[test]
+    fn restore_then_cancel_never_wraps_pending_rows() {
+        let mut q = IngestQueue::new();
+        q.ingest("t", Delta::from_inserts(vec![row![1], row![2], row![3]]));
+        let (batch, stats) = q.drain();
+        assert_eq!(q.pending_rows(), 0);
+
+        // Epoch fails → rollback puts the batch back.
+        q.restore(&batch, stats);
+        assert_eq!(q.pending_rows(), 3);
+
+        // Producers cancel the restored rows one table-batch at a time;
+        // every step shrinks the watermark without wrapping.
+        q.ingest("t", Delta::from_deletes(vec![row![1], row![2]]));
+        assert_eq!(q.pending_rows(), 1);
+        assert!(q.pending_rows() < u64::MAX / 2, "pending_rows wrapped");
+        q.ingest("t", Delta::from_deletes(vec![row![3]]));
+        assert_eq!(q.pending_rows(), 0);
+        assert!(q.is_empty());
+
+        // And the queue still works after hitting the floor.
+        q.ingest("t", Delta::from_inserts(vec![row![9]]));
+        assert_eq!(q.pending_rows(), 1);
+        let (batch2, _) = q.drain();
+        assert_eq!(batch2.delta("t").unwrap().multiplicity(&row![9]), 1);
     }
 
     #[test]

@@ -92,6 +92,11 @@ struct Shared {
     /// Epoch counter, bumped inside the state write-lock critical section
     /// so a read guard always observes a consistent (epoch, state) pair.
     epoch: AtomicU64,
+    /// Phase/operator timing store. Installed as a *scoped* collector on
+    /// every thread that does work for this service (epoch coordinator,
+    /// refresh workers, registry calls) — never globally, so concurrent
+    /// services and parallel tests stay isolated.
+    tracer: Arc<tracing::TimingSubscriber>,
 }
 
 /// A long-lived, thread-safe view-maintenance service. Cheap to clone —
@@ -126,6 +131,7 @@ impl ViewService {
                 space: Condvar::new(),
                 metrics: Mutex::new(MetricsSnapshot::default()),
                 epoch: AtomicU64::new(0),
+                tracer: tracing::TimingSubscriber::shared(),
             }),
         }
     }
@@ -136,6 +142,7 @@ impl ViewService {
     /// while keeping its cumulative counters.
     pub fn register_view(&self, name: impl Into<String>, definition: Plan) -> Result<Strategy> {
         let _gate = sync::lock(&self.shared.gate);
+        let _trace = tracing::push_collector(self.shared.tracer.clone());
         let mut state = sync::write(&self.shared.state);
         let name = name.into();
         let strategy = state.create_view(name.clone(), definition)?;
@@ -153,6 +160,7 @@ impl ViewService {
         strategy: Strategy,
     ) -> Result<()> {
         let _gate = sync::lock(&self.shared.gate);
+        let _trace = tracing::push_collector(self.shared.tracer.clone());
         let mut state = sync::write(&self.shared.state);
         let name = name.into();
         state.create_view_with(name.clone(), definition, strategy)?;
@@ -299,9 +307,11 @@ impl ViewService {
     ///   batch is restored to the queue, so no data is lost.
     pub fn refresh_epoch(&self) -> Result<EpochSummary> {
         let _gate = sync::lock(&self.shared.gate);
+        let _trace = tracing::push_collector(self.shared.tracer.clone());
         let start = Instant::now();
 
         let (batch, drained) = {
+            let _s = tracing::span("epoch.drain").enter();
             let mut q = sync::lock(&self.shared.queue);
             let out = q.drain();
             self.shared.space.notify_all();
@@ -350,9 +360,17 @@ impl ViewService {
         let names: Vec<String> = affected.iter().map(|v| v.name().to_string()).collect();
         let catalog = state.catalog();
         let workers = self.shared.cfg.workers.max(1).min(affected.len().max(1));
-        let results = run_on_pool(affected, workers, |view| {
-            maintain_with_retry(&self.shared.cfg, &view, catalog, &batch)
-        });
+        let results = {
+            let _s = tracing::span("epoch.propagate").enter();
+            let tracer = &self.shared.tracer;
+            run_on_pool(affected, workers, |view| {
+                // Workers run on their own threads: re-install the
+                // service's tracer so `view.attempt` spans and the
+                // maintain-phase spans underneath land in the same store.
+                let _c = tracing::push_collector(tracer.clone());
+                maintain_with_retry(&self.shared.cfg, &view, catalog, &batch)
+            })
+        };
 
         let mut ok: Vec<(MaterializedView, MaintenanceOutcome, Duration, u32)> = Vec::new();
         let mut failures: Vec<(String, CoreError)> = Vec::new();
@@ -400,8 +418,10 @@ impl ViewService {
         // lock: every fallible step (key violations, injected commit
         // faults) happens here, against copies. Transient staging faults
         // retry like any other.
-        let (staged_res, stage_retries) =
-            retry_transient(&self.shared.cfg, || state.stage_commit(&batch));
+        let (staged_res, stage_retries) = {
+            let _s = tracing::span("epoch.stage").enter();
+            retry_transient(&self.shared.cfg, || state.stage_commit(&batch))
+        };
         total_retries += u64::from(stage_retries);
         let staged = match staged_res {
             Ok(s) => s,
@@ -429,6 +449,7 @@ impl ViewService {
         let mut committed: Vec<(String, MaintenanceOutcome, Duration, u32)> =
             Vec::with_capacity(ok.len());
         let (summary, epoch_time) = {
+            let _s = tracing::span("epoch.commit").enter();
             let mut state = sync::write(&self.shared.state);
             state.apply_staged(staged);
             let mut summary = EpochSummary {
@@ -490,6 +511,7 @@ impl ViewService {
         per_view_retries: Vec<(String, u64)>,
         total_panics: u64,
     ) -> Result<EpochSummary> {
+        let _s = tracing::span("epoch.rollback").enter();
         let epoch_now = self.epoch();
         {
             let mut m = sync::lock(&self.shared.metrics);
@@ -505,6 +527,7 @@ impl ViewService {
             for (name, err) in &failures {
                 let vm: &mut ViewMetrics = m.per_view.entry(name.clone()).or_default();
                 vm.failures += 1;
+                let was_quarantined = vm.health.is_quarantined();
                 vm.health = match vm.health {
                     ViewHealth::Healthy => {
                         if self.shared.cfg.quarantine_after <= 1 {
@@ -535,6 +558,9 @@ impl ViewService {
                     }
                     ViewHealth::Quarantined { .. } => vm.health.clone(),
                 };
+                if vm.health.is_quarantined() && !was_quarantined {
+                    tracing::event("view.quarantine", name);
+                }
             }
         }
         {
@@ -545,6 +571,11 @@ impl ViewService {
     }
 
     fn finish_epoch_metrics(&self, took: Duration) {
+        // The `epoch` histogram is fed the *same* measured duration as the
+        // `refresh_time` counter, so the two reconcile exactly:
+        // `phase_timings["epoch"].count() == epochs` and
+        // `phase_timings["epoch"].total() == refresh_time`.
+        self.shared.tracer.record("epoch", took);
         let mut m = sync::lock(&self.shared.metrics);
         m.epochs += 1;
         m.refresh_time += took;
@@ -582,6 +613,7 @@ impl ViewService {
     /// quarantined and the call can simply be retried.
     pub fn retry_view(&self, name: &str) -> Result<()> {
         let _gate = sync::lock(&self.shared.gate);
+        let _trace = tracing::push_collector(self.shared.tracer.clone());
         let mut state = sync::write(&self.shared.state);
         let (definition, strategy) = {
             let view = state
@@ -631,12 +663,24 @@ impl ViewService {
         Ok(true)
     }
 
-    /// A point-in-time copy of all service counters.
+    /// A point-in-time copy of all service counters, including the span
+    /// timing histograms split into maintenance/epoch *phases* and exec
+    /// *operator* self-times (`op.*`).
     pub fn metrics(&self) -> MetricsSnapshot {
         let mut m = sync::lock(&self.shared.metrics).clone();
-        let q = sync::lock(&self.shared.queue);
-        m.pending_rows = q.pending_rows();
-        m.pending_bytes = q.estimate_bytes();
+        {
+            let q = sync::lock(&self.shared.queue);
+            m.pending_rows = q.pending_rows();
+            m.pending_bytes = q.estimate_bytes();
+        }
+        for (name, h) in self.shared.tracer.histograms() {
+            if name.starts_with("op.") {
+                m.operator_timings.insert(name, h);
+            } else {
+                m.phase_timings.insert(name, h);
+            }
+        }
+        m.trace_events = self.shared.tracer.event_counts();
         m
     }
 }
@@ -701,7 +745,15 @@ fn maintain_with_retry(
 ) -> ViewRefresh {
     let t0 = Instant::now();
     let mut panics = 0u32;
+    let mut attempts = 0u32;
     let (result, retries) = retry_transient(cfg, || {
+        if attempts > 0 {
+            tracing::event("view.retry", pristine.name());
+        }
+        attempts += 1;
+        // One `view.attempt` span per attempt: a retried view shows up as
+        // several attempt samples but one refresh.
+        let _attempt = tracing::span("view.attempt").enter();
         // AssertUnwindSafe: on panic the only state touched is the local
         // clone, which is discarded; `catalog` and `batch` are read-only.
         match std::panic::catch_unwind(AssertUnwindSafe(|| {

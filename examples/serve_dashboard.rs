@@ -133,6 +133,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         snapshots_taken.load(Ordering::SeqCst)
     );
 
-    println!("\n{}", svc.metrics().report());
+    let metrics = svc.metrics();
+    println!("\n{}", metrics.report());
+
+    // The same snapshot in Prometheus text exposition — what a `/metrics`
+    // endpoint would serve. Phase and operator timing histograms appear as
+    // one `gpivot_span_duration_seconds` family with log2 `le` buckets.
+    println!("--- prometheus exposition ---");
+    print!("{}", metrics.prometheus());
     Ok(())
 }
