@@ -65,6 +65,27 @@ fn current() -> Option<Arc<dyn Collector>> {
     scoped.or_else(|| GLOBAL.get().cloned())
 }
 
+/// The collector the current thread would report to, if any — scoped
+/// first, then global. Lets a caller that fans work out to worker threads
+/// capture the collector here and re-install it (via [`push_collector`])
+/// on each worker, so spans closed off-thread still land in the same
+/// store.
+pub fn current_collector() -> Option<Arc<dyn Collector>> {
+    current()
+}
+
+/// Report a pre-measured duration as a closed span named `name` at the
+/// current thread's nesting depth (no-op without a collector). For callers
+/// that compute a span's duration themselves — e.g. a parallel operator
+/// reporting max-of-partitions as its self-time — instead of timing an
+/// enclosing scope.
+pub fn record(name: &'static str, elapsed: Duration) {
+    if let Some(c) = current() {
+        let depth = DEPTH.with(|d| d.get());
+        c.span_closed(name, depth, elapsed);
+    }
+}
+
 /// Make `c` the current thread's collector until the returned guard drops.
 /// Guards nest (innermost wins) and must drop in reverse creation order,
 /// which scope-based usage guarantees.
@@ -375,6 +396,27 @@ mod tests {
         assert!(outer.histogram("c").is_some());
         assert!(outer.histogram("b").is_none());
         assert_eq!(inner.histogram("b").unwrap().count(), 1);
+    }
+
+    #[test]
+    fn current_collector_hands_off_to_worker_threads() {
+        let sub = TimingSubscriber::shared();
+        with_collector(sub.clone(), || {
+            // Free `record` reports at the current depth to the scoped
+            // collector, exactly like a closed span.
+            record("op.join", Duration::from_millis(3));
+            let captured = current_collector().expect("scoped collector visible");
+            std::thread::scope(|s| {
+                s.spawn(move || {
+                    // Worker thread: no collector until the handoff.
+                    assert!(current_collector().is_none());
+                    let _g = push_collector(captured);
+                    record("op.join.partition", Duration::from_millis(1));
+                });
+            });
+        });
+        assert_eq!(sub.histogram("op.join").unwrap().count(), 1);
+        assert_eq!(sub.histogram("op.join.partition").unwrap().count(), 1);
     }
 
     #[test]

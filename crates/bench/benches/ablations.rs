@@ -77,10 +77,10 @@ fn ablation_pivot_combine(c: &mut Criterion) {
     let mut group = c.benchmark_group("ablation_pivot_combine");
     group.sample_size(10);
     group.bench_function("stacked", |b| {
-        b.iter(|| Executor::execute(&stacked, &catalog).unwrap());
+        b.iter(|| Executor::new().run(&stacked, &catalog).unwrap());
     });
     group.bench_function("combined", |b| {
-        b.iter(|| Executor::execute(&combined, &catalog).unwrap());
+        b.iter(|| Executor::new().run(&combined, &catalog).unwrap());
     });
     group.finish();
 }

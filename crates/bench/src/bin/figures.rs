@@ -107,7 +107,9 @@ fn verify_figure(spec: &gpivot_bench::FigureSpec, catalog: &gpivot_storage::Cata
         for t in deltas.tables() {
             post.apply_delta(t, deltas.delta(t).unwrap()).unwrap();
         }
-        let fresh = gpivot_exec::Executor::execute(&refreshed_plan(&refreshed), &post).unwrap();
+        let fresh = gpivot_exec::Executor::new()
+            .run(&refreshed_plan(&refreshed), &post)
+            .unwrap();
         assert!(
             refreshed.table().bag_eq(&fresh),
             "figure {} strategy {strategy} diverged",

@@ -5,19 +5,24 @@
 //! complete refresh cycle (propagate + apply + stage + commit) with a
 //! [`tracing::TimingSubscriber`] installed, and emits one JSON document
 //! with per-phase p50/p95/max wall-clock timings and the
-//! incremental-vs-recompute speedup.
+//! incremental-vs-recompute speedup. A second section times the
+//! recompute-strategy refresh (the path that runs whole plans on the
+//! executor) on 1 thread vs `--threads` threads — the intra-query
+//! parallelism numbers for the partitioned kernels.
 //!
 //! ```text
-//! profile [--smoke] [--out PATH] [--scale SF] [--repeats N]
+//! profile [--smoke] [--out PATH] [--scale SF] [--repeats N] [--threads N]
 //!
 //!   --smoke    tiny data + few repeats (CI gate: seconds, not minutes)
-//!   --out      output path (default BENCH_pr3.json)
+//!   --out      output path (default BENCH_pr4.json)
 //!   --scale    override the generator scale factor
 //!   --repeats  override timed runs per cell (median reported)
+//!   --threads  worker threads for the parallel comparison (default 4)
 //! ```
 
 use gpivot_bench::{bench_catalog, Workload};
 use gpivot_core::{SourceDeltas, Strategy, ViewManager};
+use gpivot_exec::Executor;
 use gpivot_storage::Catalog;
 use gpivot_tpch::views;
 use std::fmt::Write as _;
@@ -64,9 +69,10 @@ const PHASES: [&str; 4] = [
 
 fn main() {
     let mut smoke = false;
-    let mut out_path = String::from("BENCH_pr3.json");
+    let mut out_path = String::from("BENCH_pr4.json");
     let mut scale: Option<f64> = None;
     let mut repeats: Option<usize> = None;
+    let mut threads = 4usize;
 
     let mut args = std::env::args().skip(1);
     while let Some(a) = args.next() {
@@ -87,8 +93,16 @@ fn main() {
                         .unwrap_or_else(|| die("--repeats needs an integer")),
                 );
             }
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| die("--threads needs an integer"));
+            }
             "--help" | "-h" => {
-                println!("usage: profile [--smoke] [--out PATH] [--scale SF] [--repeats N]");
+                println!(
+                    "usage: profile [--smoke] [--out PATH] [--scale SF] [--repeats N] [--threads N]"
+                );
                 return;
             }
             other => die(&format!("unknown argument `{other}`")),
@@ -153,9 +167,54 @@ fn main() {
         }
     }
 
+    // Intra-query parallelism: recompute-strategy refreshes (whole plans on
+    // the executor) at 1 thread vs `threads` threads, same workload.
+    let mut parallel = String::new();
+    let mut first_par = true;
+    for family in &FAMILIES {
+        let deltas = Workload::InsertNew.deltas(&catalog, fraction, 0xBEEF);
+        eprintln!(
+            "parallel refresh {} (1 vs {threads} threads) ...",
+            family.name
+        );
+        let one = run_parallel_cell(&catalog, family, &deltas, repeats, 1);
+        let many = run_parallel_cell(&catalog, family, &deltas, repeats, threads);
+        let speedup = if many.as_secs_f64() > 0.0 {
+            one.as_secs_f64() / many.as_secs_f64()
+        } else {
+            f64::MAX
+        };
+        eprintln!(
+            "  1 thread {:.3}ms vs {threads} threads {:.3}ms -> {speedup:.2}x",
+            ms(one),
+            ms(many)
+        );
+        if !first_par {
+            parallel.push_str(",\n");
+        }
+        first_par = false;
+        let _ = write!(
+            parallel,
+            "    {{\n      \"view\": \"{}\",\n      \"threads\": {threads},\n      \
+             \"refresh_1t_ms\": {:.4},\n      \"refresh_nt_ms\": {:.4},\n      \
+             \"parallel_speedup\": {speedup:.4}\n    }}",
+            family.name,
+            ms(one),
+            ms(many),
+        );
+    }
+
+    // The parallel numbers only mean something relative to the host: on a
+    // single-core machine extra threads are pure overhead and the speedup
+    // degenerates to ≤1.0.
+    let host_cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
     let doc = format!(
-        "{{\n  \"bench\": \"pr3_profile\",\n  \"mode\": \"{}\",\n  \"scale\": {scale},\n  \
-         \"fraction\": {fraction},\n  \"repeats\": {repeats},\n  \"results\": [\n{results}\n  ]\n}}\n",
+        "{{\n  \"bench\": \"pr4_profile\",\n  \"mode\": \"{}\",\n  \"scale\": {scale},\n  \
+         \"fraction\": {fraction},\n  \"repeats\": {repeats},\n  \"host_cpus\": {host_cpus},\n  \
+         \"results\": [\n{results}\n  ],\n  \
+         \"parallel\": [\n{parallel}\n  ]\n}}\n",
         if smoke { "smoke" } else { "full" },
     );
     std::fs::write(&out_path, &doc).unwrap_or_else(|e| die(&format!("write {out_path}: {e}")));
@@ -178,7 +237,7 @@ fn run_cell(
     repeats: usize,
 ) -> Cell {
     let mut mgr = ViewManager::new(catalog.clone());
-    mgr.create_view_with("v", (family.plan)(), strategy)
+    mgr.register_view_with("v", (family.plan)(), strategy)
         .unwrap_or_else(|e| die(&format!("compile {}/{strategy}: {e}", family.name)));
     let timings = TimingSubscriber::shared();
     let mut times: Vec<Duration> = Vec::with_capacity(repeats);
@@ -203,6 +262,31 @@ fn run_cell(
         median: times[times.len() / 2],
         timings,
     }
+}
+
+/// Median full-recompute refresh time of one view on `threads` executor
+/// threads.
+fn run_parallel_cell(
+    catalog: &Catalog,
+    family: &Family,
+    deltas: &SourceDeltas,
+    repeats: usize,
+    threads: usize,
+) -> Duration {
+    let mut mgr =
+        ViewManager::new(catalog.clone()).with_exec(Executor::new().with_threads(threads));
+    mgr.register_view_with("v", (family.plan)(), Strategy::Recompute)
+        .unwrap_or_else(|e| die(&format!("compile {}/recompute: {e}", family.name)));
+    let mut times: Vec<Duration> = Vec::with_capacity(repeats);
+    for _ in 0..repeats.max(1) {
+        let mut m = mgr.clone();
+        let t0 = Instant::now();
+        m.maintain_view("v", deltas)
+            .unwrap_or_else(|e| die(&format!("maintain {}/recompute: {e}", family.name)));
+        times.push(t0.elapsed());
+    }
+    times.sort();
+    times[times.len() / 2]
 }
 
 /// The `"phases"` JSON object body: one entry per maintenance phase with

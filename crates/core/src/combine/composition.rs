@@ -197,8 +197,8 @@ mod tests {
             .build();
         let combined = try_compose(&stacked).unwrap();
         assert_eq!(combined.pivot_count(), 1);
-        let a = Executor::execute(&stacked, &c).unwrap();
-        let b = Executor::execute(&combined, &c).unwrap();
+        let a = Executor::new().run(&stacked, &c).unwrap();
+        let b = Executor::new().run(&combined, &c).unwrap();
         assert_eq!(
             a.schema().column_names(),
             b.schema().column_names(),

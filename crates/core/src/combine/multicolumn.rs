@@ -351,8 +351,8 @@ mod tests {
         assert_eq!(joined.pivot_count(), 2);
         let combined = try_multicolumn(&joined).unwrap();
         assert_eq!(combined.pivot_count(), 1);
-        let a = Executor::execute(&joined, &c).unwrap();
-        let b = Executor::execute(&combined, &c).unwrap();
+        let a = Executor::new().run(&joined, &c).unwrap();
+        let b = Executor::new().run(&combined, &c).unwrap();
         assert_eq!(a.schema().column_names(), b.schema().column_names());
         assert!(a.bag_eq(&b));
     }

@@ -102,8 +102,9 @@ impl DynamicPivotView {
     }
 
     fn materialize(catalog: &Catalog, table_name: &str, spec: &PivotSpec) -> Result<Table> {
-        let bag = Executor::execute(&Self::plan(table_name, spec), catalog)?;
-        Ok(Table::from_rows(bag.schema().clone(), bag.rows().to_vec())?)
+        let bag = Executor::new().run(&Self::plan(table_name, spec), catalog)?;
+        let schema = bag.schema().clone();
+        Ok(bag.into_keyed(schema)?)
     }
 
     /// The current pivot spec (output parameters included).
@@ -196,12 +197,12 @@ impl DynamicPivotView {
     /// Verify against recomputation (testing aid). The catalog must hold
     /// the state the view was last refreshed against.
     pub fn verify(&self, catalog: &Catalog) -> Result<bool> {
-        let fresh = Executor::execute(&Self::plan(&self.table_name, &self.spec), catalog)?;
+        let fresh = Executor::new().run(&Self::plan(&self.table_name, &self.spec), catalog)?;
         Ok(self.mv.bag_eq(&fresh))
     }
 }
 
-// Silence: TableProvider is used via Executor::execute's bound.
+// Silence: TableProvider is used via Executor::run's bound.
 #[allow(unused_imports)]
 use TableProvider as _;
 

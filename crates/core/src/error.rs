@@ -61,6 +61,9 @@ impl CoreError {
             // (schema inference inside plan execution).
             CoreError::Algebra(AlgebraError::Storage(e)) => e.is_transient(),
             CoreError::Exec(ExecError::Algebra(AlgebraError::Storage(e))) => e.is_transient(),
+            // A panic caught inside a partition worker is isolated at the
+            // job boundary, exactly like a caught refresh-worker panic.
+            CoreError::Exec(ExecError::WorkerPanic { .. }) => true,
             CoreError::ViewPanic { .. } | CoreError::Backpressure { .. } => true,
             _ => false,
         };

@@ -33,5 +33,6 @@ pub use combine::{can_combine, combine_adjacent, CombineVerdict};
 pub use error::{CoreError, ErrorClass, Result};
 pub use maintain::{
     MaintenanceOutcome, MaintenancePlan, MaterializedView, SourceDeltas, Strategy, ViewManager,
+    ViewOptions,
 };
 pub use rewrite::{normalize_view, NormalizedView, TopShape};

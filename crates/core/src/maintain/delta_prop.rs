@@ -31,10 +31,13 @@ use gpivot_storage::{Catalog, Delta, Row, Table, Value};
 use std::cell::Cell;
 use std::collections::{HashMap, HashSet};
 
-/// Propagation context: pre-state catalog plus pending source deltas.
+/// Propagation context: pre-state catalog plus pending source deltas,
+/// and the [`Executor`] every pre/post subplan evaluation runs on (so the
+/// propagate phase inherits the caller's thread/partition configuration).
 pub struct PropagationCtx<'a> {
     pub catalog: &'a Catalog,
     pub deltas: &'a SourceDeltas,
+    exec: Executor,
     /// Rows flowing through plan operators across every pre/post subplan
     /// evaluation in this propagation (observability; see
     /// [`PropagationCtx::rows_evaluated`]).
@@ -43,11 +46,22 @@ pub struct PropagationCtx<'a> {
 
 impl<'a> PropagationCtx<'a> {
     pub fn new(catalog: &'a Catalog, deltas: &'a SourceDeltas) -> Self {
+        PropagationCtx::with_exec(catalog, deltas, Executor::new())
+    }
+
+    /// A context whose subplan evaluations run on `exec`.
+    pub fn with_exec(catalog: &'a Catalog, deltas: &'a SourceDeltas, exec: Executor) -> Self {
         PropagationCtx {
             catalog,
             deltas,
+            exec,
             rows_evaluated: Cell::new(0),
         }
+    }
+
+    /// The executor pre/post evaluations run on.
+    pub fn executor(&self) -> &Executor {
+        &self.exec
     }
 
     /// Total operator-output rows evaluated so far (the sum of
@@ -67,7 +81,7 @@ impl<'a> PropagationCtx<'a> {
 
     /// Evaluate a subplan against the pre-update state.
     pub fn eval_pre(&self, plan: &Plan) -> Result<Table> {
-        let (table, trace) = Executor::execute_traced(plan, self.catalog)?;
+        let (table, trace) = self.exec.run_traced(plan, self.catalog)?;
         self.rows_evaluated
             .set(self.rows_evaluated.get() + trace.total_rows());
         Ok(table)
@@ -84,7 +98,7 @@ impl<'a> PropagationCtx<'a> {
                 }
             }
         }
-        let (table, trace) = Executor::execute_traced(plan, &overlay)?;
+        let (table, trace) = self.exec.run_traced(plan, &overlay)?;
         self.rows_evaluated
             .set(self.rows_evaluated.get() + trace.total_rows());
         Ok(table)

@@ -23,7 +23,7 @@ pub mod view;
 pub use apply::ApplyStats;
 pub use delta_prop::{post_state_table, propagate, PropagationCtx};
 pub use strategy::{MaintenanceOutcome, MaintenancePlan, Strategy};
-pub use view::{MaterializedView, ViewManager};
+pub use view::{MaterializedView, ViewManager, ViewOptions};
 
 use gpivot_storage::{Delta, Row};
 use std::collections::HashMap;

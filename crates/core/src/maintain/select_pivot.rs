@@ -22,7 +22,9 @@ use crate::maintain::delta_prop::PropagationCtx;
 use gpivot_algebra::plan::{JoinKind, Plan};
 use gpivot_algebra::{decode_pivot_col, Expr, PivotSpec};
 use gpivot_exec::pivot::PivotLayout;
-use gpivot_exec::{Executor, Overlay};
+#[cfg(test)]
+use gpivot_exec::Executor;
+use gpivot_exec::Overlay;
 use gpivot_storage::{Delta, Row, Table, Value};
 use std::collections::HashSet;
 use std::sync::Arc;
@@ -231,7 +233,7 @@ pub fn eval_post_restricted(
         }
     }
     overlay.put(KEYS_TABLE, key_table);
-    Ok(Executor::execute(&restricted_plan, &overlay)?)
+    Ok(ctx.executor().run(&restricted_plan, &overlay)?)
 }
 
 /// Rewrite `plan` so the deepest subplan carrying all of `k_names` is
@@ -379,7 +381,7 @@ mod tests {
     /// Materialize σc(GPivot(items)) from scratch.
     fn materialize(c: &Catalog) -> Table {
         let plan = Plan::scan("items").gpivot(spec()).select(pred());
-        let bag = Executor::execute(&plan, c).unwrap();
+        let bag = Executor::new().run(&plan, c).unwrap();
         let mut t = Table::new(bag.schema().clone());
         for r in bag.iter() {
             t.insert(r.clone()).unwrap();

@@ -29,6 +29,49 @@ pub struct MaterializedView {
     table: Table,
 }
 
+/// Options for registering a view with [`ViewManager::register_view_with`].
+///
+/// The default options auto-select the maintenance strategy from the view's
+/// normalized shape (the paper's planner). Setting
+/// [`ViewOptions::strategy`] forces a strategy; setting
+/// [`ViewOptions::expected_delta_rows`] instead asks the cost model
+/// ([`crate::cost`]) to pick the cheapest strategy at that per-refresh
+/// delta size. A bare [`Strategy`] converts into options, so
+/// `register_view_with(name, plan, Strategy::PivotUpdate)` reads naturally.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct ViewOptions {
+    /// Force this maintenance strategy (skips both planners).
+    pub strategy: Option<Strategy>,
+    /// Ask the cost model to choose, sized for this many delta rows per
+    /// refresh. Ignored when [`ViewOptions::strategy`] is set.
+    pub expected_delta_rows: Option<f64>,
+}
+
+impl ViewOptions {
+    /// Options that auto-select the strategy (same as `Default`).
+    pub fn new() -> Self {
+        ViewOptions::default()
+    }
+
+    /// Force `strategy`.
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = Some(strategy);
+        self
+    }
+
+    /// Choose the strategy with the cost model at this expected delta size.
+    pub fn expected_delta_rows(mut self, rows: f64) -> Self {
+        self.expected_delta_rows = Some(rows);
+        self
+    }
+}
+
+impl From<Strategy> for ViewOptions {
+    fn from(strategy: Strategy) -> Self {
+        ViewOptions::new().strategy(strategy)
+    }
+}
+
 /// Does the tree contain a non-inner join (not delta-propagatable)?
 fn has_outer_join(plan: &Plan) -> bool {
     if let Plan::Join { kind, .. } = plan {
@@ -39,11 +82,13 @@ fn has_outer_join(plan: &Plan) -> bool {
     plan.children().iter().any(|c| has_outer_join(c))
 }
 
-/// Execute and key-index a plan's result.
-fn materialize(plan: &Plan, catalog: &Catalog) -> Result<Table> {
-    let bag = Executor::execute(plan, catalog)?;
+/// Execute and key-index a plan's result. The key index is built in place
+/// over the executor's row storage ([`Table::into_keyed`]) — no row copy.
+fn materialize(plan: &Plan, catalog: &Catalog, exec: &Executor) -> Result<Table> {
+    let bag = exec.run(plan, catalog)?;
     if bag.schema().has_key() {
-        Ok(Table::from_rows(bag.schema().clone(), bag.rows().to_vec())?)
+        let schema = bag.schema().clone();
+        Ok(bag.into_keyed(schema)?)
     } else {
         Ok(bag)
     }
@@ -125,12 +170,26 @@ fn augment_group_pivot(plan: &Plan) -> Result<Plan> {
 }
 
 impl MaterializedView {
-    /// Compile and materialize a view with an explicit strategy.
+    /// Compile and materialize a view with an explicit strategy, on a
+    /// default (single-thread) executor. See
+    /// [`MaterializedView::create_with`] to control execution.
     pub fn create(
         name: impl Into<String>,
         definition: Plan,
         strategy: Strategy,
         catalog: &Catalog,
+    ) -> Result<Self> {
+        Self::create_with(name, definition, strategy, catalog, &Executor::new())
+    }
+
+    /// Compile and materialize a view with an explicit strategy, running
+    /// the initial materialization on `exec`.
+    pub fn create_with(
+        name: impl Into<String>,
+        definition: Plan,
+        strategy: Strategy,
+        catalog: &Catalog,
+        exec: &Executor,
     ) -> Result<Self> {
         let name = name.into();
         let _compile = tracing::span("compile.view").enter();
@@ -140,7 +199,7 @@ impl MaterializedView {
         };
         let table = {
             let _s = tracing::span("compile.materialize").enter();
-            materialize(&normalized.plan, catalog)?
+            materialize(&normalized.plan, catalog, exec)?
         };
         Ok(MaterializedView {
             name,
@@ -345,11 +404,23 @@ impl MaterializedView {
     }
 
     /// Refresh the view against pending source deltas (the catalog still
-    /// holds the pre-update state).
+    /// holds the pre-update state), on a default (single-thread) executor.
+    /// See [`MaterializedView::maintain_with`] to control execution.
     pub fn maintain(
         &mut self,
         catalog: &Catalog,
         deltas: &SourceDeltas,
+    ) -> Result<MaintenanceOutcome> {
+        self.maintain_with(catalog, deltas, &Executor::new())
+    }
+
+    /// Refresh the view against pending source deltas, running every
+    /// propagate/recompute subplan on `exec`.
+    pub fn maintain_with(
+        &mut self,
+        catalog: &Catalog,
+        deltas: &SourceDeltas,
+        exec: &Executor,
     ) -> Result<MaintenanceOutcome> {
         use gpivot_storage::FaultSite;
         // Chaos-testing hooks: the Propagate site fires before any delta
@@ -362,7 +433,7 @@ impl MaterializedView {
         let check_apply = |catalog: &Catalog| -> gpivot_storage::Result<()> {
             catalog.fault_injector().check(FaultSite::Apply, &self.name)
         };
-        let ctx = PropagationCtx::new(catalog, deltas);
+        let ctx = PropagationCtx::with_exec(catalog, deltas, exec.clone());
         let mut outcome = MaintenanceOutcome::default();
         match self.strategy {
             Strategy::Recompute => {
@@ -377,13 +448,14 @@ impl MaterializedView {
                 }
                 let (bag, trace) = {
                     let _s = tracing::span("maintain.propagate").enter();
-                    Executor::execute_traced(&self.normalized.plan, &overlay)?
+                    exec.run_traced(&self.normalized.plan, &overlay)?
                 };
                 outcome.rows_propagated = trace.total_rows();
                 check_apply(catalog)?;
                 let _a = tracing::span("maintain.apply").enter();
                 self.table = if bag.schema().has_key() {
-                    Table::from_rows(bag.schema().clone(), bag.rows().to_vec())?
+                    let schema = bag.schema().clone();
+                    bag.into_keyed(schema)?
                 } else {
                     bag
                 };
@@ -522,6 +594,7 @@ impl MaterializedView {
 pub struct ViewManager {
     catalog: Catalog,
     views: BTreeMap<String, MaterializedView>,
+    exec: Executor,
 }
 
 impl ViewManager {
@@ -530,7 +603,21 @@ impl ViewManager {
         ViewManager {
             catalog,
             views: BTreeMap::new(),
+            exec: Executor::new(),
         }
+    }
+
+    /// Replace the executor every materialization, propagation, and
+    /// verification in this manager runs on (thread count, morsel size,
+    /// partitioning — see [`gpivot_exec::ExecOptions`]).
+    pub fn with_exec(mut self, exec: Executor) -> Self {
+        self.exec = exec;
+        self
+    }
+
+    /// The executor this manager runs plans on.
+    pub fn executor(&self) -> &Executor {
+        &self.exec
     }
 
     /// The base-table catalog.
@@ -574,44 +661,70 @@ impl ViewManager {
         }
     }
 
-    /// Create a view, auto-selecting the maintenance strategy.
-    pub fn create_view(&mut self, name: impl Into<String>, definition: Plan) -> Result<Strategy> {
-        let strategy = self.choose_strategy(&definition);
-        self.create_view_with(name, definition, strategy)?;
-        Ok(strategy)
+    /// Register a view, auto-selecting the maintenance strategy (the
+    /// paper's shape-based planner). Shorthand for
+    /// [`ViewManager::register_view_with`] with default [`ViewOptions`].
+    pub fn register_view(&mut self, name: impl Into<String>, definition: Plan) -> Result<Strategy> {
+        self.register_view_with(name, definition, ViewOptions::new())
     }
 
-    /// Create a view choosing the strategy with the cost model
-    /// ([`crate::cost`]) at an expected per-refresh delta size — the
-    /// paper's "cost-based optimizer" hook (§3). Falls back to the
-    /// shape-based choice when no strategy costs out.
-    pub fn create_view_costed(
+    /// Register a view with explicit [`ViewOptions`]. Accepts a bare
+    /// [`Strategy`] too (`register_view_with("v", plan, Strategy::Recompute)`).
+    ///
+    /// Strategy resolution: a forced [`ViewOptions::strategy`] wins; else
+    /// [`ViewOptions::expected_delta_rows`] asks the cost model
+    /// ([`crate::cost`], the paper's §3 "cost-based optimizer" hook) — a
+    /// cost-picked strategy that then fails shape validation is reported as
+    /// [`CoreError::StrategyNotApplicable`] rather than silently swapped;
+    /// else the shape-based planner ([`ViewManager::choose_strategy`])
+    /// decides. Returns the strategy the view was compiled with.
+    pub fn register_view_with(
         &mut self,
         name: impl Into<String>,
         definition: Plan,
-        expected_delta_rows: f64,
+        options: impl Into<ViewOptions>,
     ) -> Result<Strategy> {
-        let stats = crate::cost::CatalogStats::from_catalog(&self.catalog);
-        let strategy =
-            crate::cost::cheapest_strategy(&definition, &stats, &self.catalog, expected_delta_rows)
-                .map(|(s, _)| s)
-                .unwrap_or_else(|| self.choose_strategy(&definition));
-        // Cost-picked strategies can still fail shape validation at create
-        // time (e.g. a non-null-intolerant predicate); fall back then.
-        match self.create_view_with(name, definition, strategy) {
-            Ok(()) => Ok(strategy),
-            Err(CoreError::DuplicateView(v)) => Err(CoreError::DuplicateView(v)),
-            Err(_) => Err(CoreError::StrategyNotApplicable {
-                strategy: strategy.id().into(),
-                reason: "cost-selected strategy failed to compile; \
-                         use create_view for the shape-based choice"
-                    .into(),
-            }),
+        let options = options.into();
+        if let Some(strategy) = options.strategy {
+            self.install_new_view(name, definition, strategy)?;
+            return Ok(strategy);
         }
+        if let Some(expected_delta_rows) = options.expected_delta_rows {
+            let stats = crate::cost::CatalogStats::from_catalog(&self.catalog);
+            let costed = crate::cost::cheapest_strategy(
+                &definition,
+                &stats,
+                &self.catalog,
+                expected_delta_rows,
+            )
+            .map(|(s, _)| s);
+            let Some(strategy) = costed else {
+                // No strategy costs out; fall back to the shape planner.
+                let strategy = self.choose_strategy(&definition);
+                self.install_new_view(name, definition, strategy)?;
+                return Ok(strategy);
+            };
+            // Cost-picked strategies can still fail shape validation at
+            // create time (e.g. a non-null-intolerant predicate); surface
+            // that instead of silently installing something else.
+            return match self.install_new_view(name, definition, strategy) {
+                Ok(()) => Ok(strategy),
+                Err(CoreError::DuplicateView(v)) => Err(CoreError::DuplicateView(v)),
+                Err(_) => Err(CoreError::StrategyNotApplicable {
+                    strategy: strategy.id().into(),
+                    reason: "cost-selected strategy failed to compile; \
+                             use register_view for the shape-based choice"
+                        .into(),
+                }),
+            };
+        }
+        let strategy = self.choose_strategy(&definition);
+        self.install_new_view(name, definition, strategy)?;
+        Ok(strategy)
     }
 
-    /// Create a view with an explicit strategy.
-    pub fn create_view_with(
+    /// Compile, materialize, and insert a view under `name`.
+    fn install_new_view(
         &mut self,
         name: impl Into<String>,
         definition: Plan,
@@ -621,9 +734,55 @@ impl ViewManager {
         if self.views.contains_key(&name) {
             return Err(CoreError::DuplicateView(name));
         }
-        let view = MaterializedView::create(name.clone(), definition, strategy, &self.catalog)?;
+        let view = MaterializedView::create_with(
+            name.clone(),
+            definition,
+            strategy,
+            &self.catalog,
+            &self.exec,
+        )?;
         self.views.insert(name, view);
         Ok(())
+    }
+
+    /// Create a view, auto-selecting the maintenance strategy.
+    #[deprecated(since = "0.4.0", note = "use `register_view`")]
+    pub fn create_view(&mut self, name: impl Into<String>, definition: Plan) -> Result<Strategy> {
+        self.register_view(name, definition)
+    }
+
+    /// Create a view choosing the strategy with the cost model at an
+    /// expected per-refresh delta size.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use `register_view_with` with `ViewOptions::new().expected_delta_rows(...)`"
+    )]
+    pub fn create_view_costed(
+        &mut self,
+        name: impl Into<String>,
+        definition: Plan,
+        expected_delta_rows: f64,
+    ) -> Result<Strategy> {
+        self.register_view_with(
+            name,
+            definition,
+            ViewOptions::new().expected_delta_rows(expected_delta_rows),
+        )
+    }
+
+    /// Create a view with an explicit strategy.
+    #[deprecated(
+        since = "0.4.0",
+        note = "use `register_view_with` (accepts a bare `Strategy`)"
+    )]
+    pub fn create_view_with(
+        &mut self,
+        name: impl Into<String>,
+        definition: Plan,
+        strategy: Strategy,
+    ) -> Result<()> {
+        self.register_view_with(name, definition, strategy)
+            .map(|_| ())
     }
 
     /// Drop a view.
@@ -675,7 +834,7 @@ impl ViewManager {
             .views
             .remove(name)
             .ok_or_else(|| CoreError::UnknownView(name.to_string()))?;
-        let result = view.maintain(catalog, deltas);
+        let result = view.maintain_with(catalog, deltas, &self.exec);
         self.views.insert(name.to_string(), view);
         result
     }
@@ -738,7 +897,7 @@ impl ViewManager {
     /// Verify a view's materialization against recomputation (testing aid).
     pub fn verify_view(&self, name: &str) -> Result<bool> {
         let view = self.view(name)?;
-        let fresh = Executor::execute(&view.normalized.plan, &self.catalog)?;
+        let fresh = self.exec.run(&view.normalized.plan, &self.catalog)?;
         Ok(view.table.bag_eq(&fresh))
     }
 
@@ -825,7 +984,7 @@ mod tests {
     #[test]
     fn create_maintain_verify_cycle() {
         let mut vm = ViewManager::new(catalog());
-        vm.create_view("v", pivot_plan()).unwrap();
+        vm.register_view("v", pivot_plan()).unwrap();
         assert!(vm.verify_view("v").unwrap());
 
         let mut deltas = SourceDeltas::new();
@@ -853,7 +1012,7 @@ mod tests {
             Strategy::PivotUpdate,
         ] {
             let mut vm = ViewManager::new(catalog());
-            vm.create_view_with("v", plan.clone(), strategy).unwrap();
+            vm.register_view_with("v", plan.clone(), strategy).unwrap();
             vm.refresh(&deltas).unwrap();
             assert!(vm.verify_view("v").unwrap(), "strategy {strategy} diverged");
         }
@@ -869,7 +1028,7 @@ mod tests {
                 vec!["s"],
                 vec![vec![Value::str("a")], vec![Value::str("b")]],
             ));
-        vm.create_view("v", plan).unwrap();
+        vm.register_view("v", plan).unwrap();
         let user = vm.query_view("v").unwrap();
         // Hidden __cs / __c_val cells must not leak into the user view.
         assert!(user
@@ -891,22 +1050,83 @@ mod tests {
     #[test]
     fn costed_creation_picks_update_rules_for_small_deltas() {
         let mut vm = ViewManager::new(catalog());
-        let s = vm.create_view_costed("v", pivot_plan(), 2.0).unwrap();
+        let s = vm
+            .register_view_with(
+                "v",
+                pivot_plan(),
+                ViewOptions::new().expected_delta_rows(2.0),
+            )
+            .unwrap();
         assert_eq!(s, Strategy::PivotUpdate);
         // Huge expected deltas flip the choice to recomputation.
         let mut vm = ViewManager::new(catalog());
         let s = vm
-            .create_view_costed("v", pivot_plan(), 1_000_000.0)
+            .register_view_with(
+                "v",
+                pivot_plan(),
+                ViewOptions::new().expected_delta_rows(1_000_000.0),
+            )
             .unwrap();
         assert_eq!(s, Strategy::Recompute);
     }
 
     #[test]
+    #[allow(deprecated)]
+    fn deprecated_create_view_shims_still_work() {
+        let mut vm = ViewManager::new(catalog());
+        let s = vm.create_view("a", pivot_plan()).unwrap();
+        assert_eq!(s, Strategy::PivotUpdate);
+        vm.create_view_with("b", pivot_plan(), Strategy::Recompute)
+            .unwrap();
+        assert_eq!(vm.view("b").unwrap().strategy(), Strategy::Recompute);
+        let s = vm.create_view_costed("c", pivot_plan(), 2.0).unwrap();
+        assert_eq!(s, Strategy::PivotUpdate);
+    }
+
+    #[test]
+    fn register_view_on_a_parallel_executor_matches_sequential() {
+        // Same partitioning config, different thread counts: the view
+        // contents must be row-for-row identical.
+        let exec_at = |threads| {
+            Executor::new()
+                .with_threads(threads)
+                .with_parallel_threshold(1)
+        };
+        let mut one = ViewManager::new(catalog()).with_exec(exec_at(1));
+        one.register_view("v", pivot_plan()).unwrap();
+        let mut four = ViewManager::new(catalog()).with_exec(exec_at(4));
+        four.register_view("v", pivot_plan()).unwrap();
+        assert_eq!(
+            one.query_view("v").unwrap().rows(),
+            four.query_view("v").unwrap().rows()
+        );
+
+        let mut deltas = SourceDeltas::new();
+        deltas.insert_rows("items", vec![row![2, "b", 99], row![4, "a", 7]]);
+        one.refresh(&deltas).unwrap();
+        four.refresh(&deltas).unwrap();
+        assert!(four.verify_view("v").unwrap());
+        assert_eq!(
+            one.query_view("v").unwrap().rows(),
+            four.query_view("v").unwrap().rows()
+        );
+
+        // And against the default executor the result is still the same bag.
+        let mut seq = ViewManager::new(catalog());
+        seq.register_view("v", pivot_plan()).unwrap();
+        seq.refresh(&deltas).unwrap();
+        assert!(seq
+            .query_view("v")
+            .unwrap()
+            .bag_eq(&four.query_view("v").unwrap()));
+    }
+
+    #[test]
     fn duplicate_view_rejected() {
         let mut vm = ViewManager::new(catalog());
-        vm.create_view("v", pivot_plan()).unwrap();
+        vm.register_view("v", pivot_plan()).unwrap();
         assert!(matches!(
-            vm.create_view("v", pivot_plan()),
+            vm.register_view("v", pivot_plan()),
             Err(CoreError::DuplicateView(_))
         ));
     }

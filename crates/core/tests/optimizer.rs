@@ -35,8 +35,8 @@ fn catalog() -> Catalog {
 }
 
 fn assert_preserves(plan: &Plan, optimized: &Plan, c: &Catalog) {
-    let a = Executor::execute(plan, c).unwrap();
-    let b = Executor::execute(optimized, c).unwrap();
+    let a = Executor::new().run(plan, c).unwrap();
+    let b = Executor::new().run(optimized, c).unwrap();
     assert_eq!(a.schema().column_names(), b.schema().column_names());
     assert_eq!(a.sorted_rows(), b.sorted_rows());
 }

@@ -90,8 +90,8 @@ fn type_pivot() -> PivotSpec {
 
 /// Execute both plans; assert same column names and same bag of rows.
 fn assert_equivalent(original: &Plan, rewritten: &Plan, c: &Catalog, what: &str) {
-    let a = Executor::execute(original, c).unwrap();
-    let b = Executor::execute(rewritten, c).unwrap();
+    let a = Executor::new().run(original, c).unwrap();
+    let b = Executor::new().run(rewritten, c).unwrap();
     assert_eq!(
         a.schema().column_names(),
         b.schema().column_names(),
@@ -226,8 +226,8 @@ fn pullup_project_refuses_dropping_k_columns() {
     let naive = Plan::scan("sales")
         .project_cols(&["Country", "Manu", "Type", "Price"])
         .gpivot(type_pivot());
-    let a = Executor::execute(&plan, &c).unwrap();
-    let b = Executor::execute(&naive, &c).unwrap();
+    let a = Executor::new().run(&plan, &c).unwrap();
+    let b = Executor::new().run(&naive, &c).unwrap();
     assert_ne!(a.sorted_rows(), b.sorted_rows());
 }
 

@@ -1,14 +1,27 @@
 //! The plan dispatcher: recursively evaluates a [`Plan`] bottom-up.
 //!
-//! [`Executor::execute`] returns just the result table;
-//! [`Executor::execute_traced`] additionally returns an [`ExecTrace`] — a
-//! per-operator row-count profile rendered like `EXPLAIN ANALYZE`, which
-//! the examples use to show where maintenance plans spend their rows.
+//! An [`Executor`] is configured once — `Executor::new().with_threads(4)`
+//! — and carries an [`ExecContext`]: the worker pool, partition counts and
+//! morsel size every operator kernel consults. [`Executor::run`] returns
+//! just the result table; [`Executor::run_traced`] additionally returns an
+//! [`ExecTrace`] — a per-operator row-count profile rendered like
+//! `EXPLAIN ANALYZE`, which the examples use to show where maintenance
+//! plans spend their rows.
+//!
+//! **Determinism.** Results are bit-identical across thread counts: the
+//! choice between the sequential and hash-partitioned kernel of an
+//! operator depends only on the input size ([`ExecOptions::parallel_threshold`]),
+//! the partition count is fixed configuration ([`ExecOptions::partitions`],
+//! never derived from the thread count), partitioning uses a fixed-key
+//! hash, and partition outputs merge in partition-index order. Threads
+//! only change which worker runs which partition — see DESIGN.md
+//! §"Parallel execution".
 
 use crate::error::Result;
-use crate::group::hash_group_by;
-use crate::join::hash_join;
-use crate::pivot::{gpivot, gunpivot};
+use crate::group::{hash_group_by, hash_group_by_partitioned};
+use crate::join::{hash_join, hash_join_partitioned};
+use crate::pivot::{gpivot, gpivot_partitioned, gunpivot};
+use crate::pool::{morsels, WorkerPool};
 use crate::provider::{ProviderSchemas, TableProvider};
 use gpivot_algebra::Plan;
 use gpivot_storage::{Row, Table};
@@ -61,26 +74,152 @@ impl std::fmt::Display for ExecTrace {
     }
 }
 
-/// Batch plan executor. Stateless — all inputs come from the provider.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct Executor;
+/// Tuning knobs for one [`Executor`] / [`ExecContext`].
+///
+/// The default thread count honors the `GPIVOT_EXEC_THREADS` environment
+/// variable (falling back to 1), so the CI thread matrix and deployments
+/// can widen every executor in the process without touching call sites.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ExecOptions {
+    /// Worker threads for partitioned kernels (1 = run partitions inline).
+    pub threads: usize,
+    /// Rows per morsel for the order-preserving Select/Project split.
+    pub morsel_rows: usize,
+    /// Fixed hash-partition count for Join/GroupBy/GPivot. Deliberately
+    /// **not** derived from `threads`: the partitioning (and with it the
+    /// merged output order) must be identical across thread counts.
+    pub partitions: usize,
+    /// Inputs with fewer rows than this stay on the sequential kernels.
+    /// Data-dependent only — never compared against the thread count.
+    pub parallel_threshold: usize,
+}
+
+impl Default for ExecOptions {
+    fn default() -> Self {
+        let threads = std::env::var("GPIVOT_EXEC_THREADS")
+            .ok()
+            .and_then(|s| s.trim().parse::<usize>().ok())
+            .filter(|&n| n >= 1)
+            .unwrap_or(1);
+        ExecOptions {
+            threads,
+            morsel_rows: 4096,
+            partitions: 16,
+            parallel_threshold: 1024,
+        }
+    }
+}
+
+/// Everything a plan evaluation carries with it: the resolved
+/// [`ExecOptions`] and the [`WorkerPool`] the partitioned kernels submit
+/// jobs to. The pool re-installs the calling thread's tracing collector
+/// on every worker, so per-partition spans land in the caller's store.
+#[derive(Debug, Clone)]
+pub struct ExecContext {
+    opts: ExecOptions,
+    pool: WorkerPool,
+}
+
+impl Default for ExecContext {
+    fn default() -> Self {
+        ExecContext::new(ExecOptions::default())
+    }
+}
+
+impl ExecContext {
+    /// Build a context from options (the pool width follows
+    /// `opts.threads`).
+    pub fn new(opts: ExecOptions) -> Self {
+        let pool = WorkerPool::new(opts.threads);
+        ExecContext { opts, pool }
+    }
+
+    /// The resolved options.
+    pub fn options(&self) -> &ExecOptions {
+        &self.opts
+    }
+
+    /// The worker pool partitioned kernels run on.
+    pub fn pool(&self) -> &WorkerPool {
+        &self.pool
+    }
+
+    /// Should an operator over `input_rows` rows take the partitioned
+    /// kernel? Purely data-dependent (see the determinism note on
+    /// [`ExecOptions::parallel_threshold`]).
+    fn partitioned(&self, input_rows: usize) -> bool {
+        self.opts.partitions > 1 && input_rows >= self.opts.parallel_threshold
+    }
+}
+
+/// Batch plan executor: an [`ExecContext`] plus the recursive dispatcher.
+/// All data comes from the provider; the executor itself holds only
+/// configuration, so it is cheap to clone and share.
+#[derive(Debug, Clone, Default)]
+pub struct Executor {
+    ctx: ExecContext,
+}
 
 impl Executor {
+    /// An executor with default options (thread count from
+    /// `GPIVOT_EXEC_THREADS`, else 1).
+    pub fn new() -> Self {
+        Executor::default()
+    }
+
+    /// An executor with explicit options.
+    pub fn with_options(opts: ExecOptions) -> Self {
+        Executor {
+            ctx: ExecContext::new(opts),
+        }
+    }
+
+    /// Set the worker-thread count (1 = inline).
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.ctx.opts.threads = threads.max(1);
+        self.ctx.pool = WorkerPool::new(self.ctx.opts.threads);
+        self
+    }
+
+    /// Set the Select/Project morsel size.
+    pub fn with_morsel_rows(mut self, morsel_rows: usize) -> Self {
+        self.ctx.opts.morsel_rows = morsel_rows.max(1);
+        self
+    }
+
+    /// Set the fixed hash-partition count.
+    pub fn with_partitions(mut self, partitions: usize) -> Self {
+        self.ctx.opts.partitions = partitions.max(1);
+        self
+    }
+
+    /// Set the minimum input size for the partitioned kernels.
+    pub fn with_parallel_threshold(mut self, rows: usize) -> Self {
+        self.ctx.opts.parallel_threshold = rows;
+        self
+    }
+
+    /// The execution context this executor evaluates plans under.
+    pub fn context(&self) -> &ExecContext {
+        &self.ctx
+    }
+
     /// Evaluate `plan` against `provider`, returning the result as a bag
     /// table whose schema (including key metadata) comes from schema
     /// inference.
-    pub fn execute<P: TableProvider>(plan: &Plan, provider: &P) -> Result<Table> {
+    pub fn run<P: TableProvider>(&self, plan: &Plan, provider: &P) -> Result<Table> {
         let mut trace = None;
-        Self::execute_impl(plan, provider, 0, &mut trace)
+        self.eval(plan, provider, 0, &mut trace)
     }
 
-    /// Like [`Executor::execute`], also returning the per-operator trace.
-    pub fn execute_traced<P: TableProvider>(
+    /// Like [`Executor::run`], also returning the per-operator trace.
+    pub fn run_traced<P: TableProvider>(
+        &self,
         plan: &Plan,
         provider: &P,
     ) -> Result<(Table, ExecTrace)> {
         let mut trace = Some(ExecTrace::default());
-        let table = Self::execute_impl(plan, provider, 0, &mut trace)?;
+        let table = self.eval(plan, provider, 0, &mut trace)?;
         let mut trace = trace.unwrap_or_default();
         // Entries were pushed post-order (children first); reversing puts
         // each parent before its children (for binary operators the right
@@ -89,51 +228,115 @@ impl Executor {
         Ok((table, trace))
     }
 
-    fn execute_impl<P: TableProvider>(
+    /// Evaluate on a fresh default-configured executor.
+    #[deprecated(note = "configure an instance instead: `Executor::new().run(plan, provider)`")]
+    pub fn execute<P: TableProvider>(plan: &Plan, provider: &P) -> Result<Table> {
+        Executor::new().run(plan, provider)
+    }
+
+    /// Evaluate traced on a fresh default-configured executor.
+    #[deprecated(
+        note = "configure an instance instead: `Executor::new().run_traced(plan, provider)`"
+    )]
+    pub fn execute_traced<P: TableProvider>(
+        plan: &Plan,
+        provider: &P,
+    ) -> Result<(Table, ExecTrace)> {
+        Executor::new().run_traced(plan, provider)
+    }
+
+    fn eval<P: TableProvider>(
+        &self,
         plan: &Plan,
         provider: &P,
         depth: usize,
         trace: &mut Option<ExecTrace>,
     ) -> Result<Table> {
         let schemas = ProviderSchemas(provider);
+        let ctx = &self.ctx;
         // Each operator's kernel work runs under an `op.*` span entered
         // only after its children have been evaluated, so the recorded
         // durations are per-operator self-times, not inclusive subtree
-        // times (see DESIGN.md §"Observability").
+        // times (see DESIGN.md §"Observability"). Partitioned kernels skip
+        // the RAII span and instead record `op.*` as the max partition
+        // duration plus an `op.*.partition` sub-span per partition — the
+        // self-time stays the operator's critical path, comparable with
+        // the sequential reading.
         let result: Result<Table> = match plan {
             Plan::Scan { table } => {
                 let _s = tracing::span("op.Scan").enter();
                 let t = provider.get_table(table)?;
-                Ok(Table::bag(t.schema().clone(), t.rows().to_vec()))
+                // Share the base table's row storage instead of copying
+                // O(|base|) rows per execution (copy-on-write `Arc`).
+                Ok(Table::bag_shared(t.schema().clone(), t.shared_rows()))
             }
 
             Plan::Select { input, predicate } => {
-                let child = Self::execute_impl(input, provider, depth + 1, trace)?;
-                let _s = tracing::span("op.Select").enter();
-                let bound = predicate.bind(child.schema())?;
-                let rows = child
-                    .rows()
-                    .iter()
-                    .filter(|r| bound.holds(r))
-                    .cloned()
-                    .collect();
-                Ok(Table::bag(child.schema().clone(), rows))
+                let child = self.eval(input, provider, depth + 1, trace)?;
+                if ctx.partitioned(child.len()) {
+                    let bound = predicate.bind(child.schema())?;
+                    let jobs = morsels(child.len(), ctx.opts.morsel_rows);
+                    let outs = ctx.pool.run_timed(
+                        "Select",
+                        "op.Select",
+                        "op.Select.partition",
+                        jobs,
+                        |range| {
+                            Ok(child.rows()[range]
+                                .iter()
+                                .filter(|r| bound.holds(r))
+                                .cloned()
+                                .collect::<Vec<Row>>())
+                        },
+                    )?;
+                    Ok(Table::bag(
+                        child.schema().clone(),
+                        outs.into_iter().flatten().collect(),
+                    ))
+                } else {
+                    let _s = tracing::span("op.Select").enter();
+                    let bound = predicate.bind(child.schema())?;
+                    let rows = child
+                        .rows()
+                        .iter()
+                        .filter(|r| bound.holds(r))
+                        .cloned()
+                        .collect();
+                    Ok(Table::bag(child.schema().clone(), rows))
+                }
             }
 
             Plan::Project { input, items } => {
-                let child = Self::execute_impl(input, provider, depth + 1, trace)?;
-                let _s = tracing::span("op.Project").enter();
+                let child = self.eval(input, provider, depth + 1, trace)?;
                 let out_schema = plan.schema(&schemas)?;
                 let bound: Vec<_> = items
                     .iter()
                     .map(|(e, _)| e.bind(child.schema()))
                     .collect::<gpivot_algebra::Result<_>>()?;
-                let rows = child
-                    .rows()
-                    .iter()
-                    .map(|r| Row::new(bound.iter().map(|b| b.eval(r)).collect()))
-                    .collect();
-                Ok(Table::bag(out_schema, rows))
+                if ctx.partitioned(child.len()) {
+                    let jobs = morsels(child.len(), ctx.opts.morsel_rows);
+                    let outs = ctx.pool.run_timed(
+                        "Project",
+                        "op.Project",
+                        "op.Project.partition",
+                        jobs,
+                        |range| {
+                            Ok(child.rows()[range]
+                                .iter()
+                                .map(|r| Row::new(bound.iter().map(|b| b.eval(r)).collect()))
+                                .collect::<Vec<Row>>())
+                        },
+                    )?;
+                    Ok(Table::bag(out_schema, outs.into_iter().flatten().collect()))
+                } else {
+                    let _s = tracing::span("op.Project").enter();
+                    let rows = child
+                        .rows()
+                        .iter()
+                        .map(|r| Row::new(bound.iter().map(|b| b.eval(r)).collect()))
+                        .collect();
+                    Ok(Table::bag(out_schema, rows))
+                }
             }
 
             Plan::Join {
@@ -143,9 +346,8 @@ impl Executor {
                 on,
                 residual,
             } => {
-                let l = Self::execute_impl(left, provider, depth + 1, trace)?;
-                let r = Self::execute_impl(right, provider, depth + 1, trace)?;
-                let _s = tracing::span("op.Join").enter();
+                let l = self.eval(left, provider, depth + 1, trace)?;
+                let r = self.eval(right, provider, depth + 1, trace)?;
                 let out_schema = plan.schema(&schemas)?;
                 let left_on: Vec<usize> = on
                     .iter()
@@ -156,15 +358,30 @@ impl Executor {
                     .map(|(_, rc)| r.schema().index_of(rc))
                     .collect::<gpivot_storage::Result<_>>()?;
                 let bound_res = residual.as_ref().map(|e| e.bind(&out_schema)).transpose()?;
-                hash_join(
-                    &l,
-                    &r,
-                    *kind,
-                    &left_on,
-                    &right_on,
-                    bound_res.as_ref(),
-                    out_schema,
-                )
+                if ctx.partitioned(l.len() + r.len()) {
+                    hash_join_partitioned(
+                        &l,
+                        &r,
+                        *kind,
+                        &left_on,
+                        &right_on,
+                        bound_res.as_ref(),
+                        out_schema,
+                        &ctx.pool,
+                        ctx.opts.partitions,
+                    )
+                } else {
+                    let _s = tracing::span("op.Join").enter();
+                    hash_join(
+                        &l,
+                        &r,
+                        *kind,
+                        &left_on,
+                        &right_on,
+                        bound_res.as_ref(),
+                        out_schema,
+                    )
+                }
             }
 
             Plan::GroupBy {
@@ -172,8 +389,7 @@ impl Executor {
                 group_by,
                 aggs,
             } => {
-                let child = Self::execute_impl(input, provider, depth + 1, trace)?;
-                let _s = tracing::span("op.GroupBy").enter();
+                let child = self.eval(input, provider, depth + 1, trace)?;
                 let out_schema = plan.schema(&schemas)?;
                 let group_idx: Vec<usize> = group_by
                     .iter()
@@ -189,12 +405,25 @@ impl Executor {
                         }
                     })
                     .collect::<gpivot_storage::Result<_>>()?;
-                hash_group_by(&child, &group_idx, aggs, &agg_inputs, out_schema)
+                if ctx.partitioned(child.len()) {
+                    hash_group_by_partitioned(
+                        &child,
+                        &group_idx,
+                        aggs,
+                        &agg_inputs,
+                        out_schema,
+                        &ctx.pool,
+                        ctx.opts.partitions,
+                    )
+                } else {
+                    let _s = tracing::span("op.GroupBy").enter();
+                    hash_group_by(&child, &group_idx, aggs, &agg_inputs, out_schema)
+                }
             }
 
             Plan::Union { left, right } => {
-                let l = Self::execute_impl(left, provider, depth + 1, trace)?;
-                let r = Self::execute_impl(right, provider, depth + 1, trace)?;
+                let l = self.eval(left, provider, depth + 1, trace)?;
+                let r = self.eval(right, provider, depth + 1, trace)?;
                 let _s = tracing::span("op.Union").enter();
                 let out_schema = plan.schema(&schemas)?;
                 let mut rows = l.rows().to_vec();
@@ -203,8 +432,8 @@ impl Executor {
             }
 
             Plan::Diff { left, right } => {
-                let l = Self::execute_impl(left, provider, depth + 1, trace)?;
-                let r = Self::execute_impl(right, provider, depth + 1, trace)?;
+                let l = self.eval(left, provider, depth + 1, trace)?;
+                let r = self.eval(right, provider, depth + 1, trace)?;
                 let _s = tracing::span("op.Diff").enter();
                 let out_schema = plan.schema(&schemas)?;
                 // Bag difference: subtract up to multiplicity.
@@ -223,14 +452,18 @@ impl Executor {
             }
 
             Plan::GPivot { input, spec } => {
-                let child = Self::execute_impl(input, provider, depth + 1, trace)?;
-                let _s = tracing::span("op.GPivot").enter();
+                let child = self.eval(input, provider, depth + 1, trace)?;
                 let out_schema = plan.schema(&schemas)?;
-                gpivot(&child, spec, out_schema)
+                if ctx.partitioned(child.len()) {
+                    gpivot_partitioned(&child, spec, out_schema, &ctx.pool, ctx.opts.partitions)
+                } else {
+                    let _s = tracing::span("op.GPivot").enter();
+                    gpivot(&child, spec, out_schema)
+                }
             }
 
             Plan::GUnpivot { input, spec } => {
-                let child = Self::execute_impl(input, provider, depth + 1, trace)?;
+                let child = self.eval(input, provider, depth + 1, trace)?;
                 let _s = tracing::span("op.GUnpivot").enter();
                 let out_schema = plan.schema(&schemas)?;
                 gunpivot(&child, spec, out_schema)
@@ -317,7 +550,7 @@ mod tests {
             .select(Expr::col("Price").gt(Expr::lit(100)))
             .project_cols(&["ID", "Price"])
             .build();
-        let out = Executor::execute(&plan, &c).unwrap();
+        let out = Executor::new().run(&plan, &c).unwrap();
         assert_eq!(out.sorted_rows(), vec![row![1, 180], row![2, 300]]);
     }
 
@@ -333,7 +566,7 @@ mod tests {
             .gpivot(spec)
             .join(PlanBuilder::scan("product"), vec![("ID", "PID")])
             .build();
-        let out = Executor::execute(&plan, &c).unwrap();
+        let out = Executor::new().run(&plan, &c).unwrap();
         assert_eq!(out.len(), 3);
         let r1 = out.iter().find(|r| r[0] == Value::Int(1)).unwrap();
         // ID, Credit**Price, ByAir**Price, PID, Manu, Type
@@ -351,7 +584,7 @@ mod tests {
             .join(PlanBuilder::scan("product"), vec![("ID", "PID")])
             .group_by(&["Manu"], vec![AggSpec::sum("Price", "total")])
             .build();
-        let out = Executor::execute(&plan, &c).unwrap();
+        let out = Executor::new().run(&plan, &c).unwrap();
         assert_eq!(
             out.sorted_rows(),
             vec![row!["Panasonic", 50], row!["Sony", 500]]
@@ -364,11 +597,11 @@ mod tests {
         let u = PlanBuilder::scan("payment")
             .union(PlanBuilder::scan("payment"))
             .build();
-        assert_eq!(Executor::execute(&u, &c).unwrap().len(), 8);
+        assert_eq!(Executor::new().run(&u, &c).unwrap().len(), 8);
         let d = PlanBuilder::from_plan(u.clone())
             .diff(PlanBuilder::scan("payment"))
             .build();
-        let out = Executor::execute(&d, &c).unwrap();
+        let out = Executor::new().run(&d, &c).unwrap();
         assert_eq!(out.len(), 4);
     }
 
@@ -383,7 +616,7 @@ mod tests {
                 vec![Value::str("Credit"), Value::str("ByAir")],
             ))
             .build();
-        let (table, trace) = Executor::execute_traced(&plan, &c).unwrap();
+        let (table, trace) = Executor::new().run_traced(&plan, &c).unwrap();
         // Plan order: GPivot (depth 0), Select (1), Scan (2).
         let ops: Vec<&str> = trace.entries.iter().map(|e| e.op).collect();
         assert_eq!(ops, vec!["GPivot", "Select", "Scan"]);
@@ -393,8 +626,118 @@ mod tests {
         assert!(trace.render().contains("Scan → 4 rows"));
         assert_eq!(trace.total_rows(), 4 + 2 + table.len());
         // Untraced execution agrees.
-        let plain = Executor::execute(&plan, &c).unwrap();
+        let plain = Executor::new().run(&plan, &c).unwrap();
         assert!(plain.bag_eq(&table));
+    }
+
+    #[test]
+    fn scan_shares_base_table_rows_without_copy() {
+        let c = catalog();
+        let plan = PlanBuilder::scan("payment").build();
+        let out = Executor::new().run(&plan, &c).unwrap();
+        let base = c.get_table("payment").unwrap();
+        // Regression: Scan used to clone every base row per execution.
+        // The result must point at the very same row allocation.
+        assert!(
+            Arc::ptr_eq(&out.shared_rows(), &base.shared_rows()),
+            "Scan copied the base table instead of sharing it"
+        );
+        // Two executions share the same storage too.
+        let again = Executor::new().run(&plan, &c).unwrap();
+        assert!(Arc::ptr_eq(&out.shared_rows(), &again.shared_rows()));
+    }
+
+    /// Wide inputs (≥ parallel_threshold) produce bit-identical rows in
+    /// bit-identical order at every pool width, and agree bag-wise with a
+    /// purely sequential executor.
+    #[test]
+    fn parallel_execution_is_thread_invariant_end_to_end() {
+        let mut c = Catalog::new();
+        let schema = Arc::new(
+            Schema::from_pairs_keyed(
+                &[
+                    ("ID", DataType::Int),
+                    ("Payment", DataType::Str),
+                    ("Price", DataType::Int),
+                ],
+                &["ID", "Payment"],
+            )
+            .unwrap(),
+        );
+        let rows: Vec<Row> = (0..2000)
+            .map(|i| {
+                row![
+                    i / 2,
+                    if i % 2 == 0 { "Credit" } else { "ByAir" },
+                    (i * 37) % 500
+                ]
+            })
+            .collect();
+        c.register("payment", Table::from_rows(schema, rows).unwrap())
+            .unwrap();
+        let plan = PlanBuilder::scan("payment")
+            .select(Expr::col("Price").gt(Expr::lit(10)))
+            .gpivot(PivotSpec::simple(
+                "Payment",
+                "Price",
+                vec![Value::str("Credit"), Value::str("ByAir")],
+            ))
+            .build();
+        let sequential = Executor::new()
+            .with_parallel_threshold(usize::MAX)
+            .run(&plan, &c)
+            .unwrap();
+        let mut outputs = Vec::new();
+        for threads in [1, 2, 8] {
+            let out = Executor::new()
+                .with_threads(threads)
+                .run(&plan, &c)
+                .unwrap();
+            assert!(out.bag_eq(&sequential), "threads={threads}");
+            outputs.push(out.rows().to_vec());
+        }
+        assert_eq!(outputs[0], outputs[1]);
+        assert_eq!(outputs[1], outputs[2]);
+    }
+
+    /// Parallel operators reconcile with the span store: one `op.X`
+    /// parent reading (the max partition duration) plus an
+    /// `op.X.partition` sub-span per partition.
+    #[test]
+    fn parallel_spans_reconcile_max_of_partitions() {
+        let mut c = Catalog::new();
+        let schema =
+            Arc::new(Schema::from_pairs(&[("g", DataType::Int), ("v", DataType::Int)]).unwrap());
+        let rows: Vec<Row> = (0..4000).map(|i| row![i % 97, i]).collect();
+        c.register("t", Table::from_rows(schema, rows).unwrap())
+            .unwrap();
+        let plan = PlanBuilder::scan("t")
+            .group_by(&["g"], vec![AggSpec::sum("v", "s")])
+            .build();
+        let exec = Executor::new().with_threads(2).with_partitions(8);
+        let sub = tracing::TimingSubscriber::shared();
+        tracing::with_collector(sub.clone(), || {
+            exec.run(&plan, &c).unwrap();
+        });
+        let parent = sub.histogram("op.GroupBy").unwrap();
+        let parts = sub.histogram("op.GroupBy.partition").unwrap();
+        assert_eq!(parent.count(), 1, "exactly one parent self-time reading");
+        assert_eq!(parts.count(), 8, "one sub-span per partition");
+        assert!(
+            parent.max() <= parts.max(),
+            "parent self-time is the max partition duration"
+        );
+    }
+
+    #[test]
+    #[allow(deprecated)]
+    fn deprecated_static_shims_still_work() {
+        let c = catalog();
+        let plan = PlanBuilder::scan("payment").build();
+        let via_shim = Executor::execute(&plan, &c).unwrap();
+        let (traced, trace) = Executor::execute_traced(&plan, &c).unwrap();
+        assert!(via_shim.bag_eq(&traced));
+        assert_eq!(trace.entries.len(), 1);
     }
 
     #[test]
@@ -423,7 +766,7 @@ mod tests {
                 vec![vec![Value::str("TV")], vec![Value::str("VCR")]],
             ))
             .build();
-        let out = Executor::execute(&top, &c).unwrap();
+        let out = Executor::new().run(&top, &c).unwrap();
         // Manu, TV**CreditSum, TV**ByAirSum, VCR**CreditSum, VCR**ByAirSum
         assert_eq!(out.schema().arity(), 5);
         let sony = out.iter().find(|r| r[0] == Value::str("Sony")).unwrap();

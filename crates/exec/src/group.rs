@@ -8,6 +8,7 @@
 //! count of non-NULLs and `COUNT(*)` counts rows.
 
 use crate::error::{ExecError, Result};
+use crate::pool::{partition_by_hash, WorkerPool};
 use gpivot_algebra::{AggFunc, AggSpec};
 use gpivot_storage::{Row, Schema, Table, Value};
 use std::collections::HashMap;
@@ -125,7 +126,49 @@ impl AggState {
     }
 }
 
-/// Execute a hash aggregation.
+/// Aggregate the input rows at positions `indices` — the single-partition
+/// core of both the sequential and the partitioned kernels. Groups are
+/// emitted in first-seen order (insertion order over `indices`), so the
+/// output order is a pure function of the input — never of `HashMap`
+/// iteration order or thread scheduling.
+fn group_partition(
+    input: &Table,
+    indices: &[usize],
+    group_idx: &[usize],
+    aggs: &[AggSpec],
+    agg_inputs: &[usize],
+) -> Result<Vec<Row>> {
+    let mut lookup: HashMap<Row, usize> = HashMap::new();
+    let mut keys: Vec<Row> = Vec::new();
+    let mut states: Vec<Vec<AggState>> = Vec::new();
+    for &i in indices {
+        let row = &input.rows()[i];
+        let key = row.project(group_idx);
+        let slot = *lookup.entry(key.clone()).or_insert_with(|| {
+            keys.push(key);
+            states.push(aggs.iter().map(|a| AggState::new(a.func)).collect());
+            states.len() - 1
+        });
+        for (state, &in_idx) in states[slot].iter_mut().zip(agg_inputs) {
+            let v = if in_idx == usize::MAX {
+                // COUNT(*): the value is irrelevant.
+                Value::Int(1)
+            } else {
+                row[in_idx].clone()
+            };
+            state.update(&v)?;
+        }
+    }
+    let mut rows = Vec::with_capacity(keys.len());
+    for (key, states) in keys.into_iter().zip(states) {
+        let mut out = key.to_vec();
+        out.extend(states.into_iter().map(AggState::finish));
+        rows.push(Row::new(out));
+    }
+    Ok(rows)
+}
+
+/// Execute a hash aggregation sequentially.
 ///
 /// `group_idx` are the grouping column indices in the input, `agg_inputs`
 /// the input column index per aggregate (`usize::MAX` for `COUNT(*)`).
@@ -136,29 +179,37 @@ pub fn hash_group_by(
     agg_inputs: &[usize],
     out_schema: std::sync::Arc<Schema>,
 ) -> Result<Table> {
-    let mut groups: HashMap<Row, Vec<AggState>> = HashMap::new();
-    for row in input.iter() {
-        let key = row.project(group_idx);
-        let states = groups
-            .entry(key)
-            .or_insert_with(|| aggs.iter().map(|a| AggState::new(a.func)).collect());
-        for (state, &in_idx) in states.iter_mut().zip(agg_inputs) {
-            let v = if in_idx == usize::MAX {
-                // COUNT(*): the value is irrelevant.
-                Value::Int(1)
-            } else {
-                row[in_idx].clone()
-            };
-            state.update(&v)?;
-        }
-    }
-    let mut rows = Vec::with_capacity(groups.len());
-    for (key, states) in groups {
-        let mut out = key.to_vec();
-        out.extend(states.into_iter().map(AggState::finish));
-        rows.push(Row::new(out));
-    }
+    let indices: Vec<usize> = (0..input.len()).collect();
+    let rows = group_partition(input, &indices, group_idx, aggs, agg_inputs)?;
     Ok(Table::bag(out_schema, rows))
+}
+
+/// Execute a hash aggregation partitioned by the hash of the group key.
+///
+/// Equal group keys always hash to the same partition, so every group is
+/// aggregated entirely within one partition — no cross-partition merge of
+/// aggregate states is needed. Partition outputs concatenate in
+/// partition-index order; with the empty group (global aggregates) all
+/// rows collapse into partition 0 and this degenerates to the sequential
+/// kernel.
+pub fn hash_group_by_partitioned(
+    input: &Table,
+    group_idx: &[usize],
+    aggs: &[AggSpec],
+    agg_inputs: &[usize],
+    out_schema: std::sync::Arc<Schema>,
+    pool: &WorkerPool,
+    partitions: usize,
+) -> Result<Table> {
+    let jobs = partition_by_hash(input.rows(), group_idx, partitions);
+    let outs = pool.run_timed(
+        "GroupBy",
+        "op.GroupBy",
+        "op.GroupBy.partition",
+        jobs,
+        |indices| group_partition(input, &indices, group_idx, aggs, agg_inputs),
+    )?;
+    Ok(Table::bag(out_schema, outs.into_iter().flatten().collect()))
 }
 
 #[cfg(test)]
@@ -314,6 +365,74 @@ mod tests {
         .unwrap();
         let rows = t.sorted_rows();
         assert_eq!(rows, vec![row!["a", 1, 2], row!["b", 5, 5]]);
+    }
+
+    #[test]
+    fn partitioned_group_by_agrees_with_sequential_and_is_thread_invariant() {
+        let schema =
+            Arc::new(Schema::from_pairs(&[("g", DataType::Int), ("v", DataType::Int)]).unwrap());
+        let t = Table::bag(
+            schema,
+            (0..500).map(|i| row![i % 23, i]).collect::<Vec<_>>(),
+        );
+        let aggs = [
+            AggSpec::sum("v", "s"),
+            AggSpec::count("v", "c"),
+            AggSpec::min("v", "lo"),
+        ];
+        let os = Arc::new(
+            Schema::from_pairs(&[
+                ("g", DataType::Int),
+                ("s", DataType::Int),
+                ("c", DataType::Int),
+                ("lo", DataType::Int),
+            ])
+            .unwrap(),
+        );
+        let seq = hash_group_by(&t, &[0], &aggs, &[1, 1, 1], os.clone()).unwrap();
+        let mut orders = Vec::new();
+        for threads in [1, 2, 8] {
+            let par = hash_group_by_partitioned(
+                &t,
+                &[0],
+                &aggs,
+                &[1, 1, 1],
+                os.clone(),
+                &crate::pool::WorkerPool::new(threads),
+                16,
+            )
+            .unwrap();
+            assert!(par.bag_eq(&seq), "threads={threads}");
+            orders.push(par.rows().to_vec());
+        }
+        assert_eq!(orders[0], orders[1]);
+        assert_eq!(orders[1], orders[2]);
+    }
+
+    #[test]
+    fn partitioned_global_aggregate_stays_single_group() {
+        let t = input();
+        let os = Arc::new(Schema::from_pairs(&[("n", DataType::Int)]).unwrap());
+        let seq = hash_group_by(
+            &t,
+            &[],
+            &[AggSpec::count_star("n")],
+            &[usize::MAX],
+            os.clone(),
+        )
+        .unwrap();
+        let par = hash_group_by_partitioned(
+            &t,
+            &[],
+            &[AggSpec::count_star("n")],
+            &[usize::MAX],
+            os,
+            &crate::pool::WorkerPool::new(4),
+            16,
+        )
+        .unwrap();
+        assert_eq!(par.rows(), seq.rows());
+        assert_eq!(par.rows(), &[row![4]]);
     }
 
     #[test]

@@ -8,37 +8,54 @@
 //! expect.
 
 use crate::error::Result;
+use crate::pool::{partition_by_hash, WorkerPool};
 use gpivot_algebra::{BoundExpr, JoinKind};
 use gpivot_storage::{Row, Schema, Table};
 use std::collections::HashMap;
 use std::sync::Arc;
 
-/// Execute a hash equi-join.
-pub fn hash_join(
+/// Join the rows of `left` at positions `lidx` against the rows of
+/// `right` at positions `ridx` — the single-partition core both the
+/// sequential and the hash-partitioned kernels run. Output order is
+/// fully determined by the index lists: matches in `lidx` order (build
+/// candidates in `ridx` order), then, for full-outer, unmatched right
+/// rows in `ridx` order.
+#[allow(clippy::too_many_arguments)]
+fn join_partition(
     left: &Table,
     right: &Table,
     kind: JoinKind,
     left_on: &[usize],
     right_on: &[usize],
     residual: Option<&BoundExpr>,
-    out_schema: Arc<Schema>,
-) -> Result<Table> {
+    lidx: &[usize],
+    ridx: &[usize],
+) -> Vec<Row> {
     // Build side: right.
     let mut build: HashMap<Row, Vec<usize>> = HashMap::new();
-    for (i, row) in right.iter().enumerate() {
+    for &ri in ridx {
+        let row = &right.rows()[ri];
         let key = row.project(right_on);
         if key.iter().any(|v| v.is_null()) {
             continue; // NULL keys never join
         }
-        build.entry(key).or_default().push(i);
+        build.entry(key).or_default().push(ri);
     }
 
-    let mut right_matched = vec![false; right.len()];
+    let mut right_matched = vec![
+        false;
+        if kind == JoinKind::FullOuter {
+            right.len()
+        } else {
+            0
+        }
+    ];
     let mut out: Vec<Row> = Vec::new();
     let n_right = right.schema().arity();
     let n_left = left.schema().arity();
 
-    for lrow in left.iter() {
+    for &li in lidx {
+        let lrow = &left.rows()[li];
         let key = lrow.project(left_on);
         let mut matched = false;
         if !key.iter().any(|v| v.is_null()) {
@@ -48,7 +65,9 @@ pub fn hash_join(
                     let pass = residual.map(|p| p.holds(&joined)).unwrap_or(true);
                     if pass {
                         matched = true;
-                        right_matched[ri] = true;
+                        if kind == JoinKind::FullOuter {
+                            right_matched[ri] = true;
+                        }
                         out.push(joined);
                     }
                 }
@@ -60,16 +79,74 @@ pub fn hash_join(
     }
 
     if kind == JoinKind::FullOuter {
-        for (ri, rrow) in right.iter().enumerate() {
+        for &ri in ridx {
             if !right_matched[ri] {
                 let mut v = vec![gpivot_storage::Value::Null; n_left];
-                v.extend(rrow.iter().cloned());
+                v.extend(right.rows()[ri].iter().cloned());
                 out.push(Row::new(v));
             }
         }
     }
 
+    out
+}
+
+/// Execute a hash equi-join sequentially.
+pub fn hash_join(
+    left: &Table,
+    right: &Table,
+    kind: JoinKind,
+    left_on: &[usize],
+    right_on: &[usize],
+    residual: Option<&BoundExpr>,
+    out_schema: Arc<Schema>,
+) -> Result<Table> {
+    let lidx: Vec<usize> = (0..left.len()).collect();
+    let ridx: Vec<usize> = (0..right.len()).collect();
+    let out = join_partition(left, right, kind, left_on, right_on, residual, &lidx, &ridx);
     Ok(Table::bag(out_schema, out))
+}
+
+/// Execute a hash equi-join partitioned by the hash of the join keys.
+///
+/// Both sides are split into `partitions` buckets with the same hash
+/// function, so equal keys always meet in the same bucket and each bucket
+/// is an independent join: matching, residual filtering and outer padding
+/// are all per-bucket-correct. Bucket outputs are concatenated in
+/// partition-index order — the partitioning depends only on the data (a
+/// fixed-key hash), never on the thread count, so the result is
+/// bit-identical across pool widths.
+///
+/// Note this kernel's row *order* differs from [`hash_join`]'s (grouped by
+/// partition rather than global left order); the engine picks a kernel by
+/// input size alone, so any given query always takes the same path.
+#[allow(clippy::too_many_arguments)]
+pub fn hash_join_partitioned(
+    left: &Table,
+    right: &Table,
+    kind: JoinKind,
+    left_on: &[usize],
+    right_on: &[usize],
+    residual: Option<&BoundExpr>,
+    out_schema: Arc<Schema>,
+    pool: &WorkerPool,
+    partitions: usize,
+) -> Result<Table> {
+    let lparts = partition_by_hash(left.rows(), left_on, partitions);
+    let rparts = partition_by_hash(right.rows(), right_on, partitions);
+    let jobs: Vec<(Vec<usize>, Vec<usize>)> = lparts.into_iter().zip(rparts).collect();
+    let outs = pool.run_timed(
+        "Join",
+        "op.Join",
+        "op.Join.partition",
+        jobs,
+        |(lidx, ridx)| {
+            Ok(join_partition(
+                left, right, kind, left_on, right_on, residual, &lidx, &ridx,
+            ))
+        },
+    )?;
+    Ok(Table::bag(out_schema, outs.into_iter().flatten().collect()))
 }
 
 #[cfg(test)]
@@ -215,6 +292,42 @@ mod tests {
         let matched: Vec<_> = out.iter().filter(|r| !r[2].is_null()).collect();
         assert_eq!(matched.len(), 1);
         assert_eq!(matched[0][3], Value::str("r1b"));
+    }
+
+    #[test]
+    fn partitioned_join_agrees_with_sequential_and_is_thread_invariant() {
+        let n = 200;
+        let l = t(
+            &[("a", DataType::Int), ("x", DataType::Str)],
+            (0..n).map(|i| row![i % 17, format!("l{i}")]).collect(),
+        );
+        let r = t(
+            &[("b", DataType::Int), ("y", DataType::Str)],
+            (0..n).map(|i| row![i % 13, format!("r{i}")]).collect(),
+        );
+        for kind in [JoinKind::Inner, JoinKind::LeftOuter, JoinKind::FullOuter] {
+            let seq = hash_join(&l, &r, kind, &[0], &[0], None, out_schema()).unwrap();
+            let mut orders = Vec::new();
+            for threads in [1, 2, 8] {
+                let par = hash_join_partitioned(
+                    &l,
+                    &r,
+                    kind,
+                    &[0],
+                    &[0],
+                    None,
+                    out_schema(),
+                    &crate::pool::WorkerPool::new(threads),
+                    16,
+                )
+                .unwrap();
+                assert!(par.bag_eq(&seq), "{kind:?} threads={threads}");
+                orders.push(par.rows().to_vec());
+            }
+            // Bit-identical ordering across pool widths.
+            assert_eq!(orders[0], orders[1], "{kind:?}");
+            assert_eq!(orders[1], orders[2], "{kind:?}");
+        }
     }
 
     #[test]

@@ -18,14 +18,22 @@
 //!   *enforces* the paper's applicability condition that `(K, A1..Am)` is a
 //!   key by rejecting duplicate pivot cells at runtime;
 //! * bag union / difference ([`engine`]).
+//!
+//! Large inputs take hash-partitioned (Join/GroupBy/GPivot) or
+//! morsel-parallel (Select/Project) kernels on a scoped-thread
+//! [`WorkerPool`]; results are bit-identical across thread counts
+//! because the partitioning is data-dependent only and partition outputs
+//! merge in partition-index order ([`pool`], [`engine`]).
 
 pub mod engine;
 pub mod error;
 pub mod group;
 pub mod join;
 pub mod pivot;
+pub mod pool;
 pub mod provider;
 
-pub use engine::{ExecTrace, Executor, TraceEntry};
+pub use engine::{ExecContext, ExecOptions, ExecTrace, Executor, TraceEntry};
 pub use error::{ExecError, Result};
+pub use pool::WorkerPool;
 pub use provider::{Overlay, TableProvider};

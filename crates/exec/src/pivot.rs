@@ -12,6 +12,7 @@
 //! skipping groups whose measures are all `⊥`.
 
 use crate::error::{ExecError, Result};
+use crate::pool::{partition_by_hash, WorkerPool};
 use gpivot_algebra::plan::{PivotSpec, UnpivotSpec};
 use gpivot_storage::{Row, Schema, Table, Value};
 use std::collections::HashMap;
@@ -65,16 +66,25 @@ impl PivotLayout {
     }
 }
 
-/// Execute a GPIVOT.
-pub fn gpivot(input: &Table, spec: &PivotSpec, out_schema: Arc<Schema>) -> Result<Table> {
-    let layout = PivotLayout::resolve(spec, input.schema())?;
+/// Pivot the input rows at positions `indices` — the single-partition
+/// core of both the sequential and the partitioned kernels. Wide rows are
+/// emitted in first-seen order of their `K` projection over `indices`, so
+/// the output order is a pure function of the input.
+fn pivot_partition(
+    input: &Table,
+    indices: &[usize],
+    spec: &PivotSpec,
+    layout: &PivotLayout,
+) -> Result<Vec<Row>> {
     let n_k = layout.k_idx.len();
     let n_on = layout.on_idx.len();
     let width = n_k + spec.groups.len() * n_on;
 
-    // K projection → wide row under construction.
-    let mut acc: HashMap<Row, Vec<Value>> = HashMap::new();
-    for row in input.iter() {
+    // K projection → slot of the wide row under construction.
+    let mut lookup: HashMap<Row, usize> = HashMap::new();
+    let mut acc: Vec<Vec<Value>> = Vec::new();
+    for &i in indices {
+        let row = &input.rows()[i];
         let tags = row.project(&layout.by_idx);
         let Some(&gi) = layout.group_lookup.get(&tags) else {
             continue; // dimension combination not among the output parameters
@@ -88,12 +98,14 @@ pub fn gpivot(input: &Table, spec: &PivotSpec, out_schema: Arc<Schema>) -> Resul
             continue;
         }
         let k = row.project(&layout.k_idx);
-        let wide = acc.entry(k.clone()).or_insert_with(|| {
+        let slot = *lookup.entry(k.clone()).or_insert_with(|| {
             let mut v = Vec::with_capacity(width);
             v.extend(k.iter().cloned());
             v.extend(std::iter::repeat_n(Value::Null, width - n_k));
-            v
+            acc.push(v);
+            acc.len() - 1
         });
+        let wide = &mut acc[slot];
         let base = n_k + gi * n_on;
         // (K, A1..Am) is a key: each cell is written at most once.
         if layout
@@ -112,8 +124,41 @@ pub fn gpivot(input: &Table, spec: &PivotSpec, out_schema: Arc<Schema>) -> Resul
         }
     }
 
-    let rows = acc.into_values().map(Row::new).collect();
+    Ok(acc.into_iter().map(Row::new).collect())
+}
+
+/// Execute a GPIVOT sequentially.
+pub fn gpivot(input: &Table, spec: &PivotSpec, out_schema: Arc<Schema>) -> Result<Table> {
+    let layout = PivotLayout::resolve(spec, input.schema())?;
+    let indices: Vec<usize> = (0..input.len()).collect();
+    let rows = pivot_partition(input, &indices, spec, &layout)?;
     Ok(Table::bag(out_schema, rows))
+}
+
+/// Execute a GPIVOT partitioned by the hash of the `K` columns.
+///
+/// All rows of one `K` value land in the same partition, so each wide
+/// output row is assembled entirely within one partition and the
+/// `(K, A1..Am)` key violation check ([`ExecError::DuplicatePivotCell`])
+/// still sees every conflicting pair. Partition outputs concatenate in
+/// partition-index order.
+pub fn gpivot_partitioned(
+    input: &Table,
+    spec: &PivotSpec,
+    out_schema: Arc<Schema>,
+    pool: &WorkerPool,
+    partitions: usize,
+) -> Result<Table> {
+    let layout = PivotLayout::resolve(spec, input.schema())?;
+    let jobs = partition_by_hash(input.rows(), &layout.k_idx, partitions);
+    let outs = pool.run_timed(
+        "GPivot",
+        "op.GPivot",
+        "op.GPivot.partition",
+        jobs,
+        |indices| pivot_partition(input, &indices, spec, &layout),
+    )?;
+    Ok(Table::bag(out_schema, outs.into_iter().flatten().collect()))
 }
 
 /// Column index layout for an unpivot execution.
@@ -331,6 +376,67 @@ mod tests {
         assert_eq!(usa[3], Value::Int(200));
         assert_eq!(usa[4], Value::Int(20));
         assert!(usa[5].is_null());
+    }
+
+    #[test]
+    fn partitioned_pivot_agrees_with_sequential_and_is_thread_invariant() {
+        let schema = Arc::new(
+            Schema::from_pairs_keyed(
+                &[
+                    ("AuctionID", DataType::Int),
+                    ("Attribute", DataType::Str),
+                    ("Value", DataType::Str),
+                ],
+                &["AuctionID", "Attribute"],
+            )
+            .unwrap(),
+        );
+        let rows: Vec<Row> = (0..300)
+            .flat_map(|id| {
+                vec![
+                    row![id, "Manufacturer", format!("m{}", id % 7)],
+                    row![id, "Type", format!("t{}", id % 3)],
+                ]
+            })
+            .collect();
+        let t = Table::bag(schema, rows);
+        let seq = gpivot(&t, &fig1_spec(), fig1_out_schema()).unwrap();
+        let mut orders = Vec::new();
+        for threads in [1, 2, 8] {
+            let par = gpivot_partitioned(
+                &t,
+                &fig1_spec(),
+                fig1_out_schema(),
+                &crate::pool::WorkerPool::new(threads),
+                16,
+            )
+            .unwrap();
+            assert!(par.bag_eq(&seq), "threads={threads}");
+            orders.push(par.rows().to_vec());
+        }
+        assert_eq!(orders[0], orders[1]);
+        assert_eq!(orders[1], orders[2]);
+    }
+
+    #[test]
+    fn partitioned_pivot_still_detects_key_violation() {
+        let schema = iteminfo().schema().clone();
+        let t = Table::bag(
+            schema,
+            vec![
+                row![1, "Manufacturer", "Sony"],
+                row![1, "Manufacturer", "JVC"],
+            ],
+        );
+        let err = gpivot_partitioned(
+            &t,
+            &fig1_spec(),
+            fig1_out_schema(),
+            &crate::pool::WorkerPool::new(4),
+            16,
+        )
+        .unwrap_err();
+        assert!(matches!(err, ExecError::DuplicatePivotCell { .. }));
     }
 
     #[test]

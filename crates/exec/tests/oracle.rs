@@ -87,7 +87,7 @@ proptest! {
                 on: vec![("lk".into(), "rk".into())],
                 residual: None,
             };
-            let got = Executor::execute(&plan, &c).unwrap();
+            let got = Executor::new().run(&plan, &c).unwrap();
             let want = naive_join(&left, &right, kind);
             prop_assert_eq!(
                 sorted(got.rows().to_vec()),
@@ -121,7 +121,7 @@ proptest! {
                 AggSpec::max("v", "hi"),
             ],
         );
-        let got = Executor::execute(&plan, &c).unwrap();
+        let got = Executor::new().run(&plan, &c).unwrap();
 
         // Brute force.
         let mut groups: HashMap<i64, Vec<&Value>> = HashMap::new();
@@ -181,7 +181,7 @@ proptest! {
             "v",
             vec![Value::str("a"), Value::str("b"), Value::str("c")],
         );
-        let got = Executor::execute(&Plan::scan("t").gpivot(spec), &c).unwrap();
+        let got = Executor::new().run(&Plan::scan("t").gpivot(spec), &c).unwrap();
 
         // Reference: brute force by definition.
         let mut cells: HashMap<i64, [Value; 3]> = HashMap::new();
@@ -241,7 +241,7 @@ proptest! {
         let plan = Plan::scan("t")
             .gpivot(spec.clone())
             .gunpivot(UnpivotSpec::reversing(&spec));
-        let got = Executor::execute(&plan, &c).unwrap();
+        let got = Executor::new().run(&plan, &c).unwrap();
         let want: Vec<Row> = data
             .iter()
             .filter(|r| {
@@ -271,7 +271,7 @@ fn residual_join_oracle() {
         on: vec![("lk".into(), "rk".into())],
         residual: Some(residual),
     };
-    let got = Executor::execute(&plan, &c).unwrap();
+    let got = Executor::new().run(&plan, &c).unwrap();
     let want: Vec<Row> = left
         .iter()
         .flat_map(|l| {

@@ -5,7 +5,10 @@ use crate::metrics::{EpochSummary, MetricsSnapshot, ViewHealth, ViewMetrics};
 use crate::queue::IngestQueue;
 use crate::sync;
 use gpivot_algebra::plan::Plan;
-use gpivot_core::{CoreError, MaintenanceOutcome, MaterializedView, Result, Strategy, ViewManager};
+use gpivot_core::{
+    CoreError, MaintenanceOutcome, MaterializedView, Result, Strategy, ViewManager, ViewOptions,
+};
+use gpivot_exec::Executor;
 use gpivot_storage::{Catalog, Delta, Table};
 use std::collections::BTreeSet;
 use std::panic::AssertUnwindSafe;
@@ -53,6 +56,14 @@ pub struct ServeConfig {
     /// [`ViewHealth::Quarantined`] in metrics, and re-admitted only by
     /// [`ViewService::retry_view`] or re-registration.
     pub quarantine_after: u32,
+    /// Intra-query parallelism: threads each plan execution (propagate
+    /// subplans, recompute, verify) runs on, via the service's
+    /// [`gpivot_exec::Executor`]. Orthogonal to [`ServeConfig::workers`]
+    /// (inter-view parallelism): an epoch uses up to
+    /// `workers × exec_threads` threads. Defaults to the
+    /// `GPIVOT_EXEC_THREADS` environment variable, else `1` (see
+    /// [`gpivot_exec::ExecOptions`]).
+    pub exec_threads: usize,
 }
 
 impl Default for ServeConfig {
@@ -66,6 +77,7 @@ impl Default for ServeConfig {
             retry_backoff: Duration::from_millis(2),
             retry_backoff_cap: Duration::from_millis(100),
             quarantine_after: 3,
+            exec_threads: gpivot_exec::ExecOptions::default().threads,
         }
     }
 }
@@ -122,11 +134,12 @@ impl ViewService {
     /// is a shared handle, so the test keeps arming/disarming control over
     /// the copy the service owns.
     pub fn new(catalog: Catalog, cfg: ServeConfig) -> Self {
+        let exec = gpivot_exec::Executor::new().with_threads(cfg.exec_threads);
         ViewService {
             shared: Arc::new(Shared {
                 cfg,
                 gate: Mutex::new(()),
-                state: RwLock::new(ViewManager::new(catalog)),
+                state: RwLock::new(ViewManager::new(catalog).with_exec(exec)),
                 queue: Mutex::new(IngestQueue::new()),
                 space: Condvar::new(),
                 metrics: Mutex::new(MetricsSnapshot::default()),
@@ -141,33 +154,28 @@ impl ViewService {
     /// dropped view's name resets its health to [`ViewHealth::Healthy`]
     /// while keeping its cumulative counters.
     pub fn register_view(&self, name: impl Into<String>, definition: Plan) -> Result<Strategy> {
-        let _gate = sync::lock(&self.shared.gate);
-        let _trace = tracing::push_collector(self.shared.tracer.clone());
-        let mut state = sync::write(&self.shared.state);
-        let name = name.into();
-        let strategy = state.create_view(name.clone(), definition)?;
-        drop(state);
-        let mut m = sync::lock(&self.shared.metrics);
-        m.per_view.entry(name).or_default().health = ViewHealth::Healthy;
-        Ok(strategy)
+        self.register_view_with(name, definition, ViewOptions::new())
     }
 
-    /// Register a named view with an explicit maintenance strategy.
+    /// Register a named view with explicit [`ViewOptions`] — a forced
+    /// [`Strategy`] (a bare one converts), or a cost-model hint; see
+    /// [`gpivot_core::ViewManager::register_view_with`]. Returns the
+    /// strategy the view was compiled with.
     pub fn register_view_with(
         &self,
         name: impl Into<String>,
         definition: Plan,
-        strategy: Strategy,
-    ) -> Result<()> {
+        options: impl Into<ViewOptions>,
+    ) -> Result<Strategy> {
         let _gate = sync::lock(&self.shared.gate);
         let _trace = tracing::push_collector(self.shared.tracer.clone());
         let mut state = sync::write(&self.shared.state);
         let name = name.into();
-        state.create_view_with(name.clone(), definition, strategy)?;
+        let strategy = state.register_view_with(name.clone(), definition, options)?;
         drop(state);
         let mut m = sync::lock(&self.shared.metrics);
         m.per_view.entry(name).or_default().health = ViewHealth::Healthy;
-        Ok(())
+        Ok(strategy)
     }
 
     /// Drop a view. Its cumulative metrics are retained in the snapshot.
@@ -359,6 +367,7 @@ impl ViewService {
             .collect();
         let names: Vec<String> = affected.iter().map(|v| v.name().to_string()).collect();
         let catalog = state.catalog();
+        let exec = state.executor();
         let workers = self.shared.cfg.workers.max(1).min(affected.len().max(1));
         let results = {
             let _s = tracing::span("epoch.propagate").enter();
@@ -368,7 +377,7 @@ impl ViewService {
                 // service's tracer so `view.attempt` spans and the
                 // maintain-phase spans underneath land in the same store.
                 let _c = tracing::push_collector(tracer.clone());
-                maintain_with_retry(&self.shared.cfg, &view, catalog, &batch)
+                maintain_with_retry(&self.shared.cfg, &view, catalog, &batch, exec)
             })
         };
 
@@ -622,7 +631,13 @@ impl ViewService {
                 .ok_or_else(|| CoreError::UnknownView(name.to_string()))?;
             (view.definition().clone(), view.strategy())
         };
-        let fresh = MaterializedView::create(name, definition, strategy, state.catalog())?;
+        let fresh = MaterializedView::create_with(
+            name,
+            definition,
+            strategy,
+            state.catalog(),
+            state.executor(),
+        )?;
         state.install_view(fresh);
         drop(state);
         let mut m = sync::lock(&self.shared.metrics);
@@ -742,6 +757,7 @@ fn maintain_with_retry(
     pristine: &MaterializedView,
     catalog: &Catalog,
     batch: &gpivot_core::SourceDeltas,
+    exec: &Executor,
 ) -> ViewRefresh {
     let t0 = Instant::now();
     let mut panics = 0u32;
@@ -758,7 +774,8 @@ fn maintain_with_retry(
         // clone, which is discarded; `catalog` and `batch` are read-only.
         match std::panic::catch_unwind(AssertUnwindSafe(|| {
             let mut view = pristine.clone();
-            view.maintain(catalog, batch).map(|outcome| (view, outcome))
+            view.maintain_with(catalog, batch, exec)
+                .map(|outcome| (view, outcome))
         })) {
             Ok(r) => r,
             Err(payload) => {
@@ -884,6 +901,7 @@ mod tests {
             retry_backoff: Duration::ZERO,
             retry_backoff_cap: Duration::ZERO,
             quarantine_after: 3,
+            exec_threads: 1,
         }
     }
 

@@ -80,7 +80,7 @@ fn assert_matches_oracle(svc: &ViewService, oracle: &Catalog, context: &str) {
             continue;
         }
         let got = snap.query_view(name).unwrap();
-        let expected = Executor::execute(&plan, oracle).unwrap();
+        let expected = Executor::new().run(&plan, oracle).unwrap();
         assert!(
             got.bag_eq(&expected),
             "{context}: view {name} diverged at epoch {} ({} rows, want {})",

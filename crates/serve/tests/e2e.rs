@@ -38,7 +38,7 @@ fn assert_oracle(svc: &ViewService, mirror: &Catalog) {
         ("view3", view3()),
     ] {
         let got = snap.query_view(name).unwrap();
-        let expected = Executor::execute(&plan, mirror).unwrap();
+        let expected = Executor::new().run(&plan, mirror).unwrap();
         assert!(
             got.bag_eq(&expected),
             "view {name} diverged from recomputation at epoch {}:\n got {} rows, want {}",
@@ -169,6 +169,6 @@ fn dropping_a_view_leaves_the_rest_consistent() {
 
     assert!(svc.query_view("view1").is_err());
     let got = svc.query_view("view3").unwrap();
-    let expected = Executor::execute(&view3(), &mirror).unwrap();
+    let expected = Executor::new().run(&view3(), &mirror).unwrap();
     assert!(got.bag_eq(&expected));
 }

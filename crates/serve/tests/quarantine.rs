@@ -124,7 +124,7 @@ fn quarantine_lifecycle_and_readmission() {
 
     // Steady matches the oracle; flaky is stale (still the initial
     // materialization) and `verify_all` knowingly skips it.
-    let oracle = Executor::execute(&pivot_plan(), &mirror).unwrap();
+    let oracle = Executor::new().run(&pivot_plan(), &mirror).unwrap();
     assert!(svc.query_view("steady").unwrap().bag_eq(&oracle));
     assert!(!svc.query_view("flaky").unwrap().bag_eq(&oracle));
     assert!(svc.verify_all().unwrap());
@@ -154,7 +154,7 @@ fn quarantine_lifecycle_and_readmission() {
     assert_eq!(s.views_refreshed, 2);
     assert_eq!(s.quarantined_skipped, 0);
     assert_eq!(svc.view_health("flaky").unwrap(), ViewHealth::Healthy);
-    let oracle = Executor::execute(&pivot_plan(), &mirror).unwrap();
+    let oracle = Executor::new().run(&pivot_plan(), &mirror).unwrap();
     assert!(svc.query_view("flaky").unwrap().bag_eq(&oracle));
     assert!(svc.query_view("steady").unwrap().bag_eq(&oracle));
     assert!(svc.verify_all().unwrap());

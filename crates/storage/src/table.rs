@@ -18,12 +18,20 @@ use crate::row::Row;
 use crate::schema::SchemaRef;
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 /// A bag of rows conforming to a schema, optionally indexed by the schema key.
+///
+/// Rows are held behind an [`Arc`] with copy-on-write semantics: cloning a
+/// table (or re-wrapping a base table's rows via [`Table::bag_shared`] /
+/// [`Table::shared_rows`], as `Plan::Scan` does) shares the row storage,
+/// and the keyed mutators only materialize a private copy on first write
+/// ([`Arc::make_mut`]). Read-heavy paths — recompute, delta propagation —
+/// therefore stop paying O(|base|) per scan.
 #[derive(Debug, Clone)]
 pub struct Table {
     schema: SchemaRef,
-    rows: Vec<Row>,
+    rows: Arc<Vec<Row>>,
     /// key-projection → position in `rows`; present iff the schema has a key.
     key_index: Option<HashMap<Row, usize>>,
 }
@@ -34,7 +42,7 @@ impl Table {
         let key_index = schema.key().map(|_| HashMap::new());
         Table {
             schema,
-            rows: Vec::new(),
+            rows: Arc::new(Vec::new()),
             key_index,
         }
     }
@@ -52,9 +60,65 @@ impl Table {
     pub fn bag(schema: SchemaRef, rows: Vec<Row>) -> Self {
         Table {
             schema,
+            rows: Arc::new(rows),
+            key_index: None,
+        }
+    }
+
+    /// Create an un-keyed bag that shares already-shared row storage
+    /// without copying. `Plan::Scan` uses this to hand a base table's rows
+    /// to the executor by reference count rather than by O(|base|) clone.
+    pub fn bag_shared(schema: SchemaRef, rows: Arc<Vec<Row>>) -> Self {
+        Table {
+            schema,
             rows,
             key_index: None,
         }
+    }
+
+    /// The shared row storage. Cheap (one refcount bump); the returned
+    /// `Arc` points at the same allocation until this table next mutates.
+    pub fn shared_rows(&self) -> Arc<Vec<Row>> {
+        Arc::clone(&self.rows)
+    }
+
+    /// Rebind this table to `schema` and build its key index in place,
+    /// without copying rows: arity is checked per row and key uniqueness
+    /// enforced exactly as [`Table::from_rows`] would, but the row storage
+    /// (and its `Arc` sharing) is reused. This is how a materialized bag
+    /// from the executor becomes a keyed view table.
+    pub fn into_keyed(self, schema: SchemaRef) -> Result<Self> {
+        let arity = schema.arity();
+        for row in self.rows.iter() {
+            if row.arity() != arity {
+                return Err(StorageError::ArityMismatch {
+                    expected: arity,
+                    actual: row.arity(),
+                });
+            }
+        }
+        let key_index = match schema.key() {
+            None => None,
+            Some(key_cols) => {
+                let mut idx = HashMap::with_capacity(self.rows.len());
+                for (pos, row) in self.rows.iter().enumerate() {
+                    let key = row.project(key_cols);
+                    if idx.contains_key(&key) {
+                        return Err(StorageError::KeyViolation {
+                            table: "<table>".to_string(),
+                            key: format!("{key:?}"),
+                        });
+                    }
+                    idx.insert(key, pos);
+                }
+                Some(idx)
+            }
+        };
+        Ok(Table {
+            schema,
+            rows: self.rows,
+            key_index,
+        })
     }
 
     /// The table schema.
@@ -107,7 +171,7 @@ impl Table {
             }
             idx.insert(key, self.rows.len());
         }
-        self.rows.push(row);
+        Arc::make_mut(&mut self.rows).push(row);
         Ok(())
     }
 
@@ -134,7 +198,7 @@ impl Table {
     pub fn delete_by_key(&mut self, key: &Row) -> Option<Row> {
         let idx = self.key_index.as_mut()?;
         let pos = idx.remove(key)?;
-        let removed = self.rows.swap_remove(pos);
+        let removed = Arc::make_mut(&mut self.rows).swap_remove(pos);
         // Fix the moved row's index entry (if any row was moved into `pos`).
         if pos < self.rows.len() {
             let moved_key = self
@@ -161,7 +225,10 @@ impl Table {
         );
         let idx = self.key_index.as_ref()?;
         let pos = *idx.get(key)?;
-        Some(std::mem::replace(&mut self.rows[pos], new_row))
+        Some(std::mem::replace(
+            &mut Arc::make_mut(&mut self.rows)[pos],
+            new_row,
+        ))
     }
 
     /// Insert-or-replace by key. Returns the displaced row, if any.
@@ -187,7 +254,7 @@ impl Table {
             return false;
         }
         if let Some(pos) = self.rows.iter().position(|r| r == row) {
-            self.rows.swap_remove(pos);
+            Arc::make_mut(&mut self.rows).swap_remove(pos);
             true
         } else {
             false
@@ -219,7 +286,7 @@ impl Table {
 
     /// Rows sorted (for order-insensitive comparison in tests).
     pub fn sorted_rows(&self) -> Vec<Row> {
-        let mut v = self.rows.clone();
+        let mut v = (*self.rows).clone();
         v.sort();
         v
     }
@@ -389,6 +456,54 @@ mod tests {
         let s = t.to_pretty_string();
         assert!(s.contains("id"));
         assert!(s.contains("alpha"));
+    }
+
+    #[test]
+    fn bag_shared_and_clone_share_storage_until_write() {
+        let schema = Arc::new(Schema::from_pairs(&[("x", DataType::Int)]).unwrap());
+        let base = Table::bag(schema.clone(), vec![row![1], row![2]]);
+        let shared = Table::bag_shared(schema, base.shared_rows());
+        assert!(Arc::ptr_eq(&base.shared_rows(), &shared.shared_rows()));
+        // Clone shares too; mutation detaches only the writer.
+        let mut copy = base.clone();
+        assert!(Arc::ptr_eq(&base.shared_rows(), &copy.shared_rows()));
+        copy.insert(row![3]).unwrap();
+        assert!(!Arc::ptr_eq(&base.shared_rows(), &copy.shared_rows()));
+        assert_eq!(base.len(), 2);
+        assert_eq!(copy.len(), 3);
+        // The un-mutated reader still points at the original allocation.
+        assert!(Arc::ptr_eq(&base.shared_rows(), &shared.shared_rows()));
+    }
+
+    #[test]
+    fn into_keyed_builds_index_without_copying_rows() {
+        let bag = Table::bag(
+            Arc::new(
+                Schema::from_pairs(&[("id", DataType::Int), ("name", DataType::Str)]).unwrap(),
+            ),
+            vec![row![1, "a"], row![2, "b"]],
+        );
+        let before = bag.shared_rows();
+        let keyed = bag.into_keyed(keyed_schema()).unwrap();
+        assert!(Arc::ptr_eq(&before, &keyed.shared_rows()));
+        assert_eq!(keyed.get_by_key(&row![2]), Some(&row![2, "b"]));
+    }
+
+    #[test]
+    fn into_keyed_rejects_duplicate_keys_and_bad_arity() {
+        let schema = Arc::new(
+            Schema::from_pairs(&[("id", DataType::Int), ("name", DataType::Str)]).unwrap(),
+        );
+        let dup = Table::bag(schema.clone(), vec![row![1, "a"], row![1, "b"]]);
+        assert!(matches!(
+            dup.into_keyed(keyed_schema()),
+            Err(StorageError::KeyViolation { .. })
+        ));
+        let narrow = Table::bag(schema, vec![row![1]]);
+        assert!(matches!(
+            narrow.into_keyed(keyed_schema()),
+            Err(StorageError::ArityMismatch { .. })
+        ));
     }
 
     #[test]

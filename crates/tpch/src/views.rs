@@ -110,7 +110,7 @@ mod tests {
     #[test]
     fn view1_executes_with_one_row_per_lined_order() {
         let c = catalog();
-        let out = Executor::execute(&view1(), &c).unwrap();
+        let out = Executor::new().run(&view1(), &c).unwrap();
         let lined_orders: std::collections::HashSet<i64> = c
             .table("lineitem")
             .unwrap()
@@ -125,8 +125,8 @@ mod tests {
     #[test]
     fn view2_is_a_filtered_view1() {
         let c = catalog();
-        let v1 = Executor::execute(&view1(), &c).unwrap();
-        let v2 = Executor::execute(&view2(VIEW2_THRESHOLD), &c).unwrap();
+        let v1 = Executor::new().run(&view1(), &c).unwrap();
+        let v2 = Executor::new().run(&view2(VIEW2_THRESHOLD), &c).unwrap();
         assert!(v2.len() < v1.len());
         assert!(!v2.is_empty(), "threshold should keep some rows");
         let price1 = v2.schema().index_of(&price_col(1)).unwrap();
@@ -138,7 +138,7 @@ mod tests {
     #[test]
     fn view3_has_twelve_columns() {
         let c = catalog();
-        let out = Executor::execute(&view3(), &c).unwrap();
+        let out = Executor::new().run(&view3(), &c).unwrap();
         assert_eq!(out.schema().arity(), 12);
         assert!(!out.is_empty());
         assert_eq!(

@@ -210,14 +210,14 @@ mod tests {
     #[test]
     fn update_only_inserts_touch_existing_view_rows() {
         let c = catalog();
-        let before = Executor::execute(&view1(), &c).unwrap();
+        let before = Executor::new().run(&view1(), &c).unwrap();
         let d = insert_updates_only(&c, 0.01, 7);
         assert!(d.total_changes() > 0);
 
         let mut post = c.clone();
         post.apply_delta("lineitem", d.delta("lineitem").unwrap())
             .unwrap();
-        let after = Executor::execute(&view1(), &post).unwrap();
+        let after = Executor::new().run(&view1(), &post).unwrap();
         // Same keys — only cells changed.
         assert_eq!(before.len(), after.len());
         assert!(!before.bag_eq(&after));
@@ -226,7 +226,7 @@ mod tests {
     #[test]
     fn new_row_inserts_grow_the_view() {
         let c = catalog();
-        let before = Executor::execute(&view1(), &c).unwrap();
+        let before = Executor::new().run(&view1(), &c).unwrap();
         let d = insert_new_rows(&c, 0.01, 7);
         let n = d.total_changes() as usize;
         assert!(n > 0);
@@ -234,7 +234,7 @@ mod tests {
         let mut post = c.clone();
         post.apply_delta("lineitem", d.delta("lineitem").unwrap())
             .unwrap();
-        let after = Executor::execute(&view1(), &post).unwrap();
+        let after = Executor::new().run(&view1(), &post).unwrap();
         assert_eq!(after.len(), before.len() + n);
     }
 
@@ -293,7 +293,7 @@ mod tests {
         use gpivot_core::ViewManager;
         let c = catalog();
         let mut vm = ViewManager::new(c.clone());
-        vm.create_view("v3", view3()).unwrap();
+        vm.register_view("v3", view3()).unwrap();
         vm.refresh(&order_churn(&c, 0.02, 11)).unwrap();
         assert!(vm.verify_view("v3").unwrap());
         let c2 = vm.catalog().clone();

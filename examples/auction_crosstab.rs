@@ -107,7 +107,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Compile and materialize.
     let mut vm = ViewManager::new(catalog);
-    let strategy = vm.create_view("crosstab", view)?;
+    let strategy = vm.register_view("crosstab", view)?;
     println!("maintenance strategy: {strategy}");
     println!("{}", vm.maintenance_plan("crosstab")?);
     println!("crosstab contents:\n{}", vm.query_view("crosstab")?);

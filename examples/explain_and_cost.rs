@@ -48,7 +48,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("═══ SQL (§7.1 dialect) ═══\n{}\n", view.to_sql(&catalog)?);
 
     // ── EXPLAIN ANALYZE: per-operator row counts ─────────────────────────
-    let (result, trace) = Executor::execute_traced(&view, &catalog)?;
+    let (result, trace) = Executor::new().run_traced(&view, &catalog)?;
     println!("═══ EXPLAIN ANALYZE ═══\n{trace}");
     println!("view rows: {}\n", result.len());
 

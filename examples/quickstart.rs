@@ -43,7 +43,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         vec![Value::str("Manufacturer"), Value::str("Type")],
     ));
     let mut vm = ViewManager::new(catalog);
-    let strategy = vm.create_view("items_pivoted", view)?;
+    let strategy = vm.register_view("items_pivoted", view)?;
     println!("planner chose maintenance strategy: {strategy}\n");
     println!("Pivoted view (horizontal):");
     println!("{}", vm.query_view("items_pivoted")?);

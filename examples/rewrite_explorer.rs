@@ -53,8 +53,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("combined spec: {combined}");
     let stacked = Plan::scan("sales").gpivot(inner).gpivot(outer);
     let merged = Plan::scan("sales").gpivot(combined.clone());
-    let a = Executor::execute(&stacked, &c)?;
-    let b = Executor::execute(&merged, &c)?;
+    let a = Executor::new().run(&stacked, &c)?;
+    let b = Executor::new().run(&merged, &c)?;
     assert!(a.bag_eq(&b));
     println!("stacked pivots ≡ combined pivot on real data ✓");
     println!("{b}");
@@ -92,8 +92,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("before:\n{filtered}");
     let pushed = push_select_below_pivot_selfjoin(&filtered, &c)?;
     println!("after (pivot on top, σ as key-qualifying self-joins):\n{pushed}");
-    let x = Executor::execute(&filtered, &c)?;
-    let y = Executor::execute(&pushed, &c)?;
+    let x = Executor::new().run(&filtered, &c)?;
+    let y = Executor::new().run(&pushed, &c)?;
     assert!(x.bag_eq(&y));
     println!("equivalent on real data ✓");
 
@@ -115,8 +115,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         optimized.node_count(),
         optimized.pivot_count()
     );
-    let x = Executor::execute(&roundtrip, &c)?;
-    let y = Executor::execute(&optimized, &c)?;
+    let x = Executor::new().run(&roundtrip, &c)?;
+    let y = Executor::new().run(&optimized, &c)?;
     assert!(x.bag_eq(&y));
     println!("equivalent on real data ✓");
     Ok(())

@@ -34,7 +34,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The crosstab view: per (customer, nation), yearly sales totals and
     // counts pivoted into columns.
     let mut vm = ViewManager::new(catalog);
-    let strategy = vm.create_view("dashboard", view3())?;
+    let strategy = vm.register_view("dashboard", view3())?;
     println!(
         "dashboard view: {} rows × {} visible columns, strategy = {strategy}\n",
         vm.view("dashboard")?.len(),
@@ -77,7 +77,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
         // What a recompute would have cost on the (now committed) state.
         let t = Instant::now();
-        let _ = Executor::execute(&view3(), vm.catalog())?;
+        let _ = Executor::new().run(&view3(), vm.catalog())?;
         let recompute = t.elapsed();
 
         println!(

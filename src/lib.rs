@@ -46,7 +46,7 @@
 //!     vec![Value::str("Manufacturer"), Value::str("Type")],
 //! ));
 //! let mut vm = ViewManager::new(catalog);
-//! let strategy = vm.create_view("pivoted", view).unwrap();
+//! let strategy = vm.register_view("pivoted", view).unwrap();
 //! assert_eq!(strategy, Strategy::PivotUpdate);
 //!
 //! // Incrementally maintain it.
@@ -62,23 +62,23 @@ pub use gpivot_exec as exec;
 pub use gpivot_serve as serve;
 pub use gpivot_storage as storage;
 pub use gpivot_tpch as tpch;
+pub use tracing;
 
 /// One-stop imports for examples and downstream users.
+///
+/// Curated to what the examples, tests, and a typical embedding actually
+/// reach for; everything else stays one module path away (`gpivot::core`,
+/// `gpivot::exec`, …).
 pub mod prelude {
-    pub use gpivot_algebra::{
-        AggFunc, AggSpec, BinOp, CmpOp, Expr, JoinKind, PivotSpec, Plan, PlanBuilder, UnpivotGroup,
-        UnpivotSpec,
-    };
+    pub use gpivot_algebra::{AggSpec, Expr, PivotSpec, Plan, PlanBuilder, UnpivotSpec};
     pub use gpivot_core::{
-        normalize_view, MaintenanceOutcome, MaintenancePlan, NormalizedView, SourceDeltas,
-        Strategy, TopShape, ViewManager,
+        normalize_view, CoreError, ErrorClass, SourceDeltas, Strategy, TopShape, ViewManager,
+        ViewOptions,
     };
-    pub use gpivot_exec::{Executor, Overlay, TableProvider};
-    pub use gpivot_serve::{
-        EpochSummary, MetricsSnapshot, ServeConfig, Snapshot, ViewHealth, ViewMetrics, ViewService,
-    };
+    pub use gpivot_exec::{ExecContext, ExecOptions, Executor, WorkerPool};
+    pub use gpivot_serve::{ServeConfig, ViewHealth, ViewService};
     pub use gpivot_storage::{
-        row, Catalog, DataType, Delta, DeltaSplit, FaultInjector, FaultSite, Field, Row, Schema,
-        Table, Value,
+        row, Catalog, DataType, Delta, FaultInjector, FaultSite, Row, Schema, Table, Value,
     };
+    pub use tracing::{Histogram, TimingSubscriber};
 }

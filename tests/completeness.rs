@@ -71,7 +71,7 @@ fn grouping_on_pivoted_columns_falls_back_and_still_maintains() {
 
     // ...and the fallback must still be exact.
     let mut vm = ViewManager::new(c);
-    vm.create_view("v", view).unwrap();
+    vm.register_view("v", view).unwrap();
     vm.refresh(&deltas()).unwrap();
     assert!(vm.verify_view("v").unwrap());
 }
@@ -89,7 +89,7 @@ fn cell_dropping_projection_materializes_full_pivot() {
         .gpivot(spec())
         .project_cols(&["id", "a**val"]);
     let mut vm = ViewManager::new(catalog());
-    let strategy = vm.create_view("v", view).unwrap();
+    let strategy = vm.register_view("v", view).unwrap();
     assert_eq!(strategy, Strategy::PivotUpdate);
     // The materialized table keeps every cell...
     assert!(vm
@@ -121,7 +121,7 @@ fn keyless_view_is_maintained_as_a_bag() {
     assert!(!nv_schema.has_key(), "precondition: the view has no key");
 
     let mut vm = ViewManager::new(c);
-    vm.create_view("v", view).unwrap();
+    vm.register_view("v", view).unwrap();
     vm.refresh(&deltas()).unwrap();
     assert!(vm.verify_view("v").unwrap());
 }
@@ -136,7 +136,7 @@ fn unpivot_with_name_aggregation_still_maintains() {
         .gunpivot(UnpivotSpec::reversing(&s))
         .group_by(&["id"], vec![AggSpec::max("attr", "last_attr")]);
     let mut vm = ViewManager::new(catalog());
-    vm.create_view("v", view).unwrap();
+    vm.register_view("v", view).unwrap();
     vm.refresh(&deltas()).unwrap();
     assert!(vm.verify_view("v").unwrap());
 }
@@ -175,7 +175,7 @@ fn multi_table_delta_batches() {
         Strategy::PivotUpdate,
     ] {
         let mut vm = ViewManager::new(c.clone());
-        vm.create_view_with("v", view.clone(), strategy).unwrap();
+        vm.register_view_with("v", view.clone(), strategy).unwrap();
         // One batch touching both tables at once.
         let mut d = deltas();
         d.delete_rows("dims", vec![row![2, "y"]]);
@@ -197,7 +197,7 @@ fn unpivot_topped_view_maintains_linearly() {
         .gpivot(s.clone())
         .gunpivot(UnpivotSpec::reversing(&s));
     let mut vm = ViewManager::new(catalog());
-    vm.create_view("v", view).unwrap();
+    vm.register_view("v", view).unwrap();
     let outcome = vm.refresh(&deltas()).unwrap().remove("v").unwrap();
     assert!(outcome.stats.total() > 0);
     assert!(vm.verify_view("v").unwrap());
@@ -217,7 +217,7 @@ fn union_of_pivots_maintains_via_fallback() {
         ),
     };
     let mut vm = ViewManager::new(catalog());
-    let strategy = vm.create_view("v", view).unwrap();
+    let strategy = vm.register_view("v", view).unwrap();
     assert_eq!(strategy, Strategy::InsertDelete);
     vm.refresh(&deltas()).unwrap();
     assert!(vm.verify_view("v").unwrap());
@@ -236,7 +236,7 @@ fn avg_crosstab_falls_back_to_groupby_insdel() {
             vec![vec![Value::str("a")], vec![Value::str("b")]],
         ));
     let mut vm = ViewManager::new(catalog());
-    let strategy = vm.create_view("v", view).unwrap();
+    let strategy = vm.register_view("v", view).unwrap();
     assert_eq!(strategy, Strategy::GroupByInsDel);
     vm.refresh(&deltas()).unwrap();
     assert!(vm.verify_view("v").unwrap());
@@ -257,7 +257,7 @@ fn min_max_crosstab_falls_back_and_survives_deletes() {
             vec![vec![Value::str("a")], vec![Value::str("b")]],
         ));
     let mut vm = ViewManager::new(catalog());
-    let strategy = vm.create_view("v", view).unwrap();
+    let strategy = vm.register_view("v", view).unwrap();
     assert_eq!(strategy, Strategy::GroupByInsDel);
     // Delete the current max of group (attr=b): only recomputation can
     // discover the new max, which is exactly what GroupByInsDel does.

@@ -44,7 +44,9 @@ fn fig1_pivot() -> PivotSpec {
 #[test]
 fn figure_1_pivot() {
     let c = iteminfo_catalog();
-    let out = Executor::execute(&Plan::scan("iteminfo").gpivot(fig1_pivot()), &c).unwrap();
+    let out = Executor::new()
+        .run(&Plan::scan("iteminfo").gpivot(fig1_pivot()), &c)
+        .unwrap();
     assert_eq!(
         out.sorted_rows(),
         vec![
@@ -61,7 +63,7 @@ fn figure_1_unpivot_reverses() {
     let plan = Plan::scan("iteminfo")
         .gpivot(fig1_pivot())
         .gunpivot(UnpivotSpec::reversing(&fig1_pivot()));
-    let out = Executor::execute(&plan, &c).unwrap();
+    let out = Executor::new().run(&plan, &c).unwrap();
     assert_eq!(out.sorted_rows(), iteminfo().sorted_rows());
 }
 
@@ -72,7 +74,7 @@ fn figure_3_insert_propagation() {
     // insert/delete rules delete (2,Panasonic,⊥) and (3,⊥,VCR) and insert
     // (2,Panasonic,DVD) and (3,Panasonic,VCR).
     let mut vm = ViewManager::new(iteminfo_catalog());
-    vm.create_view_with(
+    vm.register_view_with(
         "v",
         Plan::scan("iteminfo").gpivot(fig1_pivot()),
         Strategy::InsertDelete,
@@ -104,7 +106,7 @@ fn figure_3_update_rules_avoid_churn() {
     // The same change maintained with the update rules touches the same
     // rows but as in-place updates.
     let mut vm = ViewManager::new(iteminfo_catalog());
-    vm.create_view_with(
+    vm.register_view_with(
         "v",
         Plan::scan("iteminfo").gpivot(fig1_pivot()),
         Strategy::PivotUpdate,
@@ -162,7 +164,9 @@ fn figure_5_generalized_pivot() {
             vec![Value::str("TV"), Value::str("VCR")],
         ],
     );
-    let out = Executor::execute(&Plan::scan("sales").gpivot(spec.clone()), &c).unwrap();
+    let out = Executor::new()
+        .run(&Plan::scan("sales").gpivot(spec.clone()), &c)
+        .unwrap();
     assert_eq!(
         out.schema().column_names(),
         vec![
@@ -193,18 +197,20 @@ fn figure_5_generalized_pivot() {
     );
 
     // And GUNPIVOT decodes it back (Figure 5's right half).
-    let back = Executor::execute(
-        &Plan::scan("sales")
-            .gpivot(spec.clone())
-            .gunpivot(UnpivotSpec::reversing(&spec)),
-        &c,
-    )
-    .unwrap();
-    let direct = Executor::execute(
-        &Plan::scan("sales").project_cols(&["Country", "Manu", "Type", "Price", "Quantity"]),
-        &c,
-    )
-    .unwrap();
+    let back = Executor::new()
+        .run(
+            &Plan::scan("sales")
+                .gpivot(spec.clone())
+                .gunpivot(UnpivotSpec::reversing(&spec)),
+            &c,
+        )
+        .unwrap();
+    let direct = Executor::new()
+        .run(
+            &Plan::scan("sales").project_cols(&["Country", "Manu", "Type", "Price", "Quantity"]),
+            &c,
+        )
+        .unwrap();
     assert_eq!(back.sorted_rows(), direct.sorted_rows());
 }
 
@@ -271,7 +277,7 @@ fn figures_24_to_26_pullup_plan_beats_naive() {
     // Both the naive (Fig. 25) and pullup (Fig. 26) plans converge...
     for strategy in [Strategy::InsertDelete, Strategy::PivotUpdate] {
         let mut vm = ViewManager::new(c.clone());
-        vm.create_view_with("v", fig24_view(), strategy).unwrap();
+        vm.register_view_with("v", fig24_view(), strategy).unwrap();
         let outcome = vm.refresh(&deltas).unwrap().remove("v").unwrap();
         assert!(vm.verify_view("v").unwrap());
         match strategy {
@@ -349,7 +355,7 @@ fn figure_28_subgroup_death_deletes_view_row() {
         .build();
 
     let mut vm = ViewManager::new(catalog);
-    let strategy = vm.create_view("v", view).unwrap();
+    let strategy = vm.register_view("v", view).unwrap();
     assert_eq!(strategy, Strategy::GroupPivotUpdate);
     assert_eq!(vm.view("v").unwrap().len(), 2); // Sony row + Panasonic row
 
@@ -379,7 +385,7 @@ fn figures_30_31_postponed_selection_filtering() {
             .or(Expr::col("Manufacturer**Value").eq(Expr::lit("Sony"))),
     );
     let mut vm = ViewManager::new(c);
-    let strategy = vm.create_view("v", view).unwrap();
+    let strategy = vm.register_view("v", view).unwrap();
     assert_eq!(strategy, Strategy::SelectPivotUpdate);
     // Only auction 1 satisfies (Sony, TV).
     assert_eq!(vm.view("v").unwrap().len(), 1);

@@ -63,8 +63,8 @@ fn normalized_views_are_equivalent_to_originals() {
         ("view3", view3()),
     ] {
         let nv = normalize_view(&plan, &c).unwrap();
-        let original = Executor::execute(&plan, &c).unwrap();
-        let rewritten = Executor::execute(&nv.view_plan(), &c).unwrap();
+        let original = Executor::new().run(&plan, &c).unwrap();
+        let rewritten = Executor::new().run(&nv.view_plan(), &c).unwrap();
         assert_eq!(
             original.schema().column_names(),
             rewritten.schema().column_names(),
@@ -92,7 +92,7 @@ fn planner_picks_the_papers_strategies() {
 /// matches recomputation over the post-update state.
 fn check_strategy(plan: &Plan, strategy: Strategy, deltas: &SourceDeltas) {
     let mut vm = ViewManager::new(catalog());
-    vm.create_view_with("v", plan.clone(), strategy)
+    vm.register_view_with("v", plan.clone(), strategy)
         .unwrap_or_else(|e| panic!("create with {strategy}: {e}"));
     vm.refresh(deltas)
         .unwrap_or_else(|e| panic!("refresh with {strategy}: {e}"));
@@ -168,9 +168,9 @@ fn view3_all_strategies_converge() {
 fn repeated_refresh_cycles_stay_consistent() {
     // Several maintenance cycles in sequence, mixing workload shapes.
     let mut vm = ViewManager::new(catalog());
-    vm.create_view("v1", view1()).unwrap();
-    vm.create_view("v2", view2(30_000.0)).unwrap();
-    vm.create_view("v3", view3()).unwrap();
+    vm.register_view("v1", view1()).unwrap();
+    vm.register_view("v2", view2(30_000.0)).unwrap();
+    vm.register_view("v3", view3()).unwrap();
 
     for round in 0..4 {
         let c = vm.catalog().clone();

@@ -204,7 +204,7 @@ proptest! {
         for (name, plan, strategies) in view_shapes() {
             for strategy in strategies {
                 let mut vm = ViewManager::new(build_catalog(&s));
-                vm.create_view_with("v", plan.clone(), strategy)
+                vm.register_view_with("v", plan.clone(), strategy)
                     .unwrap_or_else(|e| panic!("{name}/{strategy}: create failed: {e}"));
                 vm.refresh(&deltas)
                     .unwrap_or_else(|e| panic!("{name}/{strategy}: refresh failed: {e}"));
@@ -225,8 +225,8 @@ proptest! {
         let roundtrip = Plan::scan("facts")
             .gpivot(spec.clone())
             .gunpivot(UnpivotSpec::reversing(&spec));
-        let got = Executor::execute(&roundtrip, &c).unwrap();
-        let expected = Executor::execute(
+        let got = Executor::new().run(&roundtrip, &c).unwrap();
+        let expected = Executor::new().run(
             &Plan::scan("facts").select(
                 Expr::col("attr")
                     .in_list(spec.groups.iter().map(|g| g[0].clone()).collect())
@@ -243,8 +243,8 @@ proptest! {
         let c = build_catalog(&s);
         for (name, plan, _) in view_shapes() {
             let nv = normalize_view(&plan, &c).unwrap();
-            let original = Executor::execute(&plan, &c).unwrap();
-            let rewritten = Executor::execute(&nv.view_plan(), &c).unwrap();
+            let original = Executor::new().run(&plan, &c).unwrap();
+            let rewritten = Executor::new().run(&nv.view_plan(), &c).unwrap();
             prop_assert_eq!(
                 original.schema().column_names(),
                 rewritten.schema().column_names(),
@@ -266,7 +266,7 @@ proptest! {
         // Two maintenance rounds in sequence on the auto-selected strategy.
         let mut vm = ViewManager::new(build_catalog(&s));
         let (_, plan, _) = &view_shapes()[3]; // group-pivot crosstab
-        vm.create_view("v", plan.clone()).unwrap();
+        vm.register_view("v", plan.clone()).unwrap();
 
         vm.refresh(&build_deltas(&s)).unwrap();
         prop_assert!(vm.verify_view("v").unwrap());

@@ -195,8 +195,8 @@ proptest! {
         let c = catalog();
         let plan = build_plan(&choices, &c);
         let nv = normalize_view(&plan, &c).unwrap();
-        let original = Executor::execute(&plan, &c).unwrap();
-        let rewritten = Executor::execute(&nv.view_plan(), &c).unwrap();
+        let original = Executor::new().run(&plan, &c).unwrap();
+        let rewritten = Executor::new().run(&nv.view_plan(), &c).unwrap();
         assert_eq!(
             original.schema().column_names(),
             rewritten.schema().column_names(),
@@ -219,7 +219,7 @@ proptest! {
         let c = catalog();
         let plan = build_plan(&choices, &c);
         let mut vm = ViewManager::new(c);
-        let strategy = vm.create_view("v", plan.clone()).unwrap();
+        let strategy = vm.register_view("v", plan.clone()).unwrap();
         vm.refresh(&deltas()).unwrap();
         assert!(
             vm.verify_view("v").unwrap(),
@@ -277,12 +277,12 @@ proptest! {
         let ctx = PropagationCtx::new(&c, &d);
         let got = propagate(&plan, &ctx).unwrap();
 
-        let pre = Executor::execute(&plan, &c).unwrap();
+        let pre = Executor::new().run(&plan, &c).unwrap();
         let mut post_catalog = c.clone();
         for t in d.tables() {
             post_catalog.apply_delta(t, d.delta(t).unwrap()).unwrap();
         }
-        let post = Executor::execute(&plan, &post_catalog).unwrap();
+        let post = Executor::new().run(&plan, &post_catalog).unwrap();
         let mut expected = Delta::from_deletes(pre.rows().iter().cloned());
         expected.merge(&Delta::from_inserts(post.rows().iter().cloned()));
         assert_eq!(got, expected, "delta mismatch for plan:\n{plan}");
