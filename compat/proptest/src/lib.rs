@@ -8,9 +8,11 @@
 //! [`sample::Index`], and a tiny [`string::string_regex`] (single
 //! character class + `{m,n}` quantifier).
 //!
-//! **No shrinking**: a failing property panics with the case number; the
-//! per-case seeds are fixed, so failures reproduce deterministically but
-//! are not minimized.
+//! **No shrinking**: a failing property panics, and the runner prints the
+//! failing case number plus the RNG seed before propagating the panic.
+//! Seeds default to 0 (fixed per-case streams), so failures reproduce
+//! deterministically; set `PROPTEST_SEED` to explore other streams or to
+//! replay a reported failure. Failures are not minimized.
 
 pub mod test_runner {
     /// Per-test configuration (`ProptestConfig` in the prelude).
@@ -39,10 +41,19 @@ pub mod test_runner {
     }
 
     impl TestRng {
-        /// A fixed stream per case index, so failures reproduce.
+        /// A fixed stream per case index, so failures reproduce. Seed 0
+        /// (the same streams as [`TestRng::deterministic_seeded`] with
+        /// seed 0).
         pub fn deterministic(case: u64) -> TestRng {
+            TestRng::deterministic_seeded(0, case)
+        }
+
+        /// A fixed stream per (seed, case index) pair. The `proptest!`
+        /// macro feeds the `PROPTEST_SEED` environment variable here, so
+        /// a reported failure reruns on the exact same values.
+        pub fn deterministic_seeded(seed: u64, case: u64) -> TestRng {
             TestRng {
-                state: 0xA076_1D64_78BD_642F ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+                state: 0xA076_1D64_78BD_642F ^ seed ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
             }
         }
 
@@ -592,14 +603,51 @@ macro_rules! __proptest_impl {
             $(#[$meta])*
             fn $name() {
                 let __config: $crate::test_runner::Config = $cfg;
+                let __seed: u64 = $crate::__read_seed_env();
                 for __case in 0..__config.cases {
-                    let mut __rng = $crate::test_runner::TestRng::deterministic(__case as u64);
-                    $(let $arg = $crate::strategy::Strategy::gen_value(&($strat), &mut __rng);)+
-                    $body
+                    let __outcome = ::std::panic::catch_unwind(
+                        ::std::panic::AssertUnwindSafe(|| {
+                            let mut __rng = $crate::test_runner::TestRng::deterministic_seeded(
+                                __seed,
+                                __case as u64,
+                            );
+                            $(let $arg =
+                                $crate::strategy::Strategy::gen_value(&($strat), &mut __rng);)+
+                            $body
+                        }),
+                    );
+                    if let Err(__panic) = __outcome {
+                        eprintln!(
+                            "proptest: property `{}` failed at case {}/{} with seed {}; \
+                             rerun with PROPTEST_SEED={} to reproduce",
+                            stringify!($name),
+                            __case,
+                            __config.cases,
+                            __seed,
+                            __seed,
+                        );
+                        ::std::panic::resume_unwind(__panic);
+                    }
                 }
             }
         )*
     };
+}
+
+/// The RNG seed property tests run with: `PROPTEST_SEED` from the
+/// environment (decimal or `0x`-prefixed hex), defaulting to 0 — the
+/// streams every run used before seeding existed.
+#[doc(hidden)]
+pub fn __read_seed_env() -> u64 {
+    let Ok(raw) = std::env::var("PROPTEST_SEED") else {
+        return 0;
+    };
+    let s = raw.trim();
+    let parsed = match s.strip_prefix("0x") {
+        Some(hex) => u64::from_str_radix(hex, 16),
+        None => s.parse(),
+    };
+    parsed.unwrap_or_else(|_| panic!("PROPTEST_SEED must be a u64, got {s:?}"))
 }
 
 /// Uniform choice between strategies yielding the same value type.
@@ -697,5 +745,31 @@ mod tests {
             prop_assert_eq!(x, x);
             prop_assert_ne!(s.len(), 0);
         }
+
+        #[test]
+        #[should_panic]
+        fn failing_property_reports_seed_and_panics(x in 0i64..10) {
+            prop_assert!(x < 0, "forced failure to exercise the reporter");
+        }
+    }
+
+    #[test]
+    fn seed_zero_matches_legacy_streams() {
+        for case in [0u64, 1, 7, 63] {
+            let mut legacy = TestRng::deterministic(case);
+            let mut seeded = TestRng::deterministic_seeded(0, case);
+            for _ in 0..16 {
+                assert_eq!(legacy.next_u64(), seeded.next_u64());
+            }
+        }
+    }
+
+    #[test]
+    fn distinct_seeds_give_distinct_streams() {
+        let mut a = TestRng::deterministic_seeded(1, 0);
+        let mut b = TestRng::deterministic_seeded(2, 0);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        assert_ne!(xs, ys);
     }
 }

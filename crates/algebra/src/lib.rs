@@ -21,11 +21,15 @@
 //! * [`schema_infer`] — output-schema **and key** derivation for every
 //!   operator; key preservation is the prerequisite for the paper's pullup
 //!   rules (§5.1) and is tracked structurally here.
+//! * [`combinability`] — the §4.2.3 analysis deciding whether two adjacent
+//!   GPIVOTs merge into one ([`can_combine`] / [`CombineVerdict`]), shared
+//!   by the rewrite engine and the static plan analyzer.
 //! * [`builder`] — a fluent plan builder.
 //! * [`display`] — `EXPLAIN`-style pretty printing.
 
 pub mod aggregate;
 pub mod builder;
+pub mod combinability;
 pub mod display;
 pub mod error;
 pub mod expr;
@@ -36,6 +40,7 @@ pub mod sql;
 
 pub use aggregate::{AggFunc, AggSpec};
 pub use builder::PlanBuilder;
+pub use combinability::{can_combine, CombineVerdict};
 pub use error::{AlgebraError, Result};
 pub use expr::{BinOp, BoundExpr, CmpOp, Expr};
 pub use names::{decode_pivot_col, encode_pivot_col};

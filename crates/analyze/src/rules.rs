@@ -1,0 +1,509 @@
+//! The lint-rule registry.
+//!
+//! Each rule pairs a stable [`DiagCode`] with a check over the plan and its
+//! derived [`NodeFacts`]; `evaluate` runs the whole registry. Codes
+//! `GP020`/`GP022` are carried only by runtime rule rejections
+//! (`CoreError::RuleNotApplicable`) — a structural shape mismatch says
+//! nothing about the plan, so the analyzer stays silent on them.
+
+use crate::diagnostic::{DiagCode, Diagnostic, Severity};
+use crate::facts::NodeFacts;
+use gpivot_algebra::{can_combine, AggFunc, AlgebraError, CombineVerdict, JoinKind, Plan};
+use gpivot_storage::StorageError;
+use std::collections::BTreeSet;
+
+/// One entry of the registry: a stable code, a human name, and its check.
+pub struct LintRule {
+    pub code: DiagCode,
+    pub name: &'static str,
+    pub check: fn(&Plan, &NodeFacts) -> Vec<Diagnostic>,
+}
+
+/// The full registry, in code order.
+pub fn rules() -> &'static [LintRule] {
+    &[
+        LintRule {
+            code: DiagCode::Gp005TypeCheck,
+            name: "type-check",
+            check: check_schema_errors,
+        },
+        LintRule {
+            code: DiagCode::Gp010KeyNotPreserved,
+            name: "key-preservation",
+            check: check_key_preservation,
+        },
+        LintRule {
+            code: DiagCode::Gp011SelectOverCells,
+            name: "select-over-cells",
+            check: check_select_over_cells,
+        },
+        LintRule {
+            code: DiagCode::Gp012ProjectDropsCells,
+            name: "project-drops-cells",
+            check: check_project_drops_cells,
+        },
+        LintRule {
+            code: DiagCode::Gp013JoinOnCells,
+            name: "join-on-cells",
+            check: check_join_on_cells,
+        },
+        LintRule {
+            code: DiagCode::Gp014OuterJoin,
+            name: "outer-join",
+            check: check_outer_join,
+        },
+        LintRule {
+            code: DiagCode::Gp015AggNotBottomRespecting,
+            name: "agg-over-pivot",
+            check: check_agg_over_pivot,
+        },
+        LintRule {
+            code: DiagCode::Gp016AggNotSelfMaintainable,
+            name: "agg-self-maintainability",
+            check: check_agg_self_maintainable,
+        },
+        LintRule {
+            code: DiagCode::Gp017PivotsNotCombinable,
+            name: "pivot-combinability",
+            check: check_combinability,
+        },
+        LintRule {
+            code: DiagCode::Gp018UnionLosesKey,
+            name: "union-loses-key",
+            check: check_union_loses_key,
+        },
+        LintRule {
+            code: DiagCode::Gp019GroupByOnCells,
+            name: "groupby-on-cells",
+            check: check_groupby_on_cells,
+        },
+        LintRule {
+            code: DiagCode::Gp021StuckPivot,
+            name: "stuck-pivot",
+            check: check_stuck_pivot,
+        },
+    ]
+}
+
+/// Run every rule over the (plan, facts) pair.
+pub fn evaluate(plan: &Plan, facts: &NodeFacts) -> Vec<Diagnostic> {
+    let mut out: Vec<Diagnostic> = Vec::new();
+    for rule in rules() {
+        out.extend((rule.check)(plan, facts));
+    }
+    // Most severe first, then by position, then by code.
+    out.sort_by(|a, b| {
+        b.severity
+            .cmp(&a.severity)
+            .then_with(|| a.plan_path.cmp(&b.plan_path))
+            .then_with(|| a.code.cmp(&b.code))
+    });
+    out
+}
+
+/// Preorder walk over the plan and its facts in lockstep.
+fn zip_walk<'a>(plan: &'a Plan, facts: &'a NodeFacts, f: &mut impl FnMut(&'a Plan, &'a NodeFacts)) {
+    f(plan, facts);
+    for (c, cf) in plan.children().into_iter().zip(facts.children.iter()) {
+        zip_walk(c, cf, f);
+    }
+}
+
+/// Map a schema-inference failure to its diagnostic code.
+pub fn code_for_algebra_error(node: &Plan, err: &AlgebraError) -> DiagCode {
+    match err {
+        AlgebraError::PivotRequiresKey { detail } => {
+            if detail.contains("declares no key") {
+                DiagCode::Gp001PivotInputNoKey
+            } else {
+                DiagCode::Gp002MeasureInKey
+            }
+        }
+        AlgebraError::InvalidPivotSpec(_) | AlgebraError::InvalidUnpivotSpec(_) => {
+            DiagCode::Gp003InvalidSpec
+        }
+        AlgebraError::Storage(StorageError::DuplicateColumn(_))
+            if matches!(node, Plan::GPivot { .. } | Plan::GUnpivot { .. }) =>
+        {
+            DiagCode::Gp004OutputCollision
+        }
+        _ => DiagCode::Gp005TypeCheck,
+    }
+}
+
+fn check_schema_errors(plan: &Plan, facts: &NodeFacts) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    zip_walk(plan, facts, &mut |node, nf| {
+        if let Some(err) = &nf.schema_error {
+            let code = code_for_algebra_error(node, err);
+            let mut d = Diagnostic::new(
+                code,
+                nf.path.clone(),
+                format!("{node_op}: {err}", node_op = nf.op),
+            );
+            d.suggestion = match code {
+                DiagCode::Gp001PivotInputNoKey => Some(
+                    "declare a candidate key on the base table, or group the input first so \
+                     (K, A1..Am) forms a key (§2.1)"
+                        .to_string(),
+                ),
+                DiagCode::Gp002MeasureInKey => Some(
+                    "pivot on a non-key measure column, or re-key the input so the measure \
+                     is functionally determined"
+                        .to_string(),
+                ),
+                DiagCode::Gp004OutputCollision => Some(
+                    "rename the carried-through column that collides with an encoded \
+                     `a1**…**Bj` pivot output name"
+                        .to_string(),
+                ),
+                _ => None,
+            };
+            out.push(d);
+        }
+    });
+    out
+}
+
+fn check_key_preservation(plan: &Plan, facts: &NodeFacts) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    zip_walk(plan, facts, &mut |node, nf| {
+        let pivot_below = nf.children.iter().any(|c| c.contains_pivot);
+        if pivot_below
+            && !nf.key_preserved
+            && !matches!(node, Plan::Union { .. } | Plan::Diff { .. })
+        {
+            out.push(
+                Diagnostic::new(
+                    DiagCode::Gp010KeyNotPreserved,
+                    nf.path.clone(),
+                    format!(
+                        "{} does not preserve the candidate key of its pivot-carrying input; \
+                         GPIVOT pullup (§5.1) is blocked and maintenance falls back to \
+                         insert/delete propagation",
+                        nf.op
+                    ),
+                )
+                .with_suggestion("keep the input's key columns in the operator's output"),
+            );
+        }
+    });
+    out
+}
+
+fn check_select_over_cells(plan: &Plan, facts: &NodeFacts) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    zip_walk(plan, facts, &mut |node, nf| {
+        if let Plan::Select { predicate, .. } = node {
+            let child = &nf.children[0];
+            let touched: Vec<String> = predicate
+                .columns()
+                .into_iter()
+                .filter(|c| child.pivot_cells.contains(c))
+                .collect();
+            if !touched.is_empty() && !predicate.is_null_intolerant() {
+                out.push(
+                    Diagnostic::new(
+                        DiagCode::Gp011SelectOverCells,
+                        nf.path.clone(),
+                        format!(
+                            "selection over pivoted cells {touched:?} is not null-intolerant; \
+                             the self-join pushdown (Eq. 7) and SelectPivotUpdate do not apply"
+                        ),
+                    )
+                    .with_suggestion(
+                        "rewrite the predicate so every disjunct rejects ⊥ in the touched \
+                         cells (e.g. comparisons instead of IS NULL)",
+                    ),
+                );
+            }
+        }
+    });
+    out
+}
+
+fn check_project_drops_cells(plan: &Plan, facts: &NodeFacts) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    zip_walk(plan, facts, &mut |node, nf| {
+        if let Plan::Project { items, .. } = node {
+            let child = &nf.children[0];
+            if child.pivot_cells.is_empty() {
+                return;
+            }
+            let kept: BTreeSet<&str> = items
+                .iter()
+                .filter_map(|(e, _)| match e {
+                    gpivot_algebra::Expr::Col(c) => Some(c.as_str()),
+                    _ => None,
+                })
+                .collect();
+            let dropped: Vec<&String> = child
+                .pivot_cells
+                .iter()
+                .filter(|c| !kept.contains(c.as_str()))
+                .collect();
+            if !dropped.is_empty() {
+                out.push(
+                    Diagnostic::new(
+                        DiagCode::Gp012ProjectDropsCells,
+                        nf.path.clone(),
+                        format!(
+                            "projection drops pivoted cells {dropped:?}; the pivot below \
+                             cannot be pulled above it (§5.1.2)"
+                        ),
+                    )
+                    .with_suggestion(
+                        "project before pivoting, or keep every pivoted output column",
+                    ),
+                );
+            }
+        }
+    });
+    out
+}
+
+fn check_join_on_cells(plan: &Plan, facts: &NodeFacts) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    zip_walk(plan, facts, &mut |node, nf| {
+        if let Plan::Join { on, residual, .. } = node {
+            let mut touched: BTreeSet<String> = BTreeSet::new();
+            for (l, r) in on {
+                if nf.children[0].pivot_cells.contains(l) {
+                    touched.insert(l.clone());
+                }
+                if nf.children[1].pivot_cells.contains(r) {
+                    touched.insert(r.clone());
+                }
+            }
+            if let Some(res) = residual {
+                for c in res.columns() {
+                    if nf.children.iter().any(|ch| ch.pivot_cells.contains(&c)) {
+                        touched.insert(c);
+                    }
+                }
+            }
+            if !touched.is_empty() {
+                out.push(
+                    Diagnostic::new(
+                        DiagCode::Gp013JoinOnCells,
+                        nf.path.clone(),
+                        format!(
+                            "join constrains pivoted cells {touched:?}; join pullup \
+                             (§5.1.3) is blocked"
+                        ),
+                    )
+                    .with_suggestion(
+                        "join on carried-through K columns, or unpivot before joining on \
+                         cell values",
+                    ),
+                );
+            }
+        }
+    });
+    out
+}
+
+fn check_outer_join(plan: &Plan, facts: &NodeFacts) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    zip_walk(plan, facts, &mut |node, nf| {
+        if let Plan::Join { kind, .. } = node {
+            if *kind != JoinKind::Inner {
+                out.push(Diagnostic::new(
+                    DiagCode::Gp014OuterJoin,
+                    nf.path.clone(),
+                    format!(
+                        "{kind} join is outside the delta-propagation rules (Fig. 22-23); \
+                         the view will be maintained by recomputation"
+                    ),
+                ));
+            }
+        }
+    });
+    out
+}
+
+fn check_agg_over_pivot(plan: &Plan, facts: &NodeFacts) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    zip_walk(plan, facts, &mut |node, nf| {
+        if let Plan::GroupBy { group_by, aggs, .. } = node {
+            let child = &nf.children[0];
+            if child.pivot_cells.is_empty() {
+                return;
+            }
+            // Grouping on cells is its own (GP019) story.
+            if group_by.iter().any(|c| child.pivot_cells.contains(c)) {
+                return;
+            }
+            let bad: Vec<String> = aggs
+                .iter()
+                .filter(|a| matches!(a.func, AggFunc::Count | AggFunc::CountStar | AggFunc::Avg))
+                .map(|a| format!("{}({})", a.func, a.input))
+                .collect();
+            let covered: BTreeSet<&str> = aggs.iter().map(|a| a.input.as_str()).collect();
+            let uncovered: Vec<&String> = child
+                .pivot_cells
+                .iter()
+                .filter(|c| !covered.contains(c.as_str()))
+                .collect();
+            if !bad.is_empty() {
+                out.push(
+                    Diagnostic::new(
+                        DiagCode::Gp015AggNotBottomRespecting,
+                        nf.path.clone(),
+                        format!(
+                            "aggregates {bad:?} over a pivoted input are not ⊥-respecting; \
+                             groupby pullup (Eq. 8) does not apply"
+                        ),
+                    )
+                    .with_suggestion(
+                        "use SUM/MIN/MAX over pivoted cells, or aggregate before pivoting",
+                    ),
+                );
+            } else if !uncovered.is_empty() {
+                out.push(
+                    Diagnostic::new(
+                        DiagCode::Gp015AggNotBottomRespecting,
+                        nf.path.clone(),
+                        format!(
+                            "pivoted cells {uncovered:?} are neither grouped on nor \
+                             aggregated; groupby pullup (Eq. 8) does not cover them"
+                        ),
+                    )
+                    .with_suggestion(
+                        "aggregate every pivoted cell, or drop unused cells before grouping",
+                    ),
+                );
+            }
+        }
+    });
+    out
+}
+
+fn check_agg_self_maintainable(plan: &Plan, facts: &NodeFacts) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    zip_walk(plan, facts, &mut |node, nf| {
+        if let Plan::GPivot { input, .. } = node {
+            if let Plan::GroupBy { aggs, .. } = input.as_ref() {
+                let fragile: Vec<String> = aggs
+                    .iter()
+                    .filter(|a| matches!(a.func, AggFunc::Min | AggFunc::Max | AggFunc::Avg))
+                    .map(|a| format!("{}({})", a.func, a.input))
+                    .collect();
+                if !fragile.is_empty() {
+                    out.push(
+                        Diagnostic::new(
+                            DiagCode::Gp016AggNotSelfMaintainable,
+                            nf.path.clone(),
+                            format!(
+                                "aggregates {fragile:?} feeding the pivot are not \
+                                 self-maintainable under deletes (Fig. 27); deletions \
+                                 degrade to group-by re-evaluation"
+                            ),
+                        )
+                        .with_suggestion(
+                            "prefer SUM/COUNT aggregates, or accept GroupByInsDel on deletes",
+                        ),
+                    );
+                }
+            }
+        }
+    });
+    out
+}
+
+fn check_combinability(plan: &Plan, facts: &NodeFacts) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    zip_walk(plan, facts, &mut |node, nf| {
+        if let Plan::GPivot { input, spec: outer } = node {
+            if let Plan::GPivot { spec: inner, .. } = input.as_ref() {
+                let verdict = can_combine(inner, outer);
+                if !matches!(verdict, CombineVerdict::Composition) {
+                    out.push(
+                        Diagnostic::new(
+                            DiagCode::Gp017PivotsNotCombinable,
+                            nf.path.clone(),
+                            format!("adjacent GPIVOTs (§4.2.3): {verdict}"),
+                        )
+                        .with_suggestion(
+                            "make the outer pivot consume exactly the inner pivoted columns \
+                             (Eq. 6), or keep the pivots apart and accept two maintenance steps",
+                        ),
+                    );
+                }
+            }
+        }
+    });
+    out
+}
+
+fn check_union_loses_key(plan: &Plan, facts: &NodeFacts) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    zip_walk(plan, facts, &mut |node, nf| {
+        if let Plan::Union { .. } = node {
+            if nf.children.iter().any(|c| c.key.is_some()) {
+                let mut d = Diagnostic::new(
+                    DiagCode::Gp018UnionLosesKey,
+                    nf.path.clone(),
+                    "bag union discards the candidate key; no key-requiring operator \
+                     (notably GPIVOT) can sit above it"
+                        .to_string(),
+                );
+                // Only escalate when pivoted data actually flows through.
+                if !nf.children.iter().any(|c| c.contains_pivot) {
+                    d.severity = Severity::Info;
+                }
+                out.push(d.with_suggestion(
+                    "deduplicate (group) after the union before pivoting, or union after \
+                     pivoting both branches",
+                ));
+            }
+        }
+    });
+    out
+}
+
+fn check_groupby_on_cells(plan: &Plan, facts: &NodeFacts) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    zip_walk(plan, facts, &mut |node, nf| {
+        if let Plan::GroupBy { group_by, .. } = node {
+            let child = &nf.children[0];
+            let on_cells: Vec<&String> = group_by
+                .iter()
+                .filter(|c| child.pivot_cells.contains(*c))
+                .collect();
+            if !on_cells.is_empty() {
+                out.push(Diagnostic::new(
+                    DiagCode::Gp019GroupByOnCells,
+                    nf.path.clone(),
+                    format!(
+                        "grouping on pivoted cells {on_cells:?}: the pulled-up form is \
+                         inexpressible (§5.1.4); deltas re-aggregate the affected groups"
+                    ),
+                ));
+            }
+        }
+    });
+    out
+}
+
+fn check_stuck_pivot(plan: &Plan, facts: &NodeFacts) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    zip_walk(plan, facts, &mut |node, nf| {
+        if matches!(node, Plan::Union { .. } | Plan::Diff { .. }) {
+            for child in &nf.children {
+                if child.contains_pivot {
+                    out.push(Diagnostic::new(
+                        DiagCode::Gp021StuckPivot,
+                        child.path.clone(),
+                        format!(
+                            "a GPIVOT below {} cannot be pulled to the top; deltas \
+                             reaching it use generic insert/delete propagation (Fig. 22)",
+                            nf.op
+                        ),
+                    ));
+                }
+            }
+        }
+    });
+    out
+}

@@ -22,6 +22,7 @@ use crate::combine::{can_combine, CombineVerdict};
 use crate::error::{CoreError, Result};
 use gpivot_algebra::plan::{PivotSpec, Plan};
 use gpivot_algebra::Expr;
+use gpivot_analyze::DiagCode;
 
 const RULE: &str = "combine-composition (Eq. 6)";
 
@@ -34,6 +35,7 @@ pub fn compose_specs(inner: &PivotSpec, outer: &PivotSpec) -> Result<PivotSpec> 
         v => {
             return Err(CoreError::RuleNotApplicable {
                 rule: RULE,
+                code: DiagCode::Gp017PivotsNotCombinable,
                 reason: v.to_string(),
             })
         }
@@ -64,6 +66,7 @@ pub fn try_compose(plan: &Plan) -> Result<Plan> {
     let Plan::GPivot { input, spec: outer } = plan else {
         return Err(CoreError::RuleNotApplicable {
             rule: RULE,
+            code: DiagCode::Gp020RuleShapeMismatch,
             reason: format!("top operator is {}, not GPivot", plan.op_name()),
         });
     };
@@ -74,6 +77,7 @@ pub fn try_compose(plan: &Plan) -> Result<Plan> {
     else {
         return Err(CoreError::RuleNotApplicable {
             rule: RULE,
+            code: DiagCode::Gp020RuleShapeMismatch,
             reason: format!(
                 "operator under the outer GPivot is {}, not GPivot",
                 input.op_name()
@@ -110,6 +114,7 @@ pub fn try_compose(plan: &Plan) -> Result<Plan> {
     let _ = &mut items;
     Err(CoreError::RuleNotApplicable {
         rule: RULE,
+        code: DiagCode::Gp017PivotsNotCombinable,
         reason: "outer measure order differs from the inner pivot's natural output order; \
                  reorder the outer `on` list to match"
             .to_string(),

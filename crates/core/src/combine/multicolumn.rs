@@ -20,6 +20,7 @@
 use crate::error::{CoreError, Result};
 use gpivot_algebra::plan::{JoinKind, PivotSpec, Plan};
 use gpivot_algebra::Expr;
+use gpivot_analyze::DiagCode;
 
 const RULE: &str = "combine-multicolumn (Eq. 5)";
 
@@ -33,18 +34,21 @@ pub fn combine_multicolumn_specs(s1: &PivotSpec, s2: &PivotSpec) -> Result<Pivot
     if s1.by != s2.by {
         return Err(CoreError::RuleNotApplicable {
             rule: RULE,
+            code: DiagCode::Gp017PivotsNotCombinable,
             reason: format!("dimension lists differ: {:?} vs {:?}", s1.by, s2.by),
         });
     }
     if s1.groups != s2.groups {
         return Err(CoreError::RuleNotApplicable {
             rule: RULE,
+            code: DiagCode::Gp017PivotsNotCombinable,
             reason: "output groups differ".to_string(),
         });
     }
     if s1.on.iter().any(|c| s2.on.contains(c)) {
         return Err(CoreError::RuleNotApplicable {
             rule: RULE,
+            code: DiagCode::Gp017PivotsNotCombinable,
             reason: "measure lists overlap".to_string(),
         });
     }
@@ -130,7 +134,11 @@ pub fn multicolumn_join_plan(
 /// renamed right-side key columns are reconstructed by duplication (they
 /// equal the left keys by the join condition).
 pub fn try_multicolumn(plan: &Plan) -> Result<Plan> {
-    let not_applicable = |reason: String| CoreError::RuleNotApplicable { rule: RULE, reason };
+    let not_applicable = |reason: String| CoreError::RuleNotApplicable {
+        rule: RULE,
+        code: DiagCode::Gp020RuleShapeMismatch,
+        reason,
+    };
 
     // Accept Project(join-pattern) or the bare join-pattern.
     let (join, top_items): (&Plan, Option<&Vec<(Expr, String)>>) = match plan {

@@ -10,6 +10,7 @@
 
 use crate::error::{CoreError, Result};
 use gpivot_algebra::plan::PivotSpec;
+use gpivot_analyze::DiagCode;
 use gpivot_storage::{Row, Table, Value};
 use std::collections::HashMap;
 
@@ -30,6 +31,7 @@ pub fn split_multicolumn(spec: &PivotSpec, at: usize) -> Result<PartitionedPivot
     if at == 0 || at >= spec.on.len() {
         return Err(CoreError::RuleNotApplicable {
             rule: RULE,
+            code: DiagCode::Gp020RuleShapeMismatch,
             reason: format!(
                 "measure split point {at} must be inside 1..{}",
                 spec.on.len()
@@ -60,6 +62,7 @@ pub fn split_composition(spec: &PivotSpec, at: usize) -> Result<PartitionedPivot
     if at == 0 || at >= spec.by.len() {
         return Err(CoreError::RuleNotApplicable {
             rule: RULE,
+            code: DiagCode::Gp020RuleShapeMismatch,
             reason: format!(
                 "dimension split point {at} must be inside 1..{}",
                 spec.by.len()
@@ -90,6 +93,7 @@ pub fn split_composition(spec: &PivotSpec, at: usize) -> Result<PartitionedPivot
     if cross != spec.groups {
         return Err(CoreError::RuleNotApplicable {
             rule: RULE,
+            code: DiagCode::Gp017PivotsNotCombinable,
             reason: "output groups are not a cross product in group-major order; \
                      a dimension split would change the output"
                 .to_string(),
@@ -121,6 +125,7 @@ pub fn merge_partial_pivots(parts: &[Table]) -> Result<Table> {
     let Some(first) = parts.first() else {
         return Err(CoreError::RuleNotApplicable {
             rule: RULE,
+            code: DiagCode::Gp020RuleShapeMismatch,
             reason: "no partial results to merge".to_string(),
         });
     };
@@ -131,6 +136,7 @@ pub fn merge_partial_pivots(parts: &[Table]) -> Result<Table> {
             .map(|k| k.to_vec())
             .ok_or_else(|| CoreError::RuleNotApplicable {
                 rule: RULE,
+                code: DiagCode::Gp001PivotInputNoKey,
                 reason: "partial pivot results carry no key".to_string(),
             })?;
     let arity = schema.arity();

@@ -1,6 +1,7 @@
 //! Errors for the rewrite + maintenance layers.
 
 use gpivot_algebra::AlgebraError;
+use gpivot_analyze::{DiagCode, Diagnostic};
 use gpivot_exec::ExecError;
 use gpivot_storage::StorageError;
 use std::fmt;
@@ -14,8 +15,22 @@ pub enum CoreError {
     Exec(ExecError),
     /// Underlying storage error.
     Storage(StorageError),
-    /// A rewrite rule's precondition does not hold for the given plan.
-    RuleNotApplicable { rule: &'static str, reason: String },
+    /// A rewrite rule's precondition does not hold for the given plan. The
+    /// [`DiagCode`] matches what the static analyzer (`gpivot-analyze`)
+    /// reports for the same obstruction, so runtime and static verdicts
+    /// can be cross-checked.
+    RuleNotApplicable {
+        rule: &'static str,
+        code: DiagCode,
+        reason: String,
+    },
+    /// Plan lint refused the view at registration: the static analyzer
+    /// found `Error`-severity diagnostics. Opt out per view with
+    /// [`ViewOptions::skip_plan_lint`](crate::ViewOptions::skip_plan_lint).
+    PlanLint {
+        view: String,
+        diagnostics: Vec<Diagnostic>,
+    },
     /// The requested maintenance strategy cannot maintain this view shape.
     StrategyNotApplicable { strategy: String, reason: String },
     /// A named view was not found in the view manager.
@@ -86,8 +101,20 @@ impl fmt::Display for CoreError {
             CoreError::Algebra(e) => write!(f, "algebra error: {e}"),
             CoreError::Exec(e) => write!(f, "execution error: {e}"),
             CoreError::Storage(e) => write!(f, "storage error: {e}"),
-            CoreError::RuleNotApplicable { rule, reason } => {
-                write!(f, "rule `{rule}` not applicable: {reason}")
+            CoreError::RuleNotApplicable { rule, code, reason } => {
+                write!(f, "rule `{rule}` not applicable [{code}]: {reason}")
+            }
+            CoreError::PlanLint { view, diagnostics } => {
+                write!(
+                    f,
+                    "plan lint refused view `{view}` ({} finding{}):",
+                    diagnostics.len(),
+                    if diagnostics.len() == 1 { "" } else { "s" }
+                )?;
+                for d in diagnostics {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
             }
             CoreError::StrategyNotApplicable { strategy, reason } => {
                 write!(f, "strategy `{strategy}` not applicable: {reason}")
@@ -190,9 +217,21 @@ mod tests {
     fn display_variants() {
         let e = CoreError::RuleNotApplicable {
             rule: "pullup-join",
+            code: DiagCode::Gp010KeyNotPreserved,
             reason: "join key not preserved".into(),
         };
         assert!(e.to_string().contains("pullup-join"));
+        assert!(e.to_string().contains("[GP010]"));
+        let lint = CoreError::PlanLint {
+            view: "v".into(),
+            diagnostics: vec![Diagnostic::new(
+                DiagCode::Gp001PivotInputNoKey,
+                vec![0],
+                "no key",
+            )],
+        };
+        assert!(lint.to_string().contains("GP001"));
+        assert_eq!(lint.classify(), ErrorClass::Permanent);
         assert!(CoreError::UnknownView("v".into())
             .to_string()
             .contains("`v`"));

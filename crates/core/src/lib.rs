@@ -31,6 +31,7 @@ pub mod rewrite;
 
 pub use combine::{can_combine, combine_adjacent, CombineVerdict};
 pub use error::{CoreError, ErrorClass, Result};
+pub use gpivot_analyze::{analyze, AnalysisReport, DiagCode, Diagnostic, Severity};
 pub use maintain::{
     MaintenanceOutcome, MaintenancePlan, MaterializedView, SourceDeltas, Strategy, ViewManager,
     ViewOptions,

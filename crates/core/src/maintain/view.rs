@@ -14,6 +14,7 @@ use crate::rewrite::{
 };
 use gpivot_algebra::plan::{JoinKind, Plan};
 use gpivot_algebra::{AggFunc, AggSpec, Expr, PivotSpec};
+use gpivot_analyze::Diagnostic;
 use gpivot_exec::{Executor, Overlay};
 use gpivot_storage::{Catalog, Table};
 use std::collections::{BTreeMap, BTreeSet};
@@ -27,6 +28,9 @@ pub struct MaterializedView {
     normalized: NormalizedView,
     group_info: Option<GroupPivotInfo>,
     table: Table,
+    /// Warning/info diagnostics the plan lint recorded at registration
+    /// (empty when created directly or registered with lint skipped).
+    lint_warnings: Vec<Diagnostic>,
 }
 
 /// Options for registering a view with [`ViewManager::register_view_with`].
@@ -45,6 +49,11 @@ pub struct ViewOptions {
     /// Ask the cost model to choose, sized for this many delta rows per
     /// refresh. Ignored when [`ViewOptions::strategy`] is set.
     pub expected_delta_rows: Option<f64>,
+    /// Skip the static plan lint (`gpivot-analyze`). By default
+    /// registration refuses plans with `Error`-severity diagnostics
+    /// ([`CoreError::PlanLint`]) and records warnings on the view
+    /// ([`MaterializedView::lint_warnings`]).
+    pub skip_lint: bool,
 }
 
 impl ViewOptions {
@@ -62,6 +71,14 @@ impl ViewOptions {
     /// Choose the strategy with the cost model at this expected delta size.
     pub fn expected_delta_rows(mut self, rows: f64) -> Self {
         self.expected_delta_rows = Some(rows);
+        self
+    }
+
+    /// Register without running the static plan lint. The view is
+    /// installed even if the analyzer would refuse it, and no lint
+    /// warnings are recorded.
+    pub fn skip_plan_lint(mut self) -> Self {
+        self.skip_lint = true;
         self
     }
 }
@@ -208,6 +225,7 @@ impl MaterializedView {
             normalized,
             group_info,
             table,
+            lint_warnings: Vec::new(),
         })
     }
 
@@ -341,6 +359,14 @@ impl MaterializedView {
     /// The original view definition.
     pub fn definition(&self) -> &Plan {
         &self.definition
+    }
+
+    /// Non-fatal diagnostics (warnings and infos) the static plan lint
+    /// recorded when this view was registered through a [`ViewManager`].
+    /// Empty for views created directly or registered with
+    /// [`ViewOptions::skip_plan_lint`].
+    pub fn lint_warnings(&self) -> &[Diagnostic] {
+        &self.lint_warnings
     }
 
     /// The normalized form used for maintenance.
@@ -671,6 +697,12 @@ impl ViewManager {
     /// Register a view with explicit [`ViewOptions`]. Accepts a bare
     /// [`Strategy`] too (`register_view_with("v", plan, Strategy::Recompute)`).
     ///
+    /// Registration first runs the static plan lint (`gpivot-analyze`):
+    /// `Error`-severity diagnostics reject the view with
+    /// [`CoreError::PlanLint`] (opt out with
+    /// [`ViewOptions::skip_plan_lint`]); warnings are kept on the view
+    /// ([`MaterializedView::lint_warnings`]).
+    ///
     /// Strategy resolution: a forced [`ViewOptions::strategy`] wins; else
     /// [`ViewOptions::expected_delta_rows`] asks the cost model
     /// ([`crate::cost`], the paper's §3 "cost-based optimizer" hook) — a
@@ -684,9 +716,25 @@ impl ViewManager {
         definition: Plan,
         options: impl Into<ViewOptions>,
     ) -> Result<Strategy> {
+        let name = name.into();
         let options = options.into();
+        // Static plan lint (§4/§5 safety conditions checked up front):
+        // refuse hard violations before any compilation work, keep the
+        // soft findings to attach to the installed view.
+        let lint_warnings = if options.skip_lint {
+            Vec::new()
+        } else {
+            let report = gpivot_analyze::analyze(&definition, &self.catalog);
+            if report.has_errors() {
+                return Err(CoreError::PlanLint {
+                    view: name,
+                    diagnostics: report.diagnostics,
+                });
+            }
+            report.diagnostics
+        };
         if let Some(strategy) = options.strategy {
-            self.install_new_view(name, definition, strategy)?;
+            self.install_new_view(name, definition, strategy, lint_warnings)?;
             return Ok(strategy);
         }
         if let Some(expected_delta_rows) = options.expected_delta_rows {
@@ -701,13 +749,13 @@ impl ViewManager {
             let Some(strategy) = costed else {
                 // No strategy costs out; fall back to the shape planner.
                 let strategy = self.choose_strategy(&definition);
-                self.install_new_view(name, definition, strategy)?;
+                self.install_new_view(name, definition, strategy, lint_warnings)?;
                 return Ok(strategy);
             };
             // Cost-picked strategies can still fail shape validation at
             // create time (e.g. a non-null-intolerant predicate); surface
             // that instead of silently installing something else.
-            return match self.install_new_view(name, definition, strategy) {
+            return match self.install_new_view(name, definition, strategy, lint_warnings) {
                 Ok(()) => Ok(strategy),
                 Err(CoreError::DuplicateView(v)) => Err(CoreError::DuplicateView(v)),
                 Err(_) => Err(CoreError::StrategyNotApplicable {
@@ -719,28 +767,29 @@ impl ViewManager {
             };
         }
         let strategy = self.choose_strategy(&definition);
-        self.install_new_view(name, definition, strategy)?;
+        self.install_new_view(name, definition, strategy, lint_warnings)?;
         Ok(strategy)
     }
 
     /// Compile, materialize, and insert a view under `name`.
     fn install_new_view(
         &mut self,
-        name: impl Into<String>,
+        name: String,
         definition: Plan,
         strategy: Strategy,
+        lint_warnings: Vec<Diagnostic>,
     ) -> Result<()> {
-        let name = name.into();
         if self.views.contains_key(&name) {
             return Err(CoreError::DuplicateView(name));
         }
-        let view = MaterializedView::create_with(
+        let mut view = MaterializedView::create_with(
             name.clone(),
             definition,
             strategy,
             &self.catalog,
             &self.exec,
         )?;
+        view.lint_warnings = lint_warnings;
         self.views.insert(name, view);
         Ok(())
     }

@@ -9,12 +9,14 @@
 use crate::error::{CoreError, Result};
 use gpivot_algebra::plan::{JoinKind, PivotSpec, Plan};
 use gpivot_algebra::{AlgebraError, Expr, SchemaProvider};
+use gpivot_analyze::DiagCode;
 use gpivot_storage::Value;
 use std::collections::BTreeSet;
 
-fn na(rule: &'static str, reason: impl Into<String>) -> CoreError {
+fn na(rule: &'static str, code: DiagCode, reason: impl Into<String>) -> CoreError {
     CoreError::RuleNotApplicable {
         rule,
+        code,
         reason: reason.into(),
     }
 }
@@ -36,6 +38,7 @@ fn check<P: SchemaProvider>(plan: Plan, provider: &P, rule: &'static str) -> Res
         Ok(_) => Ok(plan),
         Err(AlgebraError::PivotRequiresKey { detail }) => Err(na(
             rule,
+            DiagCode::Gp010KeyNotPreserved,
             format!("key not preserved by the rewrite: {detail}"),
         )),
         Err(e) => Err(e.into()),
@@ -47,16 +50,25 @@ fn check<P: SchemaProvider>(plan: Plan, provider: &P, rule: &'static str) -> Res
 pub fn pullup_through_select<P: SchemaProvider>(plan: &Plan, provider: &P) -> Result<Plan> {
     const RULE: &str = "pullup-select (§5.1.1)";
     let Plan::Select { input, predicate } = plan else {
-        return Err(na(RULE, format!("top is {}, not Select", plan.op_name())));
+        return Err(na(
+            RULE,
+            DiagCode::Gp020RuleShapeMismatch,
+            format!("top is {}, not Select", plan.op_name()),
+        ));
     };
     let Plan::GPivot { input: x, spec } = input.as_ref() else {
-        return Err(na(RULE, "no GPivot directly under the Select"));
+        return Err(na(
+            RULE,
+            DiagCode::Gp020RuleShapeMismatch,
+            "no GPivot directly under the Select",
+        ));
     };
     let k_cols = pivot_k_cols(x, spec, provider)?;
     let pred_cols = predicate.columns();
     if !pred_cols.iter().all(|c| k_cols.contains(c)) {
         return Err(na(
             RULE,
+            DiagCode::Gp011SelectOverCells,
             format!(
                 "predicate references pivoted output columns {:?}; \
                  use the self-join pushdown (Eq. 7) or the combined \
@@ -89,13 +101,25 @@ pub fn push_select_below_pivot_selfjoin<P: SchemaProvider>(
 ) -> Result<Plan> {
     const RULE: &str = "select-selfjoin-pushdown (Eq. 7)";
     let Plan::Select { input, predicate } = plan else {
-        return Err(na(RULE, format!("top is {}, not Select", plan.op_name())));
+        return Err(na(
+            RULE,
+            DiagCode::Gp020RuleShapeMismatch,
+            format!("top is {}, not Select", plan.op_name()),
+        ));
     };
     let Plan::GPivot { input: x, spec } = input.as_ref() else {
-        return Err(na(RULE, "no GPivot directly under the Select"));
+        return Err(na(
+            RULE,
+            DiagCode::Gp020RuleShapeMismatch,
+            "no GPivot directly under the Select",
+        ));
     };
     if !predicate.is_null_intolerant() {
-        return Err(na(RULE, "predicate is not null-intolerant"));
+        return Err(na(
+            RULE,
+            DiagCode::Gp011SelectOverCells,
+            "predicate is not null-intolerant",
+        ));
     }
     let k_cols = pivot_k_cols(x, spec, provider)?;
     let atoms = conjuncts(predicate);
@@ -183,6 +207,7 @@ pub fn push_select_below_pivot_selfjoin<P: SchemaProvider>(
     let Some(keys) = keys_plan else {
         return Err(na(
             RULE,
+            DiagCode::Gp020RuleShapeMismatch,
             "predicate has no atoms over pivoted cells; use pullup-select instead",
         ));
     };
@@ -269,14 +294,20 @@ fn classify_atom(atom: &Expr, spec: &PivotSpec, k_cols: &[String]) -> Result<Ato
         }
         return Err(na(
             RULE,
+            DiagCode::Gp011SelectOverCells,
             format!("atom `{atom}` references columns outside the pivot output"),
         ));
     }
     match atom {
         Expr::Cmp(op, a, b) => match (a.as_ref(), b.as_ref()) {
             (Expr::Col(c), Expr::Lit(v)) => {
-                let (g, m) = resolve_cell(c, spec)
-                    .ok_or_else(|| na(RULE, format!("`{c}` is not a pivoted cell")))?;
+                let (g, m) = resolve_cell(c, spec).ok_or_else(|| {
+                    na(
+                        RULE,
+                        DiagCode::Gp011SelectOverCells,
+                        format!("`{c}` is not a pivoted cell"),
+                    )
+                })?;
                 Ok(AtomKind::CellLiteral {
                     group: g,
                     measure: m,
@@ -285,8 +316,13 @@ fn classify_atom(atom: &Expr, spec: &PivotSpec, k_cols: &[String]) -> Result<Ato
                 })
             }
             (Expr::Lit(v), Expr::Col(c)) => {
-                let (g, m) = resolve_cell(c, spec)
-                    .ok_or_else(|| na(RULE, format!("`{c}` is not a pivoted cell")))?;
+                let (g, m) = resolve_cell(c, spec).ok_or_else(|| {
+                    na(
+                        RULE,
+                        DiagCode::Gp011SelectOverCells,
+                        format!("`{c}` is not a pivoted cell"),
+                    )
+                })?;
                 Ok(AtomKind::CellLiteral {
                     group: g,
                     measure: m,
@@ -295,10 +331,20 @@ fn classify_atom(atom: &Expr, spec: &PivotSpec, k_cols: &[String]) -> Result<Ato
                 })
             }
             (Expr::Col(c1), Expr::Col(c2)) => {
-                let (g1, m1) = resolve_cell(c1, spec)
-                    .ok_or_else(|| na(RULE, format!("`{c1}` is not a pivoted cell")))?;
-                let (g2, m2) = resolve_cell(c2, spec)
-                    .ok_or_else(|| na(RULE, format!("`{c2}` is not a pivoted cell")))?;
+                let (g1, m1) = resolve_cell(c1, spec).ok_or_else(|| {
+                    na(
+                        RULE,
+                        DiagCode::Gp011SelectOverCells,
+                        format!("`{c1}` is not a pivoted cell"),
+                    )
+                })?;
+                let (g2, m2) = resolve_cell(c2, spec).ok_or_else(|| {
+                    na(
+                        RULE,
+                        DiagCode::Gp011SelectOverCells,
+                        format!("`{c2}` is not a pivoted cell"),
+                    )
+                })?;
                 Ok(AtomKind::CellPair {
                     group1: g1,
                     measure1: m1,
@@ -307,9 +353,17 @@ fn classify_atom(atom: &Expr, spec: &PivotSpec, k_cols: &[String]) -> Result<Ato
                     measure2: m2,
                 })
             }
-            _ => Err(na(RULE, format!("unsupported atom shape `{atom}`"))),
+            _ => Err(na(
+                RULE,
+                DiagCode::Gp011SelectOverCells,
+                format!("unsupported atom shape `{atom}`"),
+            )),
         },
-        _ => Err(na(RULE, format!("unsupported atom `{atom}`"))),
+        _ => Err(na(
+            RULE,
+            DiagCode::Gp011SelectOverCells,
+            format!("unsupported atom `{atom}`"),
+        )),
     }
 }
 
@@ -370,16 +424,25 @@ pub fn pullup_through_join<P: SchemaProvider>(plan: &Plan, provider: &P) -> Resu
         residual,
     } = plan
     else {
-        return Err(na(RULE, format!("top is {}, not Join", plan.op_name())));
+        return Err(na(
+            RULE,
+            DiagCode::Gp020RuleShapeMismatch,
+            format!("top is {}, not Join", plan.op_name()),
+        ));
     };
     if *kind != JoinKind::Inner {
         return Err(na(
             RULE,
+            DiagCode::Gp014OuterJoin,
             format!("join kind {kind} not supported for pullup"),
         ));
     }
     if residual.is_some() {
-        return Err(na(RULE, "join has a residual predicate"));
+        return Err(na(
+            RULE,
+            DiagCode::Gp020RuleShapeMismatch,
+            "join has a residual predicate",
+        ));
     }
 
     // The pulled-up pivot emits [K..., cells...] while the original join
@@ -411,6 +474,7 @@ pub fn pullup_through_join<P: SchemaProvider>(plan: &Plan, provider: &P) -> Resu
         }
         return Err(na(
             RULE,
+            DiagCode::Gp013JoinOnCells,
             "join condition references pivoted output columns (§5.1.3 self-join case)",
         ));
     }
@@ -430,10 +494,15 @@ pub fn pullup_through_join<P: SchemaProvider>(plan: &Plan, provider: &P) -> Resu
         }
         return Err(na(
             RULE,
+            DiagCode::Gp013JoinOnCells,
             "join condition references pivoted output columns (§5.1.3 self-join case)",
         ));
     }
-    Err(na(RULE, "neither join operand is a GPivot"))
+    Err(na(
+        RULE,
+        DiagCode::Gp020RuleShapeMismatch,
+        "neither join operand is a GPivot",
+    ))
 }
 
 /// §5.1.2: `Project(cols, GPivot(X))` where the projection keeps *all*
@@ -443,17 +512,31 @@ pub fn pullup_through_join<P: SchemaProvider>(plan: &Plan, provider: &P) -> Resu
 pub fn pullup_through_project<P: SchemaProvider>(plan: &Plan, provider: &P) -> Result<Plan> {
     const RULE: &str = "pullup-project (§5.1.2)";
     let Plan::Project { input, items } = plan else {
-        return Err(na(RULE, format!("top is {}, not Project", plan.op_name())));
+        return Err(na(
+            RULE,
+            DiagCode::Gp020RuleShapeMismatch,
+            format!("top is {}, not Project", plan.op_name()),
+        ));
     };
     let Plan::GPivot { input: x, spec } = input.as_ref() else {
-        return Err(na(RULE, "no GPivot directly under the Project"));
+        return Err(na(
+            RULE,
+            DiagCode::Gp020RuleShapeMismatch,
+            "no GPivot directly under the Project",
+        ));
     };
     // Pure column projection only.
     let mut kept: Vec<String> = Vec::with_capacity(items.len());
     for (e, n) in items {
         match e {
             Expr::Col(c) if c == n => kept.push(c.clone()),
-            _ => return Err(na(RULE, format!("item `{n}` is not a bare column"))),
+            _ => {
+                return Err(na(
+                    RULE,
+                    DiagCode::Gp012ProjectDropsCells,
+                    format!("item `{n}` is not a bare column"),
+                ))
+            }
         }
     }
     let kept_set: BTreeSet<&str> = kept.iter().map(String::as_str).collect();
@@ -461,6 +544,7 @@ pub fn pullup_through_project<P: SchemaProvider>(plan: &Plan, provider: &P) -> R
     if !cells.iter().all(|c| kept_set.contains(c.as_str())) {
         return Err(na(
             RULE,
+            DiagCode::Gp012ProjectDropsCells,
             "projection drops pivoted output columns (§5.1.2: would change ⊥ semantics); \
              falling back to insert/delete propagation",
         ));
@@ -474,6 +558,7 @@ pub fn pullup_through_project<P: SchemaProvider>(plan: &Plan, provider: &P) -> R
     if kept_k.len() == k_cols.len() {
         return Err(na(
             RULE,
+            DiagCode::Gp020RuleShapeMismatch,
             "projection keeps every column (pure permutation); nothing to push — \
              the driver absorbs it at the top",
         ));
@@ -485,6 +570,7 @@ pub fn pullup_through_project<P: SchemaProvider>(plan: &Plan, provider: &P) -> R
     // functional dependencies.)
     Err(na(
         RULE,
+        DiagCode::Gp010KeyNotPreserved,
         format!(
             "projection drops K column(s) {:?}; the pivot output's key K would not be \
              preserved (§5.1.2) — falling back to insert/delete propagation",
@@ -512,15 +598,24 @@ pub fn pullup_through_group_by<P: SchemaProvider>(plan: &Plan, provider: &P) -> 
         aggs,
     } = plan
     else {
-        return Err(na(RULE, format!("top is {}, not GroupBy", plan.op_name())));
+        return Err(na(
+            RULE,
+            DiagCode::Gp020RuleShapeMismatch,
+            format!("top is {}, not GroupBy", plan.op_name()),
+        ));
     };
     let Plan::GPivot { input: x, spec } = input.as_ref() else {
-        return Err(na(RULE, "no GPivot directly under the GroupBy"));
+        return Err(na(
+            RULE,
+            DiagCode::Gp020RuleShapeMismatch,
+            "no GPivot directly under the GroupBy",
+        ));
     };
     let k_cols = pivot_k_cols(x, spec, provider)?;
     if !group_by.iter().all(|g| k_cols.contains(g)) {
         return Err(na(
             RULE,
+            DiagCode::Gp019GroupByOnCells,
             "grouping columns include pivoted output columns (§5.1.4: multi-value \
              grouping on a single source column is not expressible)",
         ));
@@ -538,6 +633,7 @@ pub fn pullup_through_group_by<P: SchemaProvider>(plan: &Plan, provider: &P) -> 
             AggFunc::Count | AggFunc::CountStar | AggFunc::Avg => {
                 return Err(na(
                     RULE,
+                    DiagCode::Gp015AggNotBottomRespecting,
                     format!(
                         "aggregate {} does not return ⊥ on all-⊥ input (Eq. 8 requirement)",
                         a.func
@@ -548,6 +644,7 @@ pub fn pullup_through_group_by<P: SchemaProvider>(plan: &Plan, provider: &P) -> 
         let Some((gi, bj)) = resolve_cell(&a.input, spec) else {
             return Err(na(
                 RULE,
+                DiagCode::Gp015AggNotBottomRespecting,
                 format!("aggregate input `{}` is not a pivoted cell", a.input),
             ));
         };
@@ -557,6 +654,7 @@ pub fn pullup_through_group_by<P: SchemaProvider>(plan: &Plan, provider: &P) -> 
             Some(f) => {
                 return Err(na(
                     RULE,
+                    DiagCode::Gp015AggNotBottomRespecting,
                     format!(
                         "measure `{}` aggregated with both {f} and {}",
                         spec.on[bj], a.func
@@ -567,6 +665,7 @@ pub fn pullup_through_group_by<P: SchemaProvider>(plan: &Plan, provider: &P) -> 
         if out_name[gi][bj].replace(a.output.clone()).is_some() {
             return Err(na(
                 RULE,
+                DiagCode::Gp015AggNotBottomRespecting,
                 format!("cell ({gi},{bj}) aggregated more than once"),
             ));
         }
@@ -577,6 +676,7 @@ pub fn pullup_through_group_by<P: SchemaProvider>(plan: &Plan, provider: &P) -> 
             if n.is_none() {
                 return Err(na(
                     RULE,
+                    DiagCode::Gp015AggNotBottomRespecting,
                     format!(
                         "aggregate list does not cover cell `{}`",
                         spec.col_name(gi, bj)
@@ -639,10 +739,18 @@ pub fn cancel_pivot_unpivot<P: SchemaProvider>(plan: &Plan, provider: &P) -> Res
         spec: unspec,
     } = plan
     else {
-        return Err(na(RULE, format!("top is {}, not GUnpivot", plan.op_name())));
+        return Err(na(
+            RULE,
+            DiagCode::Gp020RuleShapeMismatch,
+            format!("top is {}, not GUnpivot", plan.op_name()),
+        ));
     };
     let Plan::GPivot { input: v, spec } = input.as_ref() else {
-        return Err(na(RULE, "no GPivot directly under the GUnpivot"));
+        return Err(na(
+            RULE,
+            DiagCode::Gp020RuleShapeMismatch,
+            "no GPivot directly under the GUnpivot",
+        ));
     };
     let expected = gpivot_algebra::plan::UnpivotSpec::reversing(spec);
     // The unpivot must decode exactly the pivot's structure, and its output
@@ -653,6 +761,7 @@ pub fn cancel_pivot_unpivot<P: SchemaProvider>(plan: &Plan, provider: &P) -> Res
     {
         return Err(na(
             RULE,
+            DiagCode::Gp022PivotUnpivotMismatch,
             "unpivot does not exactly reverse the pivot (partial use or renamed \
              outputs; see Fig. 12 cases 2-3)",
         ));
@@ -693,16 +802,25 @@ pub fn swap_unpivot_below_pivot<P: SchemaProvider>(plan: &Plan, provider: &P) ->
         spec: unspec,
     } = plan
     else {
-        return Err(na(RULE, format!("top is {}, not GUnpivot", plan.op_name())));
+        return Err(na(
+            RULE,
+            DiagCode::Gp020RuleShapeMismatch,
+            format!("top is {}, not GUnpivot", plan.op_name()),
+        ));
     };
     let Plan::GPivot { input: v, spec } = input.as_ref() else {
-        return Err(na(RULE, "no GPivot directly under the GUnpivot"));
+        return Err(na(
+            RULE,
+            DiagCode::Gp020RuleShapeMismatch,
+            "no GPivot directly under the GUnpivot",
+        ));
     };
     let cells: BTreeSet<String> = spec.output_col_names().into_iter().collect();
     let consumed: Vec<&String> = unspec.groups.iter().flat_map(|g| g.cols.iter()).collect();
     if consumed.iter().any(|c| cells.contains(*c)) {
         return Err(na(
             RULE,
+            DiagCode::Gp022PivotUnpivotMismatch,
             "unpivot consumes pivoted output columns — parameters overlap (Fig. 12)",
         ));
     }

@@ -8,18 +8,25 @@
 use crate::error::{CoreError, Result};
 use gpivot_algebra::plan::{JoinKind, Plan};
 use gpivot_algebra::{CmpOp, Expr, SchemaProvider};
+use gpivot_analyze::DiagCode;
 use gpivot_storage::Value;
 
-fn na(rule: &'static str, reason: impl Into<String>) -> CoreError {
+fn na(rule: &'static str, code: DiagCode, reason: impl Into<String>) -> CoreError {
     CoreError::RuleNotApplicable {
         rule,
+        code,
         reason: reason.into(),
     }
 }
 
 fn check<P: SchemaProvider>(plan: Plan, provider: &P, rule: &'static str) -> Result<Plan> {
-    plan.schema(provider)
-        .map_err(|e| na(rule, format!("rewritten plan does not type-check: {e}")))?;
+    plan.schema(provider).map_err(|e| {
+        na(
+            rule,
+            DiagCode::Gp005TypeCheck,
+            format!("rewritten plan does not type-check: {e}"),
+        )
+    })?;
     Ok(plan)
 }
 
@@ -61,14 +68,22 @@ fn conjuncts(e: &Expr) -> Vec<Expr> {
 pub fn pushdown_through_select<P: SchemaProvider>(plan: &Plan, provider: &P) -> Result<Plan> {
     const RULE: &str = "pushdown-select (Eq. 11)";
     let Plan::GPivot { input, spec } = plan else {
-        return Err(na(RULE, format!("top is {}, not GPivot", plan.op_name())));
+        return Err(na(
+            RULE,
+            DiagCode::Gp020RuleShapeMismatch,
+            format!("top is {}, not GPivot", plan.op_name()),
+        ));
     };
     let Plan::Select {
         input: v,
         predicate,
     } = input.as_ref()
     else {
-        return Err(na(RULE, "no Select directly under the GPivot"));
+        return Err(na(
+            RULE,
+            DiagCode::Gp020RuleShapeMismatch,
+            "no Select directly under the GPivot",
+        ));
     };
     let v_schema = v.schema(provider)?;
     let k_cols = spec.validate(&v_schema)?;
@@ -93,6 +108,7 @@ pub fn pushdown_through_select<P: SchemaProvider>(plan: &Plan, provider: &P) -> 
                         if op != CmpOp::Eq {
                             return Err(na(
                                 RULE,
+                                DiagCode::Gp011SelectOverCells,
                                 format!("dimension atom `{c}` must be an equality"),
                             ));
                         }
@@ -109,13 +125,26 @@ pub fn pushdown_through_select<P: SchemaProvider>(plan: &Plan, provider: &P) -> 
                     } else {
                         return Err(na(
                             RULE,
+                            DiagCode::Gp011SelectOverCells,
                             format!("atom `{c}` references unknown column `{col}`"),
                         ));
                     }
                 }
-                _ => return Err(na(RULE, format!("unsupported atom shape `{c}`"))),
+                _ => {
+                    return Err(na(
+                        RULE,
+                        DiagCode::Gp011SelectOverCells,
+                        format!("unsupported atom shape `{c}`"),
+                    ))
+                }
             },
-            _ => return Err(na(RULE, format!("unsupported atom `{c}`"))),
+            _ => {
+                return Err(na(
+                    RULE,
+                    DiagCode::Gp011SelectOverCells,
+                    format!("unsupported atom `{c}`"),
+                ))
+            }
         }
     }
 
@@ -188,7 +217,11 @@ pub fn pushdown_through_select<P: SchemaProvider>(plan: &Plan, provider: &P) -> 
 pub fn pushdown_through_join<P: SchemaProvider>(plan: &Plan, provider: &P) -> Result<Plan> {
     const RULE: &str = "pushdown-join (§5.2.3)";
     let Plan::GPivot { input, spec } = plan else {
-        return Err(na(RULE, format!("top is {}, not GPivot", plan.op_name())));
+        return Err(na(
+            RULE,
+            DiagCode::Gp020RuleShapeMismatch,
+            format!("top is {}, not GPivot", plan.op_name()),
+        ));
     };
     let Plan::Join {
         left,
@@ -198,7 +231,11 @@ pub fn pushdown_through_join<P: SchemaProvider>(plan: &Plan, provider: &P) -> Re
         residual: None,
     } = input.as_ref()
     else {
-        return Err(na(RULE, "no plain inner join directly under the GPivot"));
+        return Err(na(
+            RULE,
+            DiagCode::Gp020RuleShapeMismatch,
+            "no plain inner join directly under the GPivot",
+        ));
     };
     let left_schema = left.schema(provider)?;
     // All pivot parameter columns must come from the left side.
@@ -206,6 +243,7 @@ pub fn pushdown_through_join<P: SchemaProvider>(plan: &Plan, provider: &P) -> Re
         if left_schema.index_of(c).is_err() {
             return Err(na(
                 RULE,
+                DiagCode::Gp013JoinOnCells,
                 format!("pivot parameter column `{c}` does not come from one join side"),
             ));
         }
@@ -215,6 +253,7 @@ pub fn pushdown_through_join<P: SchemaProvider>(plan: &Plan, provider: &P) -> Re
         if spec.by.contains(l) || spec.on.contains(l) {
             return Err(na(
                 RULE,
+                DiagCode::Gp013JoinOnCells,
                 format!(
                     "join column `{l}` is a pivot parameter (§5.2.3 case-projection case \
                      not implemented as a plan rewrite)"
@@ -247,7 +286,11 @@ pub fn pushdown_through_join<P: SchemaProvider>(plan: &Plan, provider: &P) -> Re
 pub fn pushdown_through_group_by<P: SchemaProvider>(plan: &Plan, provider: &P) -> Result<Plan> {
     const RULE: &str = "pushdown-groupby (§5.2.4)";
     let Plan::GPivot { input, spec } = plan else {
-        return Err(na(RULE, format!("top is {}, not GPivot", plan.op_name())));
+        return Err(na(
+            RULE,
+            DiagCode::Gp020RuleShapeMismatch,
+            format!("top is {}, not GPivot", plan.op_name()),
+        ));
     };
     let Plan::GroupBy {
         input: v,
@@ -255,18 +298,27 @@ pub fn pushdown_through_group_by<P: SchemaProvider>(plan: &Plan, provider: &P) -
         aggs,
     } = input.as_ref()
     else {
-        return Err(na(RULE, "no GroupBy directly under the GPivot"));
+        return Err(na(
+            RULE,
+            DiagCode::Gp020RuleShapeMismatch,
+            "no GroupBy directly under the GPivot",
+        ));
     };
     // The pivot dimensions must be grouping columns, the measures exactly
     // the aggregate outputs.
     if !spec.by.iter().all(|b| group_by.contains(b)) {
-        return Err(na(RULE, "pivot dimensions are not grouping columns"));
+        return Err(na(
+            RULE,
+            DiagCode::Gp015AggNotBottomRespecting,
+            "pivot dimensions are not grouping columns",
+        ));
     }
     for a in aggs {
         use gpivot_algebra::AggFunc;
         if !matches!(a.func, AggFunc::Sum | AggFunc::Min | AggFunc::Max) {
             return Err(na(
                 RULE,
+                DiagCode::Gp015AggNotBottomRespecting,
                 format!(
                     "aggregate {} is not ⊥-respecting (see Eq. 8 caveat)",
                     a.func
@@ -278,6 +330,7 @@ pub fn pushdown_through_group_by<P: SchemaProvider>(plan: &Plan, provider: &P) -
     if spec.on.len() != aggs.len() || !spec.on.iter().all(|o| agg_outputs.contains(&o)) {
         return Err(na(
             RULE,
+            DiagCode::Gp015AggNotBottomRespecting,
             "pivot measures are not exactly the aggregate outputs",
         ));
     }
@@ -286,6 +339,7 @@ pub fn pushdown_through_group_by<P: SchemaProvider>(plan: &Plan, provider: &P) -
     if !v_schema.has_key() {
         return Err(na(
             RULE,
+            DiagCode::Gp001PivotInputNoKey,
             "group-by input carries no key; the pushed-down pivot would be inapplicable \
              (§5.2.4: duplicate inputs)",
         ));
@@ -340,29 +394,46 @@ pub fn pushdown_through_group_by<P: SchemaProvider>(plan: &Plan, provider: &P) -
 pub fn cancel_unpivot_pivot<P: SchemaProvider>(plan: &Plan, provider: &P) -> Result<Plan> {
     const RULE: &str = "cancel-gunpivot-gpivot (Eq. 12)";
     let Plan::GPivot { input, spec } = plan else {
-        return Err(na(RULE, format!("top is {}, not GPivot", plan.op_name())));
+        return Err(na(
+            RULE,
+            DiagCode::Gp020RuleShapeMismatch,
+            format!("top is {}, not GPivot", plan.op_name()),
+        ));
     };
     let Plan::GUnpivot {
         input: h,
         spec: unspec,
     } = input.as_ref()
     else {
-        return Err(na(RULE, "no GUnpivot directly under the GPivot"));
+        return Err(na(
+            RULE,
+            DiagCode::Gp020RuleShapeMismatch,
+            "no GUnpivot directly under the GPivot",
+        ));
     };
     // The pivot must re-encode exactly the unpivot's structure.
     if unspec.name_cols != spec.by || unspec.value_cols != spec.on {
         return Err(na(
             RULE,
+            DiagCode::Gp022PivotUnpivotMismatch,
             "pivot parameters do not mirror the unpivot outputs",
         ));
     }
     if unspec.groups.len() != spec.groups.len() {
-        return Err(na(RULE, "group counts differ"));
+        return Err(na(
+            RULE,
+            DiagCode::Gp022PivotUnpivotMismatch,
+            "group counts differ",
+        ));
     }
     let mut cells = Vec::new();
     for (g, ug) in spec.groups.iter().zip(&unspec.groups) {
         if &ug.tags != g {
-            return Err(na(RULE, "group tags differ between pivot and unpivot"));
+            return Err(na(
+                RULE,
+                DiagCode::Gp022PivotUnpivotMismatch,
+                "group tags differ between pivot and unpivot",
+            ));
         }
         // The unpivot's source columns must be the names the pivot will
         // re-create.
@@ -371,6 +442,7 @@ pub fn cancel_unpivot_pivot<P: SchemaProvider>(plan: &Plan, provider: &P) -> Res
             if col != &expected {
                 return Err(na(
                     RULE,
+                    DiagCode::Gp022PivotUnpivotMismatch,
                     format!("unpivot reads `{col}` but pivot would emit `{expected}`"),
                 ));
             }

@@ -10,18 +10,25 @@
 use crate::error::{CoreError, Result};
 use gpivot_algebra::plan::{JoinKind, PivotSpec, Plan};
 use gpivot_algebra::{Expr, SchemaProvider};
+use gpivot_analyze::DiagCode;
 use std::collections::HashMap;
 
-fn na(rule: &'static str, reason: impl Into<String>) -> CoreError {
+fn na(rule: &'static str, code: DiagCode, reason: impl Into<String>) -> CoreError {
     CoreError::RuleNotApplicable {
         rule,
+        code,
         reason: reason.into(),
     }
 }
 
 fn check<P: SchemaProvider>(plan: Plan, provider: &P, rule: &'static str) -> Result<Plan> {
-    plan.schema(provider)
-        .map_err(|e| na(rule, format!("rewritten plan does not type-check: {e}")))?;
+    plan.schema(provider).map_err(|e| {
+        na(
+            rule,
+            DiagCode::Gp005TypeCheck,
+            format!("rewritten plan does not type-check: {e}"),
+        )
+    })?;
     Ok(plan)
 }
 
@@ -63,7 +70,11 @@ pub fn hoist_select_through_join<P: SchemaProvider>(plan: &Plan, provider: &P) -
         residual,
     } = plan
     else {
-        return Err(na(RULE, "not an inner join"));
+        return Err(na(
+            RULE,
+            DiagCode::Gp020RuleShapeMismatch,
+            "not an inner join",
+        ));
     };
     if let Plan::Select { input, predicate } = left.as_ref() {
         if carries_pivot(input) {
@@ -91,7 +102,11 @@ pub fn hoist_select_through_join<P: SchemaProvider>(plan: &Plan, provider: &P) -
             return check(rewritten, provider, RULE);
         }
     }
-    Err(na(RULE, "no pivot-carrying Select directly under the join"))
+    Err(na(
+        RULE,
+        DiagCode::Gp020RuleShapeMismatch,
+        "no pivot-carrying Select directly under the join",
+    ))
 }
 
 /// `Join(Project(items, A), B)` ⇒ `Project(items ++ B columns, Join(A, B))`
@@ -107,21 +122,41 @@ pub fn hoist_project_through_join<P: SchemaProvider>(plan: &Plan, provider: &P) 
         residual,
     } = plan
     else {
-        return Err(na(RULE, "not an inner join"));
+        return Err(na(
+            RULE,
+            DiagCode::Gp020RuleShapeMismatch,
+            "not an inner join",
+        ));
     };
     // Left side only (the symmetric case is reached after join reordering,
     // which we do not do — keep the rule minimal).
     let Plan::Project { input, items } = left.as_ref() else {
-        return Err(na(RULE, "left join side is not a Project"));
+        return Err(na(
+            RULE,
+            DiagCode::Gp020RuleShapeMismatch,
+            "left join side is not a Project",
+        ));
     };
     if !carries_pivot(input) {
-        return Err(na(RULE, "projected side carries no pivot"));
+        return Err(na(
+            RULE,
+            DiagCode::Gp020RuleShapeMismatch,
+            "projected side carries no pivot",
+        ));
     }
     let Some(map) = pure_items(items) else {
-        return Err(na(RULE, "projection is not pure columns"));
+        return Err(na(
+            RULE,
+            DiagCode::Gp012ProjectDropsCells,
+            "projection is not pure columns",
+        ));
     };
     if residual.is_some() {
-        return Err(na(RULE, "join has a residual predicate"));
+        return Err(na(
+            RULE,
+            DiagCode::Gp020RuleShapeMismatch,
+            "join has a residual predicate",
+        ));
     }
     // Remap join columns through the rename.
     let new_on: Vec<(String, String)> = on
@@ -129,7 +164,13 @@ pub fn hoist_project_through_join<P: SchemaProvider>(plan: &Plan, provider: &P) 
         .map(|(l, r)| {
             map.get(l)
                 .map(|src| (src.clone(), r.clone()))
-                .ok_or_else(|| na(RULE, format!("join column `{l}` not in projection")))
+                .ok_or_else(|| {
+                    na(
+                        RULE,
+                        DiagCode::Gp012ProjectDropsCells,
+                        format!("join column `{l}` not in projection"),
+                    )
+                })
         })
         .collect::<Result<_>>()?;
     let right_cols: Vec<String> = right
@@ -159,16 +200,28 @@ pub fn hoist_project_through_join<P: SchemaProvider>(plan: &Plan, provider: &P) 
 pub fn select_through_project<P: SchemaProvider>(plan: &Plan, provider: &P) -> Result<Plan> {
     const RULE: &str = "select-through-project";
     let Plan::Select { input, predicate } = plan else {
-        return Err(na(RULE, "not a Select"));
+        return Err(na(RULE, DiagCode::Gp020RuleShapeMismatch, "not a Select"));
     };
     let Plan::Project { input: z, items } = input.as_ref() else {
-        return Err(na(RULE, "no Project under the Select"));
+        return Err(na(
+            RULE,
+            DiagCode::Gp020RuleShapeMismatch,
+            "no Project under the Select",
+        ));
     };
     if !carries_pivot(z) {
-        return Err(na(RULE, "projected input carries no pivot"));
+        return Err(na(
+            RULE,
+            DiagCode::Gp020RuleShapeMismatch,
+            "projected input carries no pivot",
+        ));
     }
     let Some(map) = pure_items(items) else {
-        return Err(na(RULE, "projection is not pure columns"));
+        return Err(na(
+            RULE,
+            DiagCode::Gp012ProjectDropsCells,
+            "projection is not pure columns",
+        ));
     };
     let renamed =
         predicate.rename_columns(&|c| map.get(c).cloned().unwrap_or_else(|| c.to_string()));
@@ -176,6 +229,7 @@ pub fn select_through_project<P: SchemaProvider>(plan: &Plan, provider: &P) -> R
     if !predicate.columns().iter().all(|c| map.contains_key(c)) {
         return Err(na(
             RULE,
+            DiagCode::Gp012ProjectDropsCells,
             "predicate references a column the projection drops",
         ));
     }
@@ -197,21 +251,37 @@ pub fn groupby_through_project<P: SchemaProvider>(plan: &Plan, provider: &P) -> 
         aggs,
     } = plan
     else {
-        return Err(na(RULE, "not a GroupBy"));
+        return Err(na(RULE, DiagCode::Gp020RuleShapeMismatch, "not a GroupBy"));
     };
     let Plan::Project { input: z, items } = input.as_ref() else {
-        return Err(na(RULE, "no Project under the GroupBy"));
+        return Err(na(
+            RULE,
+            DiagCode::Gp020RuleShapeMismatch,
+            "no Project under the GroupBy",
+        ));
     };
     if !carries_pivot(z) {
-        return Err(na(RULE, "projected input carries no pivot"));
+        return Err(na(
+            RULE,
+            DiagCode::Gp020RuleShapeMismatch,
+            "projected input carries no pivot",
+        ));
     }
     let Some(map) = pure_items(items) else {
-        return Err(na(RULE, "projection is not pure columns"));
+        return Err(na(
+            RULE,
+            DiagCode::Gp012ProjectDropsCells,
+            "projection is not pure columns",
+        ));
     };
     let rename = |c: &String| -> Result<String> {
-        map.get(c)
-            .cloned()
-            .ok_or_else(|| na(RULE, format!("column `{c}` not in projection")))
+        map.get(c).cloned().ok_or_else(|| {
+            na(
+                RULE,
+                DiagCode::Gp012ProjectDropsCells,
+                format!("column `{c}` not in projection"),
+            )
+        })
     };
     // Grouping columns keep their *output* names only if the rename is
     // trivial for them; otherwise the output schema would change. Require
@@ -224,6 +294,7 @@ pub fn groupby_through_project<P: SchemaProvider>(plan: &Plan, provider: &P) -> 
         if &src != g {
             return Err(na(
                 RULE,
+                DiagCode::Gp012ProjectDropsCells,
                 format!(
                     "grouping column `{g}` is renamed from `{src}`; absorbing would \
                          change the output schema"
@@ -261,19 +332,28 @@ pub fn groupby_through_project<P: SchemaProvider>(plan: &Plan, provider: &P) -> 
 pub fn pivot_through_rename<P: SchemaProvider>(plan: &Plan, provider: &P) -> Result<Plan> {
     const RULE: &str = "pivot-through-rename";
     let Plan::GPivot { input, spec } = plan else {
-        return Err(na(RULE, "not a GPivot"));
+        return Err(na(RULE, DiagCode::Gp020RuleShapeMismatch, "not a GPivot"));
     };
     let Plan::Project { input: z, items } = input.as_ref() else {
-        return Err(na(RULE, "no Project under the GPivot"));
+        return Err(na(
+            RULE,
+            DiagCode::Gp020RuleShapeMismatch,
+            "no Project under the GPivot",
+        ));
     };
     let Some(map) = pure_items(items) else {
-        return Err(na(RULE, "projection is not pure columns"));
+        return Err(na(
+            RULE,
+            DiagCode::Gp012ProjectDropsCells,
+            "projection is not pure columns",
+        ));
     };
     let z_schema = z.schema(provider)?;
     // Must keep every column exactly once (pure rename / permutation).
     if items.len() != z_schema.arity() {
         return Err(na(
             RULE,
+            DiagCode::Gp012ProjectDropsCells,
             "projection drops or duplicates columns; sliding the pivot below \
              it would change the pivot's K",
         ));
@@ -281,15 +361,23 @@ pub fn pivot_through_rename<P: SchemaProvider>(plan: &Plan, provider: &P) -> Res
     let mut seen_sources = std::collections::HashSet::new();
     for src in map.values() {
         if !seen_sources.insert(src.as_str()) {
-            return Err(na(RULE, format!("source column `{src}` projected twice")));
+            return Err(na(
+                RULE,
+                DiagCode::Gp012ProjectDropsCells,
+                format!("source column `{src}` projected twice"),
+            ));
         }
     }
 
     // Rewrite the spec through the rename (output name → source name).
     let rename = |c: &String| -> Result<String> {
-        map.get(c)
-            .cloned()
-            .ok_or_else(|| na(RULE, format!("pivot column `{c}` not in projection")))
+        map.get(c).cloned().ok_or_else(|| {
+            na(
+                RULE,
+                DiagCode::Gp012ProjectDropsCells,
+                format!("pivot column `{c}` not in projection"),
+            )
+        })
     };
     let new_spec = PivotSpec {
         by: spec.by.iter().map(rename).collect::<Result<_>>()?,
@@ -308,9 +396,13 @@ pub fn pivot_through_rename<P: SchemaProvider>(plan: &Plan, provider: &P) -> Res
             out_items.push((Expr::col(&new_cells[pos]), name.to_string()));
         } else {
             // K column: its pre-rename source name.
-            let src = map
-                .get(name)
-                .ok_or_else(|| na(RULE, format!("K column `{name}` not in projection")))?;
+            let src = map.get(name).ok_or_else(|| {
+                na(
+                    RULE,
+                    DiagCode::Gp012ProjectDropsCells,
+                    format!("K column `{name}` not in projection"),
+                )
+            })?;
             out_items.push((Expr::col(src), name.to_string()));
         }
     }

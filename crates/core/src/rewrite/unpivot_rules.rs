@@ -8,18 +8,25 @@
 use crate::error::{CoreError, Result};
 use gpivot_algebra::plan::{JoinKind, Plan, UnpivotSpec};
 use gpivot_algebra::{AggFunc, AggSpec, CmpOp, Expr, SchemaProvider};
+use gpivot_analyze::DiagCode;
 use gpivot_storage::Value;
 
-fn na(rule: &'static str, reason: impl Into<String>) -> CoreError {
+fn na(rule: &'static str, code: DiagCode, reason: impl Into<String>) -> CoreError {
     CoreError::RuleNotApplicable {
         rule,
+        code,
         reason: reason.into(),
     }
 }
 
 fn check<P: SchemaProvider>(plan: Plan, provider: &P, rule: &'static str) -> Result<Plan> {
-    plan.schema(provider)
-        .map_err(|e| na(rule, format!("rewritten plan does not type-check: {e}")))?;
+    plan.schema(provider).map_err(|e| {
+        na(
+            rule,
+            DiagCode::Gp005TypeCheck,
+            format!("rewritten plan does not type-check: {e}"),
+        )
+    })?;
     Ok(plan)
 }
 
@@ -46,10 +53,18 @@ fn conjuncts(e: &Expr) -> Vec<Expr> {
 pub fn push_select_below_unpivot<P: SchemaProvider>(plan: &Plan, provider: &P) -> Result<Plan> {
     const RULE: &str = "select-below-gunpivot (Eq. 13)";
     let Plan::Select { input, predicate } = plan else {
-        return Err(na(RULE, format!("top is {}, not Select", plan.op_name())));
+        return Err(na(
+            RULE,
+            DiagCode::Gp020RuleShapeMismatch,
+            format!("top is {}, not Select", plan.op_name()),
+        ));
     };
     let Plan::GUnpivot { input: h, spec } = input.as_ref() else {
-        return Err(na(RULE, "no GUnpivot directly under the Select"));
+        return Err(na(
+            RULE,
+            DiagCode::Gp020RuleShapeMismatch,
+            "no GUnpivot directly under the Select",
+        ));
     };
     let h_schema = h.schema(provider)?;
     let k_cols = spec.validate(&h_schema)?;
@@ -86,6 +101,7 @@ pub fn push_select_below_unpivot<P: SchemaProvider>(plan: &Plan, provider: &P) -
                         if op != CmpOp::Eq {
                             return Err(na(
                                 RULE,
+                                DiagCode::Gp011SelectOverCells,
                                 format!("name-column atom `{c}` must be an equality"),
                             ));
                         }
@@ -100,12 +116,28 @@ pub fn push_select_below_unpivot<P: SchemaProvider>(plan: &Plan, provider: &P) -
                             lit: val.clone(),
                         });
                     } else {
-                        return Err(na(RULE, format!("unknown column `{col}` in atom `{c}`")));
+                        return Err(na(
+                            RULE,
+                            DiagCode::Gp011SelectOverCells,
+                            format!("unknown column `{col}` in atom `{c}`"),
+                        ));
                     }
                 }
-                _ => return Err(na(RULE, format!("unsupported atom shape `{c}`"))),
+                _ => {
+                    return Err(na(
+                        RULE,
+                        DiagCode::Gp011SelectOverCells,
+                        format!("unsupported atom shape `{c}`"),
+                    ))
+                }
             },
-            _ => return Err(na(RULE, format!("unsupported atom `{c}`"))),
+            _ => {
+                return Err(na(
+                    RULE,
+                    DiagCode::Gp011SelectOverCells,
+                    format!("unsupported atom `{c}`"),
+                ))
+            }
         }
     }
 
@@ -122,7 +154,11 @@ pub fn push_select_below_unpivot<P: SchemaProvider>(plan: &Plan, provider: &P) -
         .cloned()
         .collect();
     if kept_groups.is_empty() {
-        return Err(na(RULE, "no unpivot group satisfies the name-column atoms"));
+        return Err(na(
+            RULE,
+            DiagCode::Gp011SelectOverCells,
+            "no unpivot group satisfies the name-column atoms",
+        ));
     }
 
     // Dynamic value atoms become a CASE projection over H (§5.3.1 second
@@ -214,10 +250,18 @@ pub fn pull_unpivot_above_join<P: SchemaProvider>(plan: &Plan, provider: &P) -> 
         residual: None,
     } = plan
     else {
-        return Err(na(RULE, "not a plain inner join"));
+        return Err(na(
+            RULE,
+            DiagCode::Gp020RuleShapeMismatch,
+            "not a plain inner join",
+        ));
     };
     let Plan::GUnpivot { input: h, spec } = left.as_ref() else {
-        return Err(na(RULE, "left join side is not a GUnpivot"));
+        return Err(na(
+            RULE,
+            DiagCode::Gp020RuleShapeMismatch,
+            "left join side is not a GUnpivot",
+        ));
     };
     let h_schema = h.schema(provider)?;
     let k_cols = spec.validate(&h_schema)?;
@@ -301,6 +345,7 @@ pub fn pull_unpivot_above_join<P: SchemaProvider>(plan: &Plan, provider: &P) -> 
 
     Err(na(
         RULE,
+        DiagCode::Gp013JoinOnCells,
         "join involves name columns (higher-order join, §5.3.3 third case) or \
          multiple value columns",
     ))
@@ -318,10 +363,18 @@ pub fn pull_unpivot_above_group_by<P: SchemaProvider>(plan: &Plan, provider: &P)
         aggs,
     } = plan
     else {
-        return Err(na(RULE, format!("top is {}, not GroupBy", plan.op_name())));
+        return Err(na(
+            RULE,
+            DiagCode::Gp020RuleShapeMismatch,
+            format!("top is {}, not GroupBy", plan.op_name()),
+        ));
     };
     let Plan::GUnpivot { input: h, spec } = input.as_ref() else {
-        return Err(na(RULE, "no GUnpivot directly under the GroupBy"));
+        return Err(na(
+            RULE,
+            DiagCode::Gp020RuleShapeMismatch,
+            "no GUnpivot directly under the GroupBy",
+        ));
     };
     let h_schema = h.schema(provider)?;
     let k_cols = spec.validate(&h_schema)?;
@@ -332,6 +385,7 @@ pub fn pull_unpivot_above_group_by<P: SchemaProvider>(plan: &Plan, provider: &P)
         if !k_cols.contains(g) && !spec.name_cols.contains(g) {
             return Err(na(
                 RULE,
+                DiagCode::Gp019GroupByOnCells,
                 format!("grouping column `{g}` is a value column or unknown"),
             ));
         }
@@ -339,11 +393,16 @@ pub fn pull_unpivot_above_group_by<P: SchemaProvider>(plan: &Plan, provider: &P)
     // Aggregates: f(value_col), f ∈ {SUM, COUNT} (paper's simplification).
     for a in aggs {
         if !matches!(a.func, AggFunc::Sum | AggFunc::Count) {
-            return Err(na(RULE, format!("aggregate {} not supported here", a.func)));
+            return Err(na(
+                RULE,
+                DiagCode::Gp015AggNotBottomRespecting,
+                format!("aggregate {} not supported here", a.func),
+            ));
         }
         if !spec.value_cols.contains(&a.input) {
             return Err(na(
                 RULE,
+                DiagCode::Gp015AggNotBottomRespecting,
                 format!(
                     "aggregate input `{}` is not a value column (§5.3.4: cannot \
                      aggregate name columns)",
@@ -448,14 +507,22 @@ pub fn pull_unpivot_above_group_by<P: SchemaProvider>(plan: &Plan, provider: &P)
 pub fn push_unpivot_below_select<P: SchemaProvider>(plan: &Plan, provider: &P) -> Result<Plan> {
     const RULE: &str = "push-gunpivot-select (Eq. 16)";
     let Plan::GUnpivot { input, spec } = plan else {
-        return Err(na(RULE, format!("top is {}, not GUnpivot", plan.op_name())));
+        return Err(na(
+            RULE,
+            DiagCode::Gp020RuleShapeMismatch,
+            format!("top is {}, not GUnpivot", plan.op_name()),
+        ));
     };
     let Plan::Select {
         input: h,
         predicate,
     } = input.as_ref()
     else {
-        return Err(na(RULE, "no Select directly under the GUnpivot"));
+        return Err(na(
+            RULE,
+            DiagCode::Gp020RuleShapeMismatch,
+            "no Select directly under the GUnpivot",
+        ));
     };
     let h_schema = h.schema(provider)?;
     let k_cols = spec.validate(&h_schema)?;
@@ -473,7 +540,11 @@ pub fn push_unpivot_below_select<P: SchemaProvider>(plan: &Plan, provider: &P) -
         return check(rewritten, provider, RULE);
     }
     if !h_schema.has_key() {
-        return Err(na(RULE, "input carries no key for the semijoin"));
+        return Err(na(
+            RULE,
+            DiagCode::Gp001PivotInputNoKey,
+            "input carries no key for the semijoin",
+        ));
     }
     // Key semijoin: qualifying keys from σ(H), joined back into H before
     // unpivoting.
@@ -519,7 +590,11 @@ pub fn push_unpivot_below_select<P: SchemaProvider>(plan: &Plan, provider: &P) -
 pub fn push_unpivot_below_group_by<P: SchemaProvider>(plan: &Plan, provider: &P) -> Result<Plan> {
     const RULE: &str = "push-gunpivot-groupby (Eq. 18)";
     let Plan::GUnpivot { input, spec } = plan else {
-        return Err(na(RULE, format!("top is {}, not GUnpivot", plan.op_name())));
+        return Err(na(
+            RULE,
+            DiagCode::Gp020RuleShapeMismatch,
+            format!("top is {}, not GUnpivot", plan.op_name()),
+        ));
     };
     let Plan::GroupBy {
         input: t,
@@ -527,7 +602,11 @@ pub fn push_unpivot_below_group_by<P: SchemaProvider>(plan: &Plan, provider: &P)
         aggs,
     } = input.as_ref()
     else {
-        return Err(na(RULE, "no GroupBy directly under the GUnpivot"));
+        return Err(na(
+            RULE,
+            DiagCode::Gp020RuleShapeMismatch,
+            "no GroupBy directly under the GUnpivot",
+        ));
     };
     // Every unpivoted column must be an aggregate output; grouping columns
     // must be untouched (§5.4.4: unpivoting group-by columns is not
@@ -537,12 +616,14 @@ pub fn push_unpivot_below_group_by<P: SchemaProvider>(plan: &Plan, provider: &P)
         if group_by.contains(c) {
             return Err(na(
                 RULE,
+                DiagCode::Gp022PivotUnpivotMismatch,
                 format!("unpivot consumes grouping column `{c}` (§5.4.4)"),
             ));
         }
         if !aggs.iter().any(|a| &a.output == *c) {
             return Err(na(
                 RULE,
+                DiagCode::Gp022PivotUnpivotMismatch,
                 format!("unpivot consumes non-aggregate column `{c}`"),
             ));
         }
@@ -554,6 +635,7 @@ pub fn push_unpivot_below_group_by<P: SchemaProvider>(plan: &Plan, provider: &P)
     if spec.value_cols.len() != 1 {
         return Err(na(
             RULE,
+            DiagCode::Gp015AggNotBottomRespecting,
             "only single-measure unpivots supported (Figure 21 shape)",
         ));
     }
@@ -570,23 +652,32 @@ pub fn push_unpivot_below_group_by<P: SchemaProvider>(plan: &Plan, provider: &P)
             Some(f) => {
                 return Err(na(
                     RULE,
+                    DiagCode::Gp015AggNotBottomRespecting,
                     format!("mixed aggregate functions {f} and {}", a.func),
                 ))
             }
         }
         if a.func == AggFunc::CountStar {
-            return Err(na(RULE, "count(*) has no input column to unpivot"));
+            return Err(na(
+                RULE,
+                DiagCode::Gp015AggNotBottomRespecting,
+                "count(*) has no input column to unpivot",
+            ));
         }
         inner_groups.push(gpivot_algebra::plan::UnpivotGroup {
             tags: g.tags.clone(),
             cols: vec![a.input.clone()],
         });
     }
-    let func = func.ok_or_else(|| na(RULE, "no groups"))?;
+    let func = func.ok_or_else(|| na(RULE, DiagCode::Gp020RuleShapeMismatch, "no groups"))?;
     // All aggregate outputs must be consumed (otherwise the leftover
     // aggregates would need duplicating — keep the rule exact).
     if aggs.len() != spec.groups.len() {
-        return Err(na(RULE, "unpivot does not consume every aggregate output"));
+        return Err(na(
+            RULE,
+            DiagCode::Gp015AggNotBottomRespecting,
+            "unpivot does not consume every aggregate output",
+        ));
     }
 
     let value_col = &spec.value_cols[0];

@@ -1,0 +1,253 @@
+//! Every rewrite rule's runtime rejection carries a stable analyzer
+//! diagnostic code — no orphan free-form reasons. For the obstructions the
+//! static analyzer can see (cells in predicates, join conditions, dropped
+//! columns, non-⊥-respecting aggregates, outer joins), the runtime code
+//! must agree with what `gpivot_analyze::analyze` reports on the same
+//! plan.
+
+use gpivot_algebra::{AggSpec, Expr, PivotSpec, Plan, SchemaProvider};
+use gpivot_analyze::{analyze, DiagCode};
+use gpivot_core::rewrite::{pullup, pushdown, transpose, unpivot_rules};
+use gpivot_core::CoreError;
+use gpivot_storage::{Catalog, DataType, Schema, Table, Value};
+use std::sync::Arc;
+
+fn catalog() -> Catalog {
+    let t = Schema::from_pairs_keyed(
+        &[
+            ("id", DataType::Int),
+            ("attr", DataType::Str),
+            ("val", DataType::Int),
+        ],
+        &["id", "attr"],
+    )
+    .unwrap();
+    let u = Schema::from_pairs_keyed(&[("uid", DataType::Int), ("x", DataType::Int)], &["uid"])
+        .unwrap();
+    let mut c = Catalog::new();
+    c.register("t", Table::new(Arc::new(t))).unwrap();
+    c.register("u", Table::new(Arc::new(u))).unwrap();
+    c
+}
+
+fn spec() -> PivotSpec {
+    PivotSpec::simple("attr", "val", vec![Value::str("a"), Value::str("b")])
+}
+
+/// The encoded name of the first pivoted cell.
+fn cell() -> String {
+    gpivot_algebra::encode_pivot_col(&[Value::str("a")], "val")
+}
+
+type Rule = fn(&Plan, &Catalog) -> gpivot_core::Result<Plan>;
+
+/// All rewrite rules, by name.
+fn all_rules() -> Vec<(&'static str, Rule)> {
+    vec![
+        ("pullup_through_select", pullup::pullup_through_select),
+        (
+            "push_select_below_pivot_selfjoin",
+            pullup::push_select_below_pivot_selfjoin,
+        ),
+        ("pullup_through_join", pullup::pullup_through_join),
+        ("pullup_through_project", pullup::pullup_through_project),
+        ("pullup_through_group_by", pullup::pullup_through_group_by),
+        ("cancel_pivot_unpivot", pullup::cancel_pivot_unpivot),
+        ("swap_unpivot_below_pivot", pullup::swap_unpivot_below_pivot),
+        ("pushdown_through_select", pushdown::pushdown_through_select),
+        ("pushdown_through_join", pushdown::pushdown_through_join),
+        (
+            "pushdown_through_group_by",
+            pushdown::pushdown_through_group_by,
+        ),
+        ("cancel_unpivot_pivot", pushdown::cancel_unpivot_pivot),
+        (
+            "hoist_select_through_join",
+            transpose::hoist_select_through_join,
+        ),
+        (
+            "hoist_project_through_join",
+            transpose::hoist_project_through_join,
+        ),
+        ("select_through_project", transpose::select_through_project),
+        (
+            "groupby_through_project",
+            transpose::groupby_through_project,
+        ),
+        ("pivot_through_rename", transpose::pivot_through_rename),
+        (
+            "push_select_below_unpivot",
+            unpivot_rules::push_select_below_unpivot,
+        ),
+        (
+            "pull_unpivot_above_join",
+            unpivot_rules::pull_unpivot_above_join,
+        ),
+        (
+            "pull_unpivot_above_group_by",
+            unpivot_rules::pull_unpivot_above_group_by,
+        ),
+        (
+            "push_unpivot_below_select",
+            unpivot_rules::push_unpivot_below_select,
+        ),
+        (
+            "push_unpivot_below_group_by",
+            unpivot_rules::push_unpivot_below_group_by,
+        ),
+    ]
+}
+
+/// Unwrap a rule rejection into its diagnostic code.
+fn rejection_code(result: gpivot_core::Result<Plan>, rule_name: &str) -> DiagCode {
+    match result {
+        Err(CoreError::RuleNotApplicable { code, .. }) => code,
+        other => panic!("{rule_name}: expected RuleNotApplicable, got {other:?}"),
+    }
+}
+
+/// Every rule rejects a plain table scan with the shape-mismatch code —
+/// and therefore with *a* stable code: none of the 21 rules can produce
+/// an unclassified rejection.
+#[test]
+fn every_rule_rejects_with_a_stable_code() {
+    let c = catalog();
+    let scan = Plan::scan("t");
+    for (name, rule) in all_rules() {
+        let code = rejection_code(rule(&scan, &c), name);
+        assert_eq!(
+            code,
+            DiagCode::Gp020RuleShapeMismatch,
+            "{name}: a bare scan is a shape mismatch"
+        );
+        assert!(
+            DiagCode::ALL.contains(&code),
+            "{name}: code {code} not in the registry"
+        );
+    }
+}
+
+/// A predicate over pivoted cells blocks pullup with GP011 — the same
+/// code the analyzer reports statically for that plan.
+#[test]
+fn select_over_cells_agrees_with_analyzer() {
+    let c = catalog();
+    let plan = Plan::scan("t")
+        .gpivot(spec())
+        .select(Expr::col(cell()).is_null());
+    assert_eq!(
+        rejection_code(pullup::pullup_through_select(&plan, &c), "pullup-select"),
+        DiagCode::Gp011SelectOverCells,
+    );
+    assert_eq!(
+        rejection_code(
+            pullup::push_select_below_pivot_selfjoin(&plan, &c),
+            "select-selfjoin-pushdown",
+        ),
+        DiagCode::Gp011SelectOverCells,
+    );
+    let report = analyze(&plan, &c);
+    assert!(
+        report.codes().contains(&DiagCode::Gp011SelectOverCells),
+        "analyzer must flag the same obstruction: {report:?}"
+    );
+}
+
+/// A join condition on pivoted cells blocks pullup with GP013, matching
+/// the analyzer.
+#[test]
+fn join_on_cells_agrees_with_analyzer() {
+    let c = catalog();
+    let plan = Plan::scan("t")
+        .gpivot(spec())
+        .join(Plan::scan("u"), vec![(cell().as_str(), "uid")]);
+    assert_eq!(
+        rejection_code(pullup::pullup_through_join(&plan, &c), "pullup-join"),
+        DiagCode::Gp013JoinOnCells,
+    );
+    let report = analyze(&plan, &c);
+    assert!(
+        report.codes().contains(&DiagCode::Gp013JoinOnCells),
+        "analyzer must flag the same obstruction: {report:?}"
+    );
+}
+
+/// An outer join above a pivot blocks pullup with GP014, matching the
+/// analyzer.
+#[test]
+fn outer_join_agrees_with_analyzer() {
+    let c = catalog();
+    let plan = Plan::Join {
+        left: Box::new(Plan::scan("t").gpivot(spec())),
+        right: Box::new(Plan::scan("u")),
+        kind: gpivot_algebra::JoinKind::LeftOuter,
+        on: vec![("id".into(), "uid".into())],
+        residual: None,
+    };
+    assert_eq!(
+        rejection_code(pullup::pullup_through_join(&plan, &c), "pullup-join"),
+        DiagCode::Gp014OuterJoin,
+    );
+    let report = analyze(&plan, &c);
+    assert!(
+        report.codes().contains(&DiagCode::Gp014OuterJoin),
+        "analyzer must flag the same obstruction: {report:?}"
+    );
+}
+
+/// A projection dropping pivoted cells blocks pullup with GP012, matching
+/// the analyzer.
+#[test]
+fn project_drops_cells_agrees_with_analyzer() {
+    let c = catalog();
+    let plan = Plan::scan("t")
+        .gpivot(spec())
+        .project(vec![(Expr::col("id"), "id".to_string())]);
+    assert_eq!(
+        rejection_code(pullup::pullup_through_project(&plan, &c), "pullup-project"),
+        DiagCode::Gp012ProjectDropsCells,
+    );
+    let report = analyze(&plan, &c);
+    assert!(
+        report.codes().contains(&DiagCode::Gp012ProjectDropsCells),
+        "analyzer must flag the same obstruction: {report:?}"
+    );
+}
+
+/// A non-⊥-respecting aggregate (COUNT) over pivoted cells blocks the
+/// Eq. 8 pullup with GP015, matching the analyzer.
+#[test]
+fn count_aggregate_agrees_with_analyzer() {
+    let c = catalog();
+    let plan = Plan::scan("t")
+        .gpivot(spec())
+        .group_by(&["id"], vec![AggSpec::count(cell(), "n")]);
+    assert_eq!(
+        rejection_code(pullup::pullup_through_group_by(&plan, &c), "pullup-groupby"),
+        DiagCode::Gp015AggNotBottomRespecting,
+    );
+    let report = analyze(&plan, &c);
+    assert!(
+        report
+            .codes()
+            .contains(&DiagCode::Gp015AggNotBottomRespecting),
+        "analyzer must flag the same obstruction: {report:?}"
+    );
+}
+
+/// The rejection Display carries the code so log lines are greppable.
+#[test]
+fn rejection_display_carries_the_code() {
+    let c = catalog();
+    let err = pullup::pullup_through_select(&Plan::scan("t"), &c).unwrap_err();
+    let msg = err.to_string();
+    assert!(msg.contains("[GP020]"), "missing code in: {msg}");
+}
+
+/// Catalog implements SchemaProvider — sanity anchor for the `Rule` fn
+/// type used above.
+#[test]
+fn catalog_is_a_schema_provider() {
+    fn assert_provider<P: SchemaProvider>(_p: &P) {}
+    assert_provider(&catalog());
+}

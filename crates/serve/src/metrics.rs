@@ -66,6 +66,9 @@ pub struct ViewMetrics {
     pub retries: u64,
     /// Current position in the retry/quarantine state machine.
     pub health: ViewHealth,
+    /// Rendered warnings the static plan lint recorded when the view was
+    /// registered (empty when registered clean or with lint skipped).
+    pub lint_warnings: Vec<String>,
 }
 
 /// A point-in-time copy of the service's counters.
@@ -220,6 +223,9 @@ impl MetricsSnapshot {
                 v.rows_applied,
                 v.refresh_time,
             );
+            for w in &v.lint_warnings {
+                let _ = writeln!(out, "    lint: {w}");
+            }
         }
         if !self.phase_timings.is_empty() {
             let _ = writeln!(out, "  phase timings:");

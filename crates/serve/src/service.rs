@@ -172,9 +172,16 @@ impl ViewService {
         let mut state = sync::write(&self.shared.state);
         let name = name.into();
         let strategy = state.register_view_with(name.clone(), definition, options)?;
+        // Surface any non-fatal plan-lint findings in the dashboard.
+        let lint_warnings: Vec<String> = state
+            .view(&name)
+            .map(|v| v.lint_warnings().iter().map(|d| d.to_string()).collect())
+            .unwrap_or_default();
         drop(state);
         let mut m = sync::lock(&self.shared.metrics);
-        m.per_view.entry(name).or_default().health = ViewHealth::Healthy;
+        let vm = m.per_view.entry(name).or_default();
+        vm.health = ViewHealth::Healthy;
+        vm.lint_warnings = lint_warnings;
         Ok(strategy)
     }
 

@@ -1,0 +1,69 @@
+//! Lint a view before it ever runs: the static plan analyzer.
+//!
+//! Builds two views over the Figure 1 scenario — one that violates the
+//! §2.1 key requirement (GP001) and one that merely degrades maintenance
+//! (a null-tolerant SELECT over a pivoted cell, GP011) — and shows how
+//! `ViewManager::register_view` gates on the analyzer's verdict.
+//!
+//! ```text
+//! cargo run --example lint_view
+//! ```
+
+use gpivot::prelude::*;
+use std::sync::Arc;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A keyless event log and a keyed attribute table.
+    let cols = [
+        ("AuctionID", DataType::Int),
+        ("Attribute", DataType::Str),
+        ("Value", DataType::Str),
+    ];
+    let keyless = Schema::from_pairs(&cols)?;
+    let keyed = Schema::from_pairs_keyed(&cols, &["AuctionID", "Attribute"])?;
+    let rows = vec![
+        row![1, "Manufacturer", "Sony"],
+        row![1, "Type", "TV"],
+        row![2, "Manufacturer", "Panasonic"],
+    ];
+    let mut catalog = Catalog::new();
+    catalog.register("log", Table::from_rows(Arc::new(keyless), rows.clone())?)?;
+    catalog.register("iteminfo", Table::from_rows(Arc::new(keyed), rows)?)?;
+
+    let spec = PivotSpec::simple(
+        "Attribute",
+        "Value",
+        vec![Value::str("Manufacturer"), Value::str("Type")],
+    );
+
+    // ── 1. A hard violation: pivoting a keyless table (GP001) ───────────
+    let bad = Plan::scan("log").gpivot(spec.clone());
+    let report = analyze(&bad, &catalog);
+    println!("analyzer verdict for the keyless pivot:");
+    println!("{}", report.render(&bad));
+
+    let mut vm = ViewManager::new(catalog);
+    match vm.register_view("bad", bad) {
+        Err(CoreError::PlanLint { view, diagnostics }) => {
+            println!("registration of `{view}` refused:");
+            for d in &diagnostics {
+                println!("  {d}");
+            }
+        }
+        other => panic!("expected a lint rejection, got {other:?}"),
+    }
+
+    // ── 2. A soft finding: null-tolerant SELECT over a cell (GP011) ─────
+    let cell = gpivot::algebra::encode_pivot_col(&[Value::str("Manufacturer")], "Value");
+    let warned = Plan::scan("iteminfo")
+        .gpivot(spec)
+        .select(Expr::col(cell).is_null());
+    let strategy = vm.register_view("warned", warned)?;
+    println!("\n`warned` registered (strategy {strategy}) with findings:");
+    for d in vm.view("warned")?.lint_warnings() {
+        println!("  {d}");
+    }
+    println!("\nwarnings degrade the maintenance plan but never block a view;");
+    println!("errors block unless ViewOptions::new().skip_plan_lint() is passed.");
+    Ok(())
+}

@@ -13,6 +13,9 @@
 //! * [`algebra`] — the plan language with `GPIVOT`/`GUNPIVOT` (Eq. 3–4),
 //!   expressions with three-valued logic, schema + key inference;
 //! * [`exec`] — the batch executor (hash joins / aggregation / pivoting);
+//! * [`analyze`] — the static plan analyzer: a bottom-up dataflow over
+//!   plan trees (keys, FDs, pivot-cell provenance) feeding the `GP0xx`
+//!   lint rules that gate view registration;
 //! * [`core`] — the paper's contribution: combination rules (Eq. 5–6),
 //!   rewriting rules (Eq. 7–18), propagation rules (Fig. 22–23, 27, 29),
 //!   and the [`core::ViewManager`] running the compile/refresh cycle;
@@ -57,6 +60,7 @@
 //! ```
 
 pub use gpivot_algebra as algebra;
+pub use gpivot_analyze as analyze;
 pub use gpivot_core as core;
 pub use gpivot_exec as exec;
 pub use gpivot_serve as serve;
@@ -71,6 +75,7 @@ pub use tracing;
 /// `gpivot::exec`, …).
 pub mod prelude {
     pub use gpivot_algebra::{AggSpec, Expr, PivotSpec, Plan, PlanBuilder, UnpivotSpec};
+    pub use gpivot_analyze::{analyze, AnalysisReport, DiagCode, Diagnostic, Severity};
     pub use gpivot_core::{
         normalize_view, CoreError, ErrorClass, SourceDeltas, Strategy, TopShape, ViewManager,
         ViewOptions,

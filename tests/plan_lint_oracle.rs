@@ -1,0 +1,360 @@
+//! Cross-validation of the static plan analyzer against the runtime:
+//!
+//! * analyzer says *maintenance-safe* (no `Error` diagnostics) ⇒ the view
+//!   registers, and incremental refresh equals recomputation on random
+//!   insert/delete workloads;
+//! * analyzer says a pullup rule is blocked (GP011/GP013/GP014/GP015) ⇒
+//!   the corresponding rewrite rule really rejects, with the same code;
+//! * analyzer says *unsafe* (GP001) ⇒ registration is refused with
+//!   [`CoreError::PlanLint`] carrying that code.
+//!
+//! Plus deterministic anchors: the paper's three TPC-H evaluation views
+//! all register lint-clean.
+
+use gpivot::core::rewrite::pullup;
+use gpivot::prelude::*;
+use proptest::prelude::{any, prop, prop_assert, prop_oneof, proptest, Just, ProptestConfig};
+use proptest::strategy::Strategy as _;
+use std::collections::BTreeSet;
+use std::sync::Arc;
+
+const ATTRS: [&str; 2] = ["a", "b"];
+
+/// The view shapes the generator chooses between, each with a known
+/// analyzer verdict to cross-check at runtime.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Shape {
+    /// `GPivot(facts)` — clean.
+    PurePivot,
+    /// Select on a K column above the pivot — clean, pullup applies.
+    SelectOnK,
+    /// Null-intolerant select on a cell — clean (Fig. 29 machinery).
+    SelectCellStrict,
+    /// Null-tolerant select on a cell — GP011, both select rules reject.
+    SelectCellNullTolerant,
+    /// Join on K — clean, pullup applies.
+    JoinOnK,
+    /// Join condition on a pivoted cell — GP013, pullup-join rejects.
+    JoinOnCell,
+    /// Left outer join above the pivot — GP014, pullup-join rejects.
+    OuterJoin,
+    /// COUNT over a cell — GP015, Eq. 8 pullup rejects.
+    GroupByCount,
+    /// SUM covering every cell — clean, Eq. 8 pullup applies.
+    GroupBySum,
+    /// Pivot over a keyless table — GP001, registration refused.
+    KeylessPivot,
+}
+
+const SHAPES: [Shape; 10] = [
+    Shape::PurePivot,
+    Shape::SelectOnK,
+    Shape::SelectCellStrict,
+    Shape::SelectCellNullTolerant,
+    Shape::JoinOnK,
+    Shape::JoinOnCell,
+    Shape::OuterJoin,
+    Shape::GroupByCount,
+    Shape::GroupBySum,
+    Shape::KeylessPivot,
+];
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    shape_pick: usize,
+    facts: Vec<(i64, usize, Option<i64>)>,
+    dims: Vec<(i64, i64)>,
+    deletes: Vec<usize>,
+    inserts: Vec<(i64, usize, Option<i64>)>,
+}
+
+fn arb_scenario() -> impl proptest::strategy::Strategy<Value = Scenario> {
+    let facts = prop::collection::btree_set((0i64..10, 0usize..ATTRS.len()), 0..24)
+        .prop_flat_map(|keys| {
+            let keys: Vec<_> = keys.into_iter().collect();
+            let n = keys.len();
+            (
+                Just(keys),
+                prop::collection::vec(prop_oneof![Just(None), (1i64..100).prop_map(Some)], n),
+            )
+        })
+        .prop_map(|(keys, vals)| {
+            keys.into_iter()
+                .zip(vals)
+                .map(|((id, attr), val)| (id, attr, val))
+                .collect::<Vec<_>>()
+        });
+    (
+        0usize..SHAPES.len(),
+        facts,
+        prop::collection::vec(0i64..4, 10),
+        prop::collection::vec(any::<prop::sample::Index>(), 0..5),
+        prop::collection::btree_set((0i64..12, 0usize..ATTRS.len()), 0..6),
+        prop::collection::vec(prop_oneof![Just(None), (1i64..100).prop_map(Some)], 6),
+    )
+        .prop_map(
+            |(shape_pick, facts, grps, delete_picks, insert_keys, insert_vals)| {
+                let dims: Vec<(i64, i64)> = (0i64..10).zip(grps).collect();
+                let mut deletes: BTreeSet<usize> = BTreeSet::new();
+                if !facts.is_empty() {
+                    for p in delete_picks {
+                        deletes.insert(p.index(facts.len()));
+                    }
+                }
+                let surviving: BTreeSet<(i64, usize)> = facts
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| !deletes.contains(i))
+                    .map(|(_, &(id, attr, _))| (id, attr))
+                    .collect();
+                let inserts: Vec<(i64, usize, Option<i64>)> = insert_keys
+                    .into_iter()
+                    .zip(insert_vals)
+                    .filter(|((id, attr), _)| !surviving.contains(&(*id, *attr)))
+                    .map(|((id, attr), val)| (id, attr, val))
+                    .collect();
+                Scenario {
+                    shape_pick,
+                    facts,
+                    dims,
+                    deletes: deletes.into_iter().collect(),
+                    inserts,
+                }
+            },
+        )
+}
+
+fn fact_row(&(id, attr, val): &(i64, usize, Option<i64>)) -> Row {
+    Row::new(vec![
+        Value::Int(id),
+        Value::str(ATTRS[attr]),
+        val.map(Value::Int).unwrap_or(Value::Null),
+    ])
+}
+
+/// `facts(id, attr, val)` keyed, `log` with the same columns but *no*
+/// key, and `dims(d_id, grp)`.
+fn build_catalog(s: &Scenario) -> Catalog {
+    let cols = [
+        ("id", DataType::Int),
+        ("attr", DataType::Str),
+        ("val", DataType::Int),
+    ];
+    let keyed = Schema::from_pairs_keyed(&cols, &["id", "attr"]).unwrap();
+    let rows: Vec<Row> = s.facts.iter().map(fact_row).collect();
+    let facts = Table::from_rows(Arc::new(keyed), rows.clone()).unwrap();
+    let unkeyed = Schema::from_pairs(&cols).unwrap();
+    let log = Table::from_rows(Arc::new(unkeyed), rows).unwrap();
+    let dim_schema = Schema::from_pairs_keyed(
+        &[("d_id", DataType::Int), ("grp", DataType::Int)],
+        &["d_id"],
+    )
+    .unwrap();
+    let dims = Table::from_rows(
+        Arc::new(dim_schema),
+        s.dims
+            .iter()
+            .map(|&(id, grp)| Row::new(vec![Value::Int(id), Value::Int(grp)]))
+            .collect(),
+    )
+    .unwrap();
+    let mut c = Catalog::new();
+    c.register("facts", facts).unwrap();
+    c.register("log", log).unwrap();
+    c.register("dims", dims).unwrap();
+    c
+}
+
+fn build_deltas(s: &Scenario) -> SourceDeltas {
+    let mut d = SourceDeltas::new();
+    d.delete_rows(
+        "facts",
+        s.deletes.iter().map(|&i| fact_row(&s.facts[i])).collect(),
+    );
+    d.insert_rows("facts", s.inserts.iter().map(fact_row).collect());
+    d
+}
+
+fn spec() -> PivotSpec {
+    PivotSpec::simple(
+        "attr",
+        "val",
+        ATTRS.iter().map(|a| Value::str(*a)).collect(),
+    )
+}
+
+fn cell(attr: &str) -> String {
+    gpivot::algebra::encode_pivot_col(&[Value::str(attr)], "val")
+}
+
+fn build_view(shape: Shape) -> Plan {
+    let pivoted = Plan::scan("facts").gpivot(spec());
+    match shape {
+        Shape::PurePivot => pivoted,
+        Shape::SelectOnK => pivoted.select(Expr::col("id").gt(Expr::lit(3))),
+        Shape::SelectCellStrict => pivoted.select(Expr::col(cell("a")).gt(Expr::lit(25))),
+        Shape::SelectCellNullTolerant => pivoted.select(Expr::col(cell("a")).is_null()),
+        Shape::JoinOnK => pivoted.join(Plan::scan("dims"), vec![("id", "d_id")]),
+        Shape::JoinOnCell => pivoted.join(Plan::scan("dims"), vec![(cell("a").as_str(), "d_id")]),
+        Shape::OuterJoin => Plan::Join {
+            left: Box::new(pivoted),
+            right: Box::new(Plan::scan("dims")),
+            kind: gpivot::algebra::JoinKind::LeftOuter,
+            on: vec![("id".into(), "d_id".into())],
+            residual: None,
+        },
+        Shape::GroupByCount => pivoted.group_by(&["id"], vec![AggSpec::count(cell("a"), "n")]),
+        Shape::GroupBySum => pivoted.group_by(
+            &["id"],
+            vec![AggSpec::sum(cell("a"), "sa"), AggSpec::sum(cell("b"), "sb")],
+        ),
+        Shape::KeylessPivot => Plan::scan("log").gpivot(spec()),
+    }
+}
+
+/// The analyzer code each unsafe-ish shape must report, if any.
+fn expected_code(shape: Shape) -> Option<DiagCode> {
+    match shape {
+        Shape::SelectCellNullTolerant => Some(DiagCode::Gp011SelectOverCells),
+        Shape::JoinOnCell => Some(DiagCode::Gp013JoinOnCells),
+        Shape::OuterJoin => Some(DiagCode::Gp014OuterJoin),
+        Shape::GroupByCount => Some(DiagCode::Gp015AggNotBottomRespecting),
+        Shape::KeylessPivot => Some(DiagCode::Gp001PivotInputNoKey),
+        _ => None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 40,
+        ..ProptestConfig::default()
+    })]
+
+    /// The three-way agreement: analyzer verdict vs registration vs
+    /// refresh-equals-recompute, on random data and workloads.
+    #[test]
+    fn analyzer_verdicts_match_runtime(s in arb_scenario()) {
+        let shape = SHAPES[s.shape_pick];
+        let plan = build_view(shape);
+        let catalog = build_catalog(&s);
+        let report = analyze(&plan, &catalog);
+
+        // 1. The generator's expectation holds statically.
+        if let Some(code) = expected_code(shape) {
+            prop_assert!(
+                report.codes().contains(&code),
+                "{shape:?}: analyzer missed {code}: {report:?}"
+            );
+        }
+
+        // 2. Analyzer "rule blocked" verdicts are confirmed by the rules.
+        match shape {
+            Shape::SelectCellNullTolerant => {
+                for (rule_name, res) in [
+                    ("pullup-select", pullup::pullup_through_select(&plan, &catalog)),
+                    (
+                        "select-selfjoin",
+                        pullup::push_select_below_pivot_selfjoin(&plan, &catalog),
+                    ),
+                ] {
+                    match res {
+                        Err(CoreError::RuleNotApplicable { code, .. }) => prop_assert!(
+                            code == DiagCode::Gp011SelectOverCells,
+                            "{rule_name}: wrong code {code}"
+                        ),
+                        other => panic!("{rule_name}: expected rejection, got {other:?}"),
+                    }
+                }
+            }
+            Shape::JoinOnCell | Shape::OuterJoin => {
+                let want = expected_code(shape).unwrap();
+                match pullup::pullup_through_join(&plan, &catalog) {
+                    Err(CoreError::RuleNotApplicable { code, .. }) => prop_assert!(
+                        code == want,
+                        "pullup-join: wrong code {code}, want {want}"
+                    ),
+                    other => panic!("pullup-join: expected rejection, got {other:?}"),
+                }
+            }
+            Shape::GroupByCount => {
+                match pullup::pullup_through_group_by(&plan, &catalog) {
+                    Err(CoreError::RuleNotApplicable { code, .. }) => prop_assert!(
+                        code == DiagCode::Gp015AggNotBottomRespecting,
+                        "pullup-groupby: wrong code {code}"
+                    ),
+                    other => panic!("pullup-groupby: expected rejection, got {other:?}"),
+                }
+            }
+            Shape::GroupBySum => {
+                // Clean verdict ⇒ Eq. 8 pullup actually applies.
+                prop_assert!(
+                    pullup::pullup_through_group_by(&plan, &catalog).is_ok(),
+                    "clean GroupBySum must pull up"
+                );
+            }
+            _ => {}
+        }
+
+        // 3. Registration gates on exactly the analyzer's error verdict,
+        //    and safe views converge to recomputation after refresh.
+        let mut vm = ViewManager::new(catalog);
+        let registered = vm.register_view("v", plan.clone());
+        if report.maintenance_safe() {
+            let strategy = registered
+                .unwrap_or_else(|e| panic!("{shape:?}: safe view refused: {e}"));
+            vm.refresh(&build_deltas(&s))
+                .unwrap_or_else(|e| panic!("{shape:?}/{strategy}: refresh failed: {e}"));
+            prop_assert!(
+                vm.verify_view("v").unwrap(),
+                "{shape:?}/{strategy} diverged from recomputation\nscenario: {s:?}"
+            );
+        } else {
+            match registered {
+                Err(CoreError::PlanLint { diagnostics, .. }) => {
+                    let codes: Vec<DiagCode> = diagnostics.iter().map(|d| d.code).collect();
+                    prop_assert!(
+                        codes.contains(&expected_code(shape).unwrap()),
+                        "{shape:?}: PlanLint missing expected code: {codes:?}"
+                    );
+                }
+                other => panic!("{shape:?}: expected PlanLint, got {other:?}"),
+            }
+            // Opting out of the lint surfaces the underlying algebra
+            // error instead — the gate never *hides* failures.
+            let opted = vm.register_view_with(
+                "v2",
+                plan.clone(),
+                ViewOptions::new().skip_plan_lint(),
+            );
+            prop_assert!(
+                !matches!(opted, Err(CoreError::PlanLint { .. })),
+                "skip_plan_lint must bypass the lint gate"
+            );
+        }
+    }
+}
+
+/// The paper's three evaluation views register lint-clean: no errors, no
+/// warnings recorded on the installed views.
+#[test]
+fn tpch_views_register_lint_clean() {
+    let catalog = gpivot::tpch::generate(&gpivot::tpch::TpchConfig::scale(0.01));
+    let mut vm = ViewManager::new(catalog);
+    for (name, plan) in [
+        ("view1", gpivot::tpch::view1()),
+        (
+            "view2",
+            gpivot::tpch::view2(gpivot::tpch::views::VIEW2_THRESHOLD),
+        ),
+        ("view3", gpivot::tpch::view3()),
+    ] {
+        let report = analyze(&plan, vm.catalog());
+        assert!(report.is_clean(), "{name} not lint-clean: {report:?}");
+        vm.register_view(name, plan)
+            .unwrap_or_else(|e| panic!("{name}: register failed: {e}"));
+        assert!(
+            vm.view(name).unwrap().lint_warnings().is_empty(),
+            "{name} carries lint warnings"
+        );
+    }
+}
