@@ -13,7 +13,13 @@
 //! [`Plan::to_sql`] renders any plan tree to that dialect (GPIVOT as the
 //! GROUP-BY/CASE subquery, GUNPIVOT as a `UNION ALL` of per-group selects),
 //! so a plan can be inspected, ported to a real DBMS, or diffed against the
-//! paper's formulation. Rendering is one-way: there is no SQL parser.
+//! paper's formulation. That lowering needs base-table schemas (the pivot
+//! subqueries enumerate their carried `K` columns) and is one-way.
+//!
+//! [`Plan::to_sql_dialect`] renders the *native* dialect instead — GPIVOT /
+//! GUNPIVOT appear as first-class postfix clauses on their FROM unit — and
+//! is schema-free and round-trippable: the `gpivot-sql` crate parses exactly
+//! this surface syntax back into the same plan shape.
 
 use crate::aggregate::AggFunc;
 use crate::expr::{BinOp, CmpOp, Expr};
@@ -21,9 +27,61 @@ use crate::plan::{JoinKind, Plan};
 use gpivot_storage::Value;
 use std::fmt::Write as _;
 
-/// Quote an identifier (pivoted column names contain `*`).
+/// Keywords of the dialect, reserved by the `gpivot-sql` lexer (matched
+/// case-insensitively). [`Plan::to_sql_dialect`] quotes any identifier that
+/// collides with one so rendered SQL always re-parses.
+pub const RESERVED: &[&str] = &[
+    "ALL",
+    "AND",
+    "AS",
+    "BY",
+    "CASE",
+    "CREATE",
+    "DATE",
+    "ELSE",
+    "END",
+    "EXCEPT",
+    "EXPLAIN",
+    "FALSE",
+    "FOR",
+    "FROM",
+    "FULL",
+    "GPIVOT",
+    "GROUP",
+    "GUNPIVOT",
+    "IN",
+    "INNER",
+    "IS",
+    "JOIN",
+    "LEFT",
+    "MATERIALIZED",
+    "NOT",
+    "NULL",
+    "ON",
+    "OR",
+    "OUTER",
+    "SELECT",
+    "THEN",
+    "TRUE",
+    "UNION",
+    "VIEW",
+    "WHEN",
+    "WHERE",
+];
+
+/// True iff `name` lexes back as a single bare identifier: leading letter or
+/// underscore, alphanumeric tail, and not a reserved keyword.
+fn is_bare_ident(name: &str) -> bool {
+    let mut chars = name.chars();
+    matches!(chars.next(), Some(c) if c.is_ascii_alphabetic() || c == '_')
+        && chars.all(|c| c.is_ascii_alphanumeric() || c == '_')
+        && !RESERVED.iter().any(|k| k.eq_ignore_ascii_case(name))
+}
+
+/// Quote an identifier when needed (pivoted column names contain `*`,
+/// and names may start with a digit or collide with a keyword).
 fn ident(name: &str) -> String {
-    if name.chars().all(|c| c.is_ascii_alphanumeric() || c == '_') {
+    if is_bare_ident(name) {
         name.to_string()
     } else {
         format!("\"{}\"", name.replace('"', "\"\""))
@@ -86,6 +144,19 @@ pub fn expr_to_sql(e: &Expr) -> String {
             let _ = write!(s, " ELSE {} END", expr_to_sql(otherwise));
             s
         }
+    }
+}
+
+/// Render a set-op operand, parenthesizing nested set ops (see the
+/// `Plan::Union` arm of [`Plan::to_sql_dialect`]).
+fn set_op_operand(p: &Plan) -> String {
+    if matches!(p, Plan::Union { .. } | Plan::Diff { .. }) {
+        format!(
+            "SELECT *\nFROM (\n{}\n) sub",
+            indent(&p.to_sql_dialect(), 2)
+        )
+    } else {
+        p.to_sql_dialect()
     }
 }
 
@@ -273,7 +344,9 @@ impl Plan {
             }
 
             Plan::GUnpivot { input, spec } => {
-                // UNION ALL of one select per group, skipping all-⊥ groups.
+                // UNION ALL of one select per group, skipping all-⊥ groups
+                // (stock-RDBMS lowering; see `to_sql_dialect` for the native
+                // clause form).
                 let in_schema = input.schema(provider)?;
                 let k_cols = spec.validate(&in_schema)?;
                 let sub = input.to_sql_inner(provider)?;
@@ -301,6 +374,170 @@ impl Plan {
                 branches.join("\nUNION ALL\n")
             }
         })
+    }
+
+    /// Render the plan in the **native** GPIVOT/GUNPIVOT dialect that the
+    /// `gpivot-sql` parser accepts.
+    ///
+    /// Unlike [`Plan::to_sql`] this needs no schema provider: pivots render
+    /// as postfix clauses on their FROM unit instead of being lowered to
+    /// GROUP-BY/CASE subqueries, so the carried `K` columns never have to be
+    /// enumerated. The rendering is a fixed point of parse∘render — parsing
+    /// the output and rendering again reproduces the same string — which the
+    /// round-trip property tests in `gpivot-sql` rely on.
+    ///
+    /// ```sql
+    /// SELECT *
+    /// FROM (
+    ///   SELECT * FROM iteminfo
+    /// ) sub
+    /// GPIVOT (val BY attr IN (('Manufacturer'), ('Type')))
+    /// ```
+    pub fn to_sql_dialect(&self) -> String {
+        fn ident_list(names: &[String]) -> String {
+            names
+                .iter()
+                .map(|n| ident(n))
+                .collect::<Vec<_>>()
+                .join(", ")
+        }
+        match self {
+            Plan::Scan { table } => format!("SELECT * FROM {}", ident(table)),
+
+            Plan::Select { input, predicate } => format!(
+                "SELECT *\nFROM (\n{}\n) sub\nWHERE {}",
+                indent(&input.to_sql_dialect(), 2),
+                expr_to_sql(predicate)
+            ),
+
+            Plan::Project { input, items } => {
+                let cols: Vec<String> = items
+                    .iter()
+                    .map(|(e, n)| {
+                        let rendered = expr_to_sql(e);
+                        if matches!(e, Expr::Col(c) if c == n) {
+                            rendered
+                        } else {
+                            format!("{rendered} AS {}", ident(n))
+                        }
+                    })
+                    .collect();
+                format!(
+                    "SELECT {}\nFROM (\n{}\n) sub",
+                    cols.join(", "),
+                    indent(&input.to_sql_dialect(), 2)
+                )
+            }
+
+            Plan::Join {
+                left,
+                right,
+                kind,
+                on,
+                residual,
+            } => {
+                let join_kw = match kind {
+                    JoinKind::Inner => "JOIN",
+                    JoinKind::LeftOuter => "LEFT OUTER JOIN",
+                    JoinKind::FullOuter => "FULL OUTER JOIN",
+                };
+                let mut conds: Vec<String> = on
+                    .iter()
+                    .map(|(a, b)| format!("l.{} = r.{}", ident(a), ident(b)))
+                    .collect();
+                if let Some(res) = residual {
+                    conds.push(expr_to_sql(res));
+                }
+                let cond = if conds.is_empty() {
+                    "TRUE".to_string()
+                } else {
+                    conds.join(" AND ")
+                };
+                format!(
+                    "SELECT *\nFROM (\n{}\n) l\n{join_kw} (\n{}\n) r\n  ON {cond}",
+                    indent(&left.to_sql_dialect(), 2),
+                    indent(&right.to_sql_dialect(), 2)
+                )
+            }
+
+            Plan::GroupBy {
+                input,
+                group_by,
+                aggs,
+            } => {
+                let mut cols: Vec<String> = group_by.iter().map(|g| ident(g)).collect();
+                for a in aggs {
+                    let rendered = match a.func {
+                        AggFunc::CountStar => "count(*)".to_string(),
+                        f => format!("{f}({})", ident(&a.input)),
+                    };
+                    cols.push(format!("{rendered} AS {}", ident(&a.output)));
+                }
+                let group = if group_by.is_empty() {
+                    String::new()
+                } else {
+                    format!("\nGROUP BY {}", ident_list(group_by))
+                };
+                format!(
+                    "SELECT {}\nFROM (\n{}\n) sub{group}",
+                    cols.join(", "),
+                    indent(&input.to_sql_dialect(), 2)
+                )
+            }
+
+            // UNION ALL / EXCEPT ALL parse left-associative, so a set-op
+            // *right* operand that is itself a set op must be wrapped in a
+            // subquery (which lowers back to the same plan) to keep the
+            // rendered text a parse∘render fixed point.
+            Plan::Union { left, right } => format!(
+                "{}\nUNION ALL\n{}",
+                left.to_sql_dialect(),
+                set_op_operand(right)
+            ),
+
+            Plan::Diff { left, right } => format!(
+                "{}\nEXCEPT ALL\n{}",
+                left.to_sql_dialect(),
+                set_op_operand(right)
+            ),
+
+            Plan::GPivot { input, spec } => {
+                let groups: Vec<String> = spec
+                    .groups
+                    .iter()
+                    .map(|g| {
+                        let vals: Vec<String> = g.iter().map(literal).collect();
+                        format!("({})", vals.join(", "))
+                    })
+                    .collect();
+                format!(
+                    "SELECT *\nFROM (\n{}\n) sub\nGPIVOT ({} BY {} IN ({}))",
+                    indent(&input.to_sql_dialect(), 2),
+                    ident_list(&spec.on),
+                    ident_list(&spec.by),
+                    groups.join(", ")
+                )
+            }
+
+            Plan::GUnpivot { input, spec } => {
+                let groups: Vec<String> = spec
+                    .groups
+                    .iter()
+                    .map(|g| {
+                        let cols: Vec<String> = g.cols.iter().map(|c| ident(c)).collect();
+                        let tags: Vec<String> = g.tags.iter().map(literal).collect();
+                        format!("({}) AS ({})", cols.join(", "), tags.join(", "))
+                    })
+                    .collect();
+                format!(
+                    "SELECT *\nFROM (\n{}\n) sub\nGUNPIVOT ({} FOR {} IN ({}))",
+                    indent(&input.to_sql_dialect(), 2),
+                    ident_list(&spec.value_cols),
+                    ident_list(&spec.name_cols),
+                    groups.join(", ")
+                )
+            }
+        }
     }
 }
 
@@ -392,6 +629,37 @@ mod tests {
         assert!(sql.contains("count(*) AS n"));
         assert!(sql.contains("max(val) AS m"));
         assert!(sql.contains("GROUP BY attr"));
+    }
+
+    #[test]
+    fn dialect_renders_native_pivot_clause() {
+        let sql = Plan::scan("iteminfo").gpivot(fig1_spec()).to_sql_dialect();
+        assert!(sql.contains("GPIVOT (val BY attr IN (('Manufacturer'), ('Type')))"));
+        // Schema-free: no K-column enumeration, no CASE lowering.
+        assert!(!sql.contains("CASE"));
+    }
+
+    #[test]
+    fn dialect_renders_native_unpivot_clause() {
+        let spec = fig1_spec();
+        let sql = Plan::scan("iteminfo")
+            .gpivot(spec.clone())
+            .gunpivot(UnpivotSpec::reversing(&spec))
+            .to_sql_dialect();
+        assert!(sql.contains("GUNPIVOT (val FOR attr IN ("));
+        assert!(sql.contains("AS ('Manufacturer')"));
+    }
+
+    #[test]
+    fn idents_colliding_with_keywords_or_digits_are_quoted() {
+        // Reserved words (any case) and digit-leading names must quote so
+        // the rendered SQL re-lexes as identifiers, not keywords/numbers.
+        assert_eq!(ident("select"), "\"select\"");
+        assert_eq!(ident("Group"), "\"Group\"");
+        assert_eq!(ident("1995**sum_price"), "\"1995**sum_price\"");
+        assert_eq!(ident("2col"), "\"2col\"");
+        assert_eq!(ident(""), "\"\"");
+        assert_eq!(ident("o_year"), "o_year");
     }
 
     #[test]

@@ -8,13 +8,17 @@
 //! incremental-vs-recompute speedup. A second section times the
 //! recompute-strategy refresh (the path that runs whole plans on the
 //! executor) on 1 thread vs `--threads` threads — the intra-query
-//! parallelism numbers for the partitioned kernels.
+//! parallelism numbers for the partitioned kernels. A third section
+//! (`sql_serve`) times the SQL frontend: parsing each paper view's dialect
+//! text, answering the query from the matching materialized view via the
+//! rewriter, and the fallback of executing the same plan against the base
+//! tables (the rewrite-miss path).
 //!
 //! ```text
 //! profile [--smoke] [--out PATH] [--scale SF] [--repeats N] [--threads N]
 //!
 //!   --smoke    tiny data + few repeats (CI gate: seconds, not minutes)
-//!   --out      output path (default BENCH_pr4.json)
+//!   --out      output path (default BENCH_pr6.json)
 //!   --scale    override the generator scale factor
 //!   --repeats  override timed runs per cell (median reported)
 //!   --threads  worker threads for the parallel comparison (default 4)
@@ -23,6 +27,7 @@
 use gpivot_bench::{bench_catalog, Workload};
 use gpivot_core::{SourceDeltas, Strategy, ViewManager};
 use gpivot_exec::Executor;
+use gpivot_sql::{parse_query, GpivotService, SqlOutcome};
 use gpivot_storage::Catalog;
 use gpivot_tpch::views;
 use std::fmt::Write as _;
@@ -69,7 +74,7 @@ const PHASES: [&str; 4] = [
 
 fn main() {
     let mut smoke = false;
-    let mut out_path = String::from("BENCH_pr4.json");
+    let mut out_path = String::from("BENCH_pr6.json");
     let mut scale: Option<f64> = None;
     let mut repeats: Option<usize> = None;
     let mut threads = 4usize;
@@ -204,6 +209,82 @@ fn main() {
         );
     }
 
+    // SQL serve path: register the three views through the SQL frontend,
+    // then time (a) parsing the view's own dialect text, (b) answering that
+    // query from the materialized view via the rewriter, and (c) running
+    // the same plan against the base tables — the rewrite-miss fallback.
+    let mut sql_serve = String::new();
+    let svc = GpivotService::new(catalog.clone());
+    for family in &FAMILIES {
+        let ddl = format!(
+            "CREATE MATERIALIZED VIEW {} AS {}",
+            family.name,
+            (family.plan)().to_sql_dialect()
+        );
+        svc.execute_sql(&ddl)
+            .unwrap_or_else(|e| die(&format!("create {} via sql: {e}", family.name)));
+    }
+    let mut first_sql = true;
+    for family in &FAMILIES {
+        let sql = (family.plan)().to_sql_dialect();
+        eprintln!("sql serve {} (view vs base tables) ...", family.name);
+        let parse_med = median(repeats, || {
+            let t0 = Instant::now();
+            let _ = parse_query(&sql)
+                .unwrap_or_else(|e| die(&format!("parse {} dialect: {e}", family.name)));
+            t0.elapsed()
+        });
+        let view_med = median(repeats, || {
+            let t0 = Instant::now();
+            match svc.execute_sql(&sql) {
+                Ok(SqlOutcome::Rows { used_view, .. }) => {
+                    if used_view.as_deref() != Some(family.name) {
+                        die(&format!("rewrite missed view {}", family.name));
+                    }
+                }
+                other => die(&format!("sql serve {}: {other:?}", family.name)),
+            }
+            t0.elapsed()
+        });
+        let plan = parse_query(&sql)
+            .unwrap_or_else(|e| die(&format!("parse {} dialect: {e}", family.name)));
+        let base_med = median(repeats, || {
+            let snapshot = svc.service().snapshot();
+            let manager = snapshot.manager();
+            let t0 = Instant::now();
+            manager
+                .executor()
+                .run(&plan, manager.catalog())
+                .unwrap_or_else(|e| die(&format!("base execute {}: {e}", family.name)));
+            t0.elapsed()
+        });
+        let speedup = if view_med.as_secs_f64() > 0.0 {
+            base_med.as_secs_f64() / view_med.as_secs_f64()
+        } else {
+            f64::MAX
+        };
+        eprintln!(
+            "  parse {:.3}ms; from view {:.3}ms vs base {:.3}ms -> {speedup:.2}x",
+            ms(parse_med),
+            ms(view_med),
+            ms(base_med)
+        );
+        if !first_sql {
+            sql_serve.push_str(",\n");
+        }
+        first_sql = false;
+        let _ = write!(
+            sql_serve,
+            "    {{\n      \"view\": \"{}\",\n      \"parse_ms\": {:.4},\n      \
+             \"serve_from_view_ms\": {:.4},\n      \"base_execute_ms\": {:.4},\n      \
+             \"serve_speedup\": {speedup:.4}\n    }}",
+            family.name,
+            ms(parse_med),
+            ms(view_med),
+            ms(base_med),
+        );
+    }
+
     // The parallel numbers only mean something relative to the host: on a
     // single-core machine extra threads are pure overhead and the speedup
     // degenerates to ≤1.0.
@@ -211,10 +292,11 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(1);
     let doc = format!(
-        "{{\n  \"bench\": \"pr4_profile\",\n  \"mode\": \"{}\",\n  \"scale\": {scale},\n  \
+        "{{\n  \"bench\": \"pr6_profile\",\n  \"mode\": \"{}\",\n  \"scale\": {scale},\n  \
          \"fraction\": {fraction},\n  \"repeats\": {repeats},\n  \"host_cpus\": {host_cpus},\n  \
          \"results\": [\n{results}\n  ],\n  \
-         \"parallel\": [\n{parallel}\n  ]\n}}\n",
+         \"parallel\": [\n{parallel}\n  ],\n  \
+         \"sql_serve\": [\n{sql_serve}\n  ]\n}}\n",
         if smoke { "smoke" } else { "full" },
     );
     std::fs::write(&out_path, &doc).unwrap_or_else(|e| die(&format!("write {out_path}: {e}")));
@@ -314,6 +396,13 @@ fn phases_json(sub: &TimingSubscriber) -> String {
         );
     }
     out
+}
+
+/// Median of `repeats` timed runs of `f` (at least one).
+fn median(repeats: usize, mut f: impl FnMut() -> Duration) -> Duration {
+    let mut times: Vec<Duration> = (0..repeats.max(1)).map(|_| f()).collect();
+    times.sort();
+    times[times.len() / 2]
 }
 
 fn ms(d: Duration) -> f64 {

@@ -109,6 +109,14 @@ pub struct MetricsSnapshot {
     pub refresh_time: Duration,
     /// Wall-clock time of the most recent non-empty epoch.
     pub last_epoch_time: Duration,
+    /// `CREATE MATERIALIZED VIEW` statements registered through the SQL
+    /// frontend (`gpivot-sql`).
+    pub sql_registrations: u64,
+    /// SQL `SELECT`s answered from a materialized view by the view-matching
+    /// rewriter.
+    pub sql_rewrite_hits: u64,
+    /// SQL `SELECT`s that fell back to base-table execution.
+    pub sql_rewrite_misses: u64,
     /// Coalesced row changes currently waiting in the queue.
     pub pending_rows: u64,
     /// Estimated bytes held by the pending queue.
@@ -194,6 +202,13 @@ impl MetricsSnapshot {
             "  propagate/apply: {} delta rows, {} rows propagated, {} rows applied",
             self.delta_rows, self.rows_propagated, self.rows_applied,
         );
+        if self.sql_registrations > 0 || self.sql_rewrite_hits > 0 || self.sql_rewrite_misses > 0 {
+            let _ = writeln!(
+                out,
+                "  sql: {} registrations, rewrites {} hit / {} miss",
+                self.sql_registrations, self.sql_rewrite_hits, self.sql_rewrite_misses,
+            );
+        }
         if self.ingest_rejects > 0 || self.panics_isolated > 0 {
             let _ = writeln!(
                 out,
@@ -353,6 +368,27 @@ impl MetricsSnapshot {
             "Row effects applied to materialized tables",
             self.rows_applied,
         );
+        counter(
+            &mut out,
+            "gpivot_sql_registrations_total",
+            "Views registered through the SQL frontend",
+            self.sql_registrations,
+        );
+        let _ = writeln!(
+            out,
+            "# HELP gpivot_sql_rewrites_total SQL SELECTs by view-rewrite outcome"
+        );
+        let _ = writeln!(out, "# TYPE gpivot_sql_rewrites_total counter");
+        let _ = writeln!(
+            out,
+            "gpivot_sql_rewrites_total{{outcome=\"hit\"}} {}",
+            self.sql_rewrite_hits
+        );
+        let _ = writeln!(
+            out,
+            "gpivot_sql_rewrites_total{{outcome=\"miss\"}} {}",
+            self.sql_rewrite_misses
+        );
         gauge(
             &mut out,
             "gpivot_pending_rows",
@@ -497,6 +533,26 @@ mod tests {
         assert!(text.contains("gpivot_span_duration_seconds_count{span=\"epoch\"} 2"));
         // Every non-comment line is "name{labels} value" with a parseable
         // float value.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (_, value) = line.rsplit_once(' ').expect("metric line has a value");
+            value.parse::<f64>().expect("metric value parses as f64");
+        }
+    }
+
+    #[test]
+    fn sql_counters_appear_in_report_and_prometheus() {
+        let mut m = MetricsSnapshot::default();
+        // Silent until the SQL path is used.
+        assert!(!m.report().contains("sql:"));
+        m.sql_registrations = 3;
+        m.sql_rewrite_hits = 5;
+        m.sql_rewrite_misses = 2;
+        let r = m.report();
+        assert!(r.contains("sql: 3 registrations, rewrites 5 hit / 2 miss"));
+        let text = m.prometheus();
+        assert!(text.contains("gpivot_sql_registrations_total 3"));
+        assert!(text.contains("gpivot_sql_rewrites_total{outcome=\"hit\"} 5"));
+        assert!(text.contains("gpivot_sql_rewrites_total{outcome=\"miss\"} 2"));
         for line in text.lines().filter(|l| !l.starts_with('#')) {
             let (_, value) = line.rsplit_once(' ').expect("metric line has a value");
             value.parse::<f64>().expect("metric value parses as f64");

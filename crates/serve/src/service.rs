@@ -705,6 +705,34 @@ impl ViewService {
         m.trace_events = self.shared.tracer.event_counts();
         m
     }
+
+    /// Record that a view registration came in through the SQL frontend
+    /// (`CREATE MATERIALIZED VIEW`). Called by `gpivot-sql` after a
+    /// successful [`ViewService::register_view`].
+    pub fn record_sql_registration(&self) {
+        let mut m = sync::lock(&self.shared.metrics);
+        m.sql_registrations += 1;
+    }
+
+    /// Record the outcome of a SQL `SELECT` through the view-matching
+    /// rewriter: `Some(view)` if the query was answered from that
+    /// materialized view, `None` if it fell back to base-table execution.
+    /// Bumps `gpivot_sql_rewrites_total{outcome}` and fires a
+    /// `rewrite.hit` / `rewrite.miss` tracing event.
+    pub fn record_sql_rewrite(&self, used_view: Option<&str>) {
+        {
+            let mut m = sync::lock(&self.shared.metrics);
+            match used_view {
+                Some(_) => m.sql_rewrite_hits += 1,
+                None => m.sql_rewrite_misses += 1,
+            }
+        }
+        let _trace = tracing::push_collector(self.shared.tracer.clone());
+        match used_view {
+            Some(view) => tracing::event("rewrite.hit", view),
+            None => tracing::event("rewrite.miss", "no registered view subsumes the query"),
+        }
+    }
 }
 
 /// A read guard over the whole service state pinned to one epoch.

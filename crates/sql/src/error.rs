@@ -1,0 +1,52 @@
+//! The SQL frontend's error type: parse errors carry a source span.
+
+use crate::lexer::Span;
+use std::fmt;
+
+/// Errors surfaced by [`crate::parse_statement`] and
+/// [`crate::GpivotService::execute_sql`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum SqlError {
+    /// The statement failed to lex or parse. `span` is the 1-based source
+    /// position (line, column) of the offending token.
+    Parse { message: String, span: Span },
+    /// The statement parsed but cannot be lowered to a plan (unsupported
+    /// shape, arity mismatch in a pivot clause, ...).
+    Plan(String),
+    /// The engine rejected or failed the planned statement (registration
+    /// gate, execution error, unknown table, ...).
+    Engine(String),
+}
+
+impl SqlError {
+    /// Parse-error constructor.
+    pub fn parse(message: impl Into<String>, span: Span) -> SqlError {
+        SqlError::Parse {
+            message: message.into(),
+            span,
+        }
+    }
+
+    /// The source span, when the error is positional.
+    pub fn span(&self) -> Option<Span> {
+        match self {
+            SqlError::Parse { span, .. } => Some(*span),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for SqlError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SqlError::Parse { message, span } => write!(f, "parse error at {span}: {message}"),
+            SqlError::Plan(m) => write!(f, "plan error: {m}"),
+            SqlError::Engine(m) => write!(f, "engine error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SqlError {}
+
+/// Frontend result alias.
+pub type Result<T> = std::result::Result<T, SqlError>;

@@ -1,0 +1,345 @@
+//! Hand-written lexer for the §7.1 dialect.
+//!
+//! Produces a flat token stream with 1-based line/column [`Span`]s so parse
+//! errors can point at their source position. The lexer never panics on any
+//! input byte sequence (fuzzed in `tests/fuzz.rs`); malformed input comes
+//! back as [`SqlError::Parse`].
+
+use crate::error::{Result, SqlError};
+use std::fmt;
+
+/// A 1-based source position (line, column in characters).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    pub line: u32,
+    pub col: u32,
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}, column {}", self.line, self.col)
+    }
+}
+
+/// One lexed token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TokenKind {
+    /// A reserved keyword, canonical uppercase spelling from
+    /// [`gpivot_algebra::sql::RESERVED`].
+    Keyword(&'static str),
+    /// A bare or `"quoted"` identifier (unescaped; case preserved).
+    Ident(String),
+    /// A `'quoted'` string literal (unescaped).
+    Str(String),
+    /// A numeric literal, kept as source text; `float` records whether it
+    /// contained a `.` or an exponent. Sign handling (and `i64` range
+    /// checking) happens in the parser so `-9223372036854775808` lexes.
+    Number { text: String, float: bool },
+    /// A punctuation/operator token: one of `( ) , . ; * + - / = <> < <= > >=`.
+    /// `!=` is normalized to `<>`.
+    Symbol(&'static str),
+    /// End of input.
+    Eof,
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TokenKind::Keyword(k) => write!(f, "{k}"),
+            TokenKind::Ident(i) => write!(f, "identifier `{i}`"),
+            TokenKind::Str(_) => write!(f, "string literal"),
+            TokenKind::Number { text, .. } => write!(f, "number `{text}`"),
+            TokenKind::Symbol(s) => write!(f, "`{s}`"),
+            TokenKind::Eof => write!(f, "end of input"),
+        }
+    }
+}
+
+/// A token plus where it started.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub span: Span,
+}
+
+/// Look up the canonical spelling of a reserved keyword, if `word` is one.
+fn keyword(word: &str) -> Option<&'static str> {
+    gpivot_algebra::sql::RESERVED
+        .iter()
+        .find(|k| k.eq_ignore_ascii_case(word))
+        .copied()
+}
+
+struct Lexer<'a> {
+    chars: std::iter::Peekable<std::str::Chars<'a>>,
+    line: u32,
+    col: u32,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            chars: src.chars().peekable(),
+            line: 1,
+            col: 1,
+        }
+    }
+
+    fn span(&self) -> Span {
+        Span {
+            line: self.line,
+            col: self.col,
+        }
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.next()?;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn peek(&mut self) -> Option<char> {
+        self.chars.peek().copied()
+    }
+
+    /// Consume a run of chars while `pred` holds, appending to `out`.
+    fn take_while(&mut self, out: &mut String, pred: impl Fn(char) -> bool) {
+        while let Some(c) = self.peek() {
+            if !pred(c) {
+                break;
+            }
+            out.push(c);
+            self.bump();
+        }
+    }
+
+    /// Lex a `'...'`-delimited string or `"..."`-delimited identifier; the
+    /// opening quote is already consumed. Doubling the quote escapes it.
+    fn quoted(&mut self, quote: char, start: Span) -> Result<String> {
+        let mut out = String::new();
+        loop {
+            match self.bump() {
+                None => {
+                    let what = if quote == '\'' {
+                        "string literal"
+                    } else {
+                        "quoted identifier"
+                    };
+                    return Err(SqlError::parse(format!("unterminated {what}"), start));
+                }
+                Some(c) if c == quote => {
+                    if self.peek() == Some(quote) {
+                        self.bump();
+                        out.push(quote);
+                    } else {
+                        return Ok(out);
+                    }
+                }
+                Some(c) => out.push(c),
+            }
+        }
+    }
+
+    fn number(&mut self, first: char, start: Span) -> Result<TokenKind> {
+        let mut text = String::from(first);
+        let mut float = false;
+        self.take_while(&mut text, |c| c.is_ascii_digit());
+        if self.peek() == Some('.') {
+            float = true;
+            text.push('.');
+            self.bump();
+            self.take_while(&mut text, |c| c.is_ascii_digit());
+        }
+        if matches!(self.peek(), Some('e' | 'E')) {
+            float = true;
+            text.push('e');
+            self.bump();
+            if matches!(self.peek(), Some('+' | '-')) {
+                // `peek` returned Some, so `bump` yields the same char.
+                if let Some(sign) = self.bump() {
+                    text.push(sign);
+                }
+            }
+            let before = text.len();
+            self.take_while(&mut text, |c| c.is_ascii_digit());
+            if text.len() == before {
+                return Err(SqlError::parse(
+                    format!("malformed number `{text}`: exponent has no digits"),
+                    start,
+                ));
+            }
+        }
+        Ok(TokenKind::Number { text, float })
+    }
+}
+
+/// Lex `src` into a token vector ending with [`TokenKind::Eof`].
+pub fn tokenize(src: &str) -> Result<Vec<Token>> {
+    let mut lx = Lexer::new(src);
+    let mut tokens = Vec::new();
+    loop {
+        // Skip whitespace and `--` line comments.
+        loop {
+            match lx.peek() {
+                Some(c) if c.is_whitespace() => {
+                    lx.bump();
+                }
+                Some('-') => {
+                    // Only a comment if followed by another '-'; otherwise
+                    // leave it for the symbol arm.
+                    let mut probe = lx.chars.clone();
+                    probe.next();
+                    if probe.peek() == Some(&'-') {
+                        while let Some(c) = lx.peek() {
+                            if c == '\n' {
+                                break;
+                            }
+                            lx.bump();
+                        }
+                    } else {
+                        break;
+                    }
+                }
+                _ => break,
+            }
+        }
+        let span = lx.span();
+        let Some(c) = lx.bump() else {
+            tokens.push(Token {
+                kind: TokenKind::Eof,
+                span,
+            });
+            return Ok(tokens);
+        };
+        let kind = match c {
+            '\'' => TokenKind::Str(lx.quoted('\'', span)?),
+            '"' => TokenKind::Ident(lx.quoted('"', span)?),
+            '(' => TokenKind::Symbol("("),
+            ')' => TokenKind::Symbol(")"),
+            ',' => TokenKind::Symbol(","),
+            '.' => TokenKind::Symbol("."),
+            ';' => TokenKind::Symbol(";"),
+            '*' => TokenKind::Symbol("*"),
+            '+' => TokenKind::Symbol("+"),
+            '-' => TokenKind::Symbol("-"),
+            '/' => TokenKind::Symbol("/"),
+            '=' => TokenKind::Symbol("="),
+            '<' => match lx.peek() {
+                Some('=') => {
+                    lx.bump();
+                    TokenKind::Symbol("<=")
+                }
+                Some('>') => {
+                    lx.bump();
+                    TokenKind::Symbol("<>")
+                }
+                _ => TokenKind::Symbol("<"),
+            },
+            '>' => {
+                if lx.peek() == Some('=') {
+                    lx.bump();
+                    TokenKind::Symbol(">=")
+                } else {
+                    TokenKind::Symbol(">")
+                }
+            }
+            '!' => {
+                if lx.peek() == Some('=') {
+                    lx.bump();
+                    TokenKind::Symbol("<>")
+                } else {
+                    return Err(SqlError::parse("unexpected character `!`", span));
+                }
+            }
+            c if c.is_ascii_digit() => lx.number(c, span)?,
+            c if c.is_ascii_alphabetic() || c == '_' => {
+                let mut word = String::from(c);
+                lx.take_while(&mut word, |c| c.is_ascii_alphanumeric() || c == '_');
+                match keyword(&word) {
+                    Some(k) => TokenKind::Keyword(k),
+                    None => TokenKind::Ident(word),
+                }
+            }
+            other => {
+                return Err(SqlError::parse(
+                    format!("unexpected character `{other}`"),
+                    span,
+                ))
+            }
+        };
+        tokens.push(Token { kind, span });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keywords_are_case_insensitive_and_canonical() {
+        let toks = tokenize("select Select SELECT gpivot").unwrap();
+        assert_eq!(toks[0].kind, TokenKind::Keyword("SELECT"));
+        assert_eq!(toks[1].kind, TokenKind::Keyword("SELECT"));
+        assert_eq!(toks[2].kind, TokenKind::Keyword("SELECT"));
+        assert_eq!(toks[3].kind, TokenKind::Keyword("GPIVOT"));
+    }
+
+    #[test]
+    fn spans_are_one_based_lines_and_columns() {
+        let toks = tokenize("SELECT *\nFROM t").unwrap();
+        assert_eq!(toks[0].span, Span { line: 1, col: 1 });
+        assert_eq!(toks[1].span, Span { line: 1, col: 8 });
+        assert_eq!(toks[2].span, Span { line: 2, col: 1 });
+        assert_eq!(toks[3].span, Span { line: 2, col: 6 });
+    }
+
+    #[test]
+    fn strings_and_quoted_idents_unescape_doubles() {
+        let toks = tokenize(r#"'O''Hara' "we""ird""#).unwrap();
+        assert_eq!(toks[0].kind, TokenKind::Str("O'Hara".into()));
+        assert_eq!(toks[1].kind, TokenKind::Ident("we\"ird".into()));
+    }
+
+    #[test]
+    fn numbers_keep_text_and_float_flag() {
+        let toks = tokenize("42 30000.0 1e300 2.5e-3").unwrap();
+        assert_eq!(
+            toks[0].kind,
+            TokenKind::Number {
+                text: "42".into(),
+                float: false
+            }
+        );
+        assert!(matches!(
+            &toks[1].kind,
+            TokenKind::Number { float: true, .. }
+        ));
+        assert!(matches!(
+            &toks[2].kind,
+            TokenKind::Number { float: true, .. }
+        ));
+        assert!(matches!(
+            &toks[3].kind,
+            TokenKind::Number { float: true, .. }
+        ));
+    }
+
+    #[test]
+    fn comments_and_bang_equals() {
+        let toks = tokenize("a -- comment\n != b").unwrap();
+        assert_eq!(toks[0].kind, TokenKind::Ident("a".into()));
+        assert_eq!(toks[1].kind, TokenKind::Symbol("<>"));
+        assert_eq!(toks[2].kind, TokenKind::Ident("b".into()));
+    }
+
+    #[test]
+    fn unterminated_string_reports_start_span() {
+        let err = tokenize("SELECT 'oops").unwrap_err();
+        assert_eq!(err.span(), Some(Span { line: 1, col: 8 }));
+    }
+}

@@ -1,0 +1,43 @@
+//! # gpivot-sql
+//!
+//! The SQL frontend for the gpivot engine: a hand-written lexer and
+//! recursive-descent parser for the paper's §7.1 dialect (SELECT / FROM /
+//! WHERE / GROUP BY / joins including LEFT OUTER JOIN, plus the native
+//! `GPIVOT` / `GUNPIVOT` clauses, `CREATE MATERIALIZED VIEW`, and
+//! `EXPLAIN`), a **view-matching rewriter** that serves ad-hoc queries from
+//! registered materialized pivot views, and the [`GpivotService`] serve
+//! entry point that wires both into [`gpivot_serve::ViewService`].
+//!
+//! The dialect is the parse-side inverse of
+//! [`gpivot_algebra::Plan::to_sql_dialect`]: for any plan `p`,
+//! `parse_query(p.to_sql_dialect())` reconstructs `p` exactly, and the
+//! rendered text is a fixed point of parse∘render (property-tested in
+//! `tests/roundtrip.rs`). Parse errors carry 1-based line/column
+//! [`Span`]s and never panic, on any input (fuzzed in `tests/fuzz.rs`).
+//!
+//! ```
+//! use gpivot_sql::parse_query;
+//!
+//! let plan = parse_query(
+//!     "SELECT * FROM sales \
+//!      GPIVOT (amount BY region IN (('east'), ('west'))) \
+//!      WHERE \"east**amount\" IS NOT NULL",
+//! )
+//! .unwrap();
+//! assert_eq!(parse_query(&plan.to_sql_dialect()).unwrap(), plan);
+//! ```
+//!
+//! See DESIGN.md §4e for the grammar (EBNF) and the subsumption rules the
+//! rewriter proves before answering a query from a view.
+
+mod error;
+mod lexer;
+mod parser;
+mod rewrite;
+mod service;
+
+pub use error::{Result, SqlError};
+pub use lexer::{tokenize, Span, Token, TokenKind};
+pub use parser::{parse_query, parse_statement, Statement};
+pub use rewrite::{rewrite, RewriteHit};
+pub use service::{GpivotService, SqlOutcome};

@@ -1,0 +1,977 @@
+//! Recursive-descent parser for the §7.1 dialect, lowering to the algebra's
+//! [`Plan`] IR.
+//!
+//! The grammar (EBNF; see DESIGN.md §4e for the full commentary):
+//!
+//! ```text
+//! statement    := EXPLAIN statement'
+//!               | statement'
+//! statement'   := CREATE MATERIALIZED VIEW ident AS select_stmt
+//!               | select_stmt
+//! select_stmt  := query ((UNION ALL | EXCEPT ALL) query)*      -- left-assoc
+//! query        := SELECT items FROM source [WHERE expr] [GROUP BY idents]
+//! items        := '*' | item (',' item)*
+//! item         := agg '(' (ident | '*') ')' AS ident
+//!               | expr [AS ident]                       -- bare col names itself
+//! source       := unit (join_kw unit ON on_cond)*
+//! join_kw      := JOIN | INNER JOIN | LEFT [OUTER] JOIN | FULL [OUTER] JOIN
+//! unit         := (ident | '(' select_stmt ')') [[AS] ident] pivot*
+//! pivot        := GPIVOT '(' idents BY idents IN '(' group (',' group)* ')' ')'
+//!               | GUNPIVOT '(' idents FOR idents IN '(' ugroup (',' ugroup)* ')' ')'
+//! group        := literal | '(' literal (',' literal)* ')'
+//! ugroup       := '(' idents ')' AS '(' literal (',' literal)* ')'
+//! on_cond      := TRUE | on_atom (AND on_atom)*
+//! on_atom      := [qual '.'] ident '=' [qual '.'] ident   -- equi-join pair
+//!               | expr                                    -- residual predicate
+//! ```
+//!
+//! Lowering is schema-free and purely syntactic: `SELECT *` adds no node,
+//! `WHERE` lowers to σ, a plain item list to π, aggregate items (with an
+//! optional `GROUP BY`) to the grouping operator, and pivot clauses to
+//! GPIVOT/GUNPIVOT nodes on their FROM unit. Schema checking happens later,
+//! when the plan is registered or executed.
+
+use crate::error::{Result, SqlError};
+use crate::lexer::{tokenize, Span, Token, TokenKind};
+use gpivot_algebra::{
+    AggSpec, BinOp, CmpOp, Expr, JoinKind, PivotSpec, Plan, UnpivotGroup, UnpivotSpec,
+};
+use gpivot_storage::value::days_from_date;
+use gpivot_storage::Value;
+use std::collections::BTreeSet;
+
+/// A parsed top-level statement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Statement {
+    /// An ad-hoc query.
+    Select(Plan),
+    /// `CREATE MATERIALIZED VIEW <name> AS <query>`.
+    CreateView { name: String, definition: Plan },
+    /// `EXPLAIN <statement>` (not nestable).
+    Explain(Box<Statement>),
+}
+
+/// Parse one statement (optionally `;`-terminated).
+pub fn parse_statement(src: &str) -> Result<Statement> {
+    let mut p = Parser::new(tokenize(src)?);
+    let stmt = p.statement()?;
+    p.eat_sym(";");
+    p.expect_eof()?;
+    Ok(stmt)
+}
+
+/// Parse a bare query (no DDL/EXPLAIN) to its plan — the entry point the
+/// round-trip tests use against [`Plan::to_sql_dialect`].
+pub fn parse_query(src: &str) -> Result<Plan> {
+    let mut p = Parser::new(tokenize(src)?);
+    let plan = p.select_stmt()?;
+    p.eat_sym(";");
+    p.expect_eof()?;
+    Ok(plan)
+}
+
+/// One select item before lowering.
+enum Item {
+    Expr {
+        expr: Expr,
+        name: String,
+        span: Span,
+    },
+    Agg {
+        agg: AggSpec,
+        span: Span,
+    },
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn new(tokens: Vec<Token>) -> Self {
+        Parser { tokens, pos: 0 }
+    }
+
+    fn peek(&self) -> &Token {
+        // `tokenize` always appends Eof, so clamping to the last token is
+        // safe for any `pos`.
+        self.tokens.get(self.pos).unwrap_or_else(|| {
+            self.tokens
+                .last()
+                .expect("token stream always ends with Eof")
+        })
+    }
+
+    fn peek2(&self) -> Option<&TokenKind> {
+        self.tokens.get(self.pos + 1).map(|t| &t.kind)
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos < self.tokens.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn span(&self) -> Span {
+        self.peek().span
+    }
+
+    fn err<T>(&self, msg: impl Into<String>) -> Result<T> {
+        Err(SqlError::parse(msg.into(), self.span()))
+    }
+
+    fn at_kw(&self, kw: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Keyword(k) if *k == kw)
+    }
+
+    fn eat_kw(&mut self, kw: &str) -> bool {
+        if self.at_kw(kw) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_kw(&mut self, kw: &str) -> Result<()> {
+        if self.eat_kw(kw) {
+            Ok(())
+        } else {
+            self.err(format!("expected {kw}, found {}", self.peek().kind))
+        }
+    }
+
+    fn at_sym(&self, sym: &str) -> bool {
+        matches!(&self.peek().kind, TokenKind::Symbol(s) if *s == sym)
+    }
+
+    fn eat_sym(&mut self, sym: &str) -> bool {
+        if self.at_sym(sym) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect_sym(&mut self, sym: &str) -> Result<()> {
+        if self.eat_sym(sym) {
+            Ok(())
+        } else {
+            self.err(format!("expected `{sym}`, found {}", self.peek().kind))
+        }
+    }
+
+    fn expect_eof(&mut self) -> Result<()> {
+        if matches!(self.peek().kind, TokenKind::Eof) {
+            Ok(())
+        } else {
+            self.err(format!(
+                "expected end of statement, found {}",
+                self.peek().kind
+            ))
+        }
+    }
+
+    /// An identifier token (bare or quoted).
+    fn ident(&mut self) -> Result<String> {
+        match &self.peek().kind {
+            TokenKind::Ident(_) => {
+                let TokenKind::Ident(name) = self.bump().kind else {
+                    unreachable!("peeked Ident")
+                };
+                Ok(name)
+            }
+            other => self.err(format!("expected identifier, found {other}")),
+        }
+    }
+
+    fn ident_list(&mut self) -> Result<Vec<String>> {
+        let mut out = vec![self.ident()?];
+        while self.eat_sym(",") {
+            out.push(self.ident()?);
+        }
+        Ok(out)
+    }
+
+    // ---- statements ------------------------------------------------------
+
+    fn statement(&mut self) -> Result<Statement> {
+        if self.eat_kw("EXPLAIN") {
+            if self.at_kw("EXPLAIN") {
+                return self.err("nested EXPLAIN is not supported");
+            }
+            let inner = self.statement_body()?;
+            return Ok(Statement::Explain(Box::new(inner)));
+        }
+        self.statement_body()
+    }
+
+    fn statement_body(&mut self) -> Result<Statement> {
+        if self.eat_kw("CREATE") {
+            self.expect_kw("MATERIALIZED")?;
+            self.expect_kw("VIEW")?;
+            let name = self.ident()?;
+            self.expect_kw("AS")?;
+            let definition = self.select_stmt()?;
+            return Ok(Statement::CreateView { name, definition });
+        }
+        Ok(Statement::Select(self.select_stmt()?))
+    }
+
+    /// `query ((UNION ALL | EXCEPT ALL) query)*`, left-associative.
+    fn select_stmt(&mut self) -> Result<Plan> {
+        let mut plan = self.query_block()?;
+        loop {
+            if self.eat_kw("UNION") {
+                self.expect_kw("ALL")?;
+                let rhs = self.query_block()?;
+                plan = Plan::Union {
+                    left: Box::new(plan),
+                    right: Box::new(rhs),
+                };
+            } else if self.eat_kw("EXCEPT") {
+                self.expect_kw("ALL")?;
+                let rhs = self.query_block()?;
+                plan = Plan::Diff {
+                    left: Box::new(plan),
+                    right: Box::new(rhs),
+                };
+            } else {
+                return Ok(plan);
+            }
+        }
+    }
+
+    // ---- one SELECT block ------------------------------------------------
+
+    fn query_block(&mut self) -> Result<Plan> {
+        self.expect_kw("SELECT")?;
+        let items = if self.eat_sym("*") {
+            None
+        } else {
+            let mut items = vec![self.select_item()?];
+            while self.eat_sym(",") {
+                items.push(self.select_item()?);
+            }
+            Some(items)
+        };
+        self.expect_kw("FROM")?;
+        let source = self.source()?;
+        let where_clause = if self.eat_kw("WHERE") {
+            Some(self.expr(false)?)
+        } else {
+            None
+        };
+        let group_by = if self.eat_kw("GROUP") {
+            self.expect_kw("BY")?;
+            Some(self.ident_list()?)
+        } else {
+            None
+        };
+        self.lower_query(items, source, where_clause, group_by)
+    }
+
+    fn lower_query(
+        &self,
+        items: Option<Vec<Item>>,
+        source: Plan,
+        where_clause: Option<Expr>,
+        group_by: Option<Vec<String>>,
+    ) -> Result<Plan> {
+        let mut plan = source;
+        if let Some(pred) = where_clause {
+            plan = plan.select(pred);
+        }
+        let Some(items) = items else {
+            if group_by.is_some() {
+                return Err(SqlError::Plan(
+                    "GROUP BY requires an explicit select list, not `*`".into(),
+                ));
+            }
+            return Ok(plan);
+        };
+        let has_aggs = items.iter().any(|i| matches!(i, Item::Agg { .. }));
+        if !has_aggs && group_by.is_none() {
+            let proj: Vec<(Expr, String)> = items
+                .into_iter()
+                .map(|i| match i {
+                    Item::Expr { expr, name, .. } => (expr, name),
+                    Item::Agg { .. } => unreachable!("no aggs in this arm"),
+                })
+                .collect();
+            return Ok(plan.project(proj));
+        }
+        // Aggregate query: grouping columns (bare, in GROUP BY order) must
+        // come first, then the aggregates — the exact output order of the
+        // grouping operator, so no hidden projection is needed.
+        let group_by = group_by.unwrap_or_default();
+        let mut group_cols: Vec<String> = Vec::new();
+        let mut aggs: Vec<AggSpec> = Vec::new();
+        for item in items {
+            match item {
+                Item::Expr { expr, name, span } => {
+                    if !aggs.is_empty() {
+                        return Err(SqlError::parse(
+                            "grouping columns must be listed before aggregates",
+                            span,
+                        ));
+                    }
+                    match expr {
+                        Expr::Col(c) if c == name => group_cols.push(c),
+                        _ => {
+                            return Err(SqlError::parse(
+                                format!(
+                                    "select item `{name}` must be a bare grouping column \
+                                     in an aggregate query"
+                                ),
+                                span,
+                            ))
+                        }
+                    }
+                }
+                Item::Agg { agg, span } => {
+                    if group_by.is_empty() && !group_cols.is_empty() {
+                        return Err(SqlError::parse(
+                            "non-aggregate select items require a GROUP BY clause",
+                            span,
+                        ));
+                    }
+                    aggs.push(agg);
+                }
+            }
+        }
+        if group_cols != group_by {
+            return Err(SqlError::Plan(format!(
+                "select list grouping columns {group_cols:?} must match the \
+                 GROUP BY clause {group_by:?} (same columns, same order)"
+            )));
+        }
+        Ok(Plan::GroupBy {
+            input: Box::new(plan),
+            group_by,
+            aggs,
+        })
+    }
+
+    fn select_item(&mut self) -> Result<Item> {
+        let span = self.span();
+        // Aggregate call? (contextual: a bare ident naming an aggregate,
+        // immediately followed by `(`.)
+        if let TokenKind::Ident(word) = &self.peek().kind {
+            let func = word.to_ascii_lowercase();
+            if matches!(func.as_str(), "sum" | "count" | "avg" | "min" | "max")
+                && matches!(self.peek2(), Some(TokenKind::Symbol("(")))
+            {
+                self.bump();
+                self.bump();
+                let input = if self.at_sym("*") {
+                    if func != "count" {
+                        return self.err(format!("{func}(*) is not supported; only count(*)"));
+                    }
+                    self.bump();
+                    None
+                } else {
+                    Some(self.ident()?)
+                };
+                self.expect_sym(")")?;
+                self.expect_kw("AS")?;
+                let output = self.ident()?;
+                let agg = match (func.as_str(), input) {
+                    ("count", None) => AggSpec::count_star(output),
+                    ("sum", Some(c)) => AggSpec::sum(c, output),
+                    ("count", Some(c)) => AggSpec::count(c, output),
+                    ("avg", Some(c)) => AggSpec::avg(c, output),
+                    ("min", Some(c)) => AggSpec::min(c, output),
+                    ("max", Some(c)) => AggSpec::max(c, output),
+                    _ => return Err(SqlError::parse("aggregate needs a column argument", span)),
+                };
+                return Ok(Item::Agg { agg, span });
+            }
+        }
+        let expr = self.expr(false)?;
+        let name = if self.eat_kw("AS") {
+            self.ident()?
+        } else {
+            match &expr {
+                Expr::Col(c) => c.clone(),
+                _ => {
+                    return Err(SqlError::parse(
+                        "computed select item needs an `AS <name>` alias",
+                        span,
+                    ))
+                }
+            }
+        };
+        Ok(Item::Expr { expr, name, span })
+    }
+
+    // ---- FROM sources ----------------------------------------------------
+
+    fn source(&mut self) -> Result<Plan> {
+        let (mut left, mut left_names) = self.unit()?;
+        left_names.insert("l".to_string());
+        loop {
+            let kind = if self.eat_kw("JOIN") {
+                JoinKind::Inner
+            } else if self.eat_kw("INNER") {
+                self.expect_kw("JOIN")?;
+                JoinKind::Inner
+            } else if self.eat_kw("LEFT") {
+                self.eat_kw("OUTER");
+                self.expect_kw("JOIN")?;
+                JoinKind::LeftOuter
+            } else if self.eat_kw("FULL") {
+                self.eat_kw("OUTER");
+                self.expect_kw("JOIN")?;
+                JoinKind::FullOuter
+            } else {
+                return Ok(left);
+            };
+            let (right, mut right_names) = self.unit()?;
+            right_names.insert("r".to_string());
+            self.expect_kw("ON")?;
+            let (on, residual) = self.on_condition(&left_names, &right_names)?;
+            left_names.extend(right_names);
+            left_names.remove("r");
+            left = Plan::Join {
+                left: Box::new(left),
+                right: Box::new(right),
+                kind,
+                on,
+                residual,
+            };
+        }
+    }
+
+    /// A FROM unit: base table or parenthesized subquery, optional alias,
+    /// then any number of postfix GPIVOT/GUNPIVOT clauses. Returns the plan
+    /// plus the names by which ON conditions may qualify its columns.
+    fn unit(&mut self) -> Result<(Plan, BTreeSet<String>)> {
+        let mut names = BTreeSet::new();
+        let mut plan = if self.eat_sym("(") {
+            let sub = self.select_stmt()?;
+            self.expect_sym(")")?;
+            for t in sub.base_tables() {
+                names.insert(t);
+            }
+            sub
+        } else {
+            let table = self.ident()?;
+            names.insert(table.clone());
+            Plan::scan(table)
+        };
+        // Optional alias (with or without AS). A bare keyword (JOIN, WHERE,
+        // GPIVOT, ...) never counts as an alias because keywords lex as
+        // `TokenKind::Keyword`.
+        if self.eat_kw("AS") || matches!(self.peek().kind, TokenKind::Ident(_)) {
+            names.insert(self.ident()?);
+        }
+        loop {
+            if self.eat_kw("GPIVOT") {
+                plan = plan.gpivot(self.gpivot_clause()?);
+            } else if self.eat_kw("GUNPIVOT") {
+                plan = plan.gunpivot(self.gunpivot_clause()?);
+            } else {
+                return Ok((plan, names));
+            }
+        }
+    }
+
+    /// `( <measure cols> BY <pivot cols> IN ( group, ... ) )`
+    fn gpivot_clause(&mut self) -> Result<PivotSpec> {
+        self.expect_sym("(")?;
+        let on = self.ident_list()?;
+        self.expect_kw("BY")?;
+        let by = self.ident_list()?;
+        self.expect_kw("IN")?;
+        self.expect_sym("(")?;
+        let mut groups = Vec::new();
+        loop {
+            let span = self.span();
+            let group = if self.eat_sym("(") {
+                let mut vals = vec![self.literal()?];
+                while self.eat_sym(",") {
+                    vals.push(self.literal()?);
+                }
+                self.expect_sym(")")?;
+                vals
+            } else {
+                vec![self.literal()?]
+            };
+            if group.len() != by.len() {
+                return Err(SqlError::parse(
+                    format!(
+                        "pivot value group has {} value(s) but GPIVOT pivots {} column(s)",
+                        group.len(),
+                        by.len()
+                    ),
+                    span,
+                ));
+            }
+            groups.push(group);
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        self.expect_sym(")")?;
+        self.expect_sym(")")?;
+        Ok(PivotSpec::new(by, on, groups))
+    }
+
+    /// `( <value cols> FOR <name cols> IN ( (cols) AS (tags), ... ) )`
+    fn gunpivot_clause(&mut self) -> Result<UnpivotSpec> {
+        self.expect_sym("(")?;
+        let value_cols = self.ident_list()?;
+        self.expect_kw("FOR")?;
+        let name_cols = self.ident_list()?;
+        self.expect_kw("IN")?;
+        self.expect_sym("(")?;
+        let mut groups = Vec::new();
+        loop {
+            let span = self.span();
+            self.expect_sym("(")?;
+            let cols = self.ident_list()?;
+            self.expect_sym(")")?;
+            self.expect_kw("AS")?;
+            self.expect_sym("(")?;
+            let mut tags = vec![self.literal()?];
+            while self.eat_sym(",") {
+                tags.push(self.literal()?);
+            }
+            self.expect_sym(")")?;
+            if cols.len() != value_cols.len() || tags.len() != name_cols.len() {
+                return Err(SqlError::parse(
+                    format!(
+                        "GUNPIVOT group has {} column(s) / {} tag(s) but the clause \
+                         unpivots {} value column(s) tagged by {} name column(s)",
+                        cols.len(),
+                        tags.len(),
+                        value_cols.len(),
+                        name_cols.len()
+                    ),
+                    span,
+                ));
+            }
+            groups.push(UnpivotGroup { tags, cols });
+            if !self.eat_sym(",") {
+                break;
+            }
+        }
+        self.expect_sym(")")?;
+        self.expect_sym(")")?;
+        Ok(UnpivotSpec::new(groups, name_cols, value_cols))
+    }
+
+    // ---- join conditions -------------------------------------------------
+
+    /// Equi-join column pairs plus the AND-folded residual predicate.
+    #[allow(clippy::type_complexity)]
+    fn on_condition(
+        &mut self,
+        left_names: &BTreeSet<String>,
+        right_names: &BTreeSet<String>,
+    ) -> Result<(Vec<(String, String)>, Option<Expr>)> {
+        let mut on = Vec::new();
+        let mut residuals = Vec::new();
+        loop {
+            if self.at_kw("TRUE") && !Self::continues_expr(self.peek2()) {
+                // The renderer's empty-condition marker: `ON TRUE`.
+                self.bump();
+            } else if let Some((a, b)) = self.try_join_pair(left_names, right_names) {
+                on.push((a, b));
+            } else {
+                residuals.push(self.expr(true)?);
+            }
+            if !self.eat_kw("AND") {
+                break;
+            }
+        }
+        let residual = if residuals.is_empty() {
+            None
+        } else {
+            Some(Expr::conjunction(residuals))
+        };
+        Ok((on, residual))
+    }
+
+    /// True when a token could continue an expression after a complete
+    /// operand, meaning a candidate join pair actually extends further
+    /// (e.g. `l.a = r.b + 1`) and must be parsed as a residual instead.
+    fn continues_expr(kind: Option<&TokenKind>) -> bool {
+        matches!(
+            kind,
+            Some(TokenKind::Symbol(
+                "+" | "-" | "*" | "/" | "=" | "<>" | "<" | "<=" | ">" | ">=" | "."
+            )) | Some(TokenKind::Keyword("IS" | "IN" | "OR" | "NOT"))
+        )
+    }
+
+    /// Attempt `[qual.]col = [qual.]col` followed by AND or the end of the
+    /// ON condition; rolls back and returns None if the shape doesn't fit.
+    fn try_join_pair(
+        &mut self,
+        left_names: &BTreeSet<String>,
+        right_names: &BTreeSet<String>,
+    ) -> Option<(String, String)> {
+        let start = self.pos;
+        let pair = self.join_pair_inner(left_names, right_names);
+        if pair.is_none() {
+            self.pos = start;
+        }
+        pair
+    }
+
+    fn qualified_col(&mut self) -> Option<(Option<String>, String)> {
+        let TokenKind::Ident(first) = self.peek().kind.clone() else {
+            return None;
+        };
+        self.bump();
+        if self.at_sym(".") {
+            self.bump();
+            let TokenKind::Ident(col) = self.peek().kind.clone() else {
+                return None;
+            };
+            self.bump();
+            Some((Some(first), col))
+        } else {
+            Some((None, first))
+        }
+    }
+
+    fn join_pair_inner(
+        &mut self,
+        left_names: &BTreeSet<String>,
+        right_names: &BTreeSet<String>,
+    ) -> Option<(String, String)> {
+        let (q1, c1) = self.qualified_col()?;
+        if !self.eat_sym("=") {
+            return None;
+        }
+        let (q2, c2) = self.qualified_col()?;
+        // The pair must be a complete atom: followed by AND or a terminator.
+        if Self::continues_expr(Some(&self.peek().kind)) {
+            return None;
+        }
+        #[derive(PartialEq)]
+        enum Side {
+            Left,
+            Right,
+            Unknown,
+        }
+        let side = |q: &Option<String>| match q {
+            None => Side::Unknown,
+            Some(q) if q == "l" || left_names.contains(q) => Side::Left,
+            Some(q) if q == "r" || right_names.contains(q) => Side::Right,
+            Some(_) => Side::Unknown,
+        };
+        match (side(&q1), side(&q2)) {
+            (Side::Left | Side::Unknown, Side::Right | Side::Unknown) => Some((c1, c2)),
+            (Side::Right, Side::Left | Side::Unknown) | (Side::Unknown, Side::Left) => {
+                Some((c2, c1))
+            }
+            // Both columns on the same side: not an equi-join pair; let the
+            // residual path handle it (qualifiers are stripped there).
+            _ => None,
+        }
+    }
+
+    // ---- expressions -----------------------------------------------------
+
+    fn expr(&mut self, in_on: bool) -> Result<Expr> {
+        self.or_expr(in_on)
+    }
+
+    fn or_expr(&mut self, in_on: bool) -> Result<Expr> {
+        let mut e = self.and_expr(in_on)?;
+        while self.eat_kw("OR") {
+            e = e.or(self.and_expr(in_on)?);
+        }
+        Ok(e)
+    }
+
+    fn and_expr(&mut self, in_on: bool) -> Result<Expr> {
+        let mut e = self.not_expr(in_on)?;
+        while self.eat_kw("AND") {
+            e = e.and(self.not_expr(in_on)?);
+        }
+        Ok(e)
+    }
+
+    fn not_expr(&mut self, in_on: bool) -> Result<Expr> {
+        if self.eat_kw("NOT") {
+            return Ok(self.not_expr(in_on)?.not());
+        }
+        self.predicate(in_on)
+    }
+
+    fn predicate(&mut self, in_on: bool) -> Result<Expr> {
+        let lhs = self.additive(in_on)?;
+        if let TokenKind::Symbol(sym @ ("=" | "<>" | "<" | "<=" | ">" | ">=")) = self.peek().kind {
+            self.bump();
+            let rhs = self.additive(in_on)?;
+            let op = match sym {
+                "=" => CmpOp::Eq,
+                "<>" => CmpOp::Ne,
+                "<" => CmpOp::Lt,
+                "<=" => CmpOp::Le,
+                ">" => CmpOp::Gt,
+                _ => CmpOp::Ge,
+            };
+            return Ok(Expr::Cmp(op, Box::new(lhs), Box::new(rhs)));
+        }
+        if self.eat_kw("IS") {
+            let negated = self.eat_kw("NOT");
+            self.expect_kw("NULL")?;
+            let e = lhs.is_null();
+            return Ok(if negated { e.not() } else { e });
+        }
+        let negated = if self.at_kw("NOT") && matches!(self.peek2(), Some(TokenKind::Keyword("IN")))
+        {
+            self.bump();
+            true
+        } else {
+            false
+        };
+        if self.eat_kw("IN") {
+            self.expect_sym("(")?;
+            let mut vals = vec![self.literal()?];
+            while self.eat_sym(",") {
+                vals.push(self.literal()?);
+            }
+            self.expect_sym(")")?;
+            let e = lhs.in_list(vals);
+            return Ok(if negated { e.not() } else { e });
+        }
+        Ok(lhs)
+    }
+
+    fn additive(&mut self, in_on: bool) -> Result<Expr> {
+        let mut e = self.multiplicative(in_on)?;
+        loop {
+            let op = if self.at_sym("+") {
+                BinOp::Add
+            } else if self.at_sym("-") {
+                BinOp::Sub
+            } else {
+                return Ok(e);
+            };
+            self.bump();
+            let rhs = self.multiplicative(in_on)?;
+            e = Expr::Bin(op, Box::new(e), Box::new(rhs));
+        }
+    }
+
+    fn multiplicative(&mut self, in_on: bool) -> Result<Expr> {
+        let mut e = self.factor(in_on)?;
+        loop {
+            let op = if self.at_sym("*") {
+                BinOp::Mul
+            } else if self.at_sym("/") {
+                BinOp::Div
+            } else {
+                return Ok(e);
+            };
+            self.bump();
+            let rhs = self.factor(in_on)?;
+            e = Expr::Bin(op, Box::new(e), Box::new(rhs));
+        }
+    }
+
+    fn factor(&mut self, in_on: bool) -> Result<Expr> {
+        let span = self.span();
+        match self.peek().kind.clone() {
+            TokenKind::Symbol("(") => {
+                self.bump();
+                let e = self.expr(in_on)?;
+                self.expect_sym(")")?;
+                Ok(e)
+            }
+            TokenKind::Symbol("-") => {
+                self.bump();
+                match self.peek().kind.clone() {
+                    TokenKind::Number { text, float } => {
+                        self.bump();
+                        Ok(Expr::Lit(self.number_value(&text, float, true, span)?))
+                    }
+                    _ => Err(SqlError::parse(
+                        "unary minus is only supported on numeric literals",
+                        span,
+                    )),
+                }
+            }
+            TokenKind::Keyword("CASE") => {
+                self.bump();
+                self.case_expr(in_on)
+            }
+            TokenKind::Keyword("NULL") => {
+                self.bump();
+                Ok(Expr::Lit(Value::Null))
+            }
+            TokenKind::Keyword("TRUE") => {
+                self.bump();
+                Ok(Expr::Lit(Value::Bool(true)))
+            }
+            TokenKind::Keyword("FALSE") => {
+                self.bump();
+                Ok(Expr::Lit(Value::Bool(false)))
+            }
+            TokenKind::Keyword("DATE") => {
+                self.bump();
+                Ok(Expr::Lit(self.date_literal()?))
+            }
+            TokenKind::Number { text, float } => {
+                self.bump();
+                Ok(Expr::Lit(self.number_value(&text, float, false, span)?))
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Expr::Lit(Value::str(s)))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                if self.at_sym(".") {
+                    if !in_on {
+                        return Err(SqlError::parse(
+                            format!(
+                                "qualified column reference `{name}.…` is only \
+                                 supported in ON conditions"
+                            ),
+                            span,
+                        ));
+                    }
+                    self.bump();
+                    // Residual predicates evaluate over the concatenated
+                    // join schema, where columns are unqualified.
+                    return Ok(Expr::col(self.ident()?));
+                }
+                Ok(Expr::col(name))
+            }
+            other => Err(SqlError::parse(
+                format!("expected expression, found {other}"),
+                span,
+            )),
+        }
+    }
+
+    fn case_expr(&mut self, in_on: bool) -> Result<Expr> {
+        let mut branches = Vec::new();
+        self.expect_kw("WHEN")?;
+        loop {
+            let cond = self.expr(in_on)?;
+            self.expect_kw("THEN")?;
+            let val = self.expr(in_on)?;
+            branches.push((cond, val));
+            if !self.eat_kw("WHEN") {
+                break;
+            }
+        }
+        let otherwise = if self.eat_kw("ELSE") {
+            self.expr(in_on)?
+        } else {
+            Expr::Lit(Value::Null)
+        };
+        self.expect_kw("END")?;
+        Ok(Expr::Case {
+            branches,
+            otherwise: Box::new(otherwise),
+        })
+    }
+
+    // ---- literals --------------------------------------------------------
+
+    fn number_value(&self, text: &str, float: bool, negative: bool, span: Span) -> Result<Value> {
+        let signed: String = if negative {
+            format!("-{text}")
+        } else {
+            text.to_string()
+        };
+        if float {
+            signed
+                .parse::<f64>()
+                .map(Value::Float)
+                .map_err(|e| SqlError::parse(format!("malformed number `{signed}`: {e}"), span))
+        } else {
+            signed.parse::<i64>().map(Value::Int).map_err(|_| {
+                SqlError::parse(format!("integer literal `{signed}` out of range"), span)
+            })
+        }
+    }
+
+    fn date_literal(&mut self) -> Result<Value> {
+        let span = self.span();
+        let TokenKind::Str(s) = self.peek().kind.clone() else {
+            return self.err(format!(
+                "DATE needs a 'YYYY-MM-DD' string, found {}",
+                self.peek().kind
+            ));
+        };
+        self.bump();
+        let bad = || SqlError::parse(format!("malformed date `{s}` (want YYYY-MM-DD)"), span);
+        let (sign, body) = match s.strip_prefix('-') {
+            Some(rest) => (-1i32, rest),
+            None => (1, s.as_str()),
+        };
+        let parts: Vec<&str> = body.split('-').collect();
+        if parts.len() != 3 {
+            return Err(bad());
+        }
+        let y: i32 = parts[0].parse().map_err(|_| bad())?;
+        let m: u32 = parts[1].parse().map_err(|_| bad())?;
+        let d: u32 = parts[2].parse().map_err(|_| bad())?;
+        if !(1..=12).contains(&m) || !(1..=31).contains(&d) {
+            return Err(bad());
+        }
+        Ok(Value::Date(days_from_date(sign * y, m, d)))
+    }
+
+    fn literal(&mut self) -> Result<Value> {
+        let span = self.span();
+        match self.peek().kind.clone() {
+            TokenKind::Keyword("NULL") => {
+                self.bump();
+                Ok(Value::Null)
+            }
+            TokenKind::Keyword("TRUE") => {
+                self.bump();
+                Ok(Value::Bool(true))
+            }
+            TokenKind::Keyword("FALSE") => {
+                self.bump();
+                Ok(Value::Bool(false))
+            }
+            TokenKind::Keyword("DATE") => {
+                self.bump();
+                self.date_literal()
+            }
+            TokenKind::Symbol("-") => {
+                self.bump();
+                match self.peek().kind.clone() {
+                    TokenKind::Number { text, float } => {
+                        self.bump();
+                        self.number_value(&text, float, true, span)
+                    }
+                    other => Err(SqlError::parse(
+                        format!("expected number after `-`, found {other}"),
+                        span,
+                    )),
+                }
+            }
+            TokenKind::Number { text, float } => {
+                self.bump();
+                self.number_value(&text, float, false, span)
+            }
+            TokenKind::Str(s) => {
+                self.bump();
+                Ok(Value::str(s))
+            }
+            other => Err(SqlError::parse(
+                format!("expected literal, found {other}"),
+                span,
+            )),
+        }
+    }
+}

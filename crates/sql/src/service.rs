@@ -1,0 +1,241 @@
+//! The serve-layer entry point: one string in, one [`SqlOutcome`] out.
+//!
+//! [`GpivotService`] wraps a [`gpivot_serve::ViewService`] and routes parsed
+//! statements:
+//!
+//! * `CREATE MATERIALIZED VIEW` → [`ViewService::register_view`] (which runs
+//!   the plan-lint gate and picks a maintenance [`Strategy`]),
+//! * `SELECT` → view-matching rewrite ([`crate::rewrite`]) then execution on
+//!   the parallel [`gpivot_exec::Executor`] — against the matched view's materialized
+//!   table when a view subsumes the query, against the base tables
+//!   otherwise,
+//! * `EXPLAIN` → the rewritten plan's tree plus the analyzer's GP0xx
+//!   findings and a `used view:` marker, without executing anything.
+//!
+//! Every `SELECT` bumps the serve metrics
+//! (`gpivot_sql_rewrites_total{outcome="hit"|"miss"}`) and emits a
+//! `rewrite.hit` / `rewrite.miss` tracing event; `EXPLAIN` is free.
+
+use crate::error::{Result, SqlError};
+use crate::parser::{parse_statement, Statement};
+use crate::rewrite::rewrite;
+use gpivot_algebra::Plan;
+use gpivot_analyze::analyze;
+use gpivot_core::Strategy;
+use gpivot_exec::Overlay;
+use gpivot_serve::{ServeConfig, ViewService};
+use gpivot_storage::{Catalog, Table};
+use std::fmt::Write as _;
+
+/// What a successfully executed statement produced.
+#[derive(Debug)]
+pub enum SqlOutcome {
+    /// A `CREATE MATERIALIZED VIEW` registered and materialized a view.
+    ViewCreated {
+        name: String,
+        /// The maintenance strategy the planner chose for it.
+        strategy: Strategy,
+        /// GP0xx lint warnings recorded at registration (empty = clean).
+        lint_warnings: Vec<String>,
+    },
+    /// A `SELECT` ran to completion.
+    Rows {
+        table: Table,
+        /// The materialized view that answered the query, if the rewriter
+        /// matched one; `None` = executed against the base tables.
+        used_view: Option<String>,
+    },
+    /// An `EXPLAIN` rendered the (rewritten) plan without executing it.
+    Explain { text: String },
+}
+
+/// A SQL-speaking facade over the view-maintenance service.
+pub struct GpivotService {
+    inner: ViewService,
+}
+
+impl GpivotService {
+    /// A service over `catalog` with default serve configuration.
+    pub fn new(catalog: Catalog) -> Self {
+        Self::with_config(catalog, ServeConfig::default())
+    }
+
+    /// A service over `catalog` with explicit serve configuration.
+    pub fn with_config(catalog: Catalog, cfg: ServeConfig) -> Self {
+        GpivotService {
+            inner: ViewService::new(catalog, cfg),
+        }
+    }
+
+    /// Wrap an existing (possibly already-populated) [`ViewService`].
+    pub fn from_service(service: ViewService) -> Self {
+        GpivotService { inner: service }
+    }
+
+    /// The wrapped service — ingestion, refresh epochs, and metrics live
+    /// there.
+    pub fn service(&self) -> &ViewService {
+        &self.inner
+    }
+
+    /// Parse and execute one statement.
+    pub fn execute_sql(&self, sql: &str) -> Result<SqlOutcome> {
+        match parse_statement(sql)? {
+            Statement::CreateView { name, definition } => self.create_view(name, definition),
+            Statement::Select(plan) => self.run_select(plan),
+            Statement::Explain(inner) => Ok(SqlOutcome::Explain {
+                text: self.explain(&inner)?,
+            }),
+        }
+    }
+
+    fn create_view(&self, name: String, definition: Plan) -> Result<SqlOutcome> {
+        let strategy = self
+            .inner
+            .register_view(name.clone(), definition)
+            .map_err(|e| SqlError::Engine(e.to_string()))?;
+        self.inner.record_sql_registration();
+        let lint_warnings = self
+            .inner
+            .metrics()
+            .per_view
+            .get(&name)
+            .map(|v| v.lint_warnings.clone())
+            .unwrap_or_default();
+        Ok(SqlOutcome::ViewCreated {
+            name,
+            strategy,
+            lint_warnings,
+        })
+    }
+
+    /// The registered views as (name, definition) pairs, against a live
+    /// snapshot.
+    fn run_select(&self, plan: Plan) -> Result<SqlOutcome> {
+        let engine = |e: gpivot_exec::ExecError| SqlError::Engine(e.to_string());
+        let result = {
+            let snapshot = self.inner.snapshot();
+            let manager = snapshot.manager();
+            let views: Vec<(String, Plan)> = manager
+                .views()
+                .map(|v| (v.name().to_string(), v.definition().clone()))
+                .collect();
+            match rewrite(&plan, &views, manager.catalog()) {
+                Some(hit) => {
+                    // The rewritten plan scans the view's *user-facing*
+                    // contents, overlaid as a table shadowing the catalog.
+                    let table = snapshot
+                        .query_view(&hit.view)
+                        .map_err(|e| SqlError::Engine(e.to_string()))?;
+                    let overlay = Overlay::new(manager.catalog()).with(hit.view.clone(), table);
+                    let rows = manager
+                        .executor()
+                        .run(&hit.plan, &overlay)
+                        .map_err(engine)?;
+                    (rows, Some(hit.view))
+                }
+                None => {
+                    let rows = manager
+                        .executor()
+                        .run(&plan, manager.catalog())
+                        .map_err(engine)?;
+                    (rows, None)
+                }
+            }
+        };
+        let (table, used_view) = result;
+        self.inner.record_sql_rewrite(used_view.as_deref());
+        Ok(SqlOutcome::Rows { table, used_view })
+    }
+
+    fn explain(&self, stmt: &Statement) -> Result<String> {
+        let mut out = String::new();
+        match stmt {
+            // The parser rejects nested EXPLAIN.
+            Statement::Explain(inner) => return self.explain(inner),
+            Statement::CreateView { name, definition } => {
+                let snapshot = self.inner.snapshot();
+                let catalog = snapshot.manager().catalog();
+                let _ = writeln!(out, "create materialized view: {name}");
+                let _ = writeln!(out, "plan:");
+                push_indented(&mut out, &definition.explain());
+                let report = analyze(definition, catalog);
+                push_lint(&mut out, report.warnings().map(|d| d.to_string()));
+            }
+            Statement::Select(plan) => {
+                let snapshot = self.inner.snapshot();
+                let manager = snapshot.manager();
+                let views: Vec<(String, Plan)> = manager
+                    .views()
+                    .map(|v| (v.name().to_string(), v.definition().clone()))
+                    .collect();
+                let hit = rewrite(plan, &views, manager.catalog());
+                match &hit {
+                    Some(h) => {
+                        let _ = write!(out, "rewrite: used view: {}", h.view);
+                        let mut notes: Vec<String> = Vec::new();
+                        if h.residual_predicates > 0 {
+                            notes.push(format!(
+                                "{} residual predicate{}",
+                                h.residual_predicates,
+                                if h.residual_predicates == 1 { "" } else { "s" }
+                            ));
+                        }
+                        if h.compensating_project {
+                            notes.push("compensating projection".to_string());
+                        }
+                        if notes.is_empty() {
+                            out.push_str(" (exact match)");
+                        } else {
+                            let _ = write!(out, " ({})", notes.join(", "));
+                        }
+                        out.push('\n');
+                        if let Some(key) = &h.view_key {
+                            let _ = writeln!(out, "view key: [{}]", key.join(", "));
+                        }
+                    }
+                    None => {
+                        let _ = writeln!(
+                            out,
+                            "rewrite: no view matched; executing against base tables"
+                        );
+                    }
+                }
+                let _ = writeln!(out, "plan:");
+                let executed = hit.as_ref().map(|h| &h.plan).unwrap_or(plan);
+                push_indented(&mut out, &executed.explain());
+                // Lint the *original* query over the base catalog, plus the
+                // matched view's stored registration-time warnings.
+                let report = analyze(plan, manager.catalog());
+                let mut lints: Vec<String> = report.warnings().map(|d| d.to_string()).collect();
+                if let Some(h) = &hit {
+                    if let Ok(v) = snapshot.manager().view(&h.view) {
+                        for d in v.lint_warnings() {
+                            lints.push(format!("{} (from view {})", d, h.view));
+                        }
+                    }
+                }
+                push_lint(&mut out, lints.into_iter());
+            }
+        }
+        Ok(out)
+    }
+}
+
+fn push_indented(out: &mut String, block: &str) {
+    for line in block.lines() {
+        let _ = writeln!(out, "  {line}");
+    }
+}
+
+fn push_lint(out: &mut String, warnings: impl Iterator<Item = String>) {
+    let _ = writeln!(out, "lint:");
+    let mut any = false;
+    for w in warnings {
+        any = true;
+        let _ = writeln!(out, "  {w}");
+    }
+    if !any {
+        out.push_str("  (clean)\n");
+    }
+}

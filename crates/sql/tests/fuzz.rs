@@ -1,0 +1,88 @@
+//! Negative-path robustness: the frontend must never panic, on any input —
+//! pure byte noise, noise spliced into valid statements, or truncations —
+//! and every rejection must carry a 1-based source span.
+
+use gpivot_sql::{parse_statement, SqlError};
+use proptest::prelude::*;
+
+fn check_no_panic(input: &str) {
+    match parse_statement(input) {
+        Ok(_) => {}
+        Err(SqlError::Parse { span, .. }) => {
+            assert!(span.line >= 1, "span line is 1-based: {span:?}");
+            assert!(span.col >= 1, "span col is 1-based: {span:?}");
+        }
+        Err(SqlError::Plan(_)) => {} // parsed, failed lowering — fine
+        Err(e) => panic!("parser returned a non-frontend error: {e}"),
+    }
+}
+
+const VALID: &str = "EXPLAIN SELECT a, sum(b) AS s FROM t \
+     GPIVOT (v BY k IN (('x'), ('y'))) \
+     JOIN (SELECT * FROM u) r ON l.a = r.a \
+     WHERE a > 0 GROUP BY a";
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 512,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn arbitrary_bytes_never_panic(noise in "[ -~\n⊥'\"]{0,80}") {
+        check_no_panic(&noise);
+    }
+
+    #[test]
+    fn sql_flavoured_noise_never_panics(
+        words in prop::collection::vec(
+            prop_oneof![
+                Just("SELECT"), Just("FROM"), Just("WHERE"), Just("GPIVOT"),
+                Just("GUNPIVOT"), Just("JOIN"), Just("ON"), Just("GROUP"),
+                Just("BY"), Just("IN"), Just("AS"), Just("("), Just(")"),
+                Just(","), Just("*"), Just("'s"), Just("\"q"), Just("--"),
+                Just("1.5e"), Just("x"), Just("="), Just("DATE"), Just("NULL"),
+            ],
+            0..24,
+        )
+    ) {
+        check_no_panic(&words.join(" "));
+    }
+
+    #[test]
+    fn spliced_valid_sql_never_panics(
+        cut in 0usize..VALID.len(),
+        noise in "[ -~\n⊥'\"]{0,12}",
+    ) {
+        // Truncate a valid statement at an arbitrary char boundary and
+        // append noise: stresses every "unexpected end of input" path.
+        let mut boundary = cut;
+        while !VALID.is_char_boundary(boundary) {
+            boundary -= 1;
+        }
+        let mut s = VALID[..boundary].to_string();
+        s.push_str(&noise);
+        check_no_panic(&s);
+    }
+}
+
+#[test]
+fn error_spans_point_at_the_offending_token() {
+    let err = parse_statement("SELECT *\nFROM t WHERE").unwrap_err();
+    let span = err.span().expect("parse errors carry spans");
+    assert_eq!(span.line, 2);
+    assert!(err.to_string().contains("line 2"));
+
+    let err = parse_statement("SELEC * FROM t").unwrap_err();
+    let span = err.span().expect("parse errors carry spans");
+    assert_eq!((span.line, span.col), (1, 1));
+}
+
+#[test]
+fn plan_errors_do_not_pretend_to_have_spans() {
+    // Parses fine, fails lowering: computed item without AS has a span,
+    // but a GROUP BY mismatch is a plan error.
+    let err = parse_statement("SELECT a FROM t GROUP BY b").unwrap_err();
+    assert!(matches!(err, SqlError::Plan(_)), "got: {err}");
+    assert_eq!(err.span(), None);
+}

@@ -1,0 +1,283 @@
+//! The dialect round-trip property: for any plan `p`,
+//! `parse_query(p.to_sql_dialect())` reconstructs `p` *exactly*, which makes
+//! the rendered text a fixed point of parse∘render:
+//! `render(parse(render(p))) == render(p)`.
+//!
+//! Exercised on the three TPC-H pivot views from the paper's experimental
+//! section and on generated plan shapes with hostile identifiers (reserved
+//! words, digits, quotes, `⊥`, pivot-encoded `**` names), extreme numeric
+//! literals, and every join/set-op/pivot operator.
+
+use gpivot_algebra::PivotSpec;
+use gpivot_algebra::{AggSpec, CmpOp, Expr, JoinKind, Plan, UnpivotGroup, UnpivotSpec};
+use gpivot_sql::parse_query;
+use gpivot_storage::value::days_from_date;
+use gpivot_storage::Value;
+use proptest::prelude::*;
+
+fn assert_roundtrip(p: &Plan) {
+    let sql = p.to_sql_dialect();
+    let parsed = parse_query(&sql)
+        .unwrap_or_else(|e| panic!("rendered dialect failed to parse: {e}\n--- sql ---\n{sql}"));
+    assert_eq!(&parsed, p, "parse(render(p)) != p\n--- sql ---\n{sql}");
+    assert_eq!(parsed.to_sql_dialect(), sql, "render not a fixed point");
+}
+
+#[test]
+fn tpch_views_roundtrip() {
+    for p in [
+        gpivot_tpch::view1(),
+        gpivot_tpch::view2(gpivot_tpch::views::VIEW2_THRESHOLD),
+        gpivot_tpch::view3(),
+    ] {
+        assert_roundtrip(&p);
+    }
+}
+
+// ---- generated plans -------------------------------------------------------
+
+/// Identifiers that stress quoting: keywords, digit-leading, embedded
+/// quotes/spaces, the `⊥` glyph, and pivot-encoded names.
+fn arb_ident() -> BoxedStrategy<String> {
+    prop_oneof![
+        proptest::string::string_regex("[a-z_][a-z0-9_]{0,8}").unwrap(),
+        Just("select".to_string()),
+        Just("GROUP".to_string()),
+        Just("left".to_string()),
+        Just("2col".to_string()),
+        Just("we\"ird \"name\"".to_string()),
+        Just("⊥".to_string()),
+        Just("1995**sum_price".to_string()),
+        Just("a b".to_string()),
+    ]
+    .boxed()
+}
+
+fn arb_value() -> BoxedStrategy<Value> {
+    prop_oneof![
+        Just(Value::Null),
+        any::<bool>().prop_map(Value::Bool),
+        prop_oneof![any::<i64>(), Just(i64::MIN), Just(i64::MAX),].prop_map(Value::Int),
+        prop_oneof![
+            (-1_000_000_000i64..1_000_000_000).prop_map(|i| i as f64 / 7.0),
+            Just(0.5f64),
+            Just(-0.0f64),
+            Just(1e300f64),
+        ]
+        .prop_map(Value::Float),
+        proptest::string::string_regex("[ -~⊥]{0,10}")
+            .unwrap()
+            .prop_map(Value::str),
+        ((1970i32..2100), (1u32..13), (1u32..29))
+            .prop_map(|(y, m, d)| Value::Date(days_from_date(y, m, d))),
+    ]
+    .boxed()
+}
+
+fn arb_cmp() -> BoxedStrategy<CmpOp> {
+    prop_oneof![
+        Just(CmpOp::Eq),
+        Just(CmpOp::Ne),
+        Just(CmpOp::Lt),
+        Just(CmpOp::Le),
+        Just(CmpOp::Gt),
+        Just(CmpOp::Ge),
+    ]
+    .boxed()
+}
+
+fn arb_expr(depth: u32) -> BoxedStrategy<Expr> {
+    let leaf = prop_oneof![
+        arb_ident().prop_map(Expr::col),
+        arb_value().prop_map(Expr::Lit),
+    ]
+    .boxed();
+    if depth == 0 {
+        return leaf;
+    }
+    let sub = arb_expr(depth - 1);
+    prop_oneof![
+        leaf.clone(),
+        (arb_cmp(), sub.clone(), sub.clone()).prop_map(|(op, a, b)| Expr::Cmp(
+            op,
+            Box::new(a),
+            Box::new(b)
+        )),
+        (sub.clone(), sub.clone()).prop_map(|(a, b)| a.and(b)),
+        (sub.clone(), sub.clone()).prop_map(|(a, b)| a.or(b)),
+        sub.clone().prop_map(|a| a.not()),
+        sub.clone().prop_map(|a| a.is_null()),
+        (sub.clone(), prop::collection::vec(arb_value(), 1..4))
+            .prop_map(|(a, vs)| Expr::InList(Box::new(a), vs)),
+        (sub.clone(), sub.clone()).prop_map(|(a, b)| a.add(b)),
+        (
+            prop::collection::vec((sub.clone(), sub.clone()), 1..3),
+            sub.clone()
+        )
+            .prop_map(|(branches, o)| Expr::Case {
+                branches,
+                otherwise: Box::new(o),
+            }),
+    ]
+    .boxed()
+}
+
+fn arb_plan(depth: u32) -> BoxedStrategy<Plan> {
+    let leaf = arb_ident().prop_map(Plan::scan).boxed();
+    if depth == 0 {
+        return leaf;
+    }
+    let sub = arb_plan(depth - 1);
+    prop_oneof![
+        leaf,
+        // σ
+        (sub.clone(), arb_expr(2)).prop_map(|(p, e)| p.select(e)),
+        // π — names must be unique within one projection.
+        (
+            sub.clone(),
+            prop::collection::btree_set(arb_ident(), 1..4),
+            prop::collection::vec(arb_expr(1), 3),
+        )
+            .prop_map(|(p, names, exprs)| {
+                p.project(
+                    names
+                        .into_iter()
+                        .zip(exprs)
+                        .map(|(n, e)| (e, n))
+                        .collect::<Vec<_>>(),
+                )
+            }),
+        // join (equi-pairs + optional residual)
+        (
+            sub.clone(),
+            sub.clone(),
+            prop_oneof![
+                Just(JoinKind::Inner),
+                Just(JoinKind::LeftOuter),
+                Just(JoinKind::FullOuter)
+            ],
+            prop::collection::vec((arb_ident(), arb_ident()), 0..3),
+            prop_oneof![Just(None), arb_expr(1).prop_map(Some)],
+        )
+            .prop_map(|(l, r, kind, on, residual)| Plan::Join {
+                left: Box::new(l),
+                right: Box::new(r),
+                kind,
+                on,
+                residual,
+            }),
+        // γ — group cols and agg outputs share a namespace; keep disjoint.
+        (
+            sub.clone(),
+            prop::collection::btree_set(arb_ident(), 0..3),
+            prop::collection::vec(arb_ident(), 1..3),
+        )
+            .prop_map(|(p, groups, inputs)| {
+                let group_by: Vec<String> = groups.into_iter().collect();
+                let aggs: Vec<AggSpec> = inputs
+                    .iter()
+                    .enumerate()
+                    .map(|(i, c)| match i % 3 {
+                        0 => AggSpec::sum(c.clone(), format!("agg{i}")),
+                        1 => AggSpec::count_star(format!("agg{i}")),
+                        _ => AggSpec::min(c.clone(), format!("agg{i}")),
+                    })
+                    .collect();
+                Plan::GroupBy {
+                    input: Box::new(p),
+                    group_by,
+                    aggs,
+                }
+            }),
+        // ∪ / −
+        (sub.clone(), sub.clone()).prop_map(|(l, r)| Plan::Union {
+            left: Box::new(l),
+            right: Box::new(r)
+        }),
+        (sub.clone(), sub.clone()).prop_map(|(l, r)| Plan::Diff {
+            left: Box::new(l),
+            right: Box::new(r)
+        }),
+        // GPIVOT
+        (
+            sub.clone(),
+            prop::collection::vec(arb_ident(), 1..3),
+            prop::collection::vec(arb_ident(), 1..3),
+            prop::collection::vec(prop::collection::vec(arb_value(), 2..3), 1..3),
+        )
+            .prop_map(|(p, by, on, raw_groups)| {
+                let k = by.len();
+                let groups: Vec<Vec<Value>> = raw_groups
+                    .into_iter()
+                    .map(|g| g[..k.min(g.len())].to_vec())
+                    .collect();
+                let groups: Vec<Vec<Value>> = groups
+                    .into_iter()
+                    .map(|mut g| {
+                        while g.len() < k {
+                            g.push(Value::Null);
+                        }
+                        g
+                    })
+                    .collect();
+                p.gpivot(PivotSpec::new(by, on, groups))
+            }),
+        // GUNPIVOT
+        (
+            sub.clone(),
+            prop::collection::vec(arb_ident(), 1..3),
+            prop::collection::vec(arb_ident(), 1..3),
+            prop::collection::vec(
+                (
+                    prop::collection::vec(arb_ident(), 2..3),
+                    prop::collection::vec(arb_value(), 2..3)
+                ),
+                1..3,
+            ),
+        )
+            .prop_map(|(p, value_cols, name_cols, raw)| {
+                let nv = value_cols.len();
+                let nn = name_cols.len();
+                let pad = |mut v: Vec<String>, n: usize| {
+                    v.truncate(n);
+                    while v.len() < n {
+                        v.push(format!("pad{}", v.len()));
+                    }
+                    v
+                };
+                let groups: Vec<UnpivotGroup> = raw
+                    .into_iter()
+                    .map(|(cols, mut tags)| {
+                        tags.truncate(nn);
+                        while tags.len() < nn {
+                            tags.push(Value::Null);
+                        }
+                        UnpivotGroup {
+                            cols: pad(cols, nv),
+                            tags,
+                        }
+                    })
+                    .collect();
+                p.gunpivot(UnpivotSpec::new(groups, name_cols, value_cols))
+            }),
+    ]
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig {
+        cases: 96,
+        ..ProptestConfig::default()
+    })]
+
+    #[test]
+    fn generated_plans_roundtrip(p in arb_plan(3)) {
+        assert_roundtrip(&p);
+    }
+
+    #[test]
+    fn generated_predicates_roundtrip(e in arb_expr(4)) {
+        let p = Plan::scan("t").select(e);
+        assert_roundtrip(&p);
+    }
+}

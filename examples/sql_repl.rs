@@ -1,0 +1,114 @@
+//! An interactive SQL shell over [`GpivotService`]: type statements in the
+//! §7.1 dialect against a small generated TPC-H catalog.
+//!
+//! ```text
+//! cargo run --example sql_repl
+//! ```
+//!
+//! Statements end with `;` and may span lines. Try:
+//!
+//! ```sql
+//! CREATE MATERIALIZED VIEW prices AS
+//!   SELECT * FROM (
+//!     SELECT l_orderkey, l_linenumber, l_extendedprice FROM lineitem
+//!   ) sub GPIVOT (l_extendedprice BY l_linenumber IN ((1), (2), (3)));
+//!
+//! EXPLAIN SELECT * FROM (
+//!   SELECT * FROM (
+//!     SELECT l_orderkey, l_linenumber, l_extendedprice FROM lineitem
+//!   ) sub GPIVOT (l_extendedprice BY l_linenumber IN ((1), (2), (3)))
+//! ) sub WHERE "1**l_extendedprice" > 30000.0;
+//! ```
+//!
+//! Meta-commands: `\views` (registered views), `\metrics` (serve counters,
+//! including `gpivot_sql_rewrites_total`), `\q` to exit.
+
+use gpivot::prelude::*;
+use std::io::{BufRead, Write as _};
+
+const MAX_PRINTED_ROWS: usize = 20;
+
+fn print_rows(table: &Table, used_view: Option<&str>) {
+    let schema = table.schema();
+    let header: Vec<&str> = (0..schema.arity())
+        .map(|i| schema.field_at(i).name.as_str())
+        .collect();
+    println!("{}", header.join(" | "));
+    for (i, row) in table.rows().iter().enumerate() {
+        if i == MAX_PRINTED_ROWS {
+            println!("... ({} rows total)", table.len());
+            break;
+        }
+        let cells: Vec<String> = row.values().iter().map(|v| v.to_string()).collect();
+        println!("{}", cells.join(" | "));
+    }
+    match used_view {
+        Some(v) => println!("({} rows, served from view {v})", table.len()),
+        None => println!("({} rows, from base tables)", table.len()),
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("gpivot sql shell — generating TPC-H (scale 0.02)...");
+    let catalog = gpivot::tpch::generate(&gpivot::tpch::TpchConfig::scale(0.02));
+    let tables: Vec<String> = catalog
+        .table_names()
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    let svc = GpivotService::new(catalog);
+    println!("tables: {}", tables.join(", "));
+    println!("end statements with `;` — \\views, \\metrics, \\q to quit");
+
+    let stdin = std::io::stdin();
+    let mut buf = String::new();
+    loop {
+        print!("{}", if buf.is_empty() { "sql> " } else { "...> " });
+        std::io::stdout().flush()?;
+        let mut line = String::new();
+        if stdin.lock().read_line(&mut line)? == 0 {
+            break; // EOF
+        }
+        let trimmed = line.trim();
+        if buf.is_empty() {
+            match trimmed {
+                "\\q" | "exit" | "quit" => break,
+                "\\views" => {
+                    for name in svc.service().view_names() {
+                        println!("{name}");
+                    }
+                    continue;
+                }
+                "\\metrics" => {
+                    print!("{}", svc.service().metrics().report());
+                    continue;
+                }
+                "" => continue,
+                _ => {}
+            }
+        }
+        buf.push_str(&line);
+        if !buf.trim_end().ends_with(';') {
+            continue; // keep accumulating the statement
+        }
+        let stmt = std::mem::take(&mut buf);
+        match svc.execute_sql(&stmt) {
+            Ok(SqlOutcome::ViewCreated {
+                name,
+                strategy,
+                lint_warnings,
+            }) => {
+                println!("created materialized view {name} (strategy: {strategy})");
+                for w in lint_warnings {
+                    println!("lint: {w}");
+                }
+            }
+            Ok(SqlOutcome::Rows { table, used_view }) => {
+                print_rows(&table, used_view.as_deref());
+            }
+            Ok(SqlOutcome::Explain { text }) => print!("{text}"),
+            Err(e) => println!("error: {e}"),
+        }
+    }
+    Ok(())
+}

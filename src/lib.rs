@@ -64,6 +64,7 @@ pub use gpivot_analyze as analyze;
 pub use gpivot_core as core;
 pub use gpivot_exec as exec;
 pub use gpivot_serve as serve;
+pub use gpivot_sql as sql;
 pub use gpivot_storage as storage;
 pub use gpivot_tpch as tpch;
 pub use tracing;
@@ -82,6 +83,7 @@ pub mod prelude {
     };
     pub use gpivot_exec::{ExecContext, ExecOptions, Executor, WorkerPool};
     pub use gpivot_serve::{ServeConfig, ViewHealth, ViewService};
+    pub use gpivot_sql::{parse_statement, GpivotService, SqlError, SqlOutcome, Statement};
     pub use gpivot_storage::{
         row, Catalog, DataType, Delta, FaultInjector, FaultSite, Row, Schema, Table, Value,
     };

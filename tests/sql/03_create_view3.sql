@@ -1,0 +1,24 @@
+CREATE MATERIALIZED VIEW v3 AS
+SELECT *
+FROM (
+  SELECT c_custkey, c_nationkey, o_year, sum(l_extendedprice) AS sum_price, count(*) AS cnt
+  FROM (
+    SELECT *
+    FROM (
+      SELECT *
+      FROM (
+        SELECT * FROM lineitem
+      ) l
+      JOIN (
+        SELECT * FROM orders
+      ) r
+        ON l.l_orderkey = r.o_orderkey
+    ) l
+    JOIN (
+      SELECT * FROM customer
+    ) r
+      ON l.o_custkey = r.c_custkey
+  ) sub
+  GROUP BY c_custkey, c_nationkey, o_year
+) sub
+GPIVOT (sum_price, cnt BY o_year IN ((1994), (1995), (1996), (1997), (1998)))

@@ -1,0 +1,1 @@
+EXPLAIN SELECT o_orderkey, o_totalprice FROM orders WHERE o_totalprice > 100000.0

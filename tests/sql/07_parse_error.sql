@@ -1,0 +1,3 @@
+SELECT *
+FROM lineitem
+GPIVOT (l_extendedprice BY l_linenumber IN ((1, 2), (3)))

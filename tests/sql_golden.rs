@@ -1,0 +1,128 @@
+//! Golden-file tests for the SQL frontend: each `tests/sql/NN_*.sql` file
+//! holds one statement; the harness runs it through one shared
+//! [`GpivotService`] (statements execute in filename order, so later files
+//! see views created by earlier ones) and captures a data-independent
+//! transcript — the parsed plan, its dialect rendering, EXPLAIN text, view
+//! registrations, and parse errors with spans — which must match the
+//! committed `NN_*.expected` file byte-for-byte.
+//!
+//! Regenerate after an intentional change with:
+//!
+//! ```sh
+//! GPIVOT_UPDATE_GOLDENS=1 cargo test --test sql_golden
+//! ```
+
+use gpivot::prelude::*;
+use gpivot::sql::parse_statement;
+use std::fmt::Write as _;
+use std::path::Path;
+
+fn transcript(svc: &GpivotService, sql: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "-- statement --");
+    let _ = writeln!(out, "{}", sql.trim_end());
+    match parse_statement(sql) {
+        Err(e) => {
+            let _ = writeln!(out, "-- error --");
+            let _ = writeln!(out, "{e}");
+            return out;
+        }
+        Ok(stmt) => {
+            let plan = match &stmt {
+                Statement::Select(p) => Some(p.clone()),
+                Statement::CreateView { definition, .. } => Some(definition.clone()),
+                Statement::Explain(_) => None,
+            };
+            if let Some(p) = plan {
+                let _ = writeln!(out, "-- plan --");
+                let _ = write!(out, "{}", p.explain());
+                let _ = writeln!(out, "-- rendered --");
+                let _ = writeln!(out, "{}", p.to_sql_dialect());
+            }
+        }
+    }
+    match svc.execute_sql(sql) {
+        Ok(SqlOutcome::ViewCreated {
+            name,
+            strategy,
+            lint_warnings,
+        }) => {
+            let _ = writeln!(out, "-- result --");
+            let _ = writeln!(out, "created view {name} (strategy: {strategy})");
+            for w in lint_warnings {
+                let _ = writeln!(out, "lint: {w}");
+            }
+        }
+        Ok(SqlOutcome::Rows { table, used_view }) => {
+            let _ = writeln!(out, "-- result --");
+            // Row *data* is scale-dependent; capture only the shape and
+            // which view (if any) answered the query.
+            let schema = table.schema();
+            let cols: Vec<&str> = (0..schema.arity())
+                .map(|i| schema.field_at(i).name.as_str())
+                .collect();
+            let _ = writeln!(out, "columns: [{}]", cols.join(", "));
+            match used_view {
+                Some(v) => {
+                    let _ = writeln!(out, "used view: {v}");
+                }
+                None => {
+                    let _ = writeln!(out, "used view: (none; base tables)");
+                }
+            }
+        }
+        Ok(SqlOutcome::Explain { text }) => {
+            let _ = writeln!(out, "-- explain --");
+            let _ = write!(out, "{text}");
+        }
+        Err(e) => {
+            let _ = writeln!(out, "-- error --");
+            let _ = writeln!(out, "{e}");
+        }
+    }
+    out
+}
+
+#[test]
+fn sql_goldens() {
+    let dir = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/sql");
+    let update = std::env::var_os("GPIVOT_UPDATE_GOLDENS").is_some();
+    let mut cases: Vec<_> = std::fs::read_dir(&dir)
+        .expect("tests/sql exists")
+        .map(|e| e.expect("readable dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "sql"))
+        .collect();
+    cases.sort();
+    assert!(!cases.is_empty(), "no golden cases in {}", dir.display());
+
+    let catalog = gpivot::tpch::generate(&gpivot::tpch::TpchConfig::scale(0.01));
+    let svc = GpivotService::new(catalog);
+
+    let mut failures = Vec::new();
+    for case in &cases {
+        let sql = std::fs::read_to_string(case).expect("golden .sql reads");
+        let got = transcript(&svc, &sql);
+        let expected_path = case.with_extension("expected");
+        if update {
+            std::fs::write(&expected_path, &got).expect("write golden");
+            continue;
+        }
+        let want = std::fs::read_to_string(&expected_path).unwrap_or_else(|_| {
+            panic!(
+                "missing {} — run GPIVOT_UPDATE_GOLDENS=1 cargo test --test sql_golden",
+                expected_path.display()
+            )
+        });
+        if got != want {
+            failures.push(format!(
+                "{}:\n--- expected ---\n{want}\n--- got ---\n{got}",
+                case.file_name().unwrap_or_default().to_string_lossy()
+            ));
+        }
+    }
+    assert!(
+        failures.is_empty(),
+        "golden mismatches:\n{}",
+        failures.join("\n")
+    );
+}
