@@ -12,13 +12,17 @@
 //! (`sql_serve`) times the SQL frontend: parsing each paper view's dialect
 //! text, answering the query from the matching materialized view via the
 //! rewriter, and the fallback of executing the same plan against the base
-//! tables (the rewrite-miss path).
+//! tables (the rewrite-miss path). A fourth section (`recovery`) profiles
+//! the durability layer: checkpoint write time, restore-from-checkpoint
+//! time, write-ahead-log tail replay time, and end-to-end cold-recovery
+//! time for a durable service holding the three views plus several
+//! committed epochs.
 //!
 //! ```text
 //! profile [--smoke] [--out PATH] [--scale SF] [--repeats N] [--threads N]
 //!
 //!   --smoke    tiny data + few repeats (CI gate: seconds, not minutes)
-//!   --out      output path (default BENCH_pr6.json)
+//!   --out      output path (default BENCH_pr7.json)
 //!   --scale    override the generator scale factor
 //!   --repeats  override timed runs per cell (median reported)
 //!   --threads  worker threads for the parallel comparison (default 4)
@@ -74,7 +78,7 @@ const PHASES: [&str; 4] = [
 
 fn main() {
     let mut smoke = false;
-    let mut out_path = String::from("BENCH_pr6.json");
+    let mut out_path = String::from("BENCH_pr7.json");
     let mut scale: Option<f64> = None;
     let mut repeats: Option<usize> = None;
     let mut threads = 4usize;
@@ -285,6 +289,14 @@ fn main() {
         );
     }
 
+    // Durability: checkpoint write, restore-from-checkpoint, log-tail
+    // replay, and cold recovery over a durable service holding the three
+    // views plus several committed epochs. `restore_ms` opens a directory
+    // whose log tail is empty (checkpoint only); `cold_recovery_ms` opens
+    // one with `tail_epochs` un-checkpointed epochs in the log, so the
+    // difference is the replay cost.
+    let recovery = profile_recovery(&catalog, smoke, repeats, fraction);
+
     // The parallel numbers only mean something relative to the host: on a
     // single-core machine extra threads are pure overhead and the speedup
     // degenerates to ≤1.0.
@@ -292,11 +304,12 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(1);
     let doc = format!(
-        "{{\n  \"bench\": \"pr6_profile\",\n  \"mode\": \"{}\",\n  \"scale\": {scale},\n  \
+        "{{\n  \"bench\": \"pr7_profile\",\n  \"mode\": \"{}\",\n  \"scale\": {scale},\n  \
          \"fraction\": {fraction},\n  \"repeats\": {repeats},\n  \"host_cpus\": {host_cpus},\n  \
          \"results\": [\n{results}\n  ],\n  \
          \"parallel\": [\n{parallel}\n  ],\n  \
-         \"sql_serve\": [\n{sql_serve}\n  ]\n}}\n",
+         \"sql_serve\": [\n{sql_serve}\n  ],\n  \
+         \"recovery\": {recovery}\n}}\n",
         if smoke { "smoke" } else { "full" },
     );
     std::fs::write(&out_path, &doc).unwrap_or_else(|e| die(&format!("write {out_path}: {e}")));
@@ -369,6 +382,109 @@ fn run_parallel_cell(
     }
     times.sort();
     times[times.len() / 2]
+}
+
+/// Profile the durability layer and return the `"recovery"` JSON object.
+///
+/// Builds a durable service in a temp directory, registers the three paper
+/// views, commits a few insert epochs, and times: checkpoint writes on the
+/// warmed state, reopening a directory with an empty log tail (pure
+/// checkpoint restore), and reopening one whose tail holds `tail_epochs`
+/// un-checkpointed epochs (cold recovery = restore + replay). Each epoch's
+/// delta is generated against a shadow catalog that has absorbed the
+/// previous ones, so the deltas stay valid as the base tables advance.
+fn profile_recovery(catalog: &Catalog, smoke: bool, repeats: usize, fraction: f64) -> String {
+    use gpivot_serve::{ServeConfig, ViewService};
+    let parse = |sql: &str| parse_query(sql).map_err(|e| e.to_string());
+    let cfg = ServeConfig::default();
+    let base = std::env::temp_dir().join(format!("gpivot-profile-recovery-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&base);
+    let cold_dir = base.join("cold");
+    let restore_dir = base.join("restore");
+
+    let (pre_epochs, tail_epochs) = if smoke { (1u64, 2u64) } else { (2, 4) };
+    eprintln!("recovery profile ({pre_epochs} checkpointed + {tail_epochs} tail epochs) ...");
+    let (svc, _) = ViewService::open(&cold_dir, catalog.clone(), cfg.clone(), &parse)
+        .unwrap_or_else(|e| die(&format!("recovery bootstrap: {e}")));
+    for family in &FAMILIES {
+        svc.register_view(family.name, (family.plan)())
+            .unwrap_or_else(|e| die(&format!("recovery register {}: {e}", family.name)));
+    }
+    let mut shadow = catalog.clone();
+    let mut commit_epoch = |seed: u64| {
+        let deltas = Workload::InsertNew.deltas(&shadow, fraction, seed);
+        for table in deltas.tables().map(str::to_string).collect::<Vec<_>>() {
+            let delta = deltas.delta(&table).cloned().unwrap_or_default();
+            shadow
+                .apply_delta(&table, &delta)
+                .unwrap_or_else(|e| die(&format!("recovery shadow apply: {e}")));
+            svc.ingest(&table, delta)
+                .unwrap_or_else(|e| die(&format!("recovery ingest: {e}")));
+        }
+        svc.refresh_epoch()
+            .unwrap_or_else(|e| die(&format!("recovery refresh: {e}")));
+    };
+    for i in 0..pre_epochs {
+        commit_epoch(0xD00D + i);
+    }
+    // Checkpoint writes on the warmed state; each call rotates the log, so
+    // the tail epochs below land after the final checkpoint.
+    let mut ckpt_bytes = 0u64;
+    let ckpt_med = median(repeats, || {
+        let t0 = Instant::now();
+        ckpt_bytes = svc
+            .checkpoint()
+            .unwrap_or_else(|e| die(&format!("recovery checkpoint: {e}")));
+        t0.elapsed()
+    });
+    for i in 0..tail_epochs {
+        commit_epoch(0xFEED + i);
+    }
+    // An equivalent directory with no log tail: restore cost alone.
+    svc.save_to(&restore_dir)
+        .unwrap_or_else(|e| die(&format!("recovery save_to: {e}")));
+    drop(svc);
+
+    let open_med = |dir: &std::path::Path| {
+        median(repeats, || {
+            let t0 = Instant::now();
+            let (s, _) = ViewService::open(dir, catalog.clone(), cfg.clone(), &parse)
+                .unwrap_or_else(|e| die(&format!("recovery reopen {}: {e}", dir.display())));
+            let took = t0.elapsed();
+            drop(s);
+            took
+        })
+    };
+    let restore = open_med(&restore_dir);
+    let cold = open_med(&cold_dir);
+    let (_svc, report) = ViewService::open(&cold_dir, catalog.clone(), cfg, &parse)
+        .unwrap_or_else(|e| die(&format!("recovery report open: {e}")));
+    let replay = cold.saturating_sub(restore);
+    eprintln!(
+        "  checkpoint {:.3}ms ({ckpt_bytes} bytes); restore {:.3}ms vs cold {:.3}ms \
+         (replay ~{:.3}ms over {} records / {} epochs)",
+        ms(ckpt_med),
+        ms(restore),
+        ms(cold),
+        ms(replay),
+        report.replayed_records,
+        report.replayed_epochs,
+    );
+    let _ = std::fs::remove_dir_all(&base);
+    format!(
+        "{{\n    \"views\": {},\n    \"checkpointed_epochs\": {pre_epochs},\n    \
+         \"tail_epochs\": {tail_epochs},\n    \"checkpoint_write_ms\": {:.4},\n    \
+         \"checkpoint_bytes\": {ckpt_bytes},\n    \"restore_ms\": {:.4},\n    \
+         \"log_replay_ms\": {:.4},\n    \"cold_recovery_ms\": {:.4},\n    \
+         \"replayed_records\": {},\n    \"replayed_epochs\": {}\n  }}",
+        FAMILIES.len(),
+        ms(ckpt_med),
+        ms(restore),
+        ms(replay),
+        ms(cold),
+        report.replayed_records,
+        report.replayed_epochs,
+    )
 }
 
 /// The `"phases"` JSON object body: one entry per maintenance phase with

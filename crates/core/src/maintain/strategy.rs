@@ -60,6 +60,12 @@ impl Strategy {
             Strategy::GroupPivotUpdate => "group-pivot-update",
         }
     }
+
+    /// Inverse of [`Strategy::id`]. The durability layer persists strategies
+    /// by id in WAL records and checkpoints; recovery parses them back.
+    pub fn from_id(id: &str) -> Option<Strategy> {
+        Strategy::ALL.into_iter().find(|s| s.id() == id)
+    }
 }
 
 impl fmt::Display for Strategy {

@@ -229,6 +229,51 @@ impl MaterializedView {
         })
     }
 
+    /// Rebuild a view from a persisted snapshot *without* recomputing it.
+    ///
+    /// Compiles the definition exactly like [`MaterializedView::create_with`]
+    /// but installs `snapshot` as the materialized table when its schema
+    /// matches the compiled plan's output schema (re-keying it in place if
+    /// the schema declares a key). On any mismatch — e.g. the snapshot was
+    /// written by an older build whose normalization differs — it falls back
+    /// to a full materialization. Returns the view plus `true` iff the
+    /// snapshot was used as-is.
+    pub fn from_snapshot(
+        name: impl Into<String>,
+        definition: Plan,
+        strategy: Strategy,
+        snapshot: Table,
+        catalog: &Catalog,
+        exec: &Executor,
+    ) -> Result<(Self, bool)> {
+        let name = name.into();
+        let _compile = tracing::span("compile.view").enter();
+        let (normalized, group_info) = Self::compile(&definition, strategy, catalog)?;
+        let expected = normalized.plan.schema(catalog)?;
+        let (table, used_snapshot) = if **snapshot.schema() == *expected {
+            let table = if expected.has_key() {
+                snapshot.into_keyed(expected)?
+            } else {
+                snapshot
+            };
+            (table, true)
+        } else {
+            (materialize(&normalized.plan, catalog, exec)?, false)
+        };
+        Ok((
+            MaterializedView {
+                name,
+                definition,
+                strategy,
+                normalized,
+                group_info,
+                table,
+                lint_warnings: Vec::new(),
+            },
+            used_snapshot,
+        ))
+    }
+
     /// The normalize + shape-check half of [`MaterializedView::create`]:
     /// produce the maintenance form for `strategy`, or explain why the
     /// strategy does not apply.

@@ -50,10 +50,13 @@
 // acquisition goes through `sync`'s poison-recovering helpers.
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
+mod durable;
 mod metrics;
 mod queue;
 mod service;
 mod sync;
 
+pub use durable::{PlanParser, RecoveryReport};
+pub use gpivot_storage::FsyncPolicy;
 pub use metrics::{EpochSummary, MetricsSnapshot, ViewHealth, ViewMetrics};
 pub use service::{ServeConfig, Snapshot, ViewService};

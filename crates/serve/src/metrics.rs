@@ -117,6 +117,32 @@ pub struct MetricsSnapshot {
     pub sql_rewrite_hits: u64,
     /// SQL `SELECT`s that fell back to base-table execution.
     pub sql_rewrite_misses: u64,
+    /// WAL records appended (0 unless the service was opened durably).
+    pub wal_records: u64,
+    /// WAL bytes written, framing included.
+    pub wal_bytes: u64,
+    /// `fsync` calls issued by the WAL (policy-dependent).
+    pub wal_fsyncs: u64,
+    /// Checkpoints written (manual + automatic).
+    pub checkpoints: u64,
+    /// Size in bytes of the most recent checkpoint file.
+    pub last_checkpoint_bytes: u64,
+    /// Crash recoveries performed to open this service (0 for a fresh
+    /// directory or a non-durable service, 1 after `ViewService::open`
+    /// found prior state).
+    pub recoveries: u64,
+    /// WAL records replayed during recovery.
+    pub recovery_replayed_records: u64,
+    /// Committed epochs re-applied during recovery.
+    pub recovery_replayed_epochs: u64,
+    /// Torn WAL tails truncated during recovery.
+    pub recovery_torn_tails: u64,
+    /// Corrupt checkpoint files skipped during recovery (an older valid
+    /// checkpoint was used instead).
+    pub recovery_corrupt_checkpoints: u64,
+    /// Quarantined views re-admitted by replaying missed epochs from the
+    /// log (`retry_view` fast path) instead of a full recompute.
+    pub view_replays: u64,
     /// Coalesced row changes currently waiting in the queue.
     pub pending_rows: u64,
     /// Estimated bytes held by the pending queue.
@@ -214,6 +240,30 @@ impl MetricsSnapshot {
                 out,
                 "  faults: {} ingest rejects, {} panics isolated",
                 self.ingest_rejects, self.panics_isolated,
+            );
+        }
+        if self.wal_records > 0 || self.checkpoints > 0 {
+            let _ = writeln!(
+                out,
+                "  wal: {} records / {} bytes / {} fsyncs; {} checkpoints (last {} bytes)",
+                self.wal_records,
+                self.wal_bytes,
+                self.wal_fsyncs,
+                self.checkpoints,
+                self.last_checkpoint_bytes,
+            );
+        }
+        if self.recoveries > 0 || self.view_replays > 0 {
+            let _ = writeln!(
+                out,
+                "  recovery: {} runs, {} records / {} epochs replayed, \
+                 {} torn tails truncated, {} corrupt checkpoints skipped, {} view replays",
+                self.recoveries,
+                self.recovery_replayed_records,
+                self.recovery_replayed_epochs,
+                self.recovery_torn_tails,
+                self.recovery_corrupt_checkpoints,
+                self.view_replays,
             );
         }
         for (name, v) in &self.per_view {
@@ -389,6 +439,72 @@ impl MetricsSnapshot {
             "gpivot_sql_rewrites_total{{outcome=\"miss\"}} {}",
             self.sql_rewrite_misses
         );
+        counter(
+            &mut out,
+            "gpivot_wal_records_total",
+            "WAL records appended",
+            self.wal_records,
+        );
+        counter(
+            &mut out,
+            "gpivot_wal_bytes_total",
+            "WAL bytes written, framing included",
+            self.wal_bytes,
+        );
+        counter(
+            &mut out,
+            "gpivot_wal_fsyncs_total",
+            "fsync calls issued by the WAL",
+            self.wal_fsyncs,
+        );
+        counter(
+            &mut out,
+            "gpivot_checkpoints_total",
+            "Checkpoints written (manual + automatic)",
+            self.checkpoints,
+        );
+        gauge(
+            &mut out,
+            "gpivot_last_checkpoint_bytes",
+            "Size of the most recent checkpoint file",
+            self.last_checkpoint_bytes,
+        );
+        counter(
+            &mut out,
+            "gpivot_recovery_runs_total",
+            "Crash recoveries performed at open",
+            self.recoveries,
+        );
+        counter(
+            &mut out,
+            "gpivot_recovery_replayed_records_total",
+            "WAL records replayed during recovery",
+            self.recovery_replayed_records,
+        );
+        counter(
+            &mut out,
+            "gpivot_recovery_replayed_epochs_total",
+            "Committed epochs re-applied during recovery",
+            self.recovery_replayed_epochs,
+        );
+        counter(
+            &mut out,
+            "gpivot_recovery_torn_tails_total",
+            "Torn WAL tails truncated during recovery",
+            self.recovery_torn_tails,
+        );
+        counter(
+            &mut out,
+            "gpivot_recovery_corrupt_checkpoints_total",
+            "Corrupt checkpoint files skipped during recovery",
+            self.recovery_corrupt_checkpoints,
+        );
+        counter(
+            &mut out,
+            "gpivot_view_replays_total",
+            "Quarantined views re-admitted by log replay",
+            self.view_replays,
+        );
         gauge(
             &mut out,
             "gpivot_pending_rows",
@@ -553,6 +669,42 @@ mod tests {
         assert!(text.contains("gpivot_sql_registrations_total 3"));
         assert!(text.contains("gpivot_sql_rewrites_total{outcome=\"hit\"} 5"));
         assert!(text.contains("gpivot_sql_rewrites_total{outcome=\"miss\"} 2"));
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (_, value) = line.rsplit_once(' ').expect("metric line has a value");
+            value.parse::<f64>().expect("metric value parses as f64");
+        }
+    }
+
+    #[test]
+    fn durability_counters_appear_in_report_and_prometheus() {
+        let mut m = MetricsSnapshot::default();
+        // Silent in a non-durable service.
+        assert!(!m.report().contains("wal:"));
+        assert!(!m.report().contains("recovery:"));
+        m.wal_records = 12;
+        m.wal_bytes = 4096;
+        m.wal_fsyncs = 4;
+        m.checkpoints = 2;
+        m.last_checkpoint_bytes = 512;
+        m.recoveries = 1;
+        m.recovery_replayed_records = 9;
+        m.recovery_replayed_epochs = 3;
+        m.recovery_torn_tails = 1;
+        m.recovery_corrupt_checkpoints = 1;
+        m.view_replays = 1;
+        let r = m.report();
+        assert!(
+            r.contains("wal: 12 records / 4096 bytes / 4 fsyncs; 2 checkpoints (last 512 bytes)")
+        );
+        assert!(r.contains("recovery: 1 runs, 9 records / 3 epochs replayed"));
+        let text = m.prometheus();
+        assert!(text.contains("gpivot_wal_records_total 12"));
+        assert!(text.contains("gpivot_wal_fsyncs_total 4"));
+        assert!(text.contains("gpivot_checkpoints_total 2"));
+        assert!(text.contains("gpivot_last_checkpoint_bytes 512"));
+        assert!(text.contains("gpivot_recovery_runs_total 1"));
+        assert!(text.contains("gpivot_recovery_replayed_epochs_total 3"));
+        assert!(text.contains("gpivot_view_replays_total 1"));
         for line in text.lines().filter(|l| !l.starts_with('#')) {
             let (_, value) = line.rsplit_once(' ').expect("metric line has a value");
             value.parse::<f64>().expect("metric value parses as f64");

@@ -49,6 +49,15 @@ impl IngestQueue {
     /// counted exactly once no matter how many times an epoch rolls back,
     /// or the `rows_ingested − rows_drained_raw = pending` reconciliation
     /// in [`crate::MetricsSnapshot`] drifts.
+    ///
+    /// This holds even for a *partial* drain history: producers may keep
+    /// ingesting between the drain and the restore (the queue lock is not
+    /// held across an epoch), so at every point
+    /// `raw_rows == Σ ingested − Σ drained + Σ restored` counts each
+    /// producer row exactly once, and `pending_rows ≤ raw_rows` — the
+    /// coalesced watermark can only shrink submissions, never invent them.
+    /// Both invariants are debug-asserted here and checked exhaustively by
+    /// the `proptest` interleaving test below.
     pub fn restore(&mut self, batch: &gpivot_core::SourceDeltas, stats: DrainStats) {
         let tables: Vec<String> = batch.tables().map(String::from).collect();
         for t in tables {
@@ -58,6 +67,18 @@ impl IngestQueue {
         }
         self.raw_rows += stats.raw_rows;
         self.batches += stats.batches;
+        debug_assert!(
+            stats.coalesced_rows <= stats.raw_rows,
+            "drain stats corrupt: coalesced {} > raw {}",
+            stats.coalesced_rows,
+            stats.raw_rows
+        );
+        debug_assert!(
+            self.pending_rows <= self.raw_rows,
+            "restore broke the watermark invariant: pending {} > raw {}",
+            self.pending_rows,
+            self.raw_rows
+        );
     }
 
     /// Signed-multiset merge with incremental `pending_rows` accounting.
@@ -96,6 +117,44 @@ impl IngestQueue {
     /// Estimated bytes held by pending deltas (observability only).
     pub fn estimate_bytes(&self) -> usize {
         self.pending.values().map(Delta::estimate_bytes).sum()
+    }
+
+    /// Clone the pending per-table deltas, in table-name order, skipping
+    /// fully-cancelled tables. This is what a checkpoint persists.
+    pub fn snapshot_pending(&self) -> Vec<(String, Delta)> {
+        let mut out: Vec<(String, Delta)> = self
+            .pending
+            .iter()
+            .filter(|(_, d)| !d.is_empty())
+            .map(|(t, d)| (t.clone(), d.clone()))
+            .collect();
+        out.sort_by(|a, b| a.0.cmp(&b.0));
+        out
+    }
+
+    /// The lifetime watermarks `(raw_rows, batches)`: producer row changes
+    /// and batches submitted but not yet drained into a committed epoch.
+    pub fn watermarks(&self) -> (u64, u64) {
+        (self.raw_rows, self.batches)
+    }
+
+    /// Rebuild the queue from recovered state (checkpoint + WAL replay).
+    /// Replaces everything; `raw_rows`/`batches` are the recovered
+    /// watermarks, which must dominate the coalesced pending size.
+    pub fn restore_state(&mut self, pending: Vec<(String, Delta)>, raw_rows: u64, batches: u64) {
+        self.pending.clear();
+        self.pending_rows = 0;
+        for (table, delta) in pending {
+            self.merge(&table, delta);
+        }
+        self.raw_rows = raw_rows;
+        self.batches = batches;
+        debug_assert!(
+            self.pending_rows <= self.raw_rows,
+            "recovered state inconsistent: pending {} > raw {}",
+            self.pending_rows,
+            self.raw_rows
+        );
     }
 
     /// Move everything out as one refresh batch, resetting the counters.
@@ -216,5 +275,138 @@ mod tests {
         let (batch, _) = q.drain();
         assert_eq!(batch.delta("a").unwrap().multiplicity(&row![1]), 1);
         assert_eq!(batch.delta("b").unwrap().multiplicity(&row![1]), -1);
+    }
+
+    #[test]
+    fn snapshot_and_restore_state_round_trip() {
+        let mut q = IngestQueue::new();
+        q.ingest("a", Delta::from_inserts(vec![row![1], row![2]]));
+        q.ingest("b", Delta::from_deletes(vec![row![5]]));
+        q.ingest("a", Delta::from_deletes(vec![row![2]])); // cancels
+        let snap = q.snapshot_pending();
+        let (raw, batches) = q.watermarks();
+        assert_eq!((raw, batches), (4, 3));
+        // Sorted by table, cancelled rows dropped.
+        assert_eq!(snap.len(), 2);
+        assert_eq!(snap[0].0, "a");
+        assert_eq!(snap[0].1.multiplicity(&row![1]), 1);
+        assert_eq!(snap[0].1.multiplicity(&row![2]), 0);
+        assert_eq!(snap[1].1.multiplicity(&row![5]), -1);
+
+        let mut q2 = IngestQueue::new();
+        q2.restore_state(snap, raw, batches);
+        assert_eq!(q2.pending_rows(), q.pending_rows());
+        assert_eq!(q2.watermarks(), q.watermarks());
+        assert_eq!(q2.estimate_bytes(), q.estimate_bytes());
+    }
+
+    mod conservation {
+        //! Satellite of PR 7: exhaustive check that interleaved
+        //! ingest/drain/restore sequences keep the service-level
+        //! reconciliation `rows_ingested − rows_drained(net) = pending raw`
+        //! exact, and the incremental coalesced accounting equal to a
+        //! from-scratch recount.
+        use super::*;
+        use gpivot_core::SourceDeltas;
+        use gpivot_storage::Row;
+        use proptest::prelude::*;
+        use std::collections::HashMap;
+
+        #[derive(Debug, Clone)]
+        enum Op {
+            /// Ingest into table index 0/1 a batch of (value, sign) rows.
+            Ingest(u8, Vec<(u8, u8)>),
+            Drain,
+            /// Restore the n-th (mod len) outstanding drained batch.
+            Restore(u8),
+        }
+
+        fn arb_op() -> impl Strategy<Value = Op> {
+            prop_oneof![
+                (0..2u8, prop::collection::vec((0..4u8, 0..2u8), 0..6))
+                    .prop_map(|(t, rows)| Op::Ingest(t, rows)),
+                Just(Op::Drain),
+                (0..8u8).prop_map(Op::Restore),
+            ]
+        }
+
+        fn table_name(i: u8) -> &'static str {
+            if i == 0 {
+                "a"
+            } else {
+                "b"
+            }
+        }
+
+        /// Recount the coalesced pending size from a reference multiset.
+        fn recount(model: &HashMap<(String, Row), i64>) -> u64 {
+            model.values().map(|m| m.unsigned_abs()).sum()
+        }
+
+        /// An outstanding drain: (batch, stats, model at drain time).
+        type Drained = (SourceDeltas, DrainStats, HashMap<(String, Row), i64>);
+
+        proptest! {
+            #[test]
+            fn interleaved_drain_restore_conserves_rows(
+                ops in prop::collection::vec(arb_op(), 1..40)
+            ) {
+                let mut q = IngestQueue::new();
+                // Reference multiset maintained naively.
+                let mut model: HashMap<(String, Row), i64> = HashMap::new();
+                let mut outstanding: Vec<Drained> = Vec::new();
+                let mut submitted: u64 = 0; // all producer rows ever ingested
+                let mut drained_net: i64 = 0; // drains minus restores, raw rows
+
+                for op in ops {
+                    match op {
+                        Op::Ingest(t, rows) => {
+                            let table = table_name(t);
+                            let mut delta = Delta::new();
+                            for (v, sign) in rows {
+                                let w = if sign == 0 { 1 } else { -1 };
+                                delta.add(row![i64::from(v)], w);
+                                *model.entry((table.to_string(), row![i64::from(v)])).or_default() += w;
+                            }
+                            submitted += delta.total_multiplicity();
+                            q.ingest(table, delta);
+                        }
+                        Op::Drain => {
+                            let (batch, stats) = q.drain();
+                            drained_net += stats.raw_rows as i64;
+                            // Drained batch content must match the model's
+                            // nonzero entries.
+                            for ((table, r), m) in &model {
+                                let got = batch.delta(table).map_or(0, |d| d.multiplicity(r));
+                                prop_assert_eq!(got, *m, "drain mismatch for {}/{:?}", table, r);
+                            }
+                            outstanding.push((batch, stats, std::mem::take(&mut model)));
+                        }
+                        Op::Restore(n) => {
+                            if outstanding.is_empty() {
+                                continue;
+                            }
+                            let idx = usize::from(n) % outstanding.len();
+                            let (batch, stats, drained_model) = outstanding.remove(idx);
+                            drained_net -= stats.raw_rows as i64;
+                            for (k, m) in drained_model {
+                                *model.entry(k).or_default() += m;
+                            }
+                            q.restore(&batch, stats);
+                        }
+                    }
+                    // Conservation: every producer row is counted exactly
+                    // once, no matter how drains and restores interleave.
+                    prop_assert_eq!(
+                        i64::try_from(q.watermarks().0).unwrap(),
+                        i64::try_from(submitted).unwrap() - drained_net
+                    );
+                    // Incremental coalesced accounting == full recount.
+                    prop_assert_eq!(q.pending_rows(), recount(&model));
+                    // The coalesced watermark never exceeds raw submissions.
+                    prop_assert!(q.pending_rows() <= q.watermarks().0);
+                }
+            }
+        }
     }
 }

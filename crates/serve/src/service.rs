@@ -1,6 +1,7 @@
 //! The view-maintenance service: registry, ingestion, epoch scheduler,
 //! and the fault-tolerance machinery (retry, quarantine, atomic epochs).
 
+use crate::durable::{self, Durability, PlanParser, RecoveryReport};
 use crate::metrics::{EpochSummary, MetricsSnapshot, ViewHealth, ViewMetrics};
 use crate::queue::IngestQueue;
 use crate::sync;
@@ -9,9 +10,12 @@ use gpivot_core::{
     CoreError, MaintenanceOutcome, MaterializedView, Result, Strategy, ViewManager, ViewOptions,
 };
 use gpivot_exec::Executor;
-use gpivot_storage::{Catalog, Delta, Table};
+use gpivot_storage::checkpoint::{self, CheckpointData, ViewSnapshot};
+use gpivot_storage::wal::{Wal, WalRecord};
+use gpivot_storage::{Catalog, Delta, FaultInjector, FsyncPolicy, StorageError, Table};
 use std::collections::BTreeSet;
 use std::panic::AssertUnwindSafe;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock, RwLockReadGuard};
 use std::time::{Duration, Instant};
@@ -64,6 +68,16 @@ pub struct ServeConfig {
     /// `GPIVOT_EXEC_THREADS` environment variable, else `1` (see
     /// [`gpivot_exec::ExecOptions`]).
     pub exec_threads: usize,
+    /// When the WAL fsyncs, for services opened durably with
+    /// [`ViewService::open`]. Ignored by [`ViewService::new`] (no log).
+    /// The default, [`FsyncPolicy::OnCommit`], makes every acknowledged
+    /// epoch commit (and registry change) durable; individual ingests
+    /// inside a never-committed epoch ride on the page cache.
+    pub wal_fsync: FsyncPolicy,
+    /// Automatically checkpoint (and rotate + truncate the log) after
+    /// every N committed epochs. `0` (the default) means manual only —
+    /// call [`ViewService::checkpoint`]. Ignored by non-durable services.
+    pub checkpoint_every_epochs: u64,
 }
 
 impl Default for ServeConfig {
@@ -78,6 +92,8 @@ impl Default for ServeConfig {
             retry_backoff_cap: Duration::from_millis(100),
             quarantine_after: 3,
             exec_threads: gpivot_exec::ExecOptions::default().threads,
+            wal_fsync: FsyncPolicy::default(),
+            checkpoint_every_epochs: 0,
         }
     }
 }
@@ -109,6 +125,10 @@ struct Shared {
     /// refresh workers, registry calls) — never globally, so concurrent
     /// services and parallel tests stay isolated.
     tracer: Arc<tracing::TimingSubscriber>,
+    /// Present iff the service was opened durably ([`ViewService::open`]):
+    /// the WAL handle + checkpoint machinery. Lock order: the WAL mutex
+    /// inside sits between the queue mutex and the metrics mutex.
+    durability: Option<Durability>,
 }
 
 /// A long-lived, thread-safe view-maintenance service. Cheap to clone —
@@ -135,18 +155,118 @@ impl ViewService {
     /// the copy the service owns.
     pub fn new(catalog: Catalog, cfg: ServeConfig) -> Self {
         let exec = gpivot_exec::Executor::new().with_threads(cfg.exec_threads);
+        Self::assemble(
+            ViewManager::new(catalog).with_exec(exec),
+            IngestQueue::new(),
+            MetricsSnapshot::default(),
+            0,
+            cfg,
+            None,
+        )
+    }
+
+    fn assemble(
+        manager: ViewManager,
+        queue: IngestQueue,
+        metrics: MetricsSnapshot,
+        epoch: u64,
+        cfg: ServeConfig,
+        durability: Option<Durability>,
+    ) -> Self {
         ViewService {
             shared: Arc::new(Shared {
                 cfg,
                 gate: Mutex::new(()),
-                state: RwLock::new(ViewManager::new(catalog).with_exec(exec)),
-                queue: Mutex::new(IngestQueue::new()),
+                state: RwLock::new(manager),
+                queue: Mutex::new(queue),
                 space: Condvar::new(),
-                metrics: Mutex::new(MetricsSnapshot::default()),
-                epoch: AtomicU64::new(0),
+                metrics: Mutex::new(metrics),
+                epoch: AtomicU64::new(epoch),
                 tracer: tracing::TimingSubscriber::shared(),
+                durability,
             }),
         }
+    }
+
+    /// Open (or create) a **durable** service rooted at directory `dir`.
+    ///
+    /// On a fresh directory this writes an initial checkpoint of
+    /// `seed_catalog` and starts WAL generation 1. On a directory with
+    /// prior state it runs crash recovery — latest valid checkpoint plus
+    /// log-tail replay (see `durable` module docs) — and `seed_catalog` is
+    /// used only for its [`FaultInjector`] handle, which is transplanted
+    /// onto the recovered catalog so tests keep arming control. Torn log
+    /// tails are truncated, corrupt checkpoints skipped; neither panics.
+    ///
+    /// Recovery is exactly-once with respect to *acknowledged* commits: an
+    /// epoch whose `refresh_epoch` returned `Ok` is always re-applied, and
+    /// a drained-but-uncommitted batch is restored to the pending queue.
+    /// An operation that was in flight (never acknowledged) when the crash
+    /// hit may or may not be present — the caller decides whether to
+    /// resubmit, like any client of a write-ahead-logged store.
+    ///
+    /// `parser` converts persisted view-definition SQL back into plans;
+    /// the SQL frontend's `gpivot_sql::GpivotService::open` passes
+    /// `gpivot_sql::parse_query`. The [`RecoveryReport`] says what was
+    /// found and replayed (also surfaced as `recovery_*` metrics).
+    pub fn open(
+        dir: impl AsRef<Path>,
+        seed_catalog: Catalog,
+        cfg: ServeConfig,
+        parser: &PlanParser,
+    ) -> Result<(ViewService, RecoveryReport)> {
+        let dir = dir.as_ref();
+        let exec = Executor::new().with_threads(cfg.exec_threads);
+        let injector = seed_catalog.fault_injector().clone();
+        match durable::recover(dir, parser, exec)? {
+            Some(rec) => {
+                let mut manager = rec.manager;
+                manager.catalog_mut().set_fault_injector(injector.clone());
+                let durability = Durability::open_at(dir, rec.gen, cfg.wal_fsync, injector)?;
+                let (raw_rows, batches) = rec.queue.watermarks();
+                let metrics = MetricsSnapshot {
+                    // Seed the ingest counters from the recovered queue
+                    // watermarks so `rows_ingested − rows_drained_raw =
+                    // pending` still reconciles after a restart.
+                    rows_ingested: raw_rows,
+                    batches_ingested: batches,
+                    recoveries: 1,
+                    recovery_replayed_records: rec.report.replayed_records,
+                    recovery_replayed_epochs: rec.report.replayed_epochs,
+                    recovery_torn_tails: rec.report.torn_tails_truncated,
+                    recovery_corrupt_checkpoints: rec.report.corrupt_checkpoints_skipped,
+                    ..MetricsSnapshot::default()
+                };
+                let svc = Self::assemble(
+                    manager,
+                    rec.queue,
+                    metrics,
+                    rec.epoch,
+                    cfg,
+                    Some(durability),
+                );
+                Ok((svc, rec.report))
+            }
+            None => {
+                let durability =
+                    Durability::bootstrap(dir, &seed_catalog, cfg.wal_fsync, injector)?;
+                let exec = Executor::new().with_threads(cfg.exec_threads);
+                let svc = Self::assemble(
+                    ViewManager::new(seed_catalog).with_exec(exec),
+                    IngestQueue::new(),
+                    MetricsSnapshot::default(),
+                    0,
+                    cfg,
+                    Some(durability),
+                );
+                Ok((svc, RecoveryReport::default()))
+            }
+        }
+    }
+
+    /// True iff this service write-ahead-logs and can checkpoint.
+    pub fn is_durable(&self) -> bool {
+        self.shared.durability.is_some()
     }
 
     /// Register a named view, compiling it through the normalize + strategy
@@ -172,6 +292,29 @@ impl ViewService {
         let mut state = sync::write(&self.shared.state);
         let name = name.into();
         let strategy = state.register_view_with(name.clone(), definition, options)?;
+        if let Some(d) = &self.shared.durability {
+            // Log the registration (definition as dialect SQL) before
+            // acknowledging; if the log write fails, unwind it so the
+            // in-memory registry never runs ahead of the durable one.
+            let definition_sql = state.view(&name).map(|v| v.definition().to_sql_dialect())?;
+            let logged = d
+                .append(&WalRecord::RegisterView {
+                    name: name.clone(),
+                    definition_sql,
+                    strategy: strategy.id().to_string(),
+                })
+                .and_then(|()| {
+                    if d.policy() == FsyncPolicy::Never {
+                        Ok(())
+                    } else {
+                        d.sync("register-view")
+                    }
+                });
+            if let Err(e) = logged {
+                let _ = state.drop_view(&name);
+                return Err(e);
+            }
+        }
         // Surface any non-fatal plan-lint findings in the dashboard.
         let lint_warnings: Vec<String> = state
             .view(&name)
@@ -189,7 +332,24 @@ impl ViewService {
     pub fn drop_view(&self, name: &str) -> Result<()> {
         let _gate = sync::lock(&self.shared.gate);
         let mut state = sync::write(&self.shared.state);
-        state.drop_view(name)?;
+        let removed = state.drop_view(name)?;
+        if let Some(d) = &self.shared.durability {
+            let logged = d
+                .append(&WalRecord::DropView {
+                    name: name.to_string(),
+                })
+                .and_then(|()| {
+                    if d.policy() == FsyncPolicy::Never {
+                        Ok(())
+                    } else {
+                        d.sync("drop-view")
+                    }
+                });
+            if let Err(e) = logged {
+                state.install_view(removed);
+                return Err(e);
+            }
+        }
         Ok(())
     }
 
@@ -267,6 +427,18 @@ impl ViewService {
                 }
             }
             if rejected_at.is_none() {
+                // Durable services log the delta (and under
+                // `FsyncPolicy::Always`, fsync it) *before* enqueueing —
+                // still inside the queue lock, so WAL append order equals
+                // queue merge order and replay reconstructs identical
+                // batches. A failed log write acknowledges nothing: the
+                // delta is neither enqueued nor counted.
+                if let Some(d) = &self.shared.durability {
+                    if let Err(e) = d.log_ingest(table, &delta) {
+                        drop(q);
+                        return Err(e);
+                    }
+                }
                 q.ingest(table, delta);
             }
         }
@@ -328,9 +500,24 @@ impl ViewService {
         let (batch, drained) = {
             let _s = tracing::span("epoch.drain").enter();
             let mut q = sync::lock(&self.shared.queue);
-            let out = q.drain();
+            let (batch, drained) = q.drain();
+            // Mark the epoch boundary in the log while still holding the
+            // queue lock: replay re-drains a simulated queue at this exact
+            // record, so no ingest may slip between the drain and the
+            // marker. Empty drains write nothing (no epoch happens).
+            if !batch.is_empty() {
+                if let Some(d) = &self.shared.durability {
+                    if let Err(e) = d.append(&WalRecord::EpochBegin {
+                        epoch: self.epoch() + 1,
+                    }) {
+                        q.restore(&batch, drained);
+                        self.shared.space.notify_all();
+                        return Err(e);
+                    }
+                }
+            }
             self.shared.space.notify_all();
-            out
+            (batch, drained)
         };
         {
             let mut m = sync::lock(&self.shared.metrics);
@@ -457,6 +644,25 @@ impl ViewService {
         };
         drop(state);
 
+        // Durable commit point: the `EpochCommit` marker (fsynced per
+        // policy) goes to the log *before* the in-memory commit and before
+        // the caller sees `Ok`. If it cannot be made durable, the epoch
+        // rolls back exactly like a propagation failure — recovery then
+        // treats the drained batch as still pending, which matches what
+        // the caller was told.
+        if let Some(d) = &self.shared.durability {
+            if let Err(e) = d.log_commit(self.epoch() + 1) {
+                return self.roll_back_epoch(
+                    &batch,
+                    drained,
+                    e,
+                    vec![],
+                    per_view_retries,
+                    total_panics,
+                );
+            }
+        }
+
         // Commit phase: one short write-lock critical section swaps in the
         // staged base tables and every refreshed view table, then bumps the
         // epoch. Nothing in here can fail — readers see all of it or none
@@ -512,7 +718,140 @@ impl ViewService {
             }
         }
         self.finish_epoch_metrics(epoch_time);
+        if self.shared.durability.is_some() {
+            let every = self.shared.cfg.checkpoint_every_epochs;
+            if every > 0 && summary.epoch % every == 0 {
+                // The epoch above is already committed and durable; a
+                // checkpoint failure here reports as the epoch's error but
+                // loses nothing — recovery replays from the previous
+                // checkpoint instead.
+                self.checkpoint_locked()?;
+            }
+        }
         Ok(summary)
+    }
+
+    /// Write a checkpoint: snapshot the catalog, every view table, and the
+    /// pending queue; rotate the WAL to a fresh generation; then prune log
+    /// and checkpoint files made obsolete. Returns the checkpoint size in
+    /// bytes. Errors if the service is not durable.
+    ///
+    /// Crash-safe at every step: the checkpoint file lands via temp-file +
+    /// fsync + rename, and old generations are removed only after it does.
+    pub fn checkpoint(&self) -> Result<u64> {
+        let _gate = sync::lock(&self.shared.gate);
+        self.checkpoint_locked()
+    }
+
+    /// Checkpoint with the refresh gate already held.
+    fn checkpoint_locked(&self) -> Result<u64> {
+        let Some(d) = &self.shared.durability else {
+            return Err(CoreError::Storage(StorageError::Io {
+                op: "checkpoint".into(),
+                message: "service is not durable (constructed with ViewService::new; \
+                          use ViewService::open or save_to)"
+                    .into(),
+            }));
+        };
+        let _s = tracing::span("checkpoint").enter();
+        let state = sync::read(&self.shared.state);
+        let epoch = self.epoch();
+        // Step 1 (atomic wrt producers): snapshot the queue and rotate the
+        // log under the queue lock, so every ingest is either inside the
+        // snapshot (old generation, not replayed) or after the rotation
+        // point (new generation, replayed). Epoch markers can't interleave
+        // here — the gate is held.
+        let (pending, raw_rows, batches, new_gen) = {
+            let q = sync::lock(&self.shared.queue);
+            let new_gen = d.rotate(epoch)?;
+            let (raw_rows, batches) = q.watermarks();
+            (q.snapshot_pending(), raw_rows, batches, new_gen)
+        };
+        let data = self.assemble_checkpoint(&state, epoch, new_gen, pending, raw_rows, batches)?;
+        drop(state);
+        // Steps 2 + 3: write the snapshot, then prune behind it.
+        let bytes = d.write_checkpoint_file(&data)?;
+        tracing::event("checkpoint", &format!("gen {new_gen}, {bytes} bytes"));
+        Ok(bytes)
+    }
+
+    fn assemble_checkpoint(
+        &self,
+        state: &ViewManager,
+        epoch: u64,
+        wal_gen: u64,
+        pending: Vec<(String, Delta)>,
+        queue_raw_rows: u64,
+        queue_batches: u64,
+    ) -> Result<CheckpointData> {
+        let quarantined: BTreeSet<String> = {
+            let m = sync::lock(&self.shared.metrics);
+            m.per_view
+                .iter()
+                .filter(|(_, v)| v.health.is_quarantined())
+                .map(|(n, _)| n.clone())
+                .collect()
+        };
+        let mut tables = Vec::new();
+        for name in state.catalog().table_names() {
+            tables.push((name.to_string(), state.catalog().table(name)?.clone()));
+        }
+        let views = state
+            .views()
+            .map(|v| ViewSnapshot {
+                name: v.name().to_string(),
+                definition_sql: v.definition().to_sql_dialect(),
+                strategy: v.strategy().id().to_string(),
+                // A quarantined view's table lags the base tables; mark it
+                // so recovery recomputes instead of trusting the snapshot.
+                stale: quarantined.contains(v.name()),
+                table: v.table().clone(),
+            })
+            .collect();
+        Ok(CheckpointData {
+            epoch,
+            wal_gen,
+            tables,
+            views,
+            pending,
+            queue_raw_rows,
+            queue_batches,
+        })
+    }
+
+    /// Export the current state as a fresh durable directory at `dir` (one
+    /// checkpoint at generation 1 plus an empty log), regardless of whether
+    /// this service is itself durable. [`ViewService::open`] on that
+    /// directory restores the exact state — views, pending queue, epoch.
+    /// Any prior gpivot files in `dir` are replaced. Returns the
+    /// checkpoint size in bytes. Backs the SQL REPL's `:save`.
+    pub fn save_to(&self, dir: impl AsRef<Path>) -> Result<u64> {
+        let _gate = sync::lock(&self.shared.gate);
+        let dir = dir.as_ref();
+        std::fs::create_dir_all(dir).map_err(|e| {
+            CoreError::Storage(StorageError::Io {
+                op: "save_to".into(),
+                message: e.to_string(),
+            })
+        })?;
+        // Clear any previous export so stale higher generations can't
+        // shadow this one.
+        checkpoint::prune(dir, u64::MAX);
+        let state = sync::read(&self.shared.state);
+        let epoch = self.epoch();
+        let (pending, raw_rows, batches) = {
+            let q = sync::lock(&self.shared.queue);
+            let (raw_rows, batches) = q.watermarks();
+            (q.snapshot_pending(), raw_rows, batches)
+        };
+        let data = self.assemble_checkpoint(&state, epoch, 1, pending, raw_rows, batches)?;
+        drop(state);
+        let injector = FaultInjector::disabled();
+        let bytes = checkpoint::write_checkpoint(dir, &data, &injector)?;
+        let mut w = Wal::create(checkpoint::wal_path(dir, 1))?;
+        w.append(&WalRecord::Checkpoint { epoch, wal_gen: 1 })?;
+        w.sync("save")?;
+        Ok(bytes)
     }
 
     /// Roll a failed epoch back: record per-view failures and health
@@ -619,17 +958,44 @@ impl ViewService {
             .unwrap_or_default())
     }
 
-    /// Re-admit a quarantined (or degraded) view: recompute it from the
-    /// current base tables — its materialization went stale while epochs
-    /// committed without it — install the fresh table, and reset its health
-    /// to [`ViewHealth::Healthy`] so the next epoch schedules it again.
+    /// Re-admit a quarantined (or degraded) view and reset its health to
+    /// [`ViewHealth::Healthy`] so the next epoch schedules it again.
     ///
-    /// Recomputation executes the view plan, so with an armed fault
-    /// injector this can itself fail transiently; the view then stays
-    /// quarantined and the call can simply be retried.
+    /// On a durable service a quarantined view takes the **log-replay fast
+    /// path**: its table is consistent as of the epoch it was quarantined
+    /// at (failed epochs roll back whole, so nothing partial ever
+    /// committed), and every epoch it missed is in the WAL. The service
+    /// replays just those missed epochs against the stale table —
+    /// incremental maintenance instead of a full recompute — verifies the
+    /// replayed base matches the live base, installs the caught-up table,
+    /// and fires a `view.replay` trace event (counted in
+    /// `gpivot_view_replays_total`). If replay is not applicable (no log,
+    /// checkpoint newer than the quarantine point, the view was
+    /// re-registered in the interim, or the verification mismatches) it
+    /// falls back to the recompute path below.
+    ///
+    /// The fallback recomputes the view from the current base tables and
+    /// installs the fresh table. Recomputation executes the view plan, so
+    /// with an armed fault injector this can itself fail transiently; the
+    /// view then stays quarantined and the call can simply be retried.
     pub fn retry_view(&self, name: &str) -> Result<()> {
         let _gate = sync::lock(&self.shared.gate);
         let _trace = tracing::push_collector(self.shared.tracer.clone());
+        let since_epoch = {
+            let m = sync::lock(&self.shared.metrics);
+            match m.per_view.get(name).map(|v| &v.health) {
+                Some(ViewHealth::Quarantined { since_epoch, .. }) => Some(*since_epoch),
+                _ => None,
+            }
+        };
+        if let (Some(d), Some(since)) = (self.shared.durability.as_ref(), since_epoch) {
+            if self.replay_view_from_log(d, name, since).unwrap_or(false) {
+                let mut m = sync::lock(&self.shared.metrics);
+                m.view_replays += 1;
+                m.per_view.entry(name.to_string()).or_default().health = ViewHealth::Healthy;
+                return Ok(());
+            }
+        }
         let mut state = sync::write(&self.shared.state);
         let (definition, strategy) = {
             let view = state
@@ -650,6 +1016,103 @@ impl ViewService {
         let mut m = sync::lock(&self.shared.metrics);
         m.per_view.entry(name.to_string()).or_default().health = ViewHealth::Healthy;
         Ok(())
+    }
+
+    /// The `retry_view` fast path: catch a quarantined view up by replaying
+    /// the epochs it missed (those committed after `since_epoch`) from the
+    /// checkpoint + log onto its stale table. Returns `Ok(false)` when
+    /// replay is not applicable; the caller then recomputes instead.
+    fn replay_view_from_log(&self, d: &Durability, name: &str, since_epoch: u64) -> Result<bool> {
+        let Some(loaded) = checkpoint::load_latest(d.dir())? else {
+            return Ok(false);
+        };
+        let ckpt = loaded.data;
+        // The log only reaches back to the checkpoint: if that is already
+        // past the quarantine point, the missed epochs are gone from the
+        // log and only a recompute can catch up.
+        if ckpt.epoch > since_epoch {
+            return Ok(false);
+        }
+        let state = sync::read(&self.shared.state);
+        let Ok(view) = state.view(name) else {
+            return Ok(false);
+        };
+        let mut stale_view = view.clone();
+        let deps = stale_view.dependencies();
+
+        // Rebuild the base-table history in a scratch catalog (injector
+        // disabled: replay re-executes already-decided epochs).
+        let mut scratch = Catalog::new();
+        for (table, data) in ckpt.tables {
+            scratch.register(table, data)?;
+        }
+        let mut queue = IngestQueue::new();
+        queue.restore_state(ckpt.pending, ckpt.queue_raw_rows, ckpt.queue_batches);
+
+        let mut held: Option<(gpivot_core::SourceDeltas, crate::queue::DrainStats)> = None;
+        for gen in checkpoint::list_wal_gens(d.dir())? {
+            if gen < ckpt.wal_gen {
+                continue;
+            }
+            let scan = gpivot_storage::wal::read_wal(&checkpoint::wal_path(d.dir(), gen))?;
+            for record in scan.records {
+                match record {
+                    WalRecord::Checkpoint { .. } => {}
+                    WalRecord::RegisterView { name: n, .. } | WalRecord::DropView { name: n } => {
+                        // The view was dropped/re-registered since the
+                        // checkpoint: its quarantine history no longer
+                        // lines up with the log. Punt to recompute.
+                        if n == name {
+                            return Ok(false);
+                        }
+                    }
+                    WalRecord::IngestDelta { table, delta } => queue.ingest(&table, delta),
+                    WalRecord::EpochBegin { .. } => {
+                        if let Some((batch, stats)) = held.take() {
+                            queue.restore(&batch, stats);
+                        }
+                        let (batch, stats) = queue.drain();
+                        if !batch.is_empty() {
+                            held = Some((batch, stats));
+                        }
+                    }
+                    WalRecord::EpochCommit { epoch } => {
+                        if let Some((batch, _)) = held.take() {
+                            // Epochs the view missed are maintained against
+                            // the pre-commit scratch base; epochs it saw
+                            // (≤ since_epoch) only advance the base.
+                            let affected =
+                                batch.tables().any(|t| deps.contains(t)) && epoch > since_epoch;
+                            if affected {
+                                stale_view.maintain_with(&scratch, &batch, state.executor())?;
+                            }
+                            for table in batch.tables().map(String::from).collect::<Vec<_>>() {
+                                if let Some(delta) = batch.delta(&table) {
+                                    scratch.apply_delta(&table, delta)?;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        // Cross-check: the replayed base must agree with the live base on
+        // every dependency table, or the log we replayed does not describe
+        // the state we are installing into.
+        for dep in &deps {
+            let live = state.catalog().table(dep)?;
+            match scratch.table(dep) {
+                Ok(replayed) if replayed.schema() == live.schema() && replayed.bag_eq(live) => {}
+                _ => return Ok(false),
+            }
+        }
+        drop(state);
+        let mut state = sync::write(&self.shared.state);
+        state.install_view(stale_view);
+        drop(state);
+        tracing::event("view.replay", name);
+        Ok(true)
     }
 
     /// A consistent multi-view read: while the [`Snapshot`] is held, no
@@ -694,6 +1157,17 @@ impl ViewService {
             let q = sync::lock(&self.shared.queue);
             m.pending_rows = q.pending_rows();
             m.pending_bytes = q.estimate_bytes();
+        }
+        if let Some(d) = &self.shared.durability {
+            // Durability counters live as atomics on the Durability handle
+            // (the WAL mutex sits above the metrics mutex in the lock
+            // order, so they can't be folded in at write time).
+            let (records, bytes, fsyncs, checkpoints, last_bytes) = d.counters();
+            m.wal_records = records;
+            m.wal_bytes = bytes;
+            m.wal_fsyncs = fsyncs;
+            m.checkpoints = checkpoints;
+            m.last_checkpoint_bytes = last_bytes;
         }
         for (name, h) in self.shared.tracer.histograms() {
             if name.starts_with("op.") {
@@ -937,6 +1411,8 @@ mod tests {
             retry_backoff_cap: Duration::ZERO,
             quarantine_after: 3,
             exec_threads: 1,
+            wal_fsync: FsyncPolicy::OnCommit,
+            checkpoint_every_epochs: 0,
         }
     }
 

@@ -165,3 +165,174 @@ fn quarantine_lifecycle_and_readmission() {
     assert!(report.contains("view flaky"));
     assert!(!report.contains("QUARANTINED"));
 }
+
+/// Satellite invariant: a view quarantined while producers keep ingesting
+/// loses nothing. Epochs commit around it, `retry_view` re-admits it
+/// mid-stream, and once the queue drains the re-admitted view has caught
+/// up with every delta ingested before, during, and after the quarantine.
+#[test]
+fn quarantine_readmission_under_concurrent_ingest() {
+    let injector =
+        FaultInjector::seeded(5).with_targeted_site(FaultSite::Propagate, 1.0, 0.0, "flaky");
+    injector.disarm();
+    let mut cat = catalog();
+    let mirror_base = cat.clone();
+    cat.set_fault_injector(injector.clone());
+
+    let svc = ViewService::new(
+        cat,
+        ServeConfig {
+            workers: 2,
+            max_retries: 0,
+            retry_backoff: Duration::ZERO,
+            quarantine_after: 2,
+            ..ServeConfig::default()
+        },
+    );
+    svc.register_view("flaky", pivot_plan()).unwrap();
+    svc.register_view("steady", pivot_plan()).unwrap();
+    injector.arm();
+
+    // Two strikes put flaky in quarantine; the striking delta stays queued.
+    svc.ingest("facts", Delta::from_inserts(vec![row![50, "a", 50]]))
+        .unwrap();
+    assert!(svc.refresh_epoch().is_err());
+    assert!(svc.refresh_epoch().is_err());
+    assert!(svc.view_health("flaky").unwrap().is_quarantined());
+
+    const PRODUCERS: i64 = 2;
+    const ROWS_PER_PRODUCER: i64 = 20;
+    std::thread::scope(|scope| {
+        for p in 0..PRODUCERS {
+            let svc = &svc;
+            scope.spawn(move || {
+                for i in 0..ROWS_PER_PRODUCER {
+                    let id = 100 * (p + 1) + i;
+                    svc.ingest("facts", Delta::from_inserts(vec![row![id, "a", id]]))
+                        .unwrap();
+                    std::thread::sleep(Duration::from_micros(200));
+                }
+            });
+        }
+        // Epochs keep committing while quarantined (flaky is skipped)...
+        for _ in 0..3 {
+            svc.refresh_epoch().unwrap();
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        // ...and re-admission happens mid-stream, with producers still
+        // running. Cease fire first so the next epoch doesn't re-strike.
+        injector.disarm();
+        svc.retry_view("flaky").unwrap();
+        assert_eq!(svc.view_health("flaky").unwrap(), ViewHealth::Healthy);
+        for _ in 0..2 {
+            svc.refresh_epoch().unwrap();
+        }
+    });
+
+    while svc.pending_rows() > 0 {
+        svc.refresh_epoch().unwrap();
+    }
+
+    // Oracle: the base plus every delta any producer ever submitted.
+    let mut mirror = mirror_base;
+    mirror
+        .apply_delta("facts", &Delta::from_inserts(vec![row![50, "a", 50]]))
+        .unwrap();
+    for p in 0..PRODUCERS {
+        for i in 0..ROWS_PER_PRODUCER {
+            let id = 100 * (p + 1) + i;
+            mirror
+                .apply_delta("facts", &Delta::from_inserts(vec![row![id, "a", id]]))
+                .unwrap();
+        }
+    }
+    let oracle = Executor::new().run(&pivot_plan(), &mirror).unwrap();
+    assert!(
+        svc.query_view("flaky").unwrap().bag_eq(&oracle),
+        "re-admitted view dropped deltas"
+    );
+    assert!(svc.query_view("steady").unwrap().bag_eq(&oracle));
+    assert!(svc.verify_all().unwrap());
+    assert_eq!(svc.view_health("flaky").unwrap(), ViewHealth::Healthy);
+}
+
+/// On a durable service, `retry_view` replays the quarantined view's missed
+/// epochs from the log instead of recomputing, and emits the `view.replay`
+/// trace event plus the `view_replays` metric.
+#[test]
+fn retry_view_replays_missed_epochs_from_log() {
+    fn parse(sql: &str) -> std::result::Result<gpivot_algebra::Plan, String> {
+        gpivot_sql::parse_query(sql).map_err(|e| e.to_string())
+    }
+    let dir = std::env::temp_dir().join(format!("gpivot-quarantine-replay-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+
+    let injector =
+        FaultInjector::seeded(11).with_targeted_site(FaultSite::Propagate, 1.0, 0.0, "flaky");
+    injector.disarm();
+    let mut cat = catalog();
+    let mut mirror = cat.clone();
+    mirror.set_fault_injector(FaultInjector::disabled());
+    cat.set_fault_injector(injector.clone());
+
+    let (svc, _) = ViewService::open(
+        &dir,
+        cat,
+        ServeConfig {
+            workers: 2,
+            max_retries: 0,
+            retry_backoff: Duration::ZERO,
+            quarantine_after: 2,
+            ..ServeConfig::default()
+        },
+        &parse,
+    )
+    .unwrap();
+    svc.register_view("flaky", pivot_plan()).unwrap();
+    svc.register_view("steady", pivot_plan()).unwrap();
+
+    let ingest_row = |id: i64, mirror: &mut Catalog| {
+        let d = Delta::from_inserts(vec![row![id, "a", id]]);
+        svc.ingest("facts", d.clone()).unwrap();
+        mirror.apply_delta("facts", &d).unwrap();
+    };
+
+    // One healthy epoch, then a checkpoint: the log tail now starts past
+    // flaky's registration, which keeps it eligible for replay.
+    ingest_row(10, &mut mirror);
+    svc.refresh_epoch().unwrap();
+    svc.checkpoint().unwrap();
+
+    // Quarantine at since_epoch = 1.
+    injector.arm();
+    ingest_row(11, &mut mirror);
+    assert!(svc.refresh_epoch().is_err());
+    assert!(svc.refresh_epoch().is_err());
+    assert!(svc.view_health("flaky").unwrap().is_quarantined());
+
+    // Missed epochs 2 and 3 commit while flaky sits out.
+    svc.refresh_epoch().unwrap();
+    ingest_row(12, &mut mirror);
+    svc.refresh_epoch().unwrap();
+    assert_eq!(svc.epoch(), 3);
+
+    injector.disarm();
+    svc.retry_view("flaky").unwrap();
+    assert_eq!(svc.view_health("flaky").unwrap(), ViewHealth::Healthy);
+
+    let m = svc.metrics();
+    assert_eq!(m.view_replays, 1, "expected the log-replay fast path");
+    assert_eq!(m.trace_events.get("view.replay"), Some(&1));
+
+    let oracle = Executor::new().run(&pivot_plan(), &mirror).unwrap();
+    assert!(svc.query_view("flaky").unwrap().bag_eq(&oracle));
+    assert!(svc.verify_all().unwrap());
+
+    // The replayed view keeps up in subsequent epochs.
+    ingest_row(13, &mut mirror);
+    svc.refresh_epoch().unwrap();
+    let oracle = Executor::new().run(&pivot_plan(), &mirror).unwrap();
+    assert!(svc.query_view("flaky").unwrap().bag_eq(&oracle));
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -37,6 +37,7 @@ mod rewrite;
 mod service;
 
 pub use error::{Result, SqlError};
+pub use gpivot_serve::RecoveryReport;
 pub use lexer::{tokenize, Span, Token, TokenKind};
 pub use parser::{parse_query, parse_statement, Statement};
 pub use rewrite::{rewrite, RewriteHit};

@@ -72,6 +72,37 @@ impl GpivotService {
         GpivotService { inner: service }
     }
 
+    /// Open (or create) a **durable** service rooted at `dir`.
+    ///
+    /// If `dir` holds a previous [`GpivotService::save`] (or a durable
+    /// service's checkpoint + write-ahead log), the registered views, base
+    /// tables, epoch counter, and pending ingest queue are all restored —
+    /// view definitions are re-parsed from their persisted SQL via
+    /// [`crate::parse_query`]. Otherwise the service bootstraps from
+    /// `seed_catalog` and starts logging to `dir`. The returned
+    /// [`gpivot_serve::RecoveryReport`] says which happened.
+    pub fn open(
+        dir: impl AsRef<std::path::Path>,
+        seed_catalog: Catalog,
+        cfg: ServeConfig,
+    ) -> Result<(Self, gpivot_serve::RecoveryReport)> {
+        let parse = |sql: &str| crate::parser::parse_query(sql).map_err(|e| e.to_string());
+        let (inner, report) = ViewService::open(dir, seed_catalog, cfg, &parse)
+            .map_err(|e| SqlError::Engine(e.to_string()))?;
+        Ok((GpivotService { inner }, report))
+    }
+
+    /// Persist a point-in-time snapshot of the full service state to `dir`
+    /// (views, base tables, epoch, pending queue), replacing any previous
+    /// gpivot files there. [`GpivotService::open`] on the same directory
+    /// restores it exactly. Returns the checkpoint size in bytes. Backs
+    /// the SQL REPL's `:save` / `:open` meta-commands.
+    pub fn save(&self, dir: impl AsRef<std::path::Path>) -> Result<u64> {
+        self.inner
+            .save_to(dir)
+            .map_err(|e| SqlError::Engine(e.to_string()))
+    }
+
     /// The wrapped service — ingestion, refresh epochs, and metrics live
     /// there.
     pub fn service(&self) -> &ViewService {

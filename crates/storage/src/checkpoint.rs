@@ -1,0 +1,448 @@
+//! Checkpoint snapshots: the compaction point for the write-ahead log.
+//!
+//! A checkpoint serializes the full durable state at one epoch — base
+//! tables, materialized view snapshots, and the ingest-queue contents and
+//! watermarks — into a single file, allowing every log generation behind it
+//! to be pruned. The protocol is generation-based so there is **no window
+//! in which a crash loses state**:
+//!
+//! 1. Under the epoch gate, snapshot the queue and rotate the log to
+//!    generation `g+1` (new file, first record `Checkpoint{epoch, g+1}`).
+//! 2. Write `checkpoint-{g+1}.ckpt` via temp-file + fsync + atomic rename.
+//! 3. Only after the rename succeeds, prune generations `< g+1`.
+//!
+//! A crash before (2) completes recovers from the *previous* checkpoint plus
+//! log generations `≥` its `wal_gen` — which still exist, because pruning
+//! happens last. [`load_latest`] skips unreadable or torn checkpoint files
+//! (counting them) and falls back to the newest valid one.
+//!
+//! File layout: `b"GPCK"` magic, a CRC-32 over the body, then the body
+//! (format version byte + payload). One frame per file.
+
+use crate::codec::{self, Reader};
+use crate::error::{Result, StorageError};
+use crate::fault::{FaultInjector, FaultSite};
+use crate::{Delta, Table};
+use std::fs::File;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+/// Checkpoint file format version.
+pub const CHECKPOINT_VERSION: u8 = 1;
+
+const MAGIC: &[u8; 4] = b"GPCK";
+
+/// One materialized view's persisted state.
+#[derive(Debug, Clone)]
+pub struct ViewSnapshot {
+    pub name: String,
+    /// The defining plan, persisted as dialect SQL text.
+    pub definition_sql: String,
+    /// Maintenance strategy id (`Strategy::id`).
+    pub strategy: String,
+    /// True iff the snapshot *table* lags the base tables (the view was
+    /// quarantined when the checkpoint was cut). Recovery recomputes stale
+    /// views instead of trusting the stored table.
+    pub stale: bool,
+    pub table: Table,
+}
+
+/// Everything a checkpoint persists. Equality is *semantic*: tables compare
+/// as bags ([`Table::bag_eq`]) plus schema, not by physical row order.
+#[derive(Debug, Clone)]
+pub struct CheckpointData {
+    /// The committed epoch this snapshot reflects.
+    pub epoch: u64,
+    /// The log generation that continues *after* this checkpoint. Recovery
+    /// replays generations `>= wal_gen` on top of the snapshot.
+    pub wal_gen: u64,
+    /// Base tables, in registration order.
+    pub tables: Vec<(String, Table)>,
+    /// Materialized views.
+    pub views: Vec<ViewSnapshot>,
+    /// Ingest-queue contents not yet drained into any epoch.
+    pub pending: Vec<(String, Delta)>,
+    /// Queue lifetime watermark: raw rows ever ingested.
+    pub queue_raw_rows: u64,
+    /// Queue lifetime watermark: batches ever ingested.
+    pub queue_batches: u64,
+}
+
+fn table_eq(a: &Table, b: &Table) -> bool {
+    a.schema() == b.schema() && a.bag_eq(b)
+}
+
+impl PartialEq for ViewSnapshot {
+    fn eq(&self, other: &Self) -> bool {
+        self.name == other.name
+            && self.definition_sql == other.definition_sql
+            && self.strategy == other.strategy
+            && self.stale == other.stale
+            && table_eq(&self.table, &other.table)
+    }
+}
+
+impl PartialEq for CheckpointData {
+    fn eq(&self, other: &Self) -> bool {
+        self.epoch == other.epoch
+            && self.wal_gen == other.wal_gen
+            && self.tables.len() == other.tables.len()
+            && self
+                .tables
+                .iter()
+                .zip(&other.tables)
+                .all(|((an, at), (bn, bt))| an == bn && table_eq(at, bt))
+            && self.views == other.views
+            && self.pending == other.pending
+            && self.queue_raw_rows == other.queue_raw_rows
+            && self.queue_batches == other.queue_batches
+    }
+}
+
+/// `dir/checkpoint-{gen:010}.ckpt`
+pub fn checkpoint_path(dir: &Path, gen: u64) -> PathBuf {
+    dir.join(format!("checkpoint-{gen:010}.ckpt"))
+}
+
+/// `dir/wal-{gen:010}.log`
+pub fn wal_path(dir: &Path, gen: u64) -> PathBuf {
+    dir.join(format!("wal-{gen:010}.log"))
+}
+
+fn io_err(op: &str, e: std::io::Error) -> StorageError {
+    StorageError::Io {
+        op: op.to_string(),
+        message: e.to_string(),
+    }
+}
+
+fn encode(data: &CheckpointData) -> Vec<u8> {
+    let mut body = Vec::with_capacity(4096);
+    codec::put_u8(&mut body, CHECKPOINT_VERSION);
+    codec::put_u64(&mut body, data.epoch);
+    codec::put_u64(&mut body, data.wal_gen);
+    codec::put_u64(&mut body, data.tables.len() as u64);
+    for (name, table) in &data.tables {
+        codec::put_str(&mut body, name);
+        codec::put_table(&mut body, table);
+    }
+    codec::put_u64(&mut body, data.views.len() as u64);
+    for v in &data.views {
+        codec::put_str(&mut body, &v.name);
+        codec::put_str(&mut body, &v.definition_sql);
+        codec::put_str(&mut body, &v.strategy);
+        codec::put_u8(&mut body, u8::from(v.stale));
+        codec::put_table(&mut body, &v.table);
+    }
+    codec::put_u64(&mut body, data.pending.len() as u64);
+    for (name, delta) in &data.pending {
+        codec::put_str(&mut body, name);
+        codec::put_delta(&mut body, delta);
+    }
+    codec::put_u64(&mut body, data.queue_raw_rows);
+    codec::put_u64(&mut body, data.queue_batches);
+
+    let mut out = Vec::with_capacity(8 + body.len());
+    out.extend_from_slice(MAGIC);
+    codec::put_u32(&mut out, codec::crc32(&body));
+    out.extend_from_slice(&body);
+    out
+}
+
+fn decode(bytes: &[u8]) -> Result<CheckpointData> {
+    let corrupt = |what: &str| StorageError::Corrupt {
+        what: format!("checkpoint: {what}"),
+    };
+    if bytes.len() < 8 || &bytes[..4] != MAGIC {
+        return Err(corrupt("bad magic"));
+    }
+    let crc = u32::from_le_bytes([bytes[4], bytes[5], bytes[6], bytes[7]]);
+    let body = &bytes[8..];
+    if codec::crc32(body) != crc {
+        return Err(corrupt("checksum mismatch"));
+    }
+    let mut r = Reader::new(body);
+    if r.u8()? != CHECKPOINT_VERSION {
+        return Err(corrupt("unknown format version"));
+    }
+    let epoch = r.u64()?;
+    let wal_gen = r.u64()?;
+    let ntables = r.u64()? as usize;
+    let mut tables = Vec::with_capacity(ntables.min(1024));
+    for _ in 0..ntables {
+        tables.push((r.str()?, r.table()?));
+    }
+    let nviews = r.u64()? as usize;
+    let mut views = Vec::with_capacity(nviews.min(1024));
+    for _ in 0..nviews {
+        views.push(ViewSnapshot {
+            name: r.str()?,
+            definition_sql: r.str()?,
+            strategy: r.str()?,
+            stale: r.u8()? != 0,
+            table: r.table()?,
+        });
+    }
+    let npending = r.u64()? as usize;
+    let mut pending = Vec::with_capacity(npending.min(1024));
+    for _ in 0..npending {
+        pending.push((r.str()?, r.delta()?));
+    }
+    let queue_raw_rows = r.u64()?;
+    let queue_batches = r.u64()?;
+    if !r.is_empty() {
+        return Err(corrupt("trailing bytes"));
+    }
+    Ok(CheckpointData {
+        epoch,
+        wal_gen,
+        tables,
+        views,
+        pending,
+        queue_raw_rows,
+        queue_batches,
+    })
+}
+
+/// Write `data` to `checkpoint-{data.wal_gen}.ckpt` in `dir` via temp file +
+/// fsync + atomic rename. Consults [`FaultSite::CheckpointWrite`]; a seeded
+/// kill point leaves a torn `.tmp` file (which [`load_latest`] ignores) and
+/// the final path untouched. Returns the file size in bytes.
+pub fn write_checkpoint(
+    dir: &Path,
+    data: &CheckpointData,
+    injector: &FaultInjector,
+) -> Result<u64> {
+    let final_path = checkpoint_path(dir, data.wal_gen);
+    let tmp_path = final_path.with_extension("ckpt.tmp");
+    let bytes = encode(data);
+    let stem = format!("checkpoint-{:010}", data.wal_gen);
+    if let Err(e) = injector.check(FaultSite::CheckpointWrite, &stem) {
+        if matches!(e, StorageError::KillPoint { .. }) && !bytes.is_empty() {
+            // Simulated death mid-checkpoint: a torn temp file, no rename.
+            let cut = ((injector.roll_unit() * bytes.len() as f64) as usize).min(bytes.len() - 1);
+            let mut f = File::create(&tmp_path).map_err(|err| io_err("checkpoint tmp", err))?;
+            f.write_all(&bytes[..cut])
+                .map_err(|err| io_err("checkpoint tmp", err))?;
+        }
+        return Err(e);
+    }
+    let mut f = File::create(&tmp_path).map_err(|e| io_err("checkpoint tmp", e))?;
+    f.write_all(&bytes)
+        .map_err(|e| io_err("checkpoint write", e))?;
+    f.sync_all().map_err(|e| io_err("checkpoint fsync", e))?;
+    drop(f);
+    std::fs::rename(&tmp_path, &final_path).map_err(|e| io_err("checkpoint rename", e))?;
+    // Make the rename itself durable (best effort if the platform refuses
+    // directory fsync).
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(bytes.len() as u64)
+}
+
+/// A checkpoint successfully loaded from disk.
+#[derive(Debug)]
+pub struct LoadedCheckpoint {
+    pub data: CheckpointData,
+    /// Checkpoint files that existed but failed validation and were skipped
+    /// (surfaced as a recovery warning metric).
+    pub skipped_corrupt: u64,
+}
+
+/// Load the newest valid checkpoint in `dir`, skipping (and counting)
+/// corrupt or torn ones. `Ok(None)` means no valid checkpoint exists.
+pub fn load_latest(dir: &Path) -> Result<Option<LoadedCheckpoint>> {
+    let mut gens = list_gens(dir, "checkpoint-", ".ckpt")?;
+    gens.sort_unstable_by(|a, b| b.cmp(a)); // newest first
+    let mut skipped = 0u64;
+    for gen in gens {
+        let path = checkpoint_path(dir, gen);
+        let loaded = std::fs::read(&path)
+            .map_err(|e| io_err("checkpoint read", e))
+            .and_then(|bytes| decode(&bytes));
+        match loaded {
+            Ok(data) => {
+                return Ok(Some(LoadedCheckpoint {
+                    data,
+                    skipped_corrupt: skipped,
+                }))
+            }
+            Err(_) => skipped += 1,
+        }
+    }
+    Ok(None)
+}
+
+/// All WAL generation numbers present in `dir`, ascending.
+pub fn list_wal_gens(dir: &Path) -> Result<Vec<u64>> {
+    let mut gens = list_gens(dir, "wal-", ".log")?;
+    gens.sort_unstable();
+    Ok(gens)
+}
+
+fn list_gens(dir: &Path, prefix: &str, suffix: &str) -> Result<Vec<u64>> {
+    let rd = match std::fs::read_dir(dir) {
+        Ok(rd) => rd,
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(Vec::new()),
+        Err(e) => return Err(io_err("durability dir scan", e)),
+    };
+    let mut gens = Vec::new();
+    for entry in rd {
+        let entry = entry.map_err(|e| io_err("durability dir scan", e))?;
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        if let Some(g) = name
+            .strip_prefix(prefix)
+            .and_then(|s| s.strip_suffix(suffix))
+            .and_then(|s| s.parse::<u64>().ok())
+        {
+            gens.push(g);
+        }
+    }
+    Ok(gens)
+}
+
+/// Remove log generations and checkpoints older than `keep_gen`, plus any
+/// leftover `.tmp` files. Best-effort: a file that refuses to delete is
+/// skipped (it will be retried at the next checkpoint). Returns the number
+/// of files removed.
+pub fn prune(dir: &Path, keep_gen: u64) -> u64 {
+    let Ok(rd) = std::fs::read_dir(dir) else {
+        return 0;
+    };
+    let mut removed = 0u64;
+    for entry in rd.flatten() {
+        let name = entry.file_name();
+        let Some(name) = name.to_str() else { continue };
+        let stale_gen = |prefix: &str, suffix: &str| {
+            name.strip_prefix(prefix)
+                .and_then(|s| s.strip_suffix(suffix))
+                .and_then(|s| s.parse::<u64>().ok())
+                .is_some_and(|g| g < keep_gen)
+        };
+        let doomed = name.ends_with(".ckpt.tmp")
+            || stale_gen("wal-", ".log")
+            || stale_gen("checkpoint-", ".ckpt");
+        if doomed && std::fs::remove_file(entry.path()).is_ok() {
+            removed += 1;
+        }
+    }
+    removed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{row, DataType, Schema};
+    use std::sync::atomic::{AtomicU64, Ordering};
+    use std::sync::Arc;
+
+    fn tmp_dir(stem: &str) -> PathBuf {
+        static N: AtomicU64 = AtomicU64::new(0);
+        let n = N.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("gpivot-ckpt-{}-{stem}-{n}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn sample(epoch: u64, wal_gen: u64) -> CheckpointData {
+        let schema = Arc::new(
+            Schema::from_pairs_keyed(&[("id", DataType::Int), ("v", DataType::Str)], &["id"])
+                .unwrap(),
+        );
+        let table = Table::from_rows(schema, vec![row![1, "x"], row![2, "y"]]).unwrap();
+        let vschema = Arc::new(Schema::from_pairs(&[("s", DataType::Float)]).unwrap());
+        let vtable = Table::bag(vschema, vec![row![1.5]]);
+        let mut delta = Delta::new();
+        delta.add(row![3, "z"], 1);
+        CheckpointData {
+            epoch,
+            wal_gen,
+            tables: vec![("t".into(), table)],
+            views: vec![ViewSnapshot {
+                name: "v".into(),
+                definition_sql: "SELECT s FROM t".into(),
+                strategy: "pivot-update".into(),
+                stale: false,
+                table: vtable,
+            }],
+            pending: vec![("t".into(), delta)],
+            queue_raw_rows: 7,
+            queue_batches: 3,
+        }
+    }
+
+    #[test]
+    fn write_then_load_roundtrips() {
+        let dir = tmp_dir("roundtrip");
+        let data = sample(5, 2);
+        let bytes = write_checkpoint(&dir, &data, &FaultInjector::disabled()).unwrap();
+        assert!(bytes > 0);
+        let loaded = load_latest(&dir).unwrap().unwrap();
+        assert_eq!(loaded.data, data);
+        assert_eq!(loaded.skipped_corrupt, 0);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn corrupt_latest_falls_back_to_previous_valid() {
+        let dir = tmp_dir("fallback");
+        let inj = FaultInjector::disabled();
+        write_checkpoint(&dir, &sample(3, 1), &inj).unwrap();
+        write_checkpoint(&dir, &sample(9, 2), &inj).unwrap();
+        // Corrupt the newest file's body.
+        let newest = checkpoint_path(&dir, 2);
+        let mut bytes = std::fs::read(&newest).unwrap();
+        let last = bytes.len() - 1;
+        bytes[last] ^= 0xFF;
+        std::fs::write(&newest, &bytes).unwrap();
+
+        let loaded = load_latest(&dir).unwrap().unwrap();
+        assert_eq!(loaded.data.epoch, 3, "fell back to the previous gen");
+        assert_eq!(loaded.skipped_corrupt, 1);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn kill_point_leaves_only_a_torn_tmp_file() {
+        let dir = tmp_dir("kill");
+        let inj = FaultInjector::seeded(21).with_kill_point(FaultSite::CheckpointWrite, 1);
+        let err = write_checkpoint(&dir, &sample(4, 1), &inj).unwrap_err();
+        assert!(matches!(err, StorageError::KillPoint { .. }));
+        assert!(!checkpoint_path(&dir, 1).exists(), "no final file");
+        assert!(load_latest(&dir).unwrap().is_none(), "tmp file is ignored");
+        assert!(
+            checkpoint_path(&dir, 1).with_extension("ckpt.tmp").exists(),
+            "the kill left a torn temp file behind"
+        );
+        // A later checkpoint generation succeeds and prune sweeps the tmp.
+        write_checkpoint(&dir, &sample(4, 2), &FaultInjector::disabled()).unwrap();
+        assert_eq!(prune(&dir, 2), 1, "the torn tmp file is swept");
+        assert!(load_latest(&dir).unwrap().is_some());
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn prune_removes_strictly_older_generations() {
+        let dir = tmp_dir("prune");
+        let inj = FaultInjector::disabled();
+        for gen in 1..=3 {
+            write_checkpoint(&dir, &sample(gen, gen), &inj).unwrap();
+            std::fs::write(wal_path(&dir, gen), b"").unwrap();
+        }
+        let removed = prune(&dir, 3);
+        assert_eq!(removed, 4, "two checkpoints + two logs removed");
+        assert_eq!(list_wal_gens(&dir).unwrap(), vec![3]);
+        assert_eq!(load_latest(&dir).unwrap().unwrap().data.wal_gen, 3);
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn missing_dir_scans_empty() {
+        let dir = std::env::temp_dir().join("gpivot-ckpt-definitely-missing");
+        assert!(load_latest(&dir).unwrap().is_none());
+        assert!(list_wal_gens(&dir).unwrap().is_empty());
+    }
+}

@@ -21,6 +21,21 @@ pub enum StorageError {
     /// (chaos testing). Always classified as *transient* by the layers
     /// above: it models a recoverable I/O or scheduling hiccup.
     FaultInjected { site: String, op: String },
+    /// A seeded *kill point* fired ([`crate::fault::FaultInjector::with_kill_point`]):
+    /// the operation was aborted mid-record to simulate process death.
+    /// Deliberately **not** transient — a crashed process does not retry;
+    /// the crash-recovery harness abandons the instance and reopens from
+    /// disk instead.
+    KillPoint { site: String, op: String },
+    /// A filesystem operation failed (WAL append, fsync, checkpoint write,
+    /// directory scan). The underlying `std::io::Error` is rendered into
+    /// `message` so this enum stays `Clone + PartialEq`.
+    Io { op: String, message: String },
+    /// On-disk bytes failed validation during recovery (bad magic, version,
+    /// checksum, or a truncated payload). Recovery code treats a corrupt
+    /// *tail* as torn (truncate and continue) and only surfaces this for
+    /// corruption it cannot safely skip.
+    Corrupt { what: String },
 }
 
 impl StorageError {
@@ -54,6 +69,11 @@ impl fmt::Display for StorageError {
             StorageError::FaultInjected { site, op } => {
                 write!(f, "injected fault at {site} site during `{op}`")
             }
+            StorageError::KillPoint { site, op } => {
+                write!(f, "kill point fired at {site} site during `{op}`")
+            }
+            StorageError::Io { op, message } => write!(f, "i/o error during {op}: {message}"),
+            StorageError::Corrupt { what } => write!(f, "corrupt on-disk data: {what}"),
         }
     }
 }

@@ -35,6 +35,15 @@ pub enum FaultSite {
     Apply,
     /// Base-table delta application / staging (context = table name).
     Commit,
+    /// A write-ahead-log record append (context = record kind). A kill
+    /// point here leaves a *torn* prefix of the record on disk.
+    WalAppend,
+    /// A write-ahead-log fsync (context = record kind / policy trigger). A
+    /// kill point here leaves the record fully written but unacknowledged.
+    WalFsync,
+    /// A checkpoint snapshot write (context = checkpoint file stem). A kill
+    /// point here leaves a partial temp file that recovery must ignore.
+    CheckpointWrite,
 }
 
 impl FaultSite {
@@ -45,6 +54,9 @@ impl FaultSite {
             FaultSite::Propagate => "propagate",
             FaultSite::Apply => "apply",
             FaultSite::Commit => "commit",
+            FaultSite::WalAppend => "wal-append",
+            FaultSite::WalFsync => "wal-fsync",
+            FaultSite::CheckpointWrite => "checkpoint-write",
         }
     }
 }
@@ -72,11 +84,18 @@ struct InjectorState {
     /// xorshift64* state; never zero.
     rng: u64,
     sites: HashMap<FaultSite, SiteConfig>,
+    /// One-shot *kill points*: site → the 1-based armed-check ordinal at
+    /// which the check aborts with [`StorageError::KillPoint`] (simulated
+    /// process death). Consumed when fired.
+    kill_points: HashMap<FaultSite, u64>,
+    /// Armed checks observed per site (kill-point ordinals index into this).
+    site_checks: HashMap<FaultSite, u64>,
     /// Remaining faults allowed (`None` = unlimited).
     budget: Option<u64>,
     checks: u64,
     faults: u64,
     panics: u64,
+    kills: u64,
 }
 
 #[derive(Debug)]
@@ -104,6 +123,7 @@ enum Decision {
     Pass,
     Error,
     Panic,
+    Kill,
 }
 
 impl FaultInjector {
@@ -123,10 +143,13 @@ impl FaultInjector {
                     // xorshift needs a nonzero state; fold the seed in.
                     rng: seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1,
                     sites: HashMap::new(),
+                    kill_points: HashMap::new(),
+                    site_checks: HashMap::new(),
                     budget: None,
                     checks: 0,
                     faults: 0,
                     panics: 0,
+                    kills: 0,
                 }),
             }),
         }
@@ -173,6 +196,38 @@ impl FaultInjector {
         self
     }
 
+    /// Arm a one-shot **kill point**: the `nth` armed check at `site`
+    /// (1-based, counted per site) aborts with [`StorageError::KillPoint`]
+    /// instead of rolling the probabilistic schedule. The durability layer
+    /// treats it as simulated process death: a WAL append killed this way
+    /// leaves a deliberately torn record on disk, a checkpoint write leaves
+    /// a partial temp file. Fires at most once, independent of the fault
+    /// budget; `nth == 0` never fires.
+    pub fn with_kill_point(self, site: FaultSite, nth: u64) -> Self {
+        self.lock().kill_points.insert(site, nth);
+        self
+    }
+
+    /// Armed checks observed at `site` so far (the ordinal space
+    /// [`FaultInjector::with_kill_point`] indexes into). Useful for sizing a
+    /// kill-point matrix: dry-run a schedule, read the per-site totals, then
+    /// re-run once per ordinal.
+    pub fn site_checks(&self, site: FaultSite) -> u64 {
+        self.lock().site_checks.get(&site).copied().unwrap_or(0)
+    }
+
+    /// Kill points fired so far.
+    pub fn kills_fired(&self) -> u64 {
+        self.lock().kills
+    }
+
+    /// A seeded draw in `[0, 1)` from the injector's own RNG (advances the
+    /// shared state). The WAL uses this to pick a deterministic torn-prefix
+    /// length when a kill point aborts an append mid-record.
+    pub fn roll_unit(&self) -> f64 {
+        next_unit(&mut self.lock().rng)
+    }
+
     /// Stop firing (checks become near-free). Reversible via [`FaultInjector::arm`].
     pub fn disarm(&self) {
         self.shared.armed.store(false, Ordering::Release);
@@ -213,29 +268,41 @@ impl FaultInjector {
         let decision = {
             let mut st = self.lock();
             st.checks += 1;
-            let Some(cfg) = st.sites.get(&site).cloned() else {
-                return Ok(());
-            };
-            if let Some(t) = &cfg.target {
-                if t != context {
+            let seen = st.site_checks.entry(site).or_insert(0);
+            *seen += 1;
+            let seen = *seen;
+            // Kill points fire by ordinal, before (and independent of) the
+            // probabilistic site schedule and the fault budget.
+            if st.kill_points.get(&site) == Some(&seen) {
+                st.kill_points.remove(&site);
+                st.kills += 1;
+                st.faults += 1;
+                Decision::Kill
+            } else {
+                let Some(cfg) = st.sites.get(&site).cloned() else {
+                    return Ok(());
+                };
+                if let Some(t) = &cfg.target {
+                    if t != context {
+                        return Ok(());
+                    }
+                }
+                if st.budget == Some(0) {
                     return Ok(());
                 }
-            }
-            if st.budget == Some(0) {
-                return Ok(());
-            }
-            if next_unit(&mut st.rng) >= cfg.probability {
-                Decision::Pass
-            } else {
-                st.faults += 1;
-                if let Some(b) = st.budget.as_mut() {
-                    *b -= 1;
-                }
-                if next_unit(&mut st.rng) < cfg.panic_fraction {
-                    st.panics += 1;
-                    Decision::Panic
+                if next_unit(&mut st.rng) >= cfg.probability {
+                    Decision::Pass
                 } else {
-                    Decision::Error
+                    st.faults += 1;
+                    if let Some(b) = st.budget.as_mut() {
+                        *b -= 1;
+                    }
+                    if next_unit(&mut st.rng) < cfg.panic_fraction {
+                        st.panics += 1;
+                        Decision::Panic
+                    } else {
+                        Decision::Error
+                    }
                 }
             }
             // state lock dropped here, before the panic below
@@ -243,6 +310,10 @@ impl FaultInjector {
         match decision {
             Decision::Pass => Ok(()),
             Decision::Error => Err(StorageError::FaultInjected {
+                site: site.name().to_string(),
+                op: context.to_string(),
+            }),
+            Decision::Kill => Err(StorageError::KillPoint {
                 site: site.name().to_string(),
                 op: context.to_string(),
             }),
@@ -337,6 +408,32 @@ mod tests {
         // The injector survives its own panic (no poisoned internal lock).
         inj.disarm();
         assert!(inj.check(FaultSite::Propagate, "v").is_ok());
+    }
+
+    #[test]
+    fn kill_point_fires_once_at_exact_ordinal() {
+        let inj = FaultInjector::seeded(3).with_kill_point(FaultSite::WalAppend, 3);
+        assert!(inj.check(FaultSite::WalAppend, "r").is_ok());
+        assert!(inj.check(FaultSite::WalAppend, "r").is_ok());
+        let err = inj.check(FaultSite::WalAppend, "r").unwrap_err();
+        assert!(matches!(err, StorageError::KillPoint { .. }));
+        assert!(!err.is_transient(), "a kill simulates death, not a retry");
+        assert_eq!(inj.kills_fired(), 1);
+        assert_eq!(inj.site_checks(FaultSite::WalAppend), 3);
+        // One-shot: never fires again, even at later ordinals.
+        for _ in 0..10 {
+            assert!(inj.check(FaultSite::WalAppend, "r").is_ok());
+        }
+        assert_eq!(inj.kills_fired(), 1);
+    }
+
+    #[test]
+    fn kill_point_ordinals_are_per_site() {
+        let inj = FaultInjector::seeded(4).with_kill_point(FaultSite::WalFsync, 1);
+        // Checks at other sites do not advance the WalFsync ordinal.
+        assert!(inj.check(FaultSite::WalAppend, "r").is_ok());
+        assert!(inj.check(FaultSite::CheckpointWrite, "c").is_ok());
+        assert!(inj.check(FaultSite::WalFsync, "s").is_err());
     }
 
     #[test]

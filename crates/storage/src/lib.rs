@@ -29,6 +29,8 @@
 //! deliberately small, fully tested foundation.
 
 pub mod catalog;
+pub mod checkpoint;
+mod codec;
 pub mod delta;
 pub mod error;
 pub mod fault;
@@ -36,8 +38,10 @@ pub mod row;
 pub mod schema;
 pub mod table;
 pub mod value;
+pub mod wal;
 
 pub use catalog::Catalog;
+pub use checkpoint::{CheckpointData, LoadedCheckpoint, ViewSnapshot};
 pub use delta::{Delta, DeltaSplit};
 pub use error::{Result, StorageError};
 pub use fault::{FaultInjector, FaultSite};
@@ -45,3 +49,4 @@ pub use row::Row;
 pub use schema::{DataType, Field, Schema, SchemaRef};
 pub use table::Table;
 pub use value::Value;
+pub use wal::{FsyncPolicy, Wal, WalRecord, WalScan};

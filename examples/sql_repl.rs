@@ -21,7 +21,10 @@
 //! ```
 //!
 //! Meta-commands: `\views` (registered views), `\metrics` (serve counters,
-//! including `gpivot_sql_rewrites_total`), `\q` to exit.
+//! including `gpivot_sql_rewrites_total`), `:save <dir>` (checkpoint the
+//! full service state — views, base tables, pending queue — to a
+//! directory), `:open <dir>` (replace the session with the state saved
+//! there; views are recovered from their persisted SQL), `\q` to exit.
 
 use gpivot::prelude::*;
 use std::io::{BufRead, Write as _};
@@ -56,9 +59,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .map(|s| s.to_string())
         .collect();
-    let svc = GpivotService::new(catalog);
+    let seed = catalog.clone();
+    let mut svc = GpivotService::new(catalog);
     println!("tables: {}", tables.join(", "));
-    println!("end statements with `;` — \\views, \\metrics, \\q to quit");
+    println!("end statements with `;` — \\views, \\metrics, :save <dir>, :open <dir>, \\q to quit");
 
     let stdin = std::io::stdin();
     let mut buf = String::new();
@@ -85,6 +89,32 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 }
                 "" => continue,
                 _ => {}
+            }
+            if let Some(dir) = trimmed.strip_prefix(":save ") {
+                match svc.save(dir.trim()) {
+                    Ok(bytes) => println!("saved state to {} ({bytes} bytes)", dir.trim()),
+                    Err(e) => println!("error: {e}"),
+                }
+                continue;
+            }
+            if let Some(dir) = trimmed.strip_prefix(":open ") {
+                let dir = dir.trim();
+                match GpivotService::open(dir, seed.clone(), ServeConfig::default()) {
+                    Ok((opened, report)) => {
+                        svc = opened;
+                        if report.recovered {
+                            println!(
+                                "opened {dir} — {} views restored at epoch {}",
+                                report.views_recovered + report.views_recomputed,
+                                report.recovered_epoch
+                            );
+                        } else {
+                            println!("{dir} had no saved state — started a fresh durable session");
+                        }
+                    }
+                    Err(e) => println!("error: {e}"),
+                }
+                continue;
             }
         }
         buf.push_str(&line);

@@ -1,0 +1,26 @@
+SELECT *
+FROM (
+  SELECT *
+  FROM (
+    SELECT *
+    FROM (
+      SELECT *
+      FROM (
+        SELECT l_orderkey, l_linenumber, l_extendedprice
+        FROM (
+          SELECT * FROM lineitem
+        ) sub
+      ) sub
+      GPIVOT (l_extendedprice BY l_linenumber IN ((1), (2), (3)))
+    ) sub
+    WHERE ("1**l_extendedprice" > 30000.0)
+  ) l
+  JOIN (
+    SELECT * FROM orders
+  ) r
+    ON l.l_orderkey = r.o_orderkey
+) l
+JOIN (
+  SELECT * FROM customer
+) r
+  ON l.o_custkey = r.c_custkey

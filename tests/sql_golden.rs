@@ -6,6 +6,14 @@
 //! registrations, and parse errors with spans — which must match the
 //! committed `NN_*.expected` file byte-for-byte.
 //!
+//! A case whose first non-whitespace character is `:` is a REPL
+//! meta-command instead of SQL: `:save @TMP@` checkpoints the service and
+//! `:open @TMP@` replaces it with one recovered from that checkpoint (the
+//! `@TMP@` placeholder resolves to a per-run temp directory, so goldens
+//! stay path-independent). The `90_save` → `91_open` → `92_*` sequence is
+//! the durability round-trip: state saved, service restarted, and the
+//! follow-up SELECT still answered from the restored materialized view.
+//!
 //! Regenerate after an intentional change with:
 //!
 //! ```sh
@@ -16,6 +24,48 @@ use gpivot::prelude::*;
 use gpivot::sql::parse_statement;
 use std::fmt::Write as _;
 use std::path::Path;
+
+/// Execute a `:save` / `:open` meta-command case against the live service,
+/// producing a path-independent transcript (`@TMP@` is echoed verbatim;
+/// checkpoint byte sizes are data-dependent and omitted).
+fn meta_transcript(svc: &mut GpivotService, seed: &Catalog, line: &str, tmp: &Path) -> String {
+    let mut out = String::new();
+    let line = line.trim();
+    let _ = writeln!(out, "-- meta --");
+    let _ = writeln!(out, "{line}");
+    let _ = writeln!(out, "-- result --");
+    let resolve = |arg: &str| tmp.join(arg.trim().replace("@TMP@", "state"));
+    if let Some(arg) = line.strip_prefix(":save ") {
+        match svc.save(resolve(arg)) {
+            Ok(_) => {
+                let _ = writeln!(out, "saved state to {}", arg.trim());
+            }
+            Err(e) => {
+                let _ = writeln!(out, "error: {e}");
+            }
+        }
+    } else if let Some(arg) = line.strip_prefix(":open ") {
+        match GpivotService::open(resolve(arg), seed.clone(), ServeConfig::default()) {
+            Ok((opened, report)) => {
+                *svc = opened;
+                let _ = writeln!(
+                    out,
+                    "opened {} — recovered: {}, views restored: {}, epoch: {}",
+                    arg.trim(),
+                    report.recovered,
+                    report.views_recovered + report.views_recomputed,
+                    report.recovered_epoch
+                );
+            }
+            Err(e) => {
+                let _ = writeln!(out, "error: {e}");
+            }
+        }
+    } else {
+        let _ = writeln!(out, "error: unknown meta-command");
+    }
+    out
+}
 
 fn transcript(svc: &GpivotService, sql: &str) -> String {
     let mut out = String::new();
@@ -96,12 +146,23 @@ fn sql_goldens() {
     assert!(!cases.is_empty(), "no golden cases in {}", dir.display());
 
     let catalog = gpivot::tpch::generate(&gpivot::tpch::TpchConfig::scale(0.01));
-    let svc = GpivotService::new(catalog);
+    let seed = catalog.clone();
+    let mut svc = GpivotService::new(catalog);
+
+    // Scratch directory for the save/open round-trip cases; `@TMP@` in a
+    // meta-command case resolves underneath it.
+    let tmp = std::env::temp_dir().join(format!("gpivot-sql-golden-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&tmp);
+    std::fs::create_dir_all(&tmp).expect("create golden temp dir");
 
     let mut failures = Vec::new();
     for case in &cases {
         let sql = std::fs::read_to_string(case).expect("golden .sql reads");
-        let got = transcript(&svc, &sql);
+        let got = if sql.trim_start().starts_with(':') {
+            meta_transcript(&mut svc, &seed, &sql, &tmp)
+        } else {
+            transcript(&svc, &sql)
+        };
         let expected_path = case.with_extension("expected");
         if update {
             std::fs::write(&expected_path, &got).expect("write golden");
@@ -120,6 +181,7 @@ fn sql_goldens() {
             ));
         }
     }
+    let _ = std::fs::remove_dir_all(&tmp);
     assert!(
         failures.is_empty(),
         "golden mismatches:\n{}",
