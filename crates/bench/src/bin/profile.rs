@@ -16,13 +16,17 @@
 //! the durability layer: checkpoint write time, restore-from-checkpoint
 //! time, write-ahead-log tail replay time, and end-to-end cold-recovery
 //! time for a durable service holding the three views plus several
-//! committed epochs.
+//! committed epochs. A fifth section (`columnar`) compares the
+//! row-at-a-time reference kernels against the vectorized columnar
+//! kernels (`Executor::with_columnar`) on the recompute-refresh path, per
+//! view × insert/delete workload — the two engines produce bit-identical
+//! results, so this is a pure kernel-speed comparison.
 //!
 //! ```text
 //! profile [--smoke] [--out PATH] [--scale SF] [--repeats N] [--threads N]
 //!
 //!   --smoke    tiny data + few repeats (CI gate: seconds, not minutes)
-//!   --out      output path (default BENCH_pr7.json)
+//!   --out      output path (default BENCH_pr8.json)
 //!   --scale    override the generator scale factor
 //!   --repeats  override timed runs per cell (median reported)
 //!   --threads  worker threads for the parallel comparison (default 4)
@@ -78,7 +82,7 @@ const PHASES: [&str; 4] = [
 
 fn main() {
     let mut smoke = false;
-    let mut out_path = String::from("BENCH_pr7.json");
+    let mut out_path = String::from("BENCH_pr8.json");
     let mut scale: Option<f64> = None;
     let mut repeats: Option<usize> = None;
     let mut threads = 4usize;
@@ -213,6 +217,51 @@ fn main() {
         );
     }
 
+    // Row vs columnar kernels: recompute-strategy refreshes (whole plans —
+    // Join/GroupBy/GPivot — on the executor) with the row-at-a-time
+    // reference kernels vs the vectorized columnar kernels, per view ×
+    // workload. Output is bit-identical either way (the equivalence suite
+    // pins that), so the ratio is pure kernel speed.
+    let mut columnar = String::new();
+    let mut first_col = true;
+    for family in &FAMILIES {
+        for (workload, wl_name) in [
+            (Workload::InsertNew, "insert"),
+            (Workload::Delete, "delete"),
+        ] {
+            let deltas = workload.deltas(&catalog, fraction, 0xBEEF);
+            eprintln!(
+                "columnar refresh {} / {wl_name} (row vs columnar) ...",
+                family.name
+            );
+            let rowk = run_columnar_cell(&catalog, family, &deltas, repeats, false);
+            let colk = run_columnar_cell(&catalog, family, &deltas, repeats, true);
+            let speedup = if colk.as_secs_f64() > 0.0 {
+                rowk.as_secs_f64() / colk.as_secs_f64()
+            } else {
+                f64::MAX
+            };
+            eprintln!(
+                "  row {:.3}ms vs columnar {:.3}ms -> {speedup:.2}x",
+                ms(rowk),
+                ms(colk)
+            );
+            if !first_col {
+                columnar.push_str(",\n");
+            }
+            first_col = false;
+            let _ = write!(
+                columnar,
+                "    {{\n      \"view\": \"{}\",\n      \"workload\": \"{wl_name}\",\n      \
+                 \"row_ms\": {:.4},\n      \"columnar_ms\": {:.4},\n      \
+                 \"columnar_speedup\": {speedup:.4}\n    }}",
+                family.name,
+                ms(rowk),
+                ms(colk),
+            );
+        }
+    }
+
     // SQL serve path: register the three views through the SQL frontend,
     // then time (a) parsing the view's own dialect text, (b) answering that
     // query from the materialized view via the rewriter, and (c) running
@@ -304,10 +353,11 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(1);
     let doc = format!(
-        "{{\n  \"bench\": \"pr7_profile\",\n  \"mode\": \"{}\",\n  \"scale\": {scale},\n  \
+        "{{\n  \"bench\": \"pr8_profile\",\n  \"mode\": \"{}\",\n  \"scale\": {scale},\n  \
          \"fraction\": {fraction},\n  \"repeats\": {repeats},\n  \"host_cpus\": {host_cpus},\n  \
          \"results\": [\n{results}\n  ],\n  \
          \"parallel\": [\n{parallel}\n  ],\n  \
+         \"columnar\": [\n{columnar}\n  ],\n  \
          \"sql_serve\": [\n{sql_serve}\n  ],\n  \
          \"recovery\": {recovery}\n}}\n",
         if smoke { "smoke" } else { "full" },
@@ -370,6 +420,32 @@ fn run_parallel_cell(
 ) -> Duration {
     let mut mgr =
         ViewManager::new(catalog.clone()).with_exec(Executor::new().with_threads(threads));
+    mgr.register_view_with("v", (family.plan)(), Strategy::Recompute)
+        .unwrap_or_else(|e| die(&format!("compile {}/recompute: {e}", family.name)));
+    let mut times: Vec<Duration> = Vec::with_capacity(repeats);
+    for _ in 0..repeats.max(1) {
+        let mut m = mgr.clone();
+        let t0 = Instant::now();
+        m.maintain_view("v", deltas)
+            .unwrap_or_else(|e| die(&format!("maintain {}/recompute: {e}", family.name)));
+        times.push(t0.elapsed());
+    }
+    times.sort();
+    times[times.len() / 2]
+}
+
+/// Median full-recompute refresh time of one view on the row kernels
+/// (`columnar = false`) or the vectorized columnar kernels (`true`),
+/// single-threaded so the comparison isolates the kernel, not the pool.
+fn run_columnar_cell(
+    catalog: &Catalog,
+    family: &Family,
+    deltas: &SourceDeltas,
+    repeats: usize,
+    columnar: bool,
+) -> Duration {
+    let mut mgr =
+        ViewManager::new(catalog.clone()).with_exec(Executor::new().with_columnar(columnar));
     mgr.register_view_with("v", (family.plan)(), Strategy::Recompute)
         .unwrap_or_else(|e| die(&format!("compile {}/recompute: {e}", family.name)));
     let mut times: Vec<Duration> = Vec::with_capacity(repeats);

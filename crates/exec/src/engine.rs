@@ -17,6 +17,10 @@
 //! only change which worker runs which partition — see DESIGN.md
 //! §"Parallel execution".
 
+use crate::columnar::{
+    gpivot_columnar, gpivot_columnar_partitioned, hash_group_by_columnar,
+    hash_group_by_columnar_partitioned, hash_join_columnar, hash_join_columnar_partitioned,
+};
 use crate::error::Result;
 use crate::group::{hash_group_by, hash_group_by_partitioned};
 use crate::join::{hash_join, hash_join_partitioned};
@@ -92,6 +96,13 @@ pub struct ExecOptions {
     /// Inputs with fewer rows than this stay on the sequential kernels.
     /// Data-dependent only — never compared against the thread count.
     pub parallel_threshold: usize,
+    /// Run Join/GroupBy/GPivot on the vectorized [`crate::columnar`]
+    /// kernels over each table's cached columnar [`gpivot_storage::Chunk`]
+    /// (the default) instead of the row-at-a-time reference kernels.
+    /// Results are bit-identical either way; the default honors the
+    /// `GPIVOT_EXEC_COLUMNAR` environment variable (`0`/`false`/`off`
+    /// select the row kernels).
+    pub columnar: bool,
 }
 
 impl Default for ExecOptions {
@@ -101,11 +112,18 @@ impl Default for ExecOptions {
             .and_then(|s| s.trim().parse::<usize>().ok())
             .filter(|&n| n >= 1)
             .unwrap_or(1);
+        let columnar = std::env::var("GPIVOT_EXEC_COLUMNAR")
+            .map(|s| {
+                let s = s.trim().to_ascii_lowercase();
+                !matches!(s.as_str(), "0" | "false" | "off")
+            })
+            .unwrap_or(true);
         ExecOptions {
             threads,
             morsel_rows: 4096,
             partitions: 16,
             parallel_threshold: 1024,
+            columnar,
         }
     }
 }
@@ -199,6 +217,14 @@ impl Executor {
         self
     }
 
+    /// Choose between the vectorized columnar kernels (`true`, default)
+    /// and the row-at-a-time reference kernels (`false`) for
+    /// Join/GroupBy/GPivot. Output is bit-identical either way.
+    pub fn with_columnar(mut self, columnar: bool) -> Self {
+        self.ctx.opts.columnar = columnar;
+        self
+    }
+
     /// The execution context this executor evaluates plans under.
     pub fn context(&self) -> &ExecContext {
         &self.ctx
@@ -267,8 +293,10 @@ impl Executor {
                 let _s = tracing::span("op.Scan").enter();
                 let t = provider.get_table(table)?;
                 // Share the base table's row storage instead of copying
-                // O(|base|) rows per execution (copy-on-write `Arc`).
-                Ok(Table::bag_shared(t.schema().clone(), t.shared_rows()))
+                // O(|base|) rows per execution (copy-on-write `Arc`) —
+                // and its cached columnar chunk, so repeated executions
+                // over an unchanged base table vectorize it only once.
+                Ok(t.as_bag())
             }
 
             Plan::Select { input, predicate } => {
@@ -358,8 +386,8 @@ impl Executor {
                     .map(|(_, rc)| r.schema().index_of(rc))
                     .collect::<gpivot_storage::Result<_>>()?;
                 let bound_res = residual.as_ref().map(|e| e.bind(&out_schema)).transpose()?;
-                if ctx.partitioned(l.len() + r.len()) {
-                    hash_join_partitioned(
+                match (ctx.partitioned(l.len() + r.len()), ctx.opts.columnar) {
+                    (true, true) => hash_join_columnar_partitioned(
                         &l,
                         &r,
                         *kind,
@@ -369,10 +397,8 @@ impl Executor {
                         out_schema,
                         &ctx.pool,
                         ctx.opts.partitions,
-                    )
-                } else {
-                    let _s = tracing::span("op.Join").enter();
-                    hash_join(
+                    ),
+                    (true, false) => hash_join_partitioned(
                         &l,
                         &r,
                         *kind,
@@ -380,7 +406,33 @@ impl Executor {
                         &right_on,
                         bound_res.as_ref(),
                         out_schema,
-                    )
+                        &ctx.pool,
+                        ctx.opts.partitions,
+                    ),
+                    (false, true) => {
+                        let _s = tracing::span("op.Join").enter();
+                        hash_join_columnar(
+                            &l,
+                            &r,
+                            *kind,
+                            &left_on,
+                            &right_on,
+                            bound_res.as_ref(),
+                            out_schema,
+                        )
+                    }
+                    (false, false) => {
+                        let _s = tracing::span("op.Join").enter();
+                        hash_join(
+                            &l,
+                            &r,
+                            *kind,
+                            &left_on,
+                            &right_on,
+                            bound_res.as_ref(),
+                            out_schema,
+                        )
+                    }
                 }
             }
 
@@ -405,8 +457,8 @@ impl Executor {
                         }
                     })
                     .collect::<gpivot_storage::Result<_>>()?;
-                if ctx.partitioned(child.len()) {
-                    hash_group_by_partitioned(
+                match (ctx.partitioned(child.len()), ctx.opts.columnar) {
+                    (true, true) => hash_group_by_columnar_partitioned(
                         &child,
                         &group_idx,
                         aggs,
@@ -414,10 +466,24 @@ impl Executor {
                         out_schema,
                         &ctx.pool,
                         ctx.opts.partitions,
-                    )
-                } else {
-                    let _s = tracing::span("op.GroupBy").enter();
-                    hash_group_by(&child, &group_idx, aggs, &agg_inputs, out_schema)
+                    ),
+                    (true, false) => hash_group_by_partitioned(
+                        &child,
+                        &group_idx,
+                        aggs,
+                        &agg_inputs,
+                        out_schema,
+                        &ctx.pool,
+                        ctx.opts.partitions,
+                    ),
+                    (false, true) => {
+                        let _s = tracing::span("op.GroupBy").enter();
+                        hash_group_by_columnar(&child, &group_idx, aggs, &agg_inputs, out_schema)
+                    }
+                    (false, false) => {
+                        let _s = tracing::span("op.GroupBy").enter();
+                        hash_group_by(&child, &group_idx, aggs, &agg_inputs, out_schema)
+                    }
                 }
             }
 
@@ -454,11 +520,25 @@ impl Executor {
             Plan::GPivot { input, spec } => {
                 let child = self.eval(input, provider, depth + 1, trace)?;
                 let out_schema = plan.schema(&schemas)?;
-                if ctx.partitioned(child.len()) {
-                    gpivot_partitioned(&child, spec, out_schema, &ctx.pool, ctx.opts.partitions)
-                } else {
-                    let _s = tracing::span("op.GPivot").enter();
-                    gpivot(&child, spec, out_schema)
+                match (ctx.partitioned(child.len()), ctx.opts.columnar) {
+                    (true, true) => gpivot_columnar_partitioned(
+                        &child,
+                        spec,
+                        out_schema,
+                        &ctx.pool,
+                        ctx.opts.partitions,
+                    ),
+                    (true, false) => {
+                        gpivot_partitioned(&child, spec, out_schema, &ctx.pool, ctx.opts.partitions)
+                    }
+                    (false, true) => {
+                        let _s = tracing::span("op.GPivot").enter();
+                        gpivot_columnar(&child, spec, out_schema)
+                    }
+                    (false, false) => {
+                        let _s = tracing::span("op.GPivot").enter();
+                        gpivot(&child, spec, out_schema)
+                    }
                 }
             }
 
@@ -645,6 +725,70 @@ mod tests {
         // Two executions share the same storage too.
         let again = Executor::new().run(&plan, &c).unwrap();
         assert!(Arc::ptr_eq(&out.shared_rows(), &again.shared_rows()));
+        // And the same cached columnar chunk: vectorizing the base table
+        // in one execution pays for every later one.
+        assert!(Arc::ptr_eq(&out.chunk(), &base.chunk()));
+    }
+
+    /// The columnar kernels produce bit-identical rows in bit-identical
+    /// order to the row kernels, end to end through the engine, at both
+    /// sequential and partitioned sizes.
+    #[test]
+    fn columnar_and_row_kernels_are_bit_identical_end_to_end() {
+        let c = catalog();
+        let plan = PlanBuilder::scan("payment")
+            .gpivot(PivotSpec::simple(
+                "Payment",
+                "Price",
+                vec![Value::str("Credit"), Value::str("ByAir")],
+            ))
+            .join(PlanBuilder::scan("product"), vec![("ID", "PID")])
+            .group_by(&["Manu"], vec![AggSpec::sum("Credit**Price", "total")])
+            .build();
+        // Small input: sequential kernels.
+        let rowk = Executor::new().with_columnar(false).run(&plan, &c).unwrap();
+        let colk = Executor::new().with_columnar(true).run(&plan, &c).unwrap();
+        assert_eq!(colk.rows(), rowk.rows());
+        // Wide input: partitioned kernels, across thread counts.
+        let mut c = Catalog::new();
+        let schema = Arc::new(
+            Schema::from_pairs_keyed(
+                &[
+                    ("ID", DataType::Int),
+                    ("Payment", DataType::Str),
+                    ("Price", DataType::Int),
+                ],
+                &["ID", "Payment"],
+            )
+            .unwrap(),
+        );
+        let rows: Vec<Row> = (0..3000)
+            .map(|i| {
+                row![
+                    i / 2,
+                    if i % 2 == 0 { "Credit" } else { "ByAir" },
+                    (i * 37) % 500
+                ]
+            })
+            .collect();
+        c.register("payment", Table::from_rows(schema, rows).unwrap())
+            .unwrap();
+        let plan = PlanBuilder::scan("payment")
+            .gpivot(PivotSpec::simple(
+                "Payment",
+                "Price",
+                vec![Value::str("Credit"), Value::str("ByAir")],
+            ))
+            .build();
+        let rowk = Executor::new().with_columnar(false).run(&plan, &c).unwrap();
+        for threads in [1, 4] {
+            let colk = Executor::new()
+                .with_columnar(true)
+                .with_threads(threads)
+                .run(&plan, &c)
+                .unwrap();
+            assert_eq!(colk.rows(), rowk.rows(), "threads={threads}");
+        }
     }
 
     /// Wide inputs (≥ parallel_threshold) produce bit-identical rows in

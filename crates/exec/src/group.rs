@@ -13,9 +13,11 @@ use gpivot_algebra::{AggFunc, AggSpec};
 use gpivot_storage::{Row, Schema, Table, Value};
 use std::collections::HashMap;
 
-/// Running state for one aggregate.
+/// Running state for one aggregate. Shared with the columnar kernels'
+/// generic fallback path so both engines use one source of truth for
+/// aggregate semantics.
 #[derive(Debug, Clone)]
-enum AggState {
+pub(crate) enum AggState {
     Sum {
         acc: Value,
     },
@@ -42,7 +44,7 @@ enum AggState {
 }
 
 impl AggState {
-    fn new(func: AggFunc) -> AggState {
+    pub(crate) fn new(func: AggFunc) -> AggState {
         match func {
             AggFunc::Sum => AggState::Sum { acc: Value::Null },
             AggFunc::Count => AggState::Count { n: 0 },
@@ -56,7 +58,7 @@ impl AggState {
         }
     }
 
-    fn update(&mut self, input: &Value) -> Result<()> {
+    pub(crate) fn update(&mut self, input: &Value) -> Result<()> {
         match self {
             AggState::Sum { acc } => {
                 if !input.is_null() {
@@ -111,7 +113,7 @@ impl AggState {
         Ok(())
     }
 
-    fn finish(self) -> Value {
+    pub(crate) fn finish(self) -> Value {
         match self {
             AggState::Sum { acc } => acc,
             AggState::Count { n } => Value::Int(n),

@@ -24,7 +24,15 @@
 //! [`WorkerPool`]; results are bit-identical across thread counts
 //! because the partitioning is data-dependent only and partition outputs
 //! merge in partition-index order ([`pool`], [`engine`]).
+//!
+//! Join, GroupBy, and GPIVOT each exist in two interchangeable forms: the
+//! row-at-a-time reference kernels above and vectorized kernels
+//! ([`columnar`]) that run over a table's cached [`gpivot_storage::Chunk`]
+//! (typed column vectors, dictionary codes, validity bitmaps). The
+//! columnar kernels are bit-identical to the row kernels by construction
+//! and are selected by default ([`ExecOptions::columnar`]).
 
+pub mod columnar;
 pub mod engine;
 pub mod error;
 pub mod group;

@@ -68,6 +68,12 @@ pub struct ServeConfig {
     /// `GPIVOT_EXEC_THREADS` environment variable, else `1` (see
     /// [`gpivot_exec::ExecOptions`]).
     pub exec_threads: usize,
+    /// Run plan executions on the vectorized columnar kernels (`true`,
+    /// the default) or the row-at-a-time reference kernels (`false`).
+    /// Results are bit-identical either way; this is a performance and
+    /// triage knob. Defaults to the `GPIVOT_EXEC_COLUMNAR` environment
+    /// variable, else `true` (see [`gpivot_exec::ExecOptions`]).
+    pub exec_columnar: bool,
     /// When the WAL fsyncs, for services opened durably with
     /// [`ViewService::open`]. Ignored by [`ViewService::new`] (no log).
     /// The default, [`FsyncPolicy::OnCommit`], makes every acknowledged
@@ -92,6 +98,7 @@ impl Default for ServeConfig {
             retry_backoff_cap: Duration::from_millis(100),
             quarantine_after: 3,
             exec_threads: gpivot_exec::ExecOptions::default().threads,
+            exec_columnar: gpivot_exec::ExecOptions::default().columnar,
             wal_fsync: FsyncPolicy::default(),
             checkpoint_every_epochs: 0,
         }
@@ -154,7 +161,9 @@ impl ViewService {
     /// is a shared handle, so the test keeps arming/disarming control over
     /// the copy the service owns.
     pub fn new(catalog: Catalog, cfg: ServeConfig) -> Self {
-        let exec = gpivot_exec::Executor::new().with_threads(cfg.exec_threads);
+        let exec = gpivot_exec::Executor::new()
+            .with_threads(cfg.exec_threads)
+            .with_columnar(cfg.exec_columnar);
         Self::assemble(
             ViewManager::new(catalog).with_exec(exec),
             IngestQueue::new(),
@@ -216,7 +225,9 @@ impl ViewService {
         parser: &PlanParser,
     ) -> Result<(ViewService, RecoveryReport)> {
         let dir = dir.as_ref();
-        let exec = Executor::new().with_threads(cfg.exec_threads);
+        let exec = Executor::new()
+            .with_threads(cfg.exec_threads)
+            .with_columnar(cfg.exec_columnar);
         let injector = seed_catalog.fault_injector().clone();
         match durable::recover(dir, parser, exec)? {
             Some(rec) => {
@@ -250,7 +261,9 @@ impl ViewService {
             None => {
                 let durability =
                     Durability::bootstrap(dir, &seed_catalog, cfg.wal_fsync, injector)?;
-                let exec = Executor::new().with_threads(cfg.exec_threads);
+                let exec = Executor::new()
+                    .with_threads(cfg.exec_threads)
+                    .with_columnar(cfg.exec_columnar);
                 let svc = Self::assemble(
                     ViewManager::new(seed_catalog).with_exec(exec),
                     IngestQueue::new(),
@@ -1411,6 +1424,7 @@ mod tests {
             retry_backoff_cap: Duration::ZERO,
             quarantine_after: 3,
             exec_threads: 1,
+            exec_columnar: true,
             wal_fsync: FsyncPolicy::OnCommit,
             checkpoint_every_epochs: 0,
         }

@@ -193,22 +193,16 @@ fn equality_bindings(conjuncts: &[Expr]) -> BTreeMap<String, Value> {
     out
 }
 
-fn value_cmp(a: &Value, b: &Value) -> Option<std::cmp::Ordering> {
-    use Value::*;
-    match (a, b) {
-        (Int(x), Int(y)) => Some(x.cmp(y)),
-        (Float(x), Float(y)) => x.partial_cmp(y),
-        (Int(x), Float(y)) => (*x as f64).partial_cmp(y),
-        (Float(x), Int(y)) => x.partial_cmp(&(*y as f64)),
-        (Str(x), Str(y)) => Some(x.cmp(y)),
-        (Bool(x), Bool(y)) => Some(x.cmp(y)),
-        (Date(x), Date(y)) => Some(x.cmp(y)),
-        _ => None,
-    }
-}
-
 /// Three-valued constant folding over an expression whose columns have all
 /// been substituted with literals. `None` = unknown.
+///
+/// Comparisons go through [`Value::compare`] — the *same* total order the
+/// executor's `BoundExpr::Cmp` evaluates — so a subsumption decision folded
+/// here can never disagree with what the kernels would compute. (A previous
+/// local re-implementation compared Int/Float via a raw `as f64` cast and
+/// `partial_cmp`, which diverged from the executor on NaN, -0.0, and
+/// integers beyond 2⁵³, silently matching views that do not contain the
+/// query's rows.)
 fn fold(e: &Expr) -> Option<bool> {
     match e {
         Expr::Lit(Value::Bool(b)) => Some(*b),
@@ -217,10 +211,8 @@ fn fold(e: &Expr) -> Option<bool> {
             let (Expr::Lit(va), Expr::Lit(vb)) = (a.as_ref(), b.as_ref()) else {
                 return None;
             };
-            if matches!(va, Value::Null) || matches!(vb, Value::Null) {
-                return None;
-            }
-            let ord = value_cmp(va, vb)?;
+            // `compare` is three-valued: NULL operands yield None (unknown).
+            let ord = va.compare(vb)?;
             Some(match op {
                 CmpOp::Eq => ord.is_eq(),
                 CmpOp::Ne => !ord.is_eq(),
@@ -252,10 +244,8 @@ fn fold(e: &Expr) -> Option<bool> {
             if matches!(v, Value::Null) {
                 return None;
             }
-            Some(
-                vs.iter()
-                    .any(|w| value_cmp(v, w).is_some_and(|o| o.is_eq())),
-            )
+            // Mirror the executor's `vs.contains(&v)`: total `Value` equality.
+            Some(vs.contains(v))
         }
         _ => None,
     }
@@ -567,6 +557,61 @@ mod tests {
         let east_only: Vec<(String, Plan)> =
             views().into_iter().filter(|(n, _)| n == "east").collect();
         assert!(rewrite(&q, &east_only, &provider()).is_none());
+    }
+
+    #[test]
+    fn large_int_literal_does_not_falsely_imply_float_view_predicate() {
+        // Pre-fix, the rewriter compared Int(2^53 + 1) to Float(2^53) by
+        // casting the int through f64 — which rounds to exactly 2^53 — and
+        // folded the implication to true, serving the query from a view
+        // that does not contain its rows.
+        let p53 = 1i64 << 53;
+        let views = vec![(
+            "big_eq".to_string(),
+            Plan::scan("t").select(Expr::col("amount").eq(Expr::lit(p53 as f64))),
+        )];
+        let q = Plan::scan("t").select(Expr::col("amount").eq(Expr::lit(p53 + 1)));
+        assert!(
+            rewrite(&q, &views, &provider()).is_none(),
+            "Int(2^53+1) must not imply amount = Float(2^53)"
+        );
+        // The exactly-representable neighbour is genuinely implied:
+        // Int(2^53) == Float(2^53) under the executor's order.
+        let q = Plan::scan("t").select(Expr::col("amount").eq(Expr::lit(p53)));
+        assert_eq!(rewrite(&q, &views, &provider()).unwrap().view, "big_eq");
+    }
+
+    #[test]
+    fn nan_binding_folds_like_the_executor_total_order() {
+        // The executor evaluates comparisons with Value::compare, under
+        // which NaN normalizes above every finite float — so rows with
+        // amount = NaN *do* satisfy σ[amount > 0.0]. Pre-fix the rewriter
+        // folded NaN comparisons through partial_cmp (unknown) and missed
+        // this valid rewrite.
+        let views = vec![(
+            "pos".to_string(),
+            Plan::scan("t").select(Expr::col("amount").gt(Expr::lit(0.0))),
+        )];
+        let q = Plan::scan("t").select(Expr::col("amount").eq(Expr::lit(f64::NAN)));
+        let hit = rewrite(&q, &views, &provider()).unwrap();
+        assert_eq!(hit.view, "pos");
+    }
+
+    #[test]
+    fn negative_zero_binding_agrees_with_normalized_order() {
+        // -0.0 == 0.0 under the executor's normalized total order: a
+        // -0.0 binding satisfies σ[amount >= 0.0] but not σ[amount < 0.0].
+        let q = Plan::scan("t").select(Expr::col("amount").eq(Expr::lit(-0.0)));
+        let ge = vec![(
+            "ge0".to_string(),
+            Plan::scan("t").select(Expr::col("amount").ge(Expr::lit(0.0))),
+        )];
+        assert_eq!(rewrite(&q, &ge, &provider()).unwrap().view, "ge0");
+        let lt = vec![(
+            "lt0".to_string(),
+            Plan::scan("t").select(Expr::col("amount").lt(Expr::lit(0.0))),
+        )];
+        assert!(rewrite(&q, &lt, &provider()).is_none());
     }
 
     #[test]

@@ -240,11 +240,14 @@ impl<'a> Reader<'a> {
             let klen = self.len(8)?;
             let mut key = Vec::with_capacity(klen);
             for _ in 0..klen {
-                let i = self.u64()? as usize;
-                if i >= arity {
-                    return Err(corrupt(format!("key index {i} out of range")));
+                // Bound-check the raw u64 *before* the usize cast: on 32-bit
+                // targets `as usize` truncates, so a corrupt 2^32+k index
+                // would otherwise slip past the range check as k.
+                let raw = self.u64()?;
+                if raw >= arity as u64 {
+                    return Err(corrupt(format!("key index {raw} out of range")));
                 }
-                key.push(i);
+                key.push(raw as usize);
             }
             schema.set_key(key);
         }
@@ -344,6 +347,21 @@ mod tests {
         put_u64(&mut bad, u64::MAX);
         assert!(Reader::new(&bad).row().is_err());
         assert!(Reader::new(&bad).str().is_err());
+    }
+
+    #[test]
+    fn out_of_range_key_index_is_corrupt_even_past_u32() {
+        // Encode a 1-column keyed schema, then rewrite the key index to
+        // 2^32 (which truncates to 0 — in range — under a careless
+        // `as usize` on 32-bit targets). Decoding must report corruption.
+        let schema = Arc::new(Schema::from_pairs_keyed(&[("id", DataType::Int)], &["id"]).unwrap());
+        let mut buf = Vec::new();
+        put_schema(&mut buf, &schema);
+        let idx_at = buf.len() - 8;
+        assert_eq!(&buf[idx_at..], &0u64.to_le_bytes(), "layout sanity");
+        buf[idx_at..].copy_from_slice(&(1u64 << 32).to_le_bytes());
+        let err = Reader::new(&buf).schema().unwrap_err();
+        assert!(matches!(err, StorageError::Corrupt { .. }), "got {err:?}");
     }
 
     #[test]

@@ -16,6 +16,9 @@
 //! * [`Table`] — a bag of rows with an optional enforced key and a hash
 //!   index over it, plus the `MERGE`-style keyed-update primitives ([`Table::upsert`], [`Table::update_by_key`], [`Table::delete_by_key`])
 //!   the apply phase of view maintenance uses.
+//! * [`Chunk`] — the lazily built, cached *columnar* image of a table's
+//!   rows (typed vectors, dictionary-encoded strings, `⊥` validity
+//!   bitmaps) that the vectorized kernels in `gpivot-exec` operate on.
 //! * [`Delta`] — a *signed multiset* of rows (`Row → i64` multiplicity),
 //!   the exact algebraic object needed for bag-semantics change propagation,
 //!   convertible to/from the paper-facing `(ΔV, ∇V)` insert/delete split.
@@ -30,6 +33,7 @@
 
 pub mod catalog;
 pub mod checkpoint;
+pub mod chunk;
 mod codec;
 pub mod delta;
 pub mod error;
@@ -42,6 +46,7 @@ pub mod wal;
 
 pub use catalog::Catalog;
 pub use checkpoint::{CheckpointData, LoadedCheckpoint, ViewSnapshot};
+pub use chunk::{Chunk, Column, ColumnData};
 pub use delta::{Delta, DeltaSplit};
 pub use error::{Result, StorageError};
 pub use fault::{FaultInjector, FaultSite};

@@ -12,13 +12,14 @@
 //!
 //! Un-keyed tables degrade gracefully to plain bags.
 
+use crate::chunk::Chunk;
 use crate::delta::Delta;
 use crate::error::{Result, StorageError};
 use crate::row::Row;
 use crate::schema::SchemaRef;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 
 /// A bag of rows conforming to a schema, optionally indexed by the schema key.
 ///
@@ -34,6 +35,15 @@ pub struct Table {
     rows: Arc<Vec<Row>>,
     /// key-projection → position in `rows`; present iff the schema has a key.
     key_index: Option<HashMap<Row, usize>>,
+    /// Lazily built columnar image of `rows`, shared across clones (and
+    /// across [`Table::as_bag`] views). Every mutator swaps in a fresh
+    /// cell, so a cached chunk always describes the current rows.
+    chunk: Arc<OnceLock<Arc<Chunk>>>,
+}
+
+/// A fresh, empty chunk-cache cell.
+fn empty_chunk_cell() -> Arc<OnceLock<Arc<Chunk>>> {
+    Arc::new(OnceLock::new())
 }
 
 impl Table {
@@ -44,6 +54,7 @@ impl Table {
             schema,
             rows: Arc::new(Vec::new()),
             key_index,
+            chunk: empty_chunk_cell(),
         }
     }
 
@@ -62,6 +73,7 @@ impl Table {
             schema,
             rows: Arc::new(rows),
             key_index: None,
+            chunk: empty_chunk_cell(),
         }
     }
 
@@ -73,6 +85,7 @@ impl Table {
             schema,
             rows,
             key_index: None,
+            chunk: empty_chunk_cell(),
         }
     }
 
@@ -118,6 +131,8 @@ impl Table {
             schema,
             rows: self.rows,
             key_index,
+            // Rows are unchanged, so a chunk already built for them stays valid.
+            chunk: self.chunk,
         })
     }
 
@@ -146,6 +161,37 @@ impl Table {
         self.rows.iter()
     }
 
+    /// The columnar image of this table's rows, built on first use and
+    /// cached until the next mutation. Clones (and [`Table::as_bag`]
+    /// views) share both the rows and the cache, so a base table scanned
+    /// by many plan executions converts to columns exactly once.
+    pub fn chunk(&self) -> Arc<Chunk> {
+        Arc::clone(
+            self.chunk
+                .get_or_init(|| Arc::new(Chunk::from_rows(&self.rows, self.schema.arity()))),
+        )
+    }
+
+    /// An un-keyed view of this table sharing the row storage *and* the
+    /// chunk cache. This is what `Plan::Scan` hands to the executor: the
+    /// key index is dropped (execution never uses it) but a columnar
+    /// image built by any earlier scan is reused.
+    pub fn as_bag(&self) -> Table {
+        Table {
+            schema: self.schema.clone(),
+            rows: Arc::clone(&self.rows),
+            key_index: None,
+            chunk: Arc::clone(&self.chunk),
+        }
+    }
+
+    /// Invalidate the cached columnar image. Called by every mutator; the
+    /// cell is *replaced* (not cleared) so outstanding clones that still
+    /// see the old rows keep their still-valid cached chunk.
+    fn touch(&mut self) {
+        self.chunk = empty_chunk_cell();
+    }
+
     fn key_projection(&self, row: &Row) -> Option<Row> {
         self.schema.key().map(|k| row.project(k))
     }
@@ -171,6 +217,7 @@ impl Table {
             }
             idx.insert(key, self.rows.len());
         }
+        self.touch();
         Arc::make_mut(&mut self.rows).push(row);
         Ok(())
     }
@@ -198,6 +245,7 @@ impl Table {
     pub fn delete_by_key(&mut self, key: &Row) -> Option<Row> {
         let idx = self.key_index.as_mut()?;
         let pos = idx.remove(key)?;
+        self.touch();
         let removed = Arc::make_mut(&mut self.rows).swap_remove(pos);
         // Fix the moved row's index entry (if any row was moved into `pos`).
         if pos < self.rows.len() {
@@ -225,6 +273,7 @@ impl Table {
         );
         let idx = self.key_index.as_ref()?;
         let pos = *idx.get(key)?;
+        self.touch();
         Some(std::mem::replace(
             &mut Arc::make_mut(&mut self.rows)[pos],
             new_row,
@@ -254,6 +303,7 @@ impl Table {
             return false;
         }
         if let Some(pos) = self.rows.iter().position(|r| r == row) {
+            self.touch();
             Arc::make_mut(&mut self.rows).swap_remove(pos);
             true
         } else {
@@ -504,6 +554,47 @@ mod tests {
             narrow.into_keyed(keyed_schema()),
             Err(StorageError::ArityMismatch { .. })
         ));
+    }
+
+    #[test]
+    fn chunk_cache_is_shared_and_invalidated_on_mutation() {
+        let mut t = Table::new(keyed_schema());
+        t.insert(row![1, "a"]).unwrap();
+        let c1 = t.chunk();
+        assert!(Arc::ptr_eq(&c1, &t.chunk()), "second call is a cache hit");
+        let view = t.as_bag();
+        assert!(Arc::ptr_eq(&c1, &view.chunk()), "as_bag shares the cache");
+
+        t.insert(row![2, "b"]).unwrap();
+        let c2 = t.chunk();
+        assert!(!Arc::ptr_eq(&c1, &c2), "mutation invalidates the cache");
+        assert_eq!(c2.to_rows(), t.rows());
+        // The pre-mutation view still sees its own rows and its own chunk.
+        assert_eq!(view.len(), 1);
+        assert_eq!(view.chunk().to_rows(), view.rows());
+
+        t.update_by_key(&row![1], row![1, "z"]).unwrap();
+        assert_eq!(t.chunk().to_rows(), t.rows());
+        t.delete_by_key(&row![2]).unwrap();
+        assert_eq!(t.chunk().to_rows(), t.rows());
+        assert!(t.delete_row(&row![1, "z"]));
+        assert!(t.chunk().is_empty());
+    }
+
+    #[test]
+    fn into_keyed_preserves_chunk_cache() {
+        let bag = Table::bag(
+            Arc::new(
+                Schema::from_pairs(&[("id", DataType::Int), ("name", DataType::Str)]).unwrap(),
+            ),
+            vec![row![1, "a"], row![2, "b"]],
+        );
+        let chunk = bag.chunk();
+        let keyed = bag.into_keyed(keyed_schema()).unwrap();
+        assert!(
+            Arc::ptr_eq(&chunk, &keyed.chunk()),
+            "rows unchanged, cache kept"
+        );
     }
 
     #[test]

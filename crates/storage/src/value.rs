@@ -112,7 +112,9 @@ impl Value {
     /// Total comparison used for hashing-compatible equality and sorting.
     ///
     /// `Null < Bool < numeric < Str < Date`; `Int` and `Float` compare
-    /// numerically so `Int(1) == Float(1.0)`.
+    /// numerically so `Int(1) == Float(1.0)`. The mixed Int/Float arms
+    /// compare *exactly* — an `i64` is never rounded through `f64`, so
+    /// distinct values beyond ±2⁵³ stay distinct.
     pub fn total_cmp(&self, other: &Value) -> Ordering {
         use Value::*;
         match (self, other) {
@@ -120,8 +122,8 @@ impl Value {
             (Bool(a), Bool(b)) => a.cmp(b),
             (Int(a), Int(b)) => a.cmp(b),
             (Float(a), Float(b)) => norm_f64(*a).total_cmp(&norm_f64(*b)),
-            (Int(a), Float(b)) => (*a as f64).total_cmp(&norm_f64(*b)),
-            (Float(a), Int(b)) => norm_f64(*a).total_cmp(&(*b as f64)),
+            (Int(a), Float(b)) => cmp_i64_f64(*a, *b),
+            (Float(a), Int(b)) => cmp_i64_f64(*b, *a).reverse(),
             (Str(a), Str(b)) => a.cmp(b),
             (Date(a), Date(b)) => a.cmp(b),
             _ => self.type_rank().cmp(&other.type_rank()),
@@ -153,8 +155,38 @@ impl Value {
     }
 }
 
+/// Exact comparison of an `i64` against an `f64` under the total order.
+///
+/// `i as f64` is lossy for |i| > 2⁵³, so the naive cast makes distinct
+/// values compare equal (e.g. `2⁵³ + 1` vs `2⁵³.0`), corrupting sorted
+/// dedup and hash-group keys. Instead the float side is truncated — exact
+/// for every finite `f64` in the `i64` range — and the fractional part
+/// breaks integer-part ties. NaN is normalized first, which makes it the
+/// positive quiet NaN: above every finite value under `f64::total_cmp`,
+/// hence above every integer.
+pub(crate) fn cmp_i64_f64(i: i64, f: f64) -> Ordering {
+    let f = norm_f64(f);
+    if f.is_nan() {
+        return Ordering::Less; // int < normalized (positive) NaN
+    }
+    const TWO_POW_63: f64 = 9_223_372_036_854_775_808.0; // 2^63, exact
+    if f >= TWO_POW_63 {
+        return Ordering::Less; // f > i64::MAX >= i
+    }
+    if f < -TWO_POW_63 {
+        return Ordering::Greater; // f < i64::MIN <= i
+    }
+    // Finite and within [-2^63, 2^63): trunc() is exact and fits in i64.
+    let t = f.trunc();
+    match i.cmp(&(t as i64)) {
+        Ordering::Equal if f > t => Ordering::Less,
+        Ordering::Equal if f < t => Ordering::Greater,
+        ord => ord,
+    }
+}
+
 /// Normalize a float so every NaN has one representation and `-0.0 == 0.0`.
-fn norm_f64(f: f64) -> f64 {
+pub(crate) fn norm_f64(f: f64) -> f64 {
     if f.is_nan() {
         f64::NAN
     } else if f == 0.0 {
@@ -413,6 +445,95 @@ mod tests {
     fn compare_returns_none_on_null() {
         assert_eq!(Value::Null.compare(&Value::Int(1)), None);
         assert_eq!(Value::Int(1).compare(&Value::Int(2)), Some(Ordering::Less));
+    }
+
+    #[test]
+    fn int_float_comparison_is_exact_beyond_2_53() {
+        // Pre-fix, `Int(2^53 + 1) as f64` rounded down to 2^53 and the two
+        // distinct values compared Equal.
+        let p53 = 1i64 << 53;
+        assert_eq!(
+            Value::Int(p53 + 1).total_cmp(&Value::Float(p53 as f64)),
+            Ordering::Greater
+        );
+        assert_eq!(
+            Value::Float(p53 as f64).total_cmp(&Value::Int(p53 + 1)),
+            Ordering::Less
+        );
+        // Exactly representable ints still compare (and hash) equal.
+        assert_eq!(Value::Int(p53), Value::Float(p53 as f64));
+        assert_eq!(
+            hash_of(&Value::Int(p53)),
+            hash_of(&Value::Float(p53 as f64))
+        );
+        // Pre-fix, `i64::MAX as f64` rounded up to 2^63 and compared Equal
+        // to Float(2^63) even though i64::MAX < 2^63.
+        assert_eq!(
+            Value::Int(i64::MAX).total_cmp(&Value::Float(9_223_372_036_854_775_808.0)),
+            Ordering::Less
+        );
+        assert_eq!(
+            Value::Int(i64::MIN).total_cmp(&Value::Float(-9_223_372_036_854_775_808.0)),
+            Ordering::Equal,
+            "-2^63 is exactly representable"
+        );
+        // Fractional parts break integer-part ties in both signs.
+        assert_eq!(Value::Int(2).total_cmp(&Value::Float(2.5)), Ordering::Less);
+        assert_eq!(
+            Value::Int(-2).total_cmp(&Value::Float(-2.5)),
+            Ordering::Greater
+        );
+        // NaN sits above every integer (it normalizes to the positive
+        // quiet NaN, which f64::total_cmp places above +inf).
+        assert_eq!(
+            Value::Int(i64::MAX).total_cmp(&Value::Float(f64::NAN)),
+            Ordering::Less
+        );
+        assert_eq!(
+            Value::Float(f64::NEG_INFINITY).total_cmp(&Value::Int(i64::MIN)),
+            Ordering::Less
+        );
+    }
+
+    #[test]
+    fn int_float_order_antisymmetric_and_transitive_near_2_53() {
+        // Deterministic sweep around the representability boundary: every
+        // pair must be antisymmetric, every sorted triple transitive, and
+        // equality must imply hash agreement.
+        let p53 = 1i64 << 53;
+        let mut vals = Vec::new();
+        for d in -3i64..=3 {
+            vals.push(Value::Int(p53 + d));
+            vals.push(Value::Int(-p53 + d));
+            vals.push(Value::Float((p53 + d) as f64));
+            vals.push(Value::Float(-((p53 + d) as f64)));
+        }
+        vals.push(Value::Int(i64::MAX));
+        vals.push(Value::Int(i64::MIN));
+        vals.push(Value::Float(9_223_372_036_854_775_808.0));
+        vals.push(Value::Float(f64::NAN));
+        for a in &vals {
+            assert_eq!(a.total_cmp(a), Ordering::Equal);
+            for b in &vals {
+                assert_eq!(
+                    a.total_cmp(b),
+                    b.total_cmp(a).reverse(),
+                    "antisymmetry failed for {a:?} vs {b:?}"
+                );
+                if a.total_cmp(b) == Ordering::Equal {
+                    assert_eq!(hash_of(a), hash_of(b), "Eq/Hash split for {a:?} vs {b:?}");
+                }
+                for c in &vals {
+                    if a.total_cmp(b) != Ordering::Greater && b.total_cmp(c) != Ordering::Greater {
+                        assert_ne!(
+                            a.total_cmp(c),
+                            Ordering::Greater,
+                            "transitivity failed for {a:?} <= {b:?} <= {c:?}"
+                        );
+                    }
+                }
+            }
+        }
     }
 
     #[test]

@@ -332,15 +332,21 @@ pub fn read_wal(path: &Path) -> Result<WalScan> {
     let mut records = Vec::new();
     let mut pos = 0usize;
     // Frame header first; any malformed element below ends the scan at the
-    // last valid frame boundary.
-    while let Some(header) = buf.get(pos..pos + 8) {
+    // last valid frame boundary. All offset arithmetic from the on-disk
+    // length field is checked: a corrupt length must take the torn-tail
+    // path, never overflow (a debug-build panic on 32-bit targets where
+    // `MAX_FRAME` approaches `usize::MAX`).
+    while let Some(header) = pos.checked_add(8).and_then(|end| buf.get(pos..end)) {
         let len = u32::from_le_bytes([header[0], header[1], header[2], header[3]]);
         let crc = u32::from_le_bytes([header[4], header[5], header[6], header[7]]);
         if len == 0 || len > MAX_FRAME {
             break;
         }
         let body_start = pos + 8;
-        let Some(body) = buf.get(body_start..body_start + len as usize) else {
+        let Some(body) = body_start
+            .checked_add(len as usize)
+            .and_then(|body_end| buf.get(body_start..body_end))
+        else {
             break; // length prefix overruns the file: torn final frame
         };
         if codec::crc32(body) != crc {
@@ -357,7 +363,8 @@ pub fn read_wal(path: &Path) -> Result<WalScan> {
             break; // checksum passed but payload is malformed: stop here too
         };
         records.push(rec);
-        pos = body_start + len as usize;
+        // `body` came out of `buf`, so this sum is bounded by `buf.len()`.
+        pos = body_start + body.len();
     }
     Ok(WalScan {
         records,
@@ -465,6 +472,48 @@ mod tests {
         let mut wal = Wal::open_append(&path).unwrap();
         wal.append(&recs[3]).unwrap();
         assert_eq!(read_wal(&path).unwrap().records, recs[..4]);
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    #[test]
+    fn oversized_length_frame_takes_the_torn_path_not_overflow() {
+        let path = tmp("oversized-len");
+        let mut wal = Wal::create(&path).unwrap();
+        let recs = sample_records();
+        for rec in &recs[..2] {
+            wal.append(rec).unwrap();
+        }
+        drop(wal);
+        let valid = std::fs::metadata(&path).unwrap().len();
+
+        // Craft a frame whose length field is the maximum the u32 header can
+        // express. `body_start + len` must not overflow (a debug panic on
+        // 32-bit targets) — the scan stops at the last valid frame.
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&u32::MAX.to_le_bytes()).unwrap();
+        f.write_all(&0u32.to_le_bytes()).unwrap();
+        f.write_all(b"garbage").unwrap();
+        drop(f);
+        let scan = read_wal(&path).unwrap();
+        assert_eq!(scan.records, recs[..2]);
+        assert!(scan.torn);
+        assert_eq!(scan.valid_len, valid);
+
+        // Same with a length that passes the MAX_FRAME gate but overruns the
+        // file by close to the full 1 GiB cap: still the torn path.
+        truncate_wal(&path, valid).unwrap();
+        let mut f = OpenOptions::new().append(true).open(&path).unwrap();
+        f.write_all(&MAX_FRAME.to_le_bytes()).unwrap();
+        f.write_all(&0u32.to_le_bytes()).unwrap();
+        f.write_all(b"short body").unwrap();
+        drop(f);
+        let scan = read_wal(&path).unwrap();
+        assert_eq!(scan.records, recs[..2]);
+        assert!(scan.torn);
+        assert_eq!(scan.valid_len, valid);
+
+        truncate_wal(&path, scan.valid_len).unwrap();
+        assert!(!read_wal(&path).unwrap().torn);
         std::fs::remove_file(&path).unwrap();
     }
 

@@ -113,6 +113,142 @@ proptest! {
     }
 }
 
+/// Fixed-arity rows (chunks require uniform arity, as tables enforce).
+fn arb_fixed_row(arity: usize) -> impl Strategy<Value = Row> {
+    prop::collection::vec(arb_value(), arity).prop_map(Row::new)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 128, ..ProptestConfig::default() })]
+
+    /// The columnar image is lossless: chunking a table and materializing
+    /// it back reproduces the rows exactly — ⊥ slots through the validity
+    /// bitmap, strings through the dictionary, and numerics bit-for-bit.
+    #[test]
+    fn chunked_table_roundtrips_rows_exactly(
+        rows in prop::collection::vec(arb_fixed_row(3), 0..40)
+    ) {
+        let schema = Arc::new(
+            Schema::from_pairs(&[
+                ("a", DataType::Any),
+                ("b", DataType::Any),
+                ("c", DataType::Any),
+            ])
+            .unwrap(),
+        );
+        let t = Table::bag(schema, rows.clone());
+        let c = t.chunk();
+        prop_assert_eq!(c.to_rows(), rows.clone());
+        for (i, r) in rows.iter().enumerate() {
+            prop_assert_eq!(&c.row(i), r);
+            for j in 0..3 {
+                prop_assert_eq!(c.value(i, j), r.values()[j].clone());
+                prop_assert_eq!(c.column(j).is_null(i), r.values()[j].is_null());
+            }
+        }
+    }
+
+    /// Columnar key hashing feeds hashers the same bytes as row-at-a-time
+    /// `Value::hash`, for arbitrary value mixes and key column subsets.
+    #[test]
+    fn chunked_key_hash_matches_row_hash(
+        rows in prop::collection::vec(arb_fixed_row(3), 1..30),
+        k1 in 0usize..3,
+        k2 in 0usize..3,
+    ) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        let schema = Arc::new(
+            Schema::from_pairs(&[
+                ("a", DataType::Any),
+                ("b", DataType::Any),
+                ("c", DataType::Any),
+            ])
+            .unwrap(),
+        );
+        let key_idx = [k1, k2];
+        let t = Table::bag(schema, rows.clone());
+        let got = t.chunk().hash_rows(&key_idx, DefaultHasher::new);
+        for (i, r) in rows.iter().enumerate() {
+            let mut h = DefaultHasher::new();
+            for &k in &key_idx {
+                r.values()[k].hash(&mut h);
+            }
+            prop_assert_eq!(got[i], h.finish());
+        }
+    }
+}
+
+/// Numerics clustered around the 2⁵³ f64-representability boundary (and the
+/// 2⁶³ i64 range edge), where the pre-fix `as f64` comparison collapsed
+/// distinct values. Every order law must hold here exactly as it does for
+/// small values.
+fn arb_boundary_numeric() -> impl Strategy<Value = Value> {
+    const P53: i64 = 1 << 53;
+    prop_oneof![
+        (-4i64..=4).prop_map(|d| Value::Int(P53 + d)),
+        (-4i64..=4).prop_map(|d| Value::Int(-P53 + d)),
+        (-4i64..=4).prop_map(|d| Value::Float((P53 + d) as f64)),
+        (-4i64..=4).prop_map(|d| Value::Float((-P53 + d) as f64)),
+        (-4i64..=4).prop_map(|d| Value::Int(i64::MAX - d.unsigned_abs() as i64)),
+        (-4i64..=4).prop_map(|d| Value::Int(i64::MIN + d.unsigned_abs() as i64)),
+        Just(Value::Float(9_223_372_036_854_775_808.0)),
+        Just(Value::Float(-9_223_372_036_854_775_808.0)),
+        Just(Value::Float(f64::INFINITY)),
+        Just(Value::Float(f64::NEG_INFINITY)),
+        Just(Value::Float(f64::NAN)),
+        Just(Value::Float(-0.0)),
+        (-4i64..=4).prop_map(|d| Value::Float(d as f64 + 0.5)),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 256, ..ProptestConfig::default() })]
+
+    #[test]
+    fn boundary_order_is_antisymmetric(a in arb_boundary_numeric(), b in arb_boundary_numeric()) {
+        use std::cmp::Ordering;
+        prop_assert_eq!(a.total_cmp(&b), b.total_cmp(&a).reverse());
+        prop_assert_eq!(a.total_cmp(&b) == Ordering::Equal, a == b);
+    }
+
+    #[test]
+    fn boundary_order_is_transitive(
+        a in arb_boundary_numeric(),
+        b in arb_boundary_numeric(),
+        c in arb_boundary_numeric(),
+    ) {
+        let mut v = [a, b, c];
+        v.sort();
+        prop_assert!(v[0] <= v[1] && v[1] <= v[2] && v[0] <= v[2]);
+    }
+
+    #[test]
+    fn boundary_equality_implies_hash_equality(
+        a in arb_boundary_numeric(),
+        b in arb_boundary_numeric(),
+    ) {
+        use std::collections::hash_map::DefaultHasher;
+        use std::hash::{Hash, Hasher};
+        if a == b {
+            let mut ha = DefaultHasher::new();
+            let mut hb = DefaultHasher::new();
+            a.hash(&mut ha);
+            b.hash(&mut hb);
+            prop_assert_eq!(ha.finish(), hb.finish());
+        }
+    }
+
+    #[test]
+    fn boundary_distinct_ints_never_collapse_through_floats(d in 1i64..=4) {
+        // The exact regression: Int(2^53 + d) must stay strictly above
+        // Float(2^53) for every positive d, not equal to it.
+        const P53: i64 = 1 << 53;
+        prop_assert!(Value::Int(P53 + d) > Value::Float(P53 as f64));
+        prop_assert!(Value::Int(-P53 - d) < Value::Float(-P53 as f64));
+    }
+}
+
 // Model-based test: a keyed table behaves like a HashMap from key to row.
 proptest! {
     #[test]
