@@ -110,11 +110,18 @@ pub enum DiagCode {
     /// Eq. 9/10/12: a pivot/unpivot pair does not exactly reverse (or
     /// their parameters overlap), so cancellation/swap does not apply.
     Gp022PivotUnpivotMismatch,
+    /// §4.2.3: the shard-safety dataflow could not prove the plan exact
+    /// over disjoint hash partitions; the serve tier maintains it on a
+    /// single shard instead of sharding it.
+    Gp023NotShardSafe,
+    /// §4.2.3: the plan is proven shard-safe; the message names the
+    /// chosen partition layout (shard key per table).
+    Gp024ShardSafe,
 }
 
 impl DiagCode {
     /// Every defined code, in numeric order.
-    pub const ALL: [DiagCode; 18] = [
+    pub const ALL: [DiagCode; 20] = [
         DiagCode::Gp001PivotInputNoKey,
         DiagCode::Gp002MeasureInKey,
         DiagCode::Gp003InvalidSpec,
@@ -133,6 +140,8 @@ impl DiagCode {
         DiagCode::Gp020RuleShapeMismatch,
         DiagCode::Gp021StuckPivot,
         DiagCode::Gp022PivotUnpivotMismatch,
+        DiagCode::Gp023NotShardSafe,
+        DiagCode::Gp024ShardSafe,
     ];
 
     /// The stable wire form, e.g. `"GP010"`.
@@ -156,6 +165,8 @@ impl DiagCode {
             DiagCode::Gp020RuleShapeMismatch => "GP020",
             DiagCode::Gp021StuckPivot => "GP021",
             DiagCode::Gp022PivotUnpivotMismatch => "GP022",
+            DiagCode::Gp023NotShardSafe => "GP023",
+            DiagCode::Gp024ShardSafe => "GP024",
         }
     }
 
@@ -180,6 +191,8 @@ impl DiagCode {
             DiagCode::Gp020RuleShapeMismatch => "rule pattern shape mismatch",
             DiagCode::Gp021StuckPivot => "pivot stuck below union/diff",
             DiagCode::Gp022PivotUnpivotMismatch => "pivot/unpivot pair does not cancel",
+            DiagCode::Gp023NotShardSafe => "plan not provably shard-safe",
+            DiagCode::Gp024ShardSafe => "plan proven shard-safe",
         }
     }
 
@@ -204,6 +217,8 @@ impl DiagCode {
             DiagCode::Gp020RuleShapeMismatch => "—",
             DiagCode::Gp021StuckPivot => "Fig. 22",
             DiagCode::Gp022PivotUnpivotMismatch => "Eq. 9-12",
+            DiagCode::Gp023NotShardSafe => "§4.2.3",
+            DiagCode::Gp024ShardSafe => "§4.2.3",
         }
     }
 
@@ -227,7 +242,9 @@ impl DiagCode {
             DiagCode::Gp019GroupByOnCells
             | DiagCode::Gp020RuleShapeMismatch
             | DiagCode::Gp021StuckPivot
-            | DiagCode::Gp022PivotUnpivotMismatch => Severity::Info,
+            | DiagCode::Gp022PivotUnpivotMismatch
+            | DiagCode::Gp023NotShardSafe
+            | DiagCode::Gp024ShardSafe => Severity::Info,
         }
     }
 }

@@ -36,10 +36,12 @@
 pub mod diagnostic;
 pub mod facts;
 pub mod rules;
+pub mod shard;
 
 pub use diagnostic::{json_escape, DiagCode, Diagnostic, Severity};
 pub use facts::{derive_facts, fd_closure, Fd, NodeFacts};
 pub use rules::{code_for_algebra_error, evaluate, rules, LintRule};
+pub use shard::{shard_safety, ShardRouting, ShardVerdict, TableRoute};
 
 use gpivot_algebra::{Plan, SchemaProvider};
 

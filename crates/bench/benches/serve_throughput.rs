@@ -5,7 +5,7 @@
 //! Reported per worker count: total refresh wall-clock, view-refreshes/sec,
 //! coalesced delta rows/sec, and propagated rows/sec.
 
-use gpivot_serve::{ServeConfig, ViewService};
+use gpivot_serve::{IngestOptions, ServeConfig, ViewService};
 use gpivot_storage::Catalog;
 use gpivot_tpch::views::{view1, view2, view3, VIEW2_THRESHOLD};
 use gpivot_tpch::workload;
@@ -24,10 +24,7 @@ struct RunStats {
 fn run(workers: usize, catalog: &Catalog) -> RunStats {
     let svc = ViewService::new(
         catalog.clone(),
-        ServeConfig {
-            workers,
-            ..ServeConfig::default()
-        },
+        ServeConfig::builder().workers(workers).build().unwrap(),
     );
     for (name, plan) in [
         ("view1_a", view1()),
@@ -52,7 +49,8 @@ fn run(workers: usize, catalog: &Catalog) -> RunStats {
         };
         for table in batch.tables() {
             let delta = batch.delta(table).expect("table in batch");
-            svc.ingest(table, delta.clone()).expect("ingest succeeds");
+            svc.ingest_with(table, delta.clone(), IngestOptions::blocking())
+                .expect("ingest succeeds");
             mirror.apply_delta(table, delta).expect("mirror applies");
         }
         svc.refresh_epoch().expect("epoch succeeds");

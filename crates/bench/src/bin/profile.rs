@@ -20,13 +20,19 @@
 //! row-at-a-time reference kernels against the vectorized columnar
 //! kernels (`Executor::with_columnar`) on the recompute-refresh path, per
 //! view × insert/delete workload — the two engines produce bit-identical
-//! results, so this is a pure kernel-speed comparison.
+//! results, so this is a pure kernel-speed comparison. A sixth section
+//! (`sharding`) profiles the scale-out serve tier: the three views
+//! registered on a [`ShardedService`] at 1/2/4 shards (all three are
+//! proven shard-safe by the analyzer, so they place sharded), fed the
+//! same churn-heavy epochs, reporting per-epoch ingest fan-out and
+//! refresh medians, the N-shard speedup over the single-shard baseline,
+//! and how many heavy keys the skew handler promoted along the way.
 //!
 //! ```text
 //! profile [--smoke] [--out PATH] [--scale SF] [--repeats N] [--threads N]
 //!
 //!   --smoke    tiny data + few repeats (CI gate: seconds, not minutes)
-//!   --out      output path (default BENCH_pr8.json)
+//!   --out      output path (default BENCH_pr9.json)
 //!   --scale    override the generator scale factor
 //!   --repeats  override timed runs per cell (median reported)
 //!   --threads  worker threads for the parallel comparison (default 4)
@@ -82,7 +88,7 @@ const PHASES: [&str; 4] = [
 
 fn main() {
     let mut smoke = false;
-    let mut out_path = String::from("BENCH_pr8.json");
+    let mut out_path = String::from("BENCH_pr9.json");
     let mut scale: Option<f64> = None;
     let mut repeats: Option<usize> = None;
     let mut threads = 4usize;
@@ -346,6 +352,10 @@ fn main() {
     // difference is the replay cost.
     let recovery = profile_recovery(&catalog, smoke, repeats, fraction);
 
+    // Scale-out serve tier: the three views on a sharded service at
+    // 1/2/4 shards, same churn workload per epoch.
+    let sharding = profile_sharding(&catalog, repeats, fraction);
+
     // The parallel numbers only mean something relative to the host: on a
     // single-core machine extra threads are pure overhead and the speedup
     // degenerates to ≤1.0.
@@ -353,13 +363,14 @@ fn main() {
         .map(|n| n.get())
         .unwrap_or(1);
     let doc = format!(
-        "{{\n  \"bench\": \"pr8_profile\",\n  \"mode\": \"{}\",\n  \"scale\": {scale},\n  \
+        "{{\n  \"bench\": \"pr9_profile\",\n  \"mode\": \"{}\",\n  \"scale\": {scale},\n  \
          \"fraction\": {fraction},\n  \"repeats\": {repeats},\n  \"host_cpus\": {host_cpus},\n  \
          \"results\": [\n{results}\n  ],\n  \
          \"parallel\": [\n{parallel}\n  ],\n  \
          \"columnar\": [\n{columnar}\n  ],\n  \
          \"sql_serve\": [\n{sql_serve}\n  ],\n  \
-         \"recovery\": {recovery}\n}}\n",
+         \"recovery\": {recovery},\n  \
+         \"sharding\": {sharding}\n}}\n",
         if smoke { "smoke" } else { "full" },
     );
     std::fs::write(&out_path, &doc).unwrap_or_else(|e| die(&format!("write {out_path}: {e}")));
@@ -470,7 +481,7 @@ fn run_columnar_cell(
 /// delta is generated against a shadow catalog that has absorbed the
 /// previous ones, so the deltas stay valid as the base tables advance.
 fn profile_recovery(catalog: &Catalog, smoke: bool, repeats: usize, fraction: f64) -> String {
-    use gpivot_serve::{ServeConfig, ViewService};
+    use gpivot_serve::{IngestOptions, ServeConfig, ViewService};
     let parse = |sql: &str| parse_query(sql).map_err(|e| e.to_string());
     let cfg = ServeConfig::default();
     let base = std::env::temp_dir().join(format!("gpivot-profile-recovery-{}", std::process::id()));
@@ -494,7 +505,7 @@ fn profile_recovery(catalog: &Catalog, smoke: bool, repeats: usize, fraction: f6
             shadow
                 .apply_delta(&table, &delta)
                 .unwrap_or_else(|e| die(&format!("recovery shadow apply: {e}")));
-            svc.ingest(&table, delta)
+            svc.ingest_with(&table, delta, IngestOptions::blocking())
                 .unwrap_or_else(|e| die(&format!("recovery ingest: {e}")));
         }
         svc.refresh_epoch()
@@ -560,6 +571,107 @@ fn profile_recovery(catalog: &Catalog, smoke: bool, repeats: usize, fraction: f6
         ms(cold),
         report.replayed_records,
         report.replayed_epochs,
+    )
+}
+
+/// Profile the sharded serve tier and return the `"sharding"` JSON object.
+///
+/// For each shard count, builds a [`ShardedService`] over a clone of the
+/// bench catalog, registers the three paper views (all shard-safe, so
+/// they place sharded whenever N > 1), then commits `repeats` epochs of
+/// insert-plus-order-churn deltas — churn hammers a few custkeys, so with
+/// a low heavy-key threshold the skew handler promotes keys mid-run —
+/// timing the ingest fan-out and the parallel shard refresh per epoch.
+/// `scaleout_speedup` is each N's median refresh over the 1-shard
+/// baseline's.
+fn profile_sharding(catalog: &Catalog, repeats: usize, fraction: f64) -> String {
+    use gpivot_serve::{IngestOptions, ServeConfig, ShardedService};
+    use gpivot_tpch::workload;
+
+    const SHARD_COUNTS: [usize; 3] = [1, 2, 4];
+    const HEAVY_KEY_THRESHOLD: u64 = 4;
+
+    let mut rows = String::new();
+    let mut baseline_refresh: Option<Duration> = None;
+    for shards in SHARD_COUNTS {
+        eprintln!("sharded serve tier at {shards} shard(s) ...");
+        let cfg = ServeConfig::builder()
+            .workers(2)
+            .shards(shards)
+            .heavy_key_threshold(HEAVY_KEY_THRESHOLD)
+            .build()
+            .unwrap_or_else(|e| die(&format!("sharding config: {e}")));
+        let svc = ShardedService::new(catalog.clone(), cfg);
+        for family in &FAMILIES {
+            svc.register_view(family.name, (family.plan)())
+                .unwrap_or_else(|e| die(&format!("sharding register {}: {e}", family.name)));
+        }
+        let sharded_views = FAMILIES
+            .iter()
+            .filter(|f| svc.placement(f.name).is_some_and(|p| p.is_sharded()))
+            .count();
+
+        let mut shadow = catalog.clone();
+        let mut ingest_times: Vec<Duration> = Vec::with_capacity(repeats);
+        let mut refresh_times: Vec<Duration> = Vec::with_capacity(repeats);
+        for i in 0..repeats.max(1) as u64 {
+            let mut deltas = workload::insert_new_rows(&shadow, fraction, 0xACE0 + i);
+            let churn = workload::order_churn(&shadow, fraction, 0xACE0 + i);
+            for table in churn.tables().map(str::to_string).collect::<Vec<_>>() {
+                deltas.absorb_delta(&table, churn.delta(&table).cloned().unwrap_or_default());
+            }
+            let tables: Vec<String> = deltas.tables().map(str::to_string).collect();
+            let t0 = Instant::now();
+            for table in &tables {
+                let delta = deltas.delta(table).cloned().unwrap_or_default();
+                svc.ingest_with(table, delta.clone(), IngestOptions::blocking())
+                    .unwrap_or_else(|e| die(&format!("sharding ingest {table}: {e}")));
+                shadow
+                    .apply_delta(table, &delta)
+                    .unwrap_or_else(|e| die(&format!("sharding shadow apply: {e}")));
+            }
+            ingest_times.push(t0.elapsed());
+            let t1 = Instant::now();
+            svc.refresh_epoch()
+                .unwrap_or_else(|e| die(&format!("sharding refresh: {e}")));
+            refresh_times.push(t1.elapsed());
+        }
+        ingest_times.sort();
+        refresh_times.sort();
+        let ingest = ingest_times[ingest_times.len() / 2];
+        let refresh = refresh_times[refresh_times.len() / 2];
+        let heavy = svc.heavy_keys().len();
+        let base = *baseline_refresh.get_or_insert(refresh);
+        let speedup = if refresh.as_secs_f64() > 0.0 {
+            base.as_secs_f64() / refresh.as_secs_f64()
+        } else {
+            f64::MAX
+        };
+        eprintln!(
+            "  ingest {:.3}ms, refresh {:.3}ms ({speedup:.2}x vs 1 shard), \
+             {sharded_views}/3 views sharded, {heavy} heavy keys promoted",
+            ms(ingest),
+            ms(refresh)
+        );
+        if shards != SHARD_COUNTS[0] {
+            rows.push_str(",\n");
+        }
+        let _ = write!(
+            rows,
+            "      {{\n        \"shards\": {shards},\n        \
+             \"sharded_views\": {sharded_views},\n        \
+             \"ingest_ms\": {:.4},\n        \"refresh_ms\": {:.4},\n        \
+             \"scaleout_speedup\": {speedup:.4},\n        \
+             \"heavy_keys_promoted\": {heavy}\n      }}",
+            ms(ingest),
+            ms(refresh),
+        );
+    }
+    format!(
+        "{{\n    \"shard_counts\": [1, 2, 4],\n    \
+         \"heavy_key_threshold\": {HEAVY_KEY_THRESHOLD},\n    \
+         \"epochs\": {},\n    \"results\": [\n{rows}\n    ]\n  }}",
+        repeats.max(1),
     )
 }
 

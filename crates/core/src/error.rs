@@ -48,6 +48,11 @@ pub enum CoreError {
     /// watermark was reached. Transient by definition: draining an epoch
     /// frees space.
     Backpressure { pending_rows: u64, watermark: u64 },
+    /// A configuration builder was given an invalid value (zero workers,
+    /// a backoff cap below the initial backoff, ...). Raised by
+    /// `ServeConfig::builder()` in `gpivot-serve` at `build()` time so
+    /// misconfiguration fails fast instead of misbehaving at runtime.
+    InvalidConfig { field: String, message: String },
 }
 
 /// Coarse retry classification of an error — the taxonomy the service
@@ -135,6 +140,9 @@ impl fmt::Display for CoreError {
                 f,
                 "ingestion rejected: {pending_rows} pending rows at watermark {watermark}"
             ),
+            CoreError::InvalidConfig { field, message } => {
+                write!(f, "invalid config: `{field}` {message}")
+            }
         }
     }
 }

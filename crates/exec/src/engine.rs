@@ -254,23 +254,6 @@ impl Executor {
         Ok((table, trace))
     }
 
-    /// Evaluate on a fresh default-configured executor.
-    #[deprecated(note = "configure an instance instead: `Executor::new().run(plan, provider)`")]
-    pub fn execute<P: TableProvider>(plan: &Plan, provider: &P) -> Result<Table> {
-        Executor::new().run(plan, provider)
-    }
-
-    /// Evaluate traced on a fresh default-configured executor.
-    #[deprecated(
-        note = "configure an instance instead: `Executor::new().run_traced(plan, provider)`"
-    )]
-    pub fn execute_traced<P: TableProvider>(
-        plan: &Plan,
-        provider: &P,
-    ) -> Result<(Table, ExecTrace)> {
-        Executor::new().run_traced(plan, provider)
-    }
-
     fn eval<P: TableProvider>(
         &self,
         plan: &Plan,
@@ -871,17 +854,6 @@ mod tests {
             parent.max() <= parts.max(),
             "parent self-time is the max partition duration"
         );
-    }
-
-    #[test]
-    #[allow(deprecated)]
-    fn deprecated_static_shims_still_work() {
-        let c = catalog();
-        let plan = PlanBuilder::scan("payment").build();
-        let via_shim = Executor::execute(&plan, &c).unwrap();
-        let (traced, trace) = Executor::execute_traced(&plan, &c).unwrap();
-        assert!(via_shim.bag_eq(&traced));
-        assert_eq!(trace.entries.len(), 1);
     }
 
     #[test]

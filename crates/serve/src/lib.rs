@@ -54,9 +54,11 @@ mod durable;
 mod metrics;
 mod queue;
 mod service;
+mod shard;
 mod sync;
 
 pub use durable::{PlanParser, RecoveryReport};
 pub use gpivot_storage::FsyncPolicy;
 pub use metrics::{EpochSummary, MetricsSnapshot, ViewHealth, ViewMetrics};
-pub use service::{ServeConfig, Snapshot, ViewService};
+pub use service::{IngestOptions, ServeConfig, ServeConfigBuilder, Snapshot, ViewService};
+pub use shard::{ShardConfig, ShardSnapshot, ShardedService, ViewPlacement};

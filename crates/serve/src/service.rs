@@ -4,6 +4,7 @@
 use crate::durable::{self, Durability, PlanParser, RecoveryReport};
 use crate::metrics::{EpochSummary, MetricsSnapshot, ViewHealth, ViewMetrics};
 use crate::queue::IngestQueue;
+use crate::shard::ShardConfig;
 use crate::sync;
 use gpivot_algebra::plan::Plan;
 use gpivot_core::{
@@ -20,13 +21,22 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, RwLock, RwLockReadGuard};
 use std::time::{Duration, Instant};
 
-/// Tuning knobs for [`ViewService`].
+/// Tuning knobs for [`ViewService`] and the sharded tier
+/// ([`crate::ShardedService`]).
+///
+/// Construct through [`ServeConfig::builder`], which validates every
+/// setter; the public fields remain readable but direct field-struct
+/// construction is deprecated (it silently breaks whenever a knob is
+/// added — exactly what happened when sharding landed).
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Worker threads per refresh epoch. Independent affected views are
     /// distributed round-robin over this many `std` scoped threads (the
     /// same idiom as `gpivot_core::combine::parallel_gpivot`). `1` means
     /// fully sequential refreshes.
+    #[deprecated(
+        note = "construct via `ServeConfig::builder()`; read through the accessor methods"
+    )]
     pub workers: usize,
     /// Backpressure watermark on the *coalesced* pending row count.
     ///
@@ -45,20 +55,35 @@ pub struct ServeConfig {
     /// `Backpressure`. As a safety valve, a single batch larger than the
     /// watermark is still accepted when the queue is empty, so no producer
     /// can wedge on one oversized batch.
+    #[deprecated(
+        note = "construct via `ServeConfig::builder()`; read through the accessor methods"
+    )]
     pub max_pending_rows: u64,
     /// Refresh attempts beyond the first, per view per epoch, for errors
     /// classified [`gpivot_core::ErrorClass::Transient`] (injected faults,
     /// caught worker panics). Permanent errors never retry.
+    #[deprecated(
+        note = "construct via `ServeConfig::builder()`; read through the accessor methods"
+    )]
     pub max_retries: u32,
     /// Initial sleep between retry attempts; doubles per attempt.
+    #[deprecated(
+        note = "construct via `ServeConfig::builder()`; read through the accessor methods"
+    )]
     pub retry_backoff: Duration,
     /// Upper bound on the exponential retry backoff.
+    #[deprecated(
+        note = "construct via `ServeConfig::builder()`; read through the accessor methods"
+    )]
     pub retry_backoff_cap: Duration,
     /// Consecutive failed epochs (retry budget exhausted each time) after
     /// which a view is quarantined: excluded from refresh scheduling so it
     /// stops blocking epochs, reported as
     /// [`ViewHealth::Quarantined`] in metrics, and re-admitted only by
     /// [`ViewService::retry_view`] or re-registration.
+    #[deprecated(
+        note = "construct via `ServeConfig::builder()`; read through the accessor methods"
+    )]
     pub quarantine_after: u32,
     /// Intra-query parallelism: threads each plan execution (propagate
     /// subplans, recompute, verify) runs on, via the service's
@@ -67,25 +92,45 @@ pub struct ServeConfig {
     /// `workers × exec_threads` threads. Defaults to the
     /// `GPIVOT_EXEC_THREADS` environment variable, else `1` (see
     /// [`gpivot_exec::ExecOptions`]).
+    #[deprecated(
+        note = "construct via `ServeConfig::builder()`; read through the accessor methods"
+    )]
     pub exec_threads: usize,
     /// Run plan executions on the vectorized columnar kernels (`true`,
     /// the default) or the row-at-a-time reference kernels (`false`).
     /// Results are bit-identical either way; this is a performance and
     /// triage knob. Defaults to the `GPIVOT_EXEC_COLUMNAR` environment
     /// variable, else `true` (see [`gpivot_exec::ExecOptions`]).
+    #[deprecated(
+        note = "construct via `ServeConfig::builder()`; read through the accessor methods"
+    )]
     pub exec_columnar: bool,
     /// When the WAL fsyncs, for services opened durably with
     /// [`ViewService::open`]. Ignored by [`ViewService::new`] (no log).
     /// The default, [`FsyncPolicy::OnCommit`], makes every acknowledged
     /// epoch commit (and registry change) durable; individual ingests
     /// inside a never-committed epoch ride on the page cache.
+    #[deprecated(
+        note = "construct via `ServeConfig::builder()`; read through the accessor methods"
+    )]
     pub wal_fsync: FsyncPolicy,
     /// Automatically checkpoint (and rotate + truncate the log) after
     /// every N committed epochs. `0` (the default) means manual only —
     /// call [`ViewService::checkpoint`]. Ignored by non-durable services.
+    #[deprecated(
+        note = "construct via `ServeConfig::builder()`; read through the accessor methods"
+    )]
     pub checkpoint_every_epochs: u64,
+    /// Horizontal sharding for [`crate::ShardedService`]: hash-shard
+    /// count and the heavy-key promotion threshold. The default
+    /// (`shards = 1`) is unsharded. Ignored by a bare [`ViewService`].
+    #[deprecated(
+        note = "construct via `ServeConfig::builder()`; read through the accessor methods"
+    )]
+    pub sharding: ShardConfig,
 }
 
+#[allow(deprecated)] // defining crate touches its own deprecated fields
 impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
@@ -101,6 +146,276 @@ impl Default for ServeConfig {
             exec_columnar: gpivot_exec::ExecOptions::default().columnar,
             wal_fsync: FsyncPolicy::default(),
             checkpoint_every_epochs: 0,
+            sharding: ShardConfig::default(),
+        }
+    }
+}
+
+#[allow(deprecated)] // defining crate touches its own deprecated fields
+impl ServeConfig {
+    /// Start building a config from the defaults. Every setter validates
+    /// its argument; [`ServeConfigBuilder::build`] returns the first
+    /// violation instead of a config that would misbehave at runtime.
+    pub fn builder() -> ServeConfigBuilder {
+        ServeConfigBuilder {
+            cfg: ServeConfig::default(),
+            error: None,
+        }
+    }
+
+    /// Worker threads per refresh epoch.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Backpressure watermark on the coalesced pending row count.
+    pub fn max_pending_rows(&self) -> u64 {
+        self.max_pending_rows
+    }
+
+    /// Transient-error refresh retries per view per epoch.
+    pub fn max_retries(&self) -> u32 {
+        self.max_retries
+    }
+
+    /// Initial retry backoff.
+    pub fn retry_backoff(&self) -> Duration {
+        self.retry_backoff
+    }
+
+    /// Upper bound on the exponential retry backoff.
+    pub fn retry_backoff_cap(&self) -> Duration {
+        self.retry_backoff_cap
+    }
+
+    /// Consecutive failed epochs before quarantine.
+    pub fn quarantine_after(&self) -> u32 {
+        self.quarantine_after
+    }
+
+    /// Intra-query executor threads.
+    pub fn exec_threads(&self) -> usize {
+        self.exec_threads
+    }
+
+    /// Whether plan executions use the vectorized columnar kernels.
+    pub fn exec_columnar(&self) -> bool {
+        self.exec_columnar
+    }
+
+    /// WAL fsync policy for durable services.
+    pub fn wal_fsync(&self) -> FsyncPolicy {
+        self.wal_fsync
+    }
+
+    /// Auto-checkpoint cadence in committed epochs (`0` = manual).
+    pub fn checkpoint_every_epochs(&self) -> u64 {
+        self.checkpoint_every_epochs
+    }
+
+    /// Sharding layout for [`crate::ShardedService`].
+    pub fn sharding(&self) -> &ShardConfig {
+        &self.sharding
+    }
+}
+
+/// Validating builder for [`ServeConfig`] — see [`ServeConfig::builder`].
+///
+/// Setters record the *first* invalid argument and [`Self::build`]
+/// surfaces it as [`CoreError::InvalidConfig`], so call sites get one
+/// `?` instead of a panic deep inside the service.
+#[derive(Debug, Clone)]
+pub struct ServeConfigBuilder {
+    cfg: ServeConfig,
+    error: Option<CoreError>,
+}
+
+#[allow(deprecated)] // defining crate touches its own deprecated fields
+impl ServeConfigBuilder {
+    fn invalid(&mut self, field: &str, message: String) {
+        if self.error.is_none() {
+            self.error = Some(CoreError::InvalidConfig {
+                field: field.to_string(),
+                message,
+            });
+        }
+    }
+
+    /// Worker threads per refresh epoch (inter-view parallelism); ≥ 1.
+    pub fn workers(mut self, workers: usize) -> Self {
+        if workers == 0 {
+            self.invalid("workers", "must be at least 1".into());
+        } else {
+            self.cfg.workers = workers;
+        }
+        self
+    }
+
+    /// Number of hash shards for [`crate::ShardedService`]; ≥ 1
+    /// (`1` = unsharded).
+    pub fn shards(mut self, shards: usize) -> Self {
+        if shards == 0 {
+            self.invalid("shards", "must be at least 1 (1 = unsharded)".into());
+        } else {
+            self.cfg.sharding.shards = shards;
+        }
+        self
+    }
+
+    /// Delta-row frequency at which a key is promoted to the heavy
+    /// shard; `0` disables promotion. See [`ShardConfig`].
+    pub fn heavy_key_threshold(mut self, threshold: u64) -> Self {
+        self.cfg.sharding.heavy_key_threshold = threshold;
+        self
+    }
+
+    /// Backpressure watermark on the coalesced pending row count; ≥ 1.
+    pub fn max_pending_rows(mut self, rows: u64) -> Self {
+        if rows == 0 {
+            self.invalid("max_pending_rows", "must be at least 1".into());
+        } else {
+            self.cfg.max_pending_rows = rows;
+        }
+        self
+    }
+
+    /// Transient-error refresh retries per view per epoch.
+    pub fn max_retries(mut self, retries: u32) -> Self {
+        self.cfg.max_retries = retries;
+        self
+    }
+
+    /// Initial retry backoff (doubles per attempt).
+    pub fn retry_backoff(mut self, backoff: Duration) -> Self {
+        self.cfg.retry_backoff = backoff;
+        self
+    }
+
+    /// Upper bound on the exponential retry backoff; validated ≥ the
+    /// initial backoff at [`Self::build`].
+    pub fn retry_backoff_cap(mut self, cap: Duration) -> Self {
+        self.cfg.retry_backoff_cap = cap;
+        self
+    }
+
+    /// Consecutive failed epochs before quarantine; ≥ 1.
+    pub fn quarantine_after(mut self, epochs: u32) -> Self {
+        if epochs == 0 {
+            self.invalid("quarantine_after", "must be at least 1".into());
+        } else {
+            self.cfg.quarantine_after = epochs;
+        }
+        self
+    }
+
+    /// Intra-query executor threads; ≥ 1.
+    pub fn exec_threads(mut self, threads: usize) -> Self {
+        if threads == 0 {
+            self.invalid("exec_threads", "must be at least 1".into());
+        } else {
+            self.cfg.exec_threads = threads;
+        }
+        self
+    }
+
+    /// Vectorized columnar kernels (`true`, default) or the row
+    /// reference kernels (`false`).
+    pub fn exec_columnar(mut self, columnar: bool) -> Self {
+        self.cfg.exec_columnar = columnar;
+        self
+    }
+
+    /// WAL fsync policy for durable services.
+    pub fn wal_fsync(mut self, policy: FsyncPolicy) -> Self {
+        self.cfg.wal_fsync = policy;
+        self
+    }
+
+    /// Auto-checkpoint cadence in committed epochs (`0` = manual).
+    pub fn checkpoint_every_epochs(mut self, epochs: u64) -> Self {
+        self.cfg.checkpoint_every_epochs = epochs;
+        self
+    }
+
+    /// Finish: the validated config, or the first setter violation as
+    /// [`CoreError::InvalidConfig`].
+    pub fn build(self) -> Result<ServeConfig> {
+        if let Some(e) = self.error {
+            return Err(e);
+        }
+        if self.cfg.retry_backoff_cap < self.cfg.retry_backoff {
+            return Err(CoreError::InvalidConfig {
+                field: "retry_backoff_cap".into(),
+                message: format!(
+                    "cap {:?} is below the initial backoff {:?}",
+                    self.cfg.retry_backoff_cap, self.cfg.retry_backoff
+                ),
+            });
+        }
+        Ok(self.cfg)
+    }
+}
+
+/// How an [`ViewService::ingest_with`] call waits for queue space when
+/// the backpressure watermark is reached.
+///
+/// The single replacement for the old `ingest` / `try_ingest` /
+/// `ingest_timeout` trio:
+///
+/// * [`IngestOptions::default`] (or [`IngestOptions::blocking`]) waits
+///   until an epoch drains the queue — the old `ingest`.
+/// * [`IngestOptions::non_blocking`] rejects immediately with
+///   [`gpivot_core::CoreError::Backpressure`] — the old `try_ingest`,
+///   and the safe choice for single-threaded producers (which cannot
+///   both wait for space and run the epoch that would create it).
+/// * [`IngestOptions::bounded`] waits at most `timeout` — the old
+///   `ingest_timeout`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestOptions {
+    /// Reject immediately instead of waiting when `false`.
+    pub blocking: bool,
+    /// Upper bound on a blocking wait; `None` waits indefinitely.
+    /// Ignored when `blocking` is `false`.
+    pub timeout: Option<Duration>,
+}
+
+impl Default for IngestOptions {
+    /// Blocking with no timeout — the old `ingest` behavior.
+    fn default() -> Self {
+        IngestOptions::blocking()
+    }
+}
+
+impl IngestOptions {
+    /// Wait for queue space indefinitely (the old `ingest`).
+    pub fn blocking() -> Self {
+        IngestOptions {
+            blocking: true,
+            timeout: None,
+        }
+    }
+
+    /// Reject immediately at the watermark (the old `try_ingest`).
+    pub fn non_blocking() -> Self {
+        IngestOptions {
+            blocking: false,
+            timeout: None,
+        }
+    }
+
+    /// Wait at most `timeout` (the old `ingest_timeout`).
+    pub fn bounded(timeout: Duration) -> Self {
+        IngestOptions {
+            blocking: true,
+            timeout: Some(timeout),
+        }
+    }
+
+    fn wait(&self) -> Wait {
+        match (self.blocking, self.timeout) {
+            (false, _) => Wait::Never,
+            (true, Some(t)) => Wait::Timeout(t),
+            (true, None) => Wait::Block,
         }
     }
 }
@@ -162,8 +477,8 @@ impl ViewService {
     /// the copy the service owns.
     pub fn new(catalog: Catalog, cfg: ServeConfig) -> Self {
         let exec = gpivot_exec::Executor::new()
-            .with_threads(cfg.exec_threads)
-            .with_columnar(cfg.exec_columnar);
+            .with_threads(cfg.exec_threads())
+            .with_columnar(cfg.exec_columnar());
         Self::assemble(
             ViewManager::new(catalog).with_exec(exec),
             IngestQueue::new(),
@@ -226,14 +541,14 @@ impl ViewService {
     ) -> Result<(ViewService, RecoveryReport)> {
         let dir = dir.as_ref();
         let exec = Executor::new()
-            .with_threads(cfg.exec_threads)
-            .with_columnar(cfg.exec_columnar);
+            .with_threads(cfg.exec_threads())
+            .with_columnar(cfg.exec_columnar());
         let injector = seed_catalog.fault_injector().clone();
         match durable::recover(dir, parser, exec)? {
             Some(rec) => {
                 let mut manager = rec.manager;
                 manager.catalog_mut().set_fault_injector(injector.clone());
-                let durability = Durability::open_at(dir, rec.gen, cfg.wal_fsync, injector)?;
+                let durability = Durability::open_at(dir, rec.gen, cfg.wal_fsync(), injector)?;
                 let (raw_rows, batches) = rec.queue.watermarks();
                 let metrics = MetricsSnapshot {
                     // Seed the ingest counters from the recovered queue
@@ -260,10 +575,10 @@ impl ViewService {
             }
             None => {
                 let durability =
-                    Durability::bootstrap(dir, &seed_catalog, cfg.wal_fsync, injector)?;
+                    Durability::bootstrap(dir, &seed_catalog, cfg.wal_fsync(), injector)?;
                 let exec = Executor::new()
-                    .with_threads(cfg.exec_threads)
-                    .with_columnar(cfg.exec_columnar);
+                    .with_threads(cfg.exec_threads())
+                    .with_columnar(cfg.exec_columnar());
                 let svc = Self::assemble(
                     ViewManager::new(seed_catalog).with_exec(exec),
                     IngestQueue::new(),
@@ -372,29 +687,51 @@ impl ViewService {
         state.view_names().into_iter().map(String::from).collect()
     }
 
-    /// Submit a signed delta batch for one base table. Blocks while the
-    /// coalesced pending row count is at the backpressure watermark (unless
-    /// the queue is empty, so one oversized batch still gets through). See
+    /// The configuration this service was built with.
+    pub(crate) fn config(&self) -> &ServeConfig {
+        &self.shared.cfg
+    }
+
+    /// Replace a base table wholesale, under the refresh gate + write
+    /// lock. Sharded-tier hook: used when a table transitions
+    /// replicated → partitioned on a shard worker. Callers must have
+    /// drained the queue first so no pending delta was routed against
+    /// the old contents.
+    pub(crate) fn replace_table(&self, name: &str, table: Table) {
+        let _gate = sync::lock(&self.shared.gate);
+        let mut state = sync::write(&self.shared.state);
+        state.catalog_mut().replace(name, table);
+    }
+
+    /// Submit a signed delta batch for one base table. The single ingest
+    /// entry point: [`IngestOptions`] selects blocking (default),
+    /// non-blocking, or bounded-wait behavior at the backpressure
+    /// watermark. A blocked ingest still gets through when the queue is
+    /// empty (one oversized batch never wedges a producer); see
     /// [`ServeConfig::max_pending_rows`] for the liveness contract.
+    pub fn ingest_with(&self, table: &str, delta: Delta, options: IngestOptions) -> Result<()> {
+        self.ingest_inner(table, delta, options.wait())
+    }
+
+    /// Deprecated spelling of
+    /// `ingest_with(table, delta, IngestOptions::blocking())`.
+    #[deprecated(note = "use `ingest_with(table, delta, IngestOptions::blocking())`")]
     pub fn ingest(&self, table: &str, delta: Delta) -> Result<()> {
-        self.ingest_inner(table, delta, Wait::Block)
+        self.ingest_with(table, delta, IngestOptions::blocking())
     }
 
-    /// Non-blocking [`ViewService::ingest`]: if the queue is at the
-    /// backpressure watermark, returns
-    /// [`gpivot_core::CoreError::Backpressure`] immediately instead of
-    /// waiting, and enqueues nothing. The safe choice for single-threaded
-    /// producers, which cannot both wait for space and run the epoch that
-    /// would create it.
+    /// Deprecated spelling of
+    /// `ingest_with(table, delta, IngestOptions::non_blocking())`.
+    #[deprecated(note = "use `ingest_with(table, delta, IngestOptions::non_blocking())`")]
     pub fn try_ingest(&self, table: &str, delta: Delta) -> Result<()> {
-        self.ingest_inner(table, delta, Wait::Never)
+        self.ingest_with(table, delta, IngestOptions::non_blocking())
     }
 
-    /// [`ViewService::ingest`] with a bounded wait: blocks up to `timeout`
-    /// for queue space, then returns
-    /// [`gpivot_core::CoreError::Backpressure`] without enqueueing.
+    /// Deprecated spelling of
+    /// `ingest_with(table, delta, IngestOptions::bounded(timeout))`.
+    #[deprecated(note = "use `ingest_with(table, delta, IngestOptions::bounded(timeout))`")]
     pub fn ingest_timeout(&self, table: &str, delta: Delta, timeout: Duration) -> Result<()> {
-        self.ingest_inner(table, delta, Wait::Timeout(timeout))
+        self.ingest_with(table, delta, IngestOptions::bounded(timeout))
     }
 
     fn ingest_inner(&self, table: &str, delta: Delta, wait: Wait) -> Result<()> {
@@ -417,7 +754,7 @@ impl ViewService {
         let mut rejected_at = None;
         {
             let mut q = sync::lock(&self.shared.queue);
-            while q.pending_rows() >= self.shared.cfg.max_pending_rows && !q.is_empty() {
+            while q.pending_rows() >= self.shared.cfg.max_pending_rows() && !q.is_empty() {
                 match (&wait, deadline) {
                     (Wait::Never, _) => {
                         rejected_at = Some(q.pending_rows());
@@ -463,7 +800,7 @@ impl ViewService {
             }
             return Err(CoreError::Backpressure {
                 pending_rows,
-                watermark: self.shared.cfg.max_pending_rows,
+                watermark: self.shared.cfg.max_pending_rows(),
             });
         }
         m.batches_ingested += 1;
@@ -575,7 +912,7 @@ impl ViewService {
         let names: Vec<String> = affected.iter().map(|v| v.name().to_string()).collect();
         let catalog = state.catalog();
         let exec = state.executor();
-        let workers = self.shared.cfg.workers.max(1).min(affected.len().max(1));
+        let workers = self.shared.cfg.workers().max(1).min(affected.len().max(1));
         let results = {
             let _s = tracing::span("epoch.propagate").enter();
             let tracer = &self.shared.tracer;
@@ -732,7 +1069,7 @@ impl ViewService {
         }
         self.finish_epoch_metrics(epoch_time);
         if self.shared.durability.is_some() {
-            let every = self.shared.cfg.checkpoint_every_epochs;
+            let every = self.shared.cfg.checkpoint_every_epochs();
             if every > 0 && summary.epoch % every == 0 {
                 // The epoch above is already committed and durable; a
                 // checkpoint failure here reports as the epoch's error but
@@ -898,7 +1235,7 @@ impl ViewService {
                 let was_quarantined = vm.health.is_quarantined();
                 vm.health = match vm.health {
                     ViewHealth::Healthy => {
-                        if self.shared.cfg.quarantine_after <= 1 {
+                        if self.shared.cfg.quarantine_after() <= 1 {
                             ViewHealth::Quarantined {
                                 since_epoch: epoch_now,
                                 reason: err.to_string(),
@@ -913,7 +1250,7 @@ impl ViewService {
                         consecutive_failures,
                     } => {
                         let n = consecutive_failures + 1;
-                        if n >= self.shared.cfg.quarantine_after {
+                        if n >= self.shared.cfg.quarantine_after() {
                             ViewHealth::Quarantined {
                                 since_epoch: epoch_now,
                                 reason: err.to_string(),
@@ -1250,16 +1587,16 @@ impl Snapshot<'_> {
 /// retries were spent.
 fn retry_transient<R>(cfg: &ServeConfig, mut op: impl FnMut() -> Result<R>) -> (Result<R>, u32) {
     let mut retries = 0u32;
-    let mut backoff = cfg.retry_backoff;
+    let mut backoff = cfg.retry_backoff();
     loop {
         match op() {
             Ok(r) => return (Ok(r), retries),
-            Err(e) if e.is_transient() && retries < cfg.max_retries => {
+            Err(e) if e.is_transient() && retries < cfg.max_retries() => {
                 retries += 1;
                 if !backoff.is_zero() {
                     std::thread::sleep(backoff);
                 }
-                backoff = (backoff * 2).min(cfg.retry_backoff_cap);
+                backoff = (backoff * 2).min(cfg.retry_backoff_cap());
             }
             Err(e) => return (Err(e), retries),
         }
@@ -1333,7 +1670,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 /// `None` iff its worker thread died without delivering a result — `f` is
 /// expected to catch panics itself, so `None` marks a panic that escaped
 /// even that boundary; callers must treat it as a failure, never unwrap it.
-fn run_on_pool<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<Option<R>>
+pub(crate) fn run_on_pool<T, R, F>(items: Vec<T>, workers: usize, f: F) -> Vec<Option<R>>
 where
     T: Send,
     R: Send,
@@ -1416,18 +1753,17 @@ mod tests {
     }
 
     fn small_config() -> ServeConfig {
-        ServeConfig {
-            workers: 1,
-            max_pending_rows: 1,
-            max_retries: 0,
-            retry_backoff: Duration::ZERO,
-            retry_backoff_cap: Duration::ZERO,
-            quarantine_after: 3,
-            exec_threads: 1,
-            exec_columnar: true,
-            wal_fsync: FsyncPolicy::OnCommit,
-            checkpoint_every_epochs: 0,
-        }
+        ServeConfig::builder()
+            .workers(1)
+            .max_pending_rows(1)
+            .max_retries(0)
+            .retry_backoff(Duration::ZERO)
+            .retry_backoff_cap(Duration::ZERO)
+            .quarantine_after(3)
+            .exec_threads(1)
+            .wal_fsync(FsyncPolicy::OnCommit)
+            .build()
+            .unwrap()
     }
 
     #[test]
@@ -1436,8 +1772,12 @@ mod tests {
         svc.register_view("pv", pivot_plan()).unwrap();
         assert_eq!(svc.view_names(), vec!["pv".to_string()]);
 
-        svc.ingest("facts", Delta::from_inserts(vec![row![3, "b", 7]]))
-            .unwrap();
+        svc.ingest_with(
+            "facts",
+            Delta::from_inserts(vec![row![3, "b", 7]]),
+            IngestOptions::blocking(),
+        )
+        .unwrap();
         let summary = svc.refresh_epoch().unwrap();
         assert_eq!(summary.epoch, 1);
         assert_eq!(summary.views_refreshed, 1);
@@ -1478,8 +1818,12 @@ mod tests {
         )
         .unwrap();
 
-        svc.ingest("facts", Delta::from_inserts(vec![row![9, "a", 1]]))
-            .unwrap();
+        svc.ingest_with(
+            "facts",
+            Delta::from_inserts(vec![row![9, "a", 1]]),
+            IngestOptions::blocking(),
+        )
+        .unwrap();
         let s = svc.refresh_epoch().unwrap();
         // Only the pivot view depends on `facts`.
         assert_eq!(s.views_refreshed, 1);
@@ -1493,7 +1837,11 @@ mod tests {
     fn ingest_unknown_table_errors() {
         let svc = ViewService::new(catalog(), ServeConfig::default());
         assert!(svc
-            .ingest("nope", Delta::from_inserts(vec![row![1]]))
+            .ingest_with(
+                "nope",
+                Delta::from_inserts(vec![row![1]]),
+                IngestOptions::default()
+            )
             .is_err());
     }
 
@@ -1501,9 +1849,10 @@ mod tests {
     fn oversized_batch_passes_when_queue_empty() {
         let svc = ViewService::new(catalog(), small_config());
         // 3 rows > watermark of 1, but the queue is empty: must not block.
-        svc.ingest(
+        svc.ingest_with(
             "facts",
             Delta::from_inserts(vec![row![7, "a", 1], row![8, "a", 1], row![9, "b", 2]]),
+            IngestOptions::blocking(),
         )
         .unwrap();
         assert_eq!(svc.pending_rows(), 3);
@@ -1512,12 +1861,20 @@ mod tests {
     #[test]
     fn try_ingest_rejects_at_watermark() {
         let svc = ViewService::new(catalog(), small_config());
-        svc.try_ingest("facts", Delta::from_inserts(vec![row![7, "a", 1]]))
-            .unwrap();
+        svc.ingest_with(
+            "facts",
+            Delta::from_inserts(vec![row![7, "a", 1]]),
+            IngestOptions::non_blocking(),
+        )
+        .unwrap();
         // Queue is now at the watermark (1 pending >= 1): rejected, and
         // nothing enqueued.
         let err = svc
-            .try_ingest("facts", Delta::from_inserts(vec![row![8, "a", 1]]))
+            .ingest_with(
+                "facts",
+                Delta::from_inserts(vec![row![8, "a", 1]]),
+                IngestOptions::non_blocking(),
+            )
             .unwrap_err();
         assert!(matches!(
             err,
@@ -1535,13 +1892,17 @@ mod tests {
     #[test]
     fn ingest_timeout_rejects_after_deadline() {
         let svc = ViewService::new(catalog(), small_config());
-        svc.ingest("facts", Delta::from_inserts(vec![row![7, "a", 1]]))
-            .unwrap();
+        svc.ingest_with(
+            "facts",
+            Delta::from_inserts(vec![row![7, "a", 1]]),
+            IngestOptions::blocking(),
+        )
+        .unwrap();
         let err = svc
-            .ingest_timeout(
+            .ingest_with(
                 "facts",
                 Delta::from_inserts(vec![row![8, "a", 1]]),
-                Duration::from_millis(5),
+                IngestOptions::bounded(Duration::from_millis(5)),
             )
             .unwrap_err();
         assert!(matches!(err, CoreError::Backpressure { .. }));
@@ -1550,10 +1911,10 @@ mod tests {
         // After draining, the same call goes through.
         svc.register_view("pv", pivot_plan()).unwrap();
         svc.refresh_epoch().unwrap();
-        svc.ingest_timeout(
+        svc.ingest_with(
             "facts",
             Delta::from_inserts(vec![row![8, "a", 1]]),
-            Duration::from_millis(5),
+            IngestOptions::bounded(Duration::from_millis(5)),
         )
         .unwrap();
     }
@@ -1562,10 +1923,18 @@ mod tests {
     fn queue_coalescing_reaches_metrics() {
         let svc = ViewService::new(catalog(), ServeConfig::default());
         svc.register_view("pv", pivot_plan()).unwrap();
-        svc.ingest("facts", Delta::from_inserts(vec![row![5, "a", 1]]))
-            .unwrap();
-        svc.ingest("facts", Delta::from_deletes(vec![row![5, "a", 1]]))
-            .unwrap();
+        svc.ingest_with(
+            "facts",
+            Delta::from_inserts(vec![row![5, "a", 1]]),
+            IngestOptions::blocking(),
+        )
+        .unwrap();
+        svc.ingest_with(
+            "facts",
+            Delta::from_deletes(vec![row![5, "a", 1]]),
+            IngestOptions::blocking(),
+        )
+        .unwrap();
         svc.refresh_epoch().unwrap();
         let m = svc.metrics();
         assert_eq!(m.rows_ingested, 2);
@@ -1587,13 +1956,69 @@ mod tests {
     }
 
     #[test]
+    fn config_builder_validates() {
+        let cfg = ServeConfig::builder()
+            .workers(3)
+            .shards(4)
+            .heavy_key_threshold(100)
+            .build()
+            .unwrap();
+        assert_eq!(cfg.workers(), 3);
+        assert_eq!(cfg.sharding().shards, 4);
+        assert_eq!(cfg.sharding().heavy_key_threshold, 100);
+
+        // Zero-valued knobs that require at least 1 are rejected.
+        for build in [
+            ServeConfig::builder().workers(0),
+            ServeConfig::builder().shards(0),
+            ServeConfig::builder().max_pending_rows(0),
+            ServeConfig::builder().quarantine_after(0),
+            ServeConfig::builder().exec_threads(0),
+        ] {
+            assert!(matches!(
+                build.build(),
+                Err(CoreError::InvalidConfig { .. })
+            ));
+        }
+
+        // The first violation wins over later ones.
+        let err = ServeConfig::builder()
+            .workers(0)
+            .exec_threads(0)
+            .build()
+            .unwrap_err();
+        assert!(matches!(err, CoreError::InvalidConfig { ref field, .. } if field == "workers"));
+
+        // Cross-field validation: cap must be >= the initial backoff.
+        let err = ServeConfig::builder()
+            .retry_backoff(Duration::from_millis(50))
+            .retry_backoff_cap(Duration::from_millis(10))
+            .build()
+            .unwrap_err();
+        assert!(
+            matches!(err, CoreError::InvalidConfig { ref field, .. } if field == "retry_backoff_cap")
+        );
+    }
+
+    #[test]
+    fn ingest_options_map_to_wait_modes() {
+        assert_eq!(IngestOptions::default(), IngestOptions::blocking());
+        assert!(IngestOptions::blocking().blocking);
+        assert!(IngestOptions::blocking().timeout.is_none());
+        assert!(!IngestOptions::non_blocking().blocking);
+        let bounded = IngestOptions::bounded(Duration::from_millis(7));
+        assert!(bounded.blocking);
+        assert_eq!(bounded.timeout, Some(Duration::from_millis(7)));
+    }
+
+    #[test]
     fn retry_transient_respects_classification() {
-        let cfg = ServeConfig {
-            max_retries: 3,
-            retry_backoff: Duration::ZERO,
-            retry_backoff_cap: Duration::ZERO,
-            ..ServeConfig::default()
-        };
+        let cfg = ServeConfig::builder()
+            .max_retries(3)
+            .retry_backoff(Duration::ZERO)
+            .retry_backoff_cap(Duration::ZERO)
+            .build()
+            .unwrap();
         // Transient error that succeeds on the third attempt.
         let mut attempts = 0;
         let (res, retries) = retry_transient(&cfg, || {

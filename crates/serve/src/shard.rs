@@ -1,0 +1,1438 @@
+//! Horizontal sharding for the serve tier: a [`ShardedService`] that
+//! partitions base tables and views by group-key hash across N shard
+//! workers, with skew-aware **heavy-light** key placement.
+//!
+//! The design leans on the paper's §4.2.3 combinability result: a GPIVOT
+//! over disjoint slices of its input can be computed slice-wise and
+//! bag-concatenated, provided every slice holds *all* rows of each pivot
+//! group. `gpivot-analyze`'s [`shard_safety`] dataflow proves exactly that
+//! property for a candidate hash layout — each registered plan is either
+//! *proven* shard-safe (GP024) and maintained on every hash shard, or
+//! falls back to single-shard maintenance on the root with a GP023 `Info`
+//! diagnostic. The service never guesses: an unprovable plan is never
+//! sharded.
+//!
+//! ## Topology
+//!
+//! * **Root** — a full, unsharded [`ViewService`]: complete copies of all
+//!   base tables, host of every single-shard view, and the catalog the SQL
+//!   frontend falls back to. It is also the only backpressure point.
+//! * **Hash shards** `0..N` — each a private [`ViewService`] whose
+//!   partitioned tables hold only the rows hashing to that shard
+//!   ([`gpivot_storage::shard_of`] on the class's partition column);
+//!   tables a layout leaves replicated are kept in full on every shard.
+//! * **Heavy shard** — one extra worker owning *promoted* keys: when a
+//!   key's observed delta-row frequency crosses
+//!   [`ShardConfig::heavy_key_threshold`], its rows migrate (as ordinary
+//!   maintenance deltas, so every shard view stays incrementally exact)
+//!   to the dedicated heavy shard regardless of hash. This is the classic
+//!   heavy/light split for skewed workloads: one hot key no longer
+//!   saturates whichever hash shard it happened to land on.
+//!
+//! Reads merge: [`ShardedService::snapshot`] captures all shard snapshots
+//! under the epoch gate (so they agree on an epoch boundary) and
+//! [`ShardSnapshot::query_view`] bag-concatenates the per-shard view
+//! tables — key disjointness across shards is re-validated by the keyed
+//! table constructor on every merged read.
+//!
+//! Durability stays single-shard: a durable root can be wrapped via
+//! [`ShardedService::from_single`], but a multi-shard service refuses to
+//! checkpoint (the WAL protocol has no cross-shard commit record yet).
+
+use crate::metrics::{EpochSummary, MetricsSnapshot, ViewHealth, ViewMetrics};
+use crate::service::{run_on_pool, IngestOptions, ServeConfig, Snapshot, ViewService};
+use crate::sync;
+use gpivot_algebra::Plan;
+use gpivot_analyze::{shard_safety, DiagCode, Diagnostic, ShardRouting, ShardVerdict, TableRoute};
+use gpivot_core::{CoreError, Result, Strategy, ViewManager, ViewOptions};
+use gpivot_storage::{shard_of, Catalog, Delta, Row, Table, Value};
+use std::collections::{BTreeMap, BTreeSet, HashMap, HashSet};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Instant;
+
+/// Sharding knobs, carried inside [`ServeConfig`] (set them through
+/// [`ServeConfig::builder`]'s `shards` / `heavy_key_threshold` setters).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardConfig {
+    /// Number of hash shards. `1` (the default) means unsharded: the
+    /// service is a transparent wrapper around one [`ViewService`].
+    pub shards: usize,
+    /// Cumulative delta-row frequency at which a key is promoted to the
+    /// dedicated heavy shard. `0` (the default) disables promotion.
+    pub heavy_key_threshold: u64,
+}
+
+impl Default for ShardConfig {
+    fn default() -> Self {
+        ShardConfig {
+            shards: 1,
+            heavy_key_threshold: 0,
+        }
+    }
+}
+
+/// Where one registered view is maintained.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ViewPlacement {
+    /// Proven shard-safe and maintained on every hash shard (plus the
+    /// heavy shard) under `routing`; reads bag-merge the shard tables.
+    Sharded {
+        /// The layout the view was registered under.
+        routing: ShardRouting,
+        /// Rendered GP024 diagnostic recorded at registration.
+        diagnostic: String,
+    },
+    /// Maintained on the root shard only. `diagnostic` carries the
+    /// rendered GP023 `Info` finding when this was a fallback (the plan
+    /// was unprovable, or every safe layout conflicted with views already
+    /// registered); `None` for an unsharded service.
+    Single { diagnostic: Option<String> },
+}
+
+impl ViewPlacement {
+    /// True iff the view is maintained shard-wise.
+    pub fn is_sharded(&self) -> bool {
+        matches!(self, ViewPlacement::Sharded { .. })
+    }
+
+    /// The GP023/GP024 diagnostic recorded at registration, if any.
+    pub fn diagnostic(&self) -> Option<&str> {
+        match self {
+            ViewPlacement::Sharded { diagnostic, .. } => Some(diagnostic),
+            ViewPlacement::Single { diagnostic } => diagnostic.as_deref(),
+        }
+    }
+}
+
+/// A table pinned to a hash layout: rows are placed by
+/// `shard_of(row[col_idx], shards)` unless the key is heavy.
+#[derive(Debug, Clone)]
+struct PartLayout {
+    column: String,
+    col_idx: usize,
+    class: usize,
+}
+
+/// One co-partition class: tables partitioned *together* (their partition
+/// columns were proven join-aligned), sharing a heavy-key set — a key
+/// promotion moves the matching rows of every member table, preserving
+/// co-location for the joins that made the layout safe.
+#[derive(Debug, Default)]
+struct ClassState {
+    /// table → partition column.
+    members: BTreeMap<String, String>,
+    /// Keys promoted to the heavy shard.
+    heavy: HashSet<Value>,
+}
+
+/// Routing state: which tables are partitioned how, and where each view
+/// lives. Layouts are sticky — once a table is partitioned it stays so
+/// even if the views that required it are dropped (re-replicating would
+/// force a cross-shard rebuild for no correctness gain).
+#[derive(Debug, Default)]
+struct Router {
+    /// Partitioned tables only; absence means replicated everywhere.
+    tables: BTreeMap<String, PartLayout>,
+    classes: Vec<ClassState>,
+    /// Sharded views that read a table *replicated* pin it against later
+    /// partitioning (their shard-local results assume full copies).
+    replicated_pins: BTreeMap<String, BTreeSet<String>>,
+    views: BTreeMap<String, ViewPlacement>,
+}
+
+impl Router {
+    /// Can `candidate` be installed alongside the current layouts?
+    /// Requires: every partitioned table either is new/unpinned or already
+    /// partitioned on the same column; every replicated table is not
+    /// partitioned; and at most one existing co-partition class is touched
+    /// (merging classes would require migrating their heavy sets).
+    fn compatible(&self, candidate: &ShardRouting) -> bool {
+        let mut touched: BTreeSet<usize> = BTreeSet::new();
+        for (table, route) in &candidate.routes {
+            match route {
+                TableRoute::Partitioned { column } => match self.tables.get(table) {
+                    None => {
+                        if self
+                            .replicated_pins
+                            .get(table)
+                            .is_some_and(|pins| !pins.is_empty())
+                        {
+                            return false;
+                        }
+                    }
+                    Some(layout) if layout.column == *column => {
+                        touched.insert(layout.class);
+                    }
+                    Some(_) => return false,
+                },
+                TableRoute::Replicated => {
+                    if self.tables.contains_key(table) {
+                        return false;
+                    }
+                }
+            }
+        }
+        touched.len() <= 1
+    }
+
+    /// The single existing class `candidate` extends, if any.
+    fn touched_class(&self, candidate: &ShardRouting) -> Option<usize> {
+        candidate
+            .partitioned()
+            .find_map(|(table, _)| self.tables.get(table).map(|l| l.class))
+    }
+}
+
+struct Inner {
+    cfg: ServeConfig,
+    /// Full unsharded copy: hosts single-shard views, serves as the SQL
+    /// base-table fallback, and is the sole backpressure point.
+    root: ViewService,
+    /// Hash shards (empty = unsharded passthrough to `root`).
+    workers: Vec<ViewService>,
+    /// Dedicated owner of promoted heavy keys (`Some` iff sharded).
+    heavy: Option<ViewService>,
+    /// Serializes refresh epochs, registrations, and promotions across
+    /// shards. Ordered before each shard service's internal locks.
+    gate: Mutex<()>,
+    router: RwLock<Router>,
+    /// Observed delta-row frequency per (class, key), feeding promotion.
+    freq: Mutex<HashMap<(usize, Value), u64>>,
+    /// Promotions whose row migration has not committed yet — retained
+    /// across failed epochs so a crashed migration resumes exactly.
+    pending_promotions: Mutex<BTreeSet<(usize, Value)>>,
+    epoch: AtomicU64,
+}
+
+/// A shard-transparent view-maintenance service: the redesigned serve
+/// API. One shard behaves exactly like the wrapped [`ViewService`]; with
+/// `N > 1` hash shards, provably shard-safe views are partitioned by
+/// group-key hash, refreshed shard-parallel, and merged on read. See the
+/// module docs for the topology and safety argument.
+#[derive(Clone)]
+pub struct ShardedService {
+    inner: Arc<Inner>,
+}
+
+impl ShardedService {
+    /// Build a service over `catalog`. `cfg.sharding.shards == 1` yields
+    /// an unsharded service identical to `ViewService::new`; `N > 1`
+    /// clones the catalog onto N hash shards plus a heavy shard (tables
+    /// start replicated; they are filtered down to hash slices when the
+    /// first shard-safe view needing them registers).
+    pub fn new(catalog: Catalog, cfg: ServeConfig) -> Self {
+        let shards = cfg.sharding().shards.max(1);
+        if shards <= 1 {
+            return Self::from_single(ViewService::new(catalog, cfg));
+        }
+        // Shard workers get an unbounded watermark: the root already
+        // applied backpressure to the producer, and a bounded shard queue
+        // could deadlock the routing fan-out against itself.
+        let mut worker_cfg = cfg.clone();
+        #[allow(deprecated)]
+        {
+            worker_cfg.max_pending_rows = u64::MAX;
+        }
+        let root = ViewService::new(catalog.clone(), cfg.clone());
+        let workers = (0..shards)
+            .map(|_| ViewService::new(catalog.clone(), worker_cfg.clone()))
+            .collect();
+        let heavy = Some(ViewService::new(catalog, worker_cfg));
+        ShardedService {
+            inner: Arc::new(Inner {
+                cfg,
+                root,
+                workers,
+                heavy,
+                gate: Mutex::new(()),
+                router: RwLock::new(Router::default()),
+                freq: Mutex::new(HashMap::new()),
+                pending_promotions: Mutex::new(BTreeSet::new()),
+                epoch: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Wrap an existing (possibly durable, possibly already-populated)
+    /// [`ViewService`] as a single-shard service. Every call delegates
+    /// straight through, so this is the compatibility bridge for durable
+    /// deployments — durability remains single-shard.
+    pub fn from_single(service: ViewService) -> Self {
+        let cfg = service.config().clone();
+        ShardedService {
+            inner: Arc::new(Inner {
+                cfg,
+                root: service,
+                workers: Vec::new(),
+                heavy: None,
+                gate: Mutex::new(()),
+                router: RwLock::new(Router::default()),
+                freq: Mutex::new(HashMap::new()),
+                pending_promotions: Mutex::new(BTreeSet::new()),
+                epoch: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Number of hash shards (`1` for an unsharded service).
+    pub fn shards(&self) -> usize {
+        self.inner.workers.len().max(1)
+    }
+
+    /// True iff this service maintains more than one hash shard.
+    pub fn is_sharded(&self) -> bool {
+        !self.inner.workers.is_empty()
+    }
+
+    /// The root shard: full base tables, single-shard views, durability.
+    /// Intended for reads (metrics, SQL base fallback); ingest and
+    /// refresh should go through the sharded API so shards stay in sync.
+    pub fn root(&self) -> &ViewService {
+        &self.inner.root
+    }
+
+    /// True iff the root shard write-ahead-logs.
+    pub fn is_durable(&self) -> bool {
+        self.inner.root.is_durable()
+    }
+
+    /// Persist the full service state to `dir` — single-shard only. A
+    /// multi-shard service refuses: the checkpoint format has no
+    /// cross-shard commit record, so a partial save could not be restored
+    /// consistently.
+    pub fn save_to(&self, dir: impl AsRef<std::path::Path>) -> Result<u64> {
+        if self.is_sharded() {
+            return Err(CoreError::InvalidConfig {
+                field: "shards".into(),
+                message: format!(
+                    "durable save is single-shard only (this service has {} shards)",
+                    self.shards()
+                ),
+            });
+        }
+        self.inner.root.save_to(dir)
+    }
+
+    /// Write a checkpoint of the durable (single-shard) root and rotate
+    /// its log — see [`ViewService::checkpoint`]. Shard workers are never
+    /// durable, so on a multi-shard service this fails exactly like the
+    /// root's own non-durable checkpoint would.
+    pub fn checkpoint(&self) -> Result<u64> {
+        self.inner.root.checkpoint()
+    }
+
+    fn services(&self) -> Vec<ViewService> {
+        let mut all = Vec::with_capacity(self.inner.workers.len() + 2);
+        all.push(self.inner.root.clone());
+        all.extend(self.inner.workers.iter().cloned());
+        if let Some(h) = &self.inner.heavy {
+            all.push(h.clone());
+        }
+        all
+    }
+
+    /// Shard services hosting sharded views (hash shards + heavy).
+    fn shard_services(&self) -> Vec<&ViewService> {
+        self.inner
+            .workers
+            .iter()
+            .chain(self.inner.heavy.as_ref())
+            .collect()
+    }
+
+    /// Refresh every shard (root included) once, in parallel on the
+    /// configured worker pool. Caller must hold the gate.
+    fn refresh_all_locked(&self) -> Result<Vec<EpochSummary>> {
+        let services = self.services();
+        let workers = self.inner.cfg.workers().max(1);
+        let results = run_on_pool(services, workers, |svc| svc.refresh_epoch());
+        let mut out = Vec::with_capacity(results.len());
+        for (i, slot) in results.into_iter().enumerate() {
+            match slot {
+                Some(Ok(summary)) => out.push(summary),
+                Some(Err(e)) => return Err(e),
+                None => {
+                    return Err(CoreError::ViewPanic {
+                        view: format!("<shard {i}>"),
+                        message: "shard refresh worker died without a result".into(),
+                    })
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    // ------------------------------------------------------------------
+    // Registration
+    // ------------------------------------------------------------------
+
+    /// Register a named view with an auto-selected maintenance strategy.
+    /// On a sharded service the plan is first proven shard-safe by
+    /// [`shard_safety`]; see [`ShardedService::register_view_with`].
+    pub fn register_view(&self, name: impl Into<String>, definition: Plan) -> Result<Strategy> {
+        self.register_view_with(name, definition, ViewOptions::new())
+    }
+
+    /// Register a named view with explicit [`ViewOptions`].
+    ///
+    /// Sharded placement is chosen here, per the §4.2.3 combinability
+    /// proof: the analyzer returns every safe hash layout in preference
+    /// order, and the first one compatible with layouts already pinned by
+    /// other views wins. Plans the analyzer cannot prove safe — and safe
+    /// plans whose every layout conflicts — register on the root shard
+    /// instead, recording a GP023 `Info` diagnostic (visible in
+    /// [`ShardedService::metrics`] lint warnings and
+    /// [`ShardedService::placement`]); they never error for being
+    /// unshardable.
+    pub fn register_view_with(
+        &self,
+        name: impl Into<String>,
+        definition: Plan,
+        options: impl Into<ViewOptions>,
+    ) -> Result<Strategy> {
+        let name = name.into();
+        let options = options.into();
+        if !self.is_sharded() {
+            let strategy = self
+                .inner
+                .root
+                .register_view_with(name.clone(), definition, options)?;
+            let mut router = sync::write(&self.inner.router);
+            router
+                .views
+                .insert(name, ViewPlacement::Single { diagnostic: None });
+            return Ok(strategy);
+        }
+
+        let _gate = sync::lock(&self.inner.gate);
+        let verdict = {
+            let snap = self.inner.root.snapshot();
+            shard_safety(&definition, snap.manager().catalog())
+        };
+        let chosen = match &verdict {
+            ShardVerdict::Safe { candidates } => {
+                let router = sync::read(&self.inner.router);
+                candidates.iter().find(|c| router.compatible(c)).cloned()
+            }
+            ShardVerdict::Unprovable { .. } => None,
+        };
+
+        match chosen {
+            Some(routing) => self.register_sharded_locked(name, definition, options, routing),
+            None => {
+                let strategy =
+                    self.inner
+                        .root
+                        .register_view_with(name.clone(), definition, options)?;
+                let diagnostic = match &verdict {
+                    ShardVerdict::Unprovable { .. } => verdict.diagnostic().to_string(),
+                    ShardVerdict::Safe { .. } => Diagnostic::new(
+                        DiagCode::Gp023NotShardSafe,
+                        vec![],
+                        "plan is shard-safe but every safe layout conflicts with \
+                         views already registered; maintained single-shard",
+                    )
+                    .to_string(),
+                };
+                let mut router = sync::write(&self.inner.router);
+                router.views.insert(
+                    name,
+                    ViewPlacement::Single {
+                        diagnostic: Some(diagnostic),
+                    },
+                );
+                Ok(strategy)
+            }
+        }
+    }
+
+    /// Install `routing` (partitioning any tables it needs that are still
+    /// replicated) and register the view on every shard service. Caller
+    /// holds the gate and has checked compatibility.
+    fn register_sharded_locked(
+        &self,
+        name: String,
+        definition: Plan,
+        options: ViewOptions,
+        routing: ShardRouting,
+    ) -> Result<Strategy> {
+        let shard_count = self.inner.workers.len();
+        // Column indices + the set of tables transitioning replicated →
+        // partitioned, resolved against the root catalog before any state
+        // changes so schema errors abort cleanly.
+        let mut transitions: Vec<(String, usize)> = Vec::new();
+        {
+            let snap = self.inner.root.snapshot();
+            let catalog = snap.manager().catalog();
+            let router = sync::read(&self.inner.router);
+            for (table, column) in routing.partitioned() {
+                if !router.tables.contains_key(table) {
+                    let idx = catalog.schema(table)?.index_of(column)?;
+                    transitions.push((table.to_string(), idx));
+                }
+            }
+        }
+
+        // (a) Publish the new layouts first: once the router write lock is
+        // released, every ingest routes by the new rule, and any ingest
+        // that routed by the old rule has finished enqueueing (it held the
+        // read lock across its fan-out).
+        let class = {
+            let mut router = sync::write(&self.inner.router);
+            let class = match router.touched_class(&routing) {
+                Some(c) => c,
+                None => {
+                    router.classes.push(ClassState::default());
+                    router.classes.len() - 1
+                }
+            };
+            for (table, idx) in &transitions {
+                let column = routing
+                    .route(table)
+                    .and_then(|r| match r {
+                        TableRoute::Partitioned { column } => Some(column.clone()),
+                        TableRoute::Replicated => None,
+                    })
+                    .unwrap_or_default();
+                router.classes[class]
+                    .members
+                    .insert(table.clone(), column.clone());
+                router.tables.insert(
+                    table.clone(),
+                    PartLayout {
+                        column,
+                        col_idx: *idx,
+                        class,
+                    },
+                );
+            }
+            class
+        };
+
+        if !transitions.is_empty() {
+            // (b) Flush: commit every delta that was routed while the
+            // tables were still broadcast-replicated, so the filter below
+            // sees the complete row set.
+            self.refresh_all_locked()?;
+            // (c) Filter each transitioning table down to its hash slice
+            // on every shard (heavy keys of an extended class go to the
+            // heavy shard). The root keeps its full copy.
+            let heavy_keys: HashSet<Value> = {
+                let router = sync::read(&self.inner.router);
+                router.classes[class].heavy.iter().cloned().collect()
+            };
+            for (table, col_idx) in &transitions {
+                for (j, svc) in self.inner.workers.iter().enumerate() {
+                    let filtered = {
+                        let snap = svc.snapshot();
+                        let t = snap.manager().catalog().table(table)?;
+                        let rows: Vec<Row> = t
+                            .rows()
+                            .iter()
+                            .filter(|r| {
+                                let key = &r[*col_idx];
+                                !heavy_keys.contains(key) && shard_of(key, shard_count) == j
+                            })
+                            .cloned()
+                            .collect();
+                        Table::from_rows(t.schema().clone(), rows)?
+                    };
+                    svc.replace_table(table, filtered);
+                }
+                if let Some(h) = &self.inner.heavy {
+                    let filtered = {
+                        let snap = h.snapshot();
+                        let t = snap.manager().catalog().table(table)?;
+                        let rows: Vec<Row> = t
+                            .rows()
+                            .iter()
+                            .filter(|r| heavy_keys.contains(&r[*col_idx]))
+                            .cloned()
+                            .collect();
+                        Table::from_rows(t.schema().clone(), rows)?
+                    };
+                    h.replace_table(table, filtered);
+                }
+            }
+        }
+
+        // (d) Register on every shard service (hash shards + heavy); the
+        // root does not host sharded views. The lint verdict is
+        // deterministic, so a failure on one shard is a failure on all —
+        // but unwind partial registrations anyway.
+        let shard_services = self.shard_services();
+        let mut strategy = None;
+        for (i, svc) in shard_services.iter().enumerate() {
+            match svc.register_view_with(name.clone(), definition.clone(), options) {
+                Ok(s) => strategy = Some(s),
+                Err(e) => {
+                    for done in &shard_services[..i] {
+                        let _ = done.drop_view(&name);
+                    }
+                    return Err(e);
+                }
+            }
+        }
+        let strategy = strategy.ok_or_else(|| CoreError::NotMaintainable(name.clone()))?;
+
+        // (e) Record placement + pins.
+        let diagnostic = Diagnostic::new(
+            DiagCode::Gp024ShardSafe,
+            vec![],
+            format!(
+                "plan proven shard-safe; sharded {}-way as {}",
+                shard_count,
+                routing.describe()
+            ),
+        )
+        .to_string();
+        let mut router = sync::write(&self.inner.router);
+        for (table, route) in &routing.routes {
+            if matches!(route, TableRoute::Replicated) {
+                router
+                    .replicated_pins
+                    .entry(table.clone())
+                    .or_default()
+                    .insert(name.clone());
+            }
+        }
+        router.views.insert(
+            name,
+            ViewPlacement::Sharded {
+                routing,
+                diagnostic,
+            },
+        );
+        Ok(strategy)
+    }
+
+    /// Drop a view from wherever it is placed.
+    pub fn drop_view(&self, name: &str) -> Result<()> {
+        if !self.is_sharded() {
+            self.inner.root.drop_view(name)?;
+            sync::write(&self.inner.router).views.remove(name);
+            return Ok(());
+        }
+        let _gate = sync::lock(&self.inner.gate);
+        let placement = sync::read(&self.inner.router).views.get(name).cloned();
+        match placement {
+            Some(ViewPlacement::Sharded { .. }) => {
+                for svc in self.shard_services() {
+                    svc.drop_view(name)?;
+                }
+            }
+            _ => self.inner.root.drop_view(name)?,
+        }
+        let mut router = sync::write(&self.inner.router);
+        router.views.remove(name);
+        for pins in router.replicated_pins.values_mut() {
+            pins.remove(name);
+        }
+        Ok(())
+    }
+
+    /// Names of all registered views (sharded and single-shard).
+    pub fn view_names(&self) -> Vec<String> {
+        let mut names = self.inner.root.view_names();
+        if let Some(first) = self.inner.workers.first() {
+            names.extend(first.view_names());
+        }
+        names.sort();
+        names.dedup();
+        names
+    }
+
+    /// Where `name` is maintained, if registered through this service.
+    pub fn placement(&self, name: &str) -> Option<ViewPlacement> {
+        sync::read(&self.inner.router).views.get(name).cloned()
+    }
+
+    /// Keys currently promoted to the heavy shard, as
+    /// `(table, column, key)` triples (one per co-partitioned member
+    /// table). Empty until a key crosses the promotion threshold.
+    pub fn heavy_keys(&self) -> Vec<(String, String, Value)> {
+        let router = sync::read(&self.inner.router);
+        let mut out = Vec::new();
+        for class in &router.classes {
+            let mut keys: Vec<&Value> = class.heavy.iter().collect();
+            keys.sort();
+            for (table, column) in &class.members {
+                for key in &keys {
+                    out.push((table.clone(), column.clone(), (*key).clone()));
+                }
+            }
+        }
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Ingest
+    // ------------------------------------------------------------------
+
+    /// Submit a signed delta batch for one base table, routing it to the
+    /// shards that own its rows.
+    ///
+    /// The root ingests the full delta first under the caller's
+    /// [`IngestOptions`] — it is the single backpressure point, and a
+    /// rejection there means no shard saw anything. The delta is then
+    /// split by the table's partition column (hash slice per shard, heavy
+    /// keys to the heavy shard) or broadcast when the table is
+    /// replicated; shard queues are unbounded so the fan-out cannot
+    /// deadlock. Routing holds the router read lock across the whole
+    /// fan-out — that is what makes heavy-key promotion exact: once the
+    /// promoter takes the write lock, every in-flight old-routing ingest
+    /// has fully enqueued.
+    pub fn ingest_with(&self, table: &str, delta: Delta, options: IngestOptions) -> Result<()> {
+        if !self.is_sharded() {
+            return self.inner.root.ingest_with(table, delta, options);
+        }
+        if delta.is_empty() {
+            return Ok(());
+        }
+        self.inner.root.ingest_with(table, delta.clone(), options)?;
+        let router = sync::read(&self.inner.router);
+        match router.tables.get(table) {
+            Some(layout) => {
+                let n = self.inner.workers.len();
+                let class = &router.classes[layout.class];
+                let parts =
+                    delta.partition_by_key(layout.col_idx, n, |key| class.heavy.contains(key));
+                for (j, part) in parts.into_iter().enumerate() {
+                    if part.is_empty() {
+                        continue;
+                    }
+                    let target = if j == n {
+                        self.inner.heavy.as_ref()
+                    } else {
+                        self.inner.workers.get(j)
+                    };
+                    if let Some(svc) = target {
+                        svc.ingest_with(table, part, IngestOptions::blocking())?;
+                    }
+                }
+                if self.inner.cfg.sharding().heavy_key_threshold > 0 {
+                    let mut freq = sync::lock(&self.inner.freq);
+                    for (row, weight) in delta.iter() {
+                        *freq
+                            .entry((layout.class, row[layout.col_idx].clone()))
+                            .or_insert(0) += weight.unsigned_abs();
+                    }
+                }
+            }
+            None => {
+                for svc in self.inner.workers.iter().chain(self.inner.heavy.as_ref()) {
+                    svc.ingest_with(table, delta.clone(), IngestOptions::blocking())?;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Coalesced rows pending across all shard queues (a routed delta
+    /// counts once at the root and once on each shard it reached).
+    pub fn pending_rows(&self) -> u64 {
+        self.services().iter().map(|s| s.pending_rows()).sum()
+    }
+
+    // ------------------------------------------------------------------
+    // Refresh
+    // ------------------------------------------------------------------
+
+    /// Run one refresh epoch: promote any keys that crossed the heavy
+    /// threshold (flush → migrate → flush, exact under concurrent
+    /// ingest), then refresh the root and every shard in parallel on the
+    /// configured worker pool and merge the per-shard summaries.
+    ///
+    /// Cross-shard commit is *not* atomic: if one shard's epoch fails,
+    /// shards that already committed stay committed, the failed shard
+    /// rolls back (its batch re-queued), and the error is returned — a
+    /// later successful epoch reconverges, and no delta is ever lost.
+    pub fn refresh_epoch(&self) -> Result<EpochSummary> {
+        if !self.is_sharded() {
+            return self.inner.root.refresh_epoch();
+        }
+        let started = Instant::now();
+        let _gate = sync::lock(&self.inner.gate);
+        let mut summaries = self.promote_heavy_locked()?;
+        summaries.extend(self.refresh_all_locked()?);
+
+        let mut out = EpochSummary::default();
+        // Producer-facing drain counts come from the root (shards see the
+        // same rows again, which would double-count); work counters sum.
+        for s in &summaries {
+            out.views_refreshed += s.views_refreshed;
+            out.delta_rows += s.delta_rows;
+            out.rows_propagated += s.rows_propagated;
+            out.rows_applied += s.rows_applied;
+            out.quarantined_skipped += s.quarantined_skipped;
+            out.retries += s.retries;
+        }
+        let root_epochs = summaries.iter().step_by(self.services().len());
+        out.batch_rows = root_epochs.clone().map(|s| s.batch_rows).sum();
+        out.batches_drained = root_epochs.map(|s| s.batches_drained).sum();
+        if summaries
+            .iter()
+            .any(|s| s.views_refreshed > 0 || s.batch_rows > 0)
+        {
+            self.inner.epoch.fetch_add(1, Ordering::SeqCst);
+        }
+        out.epoch = self.inner.epoch.load(Ordering::SeqCst);
+        out.duration = started.elapsed();
+        Ok(out)
+    }
+
+    /// Promote keys whose observed delta frequency crossed the threshold.
+    /// Caller holds the gate. The protocol is exact under concurrent
+    /// producers:
+    ///
+    /// 1. Mark the keys heavy under the router **write** lock — from here
+    ///    on every new ingest routes them to the heavy shard, and any
+    ///    in-flight old-routing ingest has fully enqueued (fan-outs hold
+    ///    the read lock).
+    /// 2. Flush every shard, committing all old-routing deltas.
+    /// 3. Scan the owning hash shard's *committed* tables for each
+    ///    promoted key and enqueue a delete there plus an insert on the
+    ///    heavy shard — ordinary maintenance deltas, so every shard view
+    ///    updates incrementally and stays exact.
+    /// 4. Flush again to commit the migration.
+    ///
+    /// Promotions are parked in a pending set until step 4 succeeds; a
+    /// failed epoch retries them, and because every attempt re-scans
+    /// committed state *after* a flush, retries never double-move rows.
+    fn promote_heavy_locked(&self) -> Result<Vec<EpochSummary>> {
+        let threshold = self.inner.cfg.sharding().heavy_key_threshold;
+        let shard_count = self.inner.workers.len();
+        let mut pending = {
+            let p = sync::lock(&self.inner.pending_promotions);
+            p.clone()
+        };
+        if threshold > 0 {
+            let router = sync::read(&self.inner.router);
+            let freq = sync::lock(&self.inner.freq);
+            for ((class, key), count) in freq.iter() {
+                if *count >= threshold && !router.classes[*class].heavy.contains(key) {
+                    pending.insert((*class, key.clone()));
+                }
+            }
+        }
+        if pending.is_empty() {
+            return Ok(Vec::new());
+        }
+        {
+            let mut router = sync::write(&self.inner.router);
+            for (class, key) in &pending {
+                router.classes[*class].heavy.insert(key.clone());
+            }
+        }
+        {
+            let mut p = sync::lock(&self.inner.pending_promotions);
+            p.extend(pending.iter().cloned());
+        }
+        let mut summaries = self.refresh_all_locked()?;
+
+        // Member tables + column indices per pending class.
+        let moves: Vec<(usize, Value, String, usize)> = {
+            let router = sync::read(&self.inner.router);
+            pending
+                .iter()
+                .flat_map(|(class, key)| {
+                    router.classes[*class]
+                        .members
+                        .keys()
+                        .filter_map(|table| {
+                            router
+                                .tables
+                                .get(table)
+                                .map(|l| (*class, key.clone(), table.clone(), l.col_idx))
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .collect()
+        };
+        for (_, key, table, col_idx) in &moves {
+            let j = shard_of(key, shard_count);
+            let Some(src) = self.inner.workers.get(j) else {
+                continue;
+            };
+            let rows: Vec<Row> = {
+                let snap = src.snapshot();
+                snap.manager()
+                    .catalog()
+                    .table(table)?
+                    .rows()
+                    .iter()
+                    .filter(|r| &r[*col_idx] == key)
+                    .cloned()
+                    .collect()
+            };
+            if rows.is_empty() {
+                continue;
+            }
+            if let Some(h) = &self.inner.heavy {
+                h.ingest_with(
+                    table,
+                    Delta::from_inserts(rows.clone()),
+                    IngestOptions::blocking(),
+                )?;
+            }
+            src.ingest_with(table, Delta::from_deletes(rows), IngestOptions::blocking())?;
+        }
+        summaries.extend(self.refresh_all_locked()?);
+
+        {
+            let mut p = sync::lock(&self.inner.pending_promotions);
+            for key in &pending {
+                p.remove(key);
+            }
+        }
+        {
+            let mut freq = sync::lock(&self.inner.freq);
+            freq.retain(|(class, key), _| !pending.contains(&(*class, key.clone())));
+        }
+        Ok(summaries)
+    }
+
+    // ------------------------------------------------------------------
+    // Reads
+    // ------------------------------------------------------------------
+
+    /// The sharded epoch counter: bumps once per [`refresh_epoch`] call
+    /// that did work. For an unsharded service this is the root's epoch.
+    ///
+    /// [`refresh_epoch`]: ShardedService::refresh_epoch
+    pub fn epoch(&self) -> u64 {
+        if !self.is_sharded() {
+            return self.inner.root.epoch();
+        }
+        self.inner.epoch.load(Ordering::SeqCst)
+    }
+
+    /// A consistent read snapshot across all shards: per-shard snapshots
+    /// are acquired under the epoch gate, so no shard is mid-commit and
+    /// all agree on an epoch boundary.
+    pub fn snapshot(&self) -> ShardSnapshot<'_> {
+        if !self.is_sharded() {
+            let root = self.inner.root.snapshot();
+            let epoch = root.epoch();
+            return ShardSnapshot {
+                root,
+                shards: Vec::new(),
+                placements: sync::read(&self.inner.router).views.clone(),
+                epoch,
+            };
+        }
+        let _gate = sync::lock(&self.inner.gate);
+        let root = self.inner.root.snapshot();
+        let shards = self
+            .inner
+            .workers
+            .iter()
+            .chain(self.inner.heavy.as_ref())
+            .map(|svc| svc.snapshot())
+            .collect();
+        ShardSnapshot {
+            root,
+            shards,
+            placements: sync::read(&self.inner.router).views.clone(),
+            epoch: self.inner.epoch.load(Ordering::SeqCst),
+        }
+    }
+
+    /// The user-facing contents of a view, merged across shards.
+    pub fn query_view(&self, name: &str) -> Result<Table> {
+        self.snapshot().query_view(name)
+    }
+
+    /// A view's fault-tolerance health: for sharded views, the *worst*
+    /// health across the shards maintaining it.
+    pub fn view_health(&self, name: &str) -> Result<ViewHealth> {
+        let sharded = self
+            .placement(name)
+            .as_ref()
+            .is_some_and(ViewPlacement::is_sharded);
+        if !sharded {
+            return self.inner.root.view_health(name);
+        }
+        let mut worst = ViewHealth::Healthy;
+        for svc in self.shard_services() {
+            worst = worse_health(worst, svc.view_health(name)?);
+        }
+        Ok(worst)
+    }
+
+    /// Verify every view on every shard against a from-scratch recompute
+    /// of its definition over that shard's base tables.
+    pub fn verify_all(&self) -> Result<bool> {
+        for svc in self.services() {
+            if !svc.verify_all()? {
+                return Ok(false);
+            }
+        }
+        Ok(true)
+    }
+
+    /// Rolled-up metrics: counters summed across the root and every
+    /// shard, per-view entries merged (worst health wins, histograms
+    /// folded), with each view's GP023/GP024 placement diagnostic
+    /// appended to its lint warnings. Physical-work semantics: a routed
+    /// ingest counts once at the root and once per shard it reached; use
+    /// `root().metrics()` for producer-facing accounting.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        let mut merged = self.inner.root.metrics();
+        for svc in self.shard_services() {
+            merge_metrics(&mut merged, &svc.metrics());
+        }
+        let router = sync::read(&self.inner.router);
+        for (name, placement) in &router.views {
+            if let Some(diag) = placement.diagnostic() {
+                let entry = merged.per_view.entry(name.clone()).or_default();
+                if !entry.lint_warnings.iter().any(|w| w == diag) {
+                    entry.lint_warnings.push(diag.to_string());
+                }
+            }
+        }
+        merged
+    }
+
+    /// Count a SQL `CREATE MATERIALIZED VIEW` registration (root metrics).
+    pub fn record_sql_registration(&self) {
+        self.inner.root.record_sql_registration();
+    }
+
+    /// Count a SQL `SELECT` rewrite outcome (root metrics).
+    pub fn record_sql_rewrite(&self, used_view: Option<&str>) {
+        self.inner.root.record_sql_rewrite(used_view);
+    }
+}
+
+/// A consistent cross-shard read snapshot — see
+/// [`ShardedService::snapshot`]. Holds one read guard per shard; sharded
+/// views merge on [`ShardSnapshot::query_view`], everything else is
+/// served from the root.
+pub struct ShardSnapshot<'a> {
+    root: Snapshot<'a>,
+    /// Hash shards then the heavy shard (empty when unsharded).
+    shards: Vec<Snapshot<'a>>,
+    placements: BTreeMap<String, ViewPlacement>,
+    epoch: u64,
+}
+
+impl ShardSnapshot<'_> {
+    /// The epoch this snapshot observes.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The root shard's view manager: full base catalog + executor (the
+    /// SQL frontend executes against these).
+    pub fn manager(&self) -> &ViewManager {
+        self.root.manager()
+    }
+
+    /// The user-facing contents of a view. Sharded views bag-concatenate
+    /// the hash-shard and heavy-shard tables — re-validating key
+    /// disjointness through the keyed table constructor; single-shard
+    /// views read from the root.
+    pub fn query_view(&self, name: &str) -> Result<Table> {
+        let sharded = self
+            .placements
+            .get(name)
+            .is_some_and(ViewPlacement::is_sharded);
+        if !sharded || self.shards.is_empty() {
+            return self.root.query_view(name);
+        }
+        let mut schema = None;
+        let mut rows: Vec<Row> = Vec::new();
+        for shard in &self.shards {
+            let t = shard.query_view(name)?;
+            if schema.is_none() {
+                schema = Some(t.schema().clone());
+            }
+            rows.extend(t.rows().iter().cloned());
+        }
+        let schema = schema.ok_or_else(|| CoreError::UnknownView(name.to_string()))?;
+        Ok(Table::from_rows(schema, rows)?)
+    }
+
+    /// Every registered view as `(name, definition)` pairs — root views
+    /// plus sharded views — the input the SQL view-matching rewriter
+    /// wants.
+    pub fn view_definitions(&self) -> Vec<(String, Plan)> {
+        let mut out: Vec<(String, Plan)> = self
+            .root
+            .manager()
+            .views()
+            .map(|v| (v.name().to_string(), v.definition().clone()))
+            .collect();
+        if let Some(first) = self.shards.first() {
+            out.extend(
+                first
+                    .manager()
+                    .views()
+                    .map(|v| (v.name().to_string(), v.definition().clone())),
+            );
+        }
+        out
+    }
+
+    /// Registration-time lint warnings for a view (rendered), wherever it
+    /// is placed, including its GP023/GP024 placement diagnostic.
+    pub fn view_lint_warnings(&self, name: &str) -> Vec<String> {
+        let mut out: Vec<String> = self
+            .root
+            .manager()
+            .view(name)
+            .ok()
+            .or_else(|| {
+                self.shards
+                    .first()
+                    .and_then(|s| s.manager().view(name).ok())
+            })
+            .map(|v| v.lint_warnings().iter().map(|d| d.to_string()).collect())
+            .unwrap_or_default();
+        if let Some(diag) = self
+            .placements
+            .get(name)
+            .and_then(ViewPlacement::diagnostic)
+        {
+            out.push(diag.to_string());
+        }
+        out
+    }
+
+    /// Where a view is placed, if registered through the sharded API.
+    pub fn placement(&self, name: &str) -> Option<&ViewPlacement> {
+        self.placements.get(name)
+    }
+}
+
+/// The worse of two health states: `Quarantined` > `Degraded` (more
+/// consecutive failures is worse) > `Healthy`.
+fn worse_health(a: ViewHealth, b: ViewHealth) -> ViewHealth {
+    use ViewHealth::*;
+    match (a, b) {
+        (q @ Quarantined { .. }, _) => q,
+        (_, q @ Quarantined { .. }) => q,
+        (
+            Degraded {
+                consecutive_failures: x,
+            },
+            Degraded {
+                consecutive_failures: y,
+            },
+        ) => Degraded {
+            consecutive_failures: x.max(y),
+        },
+        (d @ Degraded { .. }, Healthy) => d,
+        (Healthy, other) => other,
+    }
+}
+
+fn merge_view_metrics(into: &mut ViewMetrics, other: &ViewMetrics) {
+    into.refreshes += other.refreshes;
+    into.delta_rows += other.delta_rows;
+    into.rows_propagated += other.rows_propagated;
+    into.rows_applied += other.rows_applied;
+    into.refresh_time += other.refresh_time;
+    into.failures += other.failures;
+    into.retries += other.retries;
+    into.health = worse_health(into.health.clone(), other.health.clone());
+    for w in &other.lint_warnings {
+        if !into.lint_warnings.contains(w) {
+            into.lint_warnings.push(w.clone());
+        }
+    }
+}
+
+/// Fold one shard's metrics into the roll-up: counters and gauges sum,
+/// per-view entries merge, histograms fold bucket-wise.
+fn merge_metrics(into: &mut MetricsSnapshot, other: &MetricsSnapshot) {
+    into.epochs += other.epochs;
+    into.epochs_failed += other.epochs_failed;
+    into.batches_ingested += other.batches_ingested;
+    into.rows_ingested += other.rows_ingested;
+    into.ingest_waits += other.ingest_waits;
+    into.ingest_rejects += other.ingest_rejects;
+    into.panics_isolated += other.panics_isolated;
+    into.rows_drained_raw += other.rows_drained_raw;
+    into.rows_drained_coalesced += other.rows_drained_coalesced;
+    into.delta_rows += other.delta_rows;
+    into.rows_propagated += other.rows_propagated;
+    into.rows_applied += other.rows_applied;
+    into.refresh_time += other.refresh_time;
+    into.last_epoch_time = into.last_epoch_time.max(other.last_epoch_time);
+    into.sql_registrations += other.sql_registrations;
+    into.sql_rewrite_hits += other.sql_rewrite_hits;
+    into.sql_rewrite_misses += other.sql_rewrite_misses;
+    into.wal_records += other.wal_records;
+    into.wal_bytes += other.wal_bytes;
+    into.wal_fsyncs += other.wal_fsyncs;
+    into.checkpoints += other.checkpoints;
+    into.last_checkpoint_bytes = into.last_checkpoint_bytes.max(other.last_checkpoint_bytes);
+    into.recoveries += other.recoveries;
+    into.recovery_replayed_records += other.recovery_replayed_records;
+    into.recovery_replayed_epochs += other.recovery_replayed_epochs;
+    into.recovery_torn_tails += other.recovery_torn_tails;
+    into.recovery_corrupt_checkpoints += other.recovery_corrupt_checkpoints;
+    into.view_replays += other.view_replays;
+    into.pending_rows += other.pending_rows;
+    into.pending_bytes += other.pending_bytes;
+    for (name, vm) in &other.per_view {
+        merge_view_metrics(into.per_view.entry(name.clone()).or_default(), vm);
+    }
+    for (name, h) in &other.phase_timings {
+        into.phase_timings.entry(name.clone()).or_default().merge(h);
+    }
+    for (name, h) in &other.operator_timings {
+        into.operator_timings
+            .entry(name.clone())
+            .or_default()
+            .merge(h);
+    }
+    for (name, n) in &other.trace_events {
+        *into.trace_events.entry(name.clone()).or_insert(0) += n;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpivot_algebra::{AggSpec, PivotSpec, PlanBuilder};
+    use gpivot_storage::{row, DataType, Schema};
+    use std::sync::Arc as StdArc;
+
+    fn catalog() -> Catalog {
+        let mut c = Catalog::new();
+        let schema = StdArc::new(
+            Schema::from_pairs_keyed(
+                &[
+                    ("id", DataType::Int),
+                    ("attr", DataType::Str),
+                    ("val", DataType::Int),
+                ],
+                &["id", "attr"],
+            )
+            .unwrap(),
+        );
+        c.register(
+            "facts",
+            Table::from_rows(
+                schema,
+                vec![row![1, "a", 10], row![1, "b", 20], row![2, "a", 30]],
+            )
+            .unwrap(),
+        )
+        .unwrap();
+        c
+    }
+
+    fn pivot_plan() -> Plan {
+        PlanBuilder::scan("facts")
+            .gpivot(PivotSpec::simple(
+                "attr",
+                "val",
+                vec![Value::str("a"), Value::str("b")],
+            ))
+            .build()
+    }
+
+    fn cfg(shards: usize, heavy_threshold: u64) -> ServeConfig {
+        ServeConfig::builder()
+            .workers(2)
+            .exec_threads(1)
+            .shards(shards)
+            .heavy_key_threshold(heavy_threshold)
+            .build()
+            .unwrap()
+    }
+
+    /// Drive `svc` and an unsharded oracle through the same schedule and
+    /// assert the view contents stay bag-equal after every epoch.
+    fn assert_tracks_oracle(svc: &ShardedService, schedule: &[Delta]) {
+        let oracle = ViewService::new(catalog(), cfg(1, 0));
+        oracle.register_view("pv", pivot_plan()).unwrap();
+        for delta in schedule {
+            svc.ingest_with("facts", delta.clone(), IngestOptions::blocking())
+                .unwrap();
+            oracle
+                .ingest_with("facts", delta.clone(), IngestOptions::blocking())
+                .unwrap();
+            svc.refresh_epoch().unwrap();
+            oracle.refresh_epoch().unwrap();
+            let got = svc.query_view("pv").unwrap();
+            let want = oracle.query_view("pv").unwrap();
+            assert!(
+                got.bag_eq(&want),
+                "sharded diverged from oracle:\n got: {:?}\nwant: {:?}",
+                got.sorted_rows(),
+                want.sorted_rows()
+            );
+        }
+        assert!(svc.verify_all().unwrap());
+    }
+
+    #[test]
+    fn unsharded_service_is_a_passthrough() {
+        let svc = ShardedService::new(catalog(), cfg(1, 0));
+        assert!(!svc.is_sharded());
+        assert_eq!(svc.shards(), 1);
+        svc.register_view("pv", pivot_plan()).unwrap();
+        assert!(matches!(
+            svc.placement("pv"),
+            Some(ViewPlacement::Single { diagnostic: None })
+        ));
+        svc.ingest_with(
+            "facts",
+            Delta::from_inserts(vec![row![3, "b", 7]]),
+            IngestOptions::blocking(),
+        )
+        .unwrap();
+        let s = svc.refresh_epoch().unwrap();
+        assert_eq!(s.epoch, 1);
+        assert_eq!(svc.epoch(), 1);
+        assert_eq!(svc.query_view("pv").unwrap().len(), 3);
+        assert!(svc.verify_all().unwrap());
+    }
+
+    #[test]
+    fn sharded_refresh_matches_unsharded_oracle() {
+        let svc = ShardedService::new(catalog(), cfg(3, 0));
+        assert!(svc.is_sharded());
+        assert_eq!(svc.shards(), 3);
+        svc.register_view("pv", pivot_plan()).unwrap();
+        let placement = svc.placement("pv").unwrap();
+        assert!(placement.is_sharded(), "expected sharded: {placement:?}");
+        assert!(placement.diagnostic().unwrap().contains("GP024"));
+
+        let schedule = vec![
+            Delta::from_inserts(vec![row![3, "a", 1], row![4, "b", 2], row![5, "a", 3]]),
+            Delta::from_deletes(vec![row![1, "b", 20]]),
+            Delta::from_inserts(vec![row![6, "b", 4], row![7, "a", 5]]),
+            Delta::from_deletes(vec![row![4, "b", 2], row![2, "a", 30]]),
+        ];
+        assert_tracks_oracle(&svc, &schedule);
+    }
+
+    #[test]
+    fn heavy_key_promotion_keeps_results_exact() {
+        // Threshold 3: key 1 crosses it after two delete+insert rounds.
+        let svc = ShardedService::new(catalog(), cfg(2, 3));
+        svc.register_view("pv", pivot_plan()).unwrap();
+        let mut schedule = vec![Delta::from_inserts(vec![row![8, "a", 1]])];
+        let mut prev = 10;
+        for next in [11, 12, 13, 14] {
+            let mut d = Delta::from_deletes(vec![row![1, "a", prev]]);
+            d.merge(&Delta::from_inserts(vec![row![1, "a", next]]));
+            schedule.push(d);
+            prev = next;
+        }
+        assert_tracks_oracle(&svc, &schedule);
+        let heavy = svc.heavy_keys();
+        assert!(
+            heavy
+                .iter()
+                .any(|(t, c, v)| t == "facts" && c == "id" && *v == Value::Int(1)),
+            "key 1 should be heavy: {heavy:?}"
+        );
+    }
+
+    #[test]
+    fn conflicting_layout_falls_back_to_single_shard() {
+        let svc = ShardedService::new(catalog(), cfg(2, 0));
+        // Pins facts to the `id` layout.
+        svc.register_view("pv", pivot_plan()).unwrap();
+        assert!(svc.placement("pv").unwrap().is_sharded());
+        // Safe only when facts is partitioned by `attr` — conflicts.
+        let by_attr = PlanBuilder::scan("facts")
+            .group_by(&["attr"], vec![AggSpec::sum("val", "total")])
+            .build();
+        svc.register_view("by_attr", by_attr).unwrap();
+        let placement = svc.placement("by_attr").unwrap();
+        assert!(!placement.is_sharded(), "conflict must fall back");
+        assert!(placement.diagnostic().unwrap().contains("GP023"));
+        // The fallback view still refreshes and serves from the root.
+        svc.ingest_with(
+            "facts",
+            Delta::from_inserts(vec![row![9, "a", 5]]),
+            IngestOptions::blocking(),
+        )
+        .unwrap();
+        svc.refresh_epoch().unwrap();
+        assert_eq!(svc.query_view("by_attr").unwrap().len(), 2);
+        assert!(svc.verify_all().unwrap());
+        // The placement diagnostics surface through metrics lint warnings.
+        let m = svc.metrics();
+        assert!(m.per_view["by_attr"]
+            .lint_warnings
+            .iter()
+            .any(|w| w.contains("GP023")));
+        assert!(m.per_view["pv"]
+            .lint_warnings
+            .iter()
+            .any(|w| w.contains("GP024")));
+    }
+
+    #[test]
+    fn unprovable_plan_falls_back_to_single_shard() {
+        let svc = ShardedService::new(catalog(), cfg(2, 0));
+        // A global aggregate has no group key to partition on.
+        let global = PlanBuilder::scan("facts")
+            .group_by(&[], vec![AggSpec::sum("val", "total")])
+            .build();
+        svc.register_view("total", global).unwrap();
+        let placement = svc.placement("total").unwrap();
+        assert!(!placement.is_sharded());
+        assert!(placement.diagnostic().unwrap().contains("GP023"));
+        svc.ingest_with(
+            "facts",
+            Delta::from_inserts(vec![row![9, "b", 5]]),
+            IngestOptions::blocking(),
+        )
+        .unwrap();
+        svc.refresh_epoch().unwrap();
+        assert_eq!(svc.query_view("total").unwrap().len(), 1);
+    }
+
+    #[test]
+    fn sharded_save_is_refused() {
+        let svc = ShardedService::new(catalog(), cfg(2, 0));
+        let err = svc.save_to("/tmp/should-not-be-created").unwrap_err();
+        assert!(matches!(err, CoreError::InvalidConfig { .. }));
+    }
+
+    #[test]
+    fn drop_view_removes_from_all_shards() {
+        let svc = ShardedService::new(catalog(), cfg(2, 0));
+        svc.register_view("pv", pivot_plan()).unwrap();
+        assert_eq!(svc.view_names(), vec!["pv".to_string()]);
+        svc.drop_view("pv").unwrap();
+        assert!(svc.view_names().is_empty());
+        assert!(svc.placement("pv").is_none());
+        assert!(svc.query_view("pv").is_err());
+    }
+
+    #[test]
+    fn worse_health_orders_states() {
+        let q = ViewHealth::Quarantined {
+            since_epoch: 1,
+            reason: "r".into(),
+        };
+        let d = ViewHealth::Degraded {
+            consecutive_failures: 2,
+        };
+        assert_eq!(worse_health(ViewHealth::Healthy, q.clone()), q);
+        assert_eq!(worse_health(d.clone(), ViewHealth::Healthy), d);
+        assert_eq!(
+            worse_health(
+                d,
+                ViewHealth::Degraded {
+                    consecutive_failures: 5
+                }
+            ),
+            ViewHealth::Degraded {
+                consecutive_failures: 5
+            }
+        );
+    }
+}

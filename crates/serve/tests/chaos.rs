@@ -17,7 +17,7 @@
 
 use gpivot_core::SourceDeltas;
 use gpivot_exec::Executor;
-use gpivot_serve::{ServeConfig, ViewHealth, ViewService};
+use gpivot_serve::{IngestOptions, ServeConfig, ViewHealth, ViewService};
 use gpivot_storage::{Catalog, FaultInjector, FaultSite};
 use gpivot_tpch::gen::{generate, TpchConfig};
 use gpivot_tpch::views::{view1, view2, view3};
@@ -118,13 +118,13 @@ fn chaos_run(seed: u64) {
 
     let svc = ViewService::new(
         catalog,
-        ServeConfig {
-            workers: 4,
-            max_retries: 2,
-            retry_backoff: std::time::Duration::ZERO,
-            quarantine_after: 4,
-            ..ServeConfig::default()
-        },
+        ServeConfig::builder()
+            .workers(4)
+            .max_retries(2)
+            .retry_backoff(std::time::Duration::ZERO)
+            .quarantine_after(4)
+            .build()
+            .unwrap(),
     );
     for (name, plan) in views() {
         svc.register_view(name, plan).unwrap();
@@ -147,7 +147,8 @@ fn chaos_run(seed: u64) {
         for table in batch.tables() {
             let delta = batch.delta(table).unwrap();
             shadow.apply_delta(table, delta).unwrap();
-            svc.ingest(table, delta.clone()).unwrap();
+            svc.ingest_with(table, delta.clone(), IngestOptions::blocking())
+                .unwrap();
         }
         pending.push(batch);
 
@@ -287,12 +288,12 @@ fn injected_worker_panic_is_isolated_and_retried() {
 
     let svc = ViewService::new(
         catalog,
-        ServeConfig {
-            workers: 2,
-            max_retries: 2,
-            retry_backoff: std::time::Duration::ZERO,
-            ..ServeConfig::default()
-        },
+        ServeConfig::builder()
+            .workers(2)
+            .max_retries(2)
+            .retry_backoff(std::time::Duration::ZERO)
+            .build()
+            .unwrap(),
     );
     for (name, plan) in views() {
         svc.register_view(name, plan).unwrap();
@@ -303,7 +304,8 @@ fn injected_worker_panic_is_isolated_and_retried() {
     for table in batch.tables() {
         let delta = batch.delta(table).unwrap();
         mirror.apply_delta(table, delta).unwrap();
-        svc.ingest(table, delta.clone()).unwrap();
+        svc.ingest_with(table, delta.clone(), IngestOptions::blocking())
+            .unwrap();
     }
     // One epoch: view1's first attempt panics (the budget's single fault),
     // the retry succeeds, the epoch commits.

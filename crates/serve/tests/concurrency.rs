@@ -3,7 +3,7 @@
 //! threads running epochs, and a snapshot reader checking for torn reads —
 //! all while the metrics must reconcile exactly with what was sent.
 
-use gpivot_serve::{ServeConfig, ViewService};
+use gpivot_serve::{IngestOptions, ServeConfig, ViewService};
 use gpivot_storage::{row, Catalog, DataType, Delta, Row, Schema, Table, Value};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -53,12 +53,12 @@ fn fact_row(producer: i64, batch: i64, slot: i64) -> Row {
 fn producers_refreshers_and_readers_dont_tear() {
     let svc = ViewService::new(
         catalog(),
-        ServeConfig {
-            workers: 4,
+        ServeConfig::builder()
+            .workers(4)
             // Tight watermark so backpressure actually engages.
-            max_pending_rows: 16,
-            ..ServeConfig::default()
-        },
+            .max_pending_rows(16)
+            .build()
+            .unwrap(),
     );
     // Two views with identical definitions: any torn snapshot shows up as
     // the pair disagreeing under a single read guard.
@@ -87,7 +87,8 @@ fn producers_refreshers_and_readers_dont_tear() {
                         }
                     }
                     rows_sent.fetch_add(d.total_multiplicity(), Ordering::SeqCst);
-                    svc.ingest("facts", d).unwrap();
+                    svc.ingest_with("facts", d, IngestOptions::blocking())
+                        .unwrap();
                 }
             });
         }
@@ -192,7 +193,9 @@ fn registry_changes_interleave_with_refreshes() {
                 for k in 0..4 {
                     d.add(fact_row(9, b, k), 1);
                 }
-                writer.ingest("facts", d).unwrap();
+                writer
+                    .ingest_with("facts", d, IngestOptions::blocking())
+                    .unwrap();
                 writer.refresh_epoch().unwrap();
             }
         });

@@ -22,7 +22,7 @@
 
 use gpivot_algebra::Plan;
 use gpivot_exec::Executor;
-use gpivot_serve::{FsyncPolicy, ServeConfig, ViewService};
+use gpivot_serve::{FsyncPolicy, IngestOptions, ServeConfig, ViewService};
 use gpivot_storage::checkpoint::{checkpoint_path, list_wal_gens, wal_path};
 use gpivot_storage::{Catalog, Delta, FaultInjector, FaultSite};
 use gpivot_tpch::gen::{generate, TpchConfig};
@@ -52,12 +52,12 @@ fn parse(sql: &str) -> std::result::Result<Plan, String> {
 }
 
 fn durable_config(policy: FsyncPolicy) -> ServeConfig {
-    ServeConfig {
-        workers: 2,
-        exec_threads: 1,
-        wal_fsync: policy,
-        ..ServeConfig::default()
-    }
+    ServeConfig::builder()
+        .workers(2)
+        .exec_threads(1)
+        .wal_fsync(policy)
+        .build()
+        .unwrap()
 }
 
 fn small_catalog() -> Catalog {
@@ -210,7 +210,7 @@ fn run_schedule(dir: &Path, base: &Catalog, schedule: &Schedule, injector: Fault
             }
             Op::Ingest(i) => {
                 let (table, delta) = &schedule.items[*i];
-                svc.ingest(table, delta.clone())
+                svc.ingest_with(table, delta.clone(), IngestOptions::blocking())
             }
             Op::Refresh => svc.refresh_epoch().map(|_| ()),
             Op::Checkpoint => svc.checkpoint().map(|_| ()),
@@ -339,7 +339,8 @@ fn restart_roundtrip_preserves_views_and_epoch() {
             for table in batch.tables() {
                 let delta = batch.delta(table).unwrap();
                 oracle.apply_delta(table, delta).unwrap();
-                svc.ingest(table, delta.clone()).unwrap();
+                svc.ingest_with(table, delta.clone(), IngestOptions::blocking())
+                    .unwrap();
             }
             svc.refresh_epoch().unwrap();
         }
@@ -348,7 +349,8 @@ fn restart_roundtrip_preserves_views_and_epoch() {
         for table in batch.tables() {
             let delta = batch.delta(table).unwrap();
             oracle.apply_delta(table, delta).unwrap();
-            svc.ingest(table, delta.clone()).unwrap();
+            svc.ingest_with(table, delta.clone(), IngestOptions::blocking())
+                .unwrap();
         }
         svc.refresh_epoch().unwrap();
         svc.epoch()
@@ -386,7 +388,8 @@ fn pending_queue_survives_restart() {
         for table in batch.tables() {
             let delta = batch.delta(table).unwrap();
             oracle.apply_delta(table, delta).unwrap();
-            svc.ingest(table, delta.clone()).unwrap();
+            svc.ingest_with(table, delta.clone(), IngestOptions::blocking())
+                .unwrap();
         }
         let pending = svc.pending_rows();
         assert!(pending > 0, "workload produced no pending rows");
@@ -420,7 +423,8 @@ fn torn_log_tail_is_truncated_not_fatal() {
         for table in batch.tables() {
             let delta = batch.delta(table).unwrap();
             oracle.apply_delta(table, delta).unwrap();
-            svc.ingest(table, delta.clone()).unwrap();
+            svc.ingest_with(table, delta.clone(), IngestOptions::blocking())
+                .unwrap();
         }
         svc.refresh_epoch().unwrap();
     }
@@ -457,7 +461,8 @@ fn corrupt_checkpoint_falls_back_to_older() {
         for table in batch.tables() {
             let delta = batch.delta(table).unwrap();
             oracle.apply_delta(table, delta).unwrap();
-            svc.ingest(table, delta.clone()).unwrap();
+            svc.ingest_with(table, delta.clone(), IngestOptions::blocking())
+                .unwrap();
         }
         svc.refresh_epoch().unwrap();
     }
@@ -499,7 +504,8 @@ fn always_policy_unacked_ingest_is_exactly_once() {
         let (svc, _) = ViewService::open(&dir, seed, cfg.clone(), &parse).unwrap();
         svc.register_view("view3", view3()).unwrap();
         for (t, d) in &items {
-            svc.ingest(t, d.clone()).unwrap();
+            svc.ingest_with(t, d.clone(), IngestOptions::blocking())
+                .unwrap();
         }
         svc.refresh_epoch().unwrap();
         let _ = fs::remove_dir_all(&dir);
@@ -524,7 +530,7 @@ fn always_policy_unacked_ingest_is_exactly_once() {
                 break 'run true;
             }
             for (t, d) in &items {
-                match svc.ingest(t, d.clone()) {
+                match svc.ingest_with(t, d.clone(), IngestOptions::blocking()) {
                     Ok(()) => acked += 1,
                     Err(e) => {
                         assert!(is_kill(&e));
@@ -560,7 +566,8 @@ fn always_policy_unacked_ingest_is_exactly_once() {
             let mut seen = 0u64;
             for (t, d) in &items {
                 if seen + d.total_multiplicity() > durable_rows {
-                    svc.ingest(t, d.clone()).unwrap();
+                    svc.ingest_with(t, d.clone(), IngestOptions::blocking())
+                        .unwrap();
                 }
                 seen += d.total_multiplicity();
             }
@@ -597,7 +604,8 @@ fn save_to_then_open_round_trips() {
     for table in batch.tables() {
         let delta = batch.delta(table).unwrap();
         oracle.apply_delta(table, delta).unwrap();
-        svc.ingest(table, delta.clone()).unwrap();
+        svc.ingest_with(table, delta.clone(), IngestOptions::blocking())
+            .unwrap();
     }
     svc.refresh_epoch().unwrap();
 

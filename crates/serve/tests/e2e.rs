@@ -5,7 +5,7 @@
 
 use gpivot_core::SourceDeltas;
 use gpivot_exec::Executor;
-use gpivot_serve::{ServeConfig, ViewService};
+use gpivot_serve::{IngestOptions, ServeConfig, ViewService};
 use gpivot_storage::Catalog;
 use gpivot_tpch::gen::{generate, TpchConfig};
 use gpivot_tpch::views::{view1, view2, view3};
@@ -23,7 +23,8 @@ fn small_catalog() -> Catalog {
 fn ingest_and_mirror(svc: &ViewService, mirror: &mut Catalog, batch: &SourceDeltas) {
     for table in batch.tables() {
         let delta = batch.delta(table).unwrap();
-        svc.ingest(table, delta.clone()).unwrap();
+        svc.ingest_with(table, delta.clone(), IngestOptions::blocking())
+            .unwrap();
         mirror.apply_delta(table, delta).unwrap();
     }
 }
@@ -56,13 +57,7 @@ fn assert_oracle(svc: &ViewService, mirror: &Catalog) {
 fn three_views_interleaved_batches_over_epochs() {
     let catalog = small_catalog();
     let mut mirror = catalog.clone();
-    let svc = ViewService::new(
-        catalog,
-        ServeConfig {
-            workers: 4,
-            ..ServeConfig::default()
-        },
-    );
+    let svc = ViewService::new(catalog, ServeConfig::builder().workers(4).build().unwrap());
 
     svc.register_view("view1", view1()).unwrap();
     svc.register_view("view2", view2(30_000.0)).unwrap();
@@ -131,16 +126,18 @@ fn worker_pool_sizes_agree() {
     for workers in [1usize, 8] {
         let svc = ViewService::new(
             catalog.clone(),
-            ServeConfig {
-                workers,
-                ..ServeConfig::default()
-            },
+            ServeConfig::builder().workers(workers).build().unwrap(),
         );
         svc.register_view("view1", view1()).unwrap();
         svc.register_view("view2", view2(30_000.0)).unwrap();
         svc.register_view("view3", view3()).unwrap();
         for t in batch.tables() {
-            svc.ingest(t, batch.delta(t).unwrap().clone()).unwrap();
+            svc.ingest_with(
+                t,
+                batch.delta(t).unwrap().clone(),
+                IngestOptions::blocking(),
+            )
+            .unwrap();
         }
         svc.refresh_epoch().unwrap();
         tables.push(["view1", "view2", "view3"].map(|v| svc.query_view(v).unwrap()));
@@ -162,7 +159,8 @@ fn dropping_a_view_leaves_the_rest_consistent() {
     let b = workload::mixed_batch(&mirror, 0.01, 31);
     for t in b.tables() {
         let d = b.delta(t).unwrap();
-        svc.ingest(t, d.clone()).unwrap();
+        svc.ingest_with(t, d.clone(), IngestOptions::blocking())
+            .unwrap();
         mirror.apply_delta(t, d).unwrap();
     }
     svc.refresh_epoch().unwrap();

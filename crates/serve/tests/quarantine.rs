@@ -5,7 +5,7 @@
 
 use gpivot_core::CoreError;
 use gpivot_exec::Executor;
-use gpivot_serve::{ServeConfig, ViewHealth, ViewService};
+use gpivot_serve::{IngestOptions, ServeConfig, ViewHealth, ViewService};
 use gpivot_storage::{
     row, Catalog, DataType, Delta, FaultInjector, FaultSite, Schema, Table, Value,
 };
@@ -61,13 +61,13 @@ fn quarantine_lifecycle_and_readmission() {
 
     let svc = ViewService::new(
         cat,
-        ServeConfig {
-            workers: 2,
-            max_retries: 0, // one attempt per epoch: each failed epoch = one strike
-            retry_backoff: Duration::ZERO,
-            quarantine_after: 2,
-            ..ServeConfig::default()
-        },
+        ServeConfig::builder()
+            .workers(2)
+            .max_retries(0) // one attempt per epoch: each failed epoch = one strike
+            .retry_backoff(Duration::ZERO)
+            .quarantine_after(2)
+            .build()
+            .unwrap(),
     );
     svc.register_view("flaky", pivot_plan()).unwrap();
     svc.register_view("steady", pivot_plan()).unwrap();
@@ -75,7 +75,8 @@ fn quarantine_lifecycle_and_readmission() {
 
     let ingest_row = |id: i64, mirror: &mut Catalog| {
         let d = Delta::from_inserts(vec![row![id, "a", id]]);
-        svc.ingest("facts", d.clone()).unwrap();
+        svc.ingest_with("facts", d.clone(), IngestOptions::blocking())
+            .unwrap();
         mirror.apply_delta("facts", &d).unwrap();
     };
 
@@ -181,21 +182,25 @@ fn quarantine_readmission_under_concurrent_ingest() {
 
     let svc = ViewService::new(
         cat,
-        ServeConfig {
-            workers: 2,
-            max_retries: 0,
-            retry_backoff: Duration::ZERO,
-            quarantine_after: 2,
-            ..ServeConfig::default()
-        },
+        ServeConfig::builder()
+            .workers(2)
+            .max_retries(0)
+            .retry_backoff(Duration::ZERO)
+            .quarantine_after(2)
+            .build()
+            .unwrap(),
     );
     svc.register_view("flaky", pivot_plan()).unwrap();
     svc.register_view("steady", pivot_plan()).unwrap();
     injector.arm();
 
     // Two strikes put flaky in quarantine; the striking delta stays queued.
-    svc.ingest("facts", Delta::from_inserts(vec![row![50, "a", 50]]))
-        .unwrap();
+    svc.ingest_with(
+        "facts",
+        Delta::from_inserts(vec![row![50, "a", 50]]),
+        IngestOptions::blocking(),
+    )
+    .unwrap();
     assert!(svc.refresh_epoch().is_err());
     assert!(svc.refresh_epoch().is_err());
     assert!(svc.view_health("flaky").unwrap().is_quarantined());
@@ -208,8 +213,12 @@ fn quarantine_readmission_under_concurrent_ingest() {
             scope.spawn(move || {
                 for i in 0..ROWS_PER_PRODUCER {
                     let id = 100 * (p + 1) + i;
-                    svc.ingest("facts", Delta::from_inserts(vec![row![id, "a", id]]))
-                        .unwrap();
+                    svc.ingest_with(
+                        "facts",
+                        Delta::from_inserts(vec![row![id, "a", id]]),
+                        IngestOptions::blocking(),
+                    )
+                    .unwrap();
                     std::thread::sleep(Duration::from_micros(200));
                 }
             });
@@ -279,13 +288,13 @@ fn retry_view_replays_missed_epochs_from_log() {
     let (svc, _) = ViewService::open(
         &dir,
         cat,
-        ServeConfig {
-            workers: 2,
-            max_retries: 0,
-            retry_backoff: Duration::ZERO,
-            quarantine_after: 2,
-            ..ServeConfig::default()
-        },
+        ServeConfig::builder()
+            .workers(2)
+            .max_retries(0)
+            .retry_backoff(Duration::ZERO)
+            .quarantine_after(2)
+            .build()
+            .unwrap(),
         &parse,
     )
     .unwrap();
@@ -294,7 +303,8 @@ fn retry_view_replays_missed_epochs_from_log() {
 
     let ingest_row = |id: i64, mirror: &mut Catalog| {
         let d = Delta::from_inserts(vec![row![id, "a", id]]);
-        svc.ingest("facts", d.clone()).unwrap();
+        svc.ingest_with("facts", d.clone(), IngestOptions::blocking())
+            .unwrap();
         mirror.apply_delta("facts", &d).unwrap();
     };
 

@@ -4,7 +4,7 @@
 //! two views of them.
 
 use gpivot_algebra::{PivotSpec, PlanBuilder};
-use gpivot_serve::{ServeConfig, ViewService};
+use gpivot_serve::{IngestOptions, ServeConfig, ViewService};
 use gpivot_storage::{row, Catalog, DataType, Delta, Schema, Table, Value};
 use std::sync::Arc;
 use std::time::Duration;
@@ -48,18 +48,16 @@ fn pivot_plan() -> gpivot_algebra::plan::Plan {
 fn phase_histograms_reconcile_with_epoch_wall_clock() {
     let svc = ViewService::new(
         catalog(),
-        ServeConfig {
-            workers: 2,
-            ..ServeConfig::default()
-        },
+        ServeConfig::builder().workers(2).build().unwrap(),
     );
     svc.register_view("pv", pivot_plan()).unwrap();
 
     const EPOCHS: u64 = 5;
     for i in 0..EPOCHS {
-        svc.ingest(
+        svc.ingest_with(
             "facts",
             Delta::from_inserts(vec![row![100 + i as i64, "a", 1]]),
+            IngestOptions::blocking(),
         )
         .unwrap();
         svc.refresh_epoch().unwrap();
@@ -151,14 +149,22 @@ fn concurrent_services_have_isolated_histograms() {
     std::thread::scope(|s| {
         s.spawn(|| {
             for i in 0..3i64 {
-                a.ingest("facts", Delta::from_inserts(vec![row![50 + i, "a", 1]]))
-                    .unwrap();
+                a.ingest_with(
+                    "facts",
+                    Delta::from_inserts(vec![row![50 + i, "a", 1]]),
+                    IngestOptions::blocking(),
+                )
+                .unwrap();
                 a.refresh_epoch().unwrap();
             }
         });
         s.spawn(|| {
-            b.ingest("facts", Delta::from_inserts(vec![row![90, "b", 2]]))
-                .unwrap();
+            b.ingest_with(
+                "facts",
+                Delta::from_inserts(vec![row![90, "b", 2]]),
+                IngestOptions::blocking(),
+            )
+            .unwrap();
             b.refresh_epoch().unwrap();
         });
     });
@@ -183,20 +189,24 @@ fn rollback_and_quarantine_are_traced() {
     cat.set_fault_injector(injector.clone());
     let svc = ViewService::new(
         cat,
-        ServeConfig {
-            workers: 1,
-            max_retries: 0,
-            retry_backoff: Duration::ZERO,
-            retry_backoff_cap: Duration::ZERO,
-            quarantine_after: 1,
-            ..ServeConfig::default()
-        },
+        ServeConfig::builder()
+            .workers(1)
+            .max_retries(0)
+            .retry_backoff(Duration::ZERO)
+            .retry_backoff_cap(Duration::ZERO)
+            .quarantine_after(1)
+            .build()
+            .unwrap(),
     );
     svc.register_view("pv", pivot_plan()).unwrap();
 
     injector.arm();
-    svc.ingest("facts", Delta::from_inserts(vec![row![60, "a", 1]]))
-        .unwrap();
+    svc.ingest_with(
+        "facts",
+        Delta::from_inserts(vec![row![60, "a", 1]]),
+        IngestOptions::blocking(),
+    )
+    .unwrap();
     assert!(svc.refresh_epoch().is_err());
     injector.disarm();
 

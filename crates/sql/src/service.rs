@@ -1,10 +1,13 @@
 //! The serve-layer entry point: one string in, one [`SqlOutcome`] out.
 //!
-//! [`GpivotService`] wraps a [`gpivot_serve::ViewService`] and routes parsed
-//! statements:
+//! [`GpivotService`] wraps a [`gpivot_serve::ShardedService`] (which is a
+//! transparent passthrough to one [`gpivot_serve::ViewService`] when
+//! configured with a single shard) and routes parsed statements:
 //!
-//! * `CREATE MATERIALIZED VIEW` → [`ViewService::register_view`] (which runs
-//!   the plan-lint gate and picks a maintenance [`Strategy`]),
+//! * `CREATE MATERIALIZED VIEW` → [`ShardedService::register_view`] (which
+//!   runs the plan-lint gate, picks a maintenance [`Strategy`], and — on a
+//!   sharded service — places the view shard-wise when the analyzer proves
+//!   it shard-safe),
 //! * `SELECT` → view-matching rewrite ([`crate::rewrite`]) then execution on
 //!   the parallel [`gpivot_exec::Executor`] — against the matched view's materialized
 //!   table when a view subsumes the query, against the base tables
@@ -23,7 +26,7 @@ use gpivot_algebra::Plan;
 use gpivot_analyze::analyze;
 use gpivot_core::Strategy;
 use gpivot_exec::Overlay;
-use gpivot_serve::{ServeConfig, ViewService};
+use gpivot_serve::{ServeConfig, ShardedService, ViewService};
 use gpivot_storage::{Catalog, Table};
 use std::fmt::Write as _;
 
@@ -51,24 +54,36 @@ pub enum SqlOutcome {
 
 /// A SQL-speaking facade over the view-maintenance service.
 pub struct GpivotService {
-    inner: ViewService,
+    inner: ShardedService,
 }
 
 impl GpivotService {
-    /// A service over `catalog` with default serve configuration.
+    /// A service over `catalog` with default serve configuration
+    /// (unsharded).
     pub fn new(catalog: Catalog) -> Self {
         Self::with_config(catalog, ServeConfig::default())
     }
 
-    /// A service over `catalog` with explicit serve configuration.
+    /// A service over `catalog` with explicit serve configuration. With
+    /// `cfg.sharding` set to more than one shard, provably shard-safe
+    /// views created through SQL are partitioned and refreshed
+    /// shard-parallel; everything else lands on the root shard.
     pub fn with_config(catalog: Catalog, cfg: ServeConfig) -> Self {
         GpivotService {
-            inner: ViewService::new(catalog, cfg),
+            inner: ShardedService::new(catalog, cfg),
         }
     }
 
-    /// Wrap an existing (possibly already-populated) [`ViewService`].
+    /// Wrap an existing (possibly already-populated) [`ViewService`] as a
+    /// single-shard service.
     pub fn from_service(service: ViewService) -> Self {
+        GpivotService {
+            inner: ShardedService::from_single(service),
+        }
+    }
+
+    /// Wrap an existing [`ShardedService`].
+    pub fn from_sharded(service: ShardedService) -> Self {
         GpivotService { inner: service }
     }
 
@@ -81,6 +96,10 @@ impl GpivotService {
     /// [`crate::parse_query`]. Otherwise the service bootstraps from
     /// `seed_catalog` and starts logging to `dir`. The returned
     /// [`gpivot_serve::RecoveryReport`] says which happened.
+    ///
+    /// Durability is single-shard: `cfg.sharding` is ignored here and the
+    /// restored service runs unsharded (the checkpoint + WAL protocol has
+    /// no cross-shard commit record).
     pub fn open(
         dir: impl AsRef<std::path::Path>,
         seed_catalog: Catalog,
@@ -89,7 +108,7 @@ impl GpivotService {
         let parse = |sql: &str| crate::parser::parse_query(sql).map_err(|e| e.to_string());
         let (inner, report) = ViewService::open(dir, seed_catalog, cfg, &parse)
             .map_err(|e| SqlError::Engine(e.to_string()))?;
-        Ok((GpivotService { inner }, report))
+        Ok((Self::from_service(inner), report))
     }
 
     /// Persist a point-in-time snapshot of the full service state to `dir`
@@ -105,7 +124,7 @@ impl GpivotService {
 
     /// The wrapped service — ingestion, refresh epochs, and metrics live
     /// there.
-    pub fn service(&self) -> &ViewService {
+    pub fn service(&self) -> &ShardedService {
         &self.inner
     }
 
@@ -147,10 +166,7 @@ impl GpivotService {
         let result = {
             let snapshot = self.inner.snapshot();
             let manager = snapshot.manager();
-            let views: Vec<(String, Plan)> = manager
-                .views()
-                .map(|v| (v.name().to_string(), v.definition().clone()))
-                .collect();
+            let views = snapshot.view_definitions();
             match rewrite(&plan, &views, manager.catalog()) {
                 Some(hit) => {
                     // The rewritten plan scans the view's *user-facing*
@@ -196,10 +212,7 @@ impl GpivotService {
             Statement::Select(plan) => {
                 let snapshot = self.inner.snapshot();
                 let manager = snapshot.manager();
-                let views: Vec<(String, Plan)> = manager
-                    .views()
-                    .map(|v| (v.name().to_string(), v.definition().clone()))
-                    .collect();
+                let views = snapshot.view_definitions();
                 let hit = rewrite(plan, &views, manager.catalog());
                 match &hit {
                     Some(h) => {
@@ -240,10 +253,8 @@ impl GpivotService {
                 let report = analyze(plan, manager.catalog());
                 let mut lints: Vec<String> = report.warnings().map(|d| d.to_string()).collect();
                 if let Some(h) = &hit {
-                    if let Ok(v) = snapshot.manager().view(&h.view) {
-                        for d in v.lint_warnings() {
-                            lints.push(format!("{} (from view {})", d, h.view));
-                        }
+                    for w in snapshot.view_lint_warnings(&h.view) {
+                        lints.push(format!("{} (from view {})", w, h.view));
                     }
                 }
                 push_lint(&mut out, lints.into_iter());

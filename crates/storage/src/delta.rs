@@ -189,6 +189,43 @@ impl Delta {
         }
         set.into_iter().collect()
     }
+
+    /// Split this delta into `shards + 1` disjoint deltas by hashing the
+    /// key column at `col_idx`: bucket `i < shards` receives the rows
+    /// whose key hashes to shard `i` ([`shard_of`]), and the final bucket
+    /// receives the rows whose key `is_heavy` reports hot (heavy keys are
+    /// routed to a dedicated shard regardless of their hash). Every
+    /// carried row lands in exactly one bucket with its multiplicity
+    /// intact, so merging the buckets reproduces `self` exactly.
+    pub fn partition_by_key<F>(&self, col_idx: usize, shards: usize, is_heavy: F) -> Vec<Delta>
+    where
+        F: Fn(&Value) -> bool,
+    {
+        let mut out = vec![Delta::new(); shards + 1];
+        for (r, &w) in &self.counts {
+            let key = &r[col_idx];
+            let bucket = if is_heavy(key) {
+                shards
+            } else {
+                shard_of(key, shards)
+            };
+            out[bucket].add(r.clone(), w);
+        }
+        out
+    }
+}
+
+/// The shard a key value routes to: a deterministic hash of the value,
+/// reduced modulo `shards`. Uses the standard library's `DefaultHasher`
+/// with its fixed default keys, so the assignment is stable for the life
+/// of a process — every component of one service (delta router, table
+/// partitioner, heavy-key tracker) agrees on the placement of a value.
+pub fn shard_of(value: &Value, shards: usize) -> usize {
+    use std::hash::{Hash, Hasher};
+    debug_assert!(shards > 0, "shard_of needs at least one shard");
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    value.hash(&mut h);
+    (h.finish() % shards.max(1) as u64) as usize
 }
 
 impl fmt::Display for Delta {
@@ -254,6 +291,47 @@ pub fn null_row(arity: usize) -> Row {
 mod tests {
     use super::*;
     use crate::row;
+
+    #[test]
+    fn partition_by_key_conserves_multiplicities() {
+        let mut d = Delta::new();
+        for i in 0..100i64 {
+            d.add(row![i % 7, i], if i % 3 == 0 { -2 } else { 1 });
+        }
+        let parts = d.partition_by_key(0, 4, |v| *v == Value::Int(3));
+        assert_eq!(parts.len(), 5);
+        // Heavy bucket holds exactly the key-3 rows.
+        for (r, _) in parts[4].iter() {
+            assert_eq!(r[0], Value::Int(3));
+        }
+        // Hash buckets are disjoint from the heavy key and each other,
+        // and merging all buckets reproduces the original delta.
+        let mut merged = Delta::new();
+        for (i, p) in parts.iter().enumerate() {
+            for (r, &w) in p.iter() {
+                if i < 4 {
+                    assert_ne!(r[0], Value::Int(3), "heavy key leaked to bucket {i}");
+                    assert_eq!(shard_of(&r[0], 4), i);
+                }
+                merged.add(r.clone(), w);
+            }
+        }
+        assert_eq!(merged, d);
+    }
+
+    #[test]
+    fn shard_of_is_deterministic_and_in_range() {
+        for i in 0..1000i64 {
+            let v = Value::Int(i);
+            let s = shard_of(&v, 5);
+            assert!(s < 5);
+            assert_eq!(s, shard_of(&v, 5));
+        }
+        // All shards get some keys (sanity against a degenerate hash).
+        let hit: std::collections::HashSet<usize> =
+            (0..1000).map(|i| shard_of(&Value::Int(i), 5)).collect();
+        assert_eq!(hit.len(), 5);
+    }
 
     #[test]
     fn add_cancels_to_empty() {

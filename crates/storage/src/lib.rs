@@ -47,7 +47,7 @@ pub mod wal;
 pub use catalog::Catalog;
 pub use checkpoint::{CheckpointData, LoadedCheckpoint, ViewSnapshot};
 pub use chunk::{Chunk, Column, ColumnData};
-pub use delta::{Delta, DeltaSplit};
+pub use delta::{shard_of, Delta, DeltaSplit};
 pub use error::{Result, StorageError};
 pub use fault::{FaultInjector, FaultSite};
 pub use row::Row;

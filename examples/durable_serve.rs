@@ -29,7 +29,7 @@ fn ingest_batch(
     for table in batch.tables().map(str::to_string).collect::<Vec<_>>() {
         let delta = batch.delta(&table).cloned().unwrap_or_default();
         mirror.apply_delta(&table, &delta)?;
-        svc.ingest(&table, delta)?;
+        svc.ingest_with(&table, delta, IngestOptions::blocking())?;
     }
     Ok(())
 }
@@ -48,10 +48,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let catalog = generate(&config);
     let mut mirror = catalog.clone();
-    let cfg = ServeConfig {
-        wal_fsync: FsyncPolicy::OnCommit,
-        ..ServeConfig::default()
-    };
+    let cfg = ServeConfig::builder()
+        .wal_fsync(FsyncPolicy::OnCommit)
+        .build()
+        .unwrap();
 
     // ── Act 1: bootstrap a durable service and commit some epochs ────────
     println!("\n[1] opening durable service at {}", dir.display());
@@ -86,7 +86,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let doomed = workload::mixed_batch(&mirror, 0.01, 10);
     let table = doomed.tables().next().expect("non-empty batch").to_string();
     let delta = doomed.delta(&table).cloned().unwrap_or_default();
-    match svc.ingest(&table, delta) {
+    match svc.ingest_with(&table, delta, IngestOptions::blocking()) {
         Err(e) => println!("    crash! {e}"),
         Ok(_) => unreachable!("the kill point fires on the first append"),
     }

@@ -97,8 +97,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                     let svc = svc.clone();
                     p.spawn(move || {
                         for table in batch.tables() {
-                            svc.ingest(table, batch.delta(table).unwrap().clone())
-                                .unwrap();
+                            svc.ingest_with(
+                                table,
+                                batch.delta(table).unwrap().clone(),
+                                IngestOptions::blocking(),
+                            )
+                            .unwrap();
                         }
                     });
                 }

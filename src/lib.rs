@@ -23,7 +23,10 @@
 //!   families, and the §7 delta workloads;
 //! * [`serve`] — the service layer: a long-lived, thread-safe
 //!   view-maintenance service (coalescing delta ingestion queue with
-//!   backpressure, epoch-based parallel refresh scheduler, metrics).
+//!   backpressure, epoch-based parallel refresh scheduler, metrics) and
+//!   the sharded scale-out tier (`ShardedService`: hash-partitioned
+//!   shard workers with analyzer-proven shard-safe placement and
+//!   heavy-key skew handling).
 //!
 //! ## Quickstart
 //!
@@ -77,12 +80,16 @@ pub use tracing;
 pub mod prelude {
     pub use gpivot_algebra::{AggSpec, Expr, PivotSpec, Plan, PlanBuilder, UnpivotSpec};
     pub use gpivot_analyze::{analyze, AnalysisReport, DiagCode, Diagnostic, Severity};
+    pub use gpivot_analyze::{shard_safety, ShardRouting, ShardVerdict, TableRoute};
     pub use gpivot_core::{
         normalize_view, CoreError, ErrorClass, SourceDeltas, Strategy, TopShape, ViewManager,
         ViewOptions,
     };
     pub use gpivot_exec::{ExecContext, ExecOptions, Executor, WorkerPool};
-    pub use gpivot_serve::{ServeConfig, ViewHealth, ViewService};
+    pub use gpivot_serve::{
+        IngestOptions, ServeConfig, ShardConfig, ShardedService, ViewHealth, ViewPlacement,
+        ViewService,
+    };
     pub use gpivot_sql::{parse_statement, GpivotService, SqlError, SqlOutcome, Statement};
     pub use gpivot_storage::{
         row, Catalog, DataType, Delta, FaultInjector, FaultSite, Row, Schema, Table, Value,
