@@ -1,0 +1,82 @@
+//! Lock-order / guard-discipline lint over the real workspace source.
+//!
+//! Runs the `gpivot-concurrency` walker over every `crates/*/src/**/*.rs`
+//! file, builds the lock-acquisition graph, and emits one JSON document
+//! (`CONCURRENCY_LINT.json`) with the graph and the GP03x findings. The
+//! CI `concurrency-lint` job gates on the exit code: any `Error`-severity
+//! finding (a lock-order cycle, a read→write upgrade, a mutex reacquired
+//! while held) fails the run.
+//!
+//! ```text
+//! concurrency-lint [--root PATH] [--out PATH] [--quiet]
+//!
+//!   --root   workspace checkout to scan (default: this binary's workspace)
+//!   --out    output path (default CONCURRENCY_LINT.json)
+//!   --quiet  suppress the rendered findings on stderr
+//! ```
+
+use gpivot_concurrency::{lint_workspace, Severity};
+use std::path::PathBuf;
+
+fn main() {
+    let mut out_path = String::from("CONCURRENCY_LINT.json");
+    let mut root: Option<PathBuf> = None;
+    let mut quiet = false;
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--out" => out_path = args.next().unwrap_or_else(|| die("--out needs a path")),
+            "--root" => {
+                root = Some(PathBuf::from(
+                    args.next().unwrap_or_else(|| die("--root needs a path")),
+                ))
+            }
+            "--quiet" => quiet = true,
+            "--help" | "-h" => {
+                println!("usage: concurrency-lint [--root PATH] [--out PATH] [--quiet]");
+                return;
+            }
+            other => die(&format!("unknown argument `{other}`")),
+        }
+    }
+    // Default to the workspace this binary was built from: bench lives at
+    // <root>/crates/bench.
+    let root = root.unwrap_or_else(|| {
+        PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+            .join("../..")
+            .canonicalize()
+            .unwrap_or_else(|e| die(&format!("resolve workspace root: {e}")))
+    });
+
+    let report = lint_workspace(&root).unwrap_or_else(|e| die(&format!("scan {root:?}: {e}")));
+
+    eprintln!(
+        "concurrency-lint: {} files, {} functions, {} locks, {} edges",
+        report.files_scanned,
+        report.functions_scanned,
+        report.locks.len(),
+        report.edges.len()
+    );
+    let errors = report.errors();
+    let warns = report.count(Severity::Warn);
+    let infos = report.count(Severity::Info);
+    eprintln!("concurrency-lint: {errors} errors, {warns} warnings, {infos} infos");
+    if !quiet {
+        for f in &report.findings {
+            eprintln!("  {f}");
+        }
+    }
+
+    std::fs::write(&out_path, report.to_json())
+        .unwrap_or_else(|e| die(&format!("write {out_path}: {e}")));
+    eprintln!("wrote {out_path}");
+    if errors > 0 {
+        eprintln!("concurrency lint FAILED: {errors} error-severity findings");
+        std::process::exit(1);
+    }
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1)
+}

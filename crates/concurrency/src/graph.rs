@@ -1,0 +1,403 @@
+//! Acquisition-graph construction, interprocedural summaries, and cycle
+//! detection over the walker's per-function scans.
+
+use crate::walker::{BoundaryKind, FnScan, LockOp};
+use std::collections::{BTreeMap, BTreeSet};
+
+/// One acquisition-order edge: `from` was held when `to` was acquired.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Edge {
+    pub from: String,
+    pub to: String,
+    /// `Some(callee)` when the acquisition happens inside a callee reached
+    /// from the holding function (name-resolved within the same crate);
+    /// `None` for a direct acquisition in the holding function itself.
+    pub via: Option<String>,
+    pub file: String,
+    pub line: u32,
+    pub function: String,
+    /// Number of distinct sites that produce this (from, to) pair.
+    pub sites: u32,
+}
+
+/// Interprocedural function summary: every lock a function may acquire
+/// (directly or transitively through same-crate calls) and whether it may
+/// fsync. Name-based call resolution over-approximates — summaries feed
+/// Warn/Info findings, never Errors.
+#[derive(Clone, Debug, Default)]
+pub struct FnSummary {
+    pub acquires: BTreeSet<String>,
+    pub fsyncs: bool,
+}
+
+/// Group scans by crate (second path segment under `crates/`, else the
+/// whole file label) for call resolution.
+pub fn crate_of(file: &str) -> String {
+    let mut parts = file.split('/');
+    if parts.next() == Some("crates") {
+        if let Some(c) = parts.next() {
+            return c.to_string();
+        }
+    }
+    file.to_string()
+}
+
+/// Call-target resolution over the scanned functions.
+///
+/// Name-based resolution is deliberately conservative — a wrong match
+/// would fabricate acquisition edges:
+/// * a plain `self.method(…)` call resolves **within the defining file
+///   only** (each type's methods live in one file in this workspace);
+/// * any other call (free function, or a method on another receiver —
+///   including lock guards, whose methods dispatch to the locked data's
+///   type) resolves only when the name has a **unique defining file**
+///   within the crate; ambiguous names are skipped.
+pub struct Resolver {
+    /// (file, fn name) → summary (same-name fns within a file merged).
+    per_file: BTreeMap<(String, String), FnSummary>,
+    /// (crate, fn name) → defining file, when unique within the crate.
+    unique_in_crate: BTreeMap<(String, String), Option<String>>,
+}
+
+impl Resolver {
+    pub fn resolve(&self, caller_file: &str, c: &crate::walker::CallSite) -> Option<&FnSummary> {
+        if c.is_self_call() {
+            return self
+                .per_file
+                .get(&(caller_file.to_string(), c.callee.clone()));
+        }
+        match self
+            .unique_in_crate
+            .get(&(crate_of(caller_file), c.callee.clone()))
+        {
+            Some(Some(file)) => self.per_file.get(&(file.clone(), c.callee.clone())),
+            _ => None,
+        }
+    }
+}
+
+/// Compute per-function summaries with a bounded fixpoint over the
+/// resolvable call graph.
+pub fn summaries(scans: &[FnScan]) -> Resolver {
+    let mut per_file: BTreeMap<(String, String), FnSummary> = BTreeMap::new();
+    let mut unique_in_crate: BTreeMap<(String, String), Option<String>> = BTreeMap::new();
+    for s in scans {
+        let e = per_file
+            .entry((s.file.clone(), s.name.clone()))
+            .or_default();
+        for a in &s.acquires {
+            e.acquires.insert(a.lock.clone());
+        }
+        e.fsyncs |= s.direct_fsync;
+        unique_in_crate
+            .entry((crate_of(&s.file), s.name.clone()))
+            .and_modify(|f| {
+                if f.as_deref() != Some(s.file.as_str()) {
+                    *f = None; // defined in more than one file: ambiguous
+                }
+            })
+            .or_insert_with(|| Some(s.file.clone()));
+    }
+    let mut r = Resolver {
+        per_file,
+        unique_in_crate,
+    };
+    // Fixpoint: propagate callee summaries into callers. Graphs here are
+    // tiny; a small bounded loop converges.
+    for _ in 0..12 {
+        let mut changed = false;
+        for s in scans {
+            let caller_key = (s.file.clone(), s.name.clone());
+            let mut add_acquires = BTreeSet::new();
+            let mut add_fsync = false;
+            for c in &s.calls {
+                if c.callee == s.name {
+                    continue; // self-recursion adds nothing new
+                }
+                if let Some(cs) = r.resolve(&s.file, c) {
+                    for l in &cs.acquires {
+                        add_acquires.insert(l.clone());
+                    }
+                    add_fsync |= cs.fsyncs;
+                }
+            }
+            if let Some(e) = r.per_file.get_mut(&caller_key) {
+                let before = e.acquires.len();
+                e.acquires.extend(add_acquires);
+                if e.acquires.len() != before || (add_fsync && !e.fsyncs) {
+                    changed = true;
+                }
+                e.fsyncs |= add_fsync;
+            }
+        }
+        if !changed {
+            break;
+        }
+    }
+    r
+}
+
+/// Build the deduplicated acquisition-order edge list (distinct locks
+/// only; same-lock reacquisition is reported separately as a finding).
+pub fn build_edges(scans: &[FnScan], resolver: &Resolver) -> Vec<Edge> {
+    let mut dedup: BTreeMap<(String, String, bool), Edge> = BTreeMap::new();
+    let mut push = |from: &str, to: &str, via: Option<String>, file: &str, line: u32, f: &str| {
+        let key = (from.to_string(), to.to_string(), via.is_some());
+        dedup
+            .entry(key)
+            .and_modify(|e| e.sites += 1)
+            .or_insert(Edge {
+                from: from.to_string(),
+                to: to.to_string(),
+                via,
+                file: file.to_string(),
+                line,
+                function: f.to_string(),
+                sites: 1,
+            });
+    };
+    for s in scans {
+        for (held, acq) in &s.acquired_while_held {
+            if held.lock != acq.lock {
+                push(&held.lock, &acq.lock, None, &s.file, acq.line, &s.name);
+            }
+        }
+        for c in &s.calls {
+            if c.held.is_empty() || c.callee == s.name {
+                continue;
+            }
+            if let Some(cs) = resolver.resolve(&s.file, c) {
+                for l in &cs.acquires {
+                    for h in &c.held {
+                        if h.lock != *l {
+                            push(&h.lock, l, Some(c.callee.clone()), &s.file, c.line, &s.name);
+                        }
+                    }
+                }
+            }
+        }
+    }
+    dedup.into_values().collect()
+}
+
+/// Strongly connected components with more than one node (or a self-loop)
+/// over the given edges. Returns each cycle as its sorted node list.
+pub fn cycles(nodes: &BTreeSet<String>, edges: &[Edge]) -> Vec<Vec<String>> {
+    // Tarjan's algorithm, iterative enough for these graph sizes via
+    // recursion (lock graphs have < 100 nodes).
+    let idx: BTreeMap<&str, usize> = nodes
+        .iter()
+        .enumerate()
+        .map(|(i, n)| (n.as_str(), i))
+        .collect();
+    let n = nodes.len();
+    let mut adj: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut self_loop = vec![false; n];
+    for e in edges {
+        if let (Some(&a), Some(&b)) = (idx.get(e.from.as_str()), idx.get(e.to.as_str())) {
+            if a == b {
+                self_loop[a] = true;
+            } else {
+                adj[a].push(b);
+            }
+        }
+    }
+    struct T<'a> {
+        adj: &'a [Vec<usize>],
+        index: Vec<Option<usize>>,
+        low: Vec<usize>,
+        on_stack: Vec<bool>,
+        stack: Vec<usize>,
+        next: usize,
+        sccs: Vec<Vec<usize>>,
+    }
+    fn strong(t: &mut T, v: usize) {
+        t.index[v] = Some(t.next);
+        t.low[v] = t.next;
+        t.next += 1;
+        t.stack.push(v);
+        t.on_stack[v] = true;
+        for i in 0..t.adj[v].len() {
+            let w = t.adj[v][i];
+            if t.index[w].is_none() {
+                strong(t, w);
+                t.low[v] = t.low[v].min(t.low[w]);
+            } else if t.on_stack[w] {
+                t.low[v] = t.low[v].min(t.index[w].unwrap_or(usize::MAX));
+            }
+        }
+        if Some(t.low[v]) == t.index[v] {
+            let mut comp = Vec::new();
+            while let Some(w) = t.stack.pop() {
+                t.on_stack[w] = false;
+                comp.push(w);
+                if w == v {
+                    break;
+                }
+            }
+            t.sccs.push(comp);
+        }
+    }
+    let mut t = T {
+        adj: &adj,
+        index: vec![None; n],
+        low: vec![0; n],
+        on_stack: vec![false; n],
+        stack: Vec::new(),
+        next: 0,
+        sccs: Vec::new(),
+    };
+    for v in 0..n {
+        if t.index[v].is_none() {
+            strong(&mut t, v);
+        }
+    }
+    let names: Vec<&String> = nodes.iter().collect();
+    let mut out = Vec::new();
+    for comp in t.sccs {
+        if comp.len() > 1 || (comp.len() == 1 && self_loop[comp[0]]) {
+            let mut c: Vec<String> = comp.iter().map(|&i| names[i].clone()).collect();
+            c.sort();
+            out.push(c);
+        }
+    }
+    out.sort();
+    out
+}
+
+/// Kahn topological order of the lock nodes (ties broken alphabetically);
+/// `None` when the graph is cyclic.
+pub fn topo_order(nodes: &BTreeSet<String>, edges: &[Edge]) -> Option<Vec<String>> {
+    let mut indeg: BTreeMap<&str, usize> = nodes.iter().map(|n| (n.as_str(), 0)).collect();
+    let mut adj: BTreeMap<&str, BTreeSet<&str>> = BTreeMap::new();
+    for e in edges {
+        if e.from != e.to
+            && nodes.contains(&e.from)
+            && nodes.contains(&e.to)
+            && adj
+                .entry(e.from.as_str())
+                .or_default()
+                .insert(e.to.as_str())
+        {
+            *indeg.entry(e.to.as_str()).or_default() += 1;
+        }
+    }
+    let mut ready: BTreeSet<&str> = indeg
+        .iter()
+        .filter(|(_, &d)| d == 0)
+        .map(|(&n, _)| n)
+        .collect();
+    let mut out = Vec::new();
+    while let Some(&n) = ready.iter().next() {
+        ready.remove(n);
+        out.push(n.to_string());
+        if let Some(next) = adj.get(n) {
+            for &m in next {
+                let d = indeg.entry(m).or_default();
+                *d -= 1;
+                if *d == 0 {
+                    ready.insert(m);
+                }
+            }
+        }
+    }
+    if out.len() == nodes.len() {
+        Some(out)
+    } else {
+        None
+    }
+}
+
+/// Does this boundary's held set contain a Mutex/Write (exclusive) guard?
+pub fn holds_exclusive(b: &crate::walker::Boundary) -> bool {
+    b.held
+        .iter()
+        .any(|h| matches!(h.op, LockOp::Mutex | LockOp::Write))
+}
+
+/// Interprocedural fsync exposure: call sites holding guards whose callee
+/// may fsync.
+pub struct FsyncViaCall {
+    pub file: String,
+    pub line: u32,
+    pub function: String,
+    pub callee: String,
+    pub held: Vec<String>,
+}
+
+pub fn fsyncs_via_calls(scans: &[FnScan], resolver: &Resolver) -> Vec<FsyncViaCall> {
+    let mut out = Vec::new();
+    for s in scans {
+        if s.direct_fsync {
+            // The direct boundary finding already covers this function.
+            continue;
+        }
+        for c in &s.calls {
+            if c.held.is_empty() || c.callee == s.name {
+                continue;
+            }
+            if resolver
+                .resolve(&s.file, c)
+                .map(|x| x.fsyncs)
+                .unwrap_or(false)
+            {
+                out.push(FsyncViaCall {
+                    file: s.file.clone(),
+                    line: c.line,
+                    function: s.name.clone(),
+                    callee: c.callee.clone(),
+                    held: c.held.iter().map(|h| h.lock.clone()).collect(),
+                });
+            }
+        }
+    }
+    // One finding per (function, callee) — call sites inside loops repeat.
+    let mut seen = BTreeSet::new();
+    out.retain(|f| seen.insert((f.function.clone(), f.callee.clone(), f.file.clone())));
+    out
+}
+
+/// Same-lock reacquisition pairs, classified by guard ops.
+pub struct Reacquire {
+    pub file: String,
+    pub line: u32,
+    pub function: String,
+    pub lock: String,
+    pub held_op: LockOp,
+    pub acq_op: LockOp,
+}
+
+pub fn reacquisitions(scans: &[FnScan]) -> Vec<Reacquire> {
+    let mut out = Vec::new();
+    for s in scans {
+        for (held, acq) in &s.acquired_while_held {
+            if held.lock == acq.lock {
+                out.push(Reacquire {
+                    file: s.file.clone(),
+                    line: acq.line,
+                    function: s.name.clone(),
+                    lock: acq.lock.clone(),
+                    held_op: held.op,
+                    acq_op: acq.op,
+                });
+            }
+        }
+    }
+    out
+}
+
+/// All boundary crossings of a given kind.
+pub fn boundaries_of(
+    scans: &[FnScan],
+    kind: BoundaryKind,
+) -> Vec<(&FnScan, &crate::walker::Boundary)> {
+    let mut out = Vec::new();
+    for s in scans {
+        for b in &s.boundaries {
+            if b.kind == kind {
+                out.push((s, b));
+            }
+        }
+    }
+    out
+}

@@ -32,6 +32,11 @@
 //! columnar kernels are bit-identical to the row kernels by construction
 //! and are selected by default ([`ExecOptions::columnar`]).
 
+// Executor errors surface as `ExecError` to the maintenance layer; a
+// panic here would take down a refresh epoch. `unwrap`/`expect` are
+// denied outside unit tests (the same discipline as gpivot-serve).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod columnar;
 pub mod engine;
 pub mod error;

@@ -51,6 +51,8 @@
 #![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 mod durable;
+#[cfg(test)]
+mod explore;
 mod metrics;
 mod queue;
 mod service;

@@ -90,11 +90,15 @@ pub struct MetricsSnapshot {
     pub rows_ingested: u64,
     /// `ingest` calls that had to block on the backpressure watermark.
     pub ingest_waits: u64,
-    /// `try_ingest` / `ingest_timeout` calls rejected with
+    /// Non-blocking / bounded-wait `ingest_with` calls rejected with
     /// [`gpivot_core::CoreError::Backpressure`].
     pub ingest_rejects: u64,
     /// Worker panics caught and isolated at the view-task boundary.
     pub panics_isolated: u64,
+    /// Poisoned-guard recoveries by the `sync` lock helpers (process-wide:
+    /// every shard of a sharded service reports the same counter, so
+    /// roll-ups take the max rather than summing).
+    pub lock_poisoned: u64,
     /// Row changes drained into epochs, before coalescing.
     pub rows_drained_raw: u64,
     /// Row changes drained into epochs, after +1/−1 cancellation.
@@ -235,11 +239,11 @@ impl MetricsSnapshot {
                 self.sql_registrations, self.sql_rewrite_hits, self.sql_rewrite_misses,
             );
         }
-        if self.ingest_rejects > 0 || self.panics_isolated > 0 {
+        if self.ingest_rejects > 0 || self.panics_isolated > 0 || self.lock_poisoned > 0 {
             let _ = writeln!(
                 out,
-                "  faults: {} ingest rejects, {} panics isolated",
-                self.ingest_rejects, self.panics_isolated,
+                "  faults: {} ingest rejects, {} panics isolated, {} poisoned locks recovered",
+                self.ingest_rejects, self.panics_isolated, self.lock_poisoned,
             );
         }
         if self.wal_records > 0 || self.checkpoints > 0 {
@@ -387,6 +391,12 @@ impl MetricsSnapshot {
             "gpivot_panics_isolated_total",
             "Worker panics caught at the view-task boundary",
             self.panics_isolated,
+        );
+        counter(
+            &mut out,
+            "gpivot_lock_poisoned_total",
+            "Poisoned lock guards recovered by the sync helpers",
+            self.lock_poisoned,
         );
         counter(
             &mut out,

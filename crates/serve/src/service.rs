@@ -25,66 +25,50 @@ use std::time::{Duration, Instant};
 /// ([`crate::ShardedService`]).
 ///
 /// Construct through [`ServeConfig::builder`], which validates every
-/// setter; the public fields remain readable but direct field-struct
-/// construction is deprecated (it silently breaks whenever a knob is
-/// added — exactly what happened when sharding landed).
+/// setter, and read through the accessor methods. The fields are
+/// crate-private: direct field-struct construction silently broke
+/// whenever a knob was added (exactly what happened when sharding
+/// landed), so the old public-field surface was removed.
 #[derive(Debug, Clone)]
 pub struct ServeConfig {
     /// Worker threads per refresh epoch. Independent affected views are
     /// distributed round-robin over this many `std` scoped threads (the
     /// same idiom as `gpivot_core::combine::parallel_gpivot`). `1` means
     /// fully sequential refreshes.
-    #[deprecated(
-        note = "construct via `ServeConfig::builder()`; read through the accessor methods"
-    )]
-    pub workers: usize,
+    pub(crate) workers: usize,
     /// Backpressure watermark on the *coalesced* pending row count.
     ///
-    /// Once pending rows reach this, [`ViewService::ingest`] blocks until
-    /// an epoch drains the queue, [`ViewService::try_ingest`] rejects
-    /// immediately, and [`ViewService::ingest_timeout`] blocks up to its
-    /// timeout — both rejections return
+    /// Once pending rows reach this, a blocking
+    /// [`ViewService::ingest_with`] waits until an epoch drains the
+    /// queue, a non-blocking one rejects immediately, and a bounded one
+    /// waits up to its timeout — rejections return
     /// [`gpivot_core::CoreError::Backpressure`] without enqueueing
-    /// anything.
+    /// anything (see [`IngestOptions`]).
     ///
-    /// **Liveness contract:** a blocked `ingest` makes progress only if
+    /// **Liveness contract:** a blocked ingest makes progress only if
     /// *another* thread eventually calls [`ViewService::refresh_epoch`]. A
     /// single-threaded producer that ingests past the watermark before
     /// refreshing will deadlock against itself; such callers must use
-    /// `try_ingest`/`ingest_timeout` and run an epoch when they see
+    /// [`IngestOptions::non_blocking`] / [`IngestOptions::bounded`] and
+    /// run an epoch when they see
     /// `Backpressure`. As a safety valve, a single batch larger than the
     /// watermark is still accepted when the queue is empty, so no producer
     /// can wedge on one oversized batch.
-    #[deprecated(
-        note = "construct via `ServeConfig::builder()`; read through the accessor methods"
-    )]
-    pub max_pending_rows: u64,
+    pub(crate) max_pending_rows: u64,
     /// Refresh attempts beyond the first, per view per epoch, for errors
     /// classified [`gpivot_core::ErrorClass::Transient`] (injected faults,
     /// caught worker panics). Permanent errors never retry.
-    #[deprecated(
-        note = "construct via `ServeConfig::builder()`; read through the accessor methods"
-    )]
-    pub max_retries: u32,
+    pub(crate) max_retries: u32,
     /// Initial sleep between retry attempts; doubles per attempt.
-    #[deprecated(
-        note = "construct via `ServeConfig::builder()`; read through the accessor methods"
-    )]
-    pub retry_backoff: Duration,
+    pub(crate) retry_backoff: Duration,
     /// Upper bound on the exponential retry backoff.
-    #[deprecated(
-        note = "construct via `ServeConfig::builder()`; read through the accessor methods"
-    )]
-    pub retry_backoff_cap: Duration,
+    pub(crate) retry_backoff_cap: Duration,
     /// Consecutive failed epochs (retry budget exhausted each time) after
     /// which a view is quarantined: excluded from refresh scheduling so it
     /// stops blocking epochs, reported as
     /// [`ViewHealth::Quarantined`] in metrics, and re-admitted only by
     /// [`ViewService::retry_view`] or re-registration.
-    #[deprecated(
-        note = "construct via `ServeConfig::builder()`; read through the accessor methods"
-    )]
-    pub quarantine_after: u32,
+    pub(crate) quarantine_after: u32,
     /// Intra-query parallelism: threads each plan execution (propagate
     /// subplans, recompute, verify) runs on, via the service's
     /// [`gpivot_exec::Executor`]. Orthogonal to [`ServeConfig::workers`]
@@ -92,45 +76,29 @@ pub struct ServeConfig {
     /// `workers × exec_threads` threads. Defaults to the
     /// `GPIVOT_EXEC_THREADS` environment variable, else `1` (see
     /// [`gpivot_exec::ExecOptions`]).
-    #[deprecated(
-        note = "construct via `ServeConfig::builder()`; read through the accessor methods"
-    )]
-    pub exec_threads: usize,
+    pub(crate) exec_threads: usize,
     /// Run plan executions on the vectorized columnar kernels (`true`,
     /// the default) or the row-at-a-time reference kernels (`false`).
     /// Results are bit-identical either way; this is a performance and
     /// triage knob. Defaults to the `GPIVOT_EXEC_COLUMNAR` environment
     /// variable, else `true` (see [`gpivot_exec::ExecOptions`]).
-    #[deprecated(
-        note = "construct via `ServeConfig::builder()`; read through the accessor methods"
-    )]
-    pub exec_columnar: bool,
+    pub(crate) exec_columnar: bool,
     /// When the WAL fsyncs, for services opened durably with
     /// [`ViewService::open`]. Ignored by [`ViewService::new`] (no log).
     /// The default, [`FsyncPolicy::OnCommit`], makes every acknowledged
     /// epoch commit (and registry change) durable; individual ingests
     /// inside a never-committed epoch ride on the page cache.
-    #[deprecated(
-        note = "construct via `ServeConfig::builder()`; read through the accessor methods"
-    )]
-    pub wal_fsync: FsyncPolicy,
+    pub(crate) wal_fsync: FsyncPolicy,
     /// Automatically checkpoint (and rotate + truncate the log) after
     /// every N committed epochs. `0` (the default) means manual only —
     /// call [`ViewService::checkpoint`]. Ignored by non-durable services.
-    #[deprecated(
-        note = "construct via `ServeConfig::builder()`; read through the accessor methods"
-    )]
-    pub checkpoint_every_epochs: u64,
+    pub(crate) checkpoint_every_epochs: u64,
     /// Horizontal sharding for [`crate::ShardedService`]: hash-shard
     /// count and the heavy-key promotion threshold. The default
     /// (`shards = 1`) is unsharded. Ignored by a bare [`ViewService`].
-    #[deprecated(
-        note = "construct via `ServeConfig::builder()`; read through the accessor methods"
-    )]
-    pub sharding: ShardConfig,
+    pub(crate) sharding: ShardConfig,
 }
 
-#[allow(deprecated)] // defining crate touches its own deprecated fields
 impl Default for ServeConfig {
     fn default() -> Self {
         ServeConfig {
@@ -151,7 +119,6 @@ impl Default for ServeConfig {
     }
 }
 
-#[allow(deprecated)] // defining crate touches its own deprecated fields
 impl ServeConfig {
     /// Start building a config from the defaults. Every setter validates
     /// its argument; [`ServeConfigBuilder::build`] returns the first
@@ -230,7 +197,6 @@ pub struct ServeConfigBuilder {
     error: Option<CoreError>,
 }
 
-#[allow(deprecated)] // defining crate touches its own deprecated fields
 impl ServeConfigBuilder {
     fn invalid(&mut self, field: &str, message: String) {
         if self.error.is_none() {
@@ -359,17 +325,13 @@ impl ServeConfigBuilder {
 /// How an [`ViewService::ingest_with`] call waits for queue space when
 /// the backpressure watermark is reached.
 ///
-/// The single replacement for the old `ingest` / `try_ingest` /
-/// `ingest_timeout` trio:
-///
 /// * [`IngestOptions::default`] (or [`IngestOptions::blocking`]) waits
-///   until an epoch drains the queue — the old `ingest`.
+///   until an epoch drains the queue.
 /// * [`IngestOptions::non_blocking`] rejects immediately with
-///   [`gpivot_core::CoreError::Backpressure`] — the old `try_ingest`,
-///   and the safe choice for single-threaded producers (which cannot
-///   both wait for space and run the epoch that would create it).
-/// * [`IngestOptions::bounded`] waits at most `timeout` — the old
-///   `ingest_timeout`.
+///   [`gpivot_core::CoreError::Backpressure`] — the safe choice for
+///   single-threaded producers (which cannot both wait for space and
+///   run the epoch that would create it).
+/// * [`IngestOptions::bounded`] waits at most `timeout`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IngestOptions {
     /// Reject immediately instead of waiting when `false`.
@@ -380,14 +342,14 @@ pub struct IngestOptions {
 }
 
 impl Default for IngestOptions {
-    /// Blocking with no timeout — the old `ingest` behavior.
+    /// Blocking with no timeout.
     fn default() -> Self {
         IngestOptions::blocking()
     }
 }
 
 impl IngestOptions {
-    /// Wait for queue space indefinitely (the old `ingest`).
+    /// Wait for queue space indefinitely.
     pub fn blocking() -> Self {
         IngestOptions {
             blocking: true,
@@ -395,7 +357,7 @@ impl IngestOptions {
         }
     }
 
-    /// Reject immediately at the watermark (the old `try_ingest`).
+    /// Reject immediately at the watermark.
     pub fn non_blocking() -> Self {
         IngestOptions {
             blocking: false,
@@ -403,7 +365,7 @@ impl IngestOptions {
         }
     }
 
-    /// Wait at most `timeout` (the old `ingest_timeout`).
+    /// Wait at most `timeout`.
     pub fn bounded(timeout: Duration) -> Self {
         IngestOptions {
             blocking: true,
@@ -713,27 +675,6 @@ impl ViewService {
         self.ingest_inner(table, delta, options.wait())
     }
 
-    /// Deprecated spelling of
-    /// `ingest_with(table, delta, IngestOptions::blocking())`.
-    #[deprecated(note = "use `ingest_with(table, delta, IngestOptions::blocking())`")]
-    pub fn ingest(&self, table: &str, delta: Delta) -> Result<()> {
-        self.ingest_with(table, delta, IngestOptions::blocking())
-    }
-
-    /// Deprecated spelling of
-    /// `ingest_with(table, delta, IngestOptions::non_blocking())`.
-    #[deprecated(note = "use `ingest_with(table, delta, IngestOptions::non_blocking())`")]
-    pub fn try_ingest(&self, table: &str, delta: Delta) -> Result<()> {
-        self.ingest_with(table, delta, IngestOptions::non_blocking())
-    }
-
-    /// Deprecated spelling of
-    /// `ingest_with(table, delta, IngestOptions::bounded(timeout))`.
-    #[deprecated(note = "use `ingest_with(table, delta, IngestOptions::bounded(timeout))`")]
-    pub fn ingest_timeout(&self, table: &str, delta: Delta, timeout: Duration) -> Result<()> {
-        self.ingest_with(table, delta, IngestOptions::bounded(timeout))
-    }
-
     fn ingest_inner(&self, table: &str, delta: Delta, wait: Wait) -> Result<()> {
         if delta.is_empty() {
             return Ok(());
@@ -766,12 +707,13 @@ impl ViewService {
                             rejected_at = Some(q.pending_rows());
                             break;
                         }
-                        let (g, _) = sync::wait_timeout(&self.shared.space, q, dl - now);
+                        let (g, _) =
+                            sync::wait_timeout(&self.shared.space, &self.shared.queue, q, dl - now);
                         q = g;
                         waited = true;
                     }
                     (_, None) => {
-                        q = sync::wait(&self.shared.space, q);
+                        q = sync::wait(&self.shared.space, &self.shared.queue, q);
                         waited = true;
                     }
                 }
@@ -916,6 +858,10 @@ impl ViewService {
         let results = {
             let _s = tracing::span("epoch.propagate").enter();
             let tracer = &self.shared.tracer;
+            // Holding the refresh gate and the registry read guard across
+            // the pool is what serializes epochs; the workers only run
+            // view-maintenance closures and never touch a service lock.
+            // concurrency-lint: allow(GP033)
             run_on_pool(affected, workers, |view| {
                 // Workers run on their own threads: re-install the
                 // service's tracer so `view.attempt` spans and the
@@ -1527,6 +1473,7 @@ impl ViewService {
             }
         }
         m.trace_events = self.shared.tracer.event_counts();
+        m.lock_poisoned = sync::poisoned_total();
         m
     }
 
@@ -1859,7 +1806,7 @@ mod tests {
     }
 
     #[test]
-    fn try_ingest_rejects_at_watermark() {
+    fn non_blocking_ingest_rejects_at_watermark() {
         let svc = ViewService::new(catalog(), small_config());
         svc.ingest_with(
             "facts",
@@ -1890,7 +1837,7 @@ mod tests {
     }
 
     #[test]
-    fn ingest_timeout_rejects_after_deadline() {
+    fn bounded_ingest_rejects_after_deadline() {
         let svc = ViewService::new(catalog(), small_config());
         svc.ingest_with(
             "facts",

@@ -201,8 +201,24 @@ struct Inner {
     freq: Mutex<HashMap<(usize, Value), u64>>,
     /// Promotions whose row migration has not committed yet — retained
     /// across failed epochs so a crashed migration resumes exactly.
-    pending_promotions: Mutex<BTreeSet<(usize, Value)>>,
+    pending_promotions: Mutex<PendingPromotions>,
     epoch: AtomicU64,
+}
+
+/// In-flight promotion state. While a key's row migration is pending,
+/// deltas for that key are *parked* here instead of entering any shard
+/// queue: routing them to the heavy shard before the migration commits
+/// would let them apply ahead of the migrated rows (the migration's
+/// re-insert would then collide with a newer row of the same key), and
+/// routing them to the old owner would let them slip past the
+/// migration's committed-state scan. Parked deltas re-enter the heavy
+/// shard's queue, in arrival order, the moment the migration commits.
+#[derive(Default)]
+struct PendingPromotions {
+    /// Keys marked heavy whose row migration has not committed.
+    keys: BTreeSet<(usize, Value)>,
+    /// `(table, delta)` batches for those keys, in arrival order.
+    parked: Vec<(String, Delta)>,
 }
 
 /// A shard-transparent view-maintenance service: the redesigned serve
@@ -230,10 +246,7 @@ impl ShardedService {
         // applied backpressure to the producer, and a bounded shard queue
         // could deadlock the routing fan-out against itself.
         let mut worker_cfg = cfg.clone();
-        #[allow(deprecated)]
-        {
-            worker_cfg.max_pending_rows = u64::MAX;
-        }
+        worker_cfg.max_pending_rows = u64::MAX;
         let root = ViewService::new(catalog.clone(), cfg.clone());
         let workers = (0..shards)
             .map(|_| ViewService::new(catalog.clone(), worker_cfg.clone()))
@@ -248,7 +261,7 @@ impl ShardedService {
                 gate: Mutex::new(()),
                 router: RwLock::new(Router::default()),
                 freq: Mutex::new(HashMap::new()),
-                pending_promotions: Mutex::new(BTreeSet::new()),
+                pending_promotions: Mutex::new(PendingPromotions::default()),
                 epoch: AtomicU64::new(0),
             }),
         }
@@ -269,7 +282,7 @@ impl ShardedService {
                 gate: Mutex::new(()),
                 router: RwLock::new(Router::default()),
                 freq: Mutex::new(HashMap::new()),
-                pending_promotions: Mutex::new(BTreeSet::new()),
+                pending_promotions: Mutex::new(PendingPromotions::default()),
                 epoch: AtomicU64::new(0),
             }),
         }
@@ -702,12 +715,37 @@ impl ShardedService {
                     if part.is_empty() {
                         continue;
                     }
-                    let target = if j == n {
-                        self.inner.heavy.as_ref()
-                    } else {
-                        self.inner.workers.get(j)
-                    };
-                    if let Some(svc) = target {
+                    if j == n {
+                        // Heavy bucket. Rows whose key's migration is
+                        // still pending are parked (see
+                        // [`PendingPromotions`]): enqueuing them now would
+                        // apply them ahead of the migrated rows. The
+                        // check-and-park is atomic under the pending lock,
+                        // and the router read lock held across this
+                        // fan-out keeps the heavy mark itself stable.
+                        let mut p = sync::lock(&self.inner.pending_promotions);
+                        let live = if p.keys.is_empty() {
+                            part
+                        } else {
+                            let keys = &p.keys;
+                            let is_pending =
+                                |r: &Row| keys.contains(&(layout.class, r[layout.col_idx].clone()));
+                            let parked = part.filter_rows(is_pending);
+                            let live = part.filter_rows(|r| !is_pending(r));
+                            if !parked.is_empty() {
+                                p.parked.push((table.to_string(), parked));
+                            }
+                            live
+                        };
+                        drop(p);
+                        if !live.is_empty() {
+                            if let Some(h) = &self.inner.heavy {
+                                h.ingest_with(table, live, IngestOptions::blocking())?;
+                            }
+                        }
+                        continue;
+                    }
+                    if let Some(svc) = self.inner.workers.get(j) {
                         svc.ingest_with(table, part, IngestOptions::blocking())?;
                     }
                 }
@@ -786,26 +824,29 @@ impl ShardedService {
     /// Caller holds the gate. The protocol is exact under concurrent
     /// producers:
     ///
-    /// 1. Mark the keys heavy under the router **write** lock — from here
-    ///    on every new ingest routes them to the heavy shard, and any
-    ///    in-flight old-routing ingest has fully enqueued (fan-outs hold
-    ///    the read lock).
+    /// 1. Register the keys as pending, *then* mark them heavy under the
+    ///    router **write** lock. Any in-flight old-routing ingest has
+    ///    fully enqueued (fan-outs hold the read lock), and every ingest
+    ///    that sees the heavy mark finds the key pending and parks its
+    ///    rows (see [`PendingPromotions`]) instead of enqueuing anywhere.
     /// 2. Flush every shard, committing all old-routing deltas.
     /// 3. Scan the owning hash shard's *committed* tables for each
     ///    promoted key and enqueue a delete there plus an insert on the
     ///    heavy shard — ordinary maintenance deltas, so every shard view
     ///    updates incrementally and stays exact.
-    /// 4. Flush again to commit the migration.
+    /// 4. Flush again to commit the migration, then unpark: parked
+    ///    deltas re-enter the heavy shard's queue in arrival order.
     ///
-    /// Promotions are parked in a pending set until step 4 succeeds; a
-    /// failed epoch retries them, and because every attempt re-scans
-    /// committed state *after* a flush, retries never double-move rows.
+    /// Pending keys (and their parked deltas) are retained until step 4
+    /// succeeds; a failed epoch retries them, and because every attempt
+    /// re-scans committed state *after* a flush, retries never
+    /// double-move rows.
     fn promote_heavy_locked(&self) -> Result<Vec<EpochSummary>> {
         let threshold = self.inner.cfg.sharding().heavy_key_threshold;
         let shard_count = self.inner.workers.len();
         let mut pending = {
             let p = sync::lock(&self.inner.pending_promotions);
-            p.clone()
+            p.keys.clone()
         };
         if threshold > 0 {
             let router = sync::read(&self.inner.router);
@@ -817,17 +858,28 @@ impl ShardedService {
             }
         }
         if pending.is_empty() {
+            // Normally a no-op: parked deltas imply pending keys. It only
+            // fires if a previous epoch's drain failed partway, so those
+            // orphaned batches still reach the heavy shard.
+            let mut p = sync::lock(&self.inner.pending_promotions);
+            Self::drain_parked_locked(&mut p, self.inner.heavy.as_ref())?;
             return Ok(Vec::new());
+        }
+        // Register the keys as pending *before* marking them heavy: an
+        // ingest that routes a key to its old hash shard must be covered
+        // by the flush below, and one that sees the heavy mark must find
+        // the key already pending (and park) — the reverse order would
+        // leave a window where a heavy-routed delta slips into the heavy
+        // shard's queue ahead of the migrated rows.
+        {
+            let mut p = sync::lock(&self.inner.pending_promotions);
+            p.keys.extend(pending.iter().cloned());
         }
         {
             let mut router = sync::write(&self.inner.router);
             for (class, key) in &pending {
                 router.classes[*class].heavy.insert(key.clone());
             }
-        }
-        {
-            let mut p = sync::lock(&self.inner.pending_promotions);
-            p.extend(pending.iter().cloned());
         }
         let mut summaries = self.refresh_all_locked()?;
 
@@ -880,17 +932,43 @@ impl ShardedService {
         }
         summaries.extend(self.refresh_all_locked()?);
 
+        // Migration committed: unpark. The parked deltas re-enter the
+        // heavy shard's queue *while the pending lock is held*, so a
+        // concurrent ingest for the same key (which checks the pending
+        // set under this lock) cannot enqueue ahead of them; the trailing
+        // shard refresh in `refresh_epoch` commits them this epoch.
         {
             let mut p = sync::lock(&self.inner.pending_promotions);
             for key in &pending {
-                p.remove(key);
+                p.keys.remove(key);
             }
+            Self::drain_parked_locked(&mut p, self.inner.heavy.as_ref())?;
         }
         {
             let mut freq = sync::lock(&self.inner.freq);
             freq.retain(|(class, key), _| !pending.contains(&(*class, key.clone())));
         }
         Ok(summaries)
+    }
+
+    /// Re-enqueue parked deltas onto the heavy shard once no promotion is
+    /// pending. Runs under the pending lock so a concurrent ingest for a
+    /// just-unparked key cannot enqueue ahead of the parked batches. On a
+    /// failed enqueue the unsent remainder is restored for a later epoch.
+    fn drain_parked_locked(p: &mut PendingPromotions, heavy: Option<&ViewService>) -> Result<()> {
+        if !p.keys.is_empty() || p.parked.is_empty() {
+            return Ok(());
+        }
+        let mut parked = std::mem::take(&mut p.parked).into_iter();
+        while let Some((table, delta)) = parked.next() {
+            let Some(h) = heavy else { continue };
+            if let Err(e) = h.ingest_with(&table, delta.clone(), IngestOptions::blocking()) {
+                p.parked.push((table, delta));
+                p.parked.extend(parked);
+                return Err(e);
+            }
+        }
+        Ok(())
     }
 
     // ------------------------------------------------------------------
@@ -1155,6 +1233,9 @@ fn merge_metrics(into: &mut MetricsSnapshot, other: &MetricsSnapshot) {
     into.ingest_waits += other.ingest_waits;
     into.ingest_rejects += other.ingest_rejects;
     into.panics_isolated += other.panics_isolated;
+    // Process-wide counter: every shard reads the same static, so the
+    // roll-up takes the max instead of multiplying it by the shard count.
+    into.lock_poisoned = into.lock_poisoned.max(other.lock_poisoned);
     into.rows_drained_raw += other.rows_drained_raw;
     into.rows_drained_coalesced += other.rows_drained_coalesced;
     into.delta_rows += other.delta_rows;
@@ -1334,6 +1415,108 @@ mod tests {
                 .iter()
                 .any(|(t, c, v)| t == "facts" && c == "id" && *v == Value::Int(1)),
             "key 1 should be heavy: {heavy:?}"
+        );
+    }
+
+    /// Demotion readiness: once a key is promoted it must never
+    /// *silently* re-route back to a hash shard — its rows stay on the
+    /// heavy shard across later ingests and epochs, and `heavy_keys()`
+    /// keeps reporting it. When demotion arrives it has to be an explicit
+    /// protocol step (mark → flush → migrate back), not a side effect of
+    /// the frequency map being cleared after promotion.
+    #[test]
+    fn promoted_key_never_silently_reroutes() {
+        let svc = ShardedService::new(catalog(), cfg(2, 3));
+        svc.register_view("pv", pivot_plan()).unwrap();
+
+        // Rows of key 1 currently committed on one shard service.
+        let key_rows = |s: &ViewService| -> usize {
+            let snap = s.snapshot();
+            snap.manager()
+                .catalog()
+                .table("facts")
+                .unwrap()
+                .rows()
+                .iter()
+                .filter(|r| r[0] == Value::Int(1))
+                .count()
+        };
+        let assert_heavy_owns_key = |when: &str| {
+            for (j, w) in svc.inner.workers.iter().enumerate() {
+                assert_eq!(
+                    key_rows(w),
+                    0,
+                    "{when}: hash shard {j} still owns rows of the promoted key"
+                );
+            }
+            assert!(
+                key_rows(svc.inner.heavy.as_ref().unwrap()) > 0,
+                "{when}: heavy shard lost the promoted key's rows"
+            );
+            assert!(
+                svc.heavy_keys()
+                    .iter()
+                    .any(|(t, c, v)| t == "facts" && c == "id" && *v == Value::Int(1)),
+                "{when}: heavy_keys() no longer reports the promoted key"
+            );
+        };
+
+        // One oracle persists across both phases (a fresh one could not
+        // replay the later update rounds from base state).
+        let oracle = ViewService::new(catalog(), cfg(1, 0));
+        oracle.register_view("pv", pivot_plan()).unwrap();
+        let drive = |schedule: &[Delta]| {
+            for delta in schedule {
+                svc.ingest_with("facts", delta.clone(), IngestOptions::blocking())
+                    .unwrap();
+                oracle
+                    .ingest_with("facts", delta.clone(), IngestOptions::blocking())
+                    .unwrap();
+                svc.refresh_epoch().unwrap();
+                oracle.refresh_epoch().unwrap();
+                let got = svc.query_view("pv").unwrap();
+                let want = oracle.query_view("pv").unwrap();
+                assert!(
+                    got.bag_eq(&want),
+                    "sharded diverged from oracle:\n got: {:?}\nwant: {:?}",
+                    got.sorted_rows(),
+                    want.sorted_rows()
+                );
+            }
+            assert!(svc.verify_all().unwrap());
+        };
+
+        // Drive key 1 over the threshold (update rounds, as the promotion
+        // test does), tracking the oracle throughout.
+        let mut schedule = Vec::new();
+        let mut prev = 10;
+        for next in [11, 12, 13] {
+            let mut d = Delta::from_deletes(vec![row![1, "a", prev]]);
+            d.merge(&Delta::from_inserts(vec![row![1, "a", next]]));
+            schedule.push(d);
+            prev = next;
+        }
+        drive(&schedule);
+        assert_heavy_owns_key("after promotion");
+
+        // The freq entry for the promoted key was cleared on promotion; a
+        // fresh burst of updates re-counts it from zero. Routing must
+        // come from the router's heavy set, not the frequency map.
+        let mut after = Vec::new();
+        for next in [14, 15, 16] {
+            let mut d = Delta::from_deletes(vec![row![1, "a", prev]]);
+            d.merge(&Delta::from_inserts(vec![row![1, "a", next]]));
+            after.push(d);
+            prev = next;
+        }
+        // And an unrelated light key keeps the hash shards busy.
+        after.push(Delta::from_inserts(vec![row![9, "b", 1]]));
+        drive(&after);
+        assert_heavy_owns_key("after post-promotion ingests");
+        let p = sync::lock(&svc.inner.pending_promotions);
+        assert!(
+            p.keys.is_empty() && p.parked.is_empty(),
+            "promotion must not stay parked after committed epochs"
         );
     }
 

@@ -9,41 +9,160 @@
 //! [`PoisonError::into_inner`] is always sound here. These helpers are the
 //! only way locks are acquired in this crate — `expect`/`unwrap` on lock
 //! results is denied crate-wide (see `lib.rs`).
+//!
+//! Every recovery increments a process-wide counter (surfaced as
+//! `gpivot_lock_poisoned_total` in the metrics snapshot) and emits a
+//! `lock.poisoned` trace event, so silent panics in lock holders are
+//! visible in monitoring rather than papered over.
+//!
+//! Under `--features shuttle` these helpers additionally route through the
+//! cooperative token scheduler in `compat/shuttle` when a model-checking
+//! run is active: acquisition becomes a `try_lock` + `blocked_yield` loop,
+//! which lets the scheduler deterministically serialize thread steps and
+//! detect deadlocks (a full round of blocked threads with no progress).
+//! Outside an active scheduler run — including ordinary tests compiled with
+//! the feature — the `std` fast path is taken unchanged.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{
     Condvar, Mutex, MutexGuard, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard,
     WaitTimeoutResult,
 };
 use std::time::Duration;
 
+/// Process-wide count of poisoned-guard recoveries (monotonic; never reset).
+static POISONED_TOTAL: AtomicU64 = AtomicU64::new(0);
+
+/// How many times a lock helper has recovered a poisoned guard since
+/// process start. Exported as `gpivot_lock_poisoned_total`.
+pub(crate) fn poisoned_total() -> u64 {
+    POISONED_TOTAL.load(Ordering::Relaxed)
+}
+
+/// Recover a poisoned guard, counting the recovery and emitting a
+/// `lock.poisoned` trace event (a panic in a lock holder is worth an
+/// alert even when recovery is sound).
+fn recover<G>(e: PoisonError<G>) -> G {
+    POISONED_TOTAL.fetch_add(1, Ordering::Relaxed);
+    tracing::event("lock.poisoned", "recovered guard after holder panic");
+    e.into_inner()
+}
+
 /// Lock a mutex, recovering the guard if a previous holder panicked.
 pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
-    m.lock().unwrap_or_else(PoisonError::into_inner)
+    #[cfg(feature = "shuttle")]
+    if shuttle::sched::active() {
+        // Every acquisition is a scheduler choice point: without this,
+        // the token holder would run to completion (it only yields on a
+        // *failed* try-lock) and every seed would collapse to the same
+        // sequential schedule.
+        shuttle::sched::yield_now();
+        loop {
+            match m.try_lock() {
+                Ok(g) => {
+                    shuttle::sched::progress();
+                    return g;
+                }
+                Err(std::sync::TryLockError::Poisoned(e)) => {
+                    shuttle::sched::progress();
+                    return recover(e);
+                }
+                Err(std::sync::TryLockError::WouldBlock) => shuttle::sched::blocked_yield(),
+            }
+        }
+    }
+    m.lock().unwrap_or_else(recover)
 }
 
 /// Read-lock an `RwLock`, recovering from poison.
 pub(crate) fn read<T>(l: &RwLock<T>) -> RwLockReadGuard<'_, T> {
-    l.read().unwrap_or_else(PoisonError::into_inner)
+    #[cfg(feature = "shuttle")]
+    if shuttle::sched::active() {
+        shuttle::sched::yield_now(); // choice point; see `lock`
+        loop {
+            match l.try_read() {
+                Ok(g) => {
+                    shuttle::sched::progress();
+                    return g;
+                }
+                Err(std::sync::TryLockError::Poisoned(e)) => {
+                    shuttle::sched::progress();
+                    return recover(e);
+                }
+                Err(std::sync::TryLockError::WouldBlock) => shuttle::sched::blocked_yield(),
+            }
+        }
+    }
+    l.read().unwrap_or_else(recover)
 }
 
 /// Write-lock an `RwLock`, recovering from poison.
 pub(crate) fn write<T>(l: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
-    l.write().unwrap_or_else(PoisonError::into_inner)
+    #[cfg(feature = "shuttle")]
+    if shuttle::sched::active() {
+        shuttle::sched::yield_now(); // choice point; see `lock`
+        loop {
+            match l.try_write() {
+                Ok(g) => {
+                    shuttle::sched::progress();
+                    return g;
+                }
+                Err(std::sync::TryLockError::Poisoned(e)) => {
+                    shuttle::sched::progress();
+                    return recover(e);
+                }
+                Err(std::sync::TryLockError::WouldBlock) => shuttle::sched::blocked_yield(),
+            }
+        }
+    }
+    l.write().unwrap_or_else(recover)
 }
 
 /// Wait on a condvar, recovering the re-acquired guard from poison.
-pub(crate) fn wait<'a, T>(cv: &Condvar, guard: MutexGuard<'a, T>) -> MutexGuard<'a, T> {
-    cv.wait(guard).unwrap_or_else(PoisonError::into_inner)
+///
+/// `m` must be the mutex `guard` was taken from (the `std` condvar API
+/// does not need it, but the scheduler shim re-locks through it after a
+/// cooperative release). Callers already loop on their predicate, so the
+/// shim's release → yield → re-lock is indistinguishable from a spurious
+/// wakeup.
+pub(crate) fn wait<'a, T>(
+    cv: &Condvar,
+    m: &'a Mutex<T>,
+    guard: MutexGuard<'a, T>,
+) -> MutexGuard<'a, T> {
+    #[cfg(feature = "shuttle")]
+    if shuttle::sched::active() {
+        drop(guard);
+        shuttle::sched::yield_now();
+        return lock(m);
+    }
+    let _ = m;
+    cv.wait(guard).unwrap_or_else(recover)
 }
 
-/// Wait on a condvar with a timeout, recovering from poison.
+/// Wait on a condvar with a timeout, recovering from poison. As with
+/// [`wait`], `m` is the guarded mutex; the scheduler shim reports a
+/// timed-out result (callers re-check their deadline either way).
 pub(crate) fn wait_timeout<'a, T>(
     cv: &Condvar,
+    m: &'a Mutex<T>,
     guard: MutexGuard<'a, T>,
     dur: Duration,
 ) -> (MutexGuard<'a, T>, WaitTimeoutResult) {
-    cv.wait_timeout(guard, dur)
-        .unwrap_or_else(PoisonError::into_inner)
+    #[cfg(feature = "shuttle")]
+    if shuttle::sched::active() {
+        // A zero-length real wait is the only way to mint a
+        // `WaitTimeoutResult`; no other runnable thread holds the token,
+        // so the re-acquire inside it cannot block.
+        let (g, r) = cv
+            .wait_timeout(guard, Duration::ZERO)
+            .unwrap_or_else(recover);
+        drop(g);
+        shuttle::sched::yield_now();
+        return (lock(m), r);
+    }
+    let _ = m;
+    cv.wait_timeout(guard, dur).unwrap_or_else(recover)
 }
 
 #[cfg(test)]
@@ -53,6 +172,7 @@ mod tests {
 
     #[test]
     fn lock_recovers_after_holder_panics() {
+        let before = poisoned_total();
         let m = Arc::new(Mutex::new(41));
         let m2 = Arc::clone(&m);
         let _ = std::thread::spawn(move || {
@@ -63,6 +183,10 @@ mod tests {
         assert!(m.is_poisoned());
         *lock(&m) += 1;
         assert_eq!(*lock(&m), 42);
+        assert!(
+            poisoned_total() > before,
+            "recovery must bump gpivot_lock_poisoned_total"
+        );
     }
 
     #[test]

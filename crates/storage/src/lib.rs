@@ -31,6 +31,11 @@
 //! Nothing in this crate knows about plans, pivots, or maintenance — it is a
 //! deliberately small, fully tested foundation.
 
+// The substrate every layer trusts: error paths must return `Result`,
+// not panic. `unwrap`/`expect` are denied outside unit tests (the same
+// discipline as gpivot-serve).
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
+
 pub mod catalog;
 pub mod checkpoint;
 pub mod chunk;

@@ -204,11 +204,8 @@ impl Table {
                 actual: row.arity(),
             });
         }
-        if let Some(key) = self.key_projection(&row) {
-            let idx = self
-                .key_index
-                .as_mut()
-                .expect("key index exists when schema has key");
+        let key = self.key_projection(&row);
+        if let (Some(key), Some(idx)) = (key, self.key_index.as_mut()) {
             if idx.contains_key(&key) {
                 return Err(StorageError::KeyViolation {
                     table: "<table>".to_string(),
@@ -249,15 +246,10 @@ impl Table {
         let removed = Arc::make_mut(&mut self.rows).swap_remove(pos);
         // Fix the moved row's index entry (if any row was moved into `pos`).
         if pos < self.rows.len() {
-            let moved_key = self
-                .schema
-                .key()
-                .map(|k| self.rows[pos].project(k))
-                .expect("keyed table");
-            self.key_index
-                .as_mut()
-                .expect("keyed table")
-                .insert(moved_key, pos);
+            if let (Some(k), Some(idx)) = (self.schema.key(), self.key_index.as_mut()) {
+                let moved_key = self.rows[pos].project(k);
+                idx.insert(moved_key, pos);
+            }
         }
         Some(removed)
     }
